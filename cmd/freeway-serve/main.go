@@ -1,0 +1,44 @@
+// Command freeway-serve runs FreewayML as an HTTP JSON service. Batches are
+// POSTed to /v1/process (labeled ones train, unlabeled ones only infer),
+// prequential metrics come from /v1/stats:
+//
+//	freeway-serve -addr :8080 -dim 6 -classes 2 -model mlp
+//	curl -s localhost:8080/v1/process -d '{"x":[[0.4,0.5,0.4,0.5,0.4,0.5]],"y":[0]}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"freewayml/internal/core"
+	"freewayml/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dim     = flag.Int("dim", 6, "feature dimensionality of the stream")
+		classes = flag.Int("classes", 2, "number of labels")
+		family  = flag.String("model", "mlp", "model family: lr | mlp | cnn3 | cnn5")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.ModelFamily = *family
+	cfg.Seed = *seed
+	cfg.Hyper.Seed = *seed
+
+	srv, err := serve.New(cfg, *dim, *classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	fmt.Printf("freeway-serve: %s model, %d features, %d classes, listening on %s\n",
+		*family, *dim, *classes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,85 @@
+// Checkpoint example: stop a deployed stream and resume it later. The
+// learner's durable state — model parameters, the detector's PCA space,
+// the knowledge store, the coherent experience — round-trips through
+// Save/Load, so the resumed learner predicts identically and keeps
+// learning from where it left off.
+//
+//	go run ./examples/checkpoint
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"freewayml"
+)
+
+func main() {
+	stream, err := freewayml.OpenDataset("NSL-KDD", 128, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := freewayml.DefaultConfig()
+	learner, err := freewayml.New(cfg, stream.Dim(), stream.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: half the stream.
+	processed := 0
+	for processed < 60 {
+		b, ok := stream.Next()
+		if !ok {
+			break
+		}
+		if _, err := learner.ProcessBatch(b.X, b.Y); err != nil {
+			log.Fatal(err)
+		}
+		processed++
+	}
+	midStats := learner.Stats()
+	fmt.Printf("before checkpoint: %d batches, G_acc %.2f%%, %d knowledge entries\n",
+		midStats.Batches, 100*midStats.GAcc, midStats.KnowledgeEntries)
+
+	// Checkpoint — in production this would be a file; the deployment
+	// restarts below are simulated with a fresh learner.
+	var checkpoint bytes.Buffer
+	if err := learner.Save(&checkpoint); err != nil {
+		log.Fatal(err)
+	}
+	if err := learner.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("checkpoint written: %d bytes\n", checkpoint.Len())
+
+	// Phase 2: a new process resumes from the checkpoint.
+	resumed, err := freewayml.New(cfg, stream.Dim(), stream.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resumed.Close()
+	if err := resumed.Load(bytes.NewReader(checkpoint.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("resumed from checkpoint; continuing the stream")
+
+	for {
+		b, ok := stream.Next()
+		if !ok {
+			break
+		}
+		res, err := resumed.ProcessBatch(b.X, b.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		processed++
+		if res.Strategy == "knowledge-reuse" {
+			fmt.Printf("batch %3d: reoccurring regime served by pre-checkpoint knowledge (acc %.1f%%)\n",
+				processed, 100*res.Accuracy)
+		}
+	}
+	final := resumed.Stats()
+	fmt.Printf("after resume: %d more batches, G_acc %.2f%%, %d knowledge entries\n",
+		final.Batches, 100*final.GAcc, final.KnowledgeEntries)
+}

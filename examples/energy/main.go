@@ -1,0 +1,63 @@
+// Energy example: electricity price movement prediction over an Elec2-style
+// market stream with localized daily variation, sudden price shocks, and
+// reoccurring market regimes — the power-scheduling scenario from the
+// paper's introduction. The example also demonstrates the rate-aware
+// posture: inference continues every batch while the long-granularity model
+// updates asynchronously.
+//
+//	go run ./examples/energy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freewayml"
+)
+
+func main() {
+	stream, err := freewayml.OpenDataset("Electricity", 128, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := freewayml.DefaultConfig()
+	cfg.Async = true // long-model updates must never block dispatch decisions
+	learner, err := freewayml.New(cfg, stream.Dim(), stream.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer learner.Close()
+
+	// Track how often each mechanism carried the prediction, and the
+	// accuracy during sudden price shocks specifically.
+	strategies := map[string]int{}
+	var shockAcc float64
+	shocks := 0
+	for {
+		batch, ok := stream.Next()
+		if !ok {
+			break
+		}
+		res, err := learner.ProcessBatch(batch.X, batch.Y)
+		if err != nil {
+			log.Fatal(err)
+		}
+		strategies[res.Strategy]++
+		if batch.Drift == "sudden" {
+			shocks++
+			shockAcc += res.Accuracy
+		}
+	}
+
+	stats := learner.Stats()
+	fmt.Printf("price-direction accuracy (G_acc): %.2f%%  stability (SI): %.3f\n",
+		100*stats.GAcc, stats.SI)
+	if shocks > 0 {
+		fmt.Printf("accuracy during %d price-shock batches: %.2f%%\n", shocks, 100*shockAcc/float64(shocks))
+	}
+	fmt.Println("mechanism usage:")
+	for name, n := range strategies {
+		fmt.Printf("  %-32s %4d batches\n", name, n)
+	}
+}

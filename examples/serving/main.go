@@ -1,0 +1,78 @@
+// Serving example: FreewayML as a network service. The learner runs behind
+// the HTTP JSON API of cmd/freeway-serve; this example starts the server
+// in-process, streams an electricity-market dataset at it over HTTP (as a
+// producer would in production), and polls the service's prequential stats.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	"freewayml/internal/core"
+	"freewayml/internal/datasets"
+	"freewayml/internal/serve"
+)
+
+func main() {
+	src, err := datasets.Build("Electricity", 128, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Shift.WarmupPoints = 256
+	server, err := serve.New(cfg, src.Dim(), src.Classes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer server.Close()
+
+	ts := httptest.NewServer(server)
+	defer ts.Close()
+	fmt.Println("FreewayML service listening on", ts.URL)
+
+	client := ts.Client()
+	sent := 0
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		body, err := json.Marshal(serve.ProcessRequest{X: b.X, Y: b.Y})
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := client.Post(ts.URL+"/v1/process", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out serve.ProcessResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		sent++
+		if sent%25 == 0 {
+			fmt.Printf("batch %3d over HTTP: pattern=%-16s strategy=%-30s acc=%.3f\n",
+				sent, out.Pattern, out.Strategy, out.Accuracy)
+		}
+	}
+
+	statsResp, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats serve.StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nservice processed %d batches (%d samples) over HTTP\n", stats.Batches, stats.Samples)
+	fmt.Printf("G_acc %.2f%%  SI %.3f  knowledge %d entries / %d bytes\n",
+		100*stats.GAcc, stats.SI, stats.KnowledgeEntries, stats.KnowledgeBytes)
+}

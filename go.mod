@@ -1,0 +1,3 @@
+module freewayml
+
+go 1.22

@@ -1,0 +1,64 @@
+// Package baselines re-implements the six SML frameworks the paper compares
+// against, behind one Framework interface. The originals are external
+// systems (Flink ML, Spark MLlib, Alink, River, Camel, A-GEM); what the
+// evaluation contrasts is their *update policies*, so each baseline here
+// reproduces its framework's documented policy on top of the same model and
+// NN substrate FreewayML uses — watermark-batched updates (Flink ML),
+// averaged mini-batch gradients (Spark MLlib), FOBOS proximal updates
+// (Alink), drift-detector-triggered resets (River), similarity-based data
+// selection (Camel), and episodic-memory gradient projection (A-GEM).
+package baselines
+
+import (
+	"errors"
+
+	"freewayml/internal/model"
+	"freewayml/internal/stream"
+)
+
+// Framework is one streaming-learning system under prequential evaluation:
+// every batch is first inferred, then (labels known) used for training.
+type Framework interface {
+	// Name identifies the framework as the paper spells it.
+	Name() string
+	// Infer predicts labels for the batch.
+	Infer(b stream.Batch) ([]int, error)
+	// Train incrementally updates the framework with the labeled batch.
+	Train(b stream.Batch) error
+}
+
+// Plain wraps a bare streaming model with no adaptation mechanism at all —
+// the "original Streaming MLP/LR/CNN" the paper's Table II and the appendix
+// compare FreewayML's mechanisms against.
+type Plain struct {
+	m model.Model
+}
+
+// NewPlain builds the mechanism-free streaming baseline.
+func NewPlain(factory model.Factory, dim, classes int) (*Plain, error) {
+	m, err := factory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &Plain{m: m}, nil
+}
+
+// Name returns the wrapped model's family name.
+func (p *Plain) Name() string { return p.m.Name() }
+
+// Infer predicts with the current model.
+func (p *Plain) Infer(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return p.m.Predict(b.X), nil
+}
+
+// Train performs one mini-batch SGD update.
+func (p *Plain) Train(b stream.Batch) error {
+	if !b.Labeled() {
+		return errors.New("baselines: Train requires labels")
+	}
+	_, err := p.m.Fit(b.X, b.Y)
+	return err
+}

@@ -1,0 +1,156 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"freewayml/internal/model"
+	"freewayml/internal/stream"
+)
+
+// Camel models the SIGMOD'22 Camel system: data selection for efficient
+// stream learning. Each labeled batch is scored and only the most useful
+// fraction is used for training — samples the current model is least
+// certain about (smallest prediction margin) carry the most information —
+// augmented with buffered past samples most similar to the current batch.
+// The scoring pass is the data-management overhead visible in the paper's
+// Fig. 10/Table III (Camel slower than River).
+type Camel struct {
+	m model.Model
+	// SelectFraction of each batch is kept for training.
+	selectFraction float64
+	// buffer of past selected samples for similarity-based augmentation.
+	bufX   [][]float64
+	bufY   []int
+	bufCap int
+}
+
+// NewCamel builds the baseline; selectFraction in (0, 1], bufCap >= 0.
+func NewCamel(factory model.Factory, dim, classes int, selectFraction float64, bufCap int) (*Camel, error) {
+	if selectFraction <= 0 || selectFraction > 1 {
+		return nil, errors.New("baselines: selectFraction must be in (0, 1]")
+	}
+	if bufCap < 0 {
+		return nil, errors.New("baselines: bufCap must be >= 0")
+	}
+	m, err := factory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &Camel{m: m, selectFraction: selectFraction, bufCap: bufCap}, nil
+}
+
+// Name returns "Camel".
+func (c *Camel) Name() string { return "Camel" }
+
+// Infer predicts with the current model.
+func (c *Camel) Infer(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return c.m.Predict(b.X), nil
+}
+
+// Train selects the low-margin fraction of the batch, augments it with the
+// most similar buffered samples, and updates on the selection.
+func (c *Camel) Train(b stream.Batch) error {
+	if !b.Labeled() {
+		return errors.New("baselines: Train requires labels")
+	}
+	proba := c.m.PredictProba(b.X)
+	type scored struct {
+		idx    int
+		margin float64
+	}
+	scores := make([]scored, len(b.X))
+	for i, p := range proba {
+		scores[i] = scored{idx: i, margin: margin(p)}
+	}
+	sort.Slice(scores, func(i, j int) bool { return scores[i].margin < scores[j].margin })
+	keep := int(math.Ceil(c.selectFraction * float64(len(b.X))))
+	selX := make([][]float64, 0, keep+8)
+	selY := make([]int, 0, keep+8)
+	for _, s := range scores[:keep] {
+		selX = append(selX, b.X[s.idx])
+		selY = append(selY, b.Y[s.idx])
+	}
+
+	// Similarity augmentation: buffered samples closest to the batch mean.
+	if len(c.bufX) > 0 {
+		mean := rowMean(b.X)
+		type near struct {
+			idx  int
+			dist float64
+		}
+		nears := make([]near, len(c.bufX))
+		for i, x := range c.bufX {
+			nears[i] = near{idx: i, dist: sqDistRow(x, mean)}
+		}
+		sort.Slice(nears, func(i, j int) bool { return nears[i].dist < nears[j].dist })
+		aug := len(selX) / 4
+		if aug > len(nears) {
+			aug = len(nears)
+		}
+		for _, nr := range nears[:aug] {
+			selX = append(selX, c.bufX[nr.idx])
+			selY = append(selY, c.bufY[nr.idx])
+		}
+	}
+
+	if _, err := c.m.Fit(selX, selY); err != nil {
+		return err
+	}
+
+	// Refresh the buffer with this batch's selection.
+	if c.bufCap > 0 {
+		c.bufX = append(c.bufX, selX[:keep]...)
+		c.bufY = append(c.bufY, selY[:keep]...)
+		if over := len(c.bufX) - c.bufCap; over > 0 {
+			c.bufX = append([][]float64(nil), c.bufX[over:]...)
+			c.bufY = append([]int(nil), c.bufY[over:]...)
+		}
+	}
+	return nil
+}
+
+// margin returns the gap between the top two probabilities (0 = most
+// uncertain).
+func margin(p []float64) float64 {
+	best, second := -1.0, -1.0
+	for _, v := range p {
+		switch {
+		case v > best:
+			second = best
+			best = v
+		case v > second:
+			second = v
+		}
+	}
+	if second < 0 {
+		return best
+	}
+	return best - second
+}
+
+func rowMean(x [][]float64) []float64 {
+	m := make([]float64, len(x[0]))
+	for _, row := range x {
+		for j, v := range row {
+			m[j] += v
+		}
+	}
+	for j := range m {
+		m[j] /= float64(len(x))
+	}
+	return m
+}
+
+func sqDistRow(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"errors"
+
+	"freewayml/internal/model"
+	"freewayml/internal/stream"
+)
+
+// FlinkML models Apache Flink ML's watermark-driven processing: labeled
+// batches are buffered and the model is updated only when a watermark fires
+// (every Watermark batches), training on everything accumulated since the
+// previous watermark. Inference always uses the latest committed model.
+// The buffering improves per-update data volume but delays adaptation —
+// the behaviour visible in the paper's Table I (lower accuracy under drift)
+// and Table III (higher update latency).
+type FlinkML struct {
+	m         model.Model
+	watermark int
+	bufX      [][]float64
+	bufY      []int
+	pending   int
+}
+
+// NewFlinkML builds the baseline; watermark must be >= 1 (1 degrades to
+// per-batch updates).
+func NewFlinkML(factory model.Factory, dim, classes, watermark int) (*FlinkML, error) {
+	if watermark < 1 {
+		return nil, errors.New("baselines: watermark must be >= 1")
+	}
+	m, err := factory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &FlinkML{m: m, watermark: watermark}, nil
+}
+
+// Name returns "Flink ML".
+func (f *FlinkML) Name() string { return "Flink ML" }
+
+// Infer predicts with the last committed model.
+func (f *FlinkML) Infer(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return f.m.Predict(b.X), nil
+}
+
+// Train buffers the batch and updates the model when the watermark fires.
+func (f *FlinkML) Train(b stream.Batch) error {
+	if !b.Labeled() {
+		return errors.New("baselines: Train requires labels")
+	}
+	f.bufX = append(f.bufX, b.X...)
+	f.bufY = append(f.bufY, b.Y...)
+	f.pending++
+	if f.pending < f.watermark {
+		return nil
+	}
+	_, err := f.m.Fit(f.bufX, f.bufY)
+	f.bufX = f.bufX[:0]
+	f.bufY = f.bufY[:0]
+	f.pending = 0
+	return err
+}

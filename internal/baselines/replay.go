@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"errors"
+	"math/rand"
+
+	"freewayml/internal/model"
+	"freewayml/internal/stream"
+)
+
+// Replay is the data-replay family of the paper's related work (Sec. II-B2):
+// a reservoir of past samples is mixed into every update so old knowledge
+// is periodically retrained — the classic mitigation for catastrophic
+// forgetting, at the cost of extra training work and the noise of stale
+// samples under genuine drift.
+type Replay struct {
+	m model.Model
+
+	bufX     [][]float64
+	bufY     []int
+	capacity int
+	mix      int // replay samples mixed into each update
+	seen     int
+	rng      *rand.Rand
+}
+
+// NewReplay builds the baseline; capacity is the reservoir size and mix how
+// many replayed samples join each batch's update.
+func NewReplay(factory model.Factory, dim, classes, capacity, mix int, seed int64) (*Replay, error) {
+	if capacity < 1 {
+		return nil, errors.New("baselines: replay capacity must be >= 1")
+	}
+	if mix < 1 {
+		return nil, errors.New("baselines: replay mix must be >= 1")
+	}
+	m, err := factory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	return &Replay{m: m, capacity: capacity, mix: mix, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Name returns "Replay".
+func (r *Replay) Name() string { return "Replay" }
+
+// BufLen returns the reservoir's current size.
+func (r *Replay) BufLen() int { return len(r.bufX) }
+
+// Infer predicts with the current model.
+func (r *Replay) Infer(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return r.m.Predict(b.X), nil
+}
+
+// Train updates on the batch augmented with a replay sample, then folds the
+// batch into the reservoir.
+func (r *Replay) Train(b stream.Batch) error {
+	if !b.Labeled() {
+		return errors.New("baselines: Train requires labels")
+	}
+	x := b.X
+	y := b.Y
+	if len(r.bufX) > 0 {
+		n := r.mix
+		if n > len(r.bufX) {
+			n = len(r.bufX)
+		}
+		x = append(append([][]float64{}, b.X...), make([][]float64, 0, n)...)
+		y = append(append([]int{}, b.Y...), make([]int, 0, n)...)
+		perm := r.rng.Perm(len(r.bufX))
+		for i := 0; i < n; i++ {
+			x = append(x, r.bufX[perm[i]])
+			y = append(y, r.bufY[perm[i]])
+		}
+	}
+	if _, err := r.m.Fit(x, y); err != nil {
+		return err
+	}
+	// Reservoir sampling of the raw batch.
+	for i := range b.X {
+		r.seen++
+		if len(r.bufX) < r.capacity {
+			r.bufX = append(r.bufX, b.X[i])
+			r.bufY = append(r.bufY, b.Y[i])
+			continue
+		}
+		if j := r.rng.Intn(r.seen); j < r.capacity {
+			r.bufX[j] = b.X[i]
+			r.bufY[j] = b.Y[i]
+		}
+	}
+	return nil
+}

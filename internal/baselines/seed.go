@@ -1,0 +1,154 @@
+package baselines
+
+import (
+	"errors"
+	"math"
+
+	"freewayml/internal/model"
+	"freewayml/internal/stream"
+)
+
+// SEED models the expert-selection family the paper discusses (Sec. II-B1,
+// Rypeść et al.): a pool of expert models, each with a Gaussian signature of
+// the data it was trained on; every batch is routed to the expert whose
+// signature is nearest and only that expert fine-tunes. New experts spawn
+// when no signature is close, up to the pool bound — so reoccurring regimes
+// get their old expert back, without FreewayML's pattern classifier or
+// snapshot store.
+type SEED struct {
+	factory model.Factory
+	dim     int
+	classes int
+
+	experts []seedExpert
+	// SpawnFactor: a new expert spawns when the nearest signature is
+	// farther than SpawnFactor × its running mean match distance.
+	spawnFactor float64
+	maxExperts  int
+}
+
+type seedExpert struct {
+	m model.Model
+	// Gaussian signature of the expert's training data (feature means).
+	mean  []float64
+	count float64
+	// Running mean of match distances, for the spawn rule.
+	matchDist  float64
+	matchCount float64
+}
+
+// NewSEED builds the baseline with at most maxExperts experts.
+func NewSEED(factory model.Factory, dim, classes, maxExperts int, spawnFactor float64) (*SEED, error) {
+	if maxExperts < 1 {
+		return nil, errors.New("baselines: SEED maxExperts must be >= 1")
+	}
+	if spawnFactor <= 1 {
+		return nil, errors.New("baselines: SEED spawnFactor must be > 1")
+	}
+	return &SEED{factory: factory, dim: dim, classes: classes, maxExperts: maxExperts, spawnFactor: spawnFactor}, nil
+}
+
+// Name returns "SEED".
+func (s *SEED) Name() string { return "SEED" }
+
+// Experts returns the current pool size.
+func (s *SEED) Experts() int { return len(s.experts) }
+
+// route returns the nearest expert's index and distance (-1 on empty pool).
+func (s *SEED) route(b stream.Batch) (int, float64) {
+	mean := batchMean(b.X)
+	best, bestD := -1, math.Inf(1)
+	for i := range s.experts {
+		if d := dist(mean, s.experts[i].mean); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}
+
+// Infer predicts with the nearest expert (uniform guesses before any expert
+// exists).
+func (s *SEED) Infer(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	idx, _ := s.route(b)
+	if idx < 0 {
+		return make([]int, len(b.X)), nil
+	}
+	return s.experts[idx].m.Predict(b.X), nil
+}
+
+// Train routes the batch to its expert (spawning one if the match is poor)
+// and fine-tunes only that expert, updating its signature.
+func (s *SEED) Train(b stream.Batch) error {
+	if !b.Labeled() {
+		return errors.New("baselines: Train requires labels")
+	}
+	idx, d := s.route(b)
+	spawn := idx < 0
+	if !spawn && len(s.experts) < s.maxExperts {
+		e := &s.experts[idx]
+		// Spawn only once the expert has a settled match-distance scale; the
+		// first few routed batches establish it.
+		if e.matchCount >= 3 && d > s.spawnFactor*e.matchDist/e.matchCount {
+			spawn = true
+		}
+	}
+	if spawn && len(s.experts) < s.maxExperts {
+		m, err := s.factory(s.dim, s.classes)
+		if err != nil {
+			return err
+		}
+		s.experts = append(s.experts, seedExpert{m: m, mean: batchMean(b.X)})
+		idx = len(s.experts) - 1
+	}
+
+	e := &s.experts[idx]
+	if _, err := e.m.Fit(b.X, b.Y); err != nil {
+		return err
+	}
+	if spawn {
+		// A fresh expert has no match scale yet; its first routed batches
+		// will establish one.
+		e.count = 1
+		return nil
+	}
+	// Update the Gaussian signature with the batch mean.
+	mean := batchMean(b.X)
+	e.count++
+	lr := 1 / e.count
+	if lr < 0.05 {
+		lr = 0.05 // keep signatures tracking slow drift
+	}
+	for j := range e.mean {
+		e.mean[j] += lr * (mean[j] - e.mean[j])
+	}
+	e.matchDist += d
+	e.matchCount++
+	return nil
+}
+
+// batchMean returns the per-feature mean of a batch.
+func batchMean(x [][]float64) []float64 {
+	m := make([]float64, len(x[0]))
+	for _, row := range x {
+		for j, v := range row {
+			m[j] += v
+		}
+	}
+	for j := range m {
+		m[j] /= float64(len(x))
+	}
+	return m
+}
+
+// dist returns the Euclidean distance between two vectors.
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,115 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/stream"
+)
+
+func TestSEEDValidation(t *testing.T) {
+	f := factory(t)
+	if _, err := NewSEED(f, 4, 2, 0, 3); err == nil {
+		t.Error("maxExperts 0 should error")
+	}
+	if _, err := NewSEED(f, 4, 2, 4, 1); err == nil {
+		t.Error("spawnFactor <= 1 should error")
+	}
+	fw, _ := NewSEED(f, 4, 2, 4, 3)
+	if err := fw.Train(stream.Batch{X: [][]float64{{1, 2, 3, 4}}}); err == nil {
+		t.Error("unlabeled Train should error")
+	}
+	if _, err := fw.Infer(stream.Batch{}); err == nil {
+		t.Error("empty Infer should error")
+	}
+}
+
+func TestSEEDLearnsViaRegistry(t *testing.T) {
+	fw, err := Build("SEED", factory(t), 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := runPrequential(t, fw, 40); acc < 0.85 {
+		t.Errorf("SEED accuracy = %v", acc)
+	}
+}
+
+func TestSEEDSpawnsExpertPerRegime(t *testing.T) {
+	fw, err := NewSEED(factory(t), 3, 2, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	mk := func(offset float64, seq int) stream.Batch {
+		x := make([][]float64, 64)
+		y := make([]int, 64)
+		for i := range x {
+			c := rng.Intn(2)
+			x[i] = []float64{offset + float64(c)*2 + rng.NormFloat64()*0.3, offset + rng.NormFloat64()*0.3, 0}
+			y[i] = c
+		}
+		return stream.Batch{Seq: seq, X: x, Y: y}
+	}
+	for s := 0; s < 15; s++ {
+		if err := fw.Train(mk(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Experts() != 1 {
+		t.Fatalf("one regime should keep one expert, got %d", fw.Experts())
+	}
+	// A far-away regime must spawn a second expert.
+	for s := 15; s < 30; s++ {
+		if err := fw.Train(mk(30, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Experts() < 2 {
+		t.Errorf("distinct regime did not spawn an expert: %d", fw.Experts())
+	}
+	experts := fw.Experts()
+	// Returning to the first regime must route back, not spawn again.
+	for s := 30; s < 40; s++ {
+		if err := fw.Train(mk(0, s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Experts() != experts {
+		t.Errorf("reoccurring regime spawned a new expert: %d -> %d", experts, fw.Experts())
+	}
+}
+
+func TestSEEDPoolBounded(t *testing.T) {
+	fw, err := NewSEED(factory(t), 3, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for s := 0; s < 20; s++ {
+		offset := float64(s * 15) // every batch a new regime
+		x := make([][]float64, 32)
+		y := make([]int, 32)
+		for i := range x {
+			c := rng.Intn(2)
+			x[i] = []float64{offset + float64(c)*2, offset, 0}
+			y[i] = c
+		}
+		if err := fw.Train(stream.Batch{Seq: s, X: x, Y: y}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fw.Experts() > 2 {
+		t.Errorf("pool exceeded bound: %d", fw.Experts())
+	}
+}
+
+func TestSEEDInferBeforeTraining(t *testing.T) {
+	fw, _ := NewSEED(factory(t), 3, 2, 4, 3)
+	pred, err := fw.Infer(stream.Batch{X: [][]float64{{1, 2, 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 1 {
+		t.Errorf("pred = %v", pred)
+	}
+}

@@ -1,0 +1,30 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := blobs(rng, [][]float64{{0, 0}, {8, 8}, {-8, 8}}, 100, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(x, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCEC(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	expX, expY := blobs(rng, centers, 20, 0.5)
+	batch, _ := blobs(rng, centers, 100, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CEC(batch, expX, expY, 3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// CEC performs coherent experience clustering (paper Sec. IV-C): it clusters
+// the unlabeled current batch together with m recent labeled points, then
+// maps each cluster to the majority label of its labeled members. Clusters
+// containing no labeled member inherit the label of the nearest labeled
+// cluster centroid. It returns the predicted labels for the unlabeled batch.
+//
+// numClasses is c, the number of clusters (one per label, as in the paper).
+// seed makes the clustering deterministic.
+func CEC(batch [][]float64, expX [][]float64, expY []int, numClasses int, seed int64) ([]int, error) {
+	return CECK(batch, expX, expY, numClasses, numClasses, seed)
+}
+
+// CECK is CEC with an independent cluster count k ≥ numClasses:
+// over-clustering lets non-spherical or imbalanced classes occupy several
+// clusters each, with the majority-label vote still mapping every cluster to
+// one label.
+func CECK(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, seed int64) ([]int, error) {
+	pred, _, err := CECKWithScore(batch, expX, expY, k, numClasses, seed)
+	return pred, err
+}
+
+// CECKWithScore additionally reports the experience agreement: the fraction
+// of labeled experience points whose cluster-mapped label matches their true
+// label. Agreement near 1 means the clustering aligns with the class
+// structure; low agreement means clusters cut across classes and the CEC
+// output should not be trusted (the quality check behind the paper's
+// limitation discussion in Sec. VI-F).
+func CECKWithScore(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, seed int64) ([]int, float64, error) {
+	if k < numClasses {
+		return nil, 0, errors.New("cluster: CECK needs k >= numClasses")
+	}
+	if len(batch) == 0 {
+		return nil, 0, errors.New("cluster: CEC empty batch")
+	}
+	if len(expX) != len(expY) {
+		return nil, 0, errors.New("cluster: CEC experience size mismatch")
+	}
+	if len(expX) == 0 {
+		return nil, 0, errors.New("cluster: CEC requires labeled experience")
+	}
+	if numClasses < 1 {
+		return nil, 0, errors.New("cluster: CEC numClasses must be >= 1")
+	}
+	for _, y := range expY {
+		if y < 0 || y >= numClasses {
+			return nil, 0, errors.New("cluster: CEC experience label out of range")
+		}
+	}
+
+	// Joint clustering of current batch + coherent experience.
+	joint := make([][]float64, 0, len(batch)+len(expX))
+	joint = append(joint, batch...)
+	joint = append(joint, expX...)
+	if k > len(joint) {
+		k = len(joint)
+	}
+	res, err := KMeans(joint, k, seed)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// Vote: labeled members elect each cluster's label.
+	votes := make([][]int, k)
+	for i := range votes {
+		votes[i] = make([]int, numClasses)
+	}
+	for j, y := range expY {
+		c := res.Assignment[len(batch)+j]
+		votes[c][y]++
+	}
+	clusterLabel := make([]int, k)
+	for c := range clusterLabel {
+		clusterLabel[c] = -1
+		best := 0
+		for y, n := range votes[c] {
+			if n > best {
+				best = n
+				clusterLabel[c] = y
+			}
+		}
+	}
+
+	// Clusters with no labeled member: inherit from the nearest labeled
+	// cluster centroid.
+	for c := range clusterLabel {
+		if clusterLabel[c] >= 0 {
+			continue
+		}
+		bestD := math.Inf(1)
+		label := 0
+		for c2 := range clusterLabel {
+			if clusterLabel[c2] < 0 {
+				continue
+			}
+			if d := sqDist(res.Centroids[c], res.Centroids[c2]); d < bestD {
+				bestD = d
+				label = clusterLabel[c2]
+			}
+		}
+		clusterLabel[c] = label
+	}
+
+	out := make([]int, len(batch))
+	for i := range batch {
+		out[i] = clusterLabel[res.Assignment[i]]
+	}
+
+	// Experience agreement: how well the mapping reproduces the known
+	// labels of the experience points.
+	correct := 0
+	for j, y := range expY {
+		if clusterLabel[res.Assignment[len(batch)+j]] == y {
+			correct++
+		}
+	}
+	agreement := float64(correct) / float64(len(expY))
+	return out, agreement, nil
+}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCECKWithScoreHighAgreementOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	centers := [][]float64{{0, 0}, {15, 15}}
+	expX, expY := blobs(rng, centers, 12, 0.5)
+	batch, _ := blobs(rng, centers, 30, 0.5)
+	_, agreement, err := CECKWithScore(batch, expX, expY, 4, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement < 0.95 {
+		t.Errorf("agreement on separable data = %v", agreement)
+	}
+}
+
+func TestCECKWithScoreLowAgreementWhenClustersCutClasses(t *testing.T) {
+	// One isotropic blob whose labels are decided by a hyperplane through
+	// its center: clusters cannot align with classes.
+	rng := rand.New(rand.NewSource(22))
+	mk := func(n int) ([][]float64, []int) {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			if x[i][0]+x[i][1] > 0 {
+				y[i] = 1
+			}
+		}
+		return x, y
+	}
+	expX, expY := mk(40)
+	batch, _ := mk(60)
+	_, agreement, err := CECKWithScore(batch, expX, expY, 2, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agreement > 0.9 {
+		t.Errorf("agreement on class-cutting blob = %v, expected low", agreement)
+	}
+}
+
+func TestCECKRejectsKBelowClasses(t *testing.T) {
+	if _, err := CECK([][]float64{{1}}, [][]float64{{1}}, []int{0}, 1, 2, 1); err == nil {
+		t.Error("k < numClasses should error")
+	}
+}

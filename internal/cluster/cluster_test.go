@@ -1,0 +1,251 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates n points around each of the given centers.
+func blobs(rng *rand.Rand, centers [][]float64, n int, spread float64) ([][]float64, []int) {
+	var x [][]float64
+	var y []int
+	for c, center := range centers {
+		for i := 0; i < n; i++ {
+			p := make([]float64, len(center))
+			for j := range p {
+				p[j] = center[j] + rng.NormFloat64()*spread
+			}
+			x = append(x, p)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, 1); err == nil {
+		t.Error("empty points should error")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, 1); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := KMeans([][]float64{{1}}, 2, 1); err == nil {
+		t.Error("fewer points than k should error")
+	}
+	if _, err := KMeans([][]float64{{1}, {1, 2}}, 1, 1); err == nil {
+		t.Error("ragged points should error")
+	}
+}
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 10}}
+	x, truth := blobs(rng, centers, 50, 0.5)
+	res, err := KMeans(x, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true cluster must map to a single k-means cluster (purity 1).
+	mapping := map[int]map[int]int{}
+	for i, c := range res.Assignment {
+		if mapping[truth[i]] == nil {
+			mapping[truth[i]] = map[int]int{}
+		}
+		mapping[truth[i]][c]++
+	}
+	for tc, dist := range mapping {
+		if len(dist) != 1 {
+			t.Errorf("true cluster %d split across %v", tc, dist)
+		}
+	}
+	if res.Iterations <= 0 || res.Iterations > maxKMeansIterations {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestKMeansDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, _ := blobs(rng, [][]float64{{0, 0}, {5, 5}}, 30, 0.5)
+	a, err := KMeans(x, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KMeans(x, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignment {
+		if a.Assignment[i] != b.Assignment[i] {
+			t.Fatal("same seed produced different assignments")
+		}
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	x := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	res, err := KMeans(x, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range res.Assignment {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("k=n should give singleton clusters, got %v", res.Assignment)
+	}
+	if in := res.Inertia(x); in > 1e-9 {
+		t.Errorf("inertia = %v, want 0", in)
+	}
+}
+
+func TestKMeansIdenticalPoints(t *testing.T) {
+	x := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	res, err := KMeans(x, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in := res.Inertia(x); in > 1e-9 {
+		t.Errorf("inertia on identical points = %v", in)
+	}
+}
+
+func TestInertiaDecreasesWithMoreClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, _ := blobs(rng, [][]float64{{0, 0}, {8, 8}, {-8, 8}, {8, -8}}, 40, 1.0)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		res, err := KMeans(x, k, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := res.Inertia(x)
+		if in > prev+1e-9 {
+			t.Errorf("inertia increased at k=%d: %v > %v", k, in, prev)
+		}
+		prev = in
+	}
+}
+
+func TestCECMapsClustersToLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	centers := [][]float64{{0, 0}, {12, 12}, {-12, 12}}
+	// Labeled experience from the same distribution.
+	expX, expY := blobs(rng, centers, 10, 0.5)
+	// Unlabeled current batch.
+	batch, truth := blobs(rng, centers, 40, 0.5)
+	pred, err := CEC(batch, expX, expY, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range truth {
+		if pred[i] == truth[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(truth)); acc < 0.95 {
+		t.Errorf("CEC accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestCECErrors(t *testing.T) {
+	x := [][]float64{{1, 1}}
+	if _, err := CEC(nil, x, []int{0}, 2, 1); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, err := CEC(x, x, []int{0, 1}, 2, 1); err == nil {
+		t.Error("experience mismatch should error")
+	}
+	if _, err := CEC(x, nil, nil, 2, 1); err == nil {
+		t.Error("no experience should error")
+	}
+	if _, err := CEC(x, x, []int{5}, 2, 1); err == nil {
+		t.Error("out-of-range experience label should error")
+	}
+	if _, err := CEC(x, x, []int{0}, 0, 1); err == nil {
+		t.Error("numClasses 0 should error")
+	}
+}
+
+func TestCECWithMissingClassInExperience(t *testing.T) {
+	// Experience only covers class 0; predictions must still be valid labels.
+	rng := rand.New(rand.NewSource(5))
+	expX, expY := blobs(rng, [][]float64{{0, 0}}, 10, 0.5)
+	batch, _ := blobs(rng, [][]float64{{0, 0}, {12, 12}}, 20, 0.5)
+	pred, err := CEC(batch, expX, expY, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pred {
+		if p < 0 || p >= 2 {
+			t.Fatalf("invalid predicted label %d", p)
+		}
+	}
+}
+
+func TestCECMoreClassesThanPoints(t *testing.T) {
+	// k is capped at the joint point count.
+	batch := [][]float64{{0, 0}}
+	expX := [][]float64{{0.1, 0}}
+	expY := []int{1}
+	pred, err := CEC(batch, expX, expY, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 1 || pred[0] != 1 {
+		t.Errorf("pred = %v, want [1]", pred)
+	}
+}
+
+func TestExpBufferCapacity(t *testing.T) {
+	b, err := NewExpBuffer(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := [][]float64{{1}, {2}, {3}}
+	y := []int{0, 1, 0}
+	if err := b.AddBatch(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBatch(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d, want capacity 5", b.Len())
+	}
+	// Newest points survive: last stored value should be 3.
+	bx, by := b.Experience()
+	if bx[len(bx)-1][0] != 3 || by[len(by)-1] != 0 {
+		t.Errorf("unexpected tail: %v %v", bx[len(bx)-1], by[len(by)-1])
+	}
+}
+
+func TestExpBufferExpiration(t *testing.T) {
+	b, err := NewExpBuffer(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddBatch([][]float64{{1}}, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick()
+	b.Tick()
+	if b.Len() != 0 {
+		t.Errorf("expired point survived: Len = %d", b.Len())
+	}
+}
+
+func TestExpBufferValidation(t *testing.T) {
+	if _, err := NewExpBuffer(0, 0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+	if _, err := NewExpBuffer(1, -1); err == nil {
+		t.Error("negative maxAge should error")
+	}
+	b, _ := NewExpBuffer(2, 0)
+	if err := b.AddBatch([][]float64{{1}}, []int{0, 1}); err == nil {
+		t.Error("size mismatch should error")
+	}
+}

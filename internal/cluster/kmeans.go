@@ -1,0 +1,159 @@
+// Package cluster implements the unsupervised substrate of FreewayML's
+// sudden-shift mechanism: k-means with k-means++ seeding, and the coherent
+// experience clustering (CEC) of paper Sec. IV-C, which maps unlabeled
+// clusters onto labels using the most recent labeled points — the "coherent
+// experience" — clustered jointly with the new batch.
+package cluster
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// KMeansResult holds a fitted clustering.
+type KMeansResult struct {
+	Centroids  [][]float64
+	Assignment []int // Assignment[i] is the cluster of point i
+	Iterations int
+}
+
+// maxKMeansIterations bounds Lloyd's algorithm; the small per-batch
+// clusterings CEC runs converge in a handful of iterations.
+const maxKMeansIterations = 50
+
+// KMeans clusters the points into k clusters using k-means++ initialization
+// followed by Lloyd iterations, deterministic for a given seed. It returns
+// an error when the input is empty, ragged, or has fewer points than k.
+func KMeans(points [][]float64, k int, seed int64) (*KMeansResult, error) {
+	if len(points) == 0 {
+		return nil, errors.New("cluster: no points")
+	}
+	if k < 1 {
+		return nil, errors.New("cluster: k must be >= 1")
+	}
+	if len(points) < k {
+		return nil, errors.New("cluster: fewer points than clusters")
+	}
+	dim := len(points[0])
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("cluster: ragged points")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(points, k, rng)
+	assign := make([]int, len(points))
+	counts := make([]int, k)
+
+	iters := 0
+	for ; iters < maxKMeansIterations; iters++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, cen := range centroids {
+				if d := sqDist(p, cen); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		for c := range centroids {
+			for j := range centroids[c] {
+				centroids[c][j] = 0
+			}
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for j, v := range p {
+				centroids[c][j] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(centroids[c], points[rng.Intn(len(points))])
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			for j := range centroids[c] {
+				centroids[c][j] *= inv
+			}
+		}
+	}
+	return &KMeansResult{Centroids: centroids, Assignment: assign, Iterations: iters}, nil
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ D² weighting.
+func seedPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+	dim := len(points[0])
+	centroids := make([][]float64, 0, k)
+	first := points[rng.Intn(len(points))]
+	centroids = append(centroids, cloneRow(first, dim))
+
+	d2 := make([]float64, len(points))
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		var next []float64
+		if total == 0 {
+			next = points[rng.Intn(len(points))]
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = points[len(points)-1]
+			for i, w := range d2 {
+				acc += w
+				if acc >= target {
+					next = points[i]
+					break
+				}
+			}
+		}
+		centroids = append(centroids, cloneRow(next, dim))
+	}
+	return centroids
+}
+
+func cloneRow(row []float64, dim int) []float64 {
+	out := make([]float64, dim)
+	copy(out, row)
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Inertia returns the within-cluster sum of squared distances of a result
+// over the points it was fitted on.
+func (r *KMeansResult) Inertia(points [][]float64) float64 {
+	var s float64
+	for i, p := range points {
+		s += sqDist(p, r.Centroids[r.Assignment[i]])
+	}
+	return s
+}

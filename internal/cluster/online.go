@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+)
+
+// OnlineKMeans is a sequential (streaming) k-means: centroids update one
+// point at a time with a per-centroid learning rate 1/n_c, so clustering
+// keeps pace with the stream without re-running Lloyd iterations — the
+// streaming-clustering substrate referenced by the paper's related work
+// (DISC, DistStream) and usable as a cheaper CEC backend on high-rate
+// streams.
+type OnlineKMeans struct {
+	k         int
+	dim       int
+	centroids [][]float64
+	counts    []int
+	// DecayHalfLife, when positive, exponentially fades the effective
+	// counts so centroids track drifting streams rather than freezing;
+	// measured in observed points.
+	DecayHalfLife int
+	seen          int
+}
+
+// NewOnlineKMeans returns an online k-means for dim-dimensional points.
+func NewOnlineKMeans(k, dim int) (*OnlineKMeans, error) {
+	if k < 1 {
+		return nil, errors.New("cluster: OnlineKMeans k must be >= 1")
+	}
+	if dim < 1 {
+		return nil, errors.New("cluster: OnlineKMeans dim must be >= 1")
+	}
+	return &OnlineKMeans{k: k, dim: dim}, nil
+}
+
+// K returns the cluster count; Initialized reports whether all centroids
+// have been seeded.
+func (o *OnlineKMeans) K() int            { return o.k }
+func (o *OnlineKMeans) Initialized() bool { return len(o.centroids) == o.k }
+
+// Observe ingests one point: the first k distinct points seed the
+// centroids, subsequent points move their nearest centroid toward them.
+// It returns the index of the cluster the point was assigned to.
+func (o *OnlineKMeans) Observe(x []float64) (int, error) {
+	if len(x) != o.dim {
+		return 0, errors.New("cluster: OnlineKMeans dimension mismatch")
+	}
+	o.seen++
+	if len(o.centroids) < o.k {
+		c := make([]float64, o.dim)
+		copy(c, x)
+		o.centroids = append(o.centroids, c)
+		o.counts = append(o.counts, 1)
+		return len(o.centroids) - 1, nil
+	}
+	best, _ := o.Assign(x)
+	if o.DecayHalfLife > 0 {
+		// Exponential fade keeps the effective count bounded, so the
+		// per-point learning rate never vanishes on infinite streams.
+		decay := math.Exp(-math.Ln2 / float64(o.DecayHalfLife))
+		for i := range o.counts {
+			faded := float64(o.counts[i]) * decay
+			if faded < 1 {
+				faded = 1
+			}
+			o.counts[i] = int(faded)
+		}
+	}
+	o.counts[best]++
+	lr := 1 / float64(o.counts[best])
+	for j := range o.centroids[best] {
+		o.centroids[best][j] += lr * (x[j] - o.centroids[best][j])
+	}
+	return best, nil
+}
+
+// Assign returns the nearest centroid index and its squared distance
+// (0, +Inf when uninitialized).
+func (o *OnlineKMeans) Assign(x []float64) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c, cen := range o.centroids {
+		if d := sqDist(x, cen); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// Centroids returns copies of the current centroids.
+func (o *OnlineKMeans) Centroids() [][]float64 {
+	out := make([][]float64, len(o.centroids))
+	for i, c := range o.centroids {
+		out[i] = append([]float64(nil), c...)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOnlineKMeansValidation(t *testing.T) {
+	if _, err := NewOnlineKMeans(0, 2); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := NewOnlineKMeans(2, 0); err == nil {
+		t.Error("dim=0 should error")
+	}
+	o, _ := NewOnlineKMeans(2, 2)
+	if _, err := o.Observe([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestOnlineKMeansTracksBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o, err := NewOnlineKMeans(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centers := [][]float64{{0, 0}, {10, 10}}
+	for i := 0; i < 2000; i++ {
+		c := centers[rng.Intn(2)]
+		x := []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5}
+		if _, err := o.Observe(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.Initialized() || o.K() != 2 {
+		t.Fatal("not initialized")
+	}
+	// Each learned centroid must sit near one true center.
+	for _, cen := range o.Centroids() {
+		d0 := math.Hypot(cen[0]-0, cen[1]-0)
+		d1 := math.Hypot(cen[0]-10, cen[1]-10)
+		if math.Min(d0, d1) > 1 {
+			t.Errorf("centroid %v far from both true centers", cen)
+		}
+	}
+}
+
+func TestOnlineKMeansDecayTracksDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o, _ := NewOnlineKMeans(1, 1)
+	o.DecayHalfLife = 50
+	// Long stationary phase freezes a plain online k-means; decay keeps the
+	// learning rate alive so the centroid follows the moved distribution.
+	for i := 0; i < 3000; i++ {
+		if _, err := o.Observe([]float64{rng.NormFloat64() * 0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 1500; i++ {
+		if _, err := o.Observe([]float64{5 + rng.NormFloat64()*0.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := o.Centroids()[0][0]; math.Abs(c-5) > 0.5 {
+		t.Errorf("decayed centroid = %v, want near 5", c)
+	}
+}
+
+func TestOnlineKMeansAssignBeforeInit(t *testing.T) {
+	o, _ := NewOnlineKMeans(3, 2)
+	if _, d := o.Assign([]float64{1, 2}); !math.IsInf(d, 1) {
+		t.Errorf("uninitialized Assign distance = %v", d)
+	}
+}
+
+func TestOnlineKMeansCentroidsAreCopies(t *testing.T) {
+	o, _ := NewOnlineKMeans(1, 1)
+	if _, err := o.Observe([]float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	c := o.Centroids()
+	c[0][0] = 999
+	if o.Centroids()[0][0] == 999 {
+		t.Error("Centroids exposed internal storage")
+	}
+}

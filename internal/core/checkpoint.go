@@ -1,0 +1,140 @@
+package core
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"freewayml/internal/cluster"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+	"freewayml/internal/shift"
+)
+
+// checkpoint is the gob-serialized durable state of a Learner: everything
+// needed to stop a deployed stream and resume it later with identical
+// behaviour — model parameters, the shift detector (whose PCA space anchors
+// every stored distribution), the knowledge store, and the coherent
+// experience. The ASW contents and pending fixed-frequency buffers are
+// intentionally NOT serialized: they hold at most a few batches of
+// transient training data that the resumed stream replaces within one
+// window; a checkpoint stays small and the window restarts cleanly.
+type checkpoint struct {
+	Version       int
+	ModelFamily   string
+	Dim, Classes  int
+	Batch         int
+	GranSnapshots [][]byte
+	GranCentroids []linalg.Vector
+	LongSnapshot  []byte
+	LongCentroid  linalg.Vector
+	Detector      shift.State
+	Knowledge     []knowledge.EntrySnapshot
+	Experience    cluster.ExpBufferState
+}
+
+// checkpointVersion guards the on-disk format.
+const checkpointVersion = 1
+
+// SaveCheckpoint serializes the learner's durable state. Any in-flight
+// asynchronous long-model update is waited out first so the snapshot is
+// consistent.
+func (l *Learner) SaveCheckpoint(w io.Writer) error {
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	cp := checkpoint{
+		Version:     checkpointVersion,
+		ModelFamily: l.cfg.ModelFamily,
+		Dim:         l.grans[0].m.InDim(),
+		Classes:     l.grans[0].m.NumClasses(),
+		Batch:       l.batch,
+		Detector:    l.det.State(),
+		Experience:  l.exp.Export(),
+	}
+	for _, g := range l.grans {
+		snap, err := g.m.Snapshot()
+		if err != nil {
+			return fmt.Errorf("core: checkpoint short model: %w", err)
+		}
+		cp.GranSnapshots = append(cp.GranSnapshots, snap)
+		var c linalg.Vector
+		if g.centroid != nil {
+			c = g.centroid.Clone()
+		}
+		cp.GranCentroids = append(cp.GranCentroids, c)
+	}
+	longSnap, err := l.long.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint long model: %w", err)
+	}
+	cp.LongSnapshot = longSnap
+	if l.longCentroid != nil {
+		cp.LongCentroid = l.longCentroid.Clone()
+	}
+	entries, err := l.kdg.Export()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint knowledge: %w", err)
+	}
+	cp.Knowledge = entries
+
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("core: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint restores a learner from a checkpoint written by a learner
+// with the same configuration and stream shape.
+func (l *Learner) LoadCheckpoint(r io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return fmt.Errorf("core: decode checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("core: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if cp.ModelFamily != l.cfg.ModelFamily {
+		return fmt.Errorf("core: checkpoint family %q, learner is %q", cp.ModelFamily, l.cfg.ModelFamily)
+	}
+	if cp.Dim != l.grans[0].m.InDim() || cp.Classes != l.grans[0].m.NumClasses() {
+		return fmt.Errorf("core: checkpoint shape %dx%d, learner is %dx%d",
+			cp.Dim, cp.Classes, l.grans[0].m.InDim(), l.grans[0].m.NumClasses())
+	}
+	if len(cp.GranSnapshots) != len(l.grans) {
+		return errors.New("core: checkpoint granularity count mismatch (different ModelNum?)")
+	}
+
+	l.wg.Wait()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	for i, g := range l.grans {
+		if err := g.m.Restore(cp.GranSnapshots[i]); err != nil {
+			return fmt.Errorf("core: restore granularity %d: %w", i, err)
+		}
+		g.centroid = cp.GranCentroids[i]
+		g.bufX, g.bufY, g.pending = nil, nil, 0
+	}
+	if err := l.long.Restore(cp.LongSnapshot); err != nil {
+		return fmt.Errorf("core: restore long model: %w", err)
+	}
+	l.longCentroid = cp.LongCentroid
+	if err := l.det.RestoreState(cp.Detector); err != nil {
+		return fmt.Errorf("core: restore detector: %w", err)
+	}
+	if err := l.kdg.Import(cp.Knowledge); err != nil {
+		return fmt.Errorf("core: restore knowledge: %w", err)
+	}
+	if err := l.exp.Import(cp.Experience); err != nil {
+		return fmt.Errorf("core: restore experience: %w", err)
+	}
+	l.asw.Reset()
+	if l.pre != nil {
+		l.pre.Start()
+	}
+	l.batch = cp.Batch
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"freewayml/internal/stream"
+)
+
+func TestCheckpointRoundtripPreservesBehaviour(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window.MaxBatches = 3
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	// Drive through multiple regimes so the knowledge store, detector
+	// history, and experience buffer all carry state.
+	seq := 0
+	for s := 0; s < 30; s++ {
+		if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	for s := 0; s < 10; s++ {
+		if _, err := l.Process(driftBatch(rng, seq, 64, 8, 8, stream.KindSudden)); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	if l.KnowledgeStore().Len() == 0 {
+		t.Fatal("no knowledge before checkpoint")
+	}
+
+	var buf bytes.Buffer
+	if err := l.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored learner must predict identically on a probe batch: same
+	// short/long weights, same detector projection, same pattern verdict.
+	probe := driftBatch(rng, seq, 64, 8, 8, stream.KindNone)
+	probe.Y = nil
+	// Rebuild the original learner from the same checkpoint so both sides
+	// share identical state (the original kept evolving its detector above).
+	original, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer original.Close()
+	if err := original.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := original.Process(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := restored.Process(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Pattern != r2.Pattern || r1.Strategy != r2.Strategy {
+		t.Errorf("diverged: %v/%v vs %v/%v", r1.Pattern, r1.Strategy, r2.Pattern, r2.Strategy)
+	}
+	for i := range r1.Pred {
+		if r1.Pred[i] != r2.Pred[i] {
+			t.Fatal("restored learner predicts differently")
+		}
+	}
+	if restored.KnowledgeStore().Len() == 0 {
+		t.Error("knowledge store lost in roundtrip")
+	}
+	// The restored learner keeps learning: back at the home regime its
+	// restored weights (trained there for 30 batches pre-checkpoint) must
+	// perform immediately and keep improving.
+	var last Result
+	for s := 0; s < 15; s++ {
+		res, err := restored.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq++
+		last = res
+	}
+	if last.Accuracy < 0.85 {
+		t.Errorf("post-restore accuracy = %v", last.Accuracy)
+	}
+}
+
+func TestLoadCheckpointRejectsMismatches(t *testing.T) {
+	cfg := testConfig()
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var buf bytes.Buffer
+	if err := l.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong shape.
+	wrongShape, err := NewLearner(cfg, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrongShape.Close()
+	if err := wrongShape.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("wrong shape should be rejected")
+	}
+
+	// Wrong family.
+	lrCfg := cfg
+	lrCfg.ModelFamily = "lr"
+	wrongFamily, err := NewLearner(lrCfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrongFamily.Close()
+	if err := wrongFamily.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("wrong family should be rejected")
+	}
+
+	// Wrong ModelNum.
+	threeCfg := cfg
+	threeCfg.ModelNum = 3
+	wrongNum, err := NewLearner(threeCfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wrongNum.Close()
+	if err := wrongNum.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("wrong ModelNum should be rejected")
+	}
+
+	// Garbage bytes.
+	if err := l.LoadCheckpoint(strings.NewReader("not a checkpoint")); err == nil {
+		t.Error("garbage should be rejected")
+	}
+}
+
+func TestCheckpointDuringWarmupRoundtrips(t *testing.T) {
+	cfg := testConfig()
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(62))
+	// One batch: detector still warming up (WarmupPoints=128, batch=64).
+	if _, err := l.Process(driftBatch(rng, 0, 64, 0, 0, stream.KindNone)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := l.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// The restored learner re-warms and continues.
+	for s := 1; s < 10; s++ {
+		if _, err := restored.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

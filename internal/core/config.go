@@ -1,0 +1,195 @@
+// Package core implements the FreewayML learner itself (paper Sec. IV-V):
+// the strategy selector that classifies every batch's shift pattern and
+// dispatches exactly one of the three adaptive mechanisms for inference —
+// multi-time-granularity ensemble (slight shifts), coherent experience
+// clustering (sudden shifts), or historical knowledge reuse (reoccurring
+// shifts) — while the training path always updates every granularity model
+// per its own schedule.
+package core
+
+import (
+	"errors"
+
+	"freewayml/internal/model"
+	"freewayml/internal/shift"
+	"freewayml/internal/window"
+)
+
+// Config mirrors the paper's Learner interface
+// (Model, ModelNum, MiniBatch, KdgBuffer, ExpBuffer, α) plus the knobs of
+// the underlying substrates.
+type Config struct {
+	// ModelFamily selects the streaming model: "lr", "mlp", "cnn3", "cnn5".
+	ModelFamily string
+	// Hyper sets the SGD hyperparameters of every granularity model.
+	Hyper model.Hyper
+	// ModelNum is the number of time-granularity models (>= 2): model 0
+	// updates every batch, models 1..N-2 at geometrically longer fixed
+	// frequencies, and model N-1 over the adaptive streaming window.
+	ModelNum int
+	// KdgBuffer bounds the historical-knowledge store (entries).
+	KdgBuffer int
+	// ExpBufferPoints bounds the coherent-experience buffer (labeled
+	// points); ExpBufferAge expires experience older than that many batches.
+	ExpBufferPoints int
+	ExpBufferAge    int
+	// Alpha is the severity threshold α of the pattern classifier.
+	Alpha float64
+	// Beta is the disorder threshold β of the knowledge-preservation policy.
+	Beta float64
+	// Sigma is the Gaussian-kernel width of the distance ensemble (Eq. 14).
+	Sigma float64
+	// Shift configures the detector (Alpha above overrides Shift.Alpha).
+	Shift shift.Config
+	// Window configures the adaptive streaming window.
+	Window window.Config
+	// SpillDir, when set, receives spilled knowledge snapshots.
+	SpillDir string
+	// Seed drives every stochastic component (clustering, model init).
+	Seed int64
+	// Async trains the long-granularity model on a background goroutine so
+	// inference is never blocked by a window update (paper Sec. V-A1).
+	Async bool
+	// Precompute enables the pre-computing window gradients of Sec. V-B:
+	// per-batch gradients are folded in at arrival and the window close
+	// applies one aggregated step. This minimizes update latency at the
+	// cost of the chunked-epoch training below (the ablation benches
+	// quantify the trade-off).
+	Precompute bool
+	// LongEpochs and LongChunk shape the long-model update when Precompute
+	// is off: LongEpochs passes of mini-batch SGD over the window's
+	// weighted training set, in chunks of LongChunk samples.
+	LongEpochs int
+	LongChunk  int
+	// LongEMA applies a per-batch exponential moving average of the short
+	// model's weights into the long model. Disabled (0) by default: the
+	// ablation benches showed weight-space averaging of momentum-SGD
+	// iterates degrades nonlinear models; it is kept as an option for
+	// linear ones.
+	LongEMA float64
+	// LongLRScale scales the long model's learning rate relative to
+	// Hyper.LR, refining the decision boundary with smaller steps over more
+	// data — the stability role Insight A assigns to the long-granularity
+	// model.
+	LongLRScale float64
+	// LongRebase, when true, resets the long model to the short model's
+	// weights at every window close before window training. Re-basing
+	// eliminates staleness but reinjects the short model's per-batch
+	// fluctuation; a persistent long model (false) is an independent
+	// smoother.
+	LongRebase bool
+	// CECSeverityRatio gates coherent experience clustering: CEC replaces
+	// the deployed models only when the shift distance exceeds this
+	// multiple of the recent mean shift distance — i.e. when the models are
+	// genuinely "no longer suitable". Moderate sudden shifts stay with the
+	// ensemble, which adapts within a batch or two.
+	CECSeverityRatio float64
+	// Standardize wraps every granularity model with an online per-feature
+	// z-score scaler, making the SGD families robust to large or shifting
+	// feature offsets. Off by default to match the paper's raw-feature
+	// setup.
+	Standardize bool
+}
+
+// DefaultConfig mirrors the paper's published defaults
+// (ModelNum=2, α=1.96, KdgBuffer=20, ExpBuffer=10-batch experience).
+func DefaultConfig() Config {
+	return Config{
+		ModelFamily:      "mlp",
+		Hyper:            model.DefaultHyper(),
+		ModelNum:         2,
+		KdgBuffer:        20,
+		ExpBufferPoints:  256,
+		ExpBufferAge:     20,
+		Alpha:            1.96,
+		Beta:             0.35,
+		Sigma:            0.5,
+		Shift:            shift.DefaultConfig(),
+		Window:           window.DefaultConfig(),
+		Seed:             1,
+		Precompute:       false,
+		LongEpochs:       3,
+		LongChunk:        128,
+		LongEMA:          0,
+		LongLRScale:      0.5,
+		LongRebase:       false,
+		CECSeverityRatio: 5.0,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.ModelFamily == "":
+		return errors.New("core: ModelFamily required")
+	case c.ModelNum < 2:
+		return errors.New("core: ModelNum must be >= 2")
+	case c.KdgBuffer < 1:
+		return errors.New("core: KdgBuffer must be >= 1")
+	case c.ExpBufferPoints < 1:
+		return errors.New("core: ExpBufferPoints must be >= 1")
+	case c.ExpBufferAge < 0:
+		return errors.New("core: ExpBufferAge must be >= 0")
+	case c.Alpha <= 0:
+		return errors.New("core: Alpha must be > 0")
+	case c.Beta < 0 || c.Beta > 1:
+		return errors.New("core: Beta must be in [0, 1]")
+	case c.Sigma <= 0:
+		return errors.New("core: Sigma must be > 0")
+	case c.LongEpochs < 1:
+		return errors.New("core: LongEpochs must be >= 1")
+	case c.LongChunk < 1:
+		return errors.New("core: LongChunk must be >= 1")
+	case c.LongEMA < 0 || c.LongEMA >= 1:
+		return errors.New("core: LongEMA must be in [0, 1)")
+	case c.LongLRScale <= 0 || c.LongLRScale > 1:
+		return errors.New("core: LongLRScale must be in (0, 1]")
+	case c.CECSeverityRatio < 0:
+		return errors.New("core: CECSeverityRatio must be >= 0")
+	case c.Standardize && c.Precompute:
+		// The precomputer feeds raw batches straight into the network,
+		// bypassing the scaler; combining them would train on inconsistent
+		// views.
+		return errors.New("core: Standardize and Precompute are mutually exclusive")
+	}
+	if err := c.Hyper.Validate(); err != nil {
+		return err
+	}
+	if err := c.Window.Validate(); err != nil {
+		return err
+	}
+	sc := c.Shift
+	sc.Alpha = c.Alpha
+	return sc.Validate()
+}
+
+// Strategy identifies which mechanism produced a batch's predictions.
+type Strategy int
+
+const (
+	// StrategyWarmup: the detector is still warming up; the short model
+	// predicts alone.
+	StrategyWarmup Strategy = iota
+	// StrategyEnsemble: multi-time-granularity distance ensemble (slight).
+	StrategyEnsemble
+	// StrategyCEC: coherent experience clustering (sudden).
+	StrategyCEC
+	// StrategyKnowledge: historical knowledge reuse (reoccurring).
+	StrategyKnowledge
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyWarmup:
+		return "warmup"
+	case StrategyEnsemble:
+		return "multi-granularity"
+	case StrategyCEC:
+		return "coherent-experience-clustering"
+	case StrategyKnowledge:
+		return "knowledge-reuse"
+	default:
+		return "unknown"
+	}
+}

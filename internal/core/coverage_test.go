@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/datasets"
+	"freewayml/internal/shift"
+	"freewayml/internal/stream"
+)
+
+func TestLongEMAPathRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.LongEMA = 0.9
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(41))
+	var last Result
+	for s := 0; s < 40; s++ {
+		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	// EMA weight averaging degrades nonlinear models somewhat but the
+	// learner must remain functional and above chance.
+	if last.Accuracy < 0.7 {
+		t.Errorf("EMA-path accuracy = %v", last.Accuracy)
+	}
+}
+
+func TestLongRebasePathRuns(t *testing.T) {
+	cfg := testConfig()
+	cfg.LongRebase = true
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(42))
+	var last Result
+	for s := 0; s < 40; s++ {
+		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if last.Accuracy < 0.85 {
+		t.Errorf("rebase-path accuracy = %v", last.Accuracy)
+	}
+}
+
+func TestDetectorAccessor(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Detector() == nil {
+		t.Error("Detector() returned nil")
+	}
+}
+
+func TestDebugAccessors(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	short, long := l.DebugModels()
+	if short == nil || long == nil {
+		t.Fatal("DebugModels returned nil")
+	}
+	rng := rand.New(rand.NewSource(43))
+	var res Result
+	for s := 0; s < 10; s++ {
+		r, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	}
+	ds, dl := l.DebugDistances(res)
+	if ds < 0 || dl < 0 {
+		t.Errorf("negative debug distances %v, %v", ds, dl)
+	}
+}
+
+func TestCECFallsBackWithoutExperience(t *testing.T) {
+	// A learner fed only unlabeled batches has no coherent experience; a
+	// detected sudden shift must fall back to the ensemble, not fail.
+	cfg := testConfig()
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(44))
+	// Warm the detector with labeled batches but expire all experience by
+	// feeding unlabeled ones afterward.
+	for s := 0; s < 25; s++ {
+		b := driftBatch(rng, s, 64, 0, 0, stream.KindNone)
+		b.Y = nil
+		if _, err := l.Process(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jump := driftBatch(rng, 25, 64, 60, -40, stream.KindSudden)
+	jump.Y = nil
+	res, err := l.Process(jump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy == StrategyCEC {
+		t.Error("CEC fired without any labeled experience")
+	}
+	if len(res.Pred) != 64 {
+		t.Errorf("pred len = %d", len(res.Pred))
+	}
+}
+
+func TestModelNumValidationBounds(t *testing.T) {
+	cfg := testConfig()
+	cfg.LongEpochs = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("LongEpochs 0 should fail validation")
+	}
+	cfg = testConfig()
+	cfg.LongChunk = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("LongChunk 0 should fail validation")
+	}
+	cfg = testConfig()
+	cfg.LongEMA = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("LongEMA 1 should fail validation")
+	}
+	cfg = testConfig()
+	cfg.LongLRScale = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("LongLRScale 0 should fail validation")
+	}
+	cfg = testConfig()
+	cfg.CECSeverityRatio = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative CECSeverityRatio should fail validation")
+	}
+}
+
+func TestPrecomputeWithAsyncRunsInline(t *testing.T) {
+	// Async + Precompute must serialize the close inline (no goroutine), so
+	// Close always returns cleanly with no pending error.
+	cfg := testConfig()
+	cfg.Async = true
+	cfg.Precompute = true
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(45))
+	for s := 0; s < 30; s++ {
+		if _, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaiveBayesFamilyEndToEnd(t *testing.T) {
+	cfg := testConfig()
+	cfg.ModelFamily = "nb"
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(51))
+	var last Result
+	for s := 0; s < 40; s++ {
+		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if last.Accuracy < 0.9 {
+		t.Errorf("NB-family accuracy = %v", last.Accuracy)
+	}
+}
+
+func TestPrecomputeRejectsGradientFreeFamily(t *testing.T) {
+	cfg := testConfig()
+	cfg.ModelFamily = "nb"
+	cfg.Precompute = true
+	if _, err := NewLearner(cfg, 3, 2); err == nil {
+		t.Error("Precompute with NB should error")
+	}
+}
+
+func TestStandardizedLearnerHandlesOffsetRegimes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Standardize = true
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(71))
+	// A regime far from the origin, unlearnable without scaling.
+	var last Result
+	for s := 0; s < 40; s++ {
+		res, err := l.Process(driftBatch(rng, s, 64, 40, 40, stream.KindNone))
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = res
+	}
+	if last.Accuracy < 0.9 {
+		t.Errorf("standardized learner accuracy at offset 40 = %v", last.Accuracy)
+	}
+}
+
+func TestStandardizePrecomputeMutuallyExclusive(t *testing.T) {
+	cfg := testConfig()
+	cfg.Standardize = true
+	cfg.Precompute = true
+	if err := cfg.Validate(); err == nil {
+		t.Error("Standardize+Precompute should fail validation")
+	}
+}
+
+// TestOneStrategyPerBatchContract drives a full drifting dataset and checks
+// the Fig. 8 contract: every batch reports exactly one strategy, and that
+// strategy is consistent with the detected pattern (warmup → warmup
+// strategy; slight → ensemble; severe → CEC, knowledge, or the documented
+// ensemble fallback).
+func TestOneStrategyPerBatchContract(t *testing.T) {
+	src, err := datasets.Build("Hyperplane", 64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	l, err := NewLearner(cfg, src.Dim(), src.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		res, err := l.Process(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Pattern {
+		case shift.PatternWarmup:
+			if res.Strategy != StrategyWarmup {
+				t.Fatalf("warmup batch used %v", res.Strategy)
+			}
+		case shift.PatternA, shift.PatternA1, shift.PatternA2:
+			if res.Strategy != StrategyEnsemble {
+				t.Fatalf("slight batch used %v", res.Strategy)
+			}
+		case shift.PatternB:
+			if res.Strategy != StrategyCEC && res.Strategy != StrategyEnsemble {
+				t.Fatalf("sudden batch used %v", res.Strategy)
+			}
+		case shift.PatternC:
+			if res.Strategy != StrategyKnowledge && res.Strategy != StrategyEnsemble {
+				t.Fatalf("reoccurring batch used %v", res.Strategy)
+			}
+		}
+		if len(res.Pred) != len(b.X) {
+			t.Fatalf("predictions %d for %d samples", len(res.Pred), len(b.X))
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"freewayml/internal/datasets"
+	"freewayml/internal/metrics"
+)
+
+// TestEnsembleDoesNotDragBelowShortModel is a white-box regression test for
+// the fusion: over the ensemble-strategy batches of a drifting stream, the
+// fused accuracy must not fall meaningfully below the short model alone —
+// the long member's weight must vanish whenever it cannot help.
+func TestEnsembleDoesNotDragBelowShortModel(t *testing.T) {
+	for _, ds := range []string{"NSL-KDD", "SEA"} {
+		src, err := datasets.Build(ds, 128, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Shift.WarmupPoints = 256
+		l, err := NewLearner(cfg, src.Dim(), src.Classes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sAcc, fAcc float64
+		n := 0
+		for {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			short, _ := l.DebugModels()
+			sp := short.Predict(b.X)
+			res, err := l.Process(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Strategy == StrategyEnsemble {
+				sa, _ := metrics.Accuracy(sp, b.Y)
+				sAcc += sa
+				fAcc += res.Accuracy
+				n++
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			t.Fatalf("%s: no ensemble batches", ds)
+		}
+		shortMean := sAcc / float64(n)
+		fusedMean := fAcc / float64(n)
+		if fusedMean < shortMean-0.01 {
+			t.Errorf("%s: fused %.4f drags below short %.4f", ds, fusedMean, shortMean)
+		}
+	}
+}

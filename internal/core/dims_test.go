@@ -1,0 +1,37 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"freewayml/internal/datasets"
+)
+
+func TestDiagProjectionDims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic")
+	}
+	for _, ds := range []string{"Airlines", "Hyperplane", "SEA", "Electricity"} {
+		for _, dims := range []int{2, 3, 4, 6} {
+			src, _ := datasets.Build(ds, 128, 1)
+			cfg := DefaultConfig()
+			cfg.Shift.WarmupPoints = 256
+			cfg.Shift.ProjectionDim = dims
+			l, err := NewLearner(cfg, src.Dim(), src.Classes())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				b, ok := src.Next()
+				if !ok {
+					break
+				}
+				if _, err := l.Process(b); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			fmt.Printf("%-12s dims=%d G_acc=%.4f SI=%.4f\n", ds, dims, l.Metrics().GAcc(), l.Metrics().SI())
+		}
+	}
+}

@@ -1,0 +1,719 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"freewayml/internal/cluster"
+	"freewayml/internal/ensemble"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+	"freewayml/internal/metrics"
+	"freewayml/internal/model"
+	"freewayml/internal/nn"
+	"freewayml/internal/shift"
+	"freewayml/internal/stream"
+	"freewayml/internal/window"
+)
+
+// Result reports everything FreewayML decided about one batch.
+type Result struct {
+	// Pred holds the predicted class per sample.
+	Pred []int
+	// Proba holds the per-sample class distribution when the strategy
+	// produces one (nil for CEC, which outputs hard labels).
+	Proba [][]float64
+	// Pattern is the detected shift pattern; SubPattern refines slight
+	// shifts into A1/A2 using the window disorder.
+	Pattern    shift.Pattern
+	SubPattern shift.Pattern
+	// Strategy is the mechanism that produced Pred.
+	Strategy Strategy
+	// Observation is the raw detector output.
+	Observation shift.Observation
+	// Accuracy is the batch's real-time accuracy when labels were provided,
+	// else -1.
+	Accuracy float64
+}
+
+// granularity is one fixed-frequency model of the multi-time-granularity
+// ensemble: model i trains every `every` batches on the batches accumulated
+// since its last update.
+type granularity struct {
+	m        model.Model
+	every    int
+	pending  int
+	bufX     [][]float64
+	bufY     []int
+	centroid linalg.Vector // distribution of the last training data
+}
+
+// Learner is the FreewayML framework instance. One goroutine may call
+// Process at a time; with Async enabled, long-model updates overlap with
+// subsequent Process calls.
+type Learner struct {
+	cfg Config
+	det *shift.Detector
+
+	grans []*granularity // fixed-frequency models, grans[0] updates per batch
+	long  model.Model    // ASW-driven long-granularity model
+
+	asw          *window.ASW
+	pre          *window.Precomputer
+	longOpt      *nn.SGD
+	longCentroid linalg.Vector
+
+	exp   *cluster.ExpBuffer
+	kdg   *knowledge.Store
+	reuse model.Model // scratch model for knowledge restores
+
+	adjuster *stream.RateAdjuster
+
+	mu    sync.RWMutex // guards long model + longCentroid during async updates
+	wg    sync.WaitGroup
+	preq  metrics.Prequential
+	batch int
+	errs  chan error
+}
+
+// NewLearner builds a FreewayML learner for streams of the given feature
+// dimensionality and class count.
+func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	factory, err := model.FactoryFor(cfg.ModelFamily, cfg.Hyper)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Standardize {
+		factory = model.StandardizedFactory(factory)
+	}
+	sc := cfg.Shift
+	sc.Alpha = cfg.Alpha
+	det, err := shift.NewDetector(sc)
+	if err != nil {
+		return nil, err
+	}
+	asw, err := window.New(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	exp, err := cluster.NewExpBuffer(cfg.ExpBufferPoints, cfg.ExpBufferAge)
+	if err != nil {
+		return nil, err
+	}
+	kdg, err := knowledge.NewStore(cfg.KdgBuffer, cfg.SpillDir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed-frequency models: model i updates every 2^i batches. The last
+	// slot is the ASW-driven long model.
+	grans := make([]*granularity, 0, cfg.ModelNum-1)
+	for i := 0; i < cfg.ModelNum-1; i++ {
+		m, err := factory(dim, classes)
+		if err != nil {
+			return nil, err
+		}
+		grans = append(grans, &granularity{m: m, every: 1 << i})
+	}
+	longHyper := cfg.Hyper
+	longHyper.LR *= cfg.LongLRScale
+	longFactory, err := model.FactoryFor(cfg.ModelFamily, longHyper)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Standardize {
+		longFactory = model.StandardizedFactory(longFactory)
+	}
+	long, err := longFactory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	reuse, err := factory(dim, classes)
+	if err != nil {
+		return nil, err
+	}
+
+	l := &Learner{
+		cfg:   cfg,
+		det:   det,
+		grans: grans,
+		long:  long,
+		asw:   asw,
+		exp:   exp,
+		kdg:   kdg,
+		reuse: reuse,
+		errs:  make(chan error, 16),
+	}
+	if cfg.Precompute {
+		if long.Net() == nil {
+			return nil, errors.New("core: Precompute requires a gradient-based model family")
+		}
+		l.pre = window.NewPrecomputer(long.Net())
+		l.pre.Start()
+		// The precompute path applies one aggregated step per window close,
+		// so it uses the full learning rate; LongLRScale only applies to
+		// the many-step chunked training of the non-precompute path.
+		l.longOpt = nn.NewSGD(cfg.Hyper.LR, cfg.Hyper.Momentum, cfg.Hyper.WeightDecay)
+	}
+	return l, nil
+}
+
+// SetRateAdjuster attaches the rate-aware adjuster (paper Sec. V-B); its
+// DecayBoost is applied to the ASW on every Process call.
+func (l *Learner) SetRateAdjuster(r *stream.RateAdjuster) { l.adjuster = r }
+
+// Metrics returns the learner's accumulated prequential metrics.
+func (l *Learner) Metrics() *metrics.Prequential { return &l.preq }
+
+// KnowledgeStore exposes the historical knowledge store (for the Table IV
+// space measurements).
+func (l *Learner) KnowledgeStore() *knowledge.Store { return l.kdg }
+
+// Detector exposes the shift detector (for shift-graph export).
+func (l *Learner) Detector() *shift.Detector { return l.det }
+
+// Close waits for any in-flight asynchronous long-model update and surfaces
+// the first background error, if any.
+func (l *Learner) Close() error {
+	l.wg.Wait()
+	select {
+	case err := <-l.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Process runs the full pipeline on one batch: detect the shift pattern,
+// select and execute one inference strategy, then (when the batch is
+// labeled) update every granularity model per its schedule — the
+// predict-then-train prequential protocol of the paper.
+func (l *Learner) Process(b stream.Batch) (Result, error) {
+	if err := b.Validate(); err != nil {
+		return Result{}, err
+	}
+	if l.adjuster != nil {
+		l.asw.SetDecayBoost(l.adjuster.DecayBoost())
+	}
+	obs, err := l.det.Observe(toVectors(b.X))
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Pattern: obs.Pattern, SubPattern: obs.Pattern, Observation: obs, Accuracy: -1}
+	if obs.Pattern.IsSlight() {
+		res.SubPattern = shift.SubClassifyA(l.asw.Disorder(), l.cfg.Beta)
+	}
+
+	if err := l.infer(b, obs, &res); err != nil {
+		return Result{}, err
+	}
+
+	if b.Labeled() {
+		if acc, err := metrics.Accuracy(res.Pred, b.Y); err == nil {
+			res.Accuracy = acc
+			l.preq.Record(acc, b.Truth, len(b.X))
+		}
+		if err := l.train(b, obs); err != nil {
+			return Result{}, err
+		}
+	}
+	l.batch++
+	return res, nil
+}
+
+// infer executes exactly one strategy based on the pattern (paper Fig. 8).
+func (l *Learner) infer(b stream.Batch, obs shift.Observation, res *Result) error {
+	switch {
+	case obs.Pattern == shift.PatternWarmup || obs.YBar == nil:
+		res.Strategy = StrategyWarmup
+		res.Proba = l.grans[0].m.PredictProba(b.X)
+		res.Pred = argmaxRows(res.Proba)
+		return nil
+
+	case obs.Pattern == shift.PatternC:
+		if ok, err := l.inferKnowledge(b, obs, res); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+		// No reusable knowledge close enough: fall through to the ensemble.
+		return l.inferEnsemble(b, obs, res)
+
+	case obs.Pattern == shift.PatternB:
+		// CEC replaces the models only when the shift dwarfs the stream's
+		// recent movement; a moderately sudden shift is handled by the
+		// ensemble, which re-adapts within a couple of batches.
+		if obs.HistoryMean > 0 && obs.Distance < l.cfg.CECSeverityRatio*obs.HistoryMean {
+			return l.inferEnsemble(b, obs, res)
+		}
+		if ok, err := l.inferCEC(b, res); err != nil {
+			return err
+		} else if ok {
+			return nil
+		}
+		// No coherent experience yet: fall back to the ensemble.
+		return l.inferEnsemble(b, obs, res)
+
+	default:
+		return l.inferEnsemble(b, obs, res)
+	}
+}
+
+// inferEnsemble fuses all granularity models with the Gaussian-kernel
+// distance weighting of Eq. 12-14.
+func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Result) error {
+	members := make([]ensemble.Member, 0, len(l.grans)+1)
+	// Short and mid-granularity models: distance to their last training
+	// distribution (D_short of Eq. 12 equals obs.Distance for the per-batch
+	// model, since its centroid is the previous batch's ȳ).
+	for _, g := range l.grans {
+		members = append(members, ensemble.Member{
+			Proba:    g.m.PredictProba(b.X),
+			Distance: centroidDistance(obs.YBar, g.centroid),
+		})
+	}
+	l.mu.RLock()
+	members = append(members, ensemble.Member{
+		Proba:    l.long.PredictProba(b.X),
+		Distance: centroidDistance(obs.YBar, l.longCentroid),
+	})
+	l.mu.RUnlock()
+
+	// Normalize distances by their mean so the kernel width Sigma is
+	// scale-free: the projected space's units vary per dataset, and Eq. 14
+	// only cares about the models' relative match to the live data.
+	normalizeDistances(members)
+
+	// Insight A emerges from the distances themselves: under a directional
+	// shift (A1) the previous batch — the short model's distribution — is
+	// the nearest thing to the live data, while under localized fluctuation
+	// (A2) the window's weighted centroid sits at the center of the noise
+	// and the long model wins the kernel weighting.
+	fused, err := ensemble.Fuse(members, l.cfg.Sigma)
+	if err != nil {
+		return fmt.Errorf("core: ensemble: %w", err)
+	}
+	res.Strategy = StrategyEnsemble
+	res.Proba = fused
+	res.Pred = argmaxRows(fused)
+	return nil
+}
+
+// inferCEC runs coherent experience clustering; ok=false when no labeled
+// experience is available yet.
+func (l *Learner) inferCEC(b stream.Batch, res *Result) (bool, error) {
+	expX, expY := l.exp.Experience()
+	if len(expX) == 0 {
+		return false, nil
+	}
+	// Per the paper, CEC uses "a small subset of labeled data that is
+	// closest to the current batch": under the coherence hypothesis the
+	// tail of the previous batch already samples the incoming distribution,
+	// and proximity selection finds exactly those points. Distant (pre-
+	// shift) experience would pull the joint clustering apart by regime
+	// instead of by class.
+	m := len(b.X) / 4
+	if m < 1 {
+		m = 1
+	}
+	expX, expY = nearestExperience(b.X, expX, expY, m)
+	classes := l.grans[0].m.NumClasses()
+	// Over-cluster (k = 2c): imbalanced or non-spherical classes occupy
+	// several clusters each; the majority vote still maps every cluster to
+	// a label.
+	pred, agreement, err := cluster.CECKWithScore(b.X, expX, expY, 2*classes, classes, l.cfg.Seed+int64(l.batch))
+	if err != nil {
+		return false, fmt.Errorf("core: CEC: %w", err)
+	}
+	// Arbitration on the coherent experience: the experience points are
+	// labeled and (by the coherence hypothesis) drawn from the incoming
+	// distribution, so they measure both CEC's cluster/label alignment and
+	// whether the deployed model is actually unsuitable. CEC replaces the
+	// model only when it wins that comparison (the failure mode of paper
+	// Sec. VI-F is exactly CEC losing it).
+	deployedPred := l.grans[0].m.Predict(expX)
+	deployedAgree, err := metrics.Accuracy(deployedPred, expY)
+	if err != nil {
+		return false, err
+	}
+	// Both estimates come from a handful of points, so CEC must win by a
+	// clear margin before displacing the deployed model.
+	if agreement <= deployedAgree+cecMargin {
+		return false, nil
+	}
+	res.Strategy = StrategyCEC
+	res.Pred = pred
+	return true, nil
+}
+
+// cecMargin is how much CEC's experience agreement must exceed the deployed
+// model's before CEC takes over.
+const cecMargin = 0.05
+
+// inferKnowledge restores the nearest historical snapshot when it is closer
+// to the current distribution than the previous batch was (paper Sec. IV-D
+// knowledge match); ok=false when nothing qualifies.
+func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Result) (bool, error) {
+	snap, dist, ok, err := l.kdg.Match(obs.YBar)
+	if err != nil {
+		return false, fmt.Errorf("core: knowledge match: %w", err)
+	}
+	// Reuse only confident matches: the preserved distribution must be
+	// meaningfully closer than the batch we just shifted away from (same
+	// ratio as the Pattern C detection rule), else a marginal restore can
+	// displace a continuously-trained model that is already adequate.
+	if !ok || dist >= l.cfg.Shift.ReoccurRatio*obs.Distance {
+		return false, nil
+	}
+	if err := l.reuse.Restore(snap); err != nil {
+		return false, fmt.Errorf("core: knowledge restore: %w", err)
+	}
+	res.Strategy = StrategyKnowledge
+
+	// The restored model joins the distance ensemble rather than replacing
+	// it outright: its matched distance is far smaller than the current
+	// models' post-shift distances, so it dominates the kernel weighting —
+	// but if the live models are still competitive the fusion keeps their
+	// signal.
+	members := []ensemble.Member{{Proba: l.reuse.PredictProba(b.X), Distance: dist}}
+	for _, g := range l.grans {
+		members = append(members, ensemble.Member{
+			Proba:    g.m.PredictProba(b.X),
+			Distance: centroidDistance(obs.YBar, g.centroid),
+		})
+	}
+	normalizeDistances(members)
+	fused, err := ensemble.Fuse(members, l.cfg.Sigma)
+	if err != nil {
+		return false, fmt.Errorf("core: knowledge fuse: %w", err)
+	}
+	res.Proba = fused
+	res.Pred = argmaxRows(fused)
+
+	// Reuse means not relearning (SC3): on a confident match the preserved
+	// parameters also become the working short model, so subsequent batches
+	// of the reoccurred regime start from them instead of re-adapting from
+	// the departed regime's.
+	if dist < 0.5*l.cfg.Shift.ReoccurRatio*obs.Distance {
+		if err := l.grans[0].m.Restore(snap); err != nil {
+			return false, fmt.Errorf("core: knowledge adopt: %w", err)
+		}
+		l.grans[0].centroid = obs.YBar.Clone()
+	}
+	return true, nil
+}
+
+// train updates every granularity model per its schedule and maintains the
+// experience buffer and knowledge store.
+func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
+	// Fixed-frequency models.
+	for _, g := range l.grans {
+		g.bufX = append(g.bufX, b.X...)
+		g.bufY = append(g.bufY, b.Y...)
+		g.pending++
+		if g.pending < g.every {
+			continue
+		}
+		if _, err := g.m.Fit(g.bufX, g.bufY); err != nil {
+			return err
+		}
+		if obs.YBar != nil {
+			g.centroid = obs.YBar.Clone()
+		}
+		g.bufX, g.bufY, g.pending = nil, nil, 0
+	}
+
+	// Long-model weight averaging: fold the freshly updated short model
+	// into the long model's EMA and advance its centroid the same way.
+	if l.cfg.LongEMA > 0 && obs.YBar != nil && l.long.Net() != nil {
+		l.mu.Lock()
+		emaParams(l.long, l.grans[0].m, l.cfg.LongEMA)
+		if l.longCentroid == nil {
+			l.longCentroid = obs.YBar.Clone()
+		} else if len(l.longCentroid) == len(obs.YBar) {
+			for j := range l.longCentroid {
+				l.longCentroid[j] = l.cfg.LongEMA*l.longCentroid[j] + (1-l.cfg.LongEMA)*obs.YBar[j]
+			}
+		}
+		l.mu.Unlock()
+	}
+
+	// Coherent experience.
+	if err := l.exp.AddBatch(b.X, b.Y); err != nil {
+		return err
+	}
+
+	// Long model via the adaptive streaming window. During detector warm-up
+	// there is no projected centroid yet, so the window starts afterward.
+	if obs.YBar == nil {
+		return nil
+	}
+	full, err := l.asw.Push(b.X, b.Y, obs.YBar)
+	if err != nil {
+		return err
+	}
+	if l.pre != nil {
+		// Pre-computing window (Sec. V-B): fold this batch's gradient in
+		// now, so the update at window close is a single cheap step. This
+		// trades the decay weighting of TrainingSet for latency — the
+		// gradients were computed at arrival weight.
+		l.mu.Lock()
+		err := l.pre.AddSubset(b.X, b.Y)
+		l.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if !full {
+		return nil
+	}
+	return l.updateLong(obs)
+}
+
+// updateLong trains the long-granularity model from the closed window,
+// preserves knowledge per the β policy, and resets the window.
+func (l *Learner) updateLong(obs shift.Observation) error {
+	disorder := l.asw.Disorder()
+	distribution := l.asw.Distribution()
+	var trainX [][]float64
+	var trainY []int
+	if l.pre == nil {
+		trainX, trainY = l.asw.TrainingSet()
+	}
+	l.asw.Reset()
+
+	// The short model keeps training on the caller's goroutine, so its
+	// snapshot must be captured now, not inside an async update. It serves
+	// two purposes: the β-policy preservation below, and re-basing the long
+	// model — the long-granularity model is the current model smoothed over
+	// the whole window, so each close starts from the freshest parameters
+	// and then trains across the window's weighted data. Without re-basing
+	// the long model accumulates staleness that no distance weighting can
+	// detect (distance measures data match, not parameter quality).
+	shortSnap, err := l.grans[0].m.Snapshot()
+	if err != nil {
+		return err
+	}
+	// Same-regime radius for knowledge replacement: distributions within
+	// the stream's typical batch-to-batch wander are the same regime, so a
+	// fresher snapshot overwrites the stale one. Computed here, on the
+	// caller's goroutine — the detector is not safe to touch from an async
+	// update.
+	replaceRadius := 1.5 * meanOf(l.det.HistoryDistances())
+
+	apply := func() error {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.pre != nil {
+			if err := l.pre.Finalize(l.longOpt); err != nil {
+				return err
+			}
+			l.pre.Start()
+		} else if len(trainX) > 0 {
+			if l.cfg.LongRebase && l.cfg.LongEMA == 0 {
+				if err := l.long.Restore(shortSnap); err != nil {
+					return err
+				}
+			}
+			// Chunked mini-batch epochs over the weighted window, matching
+			// how a DataLoader-driven PyTorch update iterates window data.
+			for epoch := 0; epoch < l.cfg.LongEpochs; epoch++ {
+				for start := 0; start < len(trainX); start += l.cfg.LongChunk {
+					end := start + l.cfg.LongChunk
+					if end > len(trainX) {
+						end = len(trainX)
+					}
+					if _, err := l.long.Fit(trainX[start:end], trainY[start:end]); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		// With EMA averaging the centroid is maintained per batch and is
+		// fresher than the window distribution.
+		if distribution != nil && l.cfg.LongEMA == 0 {
+			l.longCentroid = distribution
+		}
+		return l.preserveKnowledge(disorder, distribution, shortSnap, replaceRadius, obs)
+	}
+
+	// With pre-computed gradients the closing step is a single optimizer
+	// application — running it inline is cheaper than a goroutine and avoids
+	// interleaving the next window's AddSubset with this window's Finalize.
+	if l.cfg.Async && l.pre == nil {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			if err := apply(); err != nil {
+				select {
+				case l.errs <- err:
+				default:
+				}
+			}
+		}()
+		return nil
+	}
+	return apply()
+}
+
+// preserveKnowledge applies the disorder-threshold policy of Sec. IV-D1.
+// Callers hold l.mu; shortSnap was captured synchronously at window close.
+func (l *Learner) preserveKnowledge(disorder float64, distribution linalg.Vector, shortSnap []byte, replaceRadius float64, obs shift.Observation) error {
+	if distribution == nil {
+		return nil
+	}
+	decision := knowledge.Policy{Beta: l.cfg.Beta}.Decide(disorder)
+	if decision.SaveLong {
+		snap, err := l.long.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := l.kdg.PreserveOrReplace(distribution, snap, "long", obs.Batch, replaceRadius); err != nil {
+			return err
+		}
+	}
+	if decision.SaveShort && shortSnap != nil && obs.YBar != nil {
+		if err := l.kdg.PreserveOrReplace(obs.YBar, shortSnap, "short", obs.Batch, replaceRadius); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emaParams folds src's weights into dst: dst = decay·dst + (1−decay)·src.
+// Both models must share an architecture. Callers hold l.mu.
+func emaParams(dst, src model.Model, decay float64) {
+	dp := dst.Net().Params()
+	sp := src.Net().Params()
+	for i := range dp {
+		dw, sw := dp[i].W, sp[i].W
+		for j := range dw {
+			dw[j] = decay*dw[j] + (1-decay)*sw[j]
+		}
+	}
+}
+
+// meanOf returns the arithmetic mean (0 for empty input).
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// nearestExperience returns the m labeled experience points closest to the
+// batch's centroid.
+func nearestExperience(batch [][]float64, expX [][]float64, expY []int, m int) ([][]float64, []int) {
+	if m >= len(expX) {
+		return expX, expY
+	}
+	centroid := make([]float64, len(batch[0]))
+	for _, row := range batch {
+		for j, v := range row {
+			centroid[j] += v
+		}
+	}
+	for j := range centroid {
+		centroid[j] /= float64(len(batch))
+	}
+	type scored struct {
+		idx  int
+		dist float64
+	}
+	scores := make([]scored, len(expX))
+	for i, x := range expX {
+		var d float64
+		for j := range x {
+			diff := x[j] - centroid[j]
+			d += diff * diff
+		}
+		scores[i] = scored{idx: i, dist: d}
+	}
+	sort.Slice(scores, func(a, b int) bool { return scores[a].dist < scores[b].dist })
+	outX := make([][]float64, m)
+	outY := make([]int, m)
+	for i := 0; i < m; i++ {
+		outX[i] = expX[scores[i].idx]
+		outY[i] = expY[scores[i].idx]
+	}
+	return outX, outY
+}
+
+// normalizeDistances rescales the members' finite distances by their mean,
+// leaving infinite distances (untrained models) untouched. Degenerate cases
+// (no finite distances, zero mean) are left as-is.
+func normalizeDistances(members []ensemble.Member) {
+	var sum float64
+	n := 0
+	for _, m := range members {
+		if !math.IsInf(m.Distance, 0) {
+			sum += m.Distance
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	for i := range members {
+		if !math.IsInf(members[i].Distance, 0) {
+			members[i].Distance /= mean
+		}
+	}
+}
+
+// centroidDistance returns the Euclidean distance, or +Inf when the model
+// has no training distribution yet (its kernel weight then vanishes).
+func centroidDistance(y, centroid linalg.Vector) float64 {
+	if y == nil || centroid == nil || len(y) != len(centroid) {
+		return math.Inf(1)
+	}
+	return y.Distance(centroid)
+}
+
+func argmaxRows(proba [][]float64) []int {
+	out := make([]int, len(proba))
+	for i, row := range proba {
+		out[i] = nn.Argmax(row)
+	}
+	return out
+}
+
+func toVectors(x [][]float64) []linalg.Vector {
+	out := make([]linalg.Vector, len(x))
+	for i, row := range x {
+		out[i] = linalg.Vector(row)
+	}
+	return out
+}
+
+// ErrClosed is reserved for future lifecycle handling.
+var ErrClosed = errors.New("core: learner closed")
+
+// DebugModels exposes the short and long granularity models for diagnostic
+// tooling and white-box tests.
+func (l *Learner) DebugModels() (short, long model.Model) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.grans[0].m, l.long
+}
+
+// DebugDistances recomputes the short/long model shift distances for a
+// result's observation (diagnostics only).
+func (l *Learner) DebugDistances(res Result) (dShort, dLong float64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return centroidDistance(res.Observation.YBar, l.grans[0].centroid),
+		centroidDistance(res.Observation.YBar, l.longCentroid)
+}

@@ -1,0 +1,109 @@
+package datasets
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"freewayml/internal/stream"
+)
+
+// CSVStream adapts real data to the stream.Source interface: rows of
+// numeric features with an integer class label in the last column, read
+// incrementally and emitted as mini-batches. It is how a downstream user
+// runs FreewayML on their own recorded streams (the repository's generators
+// exist only because the paper's datasets are not redistributable).
+type CSVStream struct {
+	name      string
+	r         *csv.Reader
+	batchSize int
+	dim       int
+	classes   int
+	seq       int
+	done      bool
+	err       error
+}
+
+// NewCSVStream wraps a CSV reader. dim is the feature column count (the
+// label occupies column dim); classes the number of labels; header controls
+// whether the first row is skipped.
+func NewCSVStream(name string, r io.Reader, batchSize, dim, classes int, header bool) (*CSVStream, error) {
+	if batchSize < 1 || dim < 1 || classes < 2 {
+		return nil, errors.New("datasets: CSV stream needs batchSize >= 1, dim >= 1, classes >= 2")
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = dim + 1
+	cr.ReuseRecord = true
+	s := &CSVStream{name: name, r: cr, batchSize: batchSize, dim: dim, classes: classes}
+	if header {
+		if _, err := cr.Read(); err != nil {
+			return nil, fmt.Errorf("datasets: CSV header: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// Name returns the stream name; Dim and Classes its shape.
+func (s *CSVStream) Name() string { return s.name }
+
+// Dim returns the feature column count.
+func (s *CSVStream) Dim() int { return s.dim }
+
+// Classes returns the label count.
+func (s *CSVStream) Classes() int { return s.classes }
+
+// Err returns the first parse error encountered (the stream ends at it).
+func (s *CSVStream) Err() error { return s.err }
+
+// Next reads up to batchSize rows; a final partial batch is emitted before
+// the stream ends.
+func (s *CSVStream) Next() (stream.Batch, bool) {
+	if s.done {
+		return stream.Batch{}, false
+	}
+	var x [][]float64
+	var y []int
+	for len(x) < s.batchSize {
+		rec, err := s.r.Read()
+		if err == io.EOF {
+			s.done = true
+			break
+		}
+		if err != nil {
+			s.err = err
+			s.done = true
+			break
+		}
+		row := make([]float64, s.dim)
+		bad := false
+		for j := 0; j < s.dim; j++ {
+			v, err := strconv.ParseFloat(rec[j], 64)
+			if err != nil {
+				s.err = fmt.Errorf("datasets: CSV row %d col %d: %w", s.seq*s.batchSize+len(x), j, err)
+				bad = true
+				break
+			}
+			row[j] = v
+		}
+		if bad {
+			s.done = true
+			break
+		}
+		label, err := strconv.Atoi(rec[s.dim])
+		if err != nil || label < 0 || label >= s.classes {
+			s.err = fmt.Errorf("datasets: CSV row %d label %q invalid", s.seq*s.batchSize+len(x), rec[s.dim])
+			s.done = true
+			break
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	if len(x) == 0 {
+		return stream.Batch{}, false
+	}
+	b := stream.Batch{Seq: s.seq, X: x, Y: y, Truth: stream.KindNone}
+	s.seq++
+	return b, true
+}

@@ -1,0 +1,97 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVStreamReadsBatches(t *testing.T) {
+	data := "f0,f1,label\n" +
+		"1.0,2.0,0\n" +
+		"3.5,4.5,1\n" +
+		"5.0,6.0,0\n"
+	s, err := NewCSVStream("mine", strings.NewReader(data), 2, 2, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "mine" || s.Dim() != 2 || s.Classes() != 2 {
+		t.Fatalf("meta: %s %d %d", s.Name(), s.Dim(), s.Classes())
+	}
+	b1, ok := s.Next()
+	if !ok || len(b1.X) != 2 {
+		t.Fatalf("first batch: ok=%v len=%d", ok, len(b1.X))
+	}
+	if b1.X[1][0] != 3.5 || b1.Y[1] != 1 {
+		t.Errorf("parsed wrong: %v %v", b1.X[1], b1.Y[1])
+	}
+	b2, ok := s.Next()
+	if !ok || len(b2.X) != 1 {
+		t.Fatalf("partial batch: ok=%v len=%d", ok, len(b2.X))
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream should have ended")
+	}
+	if s.Err() != nil {
+		t.Errorf("clean stream reported error: %v", s.Err())
+	}
+}
+
+func TestCSVStreamNoHeader(t *testing.T) {
+	s, err := NewCSVStream("x", strings.NewReader("1,2,1\n"), 4, 2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := s.Next()
+	if !ok || len(b.X) != 1 || b.Y[0] != 1 {
+		t.Fatalf("batch: %v %v", b.X, b.Y)
+	}
+}
+
+func TestCSVStreamValidation(t *testing.T) {
+	if _, err := NewCSVStream("x", strings.NewReader(""), 0, 2, 2, false); err == nil {
+		t.Error("batchSize 0 should error")
+	}
+	if _, err := NewCSVStream("x", strings.NewReader(""), 4, 2, 1, false); err == nil {
+		t.Error("classes 1 should error")
+	}
+	if _, err := NewCSVStream("x", strings.NewReader(""), 4, 2, 2, true); err == nil {
+		t.Error("missing header should error")
+	}
+}
+
+func TestCSVStreamBadRows(t *testing.T) {
+	// Bad feature value.
+	s, _ := NewCSVStream("x", strings.NewReader("1,oops,0\n"), 4, 2, 2, false)
+	if _, ok := s.Next(); ok {
+		t.Error("bad feature row should end the stream")
+	}
+	if s.Err() == nil {
+		t.Error("bad feature should set Err")
+	}
+	// Bad label.
+	s2, _ := NewCSVStream("x", strings.NewReader("1,2,9\n"), 4, 2, 2, false)
+	if _, ok := s2.Next(); ok {
+		t.Error("bad label row should end the stream")
+	}
+	if s2.Err() == nil {
+		t.Error("bad label should set Err")
+	}
+	// Wrong column count.
+	s3, _ := NewCSVStream("x", strings.NewReader("1,2\n"), 4, 2, 2, false)
+	s3.Next()
+	if s3.Err() == nil {
+		t.Error("short row should set Err")
+	}
+}
+
+func TestCSVStreamGoodRowsBeforeBadAreDelivered(t *testing.T) {
+	data := "1,2,0\n3,4,1\nbad,5,0\n"
+	s, _ := NewCSVStream("x", strings.NewReader(data), 8, 2, 2, false)
+	b, ok := s.Next()
+	if !ok || len(b.X) != 2 {
+		t.Fatalf("expected the two good rows, got ok=%v len=%d", ok, len(b.X))
+	}
+	if s.Err() == nil {
+		t.Error("Err should report the bad row")
+	}
+}

@@ -1,0 +1,320 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+
+	"freewayml/internal/stream"
+)
+
+func TestRegistryBuildsEveryDataset(t *testing.T) {
+	for _, name := range Names() {
+		src, err := Build(name, 64, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if src.Name() != name {
+			t.Errorf("%s: Name() = %q", name, src.Name())
+		}
+		if src.Dim() < 1 || src.Classes() < 2 {
+			t.Errorf("%s: Dim=%d Classes=%d", name, src.Dim(), src.Classes())
+		}
+		b, ok := src.Next()
+		if !ok {
+			t.Fatalf("%s: no first batch", name)
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatalf("%s: invalid batch: %v", name, err)
+		}
+		if len(b.X) != 64 {
+			t.Errorf("%s: batch size %d", name, len(b.X))
+		}
+		if len(b.X[0]) != src.Dim() {
+			t.Errorf("%s: feature dim %d, want %d", name, len(b.X[0]), src.Dim())
+		}
+		for _, y := range b.Y {
+			if y < 0 || y >= src.Classes() {
+				t.Fatalf("%s: label %d out of range", name, y)
+			}
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope", 64, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a, _ := NewHyperplane(32, 7)
+	b, _ := NewHyperplane(32, 7)
+	for i := 0; i < 5; i++ {
+		ba, oka := a.Next()
+		bb, okb := b.Next()
+		if oka != okb {
+			t.Fatal("streams desynced")
+		}
+		for r := range ba.X {
+			for c := range ba.X[r] {
+				if ba.X[r][c] != bb.X[r][c] {
+					t.Fatal("same seed produced different data")
+				}
+			}
+			if ba.Y[r] != bb.Y[r] {
+				t.Fatal("same seed produced different labels")
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := NewSEA(32, 1)
+	b, _ := NewSEA(32, 2)
+	ba, _ := a.Next()
+	bb, _ := b.Next()
+	same := true
+	for r := range ba.X {
+		for c := range ba.X[r] {
+			if ba.X[r][c] != bb.X[r][c] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestStreamsEndAndCoverAllKinds(t *testing.T) {
+	for _, name := range Benchmark6() {
+		src, err := Build(name, 16, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[stream.DriftKind]int{}
+		n := 0
+		for {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			kinds[b.Truth]++
+			n++
+			if n > 10000 {
+				t.Fatalf("%s: stream does not terminate", name)
+			}
+		}
+		if n < 50 {
+			t.Errorf("%s: only %d batches", name, n)
+		}
+		for _, k := range []stream.DriftKind{stream.KindSlight, stream.KindSudden, stream.KindReoccurring} {
+			if kinds[k] == 0 {
+				t.Errorf("%s: no batches of kind %v", name, k)
+			}
+		}
+	}
+}
+
+func TestSequenceNumbersMonotone(t *testing.T) {
+	src, _ := NewElectricity(16, 1)
+	prev := -1
+	for i := 0; i < 20; i++ {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if b.Seq != prev+1 {
+			t.Fatalf("seq jumped from %d to %d", prev, b.Seq)
+		}
+		prev = b.Seq
+	}
+}
+
+func TestSuddenPhaseMovesDistribution(t *testing.T) {
+	// The batch mean must jump when a sudden phase begins.
+	src, _ := NewElectricityLoad(128, 5)
+	var lastSlightMean, firstSuddenMean []float64
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		mean := batchMean(b.X)
+		if b.Truth == stream.KindSudden && firstSuddenMean == nil {
+			firstSuddenMean = mean
+			break
+		}
+		lastSlightMean = mean
+	}
+	if firstSuddenMean == nil || lastSlightMean == nil {
+		t.Fatal("schedule lacks the expected phases")
+	}
+	var dist float64
+	for j := range firstSuddenMean {
+		d := firstSuddenMean[j] - lastSlightMean[j]
+		dist += d * d
+	}
+	dist = math.Sqrt(dist)
+	if dist < 1 {
+		t.Errorf("sudden phase moved the mean by only %v", dist)
+	}
+}
+
+func TestReoccurringReturnsNearOldConcept(t *testing.T) {
+	// The mean during the reoccurring phase must be closer to the original
+	// concept's mean than to the intervening concept's mean.
+	src, _ := NewElectricityLoad(128, 5)
+	var concept0Mean, concept1Mean, reoccurMean []float64
+	var seenSudden bool
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		m := batchMean(b.X)
+		switch b.Truth {
+		case stream.KindSlight:
+			if !seenSudden {
+				concept0Mean = m
+			} else if reoccurMean == nil {
+				concept1Mean = m
+			}
+		case stream.KindSudden:
+			seenSudden = true
+		case stream.KindReoccurring:
+			reoccurMean = m
+		}
+		if reoccurMean != nil {
+			break
+		}
+	}
+	if concept0Mean == nil || concept1Mean == nil || reoccurMean == nil {
+		t.Fatal("missing phases")
+	}
+	d0 := dist(reoccurMean, concept0Mean)
+	d1 := dist(reoccurMean, concept1Mean)
+	if d0 >= d1 {
+		t.Errorf("reoccurring mean closer to new concept (d0=%v, d1=%v)", d0, d1)
+	}
+}
+
+func TestClassImbalanceRespected(t *testing.T) {
+	src, _ := NewNSLKDD(256, 9)
+	counts := make([]int, src.Classes())
+	total := 0
+	for i := 0; i < 30; i++ {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		for _, y := range b.Y {
+			counts[y]++
+			total++
+		}
+	}
+	// Class 0 (normal traffic) must dominate; class 4 (U2R) must be rare.
+	if frac := float64(counts[0]) / float64(total); frac < 0.4 {
+		t.Errorf("majority class fraction = %v", frac)
+	}
+	if frac := float64(counts[4]) / float64(total); frac > 0.05 {
+		t.Errorf("rare class fraction = %v", frac)
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	if _, err := newProtoStream(streamSpec{name: "bad"}); err == nil {
+		t.Error("empty spec should error")
+	}
+	spec := streamSpec{
+		name: "bad", dim: 2, classes: 2, batchSize: 4,
+		baseMeans: [][]float64{{0, 0}, {1, 1}},
+		concepts:  []Concept{{Offsets: uniformOffsets(2, []float64{0, 0}), Noise: 1}},
+		schedule:  Schedule{Phases: []Phase{{Batches: 1, Concept: 5}}},
+	}
+	if _, err := newProtoStream(spec); err == nil {
+		t.Error("out-of-range phase concept should error")
+	}
+	spec.schedule = Schedule{Phases: []Phase{{Batches: 1, Concept: 0, Velocity: []float64{1}}}}
+	if _, err := newProtoStream(spec); err == nil {
+		t.Error("velocity dim mismatch should error")
+	}
+	spec.schedule = Schedule{Phases: []Phase{{Batches: 1, Concept: 0}}}
+	spec.classProbs = []float64{-1, 2}
+	if _, err := newProtoStream(spec); err == nil {
+		t.Error("negative class prob should error")
+	}
+	spec.classProbs = []float64{0, 0}
+	if _, err := newProtoStream(spec); err == nil {
+		t.Error("zero-sum class probs should error")
+	}
+	spec.classProbs = nil
+	spec.concepts[0].Noise = 0
+	if _, err := newProtoStream(spec); err == nil {
+		t.Error("zero noise should error")
+	}
+}
+
+func batchMean(x [][]float64) []float64 {
+	m := make([]float64, len(x[0]))
+	for _, row := range x {
+		for j, v := range row {
+			m[j] += v
+		}
+	}
+	for j := range m {
+		m[j] /= float64(len(x))
+	}
+	return m
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestRandomRBFStream(t *testing.T) {
+	src, err := Build("RandomRBF", 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Dim() != 10 || src.Classes() != 4 {
+		t.Fatalf("shape %d/%d", src.Dim(), src.Classes())
+	}
+	n := 0
+	var firstMean, lastMean []float64
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := b.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, y := range b.Y {
+			if y < 0 || y >= 4 {
+				t.Fatalf("label %d", y)
+			}
+		}
+		m := batchMean(b.X)
+		if firstMean == nil {
+			firstMean = m
+		}
+		lastMean = m
+		n++
+	}
+	if n != 150 {
+		t.Errorf("batches = %d, want 150", n)
+	}
+	// The centroids drift: the overall mean must have moved.
+	if dist(firstMean, lastMean) < 0.05 {
+		t.Errorf("no drift detected: first %v last %v", firstMean, lastMean)
+	}
+	if _, err := NewRandomRBF(0, 1); err == nil {
+		t.Error("batchSize 0 should error")
+	}
+}

@@ -1,0 +1,110 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"freewayml/internal/stream"
+)
+
+// rbfStream implements the RandomRBF generator with drifting centroids — a
+// standard stream-learning benchmark beyond the paper's six (River ships
+// one too): K Gaussian centroids with random class assignments move through
+// feature space at per-centroid velocities, so the class regions themselves
+// wander (incremental real drift, continuously).
+type rbfStream struct {
+	name      string
+	dim       int
+	classes   int
+	batchSize int
+	noise     float64
+
+	centroids [][]float64
+	velocity  [][]float64
+	labels    []int
+	weights   []float64 // cumulative sampling weights
+
+	rng  *rand.Rand
+	seq  int
+	max  int
+	done bool
+}
+
+// NewRandomRBF builds the generator: numCentroids moving Gaussian kernels
+// over dim features and the given class count, emitting maxBatches batches
+// (0 = endless).
+func NewRandomRBF(batchSize int, seed int64) (stream.Source, error) {
+	const (
+		dim          = 10
+		classes      = 4
+		numCentroids = 12
+		speed        = 0.02
+		noise        = 0.6
+		maxBatches   = 150
+	)
+	if batchSize < 1 {
+		return nil, fmt.Errorf("datasets: RandomRBF batch size %d", batchSize)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := &rbfStream{
+		name: "RandomRBF", dim: dim, classes: classes, batchSize: batchSize,
+		noise: noise, rng: rng, max: maxBatches,
+	}
+	cum := 0.0
+	for i := 0; i < numCentroids; i++ {
+		c := make([]float64, dim)
+		v := make([]float64, dim)
+		for j := range c {
+			c[j] = rng.Float64()*10 - 5
+			v[j] = (rng.Float64()*2 - 1) * speed
+		}
+		s.centroids = append(s.centroids, c)
+		s.velocity = append(s.velocity, v)
+		s.labels = append(s.labels, i%classes)
+		cum += rng.Float64() + 0.2
+		s.weights = append(s.weights, cum)
+	}
+	return s, nil
+}
+
+func (s *rbfStream) Name() string { return s.name }
+func (s *rbfStream) Dim() int     { return s.dim }
+func (s *rbfStream) Classes() int { return s.classes }
+
+// Next moves every centroid one step and samples a batch.
+func (s *rbfStream) Next() (stream.Batch, bool) {
+	if s.done {
+		return stream.Batch{}, false
+	}
+	for i := range s.centroids {
+		for j := range s.centroids[i] {
+			s.centroids[i][j] += s.velocity[i][j]
+			// Bounce off the arena walls so the stream stays bounded.
+			if s.centroids[i][j] > 8 || s.centroids[i][j] < -8 {
+				s.velocity[i][j] = -s.velocity[i][j]
+			}
+		}
+	}
+	x := make([][]float64, s.batchSize)
+	y := make([]int, s.batchSize)
+	total := s.weights[len(s.weights)-1]
+	for i := 0; i < s.batchSize; i++ {
+		u := s.rng.Float64() * total
+		k := 0
+		for k < len(s.weights) && s.weights[k] < u {
+			k++
+		}
+		row := make([]float64, s.dim)
+		for j := range row {
+			row[j] = s.centroids[k][j] + s.rng.NormFloat64()*s.noise
+		}
+		x[i] = row
+		y[i] = s.labels[k]
+	}
+	b := stream.Batch{Seq: s.seq, X: x, Y: y, Truth: stream.KindSlight}
+	s.seq++
+	if s.max > 0 && s.seq >= s.max {
+		s.done = true
+	}
+	return b, true
+}

@@ -1,0 +1,94 @@
+package drift
+
+import "math"
+
+// ADWIN is the ADaptive WINdowing detector of Bifet & Gavaldà (2007): it
+// maintains a window of recent observations and drops its prefix whenever
+// two sub-windows exhibit means different enough to be statistically
+// incompatible at confidence δ. This implementation keeps an explicit
+// window (bounded by MaxWindow) and checks every split point — O(w) per
+// add, ample for the per-batch signals FreewayML's baselines feed it.
+type ADWIN struct {
+	// Delta is the confidence parameter δ (0.002 is the customary default).
+	Delta float64
+	// MaxWindow bounds memory; older observations beyond it are discarded
+	// without signaling drift.
+	MaxWindow int
+
+	window []float64
+}
+
+// NewADWIN returns an ADWIN detector; non-positive arguments select the
+// defaults δ=0.002, MaxWindow=1000.
+func NewADWIN(delta float64, maxWindow int) *ADWIN {
+	if delta <= 0 || delta >= 1 {
+		delta = 0.002
+	}
+	if maxWindow <= 0 {
+		maxWindow = 1000
+	}
+	return &ADWIN{Delta: delta, MaxWindow: maxWindow}
+}
+
+// Add ingests an observation; it returns true and shrinks the window when a
+// change is detected.
+func (a *ADWIN) Add(x float64) bool {
+	a.window = append(a.window, x)
+	if len(a.window) > a.MaxWindow {
+		a.window = a.window[1:]
+	}
+	n := len(a.window)
+	if n < 10 {
+		return false
+	}
+
+	total := 0.0
+	for _, v := range a.window {
+		total += v
+	}
+
+	detected := false
+	// Check every split; cut the longest incompatible prefix.
+	leftSum := 0.0
+	cut := -1
+	for i := 0; i < n-5; i++ {
+		leftSum += a.window[i]
+		n0 := float64(i + 1)
+		n1 := float64(n - i - 1)
+		if n0 < 5 || n1 < 5 {
+			continue
+		}
+		mean0 := leftSum / n0
+		mean1 := (total - leftSum) / n1
+		// Hoeffding-style bound with harmonic sample size.
+		m := 1 / (1/n0 + 1/n1)
+		deltaPrime := a.Delta / float64(n)
+		epsCut := math.Sqrt((1 / (2 * m)) * math.Log(4/deltaPrime))
+		if math.Abs(mean0-mean1) > epsCut {
+			detected = true
+			cut = i
+		}
+	}
+	if detected {
+		a.window = append([]float64(nil), a.window[cut+1:]...)
+	}
+	return detected
+}
+
+// Reset clears the window.
+func (a *ADWIN) Reset() { a.window = nil }
+
+// WindowLen returns the current window length (for inspection and tests).
+func (a *ADWIN) WindowLen() int { return len(a.window) }
+
+// Mean returns the mean of the current window (0 when empty).
+func (a *ADWIN) Mean() float64 {
+	if len(a.window) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range a.window {
+		s += v
+	}
+	return s / float64(len(a.window))
+}

@@ -1,0 +1,66 @@
+package drift
+
+import "math"
+
+// DDM is the Drift Detection Method of Gama et al. (2004): it tracks the
+// running error rate p and its standard deviation s, recording the minimum
+// p+s seen; drift is signaled when p+s exceeds p_min + 3·s_min.
+type DDM struct {
+	// WarningLevel and DriftLevel are the multipliers on s_min (2 and 3 in
+	// the original paper).
+	WarningLevel, DriftLevel float64
+	// MinSamples before any decision (30 in the original paper).
+	MinSamples int
+
+	n     int
+	p     float64
+	pMin  float64
+	sMin  float64
+	psMin float64
+}
+
+// NewDDM returns a DDM detector with the original paper's thresholds.
+func NewDDM() *DDM {
+	d := &DDM{WarningLevel: 2, DriftLevel: 3, MinSamples: 30}
+	d.Reset()
+	return d
+}
+
+// Add ingests a binary error indicator (1 = misclassified) or any bounded
+// error statistic; returns true when the drift level is crossed.
+func (d *DDM) Add(x float64) bool {
+	d.n++
+	// Incremental error-rate estimate.
+	d.p += (x - d.p) / float64(d.n)
+	s := math.Sqrt(d.p * (1 - d.p) / float64(d.n))
+
+	if d.n < d.MinSamples {
+		return false
+	}
+	if d.p+s < d.psMin {
+		d.pMin, d.sMin, d.psMin = d.p, s, d.p+s
+	}
+	if d.p+s > d.pMin+d.DriftLevel*d.sMin {
+		d.Reset()
+		return true
+	}
+	return false
+}
+
+// Warning reports whether the warning level is exceeded (without resetting).
+func (d *DDM) Warning() bool {
+	if d.n < d.MinSamples {
+		return false
+	}
+	s := math.Sqrt(d.p * (1 - d.p) / float64(d.n))
+	return d.p+s > d.pMin+d.WarningLevel*d.sMin
+}
+
+// Reset clears all statistics.
+func (d *DDM) Reset() {
+	d.n = 0
+	d.p = 0
+	d.pMin = math.Inf(1)
+	d.sMin = math.Inf(1)
+	d.psMin = math.Inf(1)
+}

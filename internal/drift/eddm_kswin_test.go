@@ -1,0 +1,136 @@
+package drift
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEDDMStableNoDetection(t *testing.T) {
+	// A stationary Bernoulli error stream. EDDM is known to be sensitive on
+	// heavy-tailed gap distributions (the early max estimate overshoots),
+	// so rare false positives are tolerated; frequent ones are a bug.
+	rng := rand.New(rand.NewSource(7))
+	d := NewEDDM()
+	fires := 0
+	for i := 0; i < 3000; i++ {
+		var e float64
+		if rng.Float64() < 0.2 {
+			e = 1
+		}
+		if d.Add(e) {
+			fires++
+		}
+	}
+	if fires > 2 {
+		t.Errorf("EDDM fired %d times on a stationary error stream", fires)
+	}
+}
+
+func TestEDDMDetectsShrinkingErrorGaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewEDDM()
+	// Low error rate (long gaps), then high error rate (short gaps).
+	feed(d, 3000, func(int) float64 {
+		if rng.Float64() < 0.05 {
+			return 1
+		}
+		return 0
+	})
+	if !feed(d, 1500, func(int) float64 {
+		if rng.Float64() < 0.6 {
+			return 1
+		}
+		return 0
+	}) {
+		t.Error("EDDM missed a 0.05→0.6 error-rate jump")
+	}
+}
+
+func TestEDDMWarning(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewEDDM()
+	feed(d, 3000, func(int) float64 {
+		if rng.Float64() < 0.05 {
+			return 1
+		}
+		return 0
+	})
+	warned := false
+	for i := 0; i < 1500; i++ {
+		var e float64
+		if rng.Float64() < 0.5 {
+			e = 1
+		}
+		if d.Warning() {
+			warned = true
+		}
+		if d.Add(e) {
+			break
+		}
+	}
+	if !warned {
+		t.Error("no warning before EDDM drift")
+	}
+}
+
+func TestKSWINStableNoDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k := NewKSWIN(0.005, 100, 30, 1)
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if k.Add(rng.NormFloat64()) {
+			fired++
+		}
+	}
+	// ~1900 KS tests at α=0.005 expect ≈10 false positives; anything far
+	// beyond that indicates a broken statistic.
+	if fired > 30 {
+		t.Errorf("KSWIN fired %d times on a stationary stream", fired)
+	}
+}
+
+func TestKSWINDetectsDistributionChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	k := NewKSWIN(0.005, 100, 30, 1)
+	for i := 0; i < 500; i++ {
+		k.Add(rng.NormFloat64())
+	}
+	detected := false
+	for i := 0; i < 200; i++ {
+		if k.Add(5 + rng.NormFloat64()) {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Error("KSWIN missed a 5σ mean shift")
+	}
+}
+
+func TestKSWINDefaultsAndReset(t *testing.T) {
+	k := NewKSWIN(-1, 0, 0, 1)
+	if k.Alpha != 0.005 || k.WindowSize != 100 || k.StatSize != 33 {
+		t.Errorf("defaults: %+v", k)
+	}
+	k.Add(1)
+	k.Reset()
+	if len(k.window) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestKSStatisticBounds(t *testing.T) {
+	same := []float64{1, 2, 3, 4}
+	if d := ksStatistic(same, same); d > 0.26 {
+		t.Errorf("identical samples KS = %v", d)
+	}
+	disjoint := ksStatistic([]float64{1, 2, 3}, []float64{10, 11, 12})
+	if disjoint < 0.99 {
+		t.Errorf("disjoint samples KS = %v, want ~1", disjoint)
+	}
+}
+
+func TestNewDetectorsImplementInterface(t *testing.T) {
+	var _ Detector = NewEDDM()
+	var _ Detector = NewKSWIN(0, 0, 0, 1)
+}

@@ -1,0 +1,94 @@
+package drift
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// KSWIN is the Kolmogorov-Smirnov Windowing detector (Raab et al. 2020): it
+// keeps a sliding window of recent observations and tests, via the two-
+// sample KS statistic, whether a random sample of the window's older part
+// and its most recent part come from the same distribution.
+type KSWIN struct {
+	// Alpha is the significance level of the KS test (0.005 by default).
+	Alpha float64
+	// WindowSize and StatSize are the sliding window length and the size of
+	// the recent segment tested (100 and 30 by default).
+	WindowSize, StatSize int
+
+	window []float64
+	rng    *rand.Rand
+}
+
+// NewKSWIN returns a KSWIN detector; non-positive arguments select the
+// defaults α=0.005, window 100, statistic segment 30.
+func NewKSWIN(alpha float64, windowSize, statSize int, seed int64) *KSWIN {
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.005
+	}
+	if windowSize <= 0 {
+		windowSize = 100
+	}
+	if statSize <= 0 || statSize >= windowSize {
+		statSize = windowSize / 3
+	}
+	return &KSWIN{Alpha: alpha, WindowSize: windowSize, StatSize: statSize, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add ingests an observation; returns true when the KS test rejects the
+// same-distribution hypothesis, pruning the window to the recent segment.
+func (k *KSWIN) Add(x float64) bool {
+	k.window = append(k.window, x)
+	if len(k.window) > k.WindowSize {
+		k.window = k.window[1:]
+	}
+	if len(k.window) < k.WindowSize {
+		return false
+	}
+
+	recent := k.window[len(k.window)-k.StatSize:]
+	older := k.window[:len(k.window)-k.StatSize]
+	// Random subsample of the older part, same size as the recent segment.
+	sample := make([]float64, k.StatSize)
+	for i := range sample {
+		sample[i] = older[k.rng.Intn(len(older))]
+	}
+
+	d := ksStatistic(sample, recent)
+	// KS critical value for two equal-size samples at significance α.
+	n := float64(k.StatSize)
+	critical := math.Sqrt(-0.5*math.Log(k.Alpha/2)) * math.Sqrt(2/n)
+	if d > critical {
+		k.window = append([]float64(nil), recent...)
+		return true
+	}
+	return false
+}
+
+// Reset clears the window.
+func (k *KSWIN) Reset() { k.window = nil }
+
+// ksStatistic returns the two-sample Kolmogorov-Smirnov statistic: the
+// maximum distance between the samples' empirical CDFs.
+func ksStatistic(a, b []float64) float64 {
+	as := append([]float64(nil), a...)
+	bs := append([]float64(nil), b...)
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	var d float64
+	i, j := 0, 0
+	for i < len(as) && j < len(bs) {
+		if as[i] <= bs[j] {
+			i++
+		} else {
+			j++
+		}
+		fa := float64(i) / float64(len(as))
+		fb := float64(j) / float64(len(bs))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}

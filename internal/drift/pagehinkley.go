@@ -1,0 +1,57 @@
+package drift
+
+// PageHinkley is the Page-Hinkley change detector: it accumulates the
+// deviation of observations from their running mean (minus a tolerance δ)
+// and signals drift when the accumulated deviation exceeds threshold λ.
+type PageHinkley struct {
+	// Delta is the tolerance subtracted from each deviation.
+	Delta float64
+	// Lambda is the detection threshold.
+	Lambda float64
+	// MinSamples before any decision.
+	MinSamples int
+
+	n    int
+	mean float64
+	sum  float64
+	min  float64
+}
+
+// NewPageHinkley returns a detector with the given tolerance and threshold;
+// non-positive values select δ=0.005, λ=50.
+func NewPageHinkley(delta, lambda float64) *PageHinkley {
+	if delta <= 0 {
+		delta = 0.005
+	}
+	if lambda <= 0 {
+		lambda = 50
+	}
+	return &PageHinkley{Delta: delta, Lambda: lambda, MinSamples: 30}
+}
+
+// Add ingests an observation; returns true when the cumulative deviation
+// crosses λ, resetting the detector.
+func (p *PageHinkley) Add(x float64) bool {
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.sum += x - p.mean - p.Delta
+	if p.sum < p.min {
+		p.min = p.sum
+	}
+	if p.n < p.MinSamples {
+		return false
+	}
+	if p.sum-p.min > p.Lambda {
+		p.Reset()
+		return true
+	}
+	return false
+}
+
+// Reset clears all statistics.
+func (p *PageHinkley) Reset() {
+	p.n = 0
+	p.mean = 0
+	p.sum = 0
+	p.min = 0
+}

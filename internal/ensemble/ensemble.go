@@ -1,0 +1,111 @@
+// Package ensemble implements FreewayML's distance-based adaptive ensemble
+// (paper Eq. 12-14): each granularity model's prediction is weighted by a
+// Gaussian kernel of its model shift distance D — the distance between the
+// model's training distribution and the live data — so the model that best
+// matches the current distribution dominates the fused output.
+package ensemble
+
+import (
+	"errors"
+	"math"
+)
+
+// Kernel is the Gaussian kernel K(D, σ) = exp(−D² / (2σ²)) of Eq. 14.
+// A non-positive σ panics: the caller owns config validation.
+func Kernel(d, sigma float64) float64 {
+	if sigma <= 0 {
+		panic("ensemble: sigma must be positive")
+	}
+	return math.Exp(-(d * d) / (2 * sigma * sigma))
+}
+
+// Member is one model's contribution to the fusion: its per-sample class
+// probabilities and its model shift distance D (Eq. 12/13).
+type Member struct {
+	Proba    [][]float64
+	Distance float64
+}
+
+// Fuse combines the members' probability outputs per Eq. 14:
+// y = Σ K(Dᵢ,σ)·yᵢ / Σ K(Dᵢ,σ). All members must cover the same samples and
+// classes. When every kernel weight underflows to zero (all distances
+// enormous), the fusion falls back to uniform weights rather than dividing
+// by zero.
+func Fuse(members []Member, sigma float64) ([][]float64, error) {
+	if len(members) == 0 {
+		return nil, errors.New("ensemble: no members")
+	}
+	if sigma <= 0 {
+		return nil, errors.New("ensemble: sigma must be positive")
+	}
+	n := len(members[0].Proba)
+	for _, m := range members {
+		if len(m.Proba) != n {
+			return nil, errors.New("ensemble: member sample counts differ")
+		}
+	}
+	if n == 0 {
+		return [][]float64{}, nil
+	}
+	classes := len(members[0].Proba[0])
+
+	weights := make([]float64, len(members))
+	var totalW float64
+	for i, m := range members {
+		weights[i] = Kernel(m.Distance, sigma)
+		totalW += weights[i]
+	}
+	if totalW == 0 {
+		for i := range weights {
+			weights[i] = 1
+		}
+		totalW = float64(len(weights))
+	}
+
+	out := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		row := make([]float64, classes)
+		for i, m := range members {
+			if len(m.Proba[s]) != classes {
+				return nil, errors.New("ensemble: member class counts differ")
+			}
+			w := weights[i]
+			for c, p := range m.Proba[s] {
+				row[c] += w * p
+			}
+		}
+		for c := range row {
+			row[c] /= totalW
+		}
+		out[s] = row
+	}
+	return out, nil
+}
+
+// Weights returns the normalized kernel weights the members would receive —
+// useful for introspection and the ablation benches.
+func Weights(distances []float64, sigma float64) ([]float64, error) {
+	if len(distances) == 0 {
+		return nil, errors.New("ensemble: no distances")
+	}
+	if sigma <= 0 {
+		return nil, errors.New("ensemble: sigma must be positive")
+	}
+	out := make([]float64, len(distances))
+	var total float64
+	for i, d := range distances {
+		out[i] = Kernel(d, sigma)
+		total += out[i]
+	}
+	if total == 0 {
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return out, nil
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}

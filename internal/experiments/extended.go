@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"freewayml/internal/baselines"
+	"freewayml/internal/datasets"
+)
+
+// ExtendedResult goes beyond the paper's Table I: every implemented
+// adaptation family — the Table I baselines plus Replay, EWC and the
+// SEED-like expert pool from the related work — against FreewayML on the
+// six benchmark datasets (MLP family).
+type ExtendedResult struct {
+	Datasets []string
+	Systems  []string
+	// Cells maps system → dataset → cell.
+	Cells map[string]map[string]Table1Cell
+}
+
+// Extended runs the full extended comparison.
+func Extended(opt Options) (*ExtendedResult, error) {
+	systems := append(append([]string{}, baselines.ExtendedBaselines()...), "FreewayML")
+	res := &ExtendedResult{
+		Datasets: datasets.Benchmark6(),
+		Systems:  systems,
+		Cells:    map[string]map[string]Table1Cell{},
+	}
+	for _, name := range systems {
+		res.Cells[name] = map[string]Table1Cell{}
+		for _, ds := range res.Datasets {
+			src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var sys System
+			if name == "FreewayML" {
+				fs, err := newFreewaySystem("mlp", src.Dim(), src.Classes(), opt)
+				if err != nil {
+					return nil, err
+				}
+				sys = fs
+			} else {
+				sys, err = newBaselineSystem(name, "mlp", src.Dim(), src.Classes(), opt)
+				if err != nil {
+					return nil, err
+				}
+			}
+			preq, err := RunPrequential(sys, src, opt.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells[name][ds] = Table1Cell{GAcc: preq.GAcc(), SI: preq.SI()}
+		}
+	}
+	return res, nil
+}
+
+// String renders the extended grid.
+func (r *ExtendedResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("Extended comparison (StreamingMLP): all adaptation families vs FreewayML\n")
+	fmt.Fprintf(&sb, "%-12s", "System")
+	for _, ds := range r.Datasets {
+		fmt.Fprintf(&sb, " | %-16s", ds)
+	}
+	fmt.Fprintf(&sb, "\n%-12s", "")
+	for range r.Datasets {
+		fmt.Fprintf(&sb, " | %7s  %6s ", "G_acc", "SI")
+	}
+	sb.WriteByte('\n')
+	for _, name := range r.Systems {
+		fmt.Fprintf(&sb, "%-12s", name)
+		for _, ds := range r.Datasets {
+			c := r.Cells[name][ds]
+			fmt.Fprintf(&sb, " | %6.2f%%  %6.3f", 100*c.GAcc, c.SI)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

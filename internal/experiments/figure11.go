@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"freewayml/internal/baselines"
+	"freewayml/internal/datasets"
+	"freewayml/internal/stream"
+)
+
+// Figure11Cell is one system's accuracy under one drift pattern on one
+// dataset.
+type Figure11Cell struct {
+	Acc     float64
+	Batches int
+}
+
+// Figure11Result reproduces Figure 11: accuracy of FreewayML compared to
+// existing methods, sliced by the three shift patterns across the six
+// benchmark datasets (MLP family, as the figure's comparisons are the MLP
+// baselines).
+type Figure11Result struct {
+	Datasets []string
+	Systems  []string
+	// Cells maps dataset → system → drift kind → cell.
+	Cells map[string]map[string]map[stream.DriftKind]Figure11Cell
+}
+
+// Figure11 runs every MLP-group system over the six datasets and slices
+// accuracy by ground-truth pattern.
+func Figure11(opt Options) (*Figure11Result, error) {
+	systems := append(append([]string{}, baselines.MLPBaselines()...), "FreewayML")
+	res := &Figure11Result{
+		Datasets: datasets.Benchmark6(),
+		Systems:  systems,
+		Cells:    map[string]map[string]map[stream.DriftKind]Figure11Cell{},
+	}
+	for _, ds := range res.Datasets {
+		res.Cells[ds] = map[string]map[stream.DriftKind]Figure11Cell{}
+		for _, name := range systems {
+			src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+			if err != nil {
+				return nil, err
+			}
+			var sys System
+			if name == "FreewayML" {
+				fs, err := newFreewaySystem("mlp", src.Dim(), src.Classes(), opt)
+				if err != nil {
+					return nil, err
+				}
+				sys = fs
+			} else {
+				sys, err = newBaselineSystem(name, "mlp", src.Dim(), src.Classes(), opt)
+				if err != nil {
+					return nil, err
+				}
+			}
+			preq, err := RunPrequential(sys, src, opt.MaxBatches)
+			if err != nil {
+				return nil, err
+			}
+			cells := map[stream.DriftKind]Figure11Cell{}
+			for _, kind := range []stream.DriftKind{stream.KindSlight, stream.KindSudden, stream.KindReoccurring} {
+				acc, n := preq.KindAcc(kind)
+				cells[kind] = Figure11Cell{Acc: acc, Batches: n}
+			}
+			res.Cells[ds][name] = cells
+		}
+	}
+	return res, nil
+}
+
+// String renders the per-pattern comparison rows.
+func (r *Figure11Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11: accuracy(%) of FreewayML vs existing methods per pattern\n")
+	fmt.Fprintf(&sb, "%-12s | %-11s", "Dataset", "Pattern")
+	for _, sys := range r.Systems {
+		fmt.Fprintf(&sb, " | %9s", sys)
+	}
+	sb.WriteByte('\n')
+	for _, ds := range r.Datasets {
+		for _, kind := range []stream.DriftKind{stream.KindSlight, stream.KindSudden, stream.KindReoccurring} {
+			fmt.Fprintf(&sb, "%-12s | %-11s", ds, kind)
+			for _, sys := range r.Systems {
+				fmt.Fprintf(&sb, " | %8.2f%%", 100*r.Cells[ds][sys][kind].Acc)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// FreewayWinsSevere counts the dataset×pattern slices with severe drift
+// (sudden or reoccurring) where FreewayML beats every baseline — the
+// paper's claim is that the advantage concentrates there.
+func (r *Figure11Result) FreewayWinsSevere() (wins, total int) {
+	for _, ds := range r.Datasets {
+		for _, kind := range []stream.DriftKind{stream.KindSudden, stream.KindReoccurring} {
+			total++
+			f := r.Cells[ds]["FreewayML"][kind].Acc
+			best := true
+			for _, sys := range r.Systems {
+				if sys == "FreewayML" {
+					continue
+				}
+				if r.Cells[ds][sys][kind].Acc >= f {
+					best = false
+				}
+			}
+			if best {
+				wins++
+			}
+		}
+	}
+	return wins, total
+}

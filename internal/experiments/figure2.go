@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"freewayml/internal/datasets"
+	"freewayml/internal/linalg"
+	"freewayml/internal/metrics"
+	"freewayml/internal/shift"
+)
+
+// Figure2Dataset is the shift-graph study of one Sec. III stream: the PCA
+// trajectory with per-batch accuracy, plus the correlation between shift
+// distance and accuracy change.
+type Figure2Dataset struct {
+	Dataset string
+	Graph   *shift.Graph
+	// Correlation is the Pearson correlation between each batch's shift
+	// distance d_t and the magnitude of its accuracy change |Δacc| — the
+	// relationship Fig. 2d visualizes.
+	Correlation float64
+}
+
+// Figure2Result reproduces Figure 2: shift graphs of the three real-world
+// study datasets and the accuracy-vs-shift correlation.
+type Figure2Result struct {
+	Streams []Figure2Dataset
+}
+
+// Figure2Datasets lists the Sec. III study streams.
+func Figure2Datasets() []string {
+	return []string{"ElectricityLoad", "StockTrend", "SolarIrradiance"}
+}
+
+// Figure2 runs a plain StreamingMLP with a shift detector over each study
+// dataset, recording the shift graph and per-batch real-time accuracy.
+func Figure2(opt Options) (*Figure2Result, error) {
+	res := &Figure2Result{}
+	for _, ds := range Figure2Datasets() {
+		src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := newBaselineSystem("Plain", "mlp", src.Dim(), src.Classes(), opt)
+		if err != nil {
+			return nil, err
+		}
+		detCfg := shift.DefaultConfig()
+		detCfg.WarmupPoints = 2 * opt.BatchSize
+		detCfg.HistoryK = 12
+		detCfg.MinSeverityHistory = 4
+		det, err := shift.NewDetector(detCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		var g shift.Graph
+		var dists, dAccs []float64
+		prevAcc := math.NaN()
+		for n := 0; opt.MaxBatches <= 0 || n < opt.MaxBatches; n++ {
+			b, ok := src.Next()
+			if !ok {
+				break
+			}
+			pred, err := sys.Step(b)
+			if err != nil {
+				return nil, err
+			}
+			acc, err := metrics.Accuracy(pred, b.Y)
+			if err != nil {
+				return nil, err
+			}
+			obs, err := det.Observe(toVecs(b.X))
+			if err != nil {
+				return nil, err
+			}
+			g.Add(obs, acc)
+			if obs.YBar != nil && !math.IsNaN(prevAcc) && obs.Distance > 0 {
+				dists = append(dists, obs.Distance)
+				dAccs = append(dAccs, math.Abs(acc-prevAcc))
+			}
+			prevAcc = acc
+		}
+		res.Streams = append(res.Streams, Figure2Dataset{
+			Dataset:     ds,
+			Graph:       &g,
+			Correlation: pearson(dists, dAccs),
+		})
+	}
+	return res, nil
+}
+
+// String summarizes the graphs (full CSVs come from cmd/shiftgraph).
+func (r *Figure2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 2: shift graphs and accuracy correlation (Sec. III study)\n")
+	fmt.Fprintf(&sb, "%-16s | %7s | %12s | %22s\n", "Dataset", "Batches", "Path length", "corr(d_t, |Δacc|)")
+	for _, s := range r.Streams {
+		fmt.Fprintf(&sb, "%-16s | %7d | %12.2f | %22.3f\n",
+			s.Dataset, s.Graph.Len(), s.Graph.TotalPathLength(), s.Correlation)
+	}
+	return sb.String()
+}
+
+// pearson returns the Pearson correlation coefficient (0 for degenerate
+// inputs).
+func pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+func toVecs(x [][]float64) []linalg.Vector {
+	out := make([]linalg.Vector, len(x))
+	for i, row := range x {
+		out[i] = linalg.Vector(row)
+	}
+	return out
+}

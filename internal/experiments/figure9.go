@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"freewayml/internal/datasets"
+	"freewayml/internal/stream"
+)
+
+// Figure9Series is one dataset's real-time accuracy traces: the plain
+// Streaming MLP baseline (the paper's dashed line) and FreewayML (the solid
+// lines, one mechanism active per batch), plus which strategy handled each
+// batch.
+type Figure9Series struct {
+	Dataset    string
+	Truth      []stream.DriftKind
+	PlainAcc   []float64
+	FreewayAcc []float64
+	Strategy   []string
+}
+
+// Figure9Result reproduces Figure 9: comparative real-time accuracy of
+// FreewayML's mechanisms vs plain Streaming MLP on the four real datasets.
+type Figure9Result struct {
+	Series []Figure9Series
+	family string
+}
+
+// Figure9 runs the four real datasets with the MLP family.
+func Figure9(opt Options) (*Figure9Result, error) {
+	return mechanismSeries(datasets.Real4(), "mlp", opt)
+}
+
+// mechanismSeries is shared by Figure 9 (MLP, real datasets) and Figure 12
+// (CNN, real + image datasets).
+func mechanismSeries(names []string, family string, opt Options) (*Figure9Result, error) {
+	res := &Figure9Result{family: family}
+	for _, ds := range names {
+		s := Figure9Series{Dataset: ds}
+
+		src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := newBaselineSystem("Plain", family, src.Dim(), src.Classes(), opt)
+		if err != nil {
+			return nil, err
+		}
+		preqPlain, err := RunPrequential(plain, src, opt.MaxBatches)
+		if err != nil {
+			return nil, err
+		}
+		s.PlainAcc = preqPlain.Series()
+
+		src2, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := newFreewaySystem(family, src2.Dim(), src2.Classes(), opt)
+		if err != nil {
+			return nil, err
+		}
+		for n := 0; opt.MaxBatches <= 0 || n < opt.MaxBatches; n++ {
+			b, ok := src2.Next()
+			if !ok {
+				break
+			}
+			r, err := fw.l.Process(b)
+			if err != nil {
+				return nil, err
+			}
+			s.FreewayAcc = append(s.FreewayAcc, r.Accuracy)
+			s.Strategy = append(s.Strategy, r.Strategy.String())
+			s.Truth = append(s.Truth, b.Truth)
+		}
+		if err := fw.Close(); err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// String summarizes the series: mean accuracy per ground-truth drift kind
+// for both systems (the visual content of the figure, in rows).
+func (r *Figure9Result) String() string {
+	var sb strings.Builder
+	label := "Figure 9 (StreamingMLP)"
+	if r.family == "cnn3" || r.family == "cnn5" {
+		label = "Figure 12 (StreamingCNN)"
+	}
+	fmt.Fprintf(&sb, "%s: per-mechanism real-time accuracy vs plain baseline\n", label)
+	fmt.Fprintf(&sb, "%-16s | %-11s | %8s | %10s | %7s\n", "Dataset", "Drift kind", "Plain", "FreewayML", "Gain")
+	for _, s := range r.Series {
+		for _, kind := range []stream.DriftKind{stream.KindSlight, stream.KindSudden, stream.KindReoccurring} {
+			p, pn := meanWhere(s.PlainAcc, s.Truth, kind)
+			f, fn := meanWhere(s.FreewayAcc, s.Truth, kind)
+			if pn == 0 || fn == 0 {
+				continue
+			}
+			fmt.Fprintf(&sb, "%-16s | %-11s | %7.2f%% | %9.2f%% | %+6.2f%%\n",
+				s.Dataset, kind, 100*p, 100*f, 100*(f-p))
+		}
+	}
+	return sb.String()
+}
+
+// WriteCSV emits the full per-batch series for plotting: one block per
+// dataset with batch, truth, plain, freeway, strategy columns.
+func (r *Figure9Result) WriteCSV(sb *strings.Builder) {
+	for _, s := range r.Series {
+		fmt.Fprintf(sb, "# dataset=%s\n", s.Dataset)
+		fmt.Fprintln(sb, "batch,truth,plain_acc,freeway_acc,strategy")
+		n := len(s.FreewayAcc)
+		for i := 0; i < n; i++ {
+			plain := ""
+			if i < len(s.PlainAcc) {
+				plain = fmt.Sprintf("%.4f", s.PlainAcc[i])
+			}
+			fmt.Fprintf(sb, "%d,%s,%s,%.4f,%s\n", i, s.Truth[i], plain, s.FreewayAcc[i], s.Strategy[i])
+		}
+	}
+}
+
+// meanWhere averages vals[i] where truth[i] == kind, over the overlap of
+// the two slices.
+func meanWhere(vals []float64, truth []stream.DriftKind, kind stream.DriftKind) (float64, int) {
+	n := len(vals)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	var s float64
+	count := 0
+	for i := 0; i < n; i++ {
+		if truth[i] == kind && vals[i] >= 0 {
+			s += vals[i]
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return s / float64(count), count
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"freewayml/internal/baselines"
+	"freewayml/internal/datasets"
+)
+
+// Table1Cell is one framework×dataset measurement.
+type Table1Cell struct {
+	GAcc float64
+	SI   float64
+}
+
+// Table1Result reproduces Table I: accuracy and stability of streaming
+// frameworks across the six benchmark datasets, for StreamingLR and
+// StreamingMLP.
+type Table1Result struct {
+	Datasets []string
+	// Rows maps model family → framework name → dataset → cell.
+	Rows map[string]map[string]map[string]Table1Cell
+}
+
+// Table1 runs the full Table I grid. For the LR group FreewayML is compared
+// against Flink ML, Spark MLlib and Alink; for the MLP group against River,
+// Camel and A-GEM, matching the paper's framework support matrix.
+func Table1(opt Options) (*Table1Result, error) {
+	res := &Table1Result{
+		Datasets: datasets.Benchmark6(),
+		Rows:     map[string]map[string]map[string]Table1Cell{},
+	}
+	groups := []struct {
+		family     string
+		frameworks []string
+	}{
+		{"lr", baselines.LRBaselines()},
+		{"mlp", baselines.MLPBaselines()},
+	}
+	for _, g := range groups {
+		res.Rows[g.family] = map[string]map[string]Table1Cell{}
+		names := append(append([]string{}, g.frameworks...), "FreewayML")
+		for _, fw := range names {
+			res.Rows[g.family][fw] = map[string]Table1Cell{}
+			for _, ds := range res.Datasets {
+				src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+				if err != nil {
+					return nil, err
+				}
+				var sys System
+				if fw == "FreewayML" {
+					fs, err := newFreewaySystem(g.family, src.Dim(), src.Classes(), opt)
+					if err != nil {
+						return nil, err
+					}
+					sys = fs
+				} else {
+					sys, err = newBaselineSystem(fw, g.family, src.Dim(), src.Classes(), opt)
+					if err != nil {
+						return nil, err
+					}
+				}
+				preq, err := RunPrequential(sys, src, opt.MaxBatches)
+				if err != nil {
+					return nil, err
+				}
+				res.Rows[g.family][fw][ds] = Table1Cell{GAcc: preq.GAcc(), SI: preq.SI()}
+			}
+		}
+	}
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table1Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table I: Accuracy and stability of streaming learning frameworks\n")
+	order := map[string][]string{
+		"lr":  append(append([]string{}, baselines.LRBaselines()...), "FreewayML"),
+		"mlp": append(append([]string{}, baselines.MLPBaselines()...), "FreewayML"),
+	}
+	for _, family := range []string{"lr", "mlp"} {
+		label := "StreamingLR"
+		if family == "mlp" {
+			label = "StreamingMLP"
+		}
+		fmt.Fprintf(&sb, "\n%s:\n%-12s", label, "Framework")
+		for _, ds := range r.Datasets {
+			fmt.Fprintf(&sb, " | %-16s", ds)
+		}
+		fmt.Fprintf(&sb, "\n%-12s", "")
+		for range r.Datasets {
+			fmt.Fprintf(&sb, " | %7s  %6s ", "G_acc", "SI")
+		}
+		sb.WriteByte('\n')
+		for _, fw := range order[family] {
+			fmt.Fprintf(&sb, "%-12s", fw)
+			for _, ds := range r.Datasets {
+				c := r.Rows[family][fw][ds]
+				fmt.Fprintf(&sb, " | %6.2f%%  %6.3f", 100*c.GAcc, c.SI)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// FreewayWins counts, per model family, on how many datasets FreewayML has
+// the best G_acc and the best SI — the paper's headline claim is a clean
+// sweep.
+func (r *Table1Result) FreewayWins(family string) (accWins, siWins int) {
+	for _, ds := range r.Datasets {
+		best := true
+		bestSI := true
+		fcell := r.Rows[family]["FreewayML"][ds]
+		for fw, cells := range r.Rows[family] {
+			if fw == "FreewayML" {
+				continue
+			}
+			if cells[ds].GAcc >= fcell.GAcc {
+				best = false
+			}
+			if cells[ds].SI >= fcell.SI {
+				bestSI = false
+			}
+		}
+		if best {
+			accWins++
+		}
+		if bestSI {
+			siWins++
+		}
+	}
+	return accWins, siWins
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"freewayml/internal/datasets"
+	"freewayml/internal/stream"
+)
+
+// Table2Row is one dataset's per-pattern relative accuracy improvement of
+// FreewayML over the plain Streaming MLP, in percent.
+type Table2Row struct {
+	Dataset     string
+	Slight      float64
+	Sudden      float64
+	Reoccurring float64
+}
+
+// Table2Result reproduces Table II: accuracy improvement compared with the
+// original Streaming MLP under the three shift patterns. Improvements are
+// relative: 100·(acc_freeway − acc_plain)/acc_plain over the batches whose
+// ground-truth drift kind matches each pattern.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs plain StreamingMLP and FreewayML over the six benchmark
+// datasets and slices accuracy by the generators' ground-truth drift kinds.
+func Table2(opt Options) (*Table2Result, error) {
+	res := &Table2Result{}
+	for _, ds := range datasets.Benchmark6() {
+		row := Table2Row{Dataset: ds}
+
+		src, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		plainSys, err := newBaselineSystem("Plain", "mlp", src.Dim(), src.Classes(), opt)
+		if err != nil {
+			return nil, err
+		}
+		plain, err := RunPrequential(plainSys, src, opt.MaxBatches)
+		if err != nil {
+			return nil, err
+		}
+
+		src2, err := datasets.Build(ds, opt.BatchSize, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		fw, err := newFreewaySystem("mlp", src2.Dim(), src2.Classes(), opt)
+		if err != nil {
+			return nil, err
+		}
+		freeway, err := RunPrequential(fw, src2, opt.MaxBatches)
+		if err != nil {
+			return nil, err
+		}
+
+		improve := func(kind stream.DriftKind) float64 {
+			p, pn := plain.KindAcc(kind)
+			f, fn := freeway.KindAcc(kind)
+			if pn == 0 || fn == 0 || p == 0 {
+				return 0
+			}
+			return 100 * (f - p) / p
+		}
+		row.Slight = improve(stream.KindSlight)
+		row.Sudden = improve(stream.KindSudden)
+		row.Reoccurring = improve(stream.KindReoccurring)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *Table2Result) String() string {
+	var sb strings.Builder
+	sb.WriteString("Table II: Accuracy improvement vs original Streaming MLP under 3 patterns\n")
+	fmt.Fprintf(&sb, "%-12s | %13s | %13s | %18s\n", "Dataset", "Slight Shifts", "Sudden Shifts", "Reoccurring Shifts")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-12s | %+12.1f%% | %+12.1f%% | %+17.1f%%\n",
+			row.Dataset, row.Slight, row.Sudden, row.Reoccurring)
+	}
+	return sb.String()
+}

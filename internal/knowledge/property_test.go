@@ -1,0 +1,83 @@
+package knowledge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"freewayml/internal/linalg"
+)
+
+// Property: Match returns the entry whose distribution is truly nearest
+// (verified against brute force over the preserved distributions).
+func TestMatchReturnsNearestProperty(t *testing.T) {
+	f := func(seed int64, nEntries uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nEntries%12) + 1
+		s, err := NewStore(64, "") // big enough: no spilling/dropping
+		if err != nil {
+			return false
+		}
+		dists := make([]linalg.Vector, n)
+		for i := 0; i < n; i++ {
+			dists[i] = linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+			if err := s.Preserve(dists[i], []byte{byte(i)}, "long", i); err != nil {
+				return false
+			}
+		}
+		query := linalg.Vector{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		snap, gotD, ok, err := s.Match(query)
+		if err != nil || !ok {
+			return false
+		}
+		best := math.Inf(1)
+		bestIdx := -1
+		for i, d := range dists {
+			if dd := query.Distance(d); dd < best {
+				best = dd
+				bestIdx = i
+			}
+		}
+		if math.Abs(gotD-best) > 1e-9 {
+			return false
+		}
+		// Ties may legitimately resolve to either entry; accept any entry at
+		// the minimal distance.
+		for i, d := range dists {
+			if snap[0] == byte(i) && math.Abs(query.Distance(d)-best) < 1e-9 {
+				return true
+			}
+		}
+		return bestIdx >= 0 && false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NearestDistance agrees with Match's distance.
+func TestNearestDistanceAgreesWithMatchProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s, err := NewStore(64, "")
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 5; i++ {
+			v := linalg.Vector{rng.NormFloat64(), rng.NormFloat64()}
+			if err := s.Preserve(v, []byte{1}, "long", i); err != nil {
+				return false
+			}
+		}
+		q := linalg.Vector{rng.NormFloat64(), rng.NormFloat64()}
+		_, d1, ok, err := s.Match(q)
+		if err != nil || !ok {
+			return false
+		}
+		return math.Abs(d1-s.NearestDistance(q)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package knowledge
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func TestPreserveOrReplaceOverwritesSameRegime(t *testing.T) {
+	s, _ := NewStore(10, "")
+	if err := s.PreserveOrReplace(linalg.Vector{0, 0}, []byte("old"), "long", 1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Within radius 1.0 of the existing entry: replace, not append.
+	if err := s.PreserveOrReplace(linalg.Vector{0.5, 0}, []byte("fresh!"), "long", 9, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (replaced)", s.Len())
+	}
+	snap, _, ok, err := s.Match(linalg.Vector{0, 0})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if string(snap) != "fresh!" {
+		t.Errorf("matched %q, want the replacement", snap)
+	}
+	if s.MemoryBytes() != len("fresh!") {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestPreserveOrReplaceAppendsOutsideRadius(t *testing.T) {
+	s, _ := NewStore(10, "")
+	if err := s.PreserveOrReplace(linalg.Vector{0, 0}, []byte("a"), "long", 1, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PreserveOrReplace(linalg.Vector{5, 0}, []byte("b"), "long", 2, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestPreserveOrReplaceZeroRadiusAlwaysAppends(t *testing.T) {
+	s, _ := NewStore(10, "")
+	for i := 0; i < 3; i++ {
+		if err := s.PreserveOrReplace(linalg.Vector{0, 0}, []byte{byte(i)}, "long", i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestPreserveOrReplaceUnspillsReplacedEntry(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill to capacity → older half spills.
+	for i := 0; i < 4; i++ {
+		v := linalg.Vector{float64(i * 100), 0}
+		if err := s.Preserve(v, []byte{byte(i)}, "long", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SpilledCount() == 0 {
+		t.Fatal("expected spilled entries")
+	}
+	// Replace the spilled entry at (0,0): its file must be removed and the
+	// fresh snapshot held in memory.
+	if err := s.PreserveOrReplace(linalg.Vector{1, 0}, []byte("new"), "long", 9, 5.0); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, ok, err := s.Match(linalg.Vector{0, 0})
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if string(snap) != "new" {
+		t.Errorf("matched %q", snap)
+	}
+	// At most one spill file may remain (the other spilled entry).
+	files, err := filepath.Glob(filepath.Join(dir, "kdg-*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			t.Errorf("stat %s: %v", f, err)
+		}
+	}
+	if len(files) > 1 {
+		t.Errorf("replaced spill file not removed: %v", files)
+	}
+}

@@ -1,0 +1,318 @@
+// Package knowledge implements FreewayML's historical knowledge reuse
+// (paper Sec. IV-D): preservation of (distribution, model-snapshot) pairs
+// selected by the ASW's disorder against a threshold β, nearest-distribution
+// matching when a severe shift occurs, and the KdgBuffer capacity policy of
+// Sec. V-A3 — when the buffer fills, the older half is spilled to local
+// storage and dropped from memory, with matching still covering spilled
+// entries through an in-memory index of their distributions.
+package knowledge
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"freewayml/internal/linalg"
+)
+
+// Entry is one preserved knowledge pair (d_i, k_i).
+type Entry struct {
+	// Distribution is d_i: the centroid of the data distribution the model
+	// was trained on, in the detector's projected space.
+	Distribution linalg.Vector
+	// Snapshot is k_i: the serialized model parameters.
+	Snapshot []byte
+	// Source records which model was preserved ("long" or "short").
+	Source string
+	// Batch is the stream position at preservation time.
+	Batch int
+
+	spilled bool   // Snapshot lives on disk, not in memory
+	path    string // spill file, when spilled
+}
+
+// Store is the KdgBuffer. It is safe for concurrent use: the training path
+// preserves knowledge while the inference path matches it.
+type Store struct {
+	mu       sync.Mutex
+	capacity int
+	spillDir string // "" disables spilling (oldest entries are dropped instead)
+	entries  []Entry
+	nextID   int
+	memBytes int
+}
+
+// NewStore returns a store holding at most capacity entries in memory.
+// spillDir, when non-empty, receives the older half of the buffer each time
+// capacity is reached (the directory is created if needed); when empty,
+// the older half is discarded instead.
+func NewStore(capacity int, spillDir string) (*Store, error) {
+	if capacity < 1 {
+		return nil, errors.New("knowledge: capacity must be >= 1")
+	}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("knowledge: create spill dir: %w", err)
+		}
+	}
+	return &Store{capacity: capacity, spillDir: spillDir}, nil
+}
+
+// Preserve stores a knowledge pair. When the in-memory count reaches
+// capacity, the older half is spilled to disk (or dropped without a spill
+// directory).
+func (s *Store) Preserve(dist linalg.Vector, snapshot []byte, source string, batch int) error {
+	return s.PreserveOrReplace(dist, snapshot, source, batch, 0)
+}
+
+// PreserveOrReplace stores a knowledge pair, but when an existing entry's
+// distribution lies within radius of the new one — the same regime — that
+// entry is overwritten in place instead: the mapping d_i → k_i should hold
+// the freshest knowledge for each distribution, or an early, barely-trained
+// snapshot could shadow a mature one forever. radius 0 always appends.
+func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source string, batch int, radius float64) error {
+	if len(dist) == 0 {
+		return errors.New("knowledge: empty distribution")
+	}
+	if len(snapshot) == 0 {
+		return errors.New("knowledge: empty snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if radius > 0 {
+		best := -1
+		bestD := radius
+		for i := range s.entries {
+			if d := dist.Distance(s.entries[i].Distribution); d <= bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			e := &s.entries[best]
+			if e.spilled {
+				_ = os.Remove(e.path)
+				e.spilled = false
+				e.path = ""
+			} else {
+				s.memBytes -= len(e.Snapshot)
+			}
+			e.Distribution = dist.Clone()
+			e.Snapshot = append([]byte(nil), snapshot...)
+			e.Source = source
+			e.Batch = batch
+			s.memBytes += len(snapshot)
+			return nil
+		}
+	}
+
+	s.entries = append(s.entries, Entry{
+		Distribution: dist.Clone(),
+		Snapshot:     append([]byte(nil), snapshot...),
+		Source:       source,
+		Batch:        batch,
+	})
+	s.memBytes += len(snapshot)
+	if s.inMemoryCountLocked() >= s.capacity {
+		return s.spillHalfLocked()
+	}
+	return nil
+}
+
+func (s *Store) inMemoryCountLocked() int {
+	n := 0
+	for _, e := range s.entries {
+		if !e.spilled {
+			n++
+		}
+	}
+	return n
+}
+
+// spillHalfLocked moves the older half of the in-memory entries to disk
+// (keeping their distributions in memory for matching), or drops them when
+// no spill directory is configured.
+func (s *Store) spillHalfLocked() error {
+	half := s.inMemoryCountLocked() / 2
+	if half == 0 {
+		return nil
+	}
+	kept := s.entries[:0]
+	moved := 0
+	for i := range s.entries {
+		e := s.entries[i]
+		if e.spilled || moved >= half {
+			kept = append(kept, e)
+			continue
+		}
+		moved++
+		s.memBytes -= len(e.Snapshot)
+		if s.spillDir == "" {
+			continue // dropped
+		}
+		path := filepath.Join(s.spillDir, fmt.Sprintf("kdg-%06d.bin", s.nextID))
+		s.nextID++
+		if err := os.WriteFile(path, e.Snapshot, 0o644); err != nil {
+			return fmt.Errorf("knowledge: spill: %w", err)
+		}
+		e.Snapshot = nil
+		e.spilled = true
+		e.path = path
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	return nil
+}
+
+// Match finds the stored entry whose distribution is nearest to y and
+// returns its snapshot and distance. Spilled snapshots are transparently
+// loaded from disk. ok is false when the store is empty.
+func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := -1
+	bestD := math.Inf(1)
+	for i := range s.entries {
+		if d := y.Distance(s.entries[i].Distribution); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return nil, 0, false, nil
+	}
+	e := &s.entries[best]
+	if e.spilled {
+		data, err := os.ReadFile(e.path)
+		if err != nil {
+			return nil, 0, false, fmt.Errorf("knowledge: load spilled entry: %w", err)
+		}
+		return data, bestD, true, nil
+	}
+	return e.Snapshot, bestD, true, nil
+}
+
+// NearestDistance returns the distance from y to the closest stored
+// distribution (+Inf when empty), without loading any snapshot — the cheap
+// check the strategy selector runs during pattern detection.
+func (s *Store) NearestDistance(y linalg.Vector) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := math.Inf(1)
+	for i := range s.entries {
+		if d := y.Distance(s.entries[i].Distribution); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// Len returns the total number of entries (in memory + spilled).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// MemoryBytes returns the bytes of snapshot data held in memory — the
+// Table IV space-overhead measurement.
+func (s *Store) MemoryBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memBytes
+}
+
+// SpilledCount returns how many entries live on disk.
+func (s *Store) SpilledCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.entries {
+		if e.spilled {
+			n++
+		}
+	}
+	return n
+}
+
+// EntrySnapshot is the serializable form of a stored knowledge pair.
+type EntrySnapshot struct {
+	Distribution linalg.Vector
+	Snapshot     []byte
+	Source       string
+	Batch        int
+}
+
+// Export returns every entry with its snapshot materialized (spilled
+// entries are read back from disk), for checkpointing.
+func (s *Store) Export() ([]EntrySnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EntrySnapshot, len(s.entries))
+	for i := range s.entries {
+		e := &s.entries[i]
+		snap := e.Snapshot
+		if e.spilled {
+			data, err := os.ReadFile(e.path)
+			if err != nil {
+				return nil, fmt.Errorf("knowledge: export spilled entry: %w", err)
+			}
+			snap = data
+		}
+		out[i] = EntrySnapshot{
+			Distribution: e.Distribution.Clone(),
+			Snapshot:     append([]byte(nil), snap...),
+			Source:       e.Source,
+			Batch:        e.Batch,
+		}
+	}
+	return out, nil
+}
+
+// Import replaces the store's contents with the exported entries (all held
+// in memory; the next capacity overflow re-spills as usual).
+func (s *Store) Import(entries []EntrySnapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries = s.entries[:0]
+	s.memBytes = 0
+	for _, e := range entries {
+		if len(e.Distribution) == 0 || len(e.Snapshot) == 0 {
+			return errors.New("knowledge: invalid imported entry")
+		}
+		s.entries = append(s.entries, Entry{
+			Distribution: e.Distribution.Clone(),
+			Snapshot:     append([]byte(nil), e.Snapshot...),
+			Source:       e.Source,
+			Batch:        e.Batch,
+		})
+		s.memBytes += len(e.Snapshot)
+	}
+	return nil
+}
+
+// Policy decides which model's knowledge to preserve when an ASW closes
+// (paper Sec. IV-D1): disorder above β means the window was localized and
+// the stable long-granularity model is preserved; disorder below β means an
+// orderly directional shift, where the short-granularity model holds the
+// most recent (post-shift) distribution and is preserved as well.
+type Policy struct {
+	// Beta is the normalized-disorder threshold β.
+	Beta float64
+}
+
+// Decision describes which snapshots to preserve.
+type Decision struct {
+	SaveLong  bool
+	SaveShort bool
+}
+
+// Decide applies the β rule to a window's normalized disorder.
+func (p Policy) Decide(disorder float64) Decision {
+	if disorder >= p.Beta {
+		return Decision{SaveLong: true}
+	}
+	return Decision{SaveLong: true, SaveShort: true}
+}

@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 {
+		t.Errorf("At/Set roundtrip failed: %v", m.Data)
+	}
+	if got := m.Row(1); got[2] != 5 {
+		t.Errorf("Row = %v", got)
+	}
+	if got := m.Col(2); got[1] != 5 || got[0] != 0 {
+		t.Errorf("Col = %v", got)
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v", m.At(1, 0))
+	}
+	if _, err := NewMatrixFromRows([]Vector{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+	empty, err := NewMatrixFromRows(nil)
+	if err != nil || empty.Rows != 0 {
+		t.Errorf("empty rows: %v, %v", empty, err)
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([]Vector{{5, 6}, {7, 8}})
+	c := a.Mul(b)
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if math.Abs(c.At(i, j)-want[i][j]) > 1e-12 {
+				t.Errorf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMatrixMulVecAndTMulVec(t *testing.T) {
+	a, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}, {5, 6}})
+	v := a.MulVec(Vector{1, 1})
+	if !v.Equal(Vector{3, 7, 11}, 1e-12) {
+		t.Errorf("MulVec = %v", v)
+	}
+	w := a.TMulVec(Vector{1, 1, 1})
+	if !w.Equal(Vector{9, 12}, 1e-12) {
+		t.Errorf("TMulVec = %v", w)
+	}
+	// TMulVec must match T().MulVec.
+	w2 := a.T().MulVec(Vector{1, 1, 1})
+	if !w.Equal(w2, 1e-12) {
+		t.Errorf("TMulVec %v != T().MulVec %v", w, w2)
+	}
+}
+
+func TestMatrixMulPanicsOnShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewMatrix(4, 7)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	tt := m.T().T()
+	for i := range m.Data {
+		if m.Data[i] != tt.Data[i] {
+			t.Fatal("T().T() != original")
+		}
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMatrix(5, 5)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	p := Identity(5).Mul(m)
+	for i := range m.Data {
+		if math.Abs(p.Data[i]-m.Data[i]) > 1e-12 {
+			t.Fatal("I×M != M")
+		}
+	}
+}
+
+func TestSymmetricEigenKnownMatrix(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m, _ := NewMatrixFromRows([]Vector{{2, 1}, {1, 2}})
+	res, err := SymmetricEigen(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Values[0]-3) > 1e-9 || math.Abs(res.Values[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v", res.Values)
+	}
+	// Eigenvector for λ=3 should be parallel to (1,1)/√2.
+	v0 := res.Vectors.Col(0)
+	if math.Abs(math.Abs(v0[0])-math.Abs(v0[1])) > 1e-9 {
+		t.Errorf("first eigenvector = %v", v0)
+	}
+}
+
+func TestSymmetricEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		// Random symmetric matrix A = BᵀB.
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		a := b.T().Mul(b)
+		res, err := SymmetricEigen(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Check A·v = λ·v for each eigenpair, and λ ≥ 0 (PSD input).
+		for k := 0; k < n; k++ {
+			v := res.Vectors.Col(k)
+			av := a.MulVec(v)
+			lv := v.Scale(res.Values[k])
+			if !av.Equal(lv, 1e-6*(1+math.Abs(res.Values[k]))) {
+				t.Fatalf("trial %d: A·v != λ·v for k=%d (λ=%v)", trial, k, res.Values[k])
+			}
+			if res.Values[k] < -1e-8 {
+				t.Fatalf("trial %d: negative eigenvalue %v for PSD matrix", trial, res.Values[k])
+			}
+		}
+		// Eigenvalues sorted descending.
+		for k := 1; k < n; k++ {
+			if res.Values[k] > res.Values[k-1]+1e-9 {
+				t.Fatalf("eigenvalues not sorted: %v", res.Values)
+			}
+		}
+		// Eigenvectors orthonormal.
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				d := res.Vectors.Col(i).Dot(res.Vectors.Col(j))
+				want := 0.0
+				if i == j {
+					want = 1.0
+				}
+				if math.Abs(d-want) > 1e-7 {
+					t.Fatalf("eigenvectors not orthonormal: <%d,%d> = %v", i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestSymmetricEigenErrors(t *testing.T) {
+	if _, err := SymmetricEigen(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square should error")
+	}
+	m, _ := NewMatrixFromRows([]Vector{{1, 2}, {3, 4}})
+	if _, err := SymmetricEigen(m); err == nil {
+		t.Error("asymmetric should error")
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	m, _ := NewMatrixFromRows([]Vector{{1, 2}, {2, 1}})
+	if !m.IsSymmetric(1e-12) {
+		t.Error("symmetric matrix reported asymmetric")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1e-12) {
+		t.Error("non-square reported symmetric")
+	}
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import "errors"
+
+// Kappa computes Cohen's kappa for a prediction/label pair: chance-corrected
+// agreement, the standard complement to raw accuracy on imbalanced streams
+// (a majority-class predictor scores high accuracy but κ ≈ 0).
+func Kappa(pred, labels []int, numClasses int) (float64, error) {
+	if len(pred) != len(labels) {
+		return 0, errors.New("metrics: prediction/label length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty batch")
+	}
+	if numClasses < 2 {
+		return 0, errors.New("metrics: kappa needs >= 2 classes")
+	}
+	n := float64(len(pred))
+	var agree float64
+	predCount := make([]float64, numClasses)
+	labelCount := make([]float64, numClasses)
+	for i := range pred {
+		if pred[i] < 0 || pred[i] >= numClasses || labels[i] < 0 || labels[i] >= numClasses {
+			return 0, errors.New("metrics: class index out of range")
+		}
+		if pred[i] == labels[i] {
+			agree++
+		}
+		predCount[pred[i]]++
+		labelCount[labels[i]]++
+	}
+	po := agree / n
+	var pe float64
+	for c := 0; c < numClasses; c++ {
+		pe += (predCount[c] / n) * (labelCount[c] / n)
+	}
+	if pe == 1 {
+		return 0, nil // degenerate: everything one class on both sides
+	}
+	return (po - pe) / (1 - pe), nil
+}
+
+// Fading accumulates accuracy with an exponential fading factor — the
+// prequential estimator of Gama et al. that tracks *current* performance
+// instead of the lifetime mean, standard for drifting streams.
+type Fading struct {
+	// Alpha is the fading factor in (0, 1); values near 1 fade slowly.
+	alpha float64
+	num   float64
+	den   float64
+}
+
+// NewFading returns a fading accumulator; alpha must be in (0, 1).
+func NewFading(alpha float64) (*Fading, error) {
+	if alpha <= 0 || alpha >= 1 {
+		return nil, errors.New("metrics: fading alpha must be in (0, 1)")
+	}
+	return &Fading{alpha: alpha}, nil
+}
+
+// Record folds one batch accuracy in.
+func (f *Fading) Record(acc float64) {
+	f.num = f.alpha*f.num + acc
+	f.den = f.alpha*f.den + 1
+}
+
+// Acc returns the faded accuracy estimate (0 before any observation).
+func (f *Fading) Acc() float64 {
+	if f.den == 0 {
+		return 0
+	}
+	return f.num / f.den
+}

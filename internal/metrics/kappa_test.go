@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKappaPerfectAgreement(t *testing.T) {
+	pred := []int{0, 1, 0, 1, 2}
+	k, err := Kappa(pred, pred, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k-1) > 1e-12 {
+		t.Errorf("perfect kappa = %v", k)
+	}
+}
+
+func TestKappaMajorityPredictorNearZero(t *testing.T) {
+	// 90% of labels are class 0; predicting all-zero gets 90% accuracy but
+	// κ must be 0 (pure chance agreement given the marginals).
+	labels := make([]int, 100)
+	for i := 90; i < 100; i++ {
+		labels[i] = 1
+	}
+	pred := make([]int, 100)
+	k, err := Kappa(pred, labels, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(k) > 1e-9 {
+		t.Errorf("majority predictor kappa = %v, want 0", k)
+	}
+}
+
+func TestKappaErrors(t *testing.T) {
+	if _, err := Kappa([]int{0}, []int{0, 1}, 2); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Kappa(nil, nil, 2); err == nil {
+		t.Error("empty should error")
+	}
+	if _, err := Kappa([]int{0}, []int{0}, 1); err == nil {
+		t.Error("single class should error")
+	}
+	if _, err := Kappa([]int{5}, []int{0}, 2); err == nil {
+		t.Error("out-of-range class should error")
+	}
+}
+
+func TestKappaDegenerateSingleClassData(t *testing.T) {
+	k, err := Kappa([]int{0, 0}, []int{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("degenerate kappa = %v", k)
+	}
+}
+
+func TestFadingTracksRecentPerformance(t *testing.T) {
+	f, err := NewFading(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Acc() != 0 {
+		t.Error("empty fading should be 0")
+	}
+	// A long good phase followed by a bad phase: the faded estimate must
+	// sit near the bad phase while the lifetime mean would not.
+	for i := 0; i < 100; i++ {
+		f.Record(0.9)
+	}
+	for i := 0; i < 30; i++ {
+		f.Record(0.3)
+	}
+	if got := f.Acc(); got > 0.4 {
+		t.Errorf("faded accuracy = %v, want near the recent 0.3", got)
+	}
+}
+
+func TestFadingValidation(t *testing.T) {
+	if _, err := NewFading(0); err == nil {
+		t.Error("alpha 0 should error")
+	}
+	if _, err := NewFading(1); err == nil {
+		t.Error("alpha 1 should error")
+	}
+}

@@ -1,0 +1,142 @@
+// Package metrics implements the evaluation metrics of the paper: real-time
+// accuracy (Eq. 1), global average accuracy G_acc (Eq. 15), the stability
+// index SI (Eq. 16), per-pattern accuracy breakdowns for the Table II and
+// Fig. 9/11 experiments, and latency/throughput trackers for Fig. 10 and
+// Tables III/VI.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"freewayml/internal/stream"
+)
+
+// Accuracy implements Eq. 1: the fraction of predictions matching labels.
+func Accuracy(pred, labels []int) (float64, error) {
+	if len(pred) != len(labels) {
+		return 0, errors.New("metrics: prediction/label length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0, errors.New("metrics: empty batch")
+	}
+	correct := 0
+	for i := range pred {
+		if pred[i] == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pred)), nil
+}
+
+// Prequential accumulates per-batch real-time accuracies and derives the
+// paper's aggregate metrics. The zero value is ready to use.
+type Prequential struct {
+	accs    []float64
+	byKind  map[stream.DriftKind][]float64
+	samples int
+}
+
+// Record adds one batch's real-time accuracy, tagged with the ground-truth
+// drift kind of the batch (use stream.KindNone when unknown).
+func (p *Prequential) Record(acc float64, kind stream.DriftKind, batchSize int) {
+	p.accs = append(p.accs, acc)
+	if p.byKind == nil {
+		p.byKind = make(map[stream.DriftKind][]float64)
+	}
+	p.byKind[kind] = append(p.byKind[kind], acc)
+	p.samples += batchSize
+}
+
+// Batches returns the number of recorded batches.
+func (p *Prequential) Batches() int { return len(p.accs) }
+
+// Samples returns the total number of evaluated samples.
+func (p *Prequential) Samples() int { return p.samples }
+
+// Series returns the per-batch real-time accuracies in order (the solid
+// lines of Fig. 9/12).
+func (p *Prequential) Series() []float64 {
+	return append([]float64(nil), p.accs...)
+}
+
+// GAcc implements Eq. 15: the mean of per-batch accuracies. Returns 0 when
+// nothing is recorded.
+func (p *Prequential) GAcc() float64 {
+	if len(p.accs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, a := range p.accs {
+		s += a
+	}
+	return s / float64(len(p.accs))
+}
+
+// SI implements Eq. 16: exp(−σ_acc/μ_acc), the exponentially scaled inverse
+// coefficient of variation of per-batch accuracies, in (0, 1] with 1 the
+// most stable. Returns 0 when nothing is recorded or the mean accuracy is 0.
+func (p *Prequential) SI() float64 {
+	if len(p.accs) == 0 {
+		return 0
+	}
+	mu := p.GAcc()
+	if mu == 0 {
+		return 0
+	}
+	var ss float64
+	for _, a := range p.accs {
+		d := a - mu
+		ss += d * d
+	}
+	sigma := math.Sqrt(ss / float64(len(p.accs)))
+	return math.Exp(-sigma / mu)
+}
+
+// KindAcc returns the mean accuracy over batches of the given drift kind
+// and the count of such batches.
+func (p *Prequential) KindAcc(kind stream.DriftKind) (float64, int) {
+	accs := p.byKind[kind]
+	if len(accs) == 0 {
+		return 0, 0
+	}
+	var s float64
+	for _, a := range accs {
+		s += a
+	}
+	return s / float64(len(accs)), len(accs)
+}
+
+// LatencyTracker accumulates per-operation durations, reporting the mean in
+// microseconds (the unit of Tables III and VI).
+type LatencyTracker struct {
+	total time.Duration
+	n     int
+}
+
+// Add records one operation's duration.
+func (l *LatencyTracker) Add(d time.Duration) {
+	l.total += d
+	l.n++
+}
+
+// MeanMicros returns the mean latency in µs (0 when nothing recorded).
+func (l *LatencyTracker) MeanMicros() float64 {
+	if l.n == 0 {
+		return 0
+	}
+	return float64(l.total.Microseconds()) / float64(l.n)
+}
+
+// Count returns the number of recorded operations.
+func (l *LatencyTracker) Count() int { return l.n }
+
+// Throughput returns items/second given a processed item count and the
+// elapsed wall time (0 when elapsed is not positive).
+func Throughput(items int, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(items) / elapsed.Seconds()
+}

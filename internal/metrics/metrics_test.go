@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"freewayml/internal/stream"
+)
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{1, 0, 1, 1}, []int{1, 1, 1, 0})
+	if err != nil || acc != 0.5 {
+		t.Fatalf("Accuracy = %v, %v", acc, err)
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Accuracy(nil, nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestPrequentialGAccAndSI(t *testing.T) {
+	var p Prequential
+	if p.GAcc() != 0 || p.SI() != 0 {
+		t.Error("empty Prequential should report zeros")
+	}
+	for _, a := range []float64{0.8, 0.9, 1.0} {
+		p.Record(a, stream.KindNone, 10)
+	}
+	if math.Abs(p.GAcc()-0.9) > 1e-12 {
+		t.Errorf("GAcc = %v", p.GAcc())
+	}
+	// σ = sqrt(((.01)+(0)+(.01))/3) = sqrt(0.02/3); SI = exp(-σ/0.9).
+	sigma := math.Sqrt(0.02 / 3)
+	want := math.Exp(-sigma / 0.9)
+	if math.Abs(p.SI()-want) > 1e-12 {
+		t.Errorf("SI = %v, want %v", p.SI(), want)
+	}
+	if p.Batches() != 3 || p.Samples() != 30 {
+		t.Errorf("Batches=%d Samples=%d", p.Batches(), p.Samples())
+	}
+}
+
+func TestSIPerfectStabilityIsOne(t *testing.T) {
+	var p Prequential
+	for i := 0; i < 5; i++ {
+		p.Record(0.7, stream.KindNone, 1)
+	}
+	if p.SI() != 1 {
+		t.Errorf("constant accuracy SI = %v, want 1", p.SI())
+	}
+}
+
+func TestSIAllZeroAccuracy(t *testing.T) {
+	var p Prequential
+	p.Record(0, stream.KindNone, 1)
+	if p.SI() != 0 {
+		t.Errorf("zero-mean SI = %v, want 0", p.SI())
+	}
+}
+
+func TestSIMoreStableIsHigher(t *testing.T) {
+	var stable, unstable Prequential
+	for i := 0; i < 10; i++ {
+		stable.Record(0.8, stream.KindNone, 1)
+		a := 0.6
+		if i%2 == 0 {
+			a = 1.0
+		}
+		unstable.Record(a, stream.KindNone, 1)
+	}
+	if !(stable.SI() > unstable.SI()) {
+		t.Errorf("stable SI %v not above unstable %v", stable.SI(), unstable.SI())
+	}
+}
+
+func TestKindBreakdown(t *testing.T) {
+	var p Prequential
+	p.Record(0.9, stream.KindSlight, 1)
+	p.Record(0.7, stream.KindSlight, 1)
+	p.Record(0.3, stream.KindSudden, 1)
+	acc, n := p.KindAcc(stream.KindSlight)
+	if n != 2 || math.Abs(acc-0.8) > 1e-12 {
+		t.Errorf("slight = %v/%d", acc, n)
+	}
+	acc, n = p.KindAcc(stream.KindSudden)
+	if n != 1 || acc != 0.3 {
+		t.Errorf("sudden = %v/%d", acc, n)
+	}
+	if _, n := p.KindAcc(stream.KindReoccurring); n != 0 {
+		t.Errorf("reoccurring count = %d", n)
+	}
+}
+
+func TestSeriesIsCopy(t *testing.T) {
+	var p Prequential
+	p.Record(0.5, stream.KindNone, 1)
+	s := p.Series()
+	s[0] = 99
+	if p.Series()[0] != 0.5 {
+		t.Error("Series exposed internal storage")
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	var l LatencyTracker
+	if l.MeanMicros() != 0 || l.Count() != 0 {
+		t.Error("fresh tracker should be zero")
+	}
+	l.Add(100 * time.Microsecond)
+	l.Add(300 * time.Microsecond)
+	if l.Count() != 2 {
+		t.Errorf("Count = %d", l.Count())
+	}
+	if m := l.MeanMicros(); math.Abs(m-200) > 1 {
+		t.Errorf("MeanMicros = %v", m)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if tp := Throughput(1000, time.Second); math.Abs(tp-1000) > 1e-9 {
+		t.Errorf("Throughput = %v", tp)
+	}
+	if tp := Throughput(100, 0); tp != 0 {
+		t.Errorf("zero-elapsed Throughput = %v", tp)
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestARFValidation(t *testing.T) {
+	if _, err := NewStreamingARF(4, 2, 0, DefaultHTConfig(), 1); err == nil {
+		t.Error("zero trees should error")
+	}
+	bad := DefaultHTConfig()
+	bad.GracePeriod = 0
+	if _, err := NewStreamingARF(4, 2, 3, bad, 1); err == nil {
+		t.Error("bad tree config should error")
+	}
+	f, _ := NewStreamingARF(4, 2, 3, DefaultHTConfig(), 1)
+	if _, err := f.Fit(nil, nil); err == nil {
+		t.Error("empty Fit should error")
+	}
+}
+
+func TestARFLearns(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 100
+	f, err := NewStreamingARF(8, 3, 5, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for s := 0; s < 60; s++ {
+		x, y := dominantFeatureBatch(rng, 64, 8, 3)
+		if _, err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, y := dominantFeatureBatch(rng, 400, 8, 3)
+	if acc := accuracy(f.Predict(x), y); acc < 0.9 {
+		t.Errorf("ARF accuracy = %v", acc)
+	}
+	if f.Trees() != 5 {
+		t.Errorf("Trees = %d", f.Trees())
+	}
+	proba := f.PredictProba(x[:2])
+	for _, p := range proba {
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("proba sums to %v", sum)
+		}
+	}
+}
+
+func TestARFResetsUnderLabelFlip(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 50
+	f, err := NewStreamingARF(4, 2, 3, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	mk := func(flip bool) ([][]float64, []int) {
+		x, y := dominantFeatureBatch(rng, 64, 4, 2)
+		if flip {
+			for i := range y {
+				y[i] = 1 - y[i]
+			}
+		}
+		return x, y
+	}
+	for s := 0; s < 60; s++ {
+		x, y := mk(false)
+		if _, err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Alternating labels: no tree can stay right, detectors must fire.
+	for s := 0; s < 120 && f.Resets() == 0; s++ {
+		x, y := mk(s%2 == 0)
+		if _, err := f.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Resets() == 0 {
+		t.Error("no member reset despite a sustained outage")
+	}
+}
+
+func TestARFSnapshotRestoreClone(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 100
+	f, _ := NewStreamingARF(4, 2, 3, cfg, 3)
+	rng := rand.New(rand.NewSource(3))
+	x, y := dominantFeatureBatch(rng, 512, 4, 2)
+	if _, err := f.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewStreamingARF(4, 2, 3, cfg, 4)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	p1 := f.Predict(x)
+	p2 := fresh.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("restored forest predicts differently")
+		}
+	}
+	wrongN, _ := NewStreamingARF(4, 2, 5, cfg, 5)
+	if err := wrongN.Restore(snap); err == nil {
+		t.Error("member count mismatch should error")
+	}
+	wrongShape, _ := NewStreamingARF(5, 2, 3, cfg, 6)
+	if err := wrongShape.Restore(snap); err == nil {
+		t.Error("shape mismatch should error")
+	}
+
+	clone := f.Clone()
+	p3 := clone.Predict(x)
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			t.Fatal("clone predicts differently")
+		}
+	}
+}
+
+func TestARFFamilyViaFactory(t *testing.T) {
+	fac, err := FactoryFor("arf", DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fac(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "StreamingARF" || m.Net() != nil {
+		t.Errorf("name=%q", m.Name())
+	}
+}

@@ -1,0 +1,196 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHTConfigValidate(t *testing.T) {
+	bad := []func(*HTConfig){
+		func(c *HTConfig) { c.GracePeriod = 0 },
+		func(c *HTConfig) { c.Delta = 0 },
+		func(c *HTConfig) { c.Delta = 1 },
+		func(c *HTConfig) { c.TieThreshold = -1 },
+		func(c *HTConfig) { c.MaxLeaves = 0 },
+		func(c *HTConfig) { c.Candidates = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultHTConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid HTConfig passed", i)
+		}
+	}
+	if _, err := NewStreamingHT(0, 2, DefaultHTConfig()); err == nil {
+		t.Error("dim 0 should error")
+	}
+	if _, err := NewStreamingHT(3, 1, DefaultHTConfig()); err == nil {
+		t.Error("single class should error")
+	}
+}
+
+func TestHTFitValidation(t *testing.T) {
+	ht, _ := NewStreamingHT(3, 2, DefaultHTConfig())
+	if _, err := ht.Fit(nil, nil); err == nil {
+		t.Error("empty Fit should error")
+	}
+	if _, err := ht.Fit([][]float64{{1}}, []int{0}); err == nil {
+		t.Error("wrong width should error")
+	}
+	if _, err := ht.Fit([][]float64{{1, 2, 3}}, []int{9}); err == nil {
+		t.Error("bad label should error")
+	}
+}
+
+// dominantFeatureBatch separates all classes along feature 0 only, so one
+// attribute's gain clearly dominates and the Hoeffding bound resolves fast.
+func dominantFeatureBatch(rng *rand.Rand, n, d, classes int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		c := rng.Intn(classes)
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64() * 0.4
+		}
+		x[i][0] += float64(c) * 4
+		y[i] = c
+	}
+	return x, y
+}
+
+func TestHTLearnsAndSplits(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 100
+	ht, err := NewStreamingHT(8, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for s := 0; s < 80; s++ {
+		x, y := dominantFeatureBatch(rng, 64, 8, 3)
+		if _, err := ht.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	x, y := dominantFeatureBatch(rng, 400, 8, 3)
+	if acc := accuracy(ht.Predict(x), y); acc < 0.9 {
+		t.Errorf("HT accuracy = %v", acc)
+	}
+	if ht.Leaves() < 2 {
+		t.Errorf("tree never split: %d leaves", ht.Leaves())
+	}
+	proba := ht.PredictProba(x[:3])
+	for _, p := range proba {
+		var sum float64
+		for _, v := range p {
+			sum += v
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("proba does not sum to 1: %v", p)
+		}
+	}
+}
+
+func TestHTMaxLeavesBound(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 50
+	cfg.MaxLeaves = 3
+	ht, _ := NewStreamingHT(4, 2, cfg)
+	rng := rand.New(rand.NewSource(2))
+	for s := 0; s < 100; s++ {
+		x, y := dominantFeatureBatch(rng, 64, 4, 2)
+		if _, err := ht.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ht.Leaves() > 3 {
+		t.Errorf("tree exceeded MaxLeaves: %d", ht.Leaves())
+	}
+}
+
+func TestHTUntrainedPredictsUniform(t *testing.T) {
+	ht, _ := NewStreamingHT(2, 4, DefaultHTConfig())
+	proba := ht.PredictProba([][]float64{{0, 0}})
+	for _, p := range proba[0] {
+		if p < 0.24 || p > 0.26 {
+			t.Errorf("untrained posterior = %v", proba[0])
+		}
+	}
+}
+
+func TestHTSnapshotRestoreClone(t *testing.T) {
+	cfg := DefaultHTConfig()
+	cfg.GracePeriod = 100
+	ht, _ := NewStreamingHT(4, 2, cfg)
+	rng := rand.New(rand.NewSource(3))
+	x, y := separableBatch(rng, 512, 4, 2)
+	if _, err := ht.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ht.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewStreamingHT(4, 2, cfg)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	p1 := ht.Predict(x)
+	p2 := fresh.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("restored tree predicts differently")
+		}
+	}
+	if fresh.Leaves() != ht.Leaves() {
+		t.Errorf("restored leaves %d != %d", fresh.Leaves(), ht.Leaves())
+	}
+	wrong, _ := NewStreamingHT(5, 2, cfg)
+	if err := wrong.Restore(snap); err == nil {
+		t.Error("shape mismatch should error")
+	}
+	if err := fresh.Restore([]byte("junk")); err == nil {
+		t.Error("garbage should error")
+	}
+
+	clone := ht.Clone()
+	p3 := clone.Predict(x)
+	for i := range p1 {
+		if p1[i] != p3[i] {
+			t.Fatal("clone predicts differently")
+		}
+	}
+	// Training the original must not change the clone.
+	if _, err := ht.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p4 := clone.Predict(x)
+	for i := range p3 {
+		if p3[i] != p4[i] {
+			t.Fatal("clone aliases original")
+		}
+	}
+}
+
+func TestHTFamilyViaFactory(t *testing.T) {
+	f, err := FactoryFor("ht", DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "StreamingHT" || m.Net() != nil {
+		t.Errorf("name=%q net=%v", m.Name(), m.Net())
+	}
+}
+
+func TestHTLearnsViaCommonHarness(t *testing.T) {
+	testFamilyLearns(t, "HT", func() (Model, error) {
+		cfg := DefaultHTConfig()
+		cfg.GracePeriod = 100
+		return NewStreamingHT(8, 3, cfg)
+	}, 8, 3)
+}

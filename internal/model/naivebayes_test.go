@@ -1,0 +1,127 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamingNBValidation(t *testing.T) {
+	if _, err := NewStreamingNB(0, 2); err == nil {
+		t.Error("dim 0 should error")
+	}
+	if _, err := NewStreamingNB(3, 1); err == nil {
+		t.Error("single class should error")
+	}
+	nb, _ := NewStreamingNB(3, 2)
+	if _, err := nb.Fit(nil, nil); err == nil {
+		t.Error("empty Fit should error")
+	}
+	if _, err := nb.Fit([][]float64{{1, 2}}, []int{0}); err == nil {
+		t.Error("wrong width should error")
+	}
+	if _, err := nb.Fit([][]float64{{1, 2, 3}}, []int{5}); err == nil {
+		t.Error("label out of range should error")
+	}
+}
+
+func TestStreamingNBLearns(t *testing.T) {
+	testFamilyLearns(t, "NB", func() (Model, error) { return NewStreamingNB(8, 3) }, 8, 3)
+}
+
+func TestStreamingNBUninformedPrior(t *testing.T) {
+	nb, _ := NewStreamingNB(2, 3)
+	proba := nb.PredictProba([][]float64{{1, 1}})
+	for _, p := range proba[0] {
+		if math.Abs(p-1.0/3) > 1e-9 {
+			t.Errorf("untrained posterior = %v, want uniform", proba[0])
+		}
+	}
+}
+
+func TestStreamingNBPriorRespectsImbalance(t *testing.T) {
+	nb, _ := NewStreamingNB(1, 2)
+	// 90 samples of class 0 vs 10 of class 1, identical features: the prior
+	// must dominate.
+	x := make([][]float64, 100)
+	y := make([]int, 100)
+	for i := range x {
+		x[i] = []float64{0}
+		if i >= 90 {
+			y[i] = 1
+		}
+	}
+	if _, err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := nb.Predict([][]float64{{0}})
+	if pred[0] != 0 {
+		t.Errorf("majority prior ignored: pred = %v", pred)
+	}
+}
+
+func TestStreamingNBSnapshotRestoreClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nb, _ := NewStreamingNB(4, 2)
+	x, y := separableBatch(rng, 128, 4, 2)
+	if _, err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := nb.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := NewStreamingNB(4, 2)
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	p1 := nb.Predict(x)
+	p2 := fresh.Predict(x)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("restored NB predicts differently")
+		}
+	}
+	wrong, _ := NewStreamingNB(5, 2)
+	if err := wrong.Restore(snap); err == nil {
+		t.Error("shape mismatch restore should error")
+	}
+	if err := fresh.Restore([]byte("junk")); err == nil {
+		t.Error("garbage restore should error")
+	}
+	clone := nb.Clone()
+	if clone.Name() != "StreamingNB" || clone.InDim() != 4 || clone.NumClasses() != 2 {
+		t.Error("clone metadata wrong")
+	}
+	// Mutating the original must not affect the clone.
+	if _, err := nb.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	p3 := clone.Predict(x)
+	for i := range p2 {
+		if p2[i] != p3[i] {
+			t.Fatal("clone aliases original state")
+		}
+	}
+}
+
+func TestStreamingNBNetIsNil(t *testing.T) {
+	nb, _ := NewStreamingNB(2, 2)
+	if nb.Net() != nil {
+		t.Error("NB must report a nil network")
+	}
+}
+
+func TestFactoryForNB(t *testing.T) {
+	f, err := FactoryFor("nb", DefaultHyper())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := f(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "StreamingNB" {
+		t.Errorf("name = %q", m.Name())
+	}
+}

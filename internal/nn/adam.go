@@ -1,0 +1,66 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba 2015) with bias-corrected
+// first and second moment estimates. The streaming models default to SGD as
+// in the paper, but Adam is provided for user models that need per-parameter
+// step adaptation.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	step int
+	m    map[*Param][]float64
+	v    map[*Param][]float64
+}
+
+// NewAdam returns an Adam optimizer; non-positive lr panics, and the
+// customary defaults β1=0.9, β2=0.999, ε=1e-8 are applied when zero.
+func NewAdam(lr, weightDecay float64) *Adam {
+	if lr <= 0 {
+		panic("nn: Adam learning rate must be positive")
+	}
+	if weightDecay < 0 {
+		panic("nn: Adam weight decay must be >= 0")
+	}
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one Adam update to every parameter and zeroes the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.W))
+			a.m[p] = m
+		}
+		v, ok := a.v[p]
+		if !ok {
+			v = make([]float64, len(p.W))
+			a.v[p] = v
+		}
+		for i := range p.W {
+			g := p.Grad[i] + a.WeightDecay*p.W[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mHat := m[i] / c1
+			vHat := v[i] / c2
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Reset clears all moment estimates and the step counter.
+func (a *Adam) Reset() {
+	a.step = 0
+	a.m = make(map[*Param][]float64)
+	a.v = make(map[*Param][]float64)
+}

@@ -1,0 +1,219 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Conv1D is a 1-D convolution over a flat input interpreted as
+// (InChannels × Length), channel-major: element (c, t) lives at index
+// c*Length + t. Stride is 1 and there is no padding, so the output length is
+// Length − Kernel + 1 and the output is (OutChannels × OutLen), also flat.
+// This matches the paper's appendix CNN, which convolves over the feature
+// axis of tabular batches and over extracted image-feature vectors.
+type Conv1D struct {
+	InChannels, OutChannels, Kernel, Length int
+
+	w     *Param // [out][in][k]
+	b     *Param // [out]
+	lastX [][]float64
+}
+
+// NewConv1D returns a Conv1D with He-normal initialized kernels. length is
+// the per-channel input length the layer will be applied to.
+func NewConv1D(inChannels, outChannels, kernel, length int, rng *rand.Rand) *Conv1D {
+	switch {
+	case inChannels <= 0 || outChannels <= 0:
+		panic("nn: Conv1D channels must be positive")
+	case kernel <= 0:
+		panic("nn: Conv1D kernel must be positive")
+	case length < kernel:
+		panic(fmt.Sprintf("nn: Conv1D length %d shorter than kernel %d", length, kernel))
+	}
+	c := &Conv1D{
+		InChannels:  inChannels,
+		OutChannels: outChannels,
+		Kernel:      kernel,
+		Length:      length,
+		w:           newParam(outChannels * inChannels * kernel),
+		b:           newParam(outChannels),
+	}
+	heInit(c.w.W, inChannels*kernel, rng)
+	return c
+}
+
+// outLen returns the per-channel output length.
+func (c *Conv1D) outLen() int { return c.Length - c.Kernel + 1 }
+
+// Forward applies the convolution to each sample.
+func (c *Conv1D) Forward(x [][]float64) [][]float64 {
+	c.lastX = x
+	ol := c.outLen()
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != c.InChannels*c.Length {
+			panic(fmt.Sprintf("nn: Conv1D input width %d, want %d", len(row), c.InChannels*c.Length))
+		}
+		o := make([]float64, c.OutChannels*ol)
+		for oc := 0; oc < c.OutChannels; oc++ {
+			bias := c.b.W[oc]
+			for t := 0; t < ol; t++ {
+				s := bias
+				for ic := 0; ic < c.InChannels; ic++ {
+					wBase := (oc*c.InChannels + ic) * c.Kernel
+					xBase := ic*c.Length + t
+					for k := 0; k < c.Kernel; k++ {
+						s += c.w.W[wBase+k] * row[xBase+k]
+					}
+				}
+				o[oc*ol+t] = s
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Backward accumulates kernel and bias gradients and returns the input
+// gradient.
+func (c *Conv1D) Backward(gradOut [][]float64) [][]float64 {
+	ol := c.outLen()
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		x := c.lastX[i]
+		gi := make([]float64, c.InChannels*c.Length)
+		for oc := 0; oc < c.OutChannels; oc++ {
+			for t := 0; t < ol; t++ {
+				gv := g[oc*ol+t]
+				if gv == 0 {
+					continue
+				}
+				c.b.Grad[oc] += gv
+				for ic := 0; ic < c.InChannels; ic++ {
+					wBase := (oc*c.InChannels + ic) * c.Kernel
+					xBase := ic*c.Length + t
+					for k := 0; k < c.Kernel; k++ {
+						c.w.Grad[wBase+k] += gv * x[xBase+k]
+						gi[xBase+k] += gv * c.w.W[wBase+k]
+					}
+				}
+			}
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv1D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// OutDim validates the flat input width and returns the flat output width.
+func (c *Conv1D) OutDim(inDim int) (int, error) {
+	if inDim != c.InChannels*c.Length {
+		return 0, fmt.Errorf("nn: Conv1D expects input width %d, got %d", c.InChannels*c.Length, inDim)
+	}
+	return c.OutChannels * c.outLen(), nil
+}
+
+func (c *Conv1D) clone() Layer {
+	cp := &Conv1D{
+		InChannels:  c.InChannels,
+		OutChannels: c.OutChannels,
+		Kernel:      c.Kernel,
+		Length:      c.Length,
+		w:           newParam(len(c.w.W)),
+		b:           newParam(len(c.b.W)),
+	}
+	copy(cp.w.W, c.w.W)
+	copy(cp.b.W, c.b.W)
+	return cp
+}
+
+// MaxPool1D downsamples each channel of a flat (Channels × Length) input by
+// taking the max over non-overlapping windows of the given size. A trailing
+// partial window is pooled too.
+type MaxPool1D struct {
+	Channels, Length, Window int
+	lastArg                  [][]int // argmax indices per output element
+}
+
+// NewMaxPool1D returns a max-pooling layer for flat (channels × length)
+// inputs.
+func NewMaxPool1D(channels, length, window int) *MaxPool1D {
+	switch {
+	case channels <= 0 || length <= 0:
+		panic("nn: MaxPool1D shape must be positive")
+	case window <= 0:
+		panic("nn: MaxPool1D window must be positive")
+	}
+	return &MaxPool1D{Channels: channels, Length: length, Window: window}
+}
+
+// outLen returns the per-channel pooled length (ceil division).
+func (p *MaxPool1D) outLen() int { return (p.Length + p.Window - 1) / p.Window }
+
+// Forward pools each window, caching argmax positions for Backward.
+func (p *MaxPool1D) Forward(x [][]float64) [][]float64 {
+	ol := p.outLen()
+	out := make([][]float64, len(x))
+	p.lastArg = make([][]int, len(x))
+	for i, row := range x {
+		if len(row) != p.Channels*p.Length {
+			panic(fmt.Sprintf("nn: MaxPool1D input width %d, want %d", len(row), p.Channels*p.Length))
+		}
+		o := make([]float64, p.Channels*ol)
+		arg := make([]int, p.Channels*ol)
+		for c := 0; c < p.Channels; c++ {
+			base := c * p.Length
+			for t := 0; t < ol; t++ {
+				start := t * p.Window
+				end := start + p.Window
+				if end > p.Length {
+					end = p.Length
+				}
+				best := row[base+start]
+				bestIdx := base + start
+				for j := start + 1; j < end; j++ {
+					if row[base+j] > best {
+						best = row[base+j]
+						bestIdx = base + j
+					}
+				}
+				o[c*ol+t] = best
+				arg[c*ol+t] = bestIdx
+			}
+		}
+		out[i] = o
+		p.lastArg[i] = arg
+	}
+	return out
+}
+
+// Backward routes each output gradient to the argmax input position.
+func (p *MaxPool1D) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		gi := make([]float64, p.Channels*p.Length)
+		arg := p.lastArg[i]
+		for j, gv := range g {
+			gi[arg[j]] += gv
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns nil: pooling has no learnable parameters.
+func (p *MaxPool1D) Params() []*Param { return nil }
+
+// OutDim validates the flat input width and returns the pooled width.
+func (p *MaxPool1D) OutDim(inDim int) (int, error) {
+	if inDim != p.Channels*p.Length {
+		return 0, fmt.Errorf("nn: MaxPool1D expects input width %d, got %d", p.Channels*p.Length, inDim)
+	}
+	return p.Channels * p.outLen(), nil
+}
+
+func (p *MaxPool1D) clone() Layer {
+	return &MaxPool1D{Channels: p.Channels, Length: p.Length, Window: p.Window}
+}

@@ -1,0 +1,77 @@
+package nn
+
+import "math/rand"
+
+// Dropout randomly zeroes a fraction of activations during training
+// (inverted dropout: survivors are scaled by 1/(1−rate) so inference needs
+// no correction). Call SetTraining(false) before inference-only passes;
+// the FreewayML pipeline toggles it around Fit calls when the layer is
+// used in a custom model.
+type Dropout struct {
+	Rate     float64
+	training bool
+	rng      *rand.Rand
+	lastMask []([]float64)
+}
+
+// NewDropout returns a dropout layer with the given drop rate in [0, 1).
+func NewDropout(rate float64, seed int64) *Dropout {
+	if rate < 0 || rate >= 1 {
+		panic("nn: Dropout rate must be in [0, 1)")
+	}
+	return &Dropout{Rate: rate, training: true, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetTraining toggles between training (masking) and inference (identity).
+func (d *Dropout) SetTraining(training bool) { d.training = training }
+
+// Forward masks activations in training mode and passes through otherwise.
+func (d *Dropout) Forward(x [][]float64) [][]float64 {
+	if !d.training || d.Rate == 0 {
+		d.lastMask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	out := make([][]float64, len(x))
+	d.lastMask = make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		mask := make([]float64, len(row))
+		for j, v := range row {
+			if d.rng.Float64() < keep {
+				mask[j] = scale
+				o[j] = v * scale
+			}
+		}
+		out[i] = o
+		d.lastMask[i] = mask
+	}
+	return out
+}
+
+// Backward applies the cached mask to the incoming gradient.
+func (d *Dropout) Backward(gradOut [][]float64) [][]float64 {
+	if d.lastMask == nil {
+		return gradOut
+	}
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		gi := make([]float64, len(g))
+		for j := range g {
+			gi[j] = g[j] * d.lastMask[i][j]
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns nil: dropout has no learnable parameters.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (d *Dropout) OutDim(inDim int) (int, error) { return inDim, nil }
+
+func (d *Dropout) clone() Layer {
+	return &Dropout{Rate: d.Rate, training: d.training, rng: rand.New(rand.NewSource(d.rng.Int63()))}
+}

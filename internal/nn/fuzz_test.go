@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRandomArchitectureGradients builds randomized small networks — random
+// depth, widths, optional conv front-end — and verifies the analytic
+// gradients against central differences on every one. The architectures are
+// kept smooth (Sigmoid activations, no pooling): ReLU and MaxPool introduce
+// kinks where finite differences legitimately disagree with subgradients,
+// and those layers have dedicated fixed-seed checks elsewhere in the suite.
+func TestRandomArchitectureGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 12; trial++ {
+		inDim := 3 + rng.Intn(6)
+		classes := 2 + rng.Intn(3)
+
+		var layers []Layer
+		dim := inDim
+		if inDim >= 4 && rng.Intn(2) == 0 {
+			// Conv front-end on 1 channel.
+			kernel := 2 + rng.Intn(2)
+			outCh := 1 + rng.Intn(3)
+			conv := NewConv1D(1, outCh, kernel, dim, rng)
+			layers = append(layers, conv)
+			dim = outCh * (dim - kernel + 1)
+			if rng.Intn(2) == 0 {
+				layers = append(layers, NewSigmoid())
+			}
+		}
+		depth := 1 + rng.Intn(2)
+		for d := 0; d < depth; d++ {
+			width := 2 + rng.Intn(6)
+			layers = append(layers, NewDense(dim, width, rng))
+			dim = width
+			if rng.Intn(2) == 0 {
+				layers = append(layers, NewSigmoid())
+			}
+		}
+		layers = append(layers, NewDense(dim, classes, rng))
+
+		net, err := NewNetwork(inDim, classes, layers...)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x, y := randomBatch(rng, 3, inDim, classes)
+		checkGradients(t, net, x, y)
+	}
+}

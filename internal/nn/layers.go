@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+func sqrt(x float64) float64 { return math.Sqrt(x) }
+
+// Layer is one differentiable stage of a Network. Forward caches whatever it
+// needs for the matching Backward call; Backward consumes the gradient with
+// respect to its output and returns the gradient with respect to its input,
+// accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x [][]float64) [][]float64
+	Backward(gradOut [][]float64) [][]float64
+	Params() []*Param
+	// OutDim returns the per-sample output width given the input width, or
+	// an error if the layer cannot accept that width.
+	OutDim(inDim int) (int, error)
+	// clone returns a deep copy with independent parameter storage.
+	clone() Layer
+}
+
+// Dense is a fully connected layer: y = xW + b, with W stored row-major as
+// [in][out].
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	lastX   [][]float64
+}
+
+// NewDense returns a Dense layer with He-normal initialized weights.
+func NewDense(in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense dims must be positive, got %d→%d", in, out))
+	}
+	d := &Dense{In: in, Out: out, w: newParam(in * out), b: newParam(out)}
+	heInit(d.w.W, in, rng)
+	return d
+}
+
+// Forward computes xW + b for every row of x.
+func (d *Dense) Forward(x [][]float64) [][]float64 {
+	d.lastX = x
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		if len(row) != d.In {
+			panic(fmt.Sprintf("nn: Dense input width %d, want %d", len(row), d.In))
+		}
+		o := make([]float64, d.Out)
+		copy(o, d.b.W)
+		for k, xv := range row {
+			if xv == 0 {
+				continue
+			}
+			wrow := d.w.W[k*d.Out : (k+1)*d.Out]
+			for j := range o {
+				o[j] += xv * wrow[j]
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Backward accumulates ∂L/∂W, ∂L/∂b and returns ∂L/∂x.
+func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		x := d.lastX[i]
+		gi := make([]float64, d.In)
+		for k := 0; k < d.In; k++ {
+			wrow := d.w.W[k*d.Out : (k+1)*d.Out]
+			grow := d.w.Grad[k*d.Out : (k+1)*d.Out]
+			xv := x[k]
+			var s float64
+			for j, gj := range g {
+				s += gj * wrow[j]
+				grow[j] += gj * xv
+			}
+			gi[k] = s
+		}
+		for j, gj := range g {
+			d.b.Grad[j] += gj
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// OutDim validates the input width and returns Out.
+func (d *Dense) OutDim(inDim int) (int, error) {
+	if inDim != d.In {
+		return 0, fmt.Errorf("nn: Dense expects input width %d, got %d", d.In, inDim)
+	}
+	return d.Out, nil
+}
+
+func (d *Dense) clone() Layer {
+	c := &Dense{In: d.In, Out: d.Out, w: newParam(d.In * d.Out), b: newParam(d.Out)}
+	copy(c.w.W, d.w.W)
+	copy(c.b.W, d.b.W)
+	return c
+}
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	lastX [][]float64
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies the rectifier.
+func (r *ReLU) Forward(x [][]float64) [][]float64 {
+	r.lastX = x
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			if v > 0 {
+				o[j] = v
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the sign of the forward input.
+func (r *ReLU) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		x := r.lastX[i]
+		gi := make([]float64, len(g))
+		for j := range g {
+			if x[j] > 0 {
+				gi[j] = g[j]
+			}
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns nil: ReLU has no learnable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (r *ReLU) OutDim(inDim int) (int, error) { return inDim, nil }
+
+func (r *ReLU) clone() Layer { return &ReLU{} }
+
+// Sigmoid applies 1/(1+e^(−x)) element-wise.
+type Sigmoid struct {
+	lastY [][]float64
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function.
+func (s *Sigmoid) Forward(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = 1 / (1 + math.Exp(-v))
+		}
+		out[i] = o
+	}
+	s.lastY = out
+	return out
+}
+
+// Backward multiplies by y(1−y).
+func (s *Sigmoid) Backward(gradOut [][]float64) [][]float64 {
+	gradIn := make([][]float64, len(gradOut))
+	for i, g := range gradOut {
+		y := s.lastY[i]
+		gi := make([]float64, len(g))
+		for j := range g {
+			gi[j] = g[j] * y[j] * (1 - y[j])
+		}
+		gradIn[i] = gi
+	}
+	return gradIn
+}
+
+// Params returns nil: Sigmoid has no learnable parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// OutDim returns inDim unchanged.
+func (s *Sigmoid) OutDim(inDim int) (int, error) { return inDim, nil }
+
+func (s *Sigmoid) clone() Layer { return &Sigmoid{} }

@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Softmax converts logits into a probability distribution, numerically
+// stabilized by subtracting the row max.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// Degenerate logits (all -Inf); fall back to uniform.
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// crossEntropyEps floors probabilities inside the log so a confident wrong
+// prediction yields a large but finite loss.
+const crossEntropyEps = 1e-12
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss of the logits
+// against integer labels, plus the gradient of that loss with respect to the
+// logits — the combined softmax+CE backward, (p − onehot)/n. Labels outside
+// [0, numClasses) are an error.
+func SoftmaxCrossEntropy(logits [][]float64, labels []int) (float64, [][]float64, error) {
+	if len(logits) != len(labels) {
+		return 0, nil, fmt.Errorf("nn: %d logit rows vs %d labels", len(logits), len(labels))
+	}
+	if len(logits) == 0 {
+		return 0, nil, fmt.Errorf("nn: empty batch")
+	}
+	n := float64(len(logits))
+	grads := make([][]float64, len(logits))
+	var loss float64
+	for i, row := range logits {
+		y := labels[i]
+		if y < 0 || y >= len(row) {
+			return 0, nil, fmt.Errorf("nn: label %d outside [0,%d)", y, len(row))
+		}
+		p := Softmax(row)
+		loss += -math.Log(math.Max(p[y], crossEntropyEps))
+		g := make([]float64, len(row))
+		for j := range row {
+			g[j] = p[j] / n
+		}
+		g[y] -= 1 / n
+		grads[i] = g
+	}
+	return loss / n, grads, nil
+}
+
+// Argmax returns the index of the largest element (first on ties), or -1
+// for an empty slice.
+func Argmax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

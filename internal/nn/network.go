@@ -1,0 +1,214 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Network is a sequential stack of layers ending in logits over NumClasses
+// classes, trained with softmax cross-entropy.
+type Network struct {
+	layers     []Layer
+	inDim      int
+	numClasses int
+}
+
+// NewNetwork assembles a sequential network. It validates that the layer
+// widths chain from inDim to numClasses and returns an error otherwise.
+func NewNetwork(inDim, numClasses int, layers ...Layer) (*Network, error) {
+	if inDim <= 0 || numClasses <= 0 {
+		return nil, fmt.Errorf("nn: invalid network dims in=%d classes=%d", inDim, numClasses)
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("nn: network needs at least one layer")
+	}
+	dim := inDim
+	for i, l := range layers {
+		next, err := l.OutDim(dim)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d: %w", i, err)
+		}
+		dim = next
+	}
+	if dim != numClasses {
+		return nil, fmt.Errorf("nn: network output width %d, want %d classes", dim, numClasses)
+	}
+	return &Network{layers: layers, inDim: inDim, numClasses: numClasses}, nil
+}
+
+// InDim returns the expected input width.
+func (n *Network) InDim() int { return n.inDim }
+
+// NumClasses returns the number of output classes.
+func (n *Network) NumClasses() int { return n.numClasses }
+
+// Forward runs the batch through all layers and returns the logits.
+func (n *Network) Forward(x [][]float64) [][]float64 {
+	h := x
+	for _, l := range n.layers {
+		h = l.Forward(h)
+	}
+	return h
+}
+
+// Predict returns the argmax class for each sample.
+func (n *Network) Predict(x [][]float64) []int {
+	logits := n.Forward(x)
+	out := make([]int, len(logits))
+	for i, row := range logits {
+		out[i] = Argmax(row)
+	}
+	return out
+}
+
+// PredictProba returns the softmax distribution for each sample.
+func (n *Network) PredictProba(x [][]float64) [][]float64 {
+	logits := n.Forward(x)
+	out := make([][]float64, len(logits))
+	for i, row := range logits {
+		out[i] = Softmax(row)
+	}
+	return out
+}
+
+// TrainBatch performs one forward/backward pass and one optimizer step on
+// the mini-batch, returning the pre-update mean loss.
+func (n *Network) TrainBatch(x [][]float64, y []int, opt *SGD) (float64, error) {
+	loss, err := n.AccumulateGradients(x, y)
+	if err != nil {
+		return 0, err
+	}
+	opt.Step(n.Params())
+	return loss, nil
+}
+
+// AccumulateGradients runs forward/backward and adds this batch's gradients
+// into the parameter accumulators without stepping. The pre-computing window
+// mechanism (paper Sec. V-B) and the A-GEM baseline both need gradients
+// decoupled from updates.
+func (n *Network) AccumulateGradients(x [][]float64, y []int) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	logits := n.Forward(x)
+	loss, grad, err := SoftmaxCrossEntropy(logits, y)
+	if err != nil {
+		return 0, err
+	}
+	g := grad
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+	return loss, nil
+}
+
+// Loss returns the mean softmax cross-entropy of the batch without touching
+// gradients or parameters.
+func (n *Network) Loss(x [][]float64, y []int) (float64, error) {
+	if len(x) == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	logits := n.Forward(x)
+	loss, _, err := SoftmaxCrossEntropy(logits, y)
+	return loss, err
+}
+
+// Params returns all learnable parameters, layer by layer.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W)
+	}
+	return total
+}
+
+// Clone returns a deep copy of the network with independent parameters.
+func (n *Network) Clone() *Network {
+	layers := make([]Layer, len(n.layers))
+	for i, l := range n.layers {
+		layers[i] = l.clone()
+	}
+	return &Network{layers: layers, inDim: n.inDim, numClasses: n.numClasses}
+}
+
+// FlattenGrads copies all parameter gradients into one flat vector (the
+// representation A-GEM's projection works on).
+func (n *Network) FlattenGrads() []float64 {
+	var out []float64
+	for _, p := range n.Params() {
+		out = append(out, p.Grad...)
+	}
+	return out
+}
+
+// SetFlatGrads writes a flat gradient vector back into the parameter
+// accumulators. It panics if the length does not match.
+func (n *Network) SetFlatGrads(flat []float64) {
+	idx := 0
+	for _, p := range n.Params() {
+		if idx+len(p.Grad) > len(flat) {
+			panic("nn: SetFlatGrads length mismatch")
+		}
+		copy(p.Grad, flat[idx:idx+len(p.Grad)])
+		idx += len(p.Grad)
+	}
+	if idx != len(flat) {
+		panic("nn: SetFlatGrads length mismatch")
+	}
+}
+
+// Snapshot serializes all parameter values (not gradients) into a byte
+// slice. The historical-knowledge store keeps these snapshots and restores
+// them when a distribution reoccurs; their length is also the Table IV
+// space-overhead measurement.
+func (n *Network) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	params := n.Params()
+	weights := make([][]float64, len(params))
+	for i, p := range params {
+		weights[i] = p.W
+	}
+	if err := enc.Encode(weights); err != nil {
+		return nil, fmt.Errorf("nn: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore loads parameter values from a Snapshot of a network with the same
+// architecture.
+func (n *Network) Restore(snapshot []byte) error {
+	dec := gob.NewDecoder(bytes.NewReader(snapshot))
+	var weights [][]float64
+	if err := dec.Decode(&weights); err != nil {
+		return fmt.Errorf("nn: restore: %w", err)
+	}
+	params := n.Params()
+	if len(weights) != len(params) {
+		return fmt.Errorf("nn: restore: %d tensors, network has %d", len(weights), len(params))
+	}
+	for i, p := range params {
+		if len(weights[i]) != len(p.W) {
+			return fmt.Errorf("nn: restore: tensor %d has %d values, want %d", i, len(weights[i]), len(p.W))
+		}
+		copy(p.W, weights[i])
+	}
+	return nil
+}

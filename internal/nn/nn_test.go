@@ -1,0 +1,454 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// numericalGrad estimates dLoss/dw by central differences for every
+// parameter of the network on a fixed batch.
+func numericalGrad(t *testing.T, net *Network, x [][]float64, y []int) [][]float64 {
+	t.Helper()
+	const eps = 1e-5
+	params := net.Params()
+	out := make([][]float64, len(params))
+	for pi, p := range params {
+		out[pi] = make([]float64, len(p.W))
+		for i := range p.W {
+			orig := p.W[i]
+			p.W[i] = orig + eps
+			lp, err := net.Loss(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.W[i] = orig - eps
+			lm, err := net.Loss(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.W[i] = orig
+			out[pi][i] = (lp - lm) / (2 * eps)
+		}
+	}
+	return out
+}
+
+func checkGradients(t *testing.T, net *Network, x [][]float64, y []int) {
+	t.Helper()
+	num := numericalGrad(t, net, x, y)
+	net.ZeroGrad()
+	if _, err := net.AccumulateGradients(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range net.Params() {
+		for i := range p.Grad {
+			want := num[pi][i]
+			got := p.Grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d[%d]: analytic %v vs numeric %v", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func randomBatch(rng *rand.Rand, n, d, classes int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, d)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.Intn(classes)
+	}
+	return x, y
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewNetwork(4, 3, NewDense(4, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomBatch(rng, 5, 4, 3)
+	checkGradients(t, net, x, y)
+}
+
+func TestMLPGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := NewNetwork(4, 3,
+		NewDense(4, 8, rng), NewReLU(),
+		NewDense(8, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomBatch(rng, 6, 4, 3)
+	checkGradients(t, net, x, y)
+}
+
+func TestSigmoidGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := NewNetwork(4, 2,
+		NewDense(4, 5, rng), NewSigmoid(),
+		NewDense(5, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomBatch(rng, 4, 4, 2)
+	checkGradients(t, net, x, y)
+}
+
+func TestConvGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// input: 1 channel × 8; conv(1→2, k=3) → 2×6; pool(2) → 2×3; dense → 2.
+	conv := NewConv1D(1, 2, 3, 8, rng)
+	pool := NewMaxPool1D(2, 6, 2)
+	net, err := NewNetwork(8, 2, conv, NewReLU(), pool, NewDense(6, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomBatch(rng, 4, 8, 2)
+	checkGradients(t, net, x, y)
+}
+
+func TestMultiChannelConvGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// 2 channels × 6 → conv(2→3, k=2) → 3×5 → dense → 2.
+	conv := NewConv1D(2, 3, 2, 6, rng)
+	net, err := NewNetwork(12, 2, conv, NewDense(15, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := randomBatch(rng, 3, 12, 2)
+	checkGradients(t, net, x, y)
+}
+
+func TestNetworkValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	if _, err := NewNetwork(0, 2, NewDense(1, 2, rng)); err == nil {
+		t.Error("inDim 0 should error")
+	}
+	if _, err := NewNetwork(4, 2); err == nil {
+		t.Error("no layers should error")
+	}
+	if _, err := NewNetwork(4, 2, NewDense(5, 2, rng)); err == nil {
+		t.Error("width mismatch should error")
+	}
+	if _, err := NewNetwork(4, 3, NewDense(4, 2, rng)); err == nil {
+		t.Error("output width != classes should error")
+	}
+}
+
+func TestTrainingConvergesOnSeparableData(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := NewNetwork(2, 2, NewDense(2, 16, rng), NewReLU(), NewDense(16, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := NewSGD(0.1, 0.9, 0)
+	// Two well-separated clusters.
+	sample := func(n int) ([][]float64, []int) {
+		x := make([][]float64, n)
+		y := make([]int, n)
+		for i := range x {
+			c := rng.Intn(2)
+			cx := -2.0
+			if c == 1 {
+				cx = 2.0
+			}
+			x[i] = []float64{cx + rng.NormFloat64()*0.5, rng.NormFloat64() * 0.5}
+			y[i] = c
+		}
+		return x, y
+	}
+	var lastLoss float64
+	for epoch := 0; epoch < 60; epoch++ {
+		x, y := sample(64)
+		loss, err := net.TrainBatch(x, y, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastLoss = loss
+	}
+	if lastLoss > 0.1 {
+		t.Errorf("loss after training = %v, want < 0.1", lastLoss)
+	}
+	x, y := sample(200)
+	pred := net.Predict(x)
+	correct := 0
+	for i := range y {
+		if pred[i] == y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.95 {
+		t.Errorf("accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw [5]float64) bool {
+		logits := make([]float64, 5)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			logits[i] = math.Mod(v, 50)
+		}
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxStabilityWithHugeLogits(t *testing.T) {
+	p := Softmax([]float64{1000, 1001, 999})
+	if math.IsNaN(p[0]) || p[1] < p[0] || p[1] < p[2] {
+		t.Errorf("unstable softmax: %v", p)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	a := Softmax([]float64{1, 2, 3})
+	b := Softmax([]float64{101, 102, 103})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("softmax not shift-invariant: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestCrossEntropyErrors(t *testing.T) {
+	if _, _, err := SoftmaxCrossEntropy([][]float64{{1, 2}}, []int{0, 1}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, _, err := SoftmaxCrossEntropy(nil, nil); err == nil {
+		t.Error("empty batch should error")
+	}
+	if _, _, err := SoftmaxCrossEntropy([][]float64{{1, 2}}, []int{5}); err == nil {
+		t.Error("out-of-range label should error")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if Argmax(nil) != -1 {
+		t.Error("empty Argmax should be -1")
+	}
+	if Argmax([]float64{1, 3, 2}) != 1 {
+		t.Error("Argmax wrong")
+	}
+	if Argmax([]float64{2, 2}) != 0 {
+		t.Error("Argmax tie should pick first")
+	}
+}
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	net, _ := NewNetwork(3, 2, NewDense(3, 4, rng), NewReLU(), NewDense(4, 2, rng))
+	x, y := randomBatch(rng, 8, 3, 2)
+	before := net.Predict(x)
+
+	snap, err := net.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train to change the weights.
+	opt := NewSGD(0.5, 0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := net.TrainBatch(x, y, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	after := net.Predict(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("predictions differ after restore")
+		}
+	}
+}
+
+func TestRestoreRejectsWrongArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a, _ := NewNetwork(3, 2, NewDense(3, 2, rng))
+	b, _ := NewNetwork(3, 2, NewDense(3, 4, rng), NewReLU(), NewDense(4, 2, rng))
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(snap); err == nil {
+		t.Error("restore into different architecture should error")
+	}
+	if err := b.Restore([]byte("garbage")); err == nil {
+		t.Error("restore of garbage should error")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net, _ := NewNetwork(3, 2, NewDense(3, 4, rng), NewReLU(), NewDense(4, 2, rng))
+	x, y := randomBatch(rng, 8, 3, 2)
+	clone := net.Clone()
+	before := clone.Predict(x)
+	opt := NewSGD(0.5, 0, 0)
+	for i := 0; i < 10; i++ {
+		if _, err := net.TrainBatch(x, y, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := clone.Predict(x)
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("training the original changed the clone")
+		}
+	}
+	if clone.NumParams() != net.NumParams() {
+		t.Error("clone has different parameter count")
+	}
+}
+
+func TestFlattenAndSetFlatGrads(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net, _ := NewNetwork(3, 2, NewDense(3, 2, rng))
+	x, y := randomBatch(rng, 4, 3, 2)
+	if _, err := net.AccumulateGradients(x, y); err != nil {
+		t.Fatal(err)
+	}
+	flat := net.FlattenGrads()
+	if len(flat) != net.NumParams() {
+		t.Fatalf("flat grads len %d, want %d", len(flat), net.NumParams())
+	}
+	doubled := make([]float64, len(flat))
+	for i, g := range flat {
+		doubled[i] = 2 * g
+	}
+	net.SetFlatGrads(doubled)
+	got := net.FlattenGrads()
+	for i := range got {
+		if math.Abs(got[i]-doubled[i]) > 1e-15 {
+			t.Fatal("SetFlatGrads roundtrip mismatch")
+		}
+	}
+}
+
+func TestSetFlatGradsPanicsOnLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net, _ := NewNetwork(3, 2, NewDense(3, 2, rng))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	net.SetFlatGrads(make([]float64, 3))
+}
+
+func TestSGDValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewSGD(0, 0, 0) },
+		func() { NewSGD(0.1, -0.1, 0) },
+		func() { NewSGD(0.1, 1, 0) },
+		func() { NewSGD(0.1, 0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSGDWeightDecayShrinksWeights(t *testing.T) {
+	p := newParam(1)
+	p.W[0] = 10
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // grad 0, decay pulls toward 0
+	if p.W[0] >= 10 {
+		t.Errorf("weight decay did not shrink weight: %v", p.W[0])
+	}
+}
+
+func TestSGDMomentumAccelerates(t *testing.T) {
+	// Under a constant gradient, momentum should move farther than plain SGD
+	// after several steps.
+	plain := newParam(1)
+	mom := newParam(1)
+	optP := NewSGD(0.1, 0, 0)
+	optM := NewSGD(0.1, 0.9, 0)
+	for i := 0; i < 10; i++ {
+		plain.Grad[0] = 1
+		mom.Grad[0] = 1
+		optP.Step([]*Param{plain})
+		optM.Step([]*Param{mom})
+	}
+	if !(mom.W[0] < plain.W[0]) { // both negative; momentum more so
+		t.Errorf("momentum %v not ahead of plain %v", mom.W[0], plain.W[0])
+	}
+	optM.Reset()
+	if len(optM.velocity) != 0 {
+		t.Error("Reset did not clear velocity")
+	}
+}
+
+func TestMaxPoolPartialWindow(t *testing.T) {
+	p := NewMaxPool1D(1, 5, 2) // windows: [0,1],[2,3],[4]
+	out := p.Forward([][]float64{{1, 5, 2, 3, 9}})
+	want := []float64{5, 3, 9}
+	for i := range want {
+		if out[0][i] != want[i] {
+			t.Fatalf("pool out = %v, want %v", out[0], want)
+		}
+	}
+	// Gradient routes to argmax positions only.
+	gi := p.Backward([][]float64{{1, 1, 1}})
+	wantG := []float64{0, 1, 0, 1, 1}
+	for i := range wantG {
+		if gi[0][i] != wantG[i] {
+			t.Fatalf("pool grad = %v, want %v", gi[0], wantG)
+		}
+	}
+}
+
+func TestLayerConstructorPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cases := []func(){
+		func() { NewDense(0, 1, rng) },
+		func() { NewConv1D(0, 1, 1, 4, rng) },
+		func() { NewConv1D(1, 1, 5, 4, rng) },
+		func() { NewMaxPool1D(1, 4, 0) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNumParamsCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	net, _ := NewNetwork(4, 3, NewDense(4, 5, rng), NewReLU(), NewDense(5, 3, rng))
+	want := 4*5 + 5 + 5*3 + 3
+	if got := net.NumParams(); got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,55 @@
+// Package nn is a small, dependency-free neural-network library built for
+// FreewayML's streaming models. The paper implements its models on PyTorch;
+// Go has no mature NN-training stack, so this package provides the minimal
+// equivalent: dense and 1-D convolutional layers, mini-batch SGD with
+// momentum, a numerically stable softmax cross-entropy head, and parameter
+// snapshot/restore used by the historical-knowledge store.
+//
+// All layers operate on batches represented as [][]float64 (one row per
+// sample). Layers cache their forward inputs, so a Network is not safe for
+// concurrent use; FreewayML runs one goroutine per model.
+package nn
+
+import "math/rand"
+
+// Param is one learnable parameter tensor, stored flat together with its
+// gradient accumulator.
+type Param struct {
+	W    []float64
+	Grad []float64
+}
+
+func newParam(n int) *Param {
+	return &Param{W: make([]float64, n), Grad: make([]float64, n)}
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.Grad {
+		p.Grad[i] = 0
+	}
+}
+
+// heInit fills w with He-normal initialization for a layer with the given
+// fan-in, the standard choice ahead of ReLU activations.
+func heInit(w []float64, fanIn int, rng *rand.Rand) {
+	std := 1.0
+	if fanIn > 0 {
+		std = sqrt(2.0 / float64(fanIn))
+	}
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}
+
+// xavierInit fills w with Xavier/Glorot-normal initialization, used ahead of
+// linear or sigmoid outputs.
+func xavierInit(w []float64, fanIn, fanOut int, rng *rand.Rand) {
+	std := 1.0
+	if fanIn+fanOut > 0 {
+		std = sqrt(2.0 / float64(fanIn+fanOut))
+	}
+	for i := range w {
+		w[i] = rng.NormFloat64() * std
+	}
+}

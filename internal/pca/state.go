@@ -1,0 +1,48 @@
+package pca
+
+import (
+	"errors"
+
+	"freewayml/internal/linalg"
+)
+
+// State is the serializable form of a fitted Model (all fields exported for
+// encoding/gob).
+type State struct {
+	Mean      linalg.Vector
+	Rows      int
+	Cols      int
+	Data      []float64
+	Explained linalg.Vector
+	TotalVar  float64
+}
+
+// State exports the fitted model.
+func (m *Model) State() State {
+	return State{
+		Mean:      m.mean.Clone(),
+		Rows:      m.components.Rows,
+		Cols:      m.components.Cols,
+		Data:      append([]float64(nil), m.components.Data...),
+		Explained: m.explained.Clone(),
+		TotalVar:  m.totalVar,
+	}
+}
+
+// FromState reconstructs a Model from an exported State.
+func FromState(s State) (*Model, error) {
+	if s.Rows < 1 || s.Cols < 1 || len(s.Data) != s.Rows*s.Cols {
+		return nil, errors.New("pca: invalid state shape")
+	}
+	if len(s.Mean) != s.Rows {
+		return nil, errors.New("pca: state mean length mismatch")
+	}
+	comp := linalg.NewMatrix(s.Rows, s.Cols)
+	copy(comp.Data, s.Data)
+	return &Model{
+		mean:       s.Mean.Clone(),
+		components: comp,
+		explained:  s.Explained.Clone(),
+		totalVar:   s.TotalVar,
+	}, nil
+}

@@ -1,0 +1,167 @@
+// Package serve exposes a FreewayML learner as an HTTP JSON service — the
+// deployment posture of paper Sec. V, where the framework is connected to a
+// live stream whose batches arrive labeled (training) or unlabeled
+// (inference). One learner instance serves both through a single endpoint;
+// requests are serialized because streaming learning is stateful and
+// order-dependent.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"freewayml/internal/core"
+	"freewayml/internal/stream"
+)
+
+// ProcessRequest is one mini-batch submitted to the service. Y may be
+// omitted for pure-inference batches.
+type ProcessRequest struct {
+	X [][]float64 `json:"x"`
+	Y []int       `json:"y,omitempty"`
+}
+
+// ProcessResponse reports the learner's decision for the batch.
+type ProcessResponse struct {
+	Predictions   []int   `json:"predictions"`
+	Pattern       string  `json:"pattern"`
+	Strategy      string  `json:"strategy"`
+	ShiftDistance float64 `json:"shift_distance"`
+	Severity      float64 `json:"severity"`
+	Accuracy      float64 `json:"accuracy"` // -1 for unlabeled batches
+}
+
+// StatsResponse summarizes the learner's prequential metrics.
+type StatsResponse struct {
+	Batches          int     `json:"batches"`
+	Samples          int     `json:"samples"`
+	GAcc             float64 `json:"g_acc"`
+	SI               float64 `json:"si"`
+	KnowledgeEntries int     `json:"knowledge_entries"`
+	KnowledgeBytes   int     `json:"knowledge_bytes"`
+}
+
+// Server wraps one learner behind an http.Handler.
+type Server struct {
+	mu      sync.Mutex
+	learner *core.Learner
+	dim     int
+	classes int
+	seq     int
+	mux     *http.ServeMux
+}
+
+// New builds a server around a fresh learner for the given stream shape.
+func New(cfg core.Config, dim, classes int) (*Server, error) {
+	l, err := core.NewLearner(cfg, dim, classes)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{learner: l, dim: dim, classes: classes, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/v1/process", s.handleProcess)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close flushes the learner's asynchronous work.
+func (s *Server) Close() error { return s.learner.Close() }
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ProcessRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := validate(req, s.dim, s.classes); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	b := stream.Batch{Seq: s.seq, X: req.X, Y: req.Y}
+	s.seq++
+	res, err := s.learner.Process(b)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	pattern := res.Pattern
+	if res.Pattern.IsSlight() {
+		pattern = res.SubPattern
+	}
+	writeJSON(w, ProcessResponse{
+		Predictions:   res.Pred,
+		Pattern:       pattern.String(),
+		Strategy:      res.Strategy.String(),
+		ShiftDistance: res.Observation.Distance,
+		Severity:      res.Observation.Severity,
+		Accuracy:      res.Accuracy,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	m := s.learner.Metrics()
+	resp := StatsResponse{
+		Batches:          m.Batches(),
+		Samples:          m.Samples(),
+		GAcc:             m.GAcc(),
+		SI:               m.SI(),
+		KnowledgeEntries: s.learner.KnowledgeStore().Len(),
+		KnowledgeBytes:   s.learner.KnowledgeStore().MemoryBytes(),
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func validate(req ProcessRequest, dim, classes int) error {
+	if len(req.X) == 0 {
+		return errors.New("empty batch")
+	}
+	for _, row := range req.X {
+		if len(row) != dim {
+			return fmt.Errorf("row width %d, want %d", len(row), dim)
+		}
+	}
+	if req.Y != nil {
+		if len(req.Y) != len(req.X) {
+			return errors.New("label count mismatch")
+		}
+		for _, y := range req.Y {
+			if y < 0 || y >= classes {
+				return fmt.Errorf("label %d outside [0,%d)", y, classes)
+			}
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,34 @@
+package shift
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func BenchmarkDetectorObserve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig()
+	cfg.WarmupPoints = 256
+	det, err := NewDetector(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batches := make([][]linalg.Vector, 8)
+	for i := range batches {
+		batches[i] = cloud(rng, 256, linalg.Vector{float64(i), 0, 0, 0, 0, 0, 0, 0}, 0.5)
+	}
+	// Warm up past the PCA fit.
+	for i := 0; i < 4; i++ {
+		if _, err := det.Observe(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := det.Observe(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

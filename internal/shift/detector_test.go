@@ -1,0 +1,345 @@
+package shift
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+// cloud returns n points distributed N(center, spread²·I).
+func cloud(rng *rand.Rand, n int, center linalg.Vector, spread float64) []linalg.Vector {
+	pts := make([]linalg.Vector, n)
+	for i := range pts {
+		pts[i] = linalg.NewVector(len(center))
+		for j := range center {
+			pts[i][j] = center[j] + rng.NormFloat64()*spread
+		}
+	}
+	return pts
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.WarmupPoints = 64
+	cfg.HistoryK = 10
+	cfg.MinSeverityHistory = 4
+	cfg.RecentExclusion = 3
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.WarmupPoints = 0 },
+		func(c *Config) { c.ProjectionDim = 0 },
+		func(c *Config) { c.HistoryK = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.WeightDecay = 0 },
+		func(c *Config) { c.WeightDecay = 1.5 },
+		func(c *Config) { c.CentroidHistory = 0 },
+		func(c *Config) { c.RecentExclusion = -1 },
+		func(c *Config) { c.MinSeverityHistory = 0 },
+		func(c *Config) { c.MinSevereRatio = -1 },
+		func(c *Config) { c.ReoccurRatio = 0 },
+		func(c *Config) { c.ReoccurRatio = 1.5 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed Validate", i)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if _, err := NewDetector(Config{}); err == nil {
+		t.Error("NewDetector with zero config should error")
+	}
+}
+
+func TestWarmupPhase(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	det, err := NewDetector(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 warm-up points at 32/batch: first batch stays in warm-up.
+	obs, err := det.Observe(cloud(rng, 32, linalg.Vector{0, 0, 0}, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Pattern != PatternWarmup || det.Ready() {
+		t.Fatalf("expected warmup, got %v ready=%v", obs.Pattern, det.Ready())
+	}
+	obs, err = det.Observe(cloud(rng, 32, linalg.Vector{0, 0, 0}, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Ready() {
+		t.Fatal("detector should be ready after warm-up points accumulated")
+	}
+	if obs.Pattern != PatternA {
+		t.Fatalf("first post-warmup batch = %v, want A", obs.Pattern)
+	}
+	if det.PCA() == nil {
+		t.Error("PCA() nil after warm-up")
+	}
+}
+
+func TestEmptyBatchErrors(t *testing.T) {
+	det, _ := NewDetector(smallConfig())
+	if _, err := det.Observe(nil); err == nil {
+		t.Error("empty batch should error")
+	}
+}
+
+// driveWarmup pushes stationary batches until the detector is ready and has
+// enough distance history for severity scoring.
+func driveWarmup(t *testing.T, det *Detector, rng *rand.Rand, center linalg.Vector, spread float64) {
+	t.Helper()
+	for i := 0; i < 20; i++ {
+		if _, err := det.Observe(cloud(rng, 64, center, spread)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !det.Ready() {
+		t.Fatal("detector not ready after drive")
+	}
+}
+
+func TestStationaryStreamClassifiesSlight(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	det, _ := NewDetector(smallConfig())
+	center := linalg.Vector{1, 2, 3}
+	driveWarmup(t, det, rng, center, 0.5)
+	severe := 0
+	for i := 0; i < 30; i++ {
+		obs, err := det.Observe(cloud(rng, 64, center, 0.5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Pattern.IsSevere() {
+			severe++
+		}
+	}
+	// The z-test has an intrinsic small false-positive rate; a stationary
+	// stream must classify overwhelmingly as slight.
+	if severe > 2 {
+		t.Fatalf("stationary stream produced %d severe classifications out of 30", severe)
+	}
+}
+
+func TestSuddenShiftClassifiesB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	det, _ := NewDetector(smallConfig())
+	driveWarmup(t, det, rng, linalg.Vector{0, 0, 0}, 0.3)
+	// Jump far away from anything seen before.
+	obs, err := det.Observe(cloud(rng, 64, linalg.Vector{50, -40, 30}, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Pattern != PatternB {
+		t.Fatalf("sudden jump classified %v (M=%.2f, dh=%.2f, dt=%.2f)",
+			obs.Pattern, obs.Severity, obs.NearestHistory, obs.Distance)
+	}
+	if obs.Severity <= det.cfg.Alpha {
+		t.Errorf("severity %.2f not above alpha", obs.Severity)
+	}
+}
+
+func TestReoccurringShiftClassifiesC(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := smallConfig()
+	det, _ := NewDetector(cfg)
+	home := linalg.Vector{0, 0, 0}
+	away := linalg.Vector{40, 40, -40}
+	driveWarmup(t, det, rng, home, 0.3)
+	// Leave home: one sudden shift, then settle at `away` long enough that
+	// `home` is outside the recent-exclusion window.
+	for i := 0; i < cfg.RecentExclusion+5; i++ {
+		if _, err := det.Observe(cloud(rng, 64, away, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Return home: severe shift toward a previously seen distribution.
+	obs, err := det.Observe(cloud(rng, 64, home, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Pattern != PatternC {
+		t.Fatalf("return shift classified %v (M=%.2f, dh=%.2f, dt=%.2f)",
+			obs.Pattern, obs.Severity, obs.NearestHistory, obs.Distance)
+	}
+	if obs.NearestHistoryIndex < 0 {
+		t.Error("PatternC must carry the matched history index")
+	}
+	if obs.NearestHistory >= obs.Distance {
+		t.Errorf("d_h=%.3f should be < d_t=%.3f", obs.NearestHistory, obs.Distance)
+	}
+}
+
+func TestDirectionalDriftStaysSlight(t *testing.T) {
+	// A slow, steady drift produces consistent small distances: the weighted
+	// z-score of each new distance stays near 0.
+	rng := rand.New(rand.NewSource(5))
+	det, _ := NewDetector(smallConfig())
+	pos := linalg.Vector{0, 0, 0}
+	driveWarmup(t, det, rng, pos, 0.3)
+	severe := 0
+	for i := 0; i < 40; i++ {
+		pos = pos.Add(linalg.Vector{0.05, 0.05, 0})
+		obs, err := det.Observe(cloud(rng, 64, pos, 0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if obs.Pattern.IsSevere() {
+			severe++
+		}
+	}
+	// The onset of drift can legitimately spike severity for a few batches;
+	// the bulk of a steady drift must classify as slight.
+	if severe > 8 {
+		t.Errorf("directional drift produced %d severe classifications out of 40", severe)
+	}
+}
+
+func TestHistoryDistancesTracked(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	det, _ := NewDetector(smallConfig())
+	driveWarmup(t, det, rng, linalg.Vector{0, 0, 0}, 0.3)
+	h := det.HistoryDistances()
+	if len(h) == 0 {
+		t.Fatal("no history recorded")
+	}
+	for _, d := range h {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatalf("invalid distance %v", d)
+		}
+	}
+}
+
+func TestSubClassifyA(t *testing.T) {
+	if p := SubClassifyA(0.1, 0.5); p != PatternA1 {
+		t.Errorf("low disorder = %v, want A1", p)
+	}
+	if p := SubClassifyA(0.9, 0.5); p != PatternA2 {
+		t.Errorf("high disorder = %v, want A2", p)
+	}
+}
+
+func TestPatternStringAndPredicates(t *testing.T) {
+	cases := map[Pattern]string{
+		PatternWarmup: "warmup",
+		PatternA:      "A(slight)",
+		PatternA1:     "A1(directional)",
+		PatternA2:     "A2(localized)",
+		PatternB:      "B(sudden)",
+		PatternC:      "C(reoccurring)",
+		Pattern(99):   "Pattern(99)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+	if !PatternA1.IsSlight() || PatternB.IsSlight() {
+		t.Error("IsSlight misclassifies")
+	}
+	if !PatternC.IsSevere() || PatternA.IsSevere() {
+		t.Error("IsSevere misclassifies")
+	}
+}
+
+func TestGraphAccumulationAndCSV(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	det, _ := NewDetector(smallConfig())
+	var g Graph
+	// Warm-up observations carry no projection and must be skipped.
+	obs, _ := det.Observe(cloud(rng, 32, linalg.Vector{0, 0, 0}, 0.3))
+	g.Add(obs, 0.9)
+	if g.Len() != 0 {
+		t.Fatal("warm-up point should not be recorded")
+	}
+	for i := 0; i < 10; i++ {
+		obs, err := det.Observe(cloud(rng, 64, linalg.Vector{0, 0, 0}, 0.3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Add(obs, 0.9)
+	}
+	if g.Len() == 0 {
+		t.Fatal("no points recorded")
+	}
+	if g.TotalPathLength() < 0 {
+		t.Error("negative path length")
+	}
+	var sb strings.Builder
+	if err := g.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantHeader := "batch"
+	for j := 0; j < det.PCA().OutputDim(); j++ {
+		wantHeader += fmt.Sprintf(",y%d", j)
+	}
+	wantHeader += ",distance,severity,pattern,accuracy"
+	if !strings.HasPrefix(out, wantHeader) {
+		t.Errorf("unexpected header: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	if lines := strings.Count(out, "\n"); lines != g.Len()+1 {
+		t.Errorf("CSV lines = %d, want %d", lines, g.Len()+1)
+	}
+}
+
+func TestGraphEmptyCSV(t *testing.T) {
+	var g Graph
+	var sb strings.Builder
+	if err := g.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "batch,") {
+		t.Error("empty CSV missing header")
+	}
+}
+
+func TestCentroidHistoryBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := smallConfig()
+	cfg.CentroidHistory = 5
+	det, _ := NewDetector(cfg)
+	driveWarmup(t, det, rng, linalg.Vector{0, 0, 0}, 0.3)
+	for i := 0; i < 30; i++ {
+		if _, err := det.Observe(cloud(rng, 64, linalg.Vector{0, 0, 0}, 0.3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(det.centroids) > cfg.CentroidHistory {
+		t.Errorf("centroid history %d exceeds cap %d", len(det.centroids), cfg.CentroidHistory)
+	}
+}
+
+func TestProjectionDimCappedToInput(t *testing.T) {
+	// 1-D input with ProjectionDim 2 must not fail: dim is capped.
+	rng := rand.New(rand.NewSource(9))
+	cfg := smallConfig()
+	det, _ := NewDetector(cfg)
+	for i := 0; i < 20; i++ {
+		pts := make([]linalg.Vector, 64)
+		for j := range pts {
+			pts[j] = linalg.Vector{rng.NormFloat64()}
+		}
+		if _, err := det.Observe(pts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !det.Ready() {
+		t.Fatal("detector should be ready")
+	}
+	if det.PCA().OutputDim() != 1 {
+		t.Errorf("OutputDim = %d, want 1", det.PCA().OutputDim())
+	}
+}

@@ -1,0 +1,29 @@
+package shift
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func TestObservationCarriesHistoryMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	det, _ := NewDetector(smallConfig())
+	driveWarmup(t, det, rng, linalg.Vector{0, 0, 0}, 0.3)
+	obs, err := det.Observe(cloud(rng, 64, linalg.Vector{0, 0, 0}, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.HistoryMean <= 0 {
+		t.Errorf("HistoryMean = %v, want > 0 after warm history", obs.HistoryMean)
+	}
+	// A jump's distance must dwarf the history mean.
+	jump, err := det.Observe(cloud(rng, 64, linalg.Vector{50, 50, 0}, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jump.Distance < 5*jump.HistoryMean {
+		t.Errorf("jump distance %v not >> history mean %v", jump.Distance, jump.HistoryMean)
+	}
+}

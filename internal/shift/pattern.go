@@ -1,0 +1,68 @@
+// Package shift implements FreewayML's data-pattern phase (paper Sec. III):
+// PCA-projected batch centroids, the shift distance between consecutive
+// batches (Eq. 6-7), weighted shift-severity scoring (Eq. 8-10), the
+// nearest-history distance d_h, and the resulting classification of every
+// batch into a slight (A), sudden (B), or reoccurring (C) shift pattern.
+// It also builds the shift graph of Figure 2.
+package shift
+
+import "fmt"
+
+// Pattern identifies a data distribution shift pattern from the paper.
+type Pattern int
+
+const (
+	// PatternWarmup marks batches consumed before the PCA model and the
+	// distance history are ready; no classification is made.
+	PatternWarmup Pattern = iota
+	// PatternA is a slight shift (M < α). Sub-classified into A1/A2 by the
+	// adaptive streaming window's disorder (see SubClassifyA).
+	PatternA
+	// PatternA1 is a directional slight shift (low disorder).
+	PatternA1
+	// PatternA2 is a localized slight shift (high disorder).
+	PatternA2
+	// PatternB is a sudden shift (M > α) toward a never-seen distribution.
+	PatternB
+	// PatternC is a reoccurring shift (M > α and d_h < d_t): the stream
+	// moved back toward a previously observed distribution.
+	PatternC
+)
+
+// String returns the paper's name for the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternWarmup:
+		return "warmup"
+	case PatternA:
+		return "A(slight)"
+	case PatternA1:
+		return "A1(directional)"
+	case PatternA2:
+		return "A2(localized)"
+	case PatternB:
+		return "B(sudden)"
+	case PatternC:
+		return "C(reoccurring)"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// IsSlight reports whether p is any of the slight-shift patterns A, A1, A2.
+func (p Pattern) IsSlight() bool { return p == PatternA || p == PatternA1 || p == PatternA2 }
+
+// IsSevere reports whether p is a severe shift (B or C).
+func (p Pattern) IsSevere() bool { return p == PatternB || p == PatternC }
+
+// SubClassifyA refines a slight shift into A1 (directional) or A2
+// (localized) given the normalized disorder of the adaptive streaming
+// window: low disorder means the window's distance ranking follows time —
+// an orderly directional drift; high disorder means localized fluctuation
+// (paper Fig. 7). threshold is the normalized-disorder split point.
+func SubClassifyA(disorder, threshold float64) Pattern {
+	if disorder < threshold {
+		return PatternA1
+	}
+	return PatternA2
+}

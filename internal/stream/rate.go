@@ -1,0 +1,74 @@
+package stream
+
+import "errors"
+
+// RateAdjuster implements the rate-aware adjuster of paper Sec. V-B. It
+// observes the live data flow rate and the training-window pressure and
+// produces two control outputs:
+//
+//   - InferBoost: when the flow rate is low and window pressure minimal,
+//     the inference frequency is increased to drain pending data quickly.
+//   - DecayBoost: when the flow rate exceeds a threshold, the ASW decay is
+//     accelerated so model updates become less frequent and stop competing
+//     with inference for resources.
+//
+// The adjuster is driven by reported measurements rather than wall-clock
+// time, which keeps it deterministic and testable.
+type RateAdjuster struct {
+	// HighRate is the items/second threshold above which training yields.
+	HighRate float64
+	// LowRate is the items/second threshold below which inference is
+	// boosted.
+	LowRate float64
+	// PressureLimit is the pending-item count considered "minimal" when at
+	// or below it.
+	PressureLimit int
+
+	rate     float64
+	pressure int
+}
+
+// NewRateAdjuster validates thresholds (0 < LowRate < HighRate,
+// PressureLimit >= 0) and returns an adjuster.
+func NewRateAdjuster(lowRate, highRate float64, pressureLimit int) (*RateAdjuster, error) {
+	if lowRate <= 0 || highRate <= lowRate {
+		return nil, errors.New("stream: need 0 < LowRate < HighRate")
+	}
+	if pressureLimit < 0 {
+		return nil, errors.New("stream: PressureLimit must be >= 0")
+	}
+	return &RateAdjuster{HighRate: highRate, LowRate: lowRate, PressureLimit: pressureLimit}, nil
+}
+
+// Report feeds the latest measurements: items/second arriving and items
+// pending in the training window.
+func (r *RateAdjuster) Report(itemsPerSecond float64, pendingItems int) {
+	if itemsPerSecond < 0 {
+		itemsPerSecond = 0
+	}
+	if pendingItems < 0 {
+		pendingItems = 0
+	}
+	r.rate = itemsPerSecond
+	r.pressure = pendingItems
+}
+
+// InferBoost reports whether the inference frequency should be raised
+// (low flow rate and minimal window pressure).
+func (r *RateAdjuster) InferBoost() bool {
+	return r.rate < r.LowRate && r.pressure <= r.PressureLimit
+}
+
+// DecayBoost returns the extra multiplier to apply to the ASW decay
+// exponent: 1 (no change) below HighRate, growing linearly with the
+// overload factor above it, capped at 3× to keep the window useful.
+func (r *RateAdjuster) DecayBoost() float64 {
+	if r.rate <= r.HighRate {
+		return 1
+	}
+	boost := r.rate / r.HighRate
+	if boost > 3 {
+		boost = 3
+	}
+	return boost
+}

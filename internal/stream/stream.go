@@ -1,0 +1,96 @@
+// Package stream defines the batch and stream abstractions the rest of
+// FreewayML consumes: labeled/unlabeled mini-batches, the Source interface
+// every dataset generator implements, and the rate-aware adjuster of paper
+// Sec. V-B that balances inference and training frequency under load.
+package stream
+
+import "errors"
+
+// DriftKind is the ground-truth drift type a dataset generator injected
+// into a batch. The per-pattern experiments (Table II, Fig. 9/11) slice
+// accuracy by this label.
+type DriftKind int
+
+const (
+	// KindNone marks stationary batches.
+	KindNone DriftKind = iota
+	// KindSlight marks batches under gradual/localized drift (Pattern A).
+	KindSlight
+	// KindSudden marks batches at or shortly after an abrupt concept switch
+	// to a new distribution (Pattern B).
+	KindSudden
+	// KindReoccurring marks batches at or shortly after a switch back to a
+	// previously seen concept (Pattern C).
+	KindReoccurring
+)
+
+// String names the drift kind.
+func (k DriftKind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindSlight:
+		return "slight"
+	case KindSudden:
+		return "sudden"
+	case KindReoccurring:
+		return "reoccurring"
+	default:
+		return "unknown"
+	}
+}
+
+// Batch is one mini-batch of the stream. Y is nil for pure-inference
+// batches; in the paper's prequential protocol every batch is first used
+// for inference and then (with its labels) for training.
+type Batch struct {
+	Seq   int
+	X     [][]float64
+	Y     []int
+	Truth DriftKind
+}
+
+// Labeled reports whether the batch carries labels.
+func (b Batch) Labeled() bool { return len(b.Y) == len(b.X) && len(b.Y) > 0 }
+
+// Validate checks internal consistency.
+func (b Batch) Validate() error {
+	if len(b.X) == 0 {
+		return errors.New("stream: empty batch")
+	}
+	if b.Y != nil && len(b.Y) != len(b.X) {
+		return errors.New("stream: label count mismatch")
+	}
+	w := len(b.X[0])
+	for _, row := range b.X {
+		if len(row) != w {
+			return errors.New("stream: ragged batch")
+		}
+	}
+	return nil
+}
+
+// Source produces a finite or infinite sequence of batches.
+type Source interface {
+	// Name identifies the dataset.
+	Name() string
+	// Dim is the feature dimensionality.
+	Dim() int
+	// Classes is the number of labels.
+	Classes() int
+	// Next returns the next batch, or ok=false when the stream ends.
+	Next() (Batch, bool)
+}
+
+// Collect drains up to max batches from a source (all batches if max <= 0).
+func Collect(s Source, max int) []Batch {
+	var out []Batch
+	for max <= 0 || len(out) < max {
+		b, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, b)
+	}
+	return out
+}

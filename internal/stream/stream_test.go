@@ -1,0 +1,118 @@
+package stream
+
+import "testing"
+
+func TestDriftKindString(t *testing.T) {
+	cases := map[DriftKind]string{
+		KindNone:        "none",
+		KindSlight:      "slight",
+		KindSudden:      "sudden",
+		KindReoccurring: "reoccurring",
+		DriftKind(42):   "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	good := Batch{X: [][]float64{{1, 2}, {3, 4}}, Y: []int{0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if !good.Labeled() {
+		t.Error("labeled batch reported unlabeled")
+	}
+	unlabeled := Batch{X: [][]float64{{1, 2}}}
+	if err := unlabeled.Validate(); err != nil {
+		t.Errorf("unlabeled batch rejected: %v", err)
+	}
+	if unlabeled.Labeled() {
+		t.Error("unlabeled batch reported labeled")
+	}
+	bad := []Batch{
+		{},
+		{X: [][]float64{{1}}, Y: []int{0, 1}},
+		{X: [][]float64{{1}, {1, 2}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid batch passed", i)
+		}
+	}
+}
+
+type fakeSource struct {
+	n, emitted int
+}
+
+func (f *fakeSource) Name() string { return "fake" }
+func (f *fakeSource) Dim() int     { return 1 }
+func (f *fakeSource) Classes() int { return 2 }
+func (f *fakeSource) Next() (Batch, bool) {
+	if f.emitted >= f.n {
+		return Batch{}, false
+	}
+	f.emitted++
+	return Batch{Seq: f.emitted - 1, X: [][]float64{{1}}, Y: []int{0}}, true
+}
+
+func TestCollect(t *testing.T) {
+	if got := Collect(&fakeSource{n: 5}, 3); len(got) != 3 {
+		t.Errorf("Collect(max=3) = %d batches", len(got))
+	}
+	if got := Collect(&fakeSource{n: 5}, 0); len(got) != 5 {
+		t.Errorf("Collect(max=0) = %d batches", len(got))
+	}
+	if got := Collect(&fakeSource{n: 2}, 10); len(got) != 2 {
+		t.Errorf("Collect beyond end = %d batches", len(got))
+	}
+}
+
+func TestRateAdjusterValidation(t *testing.T) {
+	if _, err := NewRateAdjuster(0, 10, 0); err == nil {
+		t.Error("LowRate 0 should error")
+	}
+	if _, err := NewRateAdjuster(10, 5, 0); err == nil {
+		t.Error("HighRate < LowRate should error")
+	}
+	if _, err := NewRateAdjuster(1, 10, -1); err == nil {
+		t.Error("negative PressureLimit should error")
+	}
+}
+
+func TestRateAdjusterBehaviour(t *testing.T) {
+	r, err := NewRateAdjuster(100, 1000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quiet stream, empty window: boost inference, no decay change.
+	r.Report(10, 0)
+	if !r.InferBoost() {
+		t.Error("quiet stream should boost inference")
+	}
+	if r.DecayBoost() != 1 {
+		t.Errorf("quiet DecayBoost = %v", r.DecayBoost())
+	}
+	// Quiet stream but pressured window: no inference boost.
+	r.Report(10, 100)
+	if r.InferBoost() {
+		t.Error("pressured window should not boost inference")
+	}
+	// Overloaded stream: decay boost grows, capped at 3.
+	r.Report(2000, 100)
+	if b := r.DecayBoost(); b <= 1 || b > 3 {
+		t.Errorf("overload DecayBoost = %v", b)
+	}
+	r.Report(1e9, 100)
+	if b := r.DecayBoost(); b != 3 {
+		t.Errorf("capped DecayBoost = %v, want 3", b)
+	}
+	// Negative measurements are clamped.
+	r.Report(-5, -5)
+	if !r.InferBoost() {
+		t.Error("clamped negative rate should behave as 0")
+	}
+}

@@ -1,0 +1,234 @@
+// Package window implements FreewayML's adaptive streaming window (ASW,
+// paper Sec. IV-B and Algorithm 1): the training-data structure behind the
+// long-time-granularity model. Each stored batch carries a decay weight;
+// when a new batch arrives, existing batches are decayed according to their
+// shift-distance rank (closer distributions decay less) modulated by the
+// window's disorder (Eq. 11), so the window tracks the live distribution at
+// minimal cost. The package also provides the pre-computing gradient
+// mechanism of Sec. V-B.
+package window
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"freewayml/internal/linalg"
+	"freewayml/internal/stats"
+)
+
+// Config parametrizes an ASW.
+type Config struct {
+	// MaxBatches triggers a long-model update when the window holds this
+	// many batches.
+	MaxBatches int
+	// MaxItems triggers an update when the window holds this many samples.
+	MaxItems int
+	// BaseDecay is the per-push weight multiplier for the closest batch at
+	// zero disorder; farther batches and higher disorder decay faster.
+	// Must be in (0, 1).
+	BaseDecay float64
+	// DisorderBoost scales how strongly normalized disorder accelerates
+	// decay (decay exponent is (1+rankFrac)·(1+DisorderBoost·disorder)).
+	DisorderBoost float64
+	// MinWeight evicts batches whose weight decays below it.
+	MinWeight float64
+}
+
+// DefaultConfig returns the window parameters used in the evaluation.
+func DefaultConfig() Config {
+	return Config{MaxBatches: 8, MaxItems: 16384, BaseDecay: 0.95, DisorderBoost: 1.0, MinWeight: 0.05}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.MaxBatches < 1:
+		return errors.New("window: MaxBatches must be >= 1")
+	case c.MaxItems < 1:
+		return errors.New("window: MaxItems must be >= 1")
+	case c.BaseDecay <= 0 || c.BaseDecay >= 1:
+		return errors.New("window: BaseDecay must be in (0, 1)")
+	case c.DisorderBoost < 0:
+		return errors.New("window: DisorderBoost must be >= 0")
+	case c.MinWeight < 0 || c.MinWeight >= 1:
+		return errors.New("window: MinWeight must be in [0, 1)")
+	}
+	return nil
+}
+
+// Entry is one batch held by the window.
+type Entry struct {
+	X        [][]float64
+	Y        []int
+	Centroid linalg.Vector // the batch's distribution representation (ȳ)
+	Weight   float64       // decay weight in (0, 1]
+	Seq      int           // arrival sequence number
+}
+
+// ASW is the adaptive streaming window. Not safe for concurrent use.
+type ASW struct {
+	cfg        Config
+	entries    []Entry
+	seq        int
+	items      int
+	disorder   float64 // normalized disorder from the last Push
+	decayBoost float64 // rate-aware multiplier on the decay exponent
+}
+
+// New returns an empty window.
+func New(cfg Config) (*ASW, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ASW{cfg: cfg, decayBoost: 1}, nil
+}
+
+// SetDecayBoost applies the rate-aware adjuster's output (paper Sec. V-B):
+// values above 1 accelerate decay so updates become less frequent under
+// high-rate streams. Values below 1 are clamped to 1.
+func (w *ASW) SetDecayBoost(boost float64) {
+	if boost < 1 {
+		boost = 1
+	}
+	w.decayBoost = boost
+}
+
+// Len returns the number of stored batches.
+func (w *ASW) Len() int { return len(w.entries) }
+
+// Items returns the total number of stored samples.
+func (w *ASW) Items() int { return w.items }
+
+// Disorder returns the normalized disorder (Eq. 11, scaled to [0, 1])
+// computed during the most recent Push: the degree to which the
+// shift-distance ranking of the stored batches disagrees with their time
+// order. Low disorder indicates a directional drift (Pattern A1); high
+// disorder indicates localized fluctuation (Pattern A2).
+func (w *ASW) Disorder() float64 { return w.disorder }
+
+// Full reports whether the window has reached MaxBatches or MaxItems and a
+// long-model update should run (Algorithm 1, line 3).
+func (w *ASW) Full() bool {
+	return len(w.entries) >= w.cfg.MaxBatches || w.items >= w.cfg.MaxItems
+}
+
+// Push ingests a batch with its distribution centroid, decaying existing
+// entries per Algorithm 1: rank the stored batches by shift distance to the
+// new batch, compute the ranking's disorder, then decay each batch by a
+// rate that grows with its distance rank and with the disorder. Returns
+// whether the window is full after the push.
+func (w *ASW) Push(x [][]float64, y []int, centroid linalg.Vector) (bool, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return false, errors.New("window: batch must be non-empty with matching labels")
+	}
+	if centroid == nil {
+		return false, errors.New("window: nil centroid")
+	}
+
+	if n := len(w.entries); n > 0 {
+		// Rank stored batches by distance to the incoming batch.
+		type ranked struct {
+			idx  int
+			dist float64
+		}
+		rs := make([]ranked, n)
+		for i, e := range w.entries {
+			rs[i] = ranked{idx: i, dist: centroid.Distance(e.Centroid)}
+		}
+		sort.Slice(rs, func(a, b int) bool { return rs[a].dist < rs[b].dist })
+
+		// rankOf[i] is entry i's distance rank (0 = closest).
+		rankOf := make([]int, n)
+		for r, v := range rs {
+			rankOf[v.idx] = r
+		}
+
+		// Disorder: compare the distance ranking against recency. τ (Eq. 11)
+		// reads the ranks newest-first: under a directional drift the most
+		// recent batch is the closest (rank 0), the next most recent rank 1,
+		// and so on — an ascending sequence with zero inversions — while a
+		// localized stream scrambles the ranks (Fig. 7).
+		tau := make([]int, n)
+		for i := 0; i < n; i++ {
+			tau[i] = rankOf[n-1-i]
+		}
+		w.disorder = stats.NormalizedDisorder(tau)
+
+		// Decay every entry: closer (low rank) → less decay; higher
+		// disorder → more decay (localized data, update less urgent).
+		kept := w.entries[:0]
+		items := 0
+		for i := range w.entries {
+			e := w.entries[i]
+			rankFrac := float64(rankOf[i]) / float64(n)
+			exponent := (1 + rankFrac) * (1 + w.cfg.DisorderBoost*w.disorder) * w.decayBoost
+			e.Weight *= math.Pow(w.cfg.BaseDecay, exponent)
+			if e.Weight < w.cfg.MinWeight {
+				continue // evicted
+			}
+			kept = append(kept, e)
+			items += len(e.X)
+		}
+		w.entries = kept
+		w.items = items
+	} else {
+		w.disorder = 0
+	}
+
+	w.entries = append(w.entries, Entry{X: x, Y: y, Centroid: centroid.Clone(), Weight: 1, Seq: w.seq})
+	w.seq++
+	w.items += len(x)
+	return w.Full(), nil
+}
+
+// Entries returns the stored batches, oldest first. The slice is shared;
+// callers must not mutate it.
+func (w *ASW) Entries() []Entry { return w.entries }
+
+// TrainingSet flattens the window into one weighted training set: each batch
+// contributes its first ceil(weight·len) samples, so heavily decayed batches
+// contribute proportionally less signal. Returns empty slices for an empty
+// window.
+func (w *ASW) TrainingSet() ([][]float64, []int) {
+	var xs [][]float64
+	var ys []int
+	for _, e := range w.entries {
+		take := int(math.Ceil(e.Weight * float64(len(e.X))))
+		if take > len(e.X) {
+			take = len(e.X)
+		}
+		xs = append(xs, e.X[:take]...)
+		ys = append(ys, e.Y[:take]...)
+	}
+	return xs, ys
+}
+
+// Distribution returns the weight-averaged centroid of the window — the d_i
+// stored with a preserved long-model snapshot. Returns nil for an empty
+// window.
+func (w *ASW) Distribution() linalg.Vector {
+	if len(w.entries) == 0 {
+		return nil
+	}
+	dim := len(w.entries[0].Centroid)
+	sum := linalg.NewVector(dim)
+	var total float64
+	for _, e := range w.entries {
+		sum.AddInPlace(e.Centroid.Scale(e.Weight))
+		total += e.Weight
+	}
+	if total == 0 {
+		return nil
+	}
+	sum.ScaleInPlace(1 / total)
+	return sum
+}
+
+// Reset empties the window after a long-model update, preserving the
+// sequence counter.
+func (w *ASW) Reset() {
+	w.entries = nil
+	w.items = 0
+	w.disorder = 0
+}

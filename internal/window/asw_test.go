@@ -1,0 +1,357 @@
+package window
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+	"freewayml/internal/nn"
+)
+
+func mkBatch(n int, label int, val float64) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		x[i] = []float64{val, -val}
+		y[i] = label
+	}
+	return x, y
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.MaxBatches = 0 },
+		func(c *Config) { c.MaxItems = 0 },
+		func(c *Config) { c.BaseDecay = 0 },
+		func(c *Config) { c.BaseDecay = 1 },
+		func(c *Config) { c.DisorderBoost = -1 },
+		func(c *Config) { c.MinWeight = 1 },
+		func(c *Config) { c.MinWeight = -0.1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config passed", i)
+		}
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with zero config should error")
+	}
+}
+
+func TestPushValidation(t *testing.T) {
+	w, _ := New(DefaultConfig())
+	if _, err := w.Push(nil, nil, linalg.Vector{0}); err == nil {
+		t.Error("empty batch should error")
+	}
+	x, y := mkBatch(4, 0, 1)
+	if _, err := w.Push(x, y[:2], linalg.Vector{0}); err == nil {
+		t.Error("label mismatch should error")
+	}
+	if _, err := w.Push(x, y, nil); err == nil {
+		t.Error("nil centroid should error")
+	}
+}
+
+func TestFullByBatches(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 3
+	cfg.MaxItems = 1 << 20
+	w, _ := New(cfg)
+	for i := 0; i < 3; i++ {
+		x, y := mkBatch(4, 0, float64(i))
+		full, err := w.Push(x, y, linalg.Vector{float64(i), 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (i == 2) != full {
+			t.Fatalf("push %d full=%v", i, full)
+		}
+	}
+	if !w.Full() || w.Len() != 3 {
+		t.Errorf("Len=%d Full=%v", w.Len(), w.Full())
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Items() != 0 || w.Full() {
+		t.Error("Reset did not clear window")
+	}
+}
+
+func TestFullByItems(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	cfg.MaxItems = 10
+	w, _ := New(cfg)
+	x, y := mkBatch(6, 0, 0)
+	if full, _ := w.Push(x, y, linalg.Vector{0, 0}); full {
+		t.Error("6 items should not fill a 10-item window")
+	}
+	if full, _ := w.Push(x, y, linalg.Vector{0, 0}); !full {
+		t.Error("12 items should fill a 10-item window")
+	}
+}
+
+func TestDecayWeightsMonotone(t *testing.T) {
+	w, _ := New(DefaultConfig())
+	x, y := mkBatch(4, 0, 0)
+	if _, err := w.Push(x, y, linalg.Vector{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x, y, linalg.Vector{0.1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	entries := w.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	if entries[0].Weight >= 1 {
+		t.Errorf("old entry not decayed: %v", entries[0].Weight)
+	}
+	if entries[1].Weight != 1 {
+		t.Errorf("new entry weight = %v, want 1", entries[1].Weight)
+	}
+}
+
+func TestCloserBatchesDecayLess(t *testing.T) {
+	// Two stored batches at distance 0.1 and 10 from the incoming batch: the
+	// closer one must retain more weight.
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	w, _ := New(cfg)
+	x, y := mkBatch(4, 0, 0)
+	if _, err := w.Push(x, y, linalg.Vector{10, 0}); err != nil { // far
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x, y, linalg.Vector{0.1, 0}); err != nil { // near
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x, y, linalg.Vector{0, 0}); err != nil { // incoming
+		t.Fatal(err)
+	}
+	entries := w.Entries()
+	var farW, nearW float64
+	for _, e := range entries {
+		switch e.Centroid[0] {
+		case 10:
+			farW = e.Weight
+		case 0.1:
+			nearW = e.Weight
+		}
+	}
+	if farW == 0 || nearW == 0 {
+		t.Fatalf("missing entries: %+v", entries)
+	}
+	if nearW <= farW {
+		t.Errorf("near weight %v should exceed far weight %v", nearW, farW)
+	}
+}
+
+func TestDisorderLowForDirectionalDrift(t *testing.T) {
+	// Batches marching steadily in one direction: the most recent stored
+	// batch is always closest to the incoming one, so time order and
+	// distance order agree → low disorder.
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	cfg.MinWeight = 0 // keep everything so the ranking is over all batches
+	w, _ := New(cfg)
+	x, y := mkBatch(2, 0, 0)
+	for i := 0; i < 8; i++ {
+		if _, err := w.Push(x, y, linalg.Vector{float64(i), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := w.Disorder(); d > 0.2 {
+		t.Errorf("directional drift disorder = %v, want near 0", d)
+	}
+}
+
+func TestDisorderHighForLocalizedStream(t *testing.T) {
+	// Batches bouncing around randomly inside a region: the distance ranking
+	// bears no relation to time order → high disorder (Pattern A2, Fig. 7).
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	cfg.MinWeight = 0
+	w, _ := New(cfg)
+	x, y := mkBatch(2, 0, 0)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 12; i++ {
+		c := linalg.Vector{rng.Float64() * 100, rng.Float64() * 100}
+		if _, err := w.Push(x, y, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := w.Disorder(); d < 0.3 {
+		t.Errorf("localized stream disorder = %v, want high", d)
+	}
+}
+
+func TestEvictionBelowMinWeight(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 1000
+	cfg.MaxItems = 1 << 20
+	cfg.BaseDecay = 0.5 // aggressive decay
+	cfg.MinWeight = 0.2
+	w, _ := New(cfg)
+	x, y := mkBatch(4, 0, 0)
+	for i := 0; i < 20; i++ {
+		if _, err := w.Push(x, y, linalg.Vector{float64(i * 10), 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() >= 20 {
+		t.Errorf("no eviction happened: Len=%d", w.Len())
+	}
+	for _, e := range w.Entries() {
+		if e.Weight < cfg.MinWeight {
+			t.Errorf("entry below MinWeight survived: %v", e.Weight)
+		}
+	}
+	// Items counter must match surviving entries.
+	total := 0
+	for _, e := range w.Entries() {
+		total += len(e.X)
+	}
+	if total != w.Items() {
+		t.Errorf("Items()=%d, actual %d", w.Items(), total)
+	}
+}
+
+func TestTrainingSetWeighting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	w, _ := New(cfg)
+	x0, y0 := mkBatch(10, 0, 0)
+	x1, y1 := mkBatch(10, 1, 1)
+	if _, err := w.Push(x0, y0, linalg.Vector{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x1, y1, linalg.Vector{5, 0}); err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := w.TrainingSet()
+	if len(xs) != len(ys) {
+		t.Fatalf("xs/ys mismatch %d vs %d", len(xs), len(ys))
+	}
+	if len(xs) == 0 || len(xs) > 20 {
+		t.Fatalf("training set size %d", len(xs))
+	}
+	// The newer batch has weight 1 → contributes all 10; the older is
+	// decayed → contributes fewer or equal.
+	count0, count1 := 0, 0
+	for _, yv := range ys {
+		if yv == 0 {
+			count0++
+		} else {
+			count1++
+		}
+	}
+	if count1 != 10 {
+		t.Errorf("new batch contributed %d, want 10", count1)
+	}
+	if count0 > 10 {
+		t.Errorf("old batch contributed %d > 10", count0)
+	}
+}
+
+func TestTrainingSetEmptyWindow(t *testing.T) {
+	w, _ := New(DefaultConfig())
+	xs, ys := w.TrainingSet()
+	if len(xs) != 0 || len(ys) != 0 {
+		t.Error("empty window should produce empty training set")
+	}
+	if w.Distribution() != nil {
+		t.Error("empty window distribution should be nil")
+	}
+}
+
+func TestDistributionWeightedCentroid(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	w, _ := New(cfg)
+	x, y := mkBatch(4, 0, 0)
+	if _, err := w.Push(x, y, linalg.Vector{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x, y, linalg.Vector{10, 0}); err != nil {
+		t.Fatal(err)
+	}
+	d := w.Distribution()
+	if d == nil {
+		t.Fatal("nil distribution")
+	}
+	// Newest has weight 1, older < 1, so the mean must lean toward 10.
+	if d[0] <= 5 || d[0] >= 10 {
+		t.Errorf("distribution[0] = %v, want in (5, 10)", d[0])
+	}
+}
+
+func TestPrecomputerMatchesDirectTraining(t *testing.T) {
+	// Accumulating two half-batches then Finalize must equal one TrainBatch
+	// on the concatenation (both average per-subset then across subsets of
+	// equal size == overall mean gradient).
+	rng := rand.New(rand.NewSource(1))
+	mkNet := func() *nn.Network {
+		r := rand.New(rand.NewSource(7))
+		n, err := nn.NewNetwork(3, 2, nn.NewDense(3, 2, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	netA := mkNet()
+	netB := mkNet()
+
+	x := make([][]float64, 8)
+	y := make([]int, 8)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = rng.Intn(2)
+	}
+
+	// A: direct train on full batch.
+	optA := nn.NewSGD(0.1, 0, 0)
+	if _, err := netA.TrainBatch(x, y, optA); err != nil {
+		t.Fatal(err)
+	}
+
+	// B: precompute over two equal subsets.
+	p := NewPrecomputer(netB)
+	p.Start()
+	if err := p.AddSubset(x[:4], y[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddSubset(x[4:], y[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if p.Subsets() != 2 {
+		t.Fatalf("Subsets = %d", p.Subsets())
+	}
+	optB := nn.NewSGD(0.1, 0, 0)
+	if err := p.Finalize(optB); err != nil {
+		t.Fatal(err)
+	}
+
+	pa, pb := netA.Params(), netB.Params()
+	for i := range pa {
+		for j := range pa[i].W {
+			if math.Abs(pa[i].W[j]-pb[i].W[j]) > 1e-9 {
+				t.Fatalf("param %d[%d]: %v vs %v", i, j, pa[i].W[j], pb[i].W[j])
+			}
+		}
+	}
+}
+
+func TestPrecomputerErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, _ := nn.NewNetwork(2, 2, nn.NewDense(2, 2, rng))
+	p := NewPrecomputer(net)
+	p.Start()
+	if err := p.AddSubset(nil, nil); err == nil {
+		t.Error("empty subset should error")
+	}
+	if err := p.Finalize(nn.NewSGD(0.1, 0, 0)); err == nil {
+		t.Error("Finalize with no subsets should error")
+	}
+}

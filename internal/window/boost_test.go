@@ -1,0 +1,45 @@
+package window
+
+import (
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func TestDecayBoostAcceleratesDecay(t *testing.T) {
+	run := func(boost float64) float64 {
+		cfg := DefaultConfig()
+		cfg.MaxBatches = 100
+		w, _ := New(cfg)
+		w.SetDecayBoost(boost)
+		x, y := mkBatch(4, 0, 0)
+		for i := 0; i < 5; i++ {
+			if _, err := w.Push(x, y, linalg.Vector{float64(i), 0}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return w.Entries()[0].Weight // oldest surviving entry
+	}
+	plain := run(1)
+	boosted := run(2.5)
+	if boosted >= plain {
+		t.Errorf("boosted weight %v not below plain %v", boosted, plain)
+	}
+}
+
+func TestDecayBoostClampedBelowOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxBatches = 100
+	w, _ := New(cfg)
+	w.SetDecayBoost(0.1) // must clamp to 1, never slow decay below baseline
+	x, y := mkBatch(4, 0, 0)
+	if _, err := w.Push(x, y, linalg.Vector{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Push(x, y, linalg.Vector{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if w.decayBoost != 1 {
+		t.Errorf("decayBoost = %v, want clamped 1", w.decayBoost)
+	}
+}
