@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test vet race check clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: everything CI runs.
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

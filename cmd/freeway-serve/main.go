@@ -5,40 +5,114 @@
 //	freeway-serve -addr :8080 -dim 6 -classes 2 -model mlp
 //	curl -s localhost:8080/v1/process -d '{"x":[[0.4,0.5,0.4,0.5,0.4,0.5]],"y":[0]}'
 //	curl -s localhost:8080/v1/stats
+//
+// The server is hardened for long-lived deployments: request bodies are
+// capped, read/write timeouts bound slow clients, SIGINT/SIGTERM drain
+// in-flight requests before exit, and -checkpoint enables crash-safe
+// periodic snapshots that are restored automatically on restart.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"freewayml/internal/core"
+	"freewayml/internal/guard"
 	"freewayml/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dim     = flag.Int("dim", 6, "feature dimensionality of the stream")
-		classes = flag.Int("classes", 2, "number of labels")
-		family  = flag.String("model", "mlp", "model family: lr | mlp | cnn3 | cnn5")
-		seed    = flag.Int64("seed", 1, "random seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		dim       = flag.Int("dim", 6, "feature dimensionality of the stream")
+		classes   = flag.Int("classes", 2, "number of labels")
+		family    = flag.String("model", "mlp", "model family: lr | mlp | cnn3 | cnn5")
+		seed      = flag.Int64("seed", 1, "random seed")
+		guardPol  = flag.String("guard", "reject", "non-finite input policy: off | reject | clamp | impute")
+		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body cap in bytes")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint file path (enables crash-safe snapshots)")
+		ckptEvery = flag.Int("checkpoint-every", 64, "batches between periodic checkpoints")
 	)
 	flag.Parse()
-
-	cfg := core.DefaultConfig()
-	cfg.ModelFamily = *family
-	cfg.Seed = *seed
-	cfg.Hyper.Seed = *seed
-
-	srv, err := serve.New(cfg, *dim, *classes)
-	if err != nil {
+	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, *maxBody, *ckptPath, *ckptEvery); err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
+}
 
-	fmt.Printf("freeway-serve: %s model, %d features, %d classes, listening on %s\n",
-		*family, *dim, *classes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+func run(addr string, dim, classes int, family string, seed int64, guardPol string, maxBody int64, ckptPath string, ckptEvery int) error {
+	cfg := core.DefaultConfig()
+	cfg.ModelFamily = family
+	cfg.Seed = seed
+	cfg.Hyper.Seed = seed
+	pol, err := guard.ParsePolicy(guardPol)
+	if err != nil {
+		return err
+	}
+	cfg.Guard = pol
+
+	opts := []serve.Option{serve.WithMaxBodyBytes(maxBody)}
+	if ckptPath != "" {
+		opts = append(opts, serve.WithCheckpoint(ckptPath, ckptEvery))
+	}
+	srv, err := serve.New(cfg, dim, classes, opts...)
+	if err != nil {
+		return err
+	}
+
+	if ckptPath != "" {
+		switch err := srv.LoadCheckpointFile(ckptPath); {
+		case err == nil:
+			fmt.Printf("freeway-serve: resumed from checkpoint %s\n", ckptPath)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to resume.
+		default:
+			// A corrupt or mismatched checkpoint must not silently start a
+			// cold model that will overwrite it at the next snapshot.
+			srv.Close()
+			return fmt.Errorf("resume from %s: %w", ckptPath, err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("freeway-serve: %s model, %d features, %d classes, listening on %s\n",
+			family, dim, classes, addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("freeway-serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("freeway-serve: shutdown: %v", err)
+	}
+	// Close drains async learner work and writes the final checkpoint.
+	return srv.Close()
 }

@@ -33,6 +33,7 @@ import (
 
 	"freewayml/internal/core"
 	"freewayml/internal/datasets"
+	"freewayml/internal/guard"
 	"freewayml/internal/stream"
 )
 
@@ -65,6 +66,13 @@ type Config struct {
 	// Standardize wraps every model with an online per-feature z-score
 	// scaler, making training robust to large or shifting feature offsets.
 	Standardize bool
+	// GuardPolicy picks what happens to NaN/Inf feature values: "off",
+	// "reject" (refuse the batch, the default), "clamp" (replace with finite
+	// bounds), or "impute" (replace with running per-feature means).
+	GuardPolicy string
+	// DisableWatchdog turns off the divergence watchdog that rolls a model
+	// back to its last healthy snapshot when training diverges.
+	DisableWatchdog bool
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -81,10 +89,11 @@ func DefaultConfig() Config {
 		Momentum:     c.Hyper.Momentum,
 		HiddenUnits:  c.Hyper.Hidden,
 		Seed:         c.Seed,
+		GuardPolicy:  c.Guard.String(),
 	}
 }
 
-func (c Config) toCore() core.Config {
+func (c Config) toCore() (core.Config, error) {
 	cc := core.DefaultConfig()
 	cc.ModelFamily = c.Model
 	cc.ModelNum = c.ModelNum
@@ -100,7 +109,13 @@ func (c Config) toCore() core.Config {
 	cc.Async = c.Async
 	cc.SpillDir = c.SpillDir
 	cc.Standardize = c.Standardize
-	return cc
+	pol, err := guard.ParsePolicy(c.GuardPolicy)
+	if err != nil {
+		return core.Config{}, err
+	}
+	cc.Guard = pol
+	cc.Watchdog.Disabled = c.DisableWatchdog
+	return cc, nil
 }
 
 // Result reports what the learner decided about one batch.
@@ -135,7 +150,11 @@ func New(cfg Config, dim, classes int) (*Learner, error) {
 	if dim < 1 || classes < 2 {
 		return nil, fmt.Errorf("freewayml: need dim >= 1 and classes >= 2, got %d/%d", dim, classes)
 	}
-	inner, err := core.NewLearner(cfg.toCore(), dim, classes)
+	cc, err := cfg.toCore()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewLearner(cc, dim, classes)
 	if err != nil {
 		return nil, err
 	}
@@ -177,11 +196,30 @@ type Stats struct {
 	// KnowledgeEntries and KnowledgeBytes describe the historical store.
 	KnowledgeEntries int
 	KnowledgeBytes   int
+
+	// Robustness counters from the fault-tolerance layer.
+	//
+	// SanitizedValues counts NaN/Inf feature values repaired by the guard,
+	// RejectedBatches counts batches refused under the "reject" policy,
+	// Divergences counts watchdog-detected training divergences and
+	// Recoveries the rollbacks that fixed them, AsyncErrorsDropped counts
+	// background-update errors lost to overflow, KnowledgeSkipped counts
+	// corrupt knowledge entries dropped during a restore, and SpillFailures
+	// counts knowledge-store disk operations that failed (degraded, never
+	// fatal).
+	SanitizedValues    int
+	RejectedBatches    int
+	Divergences        int
+	Recoveries         int
+	AsyncErrorsDropped int
+	KnowledgeSkipped   int
+	SpillFailures      int
 }
 
 // Stats returns the accumulated prequential metrics.
 func (l *Learner) Stats() Stats {
 	m := l.inner.Metrics()
+	h := l.inner.Stats()
 	return Stats{
 		Batches:          m.Batches(),
 		Samples:          m.Samples(),
@@ -189,6 +227,14 @@ func (l *Learner) Stats() Stats {
 		SI:               m.SI(),
 		KnowledgeEntries: l.inner.KnowledgeStore().Len(),
 		KnowledgeBytes:   l.inner.KnowledgeStore().MemoryBytes(),
+
+		SanitizedValues:    h.SanitizedValues,
+		RejectedBatches:    h.RejectedBatches,
+		Divergences:        h.Divergences,
+		Recoveries:         h.Recoveries,
+		AsyncErrorsDropped: h.AsyncErrorsDropped,
+		KnowledgeSkipped:   h.KnowledgeSkipped,
+		SpillFailures:      h.SpillFailures + h.SpillLoadFailures,
 	}
 }
 
@@ -206,8 +252,18 @@ func (l *Learner) Close() error { return l.inner.Close() }
 func (l *Learner) Save(w io.Writer) error { return l.inner.SaveCheckpoint(w) }
 
 // Load restores state written by Save into a learner built with the same
-// configuration and stream shape.
+// configuration and stream shape. Corrupt input (truncated, bit-flipped,
+// or not a checkpoint) is detected before any state is touched, so a failed
+// Load leaves the learner exactly as it was.
 func (l *Learner) Load(r io.Reader) error { return l.inner.LoadCheckpoint(r) }
+
+// SaveFile atomically checkpoints the learner to path (temp file + fsync +
+// rename): a crash mid-save leaves either the previous checkpoint or the
+// new one, never a torn file.
+func (l *Learner) SaveFile(path string) error { return l.inner.SaveCheckpointFile(path) }
+
+// LoadFile restores a checkpoint written by SaveFile.
+func (l *Learner) LoadFile(path string) error { return l.inner.LoadCheckpointFile(path) }
 
 // Batch is one mini-batch from a Stream.
 type Batch struct {

@@ -1,6 +1,8 @@
 package freewayml
 
 import (
+	"math"
+	"path/filepath"
 	"testing"
 )
 
@@ -9,7 +11,14 @@ func TestDefaultConfigRoundtrip(t *testing.T) {
 	if cfg.Model != "mlp" || cfg.ModelNum != 2 || cfg.Alpha != 1.96 || cfg.KdgBuffer != 20 {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
-	if err := cfg.toCore().Validate(); err != nil {
+	if cfg.GuardPolicy != "reject" {
+		t.Errorf("default guard policy = %q, want reject", cfg.GuardPolicy)
+	}
+	cc, err := cfg.toCore()
+	if err != nil {
+		t.Fatalf("default config failed to map: %v", err)
+	}
+	if err := cc.Validate(); err != nil {
 		t.Errorf("default config invalid after mapping: %v", err)
 	}
 }
@@ -100,5 +109,66 @@ func TestUnlabeledProcessBatch(t *testing.T) {
 	}
 	if len(res.Predictions) != 2 {
 		t.Errorf("predictions = %v", res.Predictions)
+	}
+}
+
+func TestBadGuardPolicyRejectedAtNew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GuardPolicy = "yolo"
+	if _, err := New(cfg, 3, 2); err == nil {
+		t.Error("unknown guard policy should error")
+	}
+}
+
+func TestGuardCountersReachPublicStats(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GuardPolicy = "clamp"
+	learner, err := New(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+	x := [][]float64{{1, math.NaN(), 3}, {4, 5, math.Inf(1)}}
+	if _, err := learner.ProcessBatch(x, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := learner.Stats(); st.SanitizedValues != 2 {
+		t.Errorf("SanitizedValues = %d, want 2", st.SanitizedValues)
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	src, err := OpenDataset("SEA", 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	learner, err := New(DefaultConfig(), src.Dim(), src.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer learner.Close()
+	for i := 0; i < 10; i++ {
+		b, _ := src.Next()
+		if _, err := learner.ProcessBatch(b.X, b.Y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "model.ckpt")
+	if err := learner.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(DefaultConfig(), src.Dim(), src.Classes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want := learner.Stats()
+	got := restored.Stats()
+	if got.Batches != want.Batches || got.GAcc != want.GAcc {
+		t.Errorf("restored stats = %d/%v, want %d/%v", got.Batches, got.GAcc, want.Batches, want.GAcc)
 	}
 }

@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 
+	"freewayml/internal/guard"
 	"freewayml/internal/model"
 	"freewayml/internal/shift"
 	"freewayml/internal/window"
@@ -89,6 +90,47 @@ type Config struct {
 	// feature offsets. Off by default to match the paper's raw-feature
 	// setup.
 	Standardize bool
+	// Guard selects the input-sanitization policy applied to every batch's
+	// features before they reach the detector or any model: guard.Reject
+	// (the default) refuses batches carrying NaN/Inf values, guard.Clamp
+	// and guard.Impute repair them, guard.Off restores the unchecked
+	// pre-guard behaviour.
+	Guard guard.Policy
+	// Watchdog configures the divergence watchdog that rolls a model back
+	// to a last-healthy snapshot on NaN/Inf weights or a loss explosion.
+	Watchdog WatchdogConfig
+}
+
+// WatchdogConfig tunes the divergence watchdog. Zero values select the
+// built-in defaults, so a zero WatchdogConfig means "on, defaults".
+type WatchdogConfig struct {
+	// Disabled turns divergence monitoring and rollback off entirely.
+	Disabled bool
+	// Ring is how many last-healthy snapshots each model retains
+	// (default 3).
+	Ring int
+	// LossFactor flags a loss explosion when a batch's loss exceeds this
+	// multiple of the running healthy-loss mean (default 50).
+	LossFactor float64
+	// MinUpdates is how many healthy updates must accumulate before
+	// loss-explosion checks apply — NaN/Inf checks always apply
+	// (default 8).
+	MinUpdates int
+}
+
+// Validate reports the first invalid watchdog knob.
+func (w WatchdogConfig) Validate() error {
+	switch {
+	case w.Ring < 0:
+		return errors.New("core: Watchdog.Ring must be >= 0")
+	case w.LossFactor < 0:
+		return errors.New("core: Watchdog.LossFactor must be >= 0")
+	case w.LossFactor > 0 && w.LossFactor <= 1:
+		return errors.New("core: Watchdog.LossFactor must be > 1")
+	case w.MinUpdates < 0:
+		return errors.New("core: Watchdog.MinUpdates must be >= 0")
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's published defaults
@@ -114,6 +156,7 @@ func DefaultConfig() Config {
 		LongLRScale:      0.5,
 		LongRebase:       false,
 		CECSeverityRatio: 5.0,
+		Guard:            guard.Reject,
 	}
 }
 
@@ -151,6 +194,9 @@ func (c Config) Validate() error {
 		// bypassing the scaler; combining them would train on inconsistent
 		// views.
 		return errors.New("core: Standardize and Precompute are mutually exclusive")
+	}
+	if err := c.Watchdog.Validate(); err != nil {
+		return err
 	}
 	if err := c.Hyper.Validate(); err != nil {
 		return err

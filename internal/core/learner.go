@@ -9,6 +9,7 @@ import (
 
 	"freewayml/internal/cluster"
 	"freewayml/internal/ensemble"
+	"freewayml/internal/guard"
 	"freewayml/internal/knowledge"
 	"freewayml/internal/linalg"
 	"freewayml/internal/metrics"
@@ -49,14 +50,16 @@ type granularity struct {
 	bufX     [][]float64
 	bufY     []int
 	centroid linalg.Vector // distribution of the last training data
+	wd       *watchdog     // nil when the watchdog is disabled
 }
 
 // Learner is the FreewayML framework instance. One goroutine may call
 // Process at a time; with Async enabled, long-model updates overlap with
 // subsequent Process calls.
 type Learner struct {
-	cfg Config
-	det *shift.Detector
+	cfg          Config
+	det          *shift.Detector
+	dim, classes int
 
 	grans []*granularity // fixed-frequency models, grans[0] updates per batch
 	long  model.Model    // ASW-driven long-granularity model
@@ -72,12 +75,38 @@ type Learner struct {
 
 	adjuster *stream.RateAdjuster
 
+	guard  *guard.Guard
+	longWd *watchdog // nil when the watchdog is disabled
+
 	mu    sync.RWMutex // guards long model + longCentroid during async updates
 	wg    sync.WaitGroup
 	preq  metrics.Prequential
 	batch int
-	errs  chan error
+
+	// Pending errors from asynchronous long-model updates, surfaced on the
+	// next Process call (and at Close). Bounded; overflow is counted.
+	asyncMu   sync.Mutex
+	asyncErrs []error
+
+	// health holds the fault-tolerance counters behind their own mutex:
+	// the async update path records divergences while Process or an HTTP
+	// stats handler reads them.
+	health struct {
+		mu               sync.Mutex
+		sanitizedValues  int
+		sanitizedBatches int
+		rejectedBatches  int
+		divergences      int
+		recoveries       int
+		asyncDropped     int
+		knowledgeSkipped int
+		events           []RecoveryEvent
+	}
 }
+
+// maxPendingAsyncErrs bounds the async error queue; further errors are
+// dropped and counted in Stats.
+const maxPendingAsyncErrs = 16
 
 // NewLearner builds a FreewayML learner for streams of the given feature
 // dimensionality and class count.
@@ -119,7 +148,11 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 		if err != nil {
 			return nil, err
 		}
-		grans = append(grans, &granularity{m: m, every: 1 << i})
+		g := &granularity{m: m, every: 1 << i}
+		if !cfg.Watchdog.Disabled {
+			g.wd = newWatchdog(fmt.Sprintf("gran%d", i), cfg.Watchdog)
+		}
+		grans = append(grans, g)
 	}
 	longHyper := cfg.Hyper
 	longHyper.LR *= cfg.LongLRScale
@@ -140,15 +173,20 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 	}
 
 	l := &Learner{
-		cfg:   cfg,
-		det:   det,
-		grans: grans,
-		long:  long,
-		asw:   asw,
-		exp:   exp,
-		kdg:   kdg,
-		reuse: reuse,
-		errs:  make(chan error, 16),
+		cfg:     cfg,
+		det:     det,
+		dim:     dim,
+		classes: classes,
+		grans:   grans,
+		long:    long,
+		asw:     asw,
+		exp:     exp,
+		kdg:     kdg,
+		reuse:   reuse,
+		guard:   guard.New(cfg.Guard, dim),
+	}
+	if !cfg.Watchdog.Disabled {
+		l.longWd = newWatchdog("long", cfg.Watchdog)
 	}
 	if cfg.Precompute {
 		if long.Net() == nil {
@@ -179,15 +217,38 @@ func (l *Learner) KnowledgeStore() *knowledge.Store { return l.kdg }
 func (l *Learner) Detector() *shift.Detector { return l.det }
 
 // Close waits for any in-flight asynchronous long-model update and surfaces
-// the first background error, if any.
+// any pending background errors.
 func (l *Learner) Close() error {
 	l.wg.Wait()
-	select {
-	case err := <-l.errs:
-		return err
-	default:
+	return l.takeAsyncErrs()
+}
+
+// noteAsyncErr records a background-update error for the next Process call
+// to surface. The queue is bounded; overflow is dropped and counted.
+func (l *Learner) noteAsyncErr(err error) {
+	l.asyncMu.Lock()
+	if len(l.asyncErrs) < maxPendingAsyncErrs {
+		l.asyncErrs = append(l.asyncErrs, err)
+		l.asyncMu.Unlock()
+		return
+	}
+	l.asyncMu.Unlock()
+	l.health.mu.Lock()
+	l.health.asyncDropped++
+	l.health.mu.Unlock()
+}
+
+// takeAsyncErrs drains and joins every pending background error (nil when
+// none are pending).
+func (l *Learner) takeAsyncErrs() error {
+	l.asyncMu.Lock()
+	defer l.asyncMu.Unlock()
+	if len(l.asyncErrs) == 0 {
 		return nil
 	}
+	err := errors.Join(l.asyncErrs...)
+	l.asyncErrs = nil
+	return fmt.Errorf("core: async long-model update failed: %w", err)
 }
 
 // Process runs the full pipeline on one batch: detect the shift pattern,
@@ -195,8 +256,32 @@ func (l *Learner) Close() error {
 // labeled) update every granularity model per its schedule — the
 // predict-then-train prequential protocol of the paper.
 func (l *Learner) Process(b stream.Batch) (Result, error) {
-	if err := b.Validate(); err != nil {
+	// A background long-model update that failed since the last call is
+	// surfaced here rather than silently at Close: the caller must learn
+	// that the long model stopped advancing while the stream is still
+	// actionable.
+	if err := l.takeAsyncErrs(); err != nil {
 		return Result{}, err
+	}
+	if err := b.ValidateShape(l.dim, l.classes); err != nil {
+		return Result{}, err
+	}
+	// Input guardrails: scan for NaN/Inf features before the detector or
+	// any model sees the batch. A rejected batch leaves every piece of
+	// learner state untouched.
+	cleanX, rep, err := l.guard.Sanitize(b.X)
+	if err != nil {
+		l.health.mu.Lock()
+		l.health.rejectedBatches++
+		l.health.mu.Unlock()
+		return Result{}, fmt.Errorf("core: %w", err)
+	}
+	if rep.Total() > 0 {
+		b.X = cleanX
+		l.health.mu.Lock()
+		l.health.sanitizedValues += rep.Total()
+		l.health.sanitizedBatches++
+		l.health.mu.Unlock()
 	}
 	if l.adjuster != nil {
 		l.asw.SetDecayBoost(l.adjuster.DecayBoost())
@@ -413,7 +498,10 @@ func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Res
 // train updates every granularity model per its schedule and maintains the
 // experience buffer and knowledge store.
 func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
-	// Fixed-frequency models.
+	// Fixed-frequency models. After every update the watchdog checks the
+	// model's health; a diverged model is rolled back to its last healthy
+	// snapshot and keeps its previous centroid (the rolled-back parameters
+	// belong to the pre-divergence distribution).
 	for _, g := range l.grans {
 		g.bufX = append(g.bufX, b.X...)
 		g.bufY = append(g.bufY, b.Y...)
@@ -421,10 +509,18 @@ func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
 		if g.pending < g.every {
 			continue
 		}
-		if _, err := g.m.Fit(g.bufX, g.bufY); err != nil {
+		loss, err := g.m.Fit(g.bufX, g.bufY)
+		if err != nil {
 			return err
 		}
-		if obs.YBar != nil {
+		diverged := false
+		if g.wd != nil {
+			if ev := g.wd.check(g.m, loss, l.batch); ev != nil {
+				diverged = true
+				l.recordRecovery(*ev)
+			}
+		}
+		if !diverged && obs.YBar != nil {
 			g.centroid = obs.YBar.Clone()
 		}
 		g.bufX, g.bufY, g.pending = nil, nil, 0
@@ -507,10 +603,15 @@ func (l *Learner) updateLong(obs shift.Observation) error {
 	// caller's goroutine — the detector is not safe to touch from an async
 	// update.
 	replaceRadius := 1.5 * meanOf(l.det.HistoryDistances())
+	batchNum := l.batch
 
 	apply := func() error {
 		l.mu.Lock()
 		defer l.mu.Unlock()
+		// lastLoss feeds the long model's watchdog; negative means the
+		// update path produced no loss signal (precompute), where only the
+		// weight checks apply.
+		lastLoss := -1.0
 		if l.pre != nil {
 			if err := l.pre.Finalize(l.longOpt); err != nil {
 				return err
@@ -530,10 +631,17 @@ func (l *Learner) updateLong(obs shift.Observation) error {
 					if end > len(trainX) {
 						end = len(trainX)
 					}
-					if _, err := l.long.Fit(trainX[start:end], trainY[start:end]); err != nil {
+					loss, err := l.long.Fit(trainX[start:end], trainY[start:end])
+					if err != nil {
 						return err
 					}
+					lastLoss = loss
 				}
+			}
+		}
+		if l.longWd != nil {
+			if ev := l.longWd.check(l.long, lastLoss, batchNum); ev != nil {
+				l.recordRecovery(*ev)
 			}
 		}
 		// With EMA averaging the centroid is maintained per batch and is
@@ -552,10 +660,7 @@ func (l *Learner) updateLong(obs shift.Observation) error {
 		go func() {
 			defer l.wg.Done()
 			if err := apply(); err != nil {
-				select {
-				case l.errs <- err:
-				default:
-				}
+				l.noteAsyncErr(err)
 			}
 		}()
 		return nil
@@ -700,6 +805,75 @@ func toVectors(x [][]float64) []linalg.Vector {
 
 // ErrClosed is reserved for future lifecycle handling.
 var ErrClosed = errors.New("core: learner closed")
+
+// recordRecovery folds one watchdog event into the health counters and the
+// bounded event log. Safe from the async update goroutine.
+func (l *Learner) recordRecovery(ev RecoveryEvent) {
+	l.health.mu.Lock()
+	defer l.health.mu.Unlock()
+	l.health.divergences++
+	if ev.RolledBack {
+		l.health.recoveries++
+	}
+	if len(l.health.events) == maxRecoveryEvents {
+		copy(l.health.events, l.health.events[1:])
+		l.health.events = l.health.events[:maxRecoveryEvents-1]
+	}
+	l.health.events = append(l.health.events, ev)
+}
+
+// Stats are the learner's fault-tolerance counters: what the guard
+// sanitized or refused, what the watchdog detected and rolled back, and
+// what the persistence layer degraded around.
+type Stats struct {
+	// SanitizedValues counts non-finite feature values repaired by the
+	// guard (clamp/impute policies); SanitizedBatches the batches affected.
+	SanitizedValues  int
+	SanitizedBatches int
+	// RejectedBatches counts batches refused by the reject policy.
+	RejectedBatches int
+	// Divergences counts watchdog detections (NaN/Inf weights or loss
+	// explosions); Recoveries counts the rollbacks that followed.
+	Divergences int
+	Recoveries  int
+	// AsyncErrorsDropped counts background-update errors lost to the
+	// bounded pending queue.
+	AsyncErrorsDropped int
+	// KnowledgeSkipped counts corrupt knowledge entries skipped during a
+	// degraded checkpoint restore.
+	KnowledgeSkipped int
+	// SpillFailures and SpillLoadFailures surface the knowledge store's
+	// filesystem fault counters (failed spill writes / unreadable spill
+	// reads).
+	SpillFailures     int
+	SpillLoadFailures int
+}
+
+// Stats returns the learner's fault-tolerance counters.
+func (l *Learner) Stats() Stats {
+	l.health.mu.Lock()
+	s := Stats{
+		SanitizedValues:    l.health.sanitizedValues,
+		SanitizedBatches:   l.health.sanitizedBatches,
+		RejectedBatches:    l.health.rejectedBatches,
+		Divergences:        l.health.divergences,
+		Recoveries:         l.health.recoveries,
+		AsyncErrorsDropped: l.health.asyncDropped,
+		KnowledgeSkipped:   l.health.knowledgeSkipped,
+	}
+	l.health.mu.Unlock()
+	s.SpillFailures = l.kdg.SpillFailures()
+	s.SpillLoadFailures = l.kdg.LoadFailures()
+	return s
+}
+
+// RecoveryEvents returns a copy of the retained watchdog event log (the
+// most recent maxRecoveryEvents divergences).
+func (l *Learner) RecoveryEvents() []RecoveryEvent {
+	l.health.mu.Lock()
+	defer l.health.mu.Unlock()
+	return append([]RecoveryEvent(nil), l.health.events...)
+}
 
 // DebugModels exposes the short and long granularity models for diagnostic
 // tooling and white-box tests.

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+
+	"freewayml/internal/model"
+)
+
+// RecoveryEvent records one divergence the watchdog detected and what it
+// did about it.
+type RecoveryEvent struct {
+	// Batch is the stream position at detection time.
+	Batch int
+	// Model names the affected granularity ("gran0", "gran1", …, "long").
+	Model string
+	// Reason is what tripped the watchdog: "non-finite loss",
+	// "non-finite weights", or "loss explosion".
+	Reason string
+	// RolledBack reports whether a last-healthy snapshot was restored. It
+	// is false only when the model diverged before any healthy update was
+	// retained (nothing to roll back to).
+	RolledBack bool
+}
+
+// maxRecoveryEvents bounds the retained event log; older events are
+// dropped (the counters in Stats never reset).
+const maxRecoveryEvents = 32
+
+// watchdog guards one model against divergence. After every update it
+// checks the update's loss and the model's weights; while they stay
+// healthy it retains a small ring of parameter snapshots, and on NaN/Inf
+// weights or a loss explosion it rolls the model back to the newest
+// retained snapshot. The paper's stability claim (SI, Eq. 16) assumes the
+// learner's weights stay in a sane region; the watchdog enforces that
+// assumption against faults SGD cannot recover from on its own.
+type watchdog struct {
+	name string
+	ring [][]byte // last-healthy snapshots, newest at (next-1+len)%len
+	next int
+	held int
+
+	meanLoss   float64 // EMA of healthy batch losses
+	updates    int
+	lossFactor float64
+	minUpdates int
+}
+
+// Watchdog runtime defaults, applied when the config leaves a knob zero.
+const (
+	defaultWatchdogRing       = 3
+	defaultWatchdogLossFactor = 50.0
+	defaultWatchdogMinUpdates = 8
+	// watchdogLossEMA smooths the healthy-loss reference.
+	watchdogLossEMA = 0.9
+)
+
+func newWatchdog(name string, cfg WatchdogConfig) *watchdog {
+	ring := cfg.Ring
+	if ring <= 0 {
+		ring = defaultWatchdogRing
+	}
+	factor := cfg.LossFactor
+	if factor <= 0 {
+		factor = defaultWatchdogLossFactor
+	}
+	minUpdates := cfg.MinUpdates
+	if minUpdates <= 0 {
+		minUpdates = defaultWatchdogMinUpdates
+	}
+	return &watchdog{
+		name:       name,
+		ring:       make([][]byte, ring),
+		lossFactor: factor,
+		minUpdates: minUpdates,
+	}
+}
+
+// check inspects the model right after an update. loss is the update's
+// batch loss, or negative when the update path produces none (the
+// pre-computing window); weight checks still apply then. A nil return
+// means healthy; otherwise the returned event describes the divergence and
+// whether the model was rolled back.
+func (w *watchdog) check(m model.Model, loss float64, batch int) *RecoveryEvent {
+	reason := ""
+	switch {
+	case math.IsNaN(loss) || math.IsInf(loss, 0):
+		reason = "non-finite loss"
+	case m.Net() != nil && !m.Net().ParamsFinite():
+		reason = "non-finite weights"
+	case loss >= 0 && w.updates >= w.minUpdates && loss > w.lossFactor*(w.meanLoss+1e-6):
+		reason = "loss explosion"
+	}
+	if reason == "" {
+		w.updates++
+		if loss >= 0 {
+			if w.updates == 1 {
+				w.meanLoss = loss
+			} else {
+				w.meanLoss = watchdogLossEMA*w.meanLoss + (1-watchdogLossEMA)*loss
+			}
+		}
+		if snap, err := m.Snapshot(); err == nil {
+			w.push(snap)
+		}
+		return nil
+	}
+
+	ev := &RecoveryEvent{Batch: batch, Model: w.name, Reason: reason}
+	if snap := w.newest(); snap != nil {
+		if err := m.Restore(snap); err == nil {
+			ev.RolledBack = true
+		}
+	}
+	return ev
+}
+
+// push retains a healthy snapshot, evicting the oldest when the ring is
+// full.
+func (w *watchdog) push(snap []byte) {
+	w.ring[w.next] = snap
+	w.next = (w.next + 1) % len(w.ring)
+	if w.held < len(w.ring) {
+		w.held++
+	}
+}
+
+// newest returns the most recently retained snapshot, or nil when none.
+func (w *watchdog) newest() []byte {
+	if w.held == 0 {
+		return nil
+	}
+	return w.ring[(w.next-1+len(w.ring))%len(w.ring)]
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freewayml/internal/knowledge"
+)
+
+func TestInjectNaNAndInf(t *testing.T) {
+	x := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	if n := InjectNaN(x, 2); n != 3 {
+		t.Errorf("InjectNaN = %d, want 3", n)
+	}
+	if !math.IsNaN(x[0][0]) || !math.IsNaN(x[0][2]) || !math.IsNaN(x[1][1]) {
+		t.Errorf("wrong positions: %v", x)
+	}
+	y := [][]float64{{1, 2}}
+	InjectInf(y, 1, -1)
+	if !math.IsInf(y[0][0], -1) || !math.IsInf(y[0][1], -1) {
+		t.Errorf("InjectInf: %v", y)
+	}
+}
+
+func TestRagged(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	out := Ragged(x)
+	if len(out[1]) != 1 {
+		t.Errorf("middle row len = %d, want 1", len(out[1]))
+	}
+	if len(x[1]) != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestTruncatedAndFlipBit(t *testing.T) {
+	data := []byte{0xFF, 0x00, 0xAA, 0x55}
+	if got := Truncated(data, 0.5); len(got) != 2 {
+		t.Errorf("Truncated = %d bytes, want 2", len(got))
+	}
+	flipped := FlipBit(data, 9) // second byte, bit 1
+	if bytes.Equal(flipped, data) {
+		t.Error("no bit flipped")
+	}
+	if flipped[1] != 0x02 {
+		t.Errorf("flipped[1] = %#x, want 0x02", flipped[1])
+	}
+	if data[1] != 0x00 {
+		t.Error("input mutated")
+	}
+}
+
+func TestFailingFSSchedule(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFailingFS(knowledge.OSFS{})
+	fs.FailWritesAfter = 1 // first write succeeds, rest fail
+
+	ok := filepath.Join(dir, "a")
+	if err := fs.WriteFile(ok, []byte("x"), 0o644); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := fs.WriteFile(filepath.Join(dir, "b"), []byte("x"), 0o644); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b")); !os.IsNotExist(err) {
+		t.Error("failed write left a file behind")
+	}
+	if fs.Writes() != 2 {
+		t.Errorf("Writes() = %d", fs.Writes())
+	}
+
+	fs.FailReadsAfter = 0
+	if _, err := fs.ReadFile(ok); !errors.Is(err, ErrInjected) {
+		t.Error("armed read did not fail")
+	}
+}

@@ -1,0 +1,217 @@
+// Package guard implements input sanitization for the streaming pipeline:
+// the first line of FreewayML's fault-tolerance layer. Real streams carry
+// NaN and Inf features (sensor dropouts, upstream divide-by-zero, protocol
+// corruption), and a single non-finite value silently poisons every
+// granularity model's weights through SGD. A Guard scans each batch before
+// it reaches the detector or any model and applies a configurable policy:
+// reject the batch, clamp the offending values, or impute them from running
+// per-feature means.
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Policy selects how non-finite feature values are handled.
+type Policy int
+
+const (
+	// Off disables scanning entirely (the pre-guard behaviour; values pass
+	// through untouched).
+	Off Policy = iota
+	// Reject refuses any batch containing a non-finite value with an error.
+	// The learner's state is untouched; the caller decides whether to drop
+	// or repair the batch.
+	Reject
+	// Clamp repairs in place: NaN becomes 0, ±Inf becomes ±ClampLimit.
+	Clamp
+	// Impute replaces every non-finite value with the running mean of its
+	// feature over all finite values seen so far (0 before any are seen).
+	Impute
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Off:
+		return "off"
+	case Reject:
+		return "reject"
+	case Clamp:
+		return "clamp"
+	case Impute:
+		return "impute"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePolicy maps a policy name to its value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "off":
+		return Off, nil
+	case "", "reject":
+		return Reject, nil
+	case "clamp":
+		return Clamp, nil
+	case "impute":
+		return Impute, nil
+	default:
+		return Off, fmt.Errorf("guard: unknown policy %q (want off|reject|clamp|impute)", s)
+	}
+}
+
+// DefaultClampLimit bounds the magnitude Clamp substitutes for ±Inf.
+const DefaultClampLimit = 1e6
+
+// ErrRejected wraps every rejection so callers can distinguish a refused
+// batch (input fault, state untouched) from an internal failure.
+var ErrRejected = errors.New("guard: batch rejected")
+
+// Report counts what one Sanitize call found and repaired.
+type Report struct {
+	// NaNs and Infs count the non-finite values detected.
+	NaNs, Infs int
+	// Rows counts the rows containing at least one non-finite value.
+	Rows int
+}
+
+// Total returns the number of non-finite values detected.
+func (r Report) Total() int { return r.NaNs + r.Infs }
+
+// Guard applies one policy to a stream of batches, maintaining the running
+// per-feature means the Impute policy draws from. It is not safe for
+// concurrent use; the learner serializes batches anyway.
+type Guard struct {
+	policy Policy
+	limit  float64
+	count  []float64 // finite observations per feature
+	mean   []float64 // running mean per feature over finite values
+}
+
+// New builds a Guard for the given policy over dim-dimensional features.
+func New(policy Policy, dim int) *Guard {
+	g := &Guard{policy: policy, limit: DefaultClampLimit}
+	if dim > 0 {
+		g.count = make([]float64, dim)
+		g.mean = make([]float64, dim)
+	}
+	return g
+}
+
+// Policy returns the guard's configured policy.
+func (g *Guard) Policy() Policy { return g.policy }
+
+// SetClampLimit overrides the ±Inf substitute magnitude (default 1e6).
+func (g *Guard) SetClampLimit(limit float64) {
+	if limit > 0 && !math.IsInf(limit, 0) && !math.IsNaN(limit) {
+		g.limit = limit
+	}
+}
+
+// FeatureMeans exposes the running per-feature means (diagnostics/tests).
+func (g *Guard) FeatureMeans() []float64 {
+	out := make([]float64, len(g.mean))
+	copy(out, g.mean)
+	return out
+}
+
+// Sanitize scans the batch and applies the policy. The returned matrix
+// shares rows with the input except where repairs were made (copy-on-write:
+// the caller's data is never mutated). Under Reject a batch with any
+// non-finite value returns an error wrapping ErrRejected and a report of
+// what was found. Under Off the input passes through unscanned.
+func (g *Guard) Sanitize(x [][]float64) ([][]float64, Report, error) {
+	if g.policy == Off {
+		return x, Report{}, nil
+	}
+	var rep Report
+	out := x
+	copied := false
+	for i, row := range x {
+		var clean []float64 // private copy of row, allocated on first repair
+		faults := 0
+		for j, v := range row {
+			switch {
+			case math.IsNaN(v):
+				rep.NaNs++
+			case math.IsInf(v, 0):
+				rep.Infs++
+			default:
+				continue
+			}
+			faults++
+			if g.policy == Reject {
+				continue // keep counting, repair nothing
+			}
+			if clean == nil {
+				if !copied {
+					out = make([][]float64, len(x))
+					copy(out, x)
+					copied = true
+				}
+				clean = append([]float64(nil), row...)
+				out[i] = clean
+			}
+			clean[j] = g.repair(v, j)
+		}
+		if faults > 0 {
+			rep.Rows++
+		}
+	}
+	if rep.Total() > 0 && g.policy == Reject {
+		return x, rep, fmt.Errorf("%w: %d NaN, %d Inf values in %d rows",
+			ErrRejected, rep.NaNs, rep.Infs, rep.Rows)
+	}
+	g.updateMeans(x)
+	return out, rep, nil
+}
+
+// repair returns the substitute for one non-finite value of feature j.
+func (g *Guard) repair(v float64, j int) float64 {
+	switch g.policy {
+	case Clamp:
+		if math.IsInf(v, 1) {
+			return g.limit
+		}
+		if math.IsInf(v, -1) {
+			return -g.limit
+		}
+		return 0 // NaN
+	case Impute:
+		if j < len(g.mean) && g.count[j] > 0 {
+			return g.mean[j]
+		}
+		return 0
+	default:
+		return v
+	}
+}
+
+// updateMeans folds the batch's originally-finite values into the running
+// feature means (repaired values must not reinforce themselves).
+func (g *Guard) updateMeans(x [][]float64) {
+	if len(x) == 0 {
+		return
+	}
+	if len(g.mean) < len(x[0]) {
+		grown := make([]float64, len(x[0]))
+		copy(grown, g.mean)
+		g.mean = grown
+		grownC := make([]float64, len(x[0]))
+		copy(grownC, g.count)
+		g.count = grownC
+	}
+	for _, row := range x {
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			g.count[j]++
+			g.mean[j] += (v - g.mean[j]) / g.count[j]
+		}
+	}
+}

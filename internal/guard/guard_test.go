@@ -1,0 +1,130 @@
+package guard
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func dirtyBatch() [][]float64 {
+	return [][]float64{
+		{1, 2, 3},
+		{math.NaN(), 5, math.Inf(1)},
+		{7, math.Inf(-1), 9},
+	}
+}
+
+func TestOffPassesThrough(t *testing.T) {
+	g := New(Off, 3)
+	in := dirtyBatch()
+	out, rep, err := g.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 0 {
+		t.Errorf("off policy counted faults: %+v", rep)
+	}
+	if &out[1][0] != &in[1][0] {
+		t.Error("off policy copied data")
+	}
+}
+
+func TestRejectCountsAndRefuses(t *testing.T) {
+	g := New(Reject, 3)
+	_, rep, err := g.Sanitize(dirtyBatch())
+	if !errors.Is(err, ErrRejected) {
+		t.Fatalf("err = %v, want ErrRejected", err)
+	}
+	if rep.NaNs != 1 || rep.Infs != 2 || rep.Rows != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	// Clean batches pass and feed the running means.
+	out, rep, err := g.Sanitize([][]float64{{1, 2, 3}})
+	if err != nil || rep.Total() != 0 {
+		t.Fatalf("clean batch: %v %+v", err, rep)
+	}
+	if len(out) != 1 {
+		t.Fatal("clean batch mangled")
+	}
+}
+
+func TestClampRepairsWithoutMutatingInput(t *testing.T) {
+	g := New(Clamp, 3)
+	in := dirtyBatch()
+	out, rep, err := g.Sanitize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !math.IsNaN(in[1][0]) || !math.IsInf(in[1][2], 1) {
+		t.Error("caller's batch was mutated")
+	}
+	if out[1][0] != 0 {
+		t.Errorf("NaN clamped to %v, want 0", out[1][0])
+	}
+	if out[1][2] != DefaultClampLimit || out[2][1] != -DefaultClampLimit {
+		t.Errorf("Inf clamped to %v / %v", out[1][2], out[2][1])
+	}
+	// Untouched rows are shared, repaired rows are private.
+	if &out[0][0] != &in[0][0] {
+		t.Error("clean row was copied")
+	}
+	for _, row := range out {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite value survived clamp")
+			}
+		}
+	}
+}
+
+func TestImputeUsesRunningMeans(t *testing.T) {
+	g := New(Impute, 2)
+	// Seed the means with two clean batches: feature 0 mean 2, feature 1 mean 10.
+	for i := 0; i < 2; i++ {
+		if _, _, err := g.Sanitize([][]float64{{1, 10}, {3, 10}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, rep, err := g.Sanitize([][]float64{{math.NaN(), math.Inf(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if out[0][0] != 2 || out[0][1] != 10 {
+		t.Errorf("imputed %v, want [2 10]", out[0])
+	}
+	// Imputed values must not drift the running means.
+	means := g.FeatureMeans()
+	if means[0] != 2 || means[1] != 10 {
+		t.Errorf("means polluted by imputed values: %v", means)
+	}
+}
+
+func TestImputeBeforeAnyFiniteValueFallsBackToZero(t *testing.T) {
+	g := New(Impute, 1)
+	out, _, err := g.Sanitize([][]float64{{math.NaN()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 0 {
+		t.Errorf("cold impute = %v, want 0", out[0][0])
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{"": Reject, "reject": Reject, "clamp": Clamp, "impute": Impute, "off": Off}
+	for s, want := range cases {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

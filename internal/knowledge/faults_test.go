@@ -1,0 +1,145 @@
+// Fault-injection tests for the spill path live in an external test
+// package so they can use internal/faults (which imports knowledge).
+package knowledge_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"freewayml/internal/faults"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+)
+
+// fillStore preserves n entries with distinct distributions d_i = (i, i).
+func fillStore(t *testing.T, s *knowledge.Store, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		d := linalg.Vector{float64(i), float64(i)}
+		snap := []byte(fmt.Sprintf("snapshot-%d", i))
+		if err := s.Preserve(d, snap, "short", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSpillWriteFailureRetainsEntryInMemory(t *testing.T) {
+	fs := faults.NewFailingFS(nil)
+	fs.FailWritesAfter = 0 // every spill write fails
+	s, err := knowledge.NewStoreFS(4, t.TempDir(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 6) // crosses capacity → spill attempts
+
+	if s.SpillFailures() == 0 {
+		t.Fatal("no spill failures recorded")
+	}
+	if s.SpilledCount() != 0 {
+		t.Errorf("%d entries marked spilled despite failing disk", s.SpilledCount())
+	}
+	if s.Len() != 6 {
+		t.Errorf("entries lost: %d of 6", s.Len())
+	}
+	// Every snapshot is still reachable.
+	snap, _, ok, err := s.Match(linalg.Vector{0, 0})
+	if err != nil || !ok {
+		t.Fatalf("match after failed spills: %v %v", ok, err)
+	}
+	if string(snap) != "snapshot-0" {
+		t.Errorf("wrong snapshot: %q", snap)
+	}
+}
+
+func TestUnreadableSpillDegradesMatchToNextBest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := knowledge.NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 6) // entries 0,1 spill to disk
+	if s.SpilledCount() == 0 {
+		t.Fatal("nothing spilled; test setup broken")
+	}
+	// Destroy every spill file: the oldest entries become unreadable.
+	files, err := filepath.Glob(filepath.Join(dir, "kdg-*.bin"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("spill files: %v %v", files, err)
+	}
+	for _, f := range files {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Query nearest to the destroyed entry 0: Match must skip it and serve
+	// the nearest readable entry instead of failing.
+	snap, _, ok, err := s.Match(linalg.Vector{0, 0})
+	if err != nil {
+		t.Fatalf("match failed instead of degrading: %v", err)
+	}
+	if !ok {
+		t.Fatal("no match despite readable entries")
+	}
+	if !strings.HasPrefix(string(snap), "snapshot-") {
+		t.Errorf("snapshot = %q", snap)
+	}
+	if s.LoadFailures() == 0 {
+		t.Error("load failures not counted")
+	}
+
+	// Export likewise skips the unreadable entries with a count.
+	entries, err := s.Export()
+	if err != nil {
+		t.Fatalf("export failed instead of degrading: %v", err)
+	}
+	if len(entries) != s.Len()-len(files) {
+		t.Errorf("exported %d entries, want %d", len(entries), s.Len()-len(files))
+	}
+}
+
+func TestSpillWritesAreAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := knowledge.NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 8)
+	if s.SpilledCount() == 0 {
+		t.Fatal("nothing spilled")
+	}
+	// No temp files may survive a successful spill.
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}
+
+func TestImportSkipsInvalidEntries(t *testing.T) {
+	s, err := knowledge.NewStore(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []knowledge.EntrySnapshot{
+		{Distribution: linalg.Vector{1, 1}, Snapshot: []byte("good"), Source: "short"},
+		{Distribution: nil, Snapshot: []byte("no distribution")},
+		{Distribution: linalg.Vector{2, 2}, Snapshot: nil},
+		{Distribution: linalg.Vector{3, 3}, Snapshot: []byte("also good"), Source: "long"},
+	}
+	skipped, err := s.Import(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if s.Len() != 2 {
+		t.Errorf("imported = %d, want 2", s.Len())
+	}
+}

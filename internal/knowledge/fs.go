@@ -1,0 +1,66 @@
+package knowledge
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the store's spill path uses. It exists so
+// the fault-injection harness can stand in a failing filesystem and prove
+// the store degrades instead of corrupting or losing knowledge.
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	ReadFile(name string) ([]byte, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OSFS is the real filesystem. Unlike os.WriteFile it fsyncs before close,
+// so a rename over it is a durable commit point.
+type OSFS struct{}
+
+// MkdirAll implements FS.
+func (OSFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// WriteFile writes, fsyncs, and closes the file.
+func (OSFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile implements FS.
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// Rename implements FS.
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// writeFileAtomic commits data to path via a temp file in the same
+// directory plus a rename, so a crash mid-write leaves either the old file
+// or the new one — never a truncated hybrid.
+func writeFileAtomic(fs FS, path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	if err := fs.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		_ = fs.Remove(tmp)
+		return fmt.Errorf("commit %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}

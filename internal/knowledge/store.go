@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
 	"path/filepath"
 	"sync"
 
@@ -40,9 +39,15 @@ type Store struct {
 	mu       sync.Mutex
 	capacity int
 	spillDir string // "" disables spilling (oldest entries are dropped instead)
+	fs       FS
 	entries  []Entry
 	nextID   int
 	memBytes int
+
+	// Fault counters: spill writes that failed (entry retained in memory)
+	// and spilled snapshots that could not be read back (entry skipped).
+	spillFailures int
+	loadFailures  int
 }
 
 // NewStore returns a store holding at most capacity entries in memory.
@@ -50,15 +55,24 @@ type Store struct {
 // capacity is reached (the directory is created if needed); when empty,
 // the older half is discarded instead.
 func NewStore(capacity int, spillDir string) (*Store, error) {
+	return NewStoreFS(capacity, spillDir, OSFS{})
+}
+
+// NewStoreFS is NewStore with an explicit filesystem — the seam the
+// fault-injection harness uses to exercise spill-path failures.
+func NewStoreFS(capacity int, spillDir string, fs FS) (*Store, error) {
 	if capacity < 1 {
 		return nil, errors.New("knowledge: capacity must be >= 1")
 	}
+	if fs == nil {
+		fs = OSFS{}
+	}
 	if spillDir != "" {
-		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		if err := fs.MkdirAll(spillDir, 0o755); err != nil {
 			return nil, fmt.Errorf("knowledge: create spill dir: %w", err)
 		}
 	}
-	return &Store{capacity: capacity, spillDir: spillDir}, nil
+	return &Store{capacity: capacity, spillDir: spillDir, fs: fs}, nil
 }
 
 // Preserve stores a knowledge pair. When the in-memory count reaches
@@ -94,7 +108,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 		if best >= 0 {
 			e := &s.entries[best]
 			if e.spilled {
-				_ = os.Remove(e.path)
+				_ = s.fs.Remove(e.path)
 				e.spilled = false
 				e.path = ""
 			} else {
@@ -134,7 +148,9 @@ func (s *Store) inMemoryCountLocked() int {
 
 // spillHalfLocked moves the older half of the in-memory entries to disk
 // (keeping their distributions in memory for matching), or drops them when
-// no spill directory is configured.
+// no spill directory is configured. Spill files are committed atomically
+// (temp + fsync + rename); an entry whose spill write fails stays in memory
+// and is counted — a sick disk degrades memory bounds, never knowledge.
 func (s *Store) spillHalfLocked() error {
 	half := s.inMemoryCountLocked() / 2
 	if half == 0 {
@@ -149,15 +165,18 @@ func (s *Store) spillHalfLocked() error {
 			continue
 		}
 		moved++
-		s.memBytes -= len(e.Snapshot)
 		if s.spillDir == "" {
+			s.memBytes -= len(e.Snapshot)
 			continue // dropped
 		}
 		path := filepath.Join(s.spillDir, fmt.Sprintf("kdg-%06d.bin", s.nextID))
 		s.nextID++
-		if err := os.WriteFile(path, e.Snapshot, 0o644); err != nil {
-			return fmt.Errorf("knowledge: spill: %w", err)
+		if err := writeFileAtomic(s.fs, path, e.Snapshot, 0o644); err != nil {
+			s.spillFailures++
+			kept = append(kept, e) // retained in memory instead
+			continue
 		}
+		s.memBytes -= len(e.Snapshot)
 		e.Snapshot = nil
 		e.spilled = true
 		e.path = path
@@ -169,29 +188,40 @@ func (s *Store) spillHalfLocked() error {
 
 // Match finds the stored entry whose distribution is nearest to y and
 // returns its snapshot and distance. Spilled snapshots are transparently
-// loaded from disk. ok is false when the store is empty.
+// loaded from disk; an unreadable spill file demotes that entry (skipped
+// and counted) and the next-nearest entry is tried instead, so one corrupt
+// file degrades match quality rather than failing knowledge reuse. ok is
+// false when the store is empty or nothing is readable.
 func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	best := -1
-	bestD := math.Inf(1)
-	for i := range s.entries {
-		if d := y.Distance(s.entries[i].Distribution); d < bestD {
-			best, bestD = i, d
+	skipped := make([]bool, len(s.entries))
+	for {
+		best := -1
+		bestD := math.Inf(1)
+		for i := range s.entries {
+			if skipped[i] {
+				continue
+			}
+			if d := y.Distance(s.entries[i].Distribution); d < bestD {
+				best, bestD = i, d
+			}
 		}
-	}
-	if best < 0 {
-		return nil, 0, false, nil
-	}
-	e := &s.entries[best]
-	if e.spilled {
-		data, err := os.ReadFile(e.path)
+		if best < 0 {
+			return nil, 0, false, nil
+		}
+		e := &s.entries[best]
+		if !e.spilled {
+			return e.Snapshot, bestD, true, nil
+		}
+		data, err := s.fs.ReadFile(e.path)
 		if err != nil {
-			return nil, 0, false, fmt.Errorf("knowledge: load spilled entry: %w", err)
+			s.loadFailures++
+			skipped[best] = true
+			continue
 		}
 		return data, bestD, true, nil
 	}
-	return e.Snapshot, bestD, true, nil
 }
 
 // NearestDistance returns the distance from y to the closest stored
@@ -246,41 +276,49 @@ type EntrySnapshot struct {
 }
 
 // Export returns every entry with its snapshot materialized (spilled
-// entries are read back from disk), for checkpointing.
+// entries are read back from disk), for checkpointing. An unreadable spill
+// file loses only that entry: it is skipped and counted, so one corrupt
+// file cannot block a checkpoint of everything else.
 func (s *Store) Export() ([]EntrySnapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]EntrySnapshot, len(s.entries))
+	out := make([]EntrySnapshot, 0, len(s.entries))
 	for i := range s.entries {
 		e := &s.entries[i]
 		snap := e.Snapshot
 		if e.spilled {
-			data, err := os.ReadFile(e.path)
+			data, err := s.fs.ReadFile(e.path)
 			if err != nil {
-				return nil, fmt.Errorf("knowledge: export spilled entry: %w", err)
+				s.loadFailures++
+				continue
 			}
 			snap = data
 		}
-		out[i] = EntrySnapshot{
+		out = append(out, EntrySnapshot{
 			Distribution: e.Distribution.Clone(),
 			Snapshot:     append([]byte(nil), snap...),
 			Source:       e.Source,
 			Batch:        e.Batch,
-		}
+		})
 	}
 	return out, nil
 }
 
 // Import replaces the store's contents with the exported entries (all held
-// in memory; the next capacity overflow re-spills as usual).
-func (s *Store) Import(entries []EntrySnapshot) error {
+// in memory; the next capacity overflow re-spills as usual). Individually
+// invalid entries — the degraded-restore case, e.g. a checkpoint whose
+// knowledge section was written while a spill file was corrupt — are
+// skipped and reported via the returned count instead of failing the whole
+// restore.
+func (s *Store) Import(entries []EntrySnapshot) (skipped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.entries = s.entries[:0]
 	s.memBytes = 0
 	for _, e := range entries {
 		if len(e.Distribution) == 0 || len(e.Snapshot) == 0 {
-			return errors.New("knowledge: invalid imported entry")
+			skipped++
+			continue
 		}
 		s.entries = append(s.entries, Entry{
 			Distribution: e.Distribution.Clone(),
@@ -290,7 +328,23 @@ func (s *Store) Import(entries []EntrySnapshot) error {
 		})
 		s.memBytes += len(e.Snapshot)
 	}
-	return nil
+	return skipped, nil
+}
+
+// SpillFailures counts spill writes that failed; the affected entries were
+// retained in memory instead of spilled.
+func (s *Store) SpillFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillFailures
+}
+
+// LoadFailures counts spilled snapshots that could not be read back; the
+// affected entries were skipped by Match or Export.
+func (s *Store) LoadFailures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.loadFailures
 }
 
 // Policy decides which model's knowledge to preserve when an ASW closes

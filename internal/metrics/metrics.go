@@ -94,6 +94,42 @@ func (p *Prequential) SI() float64 {
 	return math.Exp(-sigma / mu)
 }
 
+// PrequentialState is the serializable snapshot of a Prequential, used by
+// the learner checkpoint so metric continuity survives a restart.
+type PrequentialState struct {
+	Accs    []float64
+	ByKind  map[stream.DriftKind][]float64
+	Samples int
+}
+
+// Export snapshots the accumulated metrics.
+func (p *Prequential) Export() PrequentialState {
+	st := PrequentialState{
+		Accs:    append([]float64(nil), p.accs...),
+		Samples: p.samples,
+	}
+	if len(p.byKind) > 0 {
+		st.ByKind = make(map[stream.DriftKind][]float64, len(p.byKind))
+		for k, v := range p.byKind {
+			st.ByKind[k] = append([]float64(nil), v...)
+		}
+	}
+	return st
+}
+
+// Import replaces the accumulated metrics with a snapshot from Export.
+func (p *Prequential) Import(st PrequentialState) {
+	p.accs = append([]float64(nil), st.Accs...)
+	p.samples = st.Samples
+	p.byKind = nil
+	if len(st.ByKind) > 0 {
+		p.byKind = make(map[stream.DriftKind][]float64, len(st.ByKind))
+		for k, v := range st.ByKind {
+			p.byKind[k] = append([]float64(nil), v...)
+		}
+	}
+}
+
 // KindAcc returns the mean accuracy over batches of the given drift kind
 // and the count of such batches.
 func (p *Prequential) KindAcc(kind stream.DriftKind) (float64, int) {

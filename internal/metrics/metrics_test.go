@@ -127,3 +127,30 @@ func TestThroughput(t *testing.T) {
 		t.Errorf("zero-elapsed Throughput = %v", tp)
 	}
 }
+
+func TestPrequentialExportImportRoundTrip(t *testing.T) {
+	var p Prequential
+	p.Record(0.9, stream.KindNone, 32)
+	p.Record(0.7, stream.KindSudden, 32)
+	p.Record(0.8, stream.KindNone, 16)
+
+	st := p.Export()
+	var q Prequential
+	q.Import(st)
+
+	if q.Batches() != p.Batches() || q.Samples() != p.Samples() {
+		t.Fatalf("restored counts = %d/%d, want %d/%d", q.Batches(), q.Samples(), p.Batches(), p.Samples())
+	}
+	if q.GAcc() != p.GAcc() || q.SI() != p.SI() {
+		t.Errorf("restored GAcc/SI = %v/%v, want %v/%v", q.GAcc(), q.SI(), p.GAcc(), p.SI())
+	}
+	if acc, n := q.KindAcc(stream.KindSudden); n != 1 || acc != 0.7 {
+		t.Errorf("restored KindAcc = %v/%d", acc, n)
+	}
+
+	// The snapshot is a deep copy: mutating the source must not leak.
+	p.Record(0.1, stream.KindNone, 8)
+	if q.Batches() != 3 {
+		t.Error("import aliases exporter's storage")
+	}
+}

@@ -130,6 +130,22 @@ func (n *Network) ZeroGrad() {
 	}
 }
 
+// ParamsFinite reports whether every learnable weight is finite. The
+// divergence watchdog calls it after each update: a single NaN or Inf
+// weight makes every subsequent prediction garbage, and catching it at the
+// update that introduced it is what makes rollback possible.
+func (n *Network) ParamsFinite() bool {
+	for _, p := range n.Params() {
+		for _, w := range p.W {
+			// A non-finite float is the only value for which v-v != 0.
+			if w-w != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // NumParams returns the total number of scalar parameters.
 func (n *Network) NumParams() int {
 	total := 0

@@ -4,18 +4,30 @@
 // (inference). One learner instance serves both through a single endpoint;
 // requests are serialized because streaming learning is stateful and
 // order-dependent.
+//
+// The server is hardened for unconstrained input: request bodies are
+// capped (413 on overflow), every batch passes the learner's input
+// guardrails, and an optional checkpoint schedule atomically snapshots the
+// learner every N processed batches so a crash loses at most one
+// checkpoint interval of training.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sync"
 
 	"freewayml/internal/core"
+	"freewayml/internal/guard"
 	"freewayml/internal/stream"
 )
+
+// DefaultMaxBodyBytes caps /v1/process request bodies (8 MiB ≈ a 1024-row
+// batch of 1000 features with labels, with JSON overhead to spare).
+const DefaultMaxBodyBytes = 8 << 20
 
 // ProcessRequest is one mini-batch submitted to the service. Y may be
 // omitted for pure-inference batches.
@@ -34,7 +46,8 @@ type ProcessResponse struct {
 	Accuracy      float64 `json:"accuracy"` // -1 for unlabeled batches
 }
 
-// StatsResponse summarizes the learner's prequential metrics.
+// StatsResponse summarizes the learner's prequential metrics and its
+// fault-tolerance counters.
 type StatsResponse struct {
 	Batches          int     `json:"batches"`
 	Samples          int     `json:"samples"`
@@ -42,6 +55,41 @@ type StatsResponse struct {
 	SI               float64 `json:"si"`
 	KnowledgeEntries int     `json:"knowledge_entries"`
 	KnowledgeBytes   int     `json:"knowledge_bytes"`
+
+	// Robustness counters (the fault-tolerance layer).
+	SanitizedValues    int `json:"sanitized_values"`
+	RejectedBatches    int `json:"rejected_batches"`
+	Divergences        int `json:"divergences"`
+	Recoveries         int `json:"recoveries"`
+	AsyncErrorsDropped int `json:"async_errors_dropped"`
+	KnowledgeSkipped   int `json:"knowledge_skipped"`
+	SpillFailures      int `json:"spill_failures"`
+	CheckpointSaves    int `json:"checkpoint_saves"`
+	CheckpointErrors   int `json:"checkpoint_errors"`
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMaxBodyBytes overrides the request-body cap (n <= 0 keeps the
+// default).
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
+}
+
+// WithCheckpoint enables periodic crash-safe snapshots: after every
+// `every` processed batches the learner is atomically checkpointed to
+// path. A save failure is counted and logged, never fatal to serving.
+func WithCheckpoint(path string, every int) Option {
+	return func(s *Server) {
+		if path != "" && every > 0 {
+			s.ckptPath, s.ckptEvery = path, every
+		}
+	}
 }
 
 // Server wraps one learner behind an http.Handler.
@@ -52,15 +100,24 @@ type Server struct {
 	classes int
 	seq     int
 	mux     *http.ServeMux
+
+	maxBody   int64
+	ckptPath  string
+	ckptEvery int
+	ckptSaves int
+	ckptErrs  int
 }
 
 // New builds a server around a fresh learner for the given stream shape.
-func New(cfg core.Config, dim, classes int) (*Server, error) {
+func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	l, err := core.NewLearner(cfg, dim, classes)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{learner: l, dim: dim, classes: classes, mux: http.NewServeMux()}
+	s := &Server{learner: l, dim: dim, classes: classes, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("/v1/process", s.handleProcess)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
@@ -70,18 +127,64 @@ func New(cfg core.Config, dim, classes int) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close flushes the learner's asynchronous work.
-func (s *Server) Close() error { return s.learner.Close() }
+// Close flushes the learner's asynchronous work and, when a checkpoint
+// schedule is configured, writes a final snapshot so a graceful shutdown
+// loses nothing.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ckptErr error
+	if s.ckptPath != "" && s.seq > 0 {
+		ckptErr = s.saveCheckpointLocked()
+	}
+	if err := s.learner.Close(); err != nil {
+		return err
+	}
+	return ckptErr
+}
+
+// SaveCheckpointFile atomically snapshots the learner to path on demand.
+func (s *Server) SaveCheckpointFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.learner.SaveCheckpointFile(path)
+}
+
+// LoadCheckpointFile restores the learner from a checkpoint written by
+// SaveCheckpointFile — the resume path after a restart.
+func (s *Server) LoadCheckpointFile(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.learner.LoadCheckpointFile(path)
+}
+
+func (s *Server) saveCheckpointLocked() error {
+	err := s.learner.SaveCheckpointFile(s.ckptPath)
+	if err != nil {
+		s.ckptErrs++
+		log.Printf("serve: checkpoint to %s failed: %v", s.ckptPath, err)
+		return err
+	}
+	s.ckptSaves++
+	return nil
+}
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 	var req ProcessRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -89,29 +192,46 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	out, status, err := s.process(req)
+	if err != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, out)
+}
 
+// process runs one decoded batch through the learner and maps failures to
+// an HTTP status: guard-rejected input is the client's problem (422), any
+// other Process failure is ours (500).
+func (s *Server) process(req ProcessRequest) (ProcessResponse, int, error) {
 	s.mu.Lock()
 	b := stream.Batch{Seq: s.seq, X: req.X, Y: req.Y}
 	s.seq++
 	res, err := s.learner.Process(b)
+	if err == nil && s.ckptEvery > 0 && s.seq%s.ckptEvery == 0 {
+		_ = s.saveCheckpointLocked() // counted + logged; serving continues
+	}
 	s.mu.Unlock()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+		status := http.StatusInternalServerError
+		if errors.Is(err, guard.ErrRejected) {
+			status = http.StatusUnprocessableEntity
+		}
+		return ProcessResponse{}, status, err
 	}
 
 	pattern := res.Pattern
 	if res.Pattern.IsSlight() {
 		pattern = res.SubPattern
 	}
-	writeJSON(w, ProcessResponse{
+	return ProcessResponse{
 		Predictions:   res.Pred,
 		Pattern:       pattern.String(),
 		Strategy:      res.Strategy.String(),
 		ShiftDistance: res.Observation.Distance,
 		Severity:      res.Observation.Severity,
 		Accuracy:      res.Accuracy,
-	})
+	}, http.StatusOK, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -121,6 +241,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	m := s.learner.Metrics()
+	health := s.learner.Stats()
 	resp := StatsResponse{
 		Batches:          m.Batches(),
 		Samples:          m.Samples(),
@@ -128,6 +249,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SI:               m.SI(),
 		KnowledgeEntries: s.learner.KnowledgeStore().Len(),
 		KnowledgeBytes:   s.learner.KnowledgeStore().MemoryBytes(),
+
+		SanitizedValues:    health.SanitizedValues,
+		RejectedBatches:    health.RejectedBatches,
+		Divergences:        health.Divergences,
+		Recoveries:         health.Recoveries,
+		AsyncErrorsDropped: health.AsyncErrorsDropped,
+		KnowledgeSkipped:   health.KnowledgeSkipped,
+		SpillFailures:      health.SpillFailures + health.SpillLoadFailures,
+		CheckpointSaves:    s.ckptSaves,
+		CheckpointErrors:   s.ckptErrs,
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
@@ -138,25 +269,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func validate(req ProcessRequest, dim, classes int) error {
-	if len(req.X) == 0 {
-		return errors.New("empty batch")
-	}
-	for _, row := range req.X {
-		if len(row) != dim {
-			return fmt.Errorf("row width %d, want %d", len(row), dim)
-		}
-	}
-	if req.Y != nil {
-		if len(req.Y) != len(req.X) {
-			return errors.New("label count mismatch")
-		}
-		for _, y := range req.Y {
-			if y < 0 || y >= classes {
-				return fmt.Errorf("label %d outside [0,%d)", y, classes)
-			}
-		}
-	}
-	return nil
+	b := stream.Batch{X: req.X, Y: req.Y}
+	return b.ValidateShape(dim, classes)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -4,7 +4,10 @@
 // Sec. V-B that balances inference and training frequency under load.
 package stream
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // DriftKind is the ground-truth drift type a dataset generator injected
 // into a batch. The per-pattern experiments (Table II, Fig. 9/11) slice
@@ -53,7 +56,8 @@ type Batch struct {
 // Labeled reports whether the batch carries labels.
 func (b Batch) Labeled() bool { return len(b.Y) == len(b.X) && len(b.Y) > 0 }
 
-// Validate checks internal consistency.
+// Validate checks internal consistency: a non-empty rectangular feature
+// matrix and, when labels are present, one non-negative label per row.
 func (b Batch) Validate() error {
 	if len(b.X) == 0 {
 		return errors.New("stream: empty batch")
@@ -65,6 +69,31 @@ func (b Batch) Validate() error {
 	for _, row := range b.X {
 		if len(row) != w {
 			return errors.New("stream: ragged batch")
+		}
+	}
+	for _, y := range b.Y {
+		if y < 0 {
+			return fmt.Errorf("stream: negative label %d", y)
+		}
+	}
+	return nil
+}
+
+// ValidateShape checks the batch against a stream's declared shape: every
+// row must be dim wide and every label within [0, classes). This is the
+// full entry-point guard — every consumer that knows its shape (the core
+// learner, the HTTP server) should use it instead of Validate so malformed
+// input is refused before it can touch model state.
+func (b Batch) ValidateShape(dim, classes int) error {
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if len(b.X[0]) != dim {
+		return fmt.Errorf("stream: row width %d, want %d", len(b.X[0]), dim)
+	}
+	for _, y := range b.Y {
+		if y >= classes {
+			return fmt.Errorf("stream: label %d outside [0,%d)", y, classes)
 		}
 	}
 	return nil

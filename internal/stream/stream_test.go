@@ -36,11 +36,29 @@ func TestBatchValidate(t *testing.T) {
 		{},
 		{X: [][]float64{{1}}, Y: []int{0, 1}},
 		{X: [][]float64{{1}, {1, 2}}},
+		{X: [][]float64{{1}}, Y: []int{-1}},
 	}
 	for i, b := range bad {
 		if err := b.Validate(); err == nil {
 			t.Errorf("case %d: invalid batch passed", i)
 		}
+	}
+}
+
+func TestBatchValidateShape(t *testing.T) {
+	good := Batch{X: [][]float64{{1, 2}, {3, 4}}, Y: []int{0, 1}}
+	if err := good.ValidateShape(2, 2); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	if err := good.ValidateShape(3, 2); err == nil {
+		t.Error("wrong width passed")
+	}
+	if err := good.ValidateShape(2, 1); err == nil {
+		t.Error("out-of-range label passed")
+	}
+	ragged := Batch{X: [][]float64{{1, 2}, {3}}}
+	if err := ragged.ValidateShape(2, 2); err == nil {
+		t.Error("ragged batch passed ValidateShape")
 	}
 }
 
