@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check clean
+.PHONY: all build test vet race check bench clean
 
 all: check
 
@@ -18,6 +18,10 @@ race:
 
 # The full gate: everything CI runs.
 check: build vet test race
+
+# Runs the kernel + throughput benchmarks and refreshes BENCH_PR2.json.
+bench:
+	bash scripts/bench.sh
 
 clean:
 	$(GO) clean ./...

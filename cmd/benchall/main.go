@@ -12,19 +12,57 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"freewayml/internal/experiments"
 )
 
+// main delegates to run so profile-flushing defers fire before the process
+// exits with run's status code.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		experiment = flag.String("experiment", "all", "which experiment to run")
 		batch      = flag.Int("batch", 256, "mini-batch size (paper uses 1024)")
 		maxBatches = flag.Int("max", 0, "cap on batches per stream (0 = full stream)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		ablationDS = flag.String("ablation-dataset", "Hyperplane", "dataset for the ablation sweep")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchall: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchall: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchall: memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	opt := experiments.Options{BatchSize: *batch, MaxBatches: *maxBatches, Seed: *seed}
 
@@ -57,12 +95,13 @@ func main() {
 		res, err := r.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchall: %s: %v\n", r.name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println(res.String())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "benchall: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

@@ -8,6 +8,8 @@ package ensemble
 import (
 	"errors"
 	"math"
+
+	"freewayml/internal/linalg"
 )
 
 // Kernel is the Gaussian kernel K(D, σ) = exp(−D² / (2σ²)) of Eq. 14.
@@ -62,17 +64,21 @@ func Fuse(members []Member, sigma float64) ([][]float64, error) {
 		totalW = float64(len(weights))
 	}
 
-	out := make([][]float64, n)
-	for s := 0; s < n; s++ {
-		row := make([]float64, classes)
-		for i, m := range members {
+	for _, m := range members {
+		for s := 0; s < n; s++ {
 			if len(m.Proba[s]) != classes {
 				return nil, errors.New("ensemble: member class counts differ")
 			}
-			w := weights[i]
-			for c, p := range m.Proba[s] {
-				row[c] += w * p
-			}
+		}
+	}
+	// One flat accumulator for the whole batch; each member contributes one
+	// scaled-add sweep per sample through the shared axpy kernel.
+	flat := make([]float64, n*classes)
+	out := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		row := flat[s*classes : (s+1)*classes : (s+1)*classes]
+		for i, m := range members {
+			linalg.Axpy(weights[i], m.Proba[s], row)
 		}
 		for c := range row {
 			row[c] /= totalW

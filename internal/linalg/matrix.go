@@ -81,26 +81,17 @@ func (m *Matrix) T() *Matrix {
 	return out
 }
 
-// Mul returns m × b. It panics if the inner dimensions differ.
+// Mul returns m × b via the blocked Gemm kernel (Matrix and Tensor share the
+// row-major flat layout, so the views are free). It panics if the inner
+// dimensions differ.
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch (%dx%d)×(%dx%d)", m.Rows, m.Cols, b.Rows, b.Cols))
 	}
 	out := NewMatrix(m.Rows, b.Cols)
-	for i := 0; i < m.Rows; i++ {
-		mrow := m.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < m.Cols; k++ {
-			a := mrow[k]
-			if a == 0 {
-				continue
-			}
-			brow := b.Row(k)
-			for j := range orow {
-				orow[j] += a * brow[j]
-			}
-		}
-	}
+	Gemm(TensorView(out.Data, out.Rows, out.Cols),
+		TensorView(m.Data, m.Rows, m.Cols),
+		TensorView(b.Data, b.Rows, b.Cols))
 	return out
 }
 

@@ -1,0 +1,373 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense, row-major 2-D tensor over one flat float64 buffer. It is
+// the compute-core representation: every nn layer, the PCA projection, and
+// the ensemble fusion run on Tensors so the hot loops are contiguous slice
+// sweeps instead of per-row pointer chasing. Data is always sliced to exactly
+// Rows*Cols elements (spare capacity may hide behind the slice for reuse).
+type Tensor struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewTensor returns a zero tensor with the given shape.
+func NewTensor(rows, cols int) *Tensor {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative tensor dimension")
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// TensorView wraps existing flat storage in a tensor header without copying.
+// It panics if len(data) != rows*cols. Parameter matrices (stored flat in
+// nn.Param) enter the kernels this way.
+func TensorView(data []float64, rows, cols int) *Tensor {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: TensorView len %d != %d×%d", len(data), rows, cols))
+	}
+	return &Tensor{Rows: rows, Cols: cols, Data: data}
+}
+
+// EnsureTensor returns t reshaped to rows×cols, reusing its buffer when
+// capacity allows, or a fresh tensor when t is nil or too small. Element
+// contents after the call are unspecified — callers overwrite. This is the
+// scratch-buffer workhorse: steady-state batches hit the reuse path and
+// allocate nothing.
+func EnsureTensor(t *Tensor, rows, cols int) *Tensor {
+	n := rows * cols
+	if t == nil {
+		return NewTensor(rows, cols)
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float64, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	t.Rows, t.Cols = rows, cols
+	return t
+}
+
+// Row returns row i as a slice aliasing the tensor storage.
+func (t *Tensor) Row(i int) []float64 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// At returns element (i, j).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Cols+j] = v }
+
+// Zero clears every element.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// CopyFrom makes t an exact copy of src, reusing t's buffer when possible.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	*t = *EnsureTensor(t, src.Rows, src.Cols)
+	copy(t.Data, src.Data)
+}
+
+// FromRows reshapes t to len(rows)×cols and copies the rows in. All rows must
+// have length cols. cols disambiguates the width of an empty batch.
+func (t *Tensor) FromRows(rows [][]float64, cols int) {
+	*t = *EnsureTensor(t, len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("linalg: FromRows row %d has %d elements, want %d", i, len(r), cols))
+		}
+		copy(t.Row(i), r)
+	}
+}
+
+// ToRows returns the tensor as fresh [][]float64 rows. The row headers share
+// one backing allocation, so the conversion costs two allocations regardless
+// of batch size.
+func (t *Tensor) ToRows() [][]float64 {
+	flat := make([]float64, len(t.Data))
+	copy(flat, t.Data)
+	out := make([][]float64, t.Rows)
+	for i := range out {
+		out[i] = flat[i*t.Cols : (i+1)*t.Cols : (i+1)*t.Cols]
+	}
+	return out
+}
+
+// Axpy computes y[i] += a*x[i]. It panics if the lengths differ.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// gemmBlockK is the k-panel depth of the blocked kernels: 128 float64s of a
+// B row panel (1 KiB) stay resident in L1 while a C row accumulates.
+// Blocking only partitions the k loop — for any output element the
+// summation order over k stays ascending, so blocked and naive kernels
+// produce bitwise-identical results.
+const gemmBlockK = 128
+
+// parallelFlopCutoff is the mul-add count above which a kernel fans out
+// across GOMAXPROCS goroutines, partitioned by output row. Below it the
+// fan-out overhead (~µs) exceeds the win. Row partitioning never splits the
+// per-element summation, so the parallel path is also bitwise-deterministic.
+const parallelFlopCutoff = 1 << 16
+
+// parallelRows splits [0, rows) into roughly equal chunks and runs body on
+// each chunk, in parallel when flops crosses the cutoff. The fan-out mirrors
+// internal/parallel's WaitGroup pattern; it lives here because linalg sits
+// below that package in the dependency order.
+func parallelRows(rows, flops int, body func(i0, i1 int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelFlopCutoff || workers <= 1 || rows <= 1 {
+		body(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	chunk := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for i0 := 0; i0 < rows; i0 += chunk {
+		i1 := i0 + chunk
+		if i1 > rows {
+			i1 = rows
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			body(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+func checkGemmShapes(op string, cRows, cCols, aRows, aCols, bRows, bCols int, c, a, b *Tensor) {
+	if a.Rows != aRows || a.Cols != aCols || b.Rows != bRows || b.Cols != bCols || c.Rows != cRows || c.Cols != cCols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch C(%dx%d) A(%dx%d) B(%dx%d)",
+			op, c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if len(a.Data) != a.Rows*a.Cols || len(b.Data) != b.Rows*b.Cols || len(c.Data) != c.Rows*c.Cols {
+		panic(fmt.Sprintf("linalg: %s tensor data length inconsistent with shape", op))
+	}
+}
+
+// Gemm computes C = A × B with the blocked kernel, parallel above the flop
+// cutoff. Shapes: A m×k, B k×n, C m×n; C must not alias A or B.
+func Gemm(c, a, b *Tensor) {
+	checkGemmShapes("Gemm", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Cols, func(i0, i1 int) {
+		gemmRange(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmAdd computes C += A × B (same shapes and kernel as Gemm). Seeding C
+// with a bias row before the call fuses the bias add into the product.
+func GemmAdd(c, a, b *Tensor) {
+	checkGemmShapes("GemmAdd", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Cols, func(i0, i1 int) {
+		gemmRange(c, a, b, i0, i1, true)
+	})
+}
+
+// gemmRange accumulates C[i0:i1] (+)= A[i0:i1] × B. The i–k–j loop order
+// streams B rows and keeps the current C row hot; k is additionally cut into
+// gemmBlockK panels so each B panel is reused across the row range while
+// still resident in cache. The axpy is inlined by hand: the gc inliner does
+// not inline functions containing loops, and a call per k-step dominates
+// skinny products.
+func gemmRange(c, a, b *Tensor, i0, i1 int, accumulate bool) {
+	if !accumulate {
+		for i := i0; i < i1; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+	}
+	k := a.Cols
+	for k0 := 0; k0 < k; k0 += gemmBlockK {
+		k1 := k0 + gemmBlockK
+		if k1 > k {
+			k1 = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for p := k0; p < k1; p++ {
+				av := arow[p]
+				brow := b.Row(p)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// GemmTA computes C = Aᵀ × B without materializing the transpose.
+// Shapes: A k×m, B k×n, C m×n; C must not alias A or B.
+func GemmTA(c, a, b *Tensor) {
+	checkGemmShapes("GemmTA", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Cols, func(i0, i1 int) {
+		gemmTARange(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmTAAdd computes C += Aᵀ × B (same shapes as GemmTA). The backward
+// passes use it to accumulate weight gradients straight into Param.Grad.
+func GemmTAAdd(c, a, b *Tensor) {
+	checkGemmShapes("GemmTAAdd", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Cols, func(i0, i1 int) {
+		gemmTARange(c, a, b, i0, i1, true)
+	})
+}
+
+// gemmTARange accumulates C[i0:i1] (+)= (Aᵀ × B)[i0:i1]. The p-outer order
+// streams A and B rows contiguously; the written C rows [i0:i1) form the
+// reuse block.
+func gemmTARange(c, a, b *Tensor, i0, i1 int, accumulate bool) {
+	if !accumulate {
+		for i := i0; i < i1; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+	}
+	for p := 0; p < a.Rows; p++ {
+		arow := a.Row(p)
+		brow := b.Row(p)
+		for i := i0; i < i1; i++ {
+			av := arow[i]
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB computes C = A × Bᵀ without materializing the transpose.
+// Shapes: A m×k, B n×k, C m×n; C must not alias A or B. Each output element
+// is a dot product of two contiguous rows, so this is the cache-friendly
+// form when the shared dimension k is long.
+func GemmTB(c, a, b *Tensor) {
+	checkGemmShapes("GemmTB", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Rows, func(i0, i1 int) {
+		gemmTBRange(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmTBAdd computes C += A × Bᵀ (same shapes as GemmTB). With transposed
+// operands it is the long-dot-product form of the weight-gradient update.
+func GemmTBAdd(c, a, b *Tensor) {
+	checkGemmShapes("GemmTBAdd", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	parallelRows(c.Rows, a.Rows*a.Cols*b.Rows, func(i0, i1 int) {
+		gemmTBRange(c, a, b, i0, i1, true)
+	})
+}
+
+func gemmTBRange(c, a, b *Tensor, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if accumulate {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}
+
+// TransposeInto writes srcᵀ into dst, which must be pre-shaped to
+// src.Cols × src.Rows. The layers materialize small transposed weight or
+// gradient panels with it so every GEMM runs in its long-inner-loop form.
+func TransposeInto(dst, src *Tensor) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("linalg: TransposeInto shape %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, src.Cols, src.Rows))
+	}
+	for i := 0; i < src.Rows; i++ {
+		srow := src.Row(i)
+		for j, v := range srow {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// RefGemm is the unblocked, single-goroutine reference for C = A × B. It is
+// retained as the differential-test oracle for the optimized kernels and is
+// not used on any hot path.
+func RefGemm(c, a, b *Tensor) {
+	checkGemmShapes("RefGemm", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	gemmRefRange(c, a, b)
+}
+
+func gemmRefRange(c, a, b *Tensor) {
+	for i := 0; i < c.Rows; i++ {
+		crow := c.Row(i)
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := a.Row(i)
+		for p := 0; p < a.Cols; p++ {
+			av := arow[p]
+			brow := b.Row(p)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// RefGemmTA is the reference oracle for C = Aᵀ × B.
+func RefGemmTA(c, a, b *Tensor) {
+	checkGemmShapes("RefGemmTA", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	c.Zero()
+	for p := 0; p < a.Rows; p++ {
+		arow := a.Row(p)
+		brow := b.Row(p)
+		for i := 0; i < c.Rows; i++ {
+			av := arow[i]
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// RefGemmTB is the reference oracle for C = A × Bᵀ.
+func RefGemmTB(c, a, b *Tensor) {
+	checkGemmShapes("RefGemmTB", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	for i := 0; i < c.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float64
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}

@@ -82,10 +82,9 @@ func TestAdamAdaptsPerParameter(t *testing.T) {
 
 func TestDropoutTrainingMasksAndScales(t *testing.T) {
 	d := NewDropout(0.5, 1)
-	x := [][]float64{{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}}
-	out := d.Forward(x)
+	out := d.Forward(tensorOf([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}))
 	zeros, scaled := 0, 0
-	for _, v := range out[0] {
+	for _, v := range out.Row(0) {
 		switch v {
 		case 0:
 			zeros++
@@ -99,9 +98,9 @@ func TestDropoutTrainingMasksAndScales(t *testing.T) {
 		t.Errorf("mask degenerate: %d zeros, %d scaled", zeros, scaled)
 	}
 	// Backward routes gradients through the same mask.
-	g := d.Backward([][]float64{{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}})
-	for j, v := range out[0] {
-		if (v == 0) != (g[0][j] == 0) {
+	g := d.Backward(tensorOf([]float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}))
+	for j, v := range out.Row(0) {
+		if (v == 0) != (g.At(0, j) == 0) {
 			t.Fatal("gradient mask differs from forward mask")
 		}
 	}
@@ -110,15 +109,15 @@ func TestDropoutTrainingMasksAndScales(t *testing.T) {
 func TestDropoutInferenceIsIdentity(t *testing.T) {
 	d := NewDropout(0.9, 1)
 	d.SetTraining(false)
-	x := [][]float64{{1, 2, 3}}
+	x := tensorOf([]float64{1, 2, 3})
 	out := d.Forward(x)
-	for j, v := range out[0] {
-		if v != x[0][j] {
+	for j, v := range out.Row(0) {
+		if v != x.At(0, j) {
 			t.Fatal("inference dropout modified activations")
 		}
 	}
-	g := d.Backward([][]float64{{1, 1, 1}})
-	if g[0][0] != 1 {
+	g := d.Backward(tensorOf([]float64{1, 1, 1}))
+	if g.At(0, 0) != 1 {
 		t.Fatal("inference backward modified gradients")
 	}
 }

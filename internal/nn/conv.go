@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math/rand"
+
+	"freewayml/internal/linalg"
 )
 
 // Conv1D is a 1-D convolution over a flat input interpreted as
@@ -11,12 +13,27 @@ import (
 // Length − Kernel + 1 and the output is (OutChannels × OutLen), also flat.
 // This matches the paper's appendix CNN, which convolves over the feature
 // axis of tabular batches and over extracted image-feature vectors.
+//
+// The implementation lowers the convolution to im2col + GEMM in the
+// feature-major ("transposed") layout: the patch matrix colT has one row per
+// (input-channel, kernel-offset) pair and one column per (sample, position)
+// pair. That orientation makes every stage a long contiguous loop even when
+// InChannels·K is tiny (the common 1-channel / kernel-3 case): im2col and
+// the output scatter are pure row-segment copies, and both GEMMs run with
+// inner loops of length batch·outLen.
 type Conv1D struct {
 	InChannels, OutChannels, Kernel, Length int
 
-	w     *Param // [out][in][k]
-	b     *Param // [out]
-	lastX [][]float64
+	w *Param // [out][in][k], i.e. an OutChannels × InChannels·K tensor
+	b *Param // [out]
+
+	// Scratch buffers, reused across batches:
+	colT   *linalg.Tensor // im2col patches, InChannels·K × batch·outLen
+	out2T  *linalg.Tensor // GEMM output, OutChannels × batch·outLen
+	out    *linalg.Tensor // channel-major output, batch × OutChannels·outLen
+	g2T    *linalg.Tensor // gradOut regathered as OutChannels × batch·outLen
+	gcolT  *linalg.Tensor // patch gradient, InChannels·K × batch·outLen
+	gradIn *linalg.Tensor // batch × InChannels·Length
 }
 
 // NewConv1D returns a Conv1D with He-normal initialized kernels. length is
@@ -45,63 +62,97 @@ func NewConv1D(inChannels, outChannels, kernel, length int, rng *rand.Rand) *Con
 // outLen returns the per-channel output length.
 func (c *Conv1D) outLen() int { return c.Length - c.Kernel + 1 }
 
-// Forward applies the convolution to each sample.
-func (c *Conv1D) Forward(x [][]float64) [][]float64 {
-	c.lastX = x
+// im2col fills c.colT: row ic·K+k holds, for each sample i, the contiguous
+// input slice x[i][ic·Length+k : ic·Length+k+outLen] at columns
+// [i·outLen, (i+1)·outLen) — each (sample, row) pair is one copy.
+func (c *Conv1D) im2col(x *linalg.Tensor) {
 	ol := c.outLen()
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		if len(row) != c.InChannels*c.Length {
-			panic(fmt.Sprintf("nn: Conv1D input width %d, want %d", len(row), c.InChannels*c.Length))
-		}
-		o := make([]float64, c.OutChannels*ol)
-		for oc := 0; oc < c.OutChannels; oc++ {
-			bias := c.b.W[oc]
-			for t := 0; t < ol; t++ {
-				s := bias
-				for ic := 0; ic < c.InChannels; ic++ {
-					wBase := (oc*c.InChannels + ic) * c.Kernel
-					xBase := ic*c.Length + t
-					for k := 0; k < c.Kernel; k++ {
-						s += c.w.W[wBase+k] * row[xBase+k]
-					}
-				}
-				o[oc*ol+t] = s
+	c.colT = linalg.EnsureTensor(c.colT, c.InChannels*c.Kernel, x.Rows*ol)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		for ic := 0; ic < c.InChannels; ic++ {
+			for k := 0; k < c.Kernel; k++ {
+				dst := c.colT.Row(ic*c.Kernel + k)[i*ol : (i+1)*ol]
+				copy(dst, row[ic*c.Length+k:ic*c.Length+k+ol])
 			}
 		}
-		out[i] = o
 	}
-	return out
 }
 
-// Backward accumulates kernel and bias gradients and returns the input
-// gradient.
-func (c *Conv1D) Backward(gradOut [][]float64) [][]float64 {
+// Forward applies the convolution to the batch via im2col + one GEMM:
+// out2T = W × colT, then each (sample, channel) segment is copied out with
+// the bias added.
+func (c *Conv1D) Forward(x *linalg.Tensor) *linalg.Tensor {
+	if x.Cols != c.InChannels*c.Length {
+		panic(fmt.Sprintf("nn: Conv1D input width %d, want %d", x.Cols, c.InChannels*c.Length))
+	}
 	ol := c.outLen()
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		x := c.lastX[i]
-		gi := make([]float64, c.InChannels*c.Length)
+	ick := c.InChannels * c.Kernel
+	c.im2col(x)
+	c.out2T = linalg.EnsureTensor(c.out2T, c.OutChannels, x.Rows*ol)
+	linalg.Gemm(c.out2T, linalg.TensorView(c.w.W, c.OutChannels, ick), c.colT)
+	c.out = linalg.EnsureTensor(c.out, x.Rows, c.OutChannels*ol)
+	for i := 0; i < x.Rows; i++ {
+		orow := c.out.Row(i)
 		for oc := 0; oc < c.OutChannels; oc++ {
-			for t := 0; t < ol; t++ {
-				gv := g[oc*ol+t]
-				if gv == 0 {
-					continue
-				}
-				c.b.Grad[oc] += gv
-				for ic := 0; ic < c.InChannels; ic++ {
-					wBase := (oc*c.InChannels + ic) * c.Kernel
-					xBase := ic*c.Length + t
-					for k := 0; k < c.Kernel; k++ {
-						c.w.Grad[wBase+k] += gv * x[xBase+k]
-						gi[xBase+k] += gv * c.w.W[wBase+k]
-					}
+			src := c.out2T.Row(oc)[i*ol : (i+1)*ol]
+			dst := orow[oc*ol : (oc+1)*ol]
+			bias := c.b.W[oc]
+			for t, v := range src {
+				dst[t] = v + bias
+			}
+		}
+	}
+	return c.out
+}
+
+// Backward accumulates kernel and bias gradients with transposed GEMMs over
+// the cached patch matrix and returns the input gradient via col2im.
+func (c *Conv1D) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	ol := c.outLen()
+	ick := c.InChannels * c.Kernel
+	n := gradOut.Rows
+
+	// Regather gradOut (batch × OC·ol, channel-major) into channel rows
+	// matching the patch matrix columns — pure segment copies.
+	c.g2T = linalg.EnsureTensor(c.g2T, c.OutChannels, n*ol)
+	for i := 0; i < n; i++ {
+		grow := gradOut.Row(i)
+		for oc := 0; oc < c.OutChannels; oc++ {
+			copy(c.g2T.Row(oc)[i*ol:(i+1)*ol], grow[oc*ol:(oc+1)*ol])
+		}
+	}
+
+	// ∂L/∂W += g2T × colTᵀ: OC·ICK dot products of length batch·outLen.
+	// ∂L/∂b += row sums of g2T.
+	linalg.GemmTBAdd(linalg.TensorView(c.w.Grad, c.OutChannels, ick), c.g2T, c.colT)
+	for oc := 0; oc < c.OutChannels; oc++ {
+		var s float64
+		for _, gv := range c.g2T.Row(oc) {
+			s += gv
+		}
+		c.b.Grad[oc] += s
+	}
+
+	// ∂L/∂patches = Wᵀ × g2T, scattered back to the input layout: each patch
+	// row contributes one contiguous length-outLen axpy per sample.
+	c.gcolT = linalg.EnsureTensor(c.gcolT, ick, n*ol)
+	linalg.GemmTA(c.gcolT, linalg.TensorView(c.w.W, c.OutChannels, ick), c.g2T)
+	c.gradIn = linalg.EnsureTensor(c.gradIn, n, c.InChannels*c.Length)
+	c.gradIn.Zero()
+	for i := 0; i < n; i++ {
+		girow := c.gradIn.Row(i)
+		for ic := 0; ic < c.InChannels; ic++ {
+			for k := 0; k < c.Kernel; k++ {
+				src := c.gcolT.Row(ic*c.Kernel + k)[i*ol : (i+1)*ol]
+				dst := girow[ic*c.Length+k : ic*c.Length+k+ol]
+				for t, gv := range src {
+					dst[t] += gv
 				}
 			}
 		}
-		gradIn[i] = gi
 	}
-	return gradIn
+	return c.gradIn
 }
 
 // Params returns the kernel and bias parameters.
@@ -134,7 +185,9 @@ func (c *Conv1D) clone() Layer {
 // partial window is pooled too.
 type MaxPool1D struct {
 	Channels, Length, Window int
-	lastArg                  [][]int // argmax indices per output element
+
+	lastArg     []int // flat argmax indices, batch × Channels·outLen
+	out, gradIn *linalg.Tensor
 }
 
 // NewMaxPool1D returns a max-pooling layer for flat (channels × length)
@@ -153,16 +206,22 @@ func NewMaxPool1D(channels, length, window int) *MaxPool1D {
 func (p *MaxPool1D) outLen() int { return (p.Length + p.Window - 1) / p.Window }
 
 // Forward pools each window, caching argmax positions for Backward.
-func (p *MaxPool1D) Forward(x [][]float64) [][]float64 {
+func (p *MaxPool1D) Forward(x *linalg.Tensor) *linalg.Tensor {
+	if x.Cols != p.Channels*p.Length {
+		panic(fmt.Sprintf("nn: MaxPool1D input width %d, want %d", x.Cols, p.Channels*p.Length))
+	}
 	ol := p.outLen()
-	out := make([][]float64, len(x))
-	p.lastArg = make([][]int, len(x))
-	for i, row := range x {
-		if len(row) != p.Channels*p.Length {
-			panic(fmt.Sprintf("nn: MaxPool1D input width %d, want %d", len(row), p.Channels*p.Length))
-		}
-		o := make([]float64, p.Channels*ol)
-		arg := make([]int, p.Channels*ol)
+	ow := p.Channels * ol
+	p.out = linalg.EnsureTensor(p.out, x.Rows, ow)
+	if cap(p.lastArg) < x.Rows*ow {
+		p.lastArg = make([]int, x.Rows*ow)
+	} else {
+		p.lastArg = p.lastArg[:x.Rows*ow]
+	}
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := p.out.Row(i)
+		arg := p.lastArg[i*ow : (i+1)*ow]
 		for c := 0; c < p.Channels; c++ {
 			base := c * p.Length
 			for t := 0; t < ol; t++ {
@@ -179,28 +238,28 @@ func (p *MaxPool1D) Forward(x [][]float64) [][]float64 {
 						bestIdx = base + j
 					}
 				}
-				o[c*ol+t] = best
+				orow[c*ol+t] = best
 				arg[c*ol+t] = bestIdx
 			}
 		}
-		out[i] = o
-		p.lastArg[i] = arg
 	}
-	return out
+	return p.out
 }
 
 // Backward routes each output gradient to the argmax input position.
-func (p *MaxPool1D) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		gi := make([]float64, p.Channels*p.Length)
-		arg := p.lastArg[i]
-		for j, gv := range g {
-			gi[arg[j]] += gv
+func (p *MaxPool1D) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	ow := gradOut.Cols
+	p.gradIn = linalg.EnsureTensor(p.gradIn, gradOut.Rows, p.Channels*p.Length)
+	p.gradIn.Zero()
+	for i := 0; i < gradOut.Rows; i++ {
+		grow := gradOut.Row(i)
+		girow := p.gradIn.Row(i)
+		arg := p.lastArg[i*ow : (i+1)*ow]
+		for j, gv := range grow {
+			girow[arg[j]] += gv
 		}
-		gradIn[i] = gi
 	}
-	return gradIn
+	return p.gradIn
 }
 
 // Params returns nil: pooling has no learnable parameters.

@@ -1,6 +1,10 @@
 package nn
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"freewayml/internal/linalg"
+)
 
 // Dropout randomly zeroes a fraction of activations during training
 // (inverted dropout: survivors are scaled by 1/(1−rate) so inference needs
@@ -11,7 +15,10 @@ type Dropout struct {
 	Rate     float64
 	training bool
 	rng      *rand.Rand
-	lastMask []([]float64)
+
+	masked      bool // whether lastMask applies to the last Forward
+	lastMask    *linalg.Tensor
+	out, gradIn *linalg.Tensor
 }
 
 // NewDropout returns a dropout layer with the given drop rate in [0, 1).
@@ -26,44 +33,38 @@ func NewDropout(rate float64, seed int64) *Dropout {
 func (d *Dropout) SetTraining(training bool) { d.training = training }
 
 // Forward masks activations in training mode and passes through otherwise.
-func (d *Dropout) Forward(x [][]float64) [][]float64 {
+func (d *Dropout) Forward(x *linalg.Tensor) *linalg.Tensor {
 	if !d.training || d.Rate == 0 {
-		d.lastMask = nil
+		d.masked = false
 		return x
 	}
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	out := make([][]float64, len(x))
-	d.lastMask = make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		mask := make([]float64, len(row))
-		for j, v := range row {
-			if d.rng.Float64() < keep {
-				mask[j] = scale
-				o[j] = v * scale
-			}
+	d.masked = true
+	d.lastMask = linalg.EnsureTensor(d.lastMask, x.Rows, x.Cols)
+	d.out = linalg.EnsureTensor(d.out, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if d.rng.Float64() < keep {
+			d.lastMask.Data[i] = scale
+			d.out.Data[i] = v * scale
+		} else {
+			d.lastMask.Data[i] = 0
+			d.out.Data[i] = 0
 		}
-		out[i] = o
-		d.lastMask[i] = mask
 	}
-	return out
+	return d.out
 }
 
 // Backward applies the cached mask to the incoming gradient.
-func (d *Dropout) Backward(gradOut [][]float64) [][]float64 {
-	if d.lastMask == nil {
+func (d *Dropout) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	if !d.masked {
 		return gradOut
 	}
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		gi := make([]float64, len(g))
-		for j := range g {
-			gi[j] = g[j] * d.lastMask[i][j]
-		}
-		gradIn[i] = gi
+	d.gradIn = linalg.EnsureTensor(d.gradIn, gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		d.gradIn.Data[i] = g * d.lastMask.Data[i]
 	}
-	return gradIn
+	return d.gradIn
 }
 
 // Params returns nil: dropout has no learnable parameters.

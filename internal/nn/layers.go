@@ -4,32 +4,60 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"freewayml/internal/linalg"
 )
 
-func sqrt(x float64) float64 { return math.Sqrt(x) }
-
-// Layer is one differentiable stage of a Network. Forward caches whatever it
-// needs for the matching Backward call; Backward consumes the gradient with
+// Layer is one differentiable stage of a Network, operating on flat
+// row-major tensors (one row per sample). Forward caches whatever it needs
+// for the matching Backward call; Backward consumes the gradient with
 // respect to its output and returns the gradient with respect to its input,
 // accumulating parameter gradients along the way.
+//
+// Buffer ownership: the tensor a layer returns from Forward (or Backward) is
+// layer-owned scratch, valid only until that layer's next Forward (or
+// Backward) call. Backward may read the input tensor passed to the preceding
+// Forward — the network guarantees it is not overwritten in between. Callers
+// who need a result to outlive the next pass must copy it.
 type Layer interface {
-	Forward(x [][]float64) [][]float64
-	Backward(gradOut [][]float64) [][]float64
+	Forward(x *linalg.Tensor) *linalg.Tensor
+	Backward(gradOut *linalg.Tensor) *linalg.Tensor
 	Params() []*Param
 	// OutDim returns the per-sample output width given the input width, or
 	// an error if the layer cannot accept that width.
 	OutDim(inDim int) (int, error)
-	// clone returns a deep copy with independent parameter storage.
+	// clone returns a deep copy with independent parameter storage (scratch
+	// buffers are not copied; they reallocate lazily).
 	clone() Layer
 }
 
 // Dense is a fully connected layer: y = xW + b, with W stored row-major as
-// [in][out].
+// [in][out] — exactly the In×Out tensor the GEMM kernels consume.
+//
+// Both passes pick between the axpy-form and dot-form GEMM kernels by shape:
+// the inner loop of the axpy form runs over Out and the dot form over In, so
+// a wide-in / narrow-out head (e.g. a 1984→2 classifier) uses the dot form
+// while a fan-out layer uses the axpy form. Both forms sum over the shared
+// dimension in the same ascending order, so the choice never changes results
+// beyond the bias-addition rounding.
 type Dense struct {
 	In, Out int
 	w, b    *Param
-	lastX   [][]float64
+
+	lastX       *linalg.Tensor // alias of the forward input, read by Backward
+	out, gradIn *linalg.Tensor // layer-owned scratch, reused across batches
+	wT          *linalg.Tensor // Wᵀ, refreshed by Forward when useDot
+	xT, gT      *linalg.Tensor // transposed X and gradOut for the ∂W dot kernel
 }
+
+// useDot reports whether the dot-form kernels (inner loops over In) beat the
+// axpy-form kernels (inner loops over Out) for this layer's shape.
+func (d *Dense) useDot() bool { return d.In > d.Out }
+
+// denseGradWDotFactor: when In ≥ this multiple of Out, ∂W is computed from
+// transposed operands as In·Out long dot products instead of per-sample
+// length-Out axpys, which degenerate for narrow heads.
+const denseGradWDotFactor = 4
 
 // NewDense returns a Dense layer with He-normal initialized weights.
 func NewDense(in, out int, rng *rand.Rand) *Dense {
@@ -41,53 +69,63 @@ func NewDense(in, out int, rng *rand.Rand) *Dense {
 	return d
 }
 
-// Forward computes xW + b for every row of x.
-func (d *Dense) Forward(x [][]float64) [][]float64 {
-	d.lastX = x
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		if len(row) != d.In {
-			panic(fmt.Sprintf("nn: Dense input width %d, want %d", len(row), d.In))
-		}
-		o := make([]float64, d.Out)
-		copy(o, d.b.W)
-		for k, xv := range row {
-			if xv == 0 {
-				continue
-			}
-			wrow := d.w.W[k*d.Out : (k+1)*d.Out]
-			for j := range o {
-				o[j] += xv * wrow[j]
-			}
-		}
-		out[i] = o
+// Forward computes xW + b for the whole batch with one GEMM. In the axpy
+// form the output is seeded with the bias rows and the product accumulates
+// on top; in the dot form the bias is added after the product.
+func (d *Dense) Forward(x *linalg.Tensor) *linalg.Tensor {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense input width %d, want %d", x.Cols, d.In))
 	}
-	return out
+	d.lastX = x
+	d.out = linalg.EnsureTensor(d.out, x.Rows, d.Out)
+	if d.useDot() {
+		d.wT = linalg.EnsureTensor(d.wT, d.Out, d.In)
+		linalg.TransposeInto(d.wT, linalg.TensorView(d.w.W, d.In, d.Out))
+		linalg.GemmTB(d.out, x, d.wT)
+		for i := 0; i < x.Rows; i++ {
+			orow := d.out.Row(i)
+			for j, bv := range d.b.W {
+				orow[j] += bv
+			}
+		}
+	} else {
+		for i := 0; i < x.Rows; i++ {
+			copy(d.out.Row(i), d.b.W)
+		}
+		linalg.GemmAdd(d.out, x, linalg.TensorView(d.w.W, d.In, d.Out))
+	}
+	return d.out
 }
 
-// Backward accumulates ∂L/∂W, ∂L/∂b and returns ∂L/∂x.
-func (d *Dense) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		x := d.lastX[i]
-		gi := make([]float64, d.In)
-		for k := 0; k < d.In; k++ {
-			wrow := d.w.W[k*d.Out : (k+1)*d.Out]
-			grow := d.w.Grad[k*d.Out : (k+1)*d.Out]
-			xv := x[k]
-			var s float64
-			for j, gj := range g {
-				s += gj * wrow[j]
-				grow[j] += gj * xv
-			}
-			gi[k] = s
-		}
-		for j, gj := range g {
-			d.b.Grad[j] += gj
-		}
-		gradIn[i] = gi
+// Backward accumulates ∂L/∂W = XᵀG and ∂L/∂b, and returns ∂L/∂x = GWᵀ.
+// It relies on the Wᵀ scratch left by the matching Forward call.
+func (d *Dense) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	n := gradOut.Rows
+	gw := linalg.TensorView(d.w.Grad, d.In, d.Out)
+	if d.In >= denseGradWDotFactor*d.Out && n > 1 {
+		// Narrow head: In·Out dot products of length n beat n·In axpys of
+		// length Out. Both sum over samples in ascending order.
+		d.xT = linalg.EnsureTensor(d.xT, d.In, n)
+		linalg.TransposeInto(d.xT, d.lastX)
+		d.gT = linalg.EnsureTensor(d.gT, d.Out, n)
+		linalg.TransposeInto(d.gT, gradOut)
+		linalg.GemmTBAdd(gw, d.xT, d.gT)
+	} else {
+		linalg.GemmTAAdd(gw, d.lastX, gradOut)
 	}
-	return gradIn
+	for i := 0; i < n; i++ {
+		grow := gradOut.Row(i)
+		for j, gv := range grow {
+			d.b.Grad[j] += gv
+		}
+	}
+	d.gradIn = linalg.EnsureTensor(d.gradIn, n, d.In)
+	if d.useDot() {
+		linalg.Gemm(d.gradIn, gradOut, d.wT)
+	} else {
+		linalg.GemmTB(d.gradIn, gradOut, linalg.TensorView(d.w.W, d.In, d.Out))
+	}
+	return d.gradIn
 }
 
 // Params returns the weight and bias parameters.
@@ -110,42 +148,41 @@ func (d *Dense) clone() Layer {
 
 // ReLU applies max(0, x) element-wise.
 type ReLU struct {
-	lastX [][]float64
+	lastX       *linalg.Tensor
+	out, gradIn *linalg.Tensor
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward applies the rectifier.
-func (r *ReLU) Forward(x [][]float64) [][]float64 {
+// Forward applies the rectifier over the flat buffer.
+func (r *ReLU) Forward(x *linalg.Tensor) *linalg.Tensor {
 	r.lastX = x
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		for j, v := range row {
-			if v > 0 {
-				o[j] = v
-			}
-		}
-		out[i] = o
+	r.out = linalg.EnsureTensor(r.out, x.Rows, x.Cols)
+	// The builtin max compiles to a branchless select; the naive if/else is
+	// ~5× slower here because activation signs are data-dependent and the
+	// branch predictor loses every other guess.
+	for i, v := range x.Data {
+		r.out.Data[i] = max(v, 0)
 	}
-	return out
+	return r.out
 }
 
 // Backward gates the incoming gradient by the sign of the forward input.
-func (r *ReLU) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		x := r.lastX[i]
-		gi := make([]float64, len(g))
-		for j := range g {
-			if x[j] > 0 {
-				gi[j] = g[j]
-			}
-		}
-		gradIn[i] = gi
+// The gate is computed from the float's bit pattern ("nonzero and sign bit
+// clear") rather than a compare-and-branch: activation signs are random, so
+// the branchy form pays a misprediction per element and runs ~4× slower.
+// For finite inputs the mask is identical to x > 0 (NaN activations, already
+// fatal to training, pass the gradient instead of zeroing it).
+func (r *ReLU) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	r.gradIn = linalg.EnsureTensor(r.gradIn, gradOut.Rows, gradOut.Cols)
+	xs := r.lastX.Data
+	for i, g := range gradOut.Data {
+		bits := math.Float64bits(xs[i])
+		pass := ((bits | -bits) >> 63) & (^bits >> 63)
+		r.gradIn.Data[i] = g * float64(pass)
 	}
-	return gradIn
+	return r.gradIn
 }
 
 // Params returns nil: ReLU has no learnable parameters.
@@ -158,38 +195,30 @@ func (r *ReLU) clone() Layer { return &ReLU{} }
 
 // Sigmoid applies 1/(1+e^(−x)) element-wise.
 type Sigmoid struct {
-	lastY [][]float64
+	lastY  *linalg.Tensor
+	gradIn *linalg.Tensor
 }
 
 // NewSigmoid returns a sigmoid activation layer.
 func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function.
-func (s *Sigmoid) Forward(x [][]float64) [][]float64 {
-	out := make([][]float64, len(x))
-	for i, row := range x {
-		o := make([]float64, len(row))
-		for j, v := range row {
-			o[j] = 1 / (1 + math.Exp(-v))
-		}
-		out[i] = o
+func (s *Sigmoid) Forward(x *linalg.Tensor) *linalg.Tensor {
+	s.lastY = linalg.EnsureTensor(s.lastY, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		s.lastY.Data[i] = 1 / (1 + math.Exp(-v))
 	}
-	s.lastY = out
-	return out
+	return s.lastY
 }
 
 // Backward multiplies by y(1−y).
-func (s *Sigmoid) Backward(gradOut [][]float64) [][]float64 {
-	gradIn := make([][]float64, len(gradOut))
-	for i, g := range gradOut {
-		y := s.lastY[i]
-		gi := make([]float64, len(g))
-		for j := range g {
-			gi[j] = g[j] * y[j] * (1 - y[j])
-		}
-		gradIn[i] = gi
+func (s *Sigmoid) Backward(gradOut *linalg.Tensor) *linalg.Tensor {
+	s.gradIn = linalg.EnsureTensor(s.gradIn, gradOut.Rows, gradOut.Cols)
+	for i, g := range gradOut.Data {
+		y := s.lastY.Data[i]
+		s.gradIn.Data[i] = g * y * (1 - y)
 	}
-	return gradIn
+	return s.gradIn
 }
 
 // Params returns nil: Sigmoid has no learnable parameters.

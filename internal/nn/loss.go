@@ -3,35 +3,15 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"freewayml/internal/linalg"
 )
 
 // Softmax converts logits into a probability distribution, numerically
 // stabilized by subtracting the row max.
 func Softmax(logits []float64) []float64 {
 	out := make([]float64, len(logits))
-	maxv := math.Inf(-1)
-	for _, v := range logits {
-		if v > maxv {
-			maxv = v
-		}
-	}
-	var sum float64
-	for i, v := range logits {
-		e := math.Exp(v - maxv)
-		out[i] = e
-		sum += e
-	}
-	if sum == 0 {
-		// Degenerate logits (all -Inf); fall back to uniform.
-		u := 1 / float64(len(out))
-		for i := range out {
-			out[i] = u
-		}
-		return out
-	}
-	for i := range out {
-		out[i] /= sum
-	}
+	softmaxInto(out, logits)
 	return out
 }
 
@@ -68,6 +48,65 @@ func SoftmaxCrossEntropy(logits [][]float64, labels []int) (float64, [][]float64
 		grads[i] = g
 	}
 	return loss / n, grads, nil
+}
+
+// softmaxInto writes the softmax of logits into out (same length),
+// numerically stabilized by subtracting the row max. It is the
+// allocation-free core shared by Softmax and the tensor loss.
+func softmaxInto(out, logits []float64) {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	if sum == 0 {
+		// Degenerate logits (all -Inf); fall back to uniform.
+		u := 1 / float64(len(out))
+		for i := range out {
+			out[i] = u
+		}
+		return
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// softmaxCrossEntropyT is the tensor/core form of SoftmaxCrossEntropy: it
+// returns the mean loss and writes the logit gradient (p − onehot)/n into
+// grad, which must be pre-shaped to match logits. Softmax probabilities are
+// computed directly into the grad rows, so the whole loss head allocates
+// nothing.
+func softmaxCrossEntropyT(logits *linalg.Tensor, labels []int, grad *linalg.Tensor) (float64, error) {
+	if logits.Rows != len(labels) {
+		return 0, fmt.Errorf("nn: %d logit rows vs %d labels", logits.Rows, len(labels))
+	}
+	if logits.Rows == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	n := float64(logits.Rows)
+	var loss float64
+	for i := 0; i < logits.Rows; i++ {
+		y := labels[i]
+		if y < 0 || y >= logits.Cols {
+			return 0, fmt.Errorf("nn: label %d outside [0,%d)", y, logits.Cols)
+		}
+		g := grad.Row(i)
+		softmaxInto(g, logits.Row(i))
+		loss += -math.Log(math.Max(g[y], crossEntropyEps))
+		for j := range g {
+			g[j] /= n
+		}
+		g[y] -= 1 / n
+	}
+	return loss / n, nil
 }
 
 // Argmax returns the index of the largest element (first on ties), or -1

@@ -4,14 +4,25 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"freewayml/internal/linalg"
 )
 
 // Network is a sequential stack of layers ending in logits over NumClasses
 // classes, trained with softmax cross-entropy.
+//
+// The exported API speaks [][]float64 so callers (core, baselines, window,
+// knowledge) are representation-agnostic; internally every pass runs on flat
+// row-major tensors with network- and layer-owned scratch buffers reused
+// across batches, so the steady-state hot path allocates only the returned
+// results.
 type Network struct {
 	layers     []Layer
 	inDim      int
 	numClasses int
+
+	xBuf    *linalg.Tensor // staging copy of the caller's batch
+	gradBuf *linalg.Tensor // loss-head gradient scratch
 }
 
 // NewNetwork assembles a sequential network. It validates that the layer
@@ -43,8 +54,19 @@ func (n *Network) InDim() int { return n.inDim }
 // NumClasses returns the number of output classes.
 func (n *Network) NumClasses() int { return n.numClasses }
 
-// Forward runs the batch through all layers and returns the logits.
-func (n *Network) Forward(x [][]float64) [][]float64 {
+// stage copies the caller's batch into the network's staging tensor. Rows
+// must all have the expected input width.
+func (n *Network) stage(x [][]float64) *linalg.Tensor {
+	if n.xBuf == nil {
+		n.xBuf = linalg.NewTensor(0, n.inDim)
+	}
+	n.xBuf.FromRows(x, n.inDim)
+	return n.xBuf
+}
+
+// forwardT runs the staged batch through all layers. The returned tensor is
+// owned by the last layer and valid until its next Forward call.
+func (n *Network) forwardT(x *linalg.Tensor) *linalg.Tensor {
 	h := x
 	for _, l := range n.layers {
 		h = l.Forward(h)
@@ -52,22 +74,31 @@ func (n *Network) Forward(x [][]float64) [][]float64 {
 	return h
 }
 
+// Forward runs the batch through all layers and returns the logits.
+func (n *Network) Forward(x [][]float64) [][]float64 {
+	return n.forwardT(n.stage(x)).ToRows()
+}
+
 // Predict returns the argmax class for each sample.
 func (n *Network) Predict(x [][]float64) []int {
-	logits := n.Forward(x)
-	out := make([]int, len(logits))
-	for i, row := range logits {
-		out[i] = Argmax(row)
+	logits := n.forwardT(n.stage(x))
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = Argmax(logits.Row(i))
 	}
 	return out
 }
 
-// PredictProba returns the softmax distribution for each sample.
+// PredictProba returns the softmax distribution for each sample. The row
+// headers share one backing allocation.
 func (n *Network) PredictProba(x [][]float64) [][]float64 {
-	logits := n.Forward(x)
-	out := make([][]float64, len(logits))
-	for i, row := range logits {
-		out[i] = Softmax(row)
+	logits := n.forwardT(n.stage(x))
+	flat := make([]float64, logits.Rows*logits.Cols)
+	out := make([][]float64, logits.Rows)
+	for i := range out {
+		row := flat[i*logits.Cols : (i+1)*logits.Cols : (i+1)*logits.Cols]
+		softmaxInto(row, logits.Row(i))
+		out[i] = row
 	}
 	return out
 }
@@ -91,12 +122,13 @@ func (n *Network) AccumulateGradients(x [][]float64, y []int) (float64, error) {
 	if len(x) == 0 {
 		return 0, fmt.Errorf("nn: empty batch")
 	}
-	logits := n.Forward(x)
-	loss, grad, err := SoftmaxCrossEntropy(logits, y)
+	logits := n.forwardT(n.stage(x))
+	n.gradBuf = linalg.EnsureTensor(n.gradBuf, logits.Rows, logits.Cols)
+	loss, err := softmaxCrossEntropyT(logits, y, n.gradBuf)
 	if err != nil {
 		return 0, err
 	}
-	g := grad
+	g := n.gradBuf
 	for i := len(n.layers) - 1; i >= 0; i-- {
 		g = n.layers[i].Backward(g)
 	}
@@ -109,9 +141,11 @@ func (n *Network) Loss(x [][]float64, y []int) (float64, error) {
 	if len(x) == 0 {
 		return 0, fmt.Errorf("nn: empty batch")
 	}
-	logits := n.Forward(x)
-	loss, _, err := SoftmaxCrossEntropy(logits, y)
-	return loss, err
+	logits := n.forwardT(n.stage(x))
+	// The gradient write is wasted work here, but it reuses the same scratch
+	// and keeps one loss implementation.
+	n.gradBuf = linalg.EnsureTensor(n.gradBuf, logits.Rows, logits.Cols)
+	return softmaxCrossEntropyT(logits, y, n.gradBuf)
 }
 
 // Params returns all learnable parameters, layer by layer.
@@ -156,6 +190,7 @@ func (n *Network) NumParams() int {
 }
 
 // Clone returns a deep copy of the network with independent parameters.
+// Scratch buffers are not copied; the clone allocates its own lazily.
 func (n *Network) Clone() *Network {
 	layers := make([]Layer, len(n.layers))
 	for i, l := range n.layers {

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"freewayml/internal/linalg"
 )
 
 // numericalGrad estimates dLoss/dw by central differences for every
@@ -51,6 +53,14 @@ func checkGradients(t *testing.T, net *Network, x [][]float64, y []int) {
 			}
 		}
 	}
+}
+
+// tensorOf builds a batch tensor from literal rows, for driving a Layer
+// directly in tests.
+func tensorOf(rows ...[]float64) *linalg.Tensor {
+	t := &linalg.Tensor{}
+	t.FromRows(rows, len(rows[0]))
+	return t
 }
 
 func randomBatch(rng *rand.Rand, n, d, classes int) ([][]float64, []int) {
@@ -407,19 +417,19 @@ func TestSGDMomentumAccelerates(t *testing.T) {
 
 func TestMaxPoolPartialWindow(t *testing.T) {
 	p := NewMaxPool1D(1, 5, 2) // windows: [0,1],[2,3],[4]
-	out := p.Forward([][]float64{{1, 5, 2, 3, 9}})
+	out := p.Forward(tensorOf([]float64{1, 5, 2, 3, 9}))
 	want := []float64{5, 3, 9}
 	for i := range want {
-		if out[0][i] != want[i] {
-			t.Fatalf("pool out = %v, want %v", out[0], want)
+		if out.At(0, i) != want[i] {
+			t.Fatalf("pool out = %v, want %v", out.Row(0), want)
 		}
 	}
 	// Gradient routes to argmax positions only.
-	gi := p.Backward([][]float64{{1, 1, 1}})
+	gi := p.Backward(tensorOf([]float64{1, 1, 1}))
 	wantG := []float64{0, 1, 0, 1, 1}
 	for i := range wantG {
-		if gi[0][i] != wantG[i] {
-			t.Fatalf("pool grad = %v, want %v", gi[0], wantG)
+		if gi.At(0, i) != wantG[i] {
+			t.Fatalf("pool grad = %v, want %v", gi.Row(0), wantG)
 		}
 	}
 }

@@ -5,12 +5,17 @@
 // momentum, a numerically stable softmax cross-entropy head, and parameter
 // snapshot/restore used by the historical-knowledge store.
 //
-// All layers operate on batches represented as [][]float64 (one row per
-// sample). Layers cache their forward inputs, so a Network is not safe for
+// Internally all layers operate on flat row-major linalg.Tensor batches (one
+// row per sample) with per-layer scratch buffers reused across batches; the
+// Network API accepts and returns [][]float64 through thin adapters. Layers
+// cache their forward inputs and scratch, so a Network is not safe for
 // concurrent use; FreewayML runs one goroutine per model.
 package nn
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // Param is one learnable parameter tensor, stored flat together with its
 // gradient accumulator.
@@ -35,7 +40,7 @@ func (p *Param) ZeroGrad() {
 func heInit(w []float64, fanIn int, rng *rand.Rand) {
 	std := 1.0
 	if fanIn > 0 {
-		std = sqrt(2.0 / float64(fanIn))
+		std = math.Sqrt(2.0 / float64(fanIn))
 	}
 	for i := range w {
 		w[i] = rng.NormFloat64() * std
@@ -47,7 +52,7 @@ func heInit(w []float64, fanIn int, rng *rand.Rand) {
 func xavierInit(w []float64, fanIn, fanOut int, rng *rand.Rand) {
 	std := 1.0
 	if fanIn+fanOut > 0 {
-		std = sqrt(2.0 / float64(fanIn+fanOut))
+		std = math.Sqrt(2.0 / float64(fanIn+fanOut))
 	}
 	for i := range w {
 		w[i] = rng.NormFloat64() * std

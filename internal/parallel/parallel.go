@@ -85,7 +85,8 @@ func (g *Group) Process(b stream.Batch) ([]int, error) {
 			}
 			if len(mb.X) == 0 {
 				// A shard can be empty for tiny batches; infer on the full
-				// batch without training.
+				// batch without training. The fusion below folds these
+				// full-batch predictions in instead of dropping them.
 				mb = stream.Batch{Seq: b.Seq, X: b.X, Truth: b.Truth}
 			}
 			res, err := l.Process(mb)
@@ -93,8 +94,8 @@ func (g *Group) Process(b stream.Batch) ([]int, error) {
 				errs[i] = err
 				return
 			}
-			// Sharded members predicted only their slice; re-predict the
-			// full batch for fusion is wasteful — instead each member's
+			// Sharded members predicted only their slice; re-predicting the
+			// full batch for fusion would be wasteful — instead each member's
 			// result is mapped back onto its sample indices below, and the
 			// replicated mode fuses directly.
 			results[i] = res
@@ -108,40 +109,81 @@ func (g *Group) Process(b stream.Batch) ([]int, error) {
 	}
 
 	if g.mode == Sharded && b.Labeled() && len(g.members) > 1 {
-		// Stitch shard predictions back to the original sample order.
-		out := make([]int, len(b.X))
-		for i := range g.members {
-			for k, idx := range shardIndices(len(b.X), i, len(g.members)) {
-				if k < len(results[i].Pred) {
+		if len(b.X) >= len(g.members) {
+			// Every member owned a non-empty shard, so each sample has
+			// exactly one prediction: stitch them back by index.
+			out := make([]int, len(b.X))
+			for i := range g.members {
+				for k, idx := range shardIndices(len(b.X), i, len(g.members)) {
 					out[idx] = results[i].Pred[k]
 				}
 			}
+			return out, nil
 		}
-		return out, nil
+		// Tiny batch: members beyond the batch size had empty shards and
+		// inferred on the full batch instead. Fuse all predictions — shard
+		// owners vote at their own indices, full-batch members at every
+		// index — so no member's work is silently discarded.
+		votes := g.newVotes(len(b.X))
+		for i, res := range results {
+			idx := shardIndices(len(b.X), i, len(g.members))
+			if len(idx) == 0 {
+				idx = nil // full-batch member: identity mapping
+			}
+			g.addVotes(votes, res, idx)
+		}
+		return argmaxVotes(votes), nil
 	}
 
 	// Replicated fusion: average posteriors where available, else majority
 	// vote.
-	votes := make([][]float64, len(b.X))
+	votes := g.newVotes(len(b.X))
+	for _, res := range results {
+		g.addVotes(votes, res, nil)
+	}
+	return argmaxVotes(votes), nil
+}
+
+// newVotes allocates an n × classes vote matrix.
+func (g *Group) newVotes(n int) [][]float64 {
+	votes := make([][]float64, n)
 	for s := range votes {
 		votes[s] = make([]float64, g.classes)
 	}
-	for _, res := range results {
-		if res.Proba != nil {
-			for s, p := range res.Proba {
-				for c, v := range p {
-					votes[s][c] += v
-				}
-			}
-			continue
+	return votes
+}
+
+// addVotes accumulates one member's result into the vote matrix: posterior
+// mass when the strategy produced probabilities, a hard vote otherwise.
+// idx maps the member's k-th sample to its vote row; nil means the member
+// covered every sample in order.
+func (g *Group) addVotes(votes [][]float64, res core.Result, idx []int) {
+	row := func(k int) []float64 {
+		if idx == nil {
+			return votes[k]
 		}
-		for s, c := range res.Pred {
-			if c >= 0 && c < g.classes {
-				votes[s][c]++
+		return votes[idx[k]]
+	}
+	if res.Proba != nil {
+		for k, p := range res.Proba {
+			v := row(k)
+			for c, pv := range p {
+				v[c] += pv
 			}
+		}
+		return
+	}
+	for k, c := range res.Pred {
+		if c >= 0 && c < g.classes {
+			row(k)[c]++
 		}
 	}
-	out := make([]int, len(b.X))
+}
+
+// argmaxVotes picks the highest-scoring class per sample (lowest class wins
+// ties).
+func argmaxVotes(votes [][]float64) []int {
+	out := make([]int, len(votes))
 	for s, v := range votes {
 		best := 0
 		for c := 1; c < len(v); c++ {
@@ -151,7 +193,7 @@ func (g *Group) Process(b stream.Batch) ([]int, error) {
 		}
 		out[s] = best
 	}
-	return out, nil
+	return out
 }
 
 // Close flushes every member.

@@ -96,15 +96,27 @@ func (m *Model) ProjectMean(batchMean linalg.Vector) (linalg.Vector, error) {
 }
 
 // ProjectBatch projects every point of a batch. Used by the coherent
-// experience clustering path, which clusters in the reduced space.
+// experience clustering path, which clusters in the reduced space. The whole
+// batch is centered into one flat tensor and projected with a single GEMM
+// (summing over input dims in the same order as Project); the returned rows
+// alias one backing allocation.
 func (m *Model) ProjectBatch(points []linalg.Vector) ([]linalg.Vector, error) {
-	out := make([]linalg.Vector, len(points))
+	inDim, outDim := m.InputDim(), m.OutputDim()
+	xc := linalg.NewTensor(len(points), inDim)
 	for i, p := range points {
-		y, err := m.Project(p)
-		if err != nil {
-			return nil, err
+		if len(p) != inDim {
+			return nil, fmt.Errorf("pca: point dim %d, model dim %d", len(p), inDim)
 		}
-		out[i] = y
+		row := xc.Row(i)
+		for j, v := range p {
+			row[j] = v - m.mean[j]
+		}
+	}
+	y := linalg.NewTensor(len(points), outDim)
+	linalg.Gemm(y, xc, linalg.TensorView(m.components.Data, inDim, outDim))
+	out := make([]linalg.Vector, len(points))
+	for i := range out {
+		out[i] = linalg.Vector(y.Row(i))
 	}
 	return out, nil
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Runs the PR 2 benchmark gate — the nn kernel benchmarks plus the
+# end-to-end Figure 10 throughput bench — and records the results as
+# BENCH_PR2.json next to the pinned pre-PR baseline, so a later change that
+# regresses the compute core shows up as a diff in the JSON.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR2.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+echo "== nn kernel benchmarks" >&2
+go test ./internal/nn -run '^$' \
+  -bench '^(BenchmarkMLPForward|BenchmarkMLPTrainBatch|BenchmarkConvForward)$' \
+  -benchmem -benchtime 2s | tee -a "$TMP" >&2
+
+echo "== end-to-end throughput (Figure 10)" >&2
+go test . -run '^$' -bench '^BenchmarkFigure10Throughput$' -benchtime 1x | tee -a "$TMP" >&2
+
+awk -v go_version="$(go version | awk '{print $3}')" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)     # strip the -GOMAXPROCS suffix when present
+    if (!(name in entry)) names[++count] = name
+    fields = ""
+    for (i = 2; i < NF; i++) {
+      key = ""
+      if ($(i+1) == "ns/op") key = "ns_per_op"
+      else if ($(i+1) == "B/op") key = "bytes_per_op"
+      else if ($(i+1) == "allocs/op") key = "allocs_per_op"
+      else if ($(i+1) ~ /^samples\/s/) key = "samples_per_s"
+      if (key != "") {
+        if (fields != "") fields = fields ", "
+        fields = fields "\"" key "\": " $i
+      }
+    }
+    entry[name] = fields
+  }
+  END {
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"baseline_pre_pr2\": {\n"
+    printf "    \"comment\": \"measured at the pre-PR2 [][]float64 compute core, GOMAXPROCS=1\",\n"
+    printf "    \"BenchmarkMLPForward\": {\"ns_per_op\": 410214, \"allocs_per_op\": 771},\n"
+    printf "    \"BenchmarkMLPTrainBatch\": {\"ns_per_op\": 842240, \"allocs_per_op\": 2059},\n"
+    printf "    \"BenchmarkConvForward\": {\"ns_per_op\": 2805219, \"allocs_per_op\": 325}\n"
+    printf "  },\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= count; i++) {
+      name = names[i]
+      printf "    \"%s\": {%s}%s\n", name, entry[name], (i < count ? "," : "")
+    }
+    printf "  }\n}\n"
+  }' "$TMP" > "$OUT"
+echo "wrote $OUT" >&2
