@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet race check bench obs-smoke clean
 
 all: check
 
@@ -22,6 +22,13 @@ check: build vet test race
 # Runs the kernel + throughput benchmarks and refreshes BENCH_PR2.json.
 bench:
 	bash scripts/bench.sh
+
+# End-to-end observability check: boots freeway-serve, streams a synthetic
+# drifting stream, and asserts /v1/metrics and /v1/trace saw all three shift
+# patterns (A, B, C).
+obs-smoke:
+	$(GO) build -o bin/freeway-serve ./cmd/freeway-serve
+	$(GO) run ./cmd/obs-smoke -serve bin/freeway-serve
 
 clean:
 	$(GO) clean ./...

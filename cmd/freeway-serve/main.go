@@ -10,6 +10,12 @@
 // capped, read/write timeouts bound slow clients, SIGINT/SIGTERM drain
 // in-flight requests before exit, and -checkpoint enables crash-safe
 // periodic snapshots that are restored automatically on restart.
+//
+// Observability: /v1/metrics serves Prometheus text exposition, /v1/trace
+// serves the per-batch decision trace as JSONL (ring capacity set by
+// -trace-cap), and -pprof mounts net/http/pprof under /debug/pprof/. The
+// actual bound address is printed on startup, so -addr 127.0.0.1:0 works
+// for harnesses that need an ephemeral port.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -31,7 +38,7 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
+		addr      = flag.String("addr", ":8080", "listen address (port 0 picks an ephemeral port; the bound address is printed)")
 		dim       = flag.Int("dim", 6, "feature dimensionality of the stream")
 		classes   = flag.Int("classes", 2, "number of labels")
 		family    = flag.String("model", "mlp", "model family: lr | mlp | cnn3 | cnn5")
@@ -40,14 +47,17 @@ func main() {
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body cap in bytes")
 		ckptPath  = flag.String("checkpoint", "", "checkpoint file path (enables crash-safe snapshots)")
 		ckptEvery = flag.Int("checkpoint-every", 64, "batches between periodic checkpoints")
+		warmup    = flag.Int("warmup", 0, "override the shift detector's warmup points (0 keeps the default)")
+		traceCap  = flag.Int("trace-cap", 0, "decision-trace ring capacity for /v1/trace (0 keeps the default of 1024)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, *maxBody, *ckptPath, *ckptEvery); err != nil {
+	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, *maxBody, *ckptPath, *ckptEvery, *warmup, *traceCap, *pprofOn); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, dim, classes int, family string, seed int64, guardPol string, maxBody int64, ckptPath string, ckptEvery int) error {
+func run(addr string, dim, classes int, family string, seed int64, guardPol string, maxBody int64, ckptPath string, ckptEvery, warmup, traceCap int, pprofOn bool) error {
 	cfg := core.DefaultConfig()
 	cfg.ModelFamily = family
 	cfg.Seed = seed
@@ -57,8 +67,14 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 		return err
 	}
 	cfg.Guard = pol
+	if warmup > 0 {
+		cfg.Shift.WarmupPoints = warmup
+	}
 
-	opts := []serve.Option{serve.WithMaxBodyBytes(maxBody)}
+	opts := []serve.Option{serve.WithMaxBodyBytes(maxBody), serve.WithTraceCap(traceCap)}
+	if pprofOn {
+		opts = append(opts, serve.WithPprof())
+	}
 	if ckptPath != "" {
 		opts = append(opts, serve.WithCheckpoint(ckptPath, ckptEvery))
 	}
@@ -82,12 +98,19 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 	}
 
 	httpSrv := &http.Server{
-		Addr:              addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so :0 resolves to a
+	// real port before we announce the address.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Close()
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,8 +119,8 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 	errCh := make(chan error, 1)
 	go func() {
 		fmt.Printf("freeway-serve: %s model, %d features, %d classes, listening on %s\n",
-			family, dim, classes, addr)
-		errCh <- httpSrv.ListenAndServe()
+			family, dim, classes, ln.Addr())
+		errCh <- httpSrv.Serve(ln)
 	}()
 
 	select {

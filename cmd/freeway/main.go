@@ -3,9 +3,15 @@
 //
 //	freeway -dataset Electricity -model mlp -batch 256
 //	freeway -dataset NSL-KDD -system River
+//	freeway -dataset SEA -trace decisions.jsonl
+//
+// -trace writes one JSON line per batch with the full decision record:
+// detected pattern, dispatched strategy, shift evidence, window state,
+// fusion weights, and per-stage timings (FreewayML runs only).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +22,7 @@ import (
 	"freewayml/internal/datasets"
 	"freewayml/internal/metrics"
 	"freewayml/internal/model"
+	"freewayml/internal/obs"
 	"freewayml/internal/stream"
 )
 
@@ -32,6 +39,7 @@ func main() {
 		maxBatches = flag.Int("max", 0, "cap on batches (0 = full stream)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		verbose    = flag.Bool("v", false, "print every batch's pattern and strategy")
+		tracePath  = flag.String("trace", "", "write per-batch decision traces as JSONL to this file (FreewayML only)")
 	)
 	flag.Parse()
 
@@ -40,7 +48,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "freeway:", err)
 		os.Exit(1)
 	}
-	if err := run(src, *system, *family, *batch, *maxBatches, *seed, *verbose); err != nil {
+	if err := run(src, *system, *family, *batch, *maxBatches, *seed, *verbose, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "freeway:", err)
 		os.Exit(1)
 	}
@@ -62,7 +70,11 @@ func openSource(dataset, csvPath string, csvDim, csvClasses int, csvHeader bool,
 	return datasets.NewCSVStream(csvPath, f, batch, csvDim, csvClasses, csvHeader)
 }
 
-func run(src stream.Source, system, family string, batch, maxBatches int, seed int64, verbose bool) error {
+func run(src stream.Source, system, family string, batch, maxBatches int, seed int64, verbose bool, tracePath string) error {
+
+	if tracePath != "" && system != "FreewayML" {
+		return fmt.Errorf("-trace records FreewayML decisions; it requires -system FreewayML (got %s)", system)
+	}
 
 	var preq metrics.Prequential
 	strategies := map[string]int{}
@@ -81,12 +93,35 @@ func run(src stream.Source, system, family string, batch, maxBatches int, seed i
 			return err
 		}
 		closer = l.Close
+
+		var traceW *bufio.Writer
+		var observer *core.Observer
+		if tracePath != "" {
+			f, err := os.Create(tracePath)
+			if err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+			defer f.Close()
+			traceW = bufio.NewWriter(f)
+			defer traceW.Flush()
+			// The ring only bridges Process to the file write, so a few
+			// events of capacity suffice.
+			observer = core.NewObserver(obs.NewRegistry(), 4)
+			l.SetObserver(observer)
+		}
 		step = func(b stream.Batch) ([]int, error) {
 			res, err := l.Process(b)
 			if err != nil {
 				return nil, err
 			}
 			strategies[res.Strategy.String()]++
+			if traceW != nil {
+				if ev, ok := observer.Trace().Newest(); ok {
+					if err := obs.EncodeJSONL(traceW, ev); err != nil {
+						return nil, fmt.Errorf("trace: %w", err)
+					}
+				}
+			}
 			if verbose {
 				fmt.Printf("batch %4d  pattern=%-16s strategy=%-30s acc=%.3f\n",
 					b.Seq, res.Pattern, res.Strategy, res.Accuracy)

@@ -1,0 +1,312 @@
+// Command obs-smoke is the end-to-end observability check behind
+// `make obs-smoke`: it boots freeway-serve on an ephemeral port, streams a
+// synthetic drifting stream engineered to hit every shift pattern (slight
+// A1/A2, sudden B, reoccurring C), then scrapes /v1/metrics and /v1/trace
+// and asserts the instrumentation saw what the stream did:
+//
+//	obs-smoke -serve bin/freeway-serve
+//
+// Exit status 0 means every assertion held; any failure prints the reason
+// and exits 1.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"freewayml/internal/obs"
+	"freewayml/internal/serve"
+)
+
+func main() {
+	var (
+		serveBin = flag.String("serve", "bin/freeway-serve", "path to the freeway-serve binary")
+		timeout  = flag.Duration("timeout", 60*time.Second, "overall deadline")
+	)
+	flag.Parse()
+	if err := run(*serveBin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "obs-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obs-smoke: PASS")
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+func run(serveBin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// Boot the server on an ephemeral port; the bound address is announced
+	// on stdout. A small warmup keeps the pattern phases short.
+	cmd := exec.Command(serveBin,
+		"-addr", "127.0.0.1:0", "-dim", "3", "-classes", "2",
+		"-warmup", "128", "-trace-cap", "256", "-seed", "1", "-pprof")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", serveBin, err)
+	}
+	defer func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}()
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				addrCh <- m[1]
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server never announced its address")
+	}
+	if err := waitHealthy(base, deadline); err != nil {
+		return err
+	}
+
+	// The drifting stream: a long home regime (slight shifts + window
+	// closes that preserve knowledge), a blended batch plus a jump to a
+	// far-away regime (sudden B), a dozen away batches, then a return home
+	// (reoccurring C).
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 30; i++ {
+		if err := post(base, driftBatch(rng, 64, 0, 0, nil)); err != nil {
+			return fmt.Errorf("home batch %d: %w", i, err)
+		}
+	}
+	pre := driftBatch(rng, 64, 0, 0, nil)
+	tail := driftBatch(rng, 64, 50, 40, nil)
+	for i := 44; i < 64; i++ {
+		pre.X[i], pre.Y[i] = tail.X[i], tail.Y[i]
+	}
+	if err := post(base, pre); err != nil {
+		return fmt.Errorf("blended batch: %w", err)
+	}
+	for i := 0; i < 12; i++ {
+		if err := post(base, driftBatch(rng, 64, 50, 40, nil)); err != nil {
+			return fmt.Errorf("away batch %d: %w", i, err)
+		}
+	}
+	if err := post(base, driftBatch(rng, 64, 0, 0, nil)); err != nil {
+		return fmt.Errorf("return batch: %w", err)
+	}
+
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+	if err := checkTrace(base); err != nil {
+		return err
+	}
+	if err := checkPprof(base); err != nil {
+		return err
+	}
+	return nil
+}
+
+func waitHealthy(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s never became healthy", base)
+}
+
+// driftBatch mirrors the core test stream: two separable Gaussian classes
+// centered at (cx, cy) in a 3-feature space.
+func driftBatch(rng *rand.Rand, n int, cx, cy float64, _ any) serve.ProcessRequest {
+	req := serve.ProcessRequest{X: make([][]float64, n), Y: make([]int, n)}
+	for i := range req.X {
+		c := rng.Intn(2)
+		req.X[i] = []float64{
+			cx + float64(c)*2 + rng.NormFloat64()*0.3,
+			cy + rng.NormFloat64()*0.3,
+			rng.NormFloat64() * 0.3,
+		}
+		req.Y[i] = c
+	}
+	return req
+}
+
+func post(base string, req serve.ProcessRequest) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/process", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("process status %d: %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// checkMetrics scrapes /v1/metrics and asserts the exposition is
+// well-formed, covers >= 12 distinct series, and counted every pattern.
+func checkMetrics(base string) error {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != serve.MetricsContentType {
+		return fmt.Errorf("metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (\S+)$`)
+	series := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("metrics line %d malformed: %q", i+1, line)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("metrics line %d value: %w", i+1, err)
+		}
+		series[m[1]] = v
+	}
+	if len(series) < 12 {
+		return fmt.Errorf("exposition has %d series, want >= 12", len(series))
+	}
+	slight := series[`freeway_pattern_total{pattern="A1"}`] + series[`freeway_pattern_total{pattern="A2"}`]
+	if slight <= 0 {
+		return fmt.Errorf("no slight (A1/A2) pattern counted")
+	}
+	if series[`freeway_pattern_total{pattern="B"}`] <= 0 {
+		return fmt.Errorf("no sudden (B) pattern counted")
+	}
+	if series[`freeway_pattern_total{pattern="C"}`] <= 0 {
+		return fmt.Errorf("no reoccurring (C) pattern counted")
+	}
+	if series["freeway_batches_total"] != 44 {
+		return fmt.Errorf("freeway_batches_total = %v, want 44", series["freeway_batches_total"])
+	}
+	fmt.Printf("obs-smoke: metrics ok (%d series; A1/A2=%v B=%v C=%v)\n",
+		len(series), slight,
+		series[`freeway_pattern_total{pattern="B"}`],
+		series[`freeway_pattern_total{pattern="C"}`])
+	return nil
+}
+
+// checkTrace scrapes the decision trace and asserts every event names its
+// mechanism and carries stage timings, and that all three pattern families
+// appear.
+func checkTrace(base string) error {
+	resp, err := http.Get(base + "/v1/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != serve.TraceContentType {
+		return fmt.Errorf("trace Content-Type = %q", ct)
+	}
+	patterns := map[string]bool{}
+	events := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev obs.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("trace line %d: %w", events+1, err)
+		}
+		if ev.Strategy == "" {
+			return fmt.Errorf("trace event %d has no strategy", ev.Batch)
+		}
+		if len(ev.Stages) == 0 {
+			return fmt.Errorf("trace event %d has no stage timings", ev.Batch)
+		}
+		p := ev.Pattern
+		if ev.SubPattern != "" {
+			p = ev.SubPattern
+		}
+		patterns[p[:1]] = true
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if events != 44 {
+		return fmt.Errorf("trace has %d events, want 44", events)
+	}
+	for _, want := range []string{"A", "B", "C"} {
+		if !patterns[want] {
+			return fmt.Errorf("trace never observed a %s-family pattern (saw %v)", want, patterns)
+		}
+	}
+	fmt.Printf("obs-smoke: trace ok (%d events, patterns %v)\n", events, keys(patterns))
+	return nil
+}
+
+// checkPprof confirms the opt-in profiling surface answers.
+func checkPprof(base string) error {
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("pprof status %d", resp.StatusCode)
+	}
+	fmt.Println("obs-smoke: pprof ok")
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

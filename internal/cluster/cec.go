@@ -26,6 +26,19 @@ func CECK(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, se
 	return pred, err
 }
 
+// CECStats reports the clustering evidence behind one CEC dispatch — the
+// decision-trace payload for Pattern B batches.
+type CECStats struct {
+	// K is the effective cluster count (clamped to the joint point count).
+	K int
+	// Iterations is how many Lloyd iterations k-means ran.
+	Iterations int
+	// ExperiencePoints is the size of the coherent experience used.
+	ExperiencePoints int
+	// Agreement is the labeled-experience agreement (see CECKWithScore).
+	Agreement float64
+}
+
 // CECKWithScore additionally reports the experience agreement: the fraction
 // of labeled experience points whose cluster-mapped label matches their true
 // label. Agreement near 1 means the clustering aligns with the class
@@ -33,24 +46,30 @@ func CECK(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, se
 // output should not be trusted (the quality check behind the paper's
 // limitation discussion in Sec. VI-F).
 func CECKWithScore(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, seed int64) ([]int, float64, error) {
+	pred, st, err := CECKWithStats(batch, expX, expY, k, numClasses, seed)
+	return pred, st.Agreement, err
+}
+
+// CECKWithStats is CECKWithScore returning the full clustering evidence.
+func CECKWithStats(batch [][]float64, expX [][]float64, expY []int, k, numClasses int, seed int64) ([]int, CECStats, error) {
 	if k < numClasses {
-		return nil, 0, errors.New("cluster: CECK needs k >= numClasses")
+		return nil, CECStats{}, errors.New("cluster: CECK needs k >= numClasses")
 	}
 	if len(batch) == 0 {
-		return nil, 0, errors.New("cluster: CEC empty batch")
+		return nil, CECStats{}, errors.New("cluster: CEC empty batch")
 	}
 	if len(expX) != len(expY) {
-		return nil, 0, errors.New("cluster: CEC experience size mismatch")
+		return nil, CECStats{}, errors.New("cluster: CEC experience size mismatch")
 	}
 	if len(expX) == 0 {
-		return nil, 0, errors.New("cluster: CEC requires labeled experience")
+		return nil, CECStats{}, errors.New("cluster: CEC requires labeled experience")
 	}
 	if numClasses < 1 {
-		return nil, 0, errors.New("cluster: CEC numClasses must be >= 1")
+		return nil, CECStats{}, errors.New("cluster: CEC numClasses must be >= 1")
 	}
 	for _, y := range expY {
 		if y < 0 || y >= numClasses {
-			return nil, 0, errors.New("cluster: CEC experience label out of range")
+			return nil, CECStats{}, errors.New("cluster: CEC experience label out of range")
 		}
 	}
 
@@ -63,7 +82,7 @@ func CECKWithScore(batch [][]float64, expX [][]float64, expY []int, k, numClasse
 	}
 	res, err := KMeans(joint, k, seed)
 	if err != nil {
-		return nil, 0, err
+		return nil, CECStats{}, err
 	}
 
 	// Vote: labeled members elect each cluster's label.
@@ -121,5 +140,6 @@ func CECKWithScore(batch [][]float64, expX [][]float64, expY []int, k, numClasse
 		}
 	}
 	agreement := float64(correct) / float64(len(expY))
-	return out, agreement, nil
+	st := CECStats{K: k, Iterations: res.Iterations, ExperiencePoints: len(expX), Agreement: agreement}
+	return out, st, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"freewayml/internal/cluster"
 	"freewayml/internal/ensemble"
@@ -77,6 +78,10 @@ type Learner struct {
 
 	guard  *guard.Guard
 	longWd *watchdog // nil when the watchdog is disabled
+
+	// obs is the optional observability layer (nil disables all
+	// instrumentation; every hook is nil-safe).
+	obs *Observer
 
 	mu    sync.RWMutex // guards long model + longCentroid during async updates
 	wg    sync.WaitGroup
@@ -206,6 +211,13 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 // DecayBoost is applied to the ASW on every Process call.
 func (l *Learner) SetRateAdjuster(r *stream.RateAdjuster) { l.adjuster = r }
 
+// SetObserver attaches the observability layer (nil disables it). Attach
+// before the first Process call; the observer is read without locking.
+func (l *Learner) SetObserver(o *Observer) { l.obs = o }
+
+// Observer returns the attached observability layer (nil when disabled).
+func (l *Learner) Observer() *Observer { return l.obs }
+
 // Metrics returns the learner's accumulated prequential metrics.
 func (l *Learner) Metrics() *metrics.Prequential { return &l.preq }
 
@@ -266,55 +278,67 @@ func (l *Learner) Process(b stream.Batch) (Result, error) {
 	if err := b.ValidateShape(l.dim, l.classes); err != nil {
 		return Result{}, err
 	}
+	bo := l.obs.begin(l)
 	// Input guardrails: scan for NaN/Inf features before the detector or
 	// any model sees the batch. A rejected batch leaves every piece of
 	// learner state untouched.
+	tGuard := bo.now()
 	cleanX, rep, err := l.guard.Sanitize(b.X)
 	if err != nil {
 		l.health.mu.Lock()
 		l.health.rejectedBatches++
 		l.health.mu.Unlock()
+		bo.finishRejected(l)
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
+	bo.stageDone(stageGuard, tGuard)
 	if rep.Total() > 0 {
 		b.X = cleanX
 		l.health.mu.Lock()
 		l.health.sanitizedValues += rep.Total()
 		l.health.sanitizedBatches++
 		l.health.mu.Unlock()
+		bo.sanitized(rep.Total())
 	}
 	if l.adjuster != nil {
-		l.asw.SetDecayBoost(l.adjuster.DecayBoost())
+		boost := l.adjuster.DecayBoost()
+		l.asw.SetDecayBoost(boost)
+		bo.decayBoost(boost)
 	}
+	tDet := bo.now()
 	obs, err := l.det.Observe(toVectors(b.X))
 	if err != nil {
 		return Result{}, err
 	}
+	bo.stageDone(stageShiftDetect, tDet)
 
 	res := Result{Pattern: obs.Pattern, SubPattern: obs.Pattern, Observation: obs, Accuracy: -1}
 	if obs.Pattern.IsSlight() {
 		res.SubPattern = shift.SubClassifyA(l.asw.Disorder(), l.cfg.Beta)
 	}
 
-	if err := l.infer(b, obs, &res); err != nil {
+	tPred := bo.now()
+	if err := l.infer(b, obs, &res, bo); err != nil {
 		return Result{}, err
 	}
+	bo.stageDone(stagePredict, tPred)
 
 	if b.Labeled() {
 		if acc, err := metrics.Accuracy(res.Pred, b.Y); err == nil {
 			res.Accuracy = acc
 			l.preq.Record(acc, b.Truth, len(b.X))
 		}
-		if err := l.train(b, obs); err != nil {
+		if err := l.train(b, obs, bo); err != nil {
 			return Result{}, err
 		}
 	}
+	bo.finish(l, &res, len(b.X))
 	l.batch++
 	return res, nil
 }
 
 // infer executes exactly one strategy based on the pattern (paper Fig. 8).
-func (l *Learner) infer(b stream.Batch, obs shift.Observation, res *Result) error {
+func (l *Learner) infer(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
 	switch {
 	case obs.Pattern == shift.PatternWarmup || obs.YBar == nil:
 		res.Strategy = StrategyWarmup
@@ -323,37 +347,37 @@ func (l *Learner) infer(b stream.Batch, obs shift.Observation, res *Result) erro
 		return nil
 
 	case obs.Pattern == shift.PatternC:
-		if ok, err := l.inferKnowledge(b, obs, res); err != nil {
+		if ok, err := l.inferKnowledge(b, obs, res, bo); err != nil {
 			return err
 		} else if ok {
 			return nil
 		}
 		// No reusable knowledge close enough: fall through to the ensemble.
-		return l.inferEnsemble(b, obs, res)
+		return l.inferEnsemble(b, obs, res, bo)
 
 	case obs.Pattern == shift.PatternB:
 		// CEC replaces the models only when the shift dwarfs the stream's
 		// recent movement; a moderately sudden shift is handled by the
 		// ensemble, which re-adapts within a couple of batches.
 		if obs.HistoryMean > 0 && obs.Distance < l.cfg.CECSeverityRatio*obs.HistoryMean {
-			return l.inferEnsemble(b, obs, res)
+			return l.inferEnsemble(b, obs, res, bo)
 		}
-		if ok, err := l.inferCEC(b, res); err != nil {
+		if ok, err := l.inferCEC(b, res, bo); err != nil {
 			return err
 		} else if ok {
 			return nil
 		}
 		// No coherent experience yet: fall back to the ensemble.
-		return l.inferEnsemble(b, obs, res)
+		return l.inferEnsemble(b, obs, res, bo)
 
 	default:
-		return l.inferEnsemble(b, obs, res)
+		return l.inferEnsemble(b, obs, res, bo)
 	}
 }
 
 // inferEnsemble fuses all granularity models with the Gaussian-kernel
 // distance weighting of Eq. 12-14.
-func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Result) error {
+func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
 	members := make([]ensemble.Member, 0, len(l.grans)+1)
 	// Short and mid-granularity models: distance to their last training
 	// distribution (D_short of Eq. 12 equals obs.Distance for the per-batch
@@ -375,6 +399,7 @@ func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Resu
 	// scale-free: the projected space's units vary per dataset, and Eq. 14
 	// only cares about the models' relative match to the live data.
 	normalizeDistances(members)
+	recordWeights(bo, members, l.cfg.Sigma)
 
 	// Insight A emerges from the distances themselves: under a directional
 	// shift (A1) the previous batch — the short model's distribution — is
@@ -393,7 +418,7 @@ func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Resu
 
 // inferCEC runs coherent experience clustering; ok=false when no labeled
 // experience is available yet.
-func (l *Learner) inferCEC(b stream.Batch, res *Result) (bool, error) {
+func (l *Learner) inferCEC(b stream.Batch, res *Result, bo *batchObs) (bool, error) {
 	expX, expY := l.exp.Experience()
 	if len(expX) == 0 {
 		return false, nil
@@ -413,10 +438,14 @@ func (l *Learner) inferCEC(b stream.Batch, res *Result) (bool, error) {
 	// Over-cluster (k = 2c): imbalanced or non-spherical classes occupy
 	// several clusters each; the majority vote still maps every cluster to
 	// a label.
-	pred, agreement, err := cluster.CECKWithScore(b.X, expX, expY, 2*classes, classes, l.cfg.Seed+int64(l.batch))
+	tCEC := bo.now()
+	pred, st, err := cluster.CECKWithStats(b.X, expX, expY, 2*classes, classes, l.cfg.Seed+int64(l.batch))
+	bo.stageDone(stageCluster, tCEC)
 	if err != nil {
 		return false, fmt.Errorf("core: CEC: %w", err)
 	}
+	bo.cec(st)
+	agreement := st.Agreement
 	// Arbitration on the coherent experience: the experience points are
 	// labeled and (by the coherence hypothesis) drawn from the incoming
 	// distribution, so they measure both CEC's cluster/label alignment and
@@ -445,8 +474,10 @@ const cecMargin = 0.05
 // inferKnowledge restores the nearest historical snapshot when it is closer
 // to the current distribution than the previous batch was (paper Sec. IV-D
 // knowledge match); ok=false when nothing qualifies.
-func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Result) (bool, error) {
+func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) (bool, error) {
+	tMatch := bo.now()
 	snap, dist, ok, err := l.kdg.Match(obs.YBar)
+	bo.stageDone(stageKnowledgeLookup, tMatch)
 	if err != nil {
 		return false, fmt.Errorf("core: knowledge match: %w", err)
 	}
@@ -455,8 +486,13 @@ func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Res
 	// ratio as the Pattern C detection rule), else a marginal restore can
 	// displace a continuously-trained model that is already adequate.
 	if !ok || dist >= l.cfg.Shift.ReoccurRatio*obs.Distance {
+		if !ok {
+			dist = math.Inf(1) // no eligible entry: trace it as -1
+		}
+		bo.knowledge(false, dist)
 		return false, nil
 	}
+	bo.knowledge(true, dist)
 	if err := l.reuse.Restore(snap); err != nil {
 		return false, fmt.Errorf("core: knowledge restore: %w", err)
 	}
@@ -475,6 +511,7 @@ func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Res
 		})
 	}
 	normalizeDistances(members)
+	recordWeights(bo, members, l.cfg.Sigma)
 	fused, err := ensemble.Fuse(members, l.cfg.Sigma)
 	if err != nil {
 		return false, fmt.Errorf("core: knowledge fuse: %w", err)
@@ -497,11 +534,12 @@ func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Res
 
 // train updates every granularity model per its schedule and maintains the
 // experience buffer and knowledge store.
-func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
+func (l *Learner) train(b stream.Batch, obs shift.Observation, bo *batchObs) error {
 	// Fixed-frequency models. After every update the watchdog checks the
 	// model's health; a diverged model is rolled back to its last healthy
 	// snapshot and keeps its previous centroid (the rolled-back parameters
 	// belong to the pre-divergence distribution).
+	tShort := bo.now()
 	for _, g := range l.grans {
 		g.bufX = append(g.bufX, b.X...)
 		g.bufY = append(g.bufY, b.Y...)
@@ -525,6 +563,7 @@ func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
 		}
 		g.bufX, g.bufY, g.pending = nil, nil, 0
 	}
+	bo.stageDone(stageShortUpdate, tShort)
 
 	// Long-model weight averaging: fold the freshly updated short model
 	// into the long model's EMA and advance its centroid the same way.
@@ -551,6 +590,7 @@ func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
 	if obs.YBar == nil {
 		return nil
 	}
+	tWin := bo.now()
 	full, err := l.asw.Push(b.X, b.Y, obs.YBar)
 	if err != nil {
 		return err
@@ -567,15 +607,17 @@ func (l *Learner) train(b stream.Batch, obs shift.Observation) error {
 			return err
 		}
 	}
+	bo.stageDone(stageWindowPush, tWin)
 	if !full {
 		return nil
 	}
-	return l.updateLong(obs)
+	bo.windowClosed()
+	return l.updateLong(obs, bo)
 }
 
 // updateLong trains the long-granularity model from the closed window,
 // preserves knowledge per the β policy, and resets the window.
-func (l *Learner) updateLong(obs shift.Observation) error {
+func (l *Learner) updateLong(obs shift.Observation, bo *batchObs) error {
 	disorder := l.asw.Disorder()
 	distribution := l.asw.Distribution()
 	var trainX [][]float64
@@ -659,13 +701,21 @@ func (l *Learner) updateLong(obs shift.Observation) error {
 		l.wg.Add(1)
 		go func() {
 			defer l.wg.Done()
-			if err := apply(); err != nil {
+			// The batch's trace event may already be emitted when this
+			// finishes, so the async path feeds the stage histogram only.
+			start := time.Now()
+			err := apply()
+			l.obs.observeStage(stageLongUpdate, time.Since(start))
+			if err != nil {
 				l.noteAsyncErr(err)
 			}
 		}()
 		return nil
 	}
-	return apply()
+	tLong := bo.now()
+	err = apply()
+	bo.stageDone(stageLongUpdate, tLong)
+	return err
 }
 
 // preserveKnowledge applies the disorder-threshold policy of Sec. IV-D1.
@@ -806,9 +856,25 @@ func toVectors(x [][]float64) []linalg.Vector {
 // ErrClosed is reserved for future lifecycle handling.
 var ErrClosed = errors.New("core: learner closed")
 
+// recordWeights feeds the fusion weights the members will receive to the
+// batch trace. No-op (and no allocation) when instrumentation is off.
+func recordWeights(bo *batchObs, members []ensemble.Member, sigma float64) {
+	if bo == nil {
+		return
+	}
+	ds := make([]float64, len(members))
+	for i := range members {
+		ds[i] = members[i].Distance
+	}
+	if ws, err := ensemble.Weights(ds, sigma); err == nil {
+		bo.weights(ws)
+	}
+}
+
 // recordRecovery folds one watchdog event into the health counters and the
 // bounded event log. Safe from the async update goroutine.
 func (l *Learner) recordRecovery(ev RecoveryEvent) {
+	l.obs.recordDivergence(ev.RolledBack)
 	l.health.mu.Lock()
 	defer l.health.mu.Unlock()
 	l.health.divergences++

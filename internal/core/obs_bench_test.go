@@ -1,0 +1,41 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/obs"
+	"freewayml/internal/stream"
+)
+
+// benchLearner drives the full pipeline over a pre-generated drifting
+// stream; the instrumented variant measures the observability layer's
+// overhead (the acceptance gate is ≤3% over uninstrumented).
+func benchLearner(b *testing.B, instrument bool) {
+	cfg := testConfig()
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if instrument {
+		l.SetObserver(NewObserver(obs.NewRegistry(), 512))
+	}
+	rng := rand.New(rand.NewSource(7))
+	batches := make([]stream.Batch, 64)
+	for i := range batches {
+		// A slow wander keeps the detector past warmup and the window active
+		// without triggering constant severe shifts.
+		batches[i] = driftBatch(rng, i, 64, float64(i%8)*0.5, 0, stream.KindNone)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Process(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLearnerUninstrumented(b *testing.B) { benchLearner(b, false) }
+func BenchmarkLearnerInstrumented(b *testing.B)   { benchLearner(b, true) }

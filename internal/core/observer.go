@@ -1,0 +1,417 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"freewayml/internal/cluster"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/obs"
+	"freewayml/internal/shift"
+)
+
+// Stage names used in the freeway_stage_seconds{stage=...} histograms and
+// the per-event stage timings. "predict" wraps the whole strategy dispatch,
+// so it contains "cluster" and "knowledge_lookup" when those mechanisms run.
+// "long_update" covers the window-close training; when Async is on it is
+// measured on the background goroutine and lands in the histogram only (the
+// batch's trace event has already been emitted by then).
+const (
+	stageGuard           = "guard"
+	stageShiftDetect     = "shift_detect"
+	stagePredict         = "predict"
+	stageCluster         = "cluster"
+	stageKnowledgeLookup = "knowledge_lookup"
+	stageShortUpdate     = "short_update"
+	stageWindowPush      = "window_push"
+	stageLongUpdate      = "long_update"
+)
+
+var stageNames = []string{
+	stageGuard, stageShiftDetect, stagePredict, stageCluster,
+	stageKnowledgeLookup, stageShortUpdate, stageWindowPush, stageLongUpdate,
+}
+
+// Observer instruments a Learner: it maintains Prometheus-style series in an
+// obs.Registry and records one structured TraceEvent per processed batch in
+// a bounded ring. Every series handle is resolved once at construction so
+// the per-batch cost is atomic increments, not registry lookups. A nil
+// *Observer is valid and disables all instrumentation.
+type Observer struct {
+	reg  *obs.Registry
+	ring *obs.TraceRing
+
+	batches    *obs.Counter
+	samples    *obs.Counter
+	processSec *obs.Histogram
+	stage      map[string]*obs.Histogram
+	pattern    map[string]*obs.Counter
+	strategy   map[string]*obs.Counter
+
+	guardValues   *obs.Counter
+	guardBatches  *obs.Counter
+	guardRejected *obs.Counter
+
+	wdDivergences *obs.Counter
+	wdRollbacks   *obs.Counter
+
+	kHits         *obs.Counter
+	kMisses       *obs.Counter
+	kPreserves    *obs.Counter
+	kReplacements *obs.Counter
+
+	winCloses    *obs.Counter
+	winEvictions *obs.Counter
+
+	gWinBatches *obs.Gauge
+	gWinItems   *obs.Gauge
+	gDisorder   *obs.Gauge
+	gDecayBoost *obs.Gauge
+	gKEntries   *obs.Gauge
+	gKBytes     *obs.Gauge
+	gKSpilled   *obs.Gauge
+	gAccuracy   *obs.Gauge
+	gWeight     map[string]*obs.Gauge // member: short, long, knowledge
+
+	// Delta baselines for counters mirrored from mechanism packages. Only
+	// the Process goroutine touches them (finish runs there).
+	lastK         knowledge.Counters
+	lastEvictions int
+}
+
+// patternLabel maps a shift pattern to its metric label (the short paper
+// name, without the parenthesized gloss String() adds).
+func patternLabel(p shift.Pattern) string {
+	switch p {
+	case shift.PatternWarmup:
+		return "warmup"
+	case shift.PatternA:
+		return "A"
+	case shift.PatternA1:
+		return "A1"
+	case shift.PatternA2:
+		return "A2"
+	case shift.PatternB:
+		return "B"
+	case shift.PatternC:
+		return "C"
+	default:
+		return p.String()
+	}
+}
+
+// NewObserver builds an observer registering into reg (nil selects
+// obs.Default) with a trace ring of traceCap events (<=0 selects 1024).
+func NewObserver(reg *obs.Registry, traceCap int) *Observer {
+	if reg == nil {
+		reg = obs.Default
+	}
+	if traceCap <= 0 {
+		traceCap = 1024
+	}
+	o := &Observer{
+		reg:  reg,
+		ring: obs.NewTraceRing(traceCap),
+
+		batches:    reg.Counter("freeway_batches_total", "Batches processed by the learner."),
+		samples:    reg.Counter("freeway_samples_total", "Samples processed by the learner."),
+		processSec: reg.Histogram("freeway_process_seconds", "End-to-end Process latency per batch.", nil),
+		stage:      map[string]*obs.Histogram{},
+		pattern:    map[string]*obs.Counter{},
+		strategy:   map[string]*obs.Counter{},
+
+		guardValues:   reg.Counter("freeway_guard_sanitized_values_total", "Non-finite feature values repaired by the input guard."),
+		guardBatches:  reg.Counter("freeway_guard_sanitized_batches_total", "Batches with at least one repaired value."),
+		guardRejected: reg.Counter("freeway_guard_rejected_batches_total", "Batches refused by the input guard's reject policy."),
+
+		wdDivergences: reg.Counter("freeway_watchdog_divergences_total", "Model divergences detected by the watchdog."),
+		wdRollbacks:   reg.Counter("freeway_watchdog_rollbacks_total", "Watchdog rollbacks to a healthy snapshot."),
+
+		kHits:         reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", "result", "hit"),
+		kMisses:       reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", "result", "miss"),
+		kPreserves:    reg.Counter("freeway_knowledge_preserves_total", "Snapshots preserved into the knowledge store."),
+		kReplacements: reg.Counter("freeway_knowledge_replacements_total", "Same-regime snapshots replaced in place."),
+
+		winCloses:    reg.Counter("freeway_window_closes_total", "Adaptive-window closes (long-model update triggers)."),
+		winEvictions: reg.Counter("freeway_window_evictions_total", "Window batches evicted by decay-weight expiry."),
+
+		gWinBatches: reg.Gauge("freeway_window_batches", "Batches currently held by the adaptive streaming window."),
+		gWinItems:   reg.Gauge("freeway_window_items", "Samples currently held by the adaptive streaming window."),
+		gDisorder:   reg.Gauge("freeway_window_disorder", "Normalized window disorder (A1/A2 and β-policy evidence)."),
+		gDecayBoost: reg.Gauge("freeway_window_decay_boost", "Rate-adjuster decay boost applied to the window."),
+		gKEntries:   reg.Gauge("freeway_knowledge_entries", "Entries in the historical knowledge store."),
+		gKBytes:     reg.Gauge("freeway_knowledge_bytes", "In-memory bytes held by the knowledge store."),
+		gKSpilled:   reg.Gauge("freeway_knowledge_spilled", "Knowledge entries spilled to disk."),
+		gAccuracy:   reg.Gauge("freeway_batch_accuracy", "Real-time accuracy of the most recent labeled batch."),
+		gWeight:     map[string]*obs.Gauge{},
+	}
+	for _, s := range stageNames {
+		o.stage[s] = reg.Histogram("freeway_stage_seconds", "Per-stage latency within Process.", nil, "stage", s)
+	}
+	for _, p := range []shift.Pattern{shift.PatternWarmup, shift.PatternA, shift.PatternA1, shift.PatternA2, shift.PatternB, shift.PatternC} {
+		o.pattern[patternLabel(p)] = reg.Counter("freeway_pattern_total", "Batches per detected shift pattern (A1/A2 slight, B sudden, C reoccurring).", "pattern", patternLabel(p))
+	}
+	for _, s := range []Strategy{StrategyWarmup, StrategyEnsemble, StrategyCEC, StrategyKnowledge} {
+		o.strategy[s.String()] = reg.Counter("freeway_strategy_total", "Batches per dispatched adaptation strategy.", "strategy", s.String())
+	}
+	for _, m := range []string{"short", "long", "knowledge"} {
+		o.gWeight[m] = reg.Gauge("freeway_ensemble_weight", "Latest normalized fusion weight per ensemble member.", "member", m)
+	}
+	return o
+}
+
+// Registry returns the registry the observer writes to.
+func (o *Observer) Registry() *obs.Registry { return o.reg }
+
+// Trace returns the bounded decision-trace ring.
+func (o *Observer) Trace() *obs.TraceRing { return o.ring }
+
+// observeStage records a stage duration into its histogram. Safe from any
+// goroutine (the async long-update path uses it) and on a nil receiver.
+func (o *Observer) observeStage(name string, d time.Duration) {
+	if o == nil {
+		return
+	}
+	if h := o.stage[name]; h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// recordDivergence counts one watchdog event. Safe from the async update
+// goroutine and on a nil receiver.
+func (o *Observer) recordDivergence(rolledBack bool) {
+	if o == nil {
+		return
+	}
+	o.wdDivergences.Inc()
+	if rolledBack {
+		o.wdRollbacks.Inc()
+	}
+}
+
+// begin opens the per-batch collector. Returns nil (disabling every
+// downstream hook) when the observer itself is nil.
+func (o *Observer) begin(l *Learner) *batchObs {
+	if o == nil {
+		return nil
+	}
+	l.health.mu.Lock()
+	div := l.health.divergences
+	l.health.mu.Unlock()
+	return &batchObs{
+		o:     o,
+		start: time.Now(),
+		ev: obs.TraceEvent{
+			Batch:             l.batch,
+			NearestHistory:    -1,
+			KnowledgeDistance: -1,
+			Accuracy:          -1,
+			Stages:            make([]obs.StageTiming, 0, len(stageNames)),
+		},
+		divergences0: div,
+	}
+}
+
+// batchObs accumulates one batch's decision trace. Every method is nil-safe
+// so the learner's hot path needs no explicit guards.
+type batchObs struct {
+	o            *Observer
+	start        time.Time
+	ev           obs.TraceEvent
+	divergences0 int
+}
+
+// now returns the stage start time (zero when instrumentation is off).
+func (bo *batchObs) now() time.Time {
+	if bo == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// stageDone closes a stage opened with now: it appends the timing to the
+// event and observes the stage histogram.
+func (bo *batchObs) stageDone(name string, t0 time.Time) {
+	if bo == nil {
+		return
+	}
+	d := time.Since(t0)
+	bo.ev.Stages = append(bo.ev.Stages, obs.StageTiming{Stage: name, Micros: float64(d) / float64(time.Microsecond)})
+	bo.o.observeStage(name, d)
+}
+
+// sanitized records repaired feature values.
+func (bo *batchObs) sanitized(n int) {
+	if bo == nil {
+		return
+	}
+	bo.ev.GuardSanitized = n
+}
+
+// decayBoost records the rate-adjuster boost applied this batch.
+func (bo *batchObs) decayBoost(v float64) {
+	if bo == nil {
+		return
+	}
+	bo.ev.DecayBoost = v
+}
+
+// weights records the fusion weights (first member = knowledge-restored
+// model under knowledge reuse, else the short model; last = long model for
+// the plain ensemble).
+func (bo *batchObs) weights(ws []float64) {
+	if bo == nil {
+		return
+	}
+	bo.ev.EnsembleWeights = ws
+}
+
+// cec records the clustering evidence behind a CEC dispatch attempt.
+func (bo *batchObs) cec(st cluster.CECStats) {
+	if bo == nil {
+		return
+	}
+	bo.ev.CECClusters = st.K
+	bo.ev.CECIterations = st.Iterations
+	bo.ev.CECExperience = st.ExperiencePoints
+	bo.ev.CECAgreement = st.Agreement
+}
+
+// knowledge records a knowledge-store lookup: hit means the match was
+// confident enough to dispatch knowledge reuse; dist is the matched
+// distribution's distance (ignored and kept at -1 unless finite).
+func (bo *batchObs) knowledge(hit bool, dist float64) {
+	if bo == nil {
+		return
+	}
+	bo.ev.KnowledgeChecked = true
+	bo.ev.KnowledgeHit = hit
+	if !math.IsInf(dist, 0) && !math.IsNaN(dist) {
+		bo.ev.KnowledgeDistance = dist
+	}
+}
+
+// windowClosed marks that this batch's push closed the window.
+func (bo *batchObs) windowClosed() {
+	if bo == nil {
+		return
+	}
+	bo.ev.WindowClosed = true
+}
+
+// finishRejected emits the trace for a guard-rejected batch: nothing ran,
+// so the event carries only the verdict.
+func (bo *batchObs) finishRejected(l *Learner) {
+	if bo == nil {
+		return
+	}
+	bo.o.guardRejected.Inc()
+	bo.ev.Pattern = "rejected"
+	bo.ev.GuardRejected = true
+	bo.stageDone(stageGuard, bo.start)
+	bo.o.ring.Add(bo.ev)
+}
+
+// finish completes the batch: fills the event from the result, updates
+// every counter and gauge, and appends the event to the trace ring. Runs on
+// the Process goroutine.
+func (bo *batchObs) finish(l *Learner, res *Result, samples int) {
+	if bo == nil {
+		return
+	}
+	o := bo.o
+	ob := res.Observation
+
+	bo.ev.Pattern = ob.Pattern.String()
+	if res.SubPattern != ob.Pattern {
+		bo.ev.SubPattern = res.SubPattern.String()
+	}
+	bo.ev.Strategy = res.Strategy.String()
+	bo.ev.ShiftDistance = ob.Distance
+	bo.ev.Severity = ob.Severity
+	bo.ev.HistoryMean = ob.HistoryMean
+	if !math.IsInf(ob.NearestHistory, 0) && !math.IsNaN(ob.NearestHistory) {
+		bo.ev.NearestHistory = ob.NearestHistory
+	}
+	bo.ev.Disorder = l.asw.Disorder()
+	bo.ev.WindowBatches = l.asw.Len()
+	bo.ev.WindowItems = l.asw.Items()
+	bo.ev.Accuracy = res.Accuracy
+
+	l.health.mu.Lock()
+	bo.ev.Divergences = l.health.divergences - bo.divergences0
+	l.health.mu.Unlock()
+
+	// Counters.
+	o.batches.Inc()
+	o.samples.Add(int64(samples))
+	label := patternLabel(res.SubPattern)
+	if c := o.pattern[label]; c != nil {
+		c.Inc()
+	} else {
+		o.reg.Counter("freeway_pattern_total", "", "pattern", label).Inc()
+	}
+	if c := o.strategy[bo.ev.Strategy]; c != nil {
+		c.Inc()
+	} else {
+		o.reg.Counter("freeway_strategy_total", "", "strategy", bo.ev.Strategy).Inc()
+	}
+	if bo.ev.GuardSanitized > 0 {
+		o.guardValues.Add(int64(bo.ev.GuardSanitized))
+		o.guardBatches.Inc()
+	}
+	if bo.ev.KnowledgeChecked {
+		if bo.ev.KnowledgeHit {
+			o.kHits.Inc()
+		} else {
+			o.kMisses.Inc()
+		}
+	}
+	if bo.ev.WindowClosed {
+		o.winCloses.Inc()
+	}
+
+	// Mirror mechanism-package lifetime counters as deltas so they stay
+	// proper monotone counters. Preservation may run on the async update
+	// goroutine; its delta is then attributed to a later batch.
+	kc := l.kdg.Counters()
+	if d := kc.Preserves - o.lastK.Preserves; d > 0 {
+		o.kPreserves.Add(int64(d))
+	}
+	if d := kc.Replacements - o.lastK.Replacements; d > 0 {
+		o.kReplacements.Add(int64(d))
+	}
+	o.lastK = kc
+	if ev := l.asw.Evictions(); ev > o.lastEvictions {
+		o.winEvictions.Add(int64(ev - o.lastEvictions))
+		o.lastEvictions = ev
+	}
+
+	// Gauges.
+	o.gWinBatches.Set(float64(bo.ev.WindowBatches))
+	o.gWinItems.Set(float64(bo.ev.WindowItems))
+	o.gDisorder.Set(bo.ev.Disorder)
+	o.gDecayBoost.Set(bo.ev.DecayBoost)
+	o.gKEntries.Set(float64(l.kdg.Len()))
+	o.gKBytes.Set(float64(l.kdg.MemoryBytes()))
+	o.gKSpilled.Set(float64(l.kdg.SpilledCount()))
+	if res.Accuracy >= 0 {
+		o.gAccuracy.Set(res.Accuracy)
+	}
+	if ws := bo.ev.EnsembleWeights; len(ws) > 0 {
+		switch res.Strategy {
+		case StrategyKnowledge:
+			o.gWeight["knowledge"].Set(ws[0])
+			if len(ws) > 1 {
+				o.gWeight["short"].Set(ws[1])
+			}
+		case StrategyEnsemble:
+			o.gWeight["short"].Set(ws[0])
+			o.gWeight["long"].Set(ws[len(ws)-1])
+			o.gWeight["knowledge"].Set(0)
+		}
+	}
+
+	o.processSec.Observe(time.Since(bo.start).Seconds())
+	o.ring.Add(bo.ev)
+}

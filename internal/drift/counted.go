@@ -1,0 +1,46 @@
+package drift
+
+import "sync/atomic"
+
+// Counted wraps a Detector with cumulative observation and detection
+// counters, so pipelines built on the classical detectors (the River
+// baseline, ablation harnesses) can report drift-response activity without
+// each call site keeping its own tally. Counters are atomic: a stats
+// endpoint may read them while the stream feeds the detector.
+type Counted struct {
+	inner      Detector
+	adds       atomic.Int64
+	detections atomic.Int64
+}
+
+// NewCounted wraps det (nil panics: a counted nothing is a bug).
+func NewCounted(det Detector) *Counted {
+	if det == nil {
+		panic("drift: NewCounted(nil)")
+	}
+	return &Counted{inner: det}
+}
+
+// Add forwards to the wrapped detector, counting the observation and any
+// detection.
+func (c *Counted) Add(x float64) bool {
+	c.adds.Add(1)
+	drifted := c.inner.Add(x)
+	if drifted {
+		c.detections.Add(1)
+	}
+	return drifted
+}
+
+// Reset forwards to the wrapped detector. The counters are lifetime
+// totals and are not reset.
+func (c *Counted) Reset() { c.inner.Reset() }
+
+// Adds returns how many observations have been fed.
+func (c *Counted) Adds() int64 { return c.adds.Load() }
+
+// Detections returns how many times drift was signalled.
+func (c *Counted) Detections() int64 { return c.detections.Load() }
+
+// Unwrap returns the wrapped detector.
+func (c *Counted) Unwrap() Detector { return c.inner }

@@ -1,0 +1,61 @@
+package drift
+
+import "testing"
+
+// flipDetector fires every nth Add.
+type flipDetector struct{ n, i int }
+
+func (f *flipDetector) Add(float64) bool { f.i++; return f.i%f.n == 0 }
+func (f *flipDetector) Reset()           { f.i = 0 }
+
+func TestCountedForwardsAndCounts(t *testing.T) {
+	inner := &flipDetector{n: 3}
+	c := NewCounted(inner)
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if c.Add(0.5) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired = %d, want 3", fired)
+	}
+	if c.Adds() != 9 || c.Detections() != 3 {
+		t.Errorf("adds=%d detections=%d, want 9/3", c.Adds(), c.Detections())
+	}
+	c.Reset()
+	if inner.i != 0 {
+		t.Error("Reset not forwarded")
+	}
+	if c.Adds() != 9 || c.Detections() != 3 {
+		t.Error("Reset must not clear lifetime counters")
+	}
+	if c.Unwrap() != Detector(inner) {
+		t.Error("Unwrap mismatch")
+	}
+}
+
+func TestCountedNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewCounted(nil) should panic")
+		}
+	}()
+	NewCounted(nil)
+}
+
+func TestCountedWithADWIN(t *testing.T) {
+	c := NewCounted(NewADWIN(0.002, 200))
+	for i := 0; i < 300; i++ {
+		c.Add(0.05)
+	}
+	for i := 0; i < 300; i++ {
+		c.Add(0.9)
+	}
+	if c.Detections() == 0 {
+		t.Error("ADWIN through Counted never detected an obvious drift")
+	}
+	if c.Adds() != 600 {
+		t.Errorf("adds = %d", c.Adds())
+	}
+}

@@ -117,10 +117,33 @@ func (r *Figure10Result) String() string {
 	return sb.String()
 }
 
-// Table3Cell is one latency measurement in microseconds.
+// Table3Cell is one latency measurement in microseconds: the mean (the
+// paper's headline number) plus tail percentiles from the fixed-bucket
+// latency histogram behind metrics.LatencyTracker.
 type Table3Cell struct {
 	UpdateMicros float64
 	InferMicros  float64
+
+	UpdateP50 float64
+	UpdateP95 float64
+	UpdateP99 float64
+	InferP50  float64
+	InferP95  float64
+	InferP99  float64
+}
+
+// cellFrom assembles a Table3Cell from the two phase trackers.
+func cellFrom(trainLat, inferLat *metrics.LatencyTracker) Table3Cell {
+	return Table3Cell{
+		UpdateMicros: trainLat.MeanMicros(),
+		InferMicros:  inferLat.MeanMicros(),
+		UpdateP50:    trainLat.P50Micros(),
+		UpdateP95:    trainLat.P95Micros(),
+		UpdateP99:    trainLat.P99Micros(),
+		InferP50:     inferLat.P50Micros(),
+		InferP95:     inferLat.P95Micros(),
+		InferP99:     inferLat.P99Micros(),
+	}
 }
 
 // Table3Result reproduces Table III: update and inference latency (µs) per
@@ -206,7 +229,7 @@ func measureLatency(name, family string, batchSize int, opt Options) (Table3Cell
 		if err := l.Close(); err != nil {
 			return Table3Cell{}, err
 		}
-		return Table3Cell{UpdateMicros: trainLat.MeanMicros(), InferMicros: inferLat.MeanMicros()}, nil
+		return cellFrom(&trainLat, &inferLat), nil
 	}
 
 	h := model.DefaultHyper()
@@ -235,7 +258,7 @@ func measureLatency(name, family string, batchSize int, opt Options) (Table3Cell
 		}
 		trainLat.Add(time.Since(start))
 	}
-	return Table3Cell{UpdateMicros: trainLat.MeanMicros(), InferMicros: inferLat.MeanMicros()}, nil
+	return cellFrom(&trainLat, &inferLat), nil
 }
 
 // String renders the latency table in the paper's layout.
@@ -266,6 +289,25 @@ func (r *Table3Result) String() string {
 					fmt.Fprintf(&sb, " | %8.0f", v)
 				}
 				sb.WriteByte('\n')
+			}
+		}
+	}
+	// Tail latency at the largest batch size: the histogram percentiles
+	// behind the means above (the steady-state SLO view of the same run).
+	if len(r.BatchSizes) > 0 {
+		bs := r.BatchSizes[len(r.BatchSizes)-1]
+		for _, phase := range []string{"update", "infer"} {
+			for _, family := range families {
+				fmt.Fprintf(&sb, "\n%s_%s tail latency (µs, batch %d):\n%-12s | %8s | %8s | %8s\n",
+					strings.ToUpper(family), phase, bs, "Framework", "p50", "p95", "p99")
+				for _, name := range rowOrder(r.Rows[family]) {
+					c := r.Rows[family][name][bs]
+					p50, p95, p99 := c.UpdateP50, c.UpdateP95, c.UpdateP99
+					if phase == "infer" {
+						p50, p95, p99 = c.InferP50, c.InferP95, c.InferP99
+					}
+					fmt.Fprintf(&sb, "%-12s | %8.0f | %8.0f | %8.0f\n", name, p50, p95, p99)
+				}
 			}
 		}
 	}

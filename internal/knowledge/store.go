@@ -48,6 +48,12 @@ type Store struct {
 	// and spilled snapshots that could not be read back (entry skipped).
 	spillFailures int
 	loadFailures  int
+
+	// Usage counters for observability (see Counters).
+	preserves    int
+	replacements int
+	matches      int
+	matchHits    int
 }
 
 // NewStore returns a store holding at most capacity entries in memory.
@@ -106,6 +112,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 			}
 		}
 		if best >= 0 {
+			s.replacements++
 			e := &s.entries[best]
 			if e.spilled {
 				_ = s.fs.Remove(e.path)
@@ -123,6 +130,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 		}
 	}
 
+	s.preserves++
 	s.entries = append(s.entries, Entry{
 		Distribution: dist.Clone(),
 		Snapshot:     append([]byte(nil), snapshot...),
@@ -195,6 +203,7 @@ func (s *Store) spillHalfLocked() error {
 func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.matches++
 	skipped := make([]bool, len(s.entries))
 	for {
 		best := -1
@@ -212,6 +221,7 @@ func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, 
 		}
 		e := &s.entries[best]
 		if !e.spilled {
+			s.matchHits++
 			return e.Snapshot, bestD, true, nil
 		}
 		data, err := s.fs.ReadFile(e.path)
@@ -220,6 +230,7 @@ func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, 
 			skipped[best] = true
 			continue
 		}
+		s.matchHits++
 		return data, bestD, true, nil
 	}
 }
@@ -329,6 +340,29 @@ func (s *Store) Import(entries []EntrySnapshot) (skipped int, err error) {
 		s.memBytes += len(e.Snapshot)
 	}
 	return skipped, nil
+}
+
+// Counters are the store's cumulative usage counts for observability.
+type Counters struct {
+	// Preserves counts appended entries; Replacements counts same-regime
+	// in-place overwrites (PreserveOrReplace within radius).
+	Preserves    int
+	Replacements int
+	// Matches counts Match calls; MatchHits those that returned a snapshot.
+	Matches   int
+	MatchHits int
+}
+
+// Counters returns the store's cumulative usage counts.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Counters{
+		Preserves:    s.preserves,
+		Replacements: s.replacements,
+		Matches:      s.matches,
+		MatchHits:    s.matchHits,
+	}
 }
 
 // SpillFailures counts spill writes that failed; the affected entries were

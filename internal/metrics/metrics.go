@@ -10,6 +10,7 @@ import (
 	"math"
 	"time"
 
+	"freewayml/internal/obs"
 	"freewayml/internal/stream"
 )
 
@@ -145,16 +146,23 @@ func (p *Prequential) KindAcc(kind stream.DriftKind) (float64, int) {
 }
 
 // LatencyTracker accumulates per-operation durations, reporting the mean in
-// microseconds (the unit of Tables III and VI).
+// microseconds (the unit of Tables III and VI) plus tail percentiles from
+// an obs.Histogram — the same fixed-bucket sketch the /v1/metrics endpoint
+// exports, so the experiment tables and a live scrape agree on methodology.
 type LatencyTracker struct {
 	total time.Duration
 	n     int
+	hist  *obs.Histogram
 }
 
 // Add records one operation's duration.
 func (l *LatencyTracker) Add(d time.Duration) {
 	l.total += d
 	l.n++
+	if l.hist == nil {
+		l.hist = obs.NewHistogram(nil)
+	}
+	l.hist.Observe(d.Seconds())
 }
 
 // MeanMicros returns the mean latency in µs (0 when nothing recorded).
@@ -164,6 +172,24 @@ func (l *LatencyTracker) MeanMicros() float64 {
 	}
 	return float64(l.total.Microseconds()) / float64(l.n)
 }
+
+// QuantileMicros returns the q-quantile latency in µs, interpolated within
+// the histogram's buckets (0 when nothing recorded).
+func (l *LatencyTracker) QuantileMicros(q float64) float64 {
+	if l.hist == nil {
+		return 0
+	}
+	return l.hist.Quantile(q) * 1e6
+}
+
+// P50Micros returns the median latency in µs.
+func (l *LatencyTracker) P50Micros() float64 { return l.QuantileMicros(0.50) }
+
+// P95Micros returns the 95th-percentile latency in µs.
+func (l *LatencyTracker) P95Micros() float64 { return l.QuantileMicros(0.95) }
+
+// P99Micros returns the 99th-percentile latency in µs.
+func (l *LatencyTracker) P99Micros() float64 { return l.QuantileMicros(0.99) }
 
 // Count returns the number of recorded operations.
 func (l *LatencyTracker) Count() int { return l.n }

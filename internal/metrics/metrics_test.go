@@ -154,3 +154,27 @@ func TestPrequentialExportImportRoundTrip(t *testing.T) {
 		t.Error("import aliases exporter's storage")
 	}
 }
+
+func TestLatencyTrackerPercentiles(t *testing.T) {
+	var l LatencyTracker
+	if l.P50Micros() != 0 || l.P99Micros() != 0 {
+		t.Error("empty tracker must report 0 percentiles")
+	}
+	// 98 ops at ~100µs, two at ~1s: the median stays near 100µs while the
+	// p99 lands in the slow tail.
+	for i := 0; i < 98; i++ {
+		l.Add(100 * time.Microsecond)
+	}
+	l.Add(time.Second)
+	l.Add(time.Second)
+	p50, p99 := l.P50Micros(), l.P99Micros()
+	if p50 < 10 || p50 > 1000 {
+		t.Errorf("p50 = %vµs, want ~100µs bucket", p50)
+	}
+	if p99 < 100_000 {
+		t.Errorf("p99 = %vµs, want in the ~1s tail", p99)
+	}
+	if p95 := l.P95Micros(); p95 > p99 {
+		t.Errorf("p95 %v > p99 %v", p95, p99)
+	}
+}

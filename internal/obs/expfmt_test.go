@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Prometheus text exposition format (version 0.0.4) line grammar, used by
+// both this test and the serve-layer scrape test.
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"$`)
+)
+
+// ValidateExposition checks a full exposition body line by line: HELP/TYPE
+// comment syntax, sample-line syntax, parseable values, labels well-formed,
+// and that every sample's family was TYPE-declared before it. It returns
+// the set of sample names seen.
+func validateExposition(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	declared := map[string]string{} // family -> type
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if m := typeRe.FindStringSubmatch(text); m != nil {
+				if _, dup := declared[m[1]]; dup {
+					t.Errorf("line %d: duplicate TYPE for %s", line, m[1])
+				}
+				declared[m[1]] = m[2]
+				continue
+			}
+			if helpRe.MatchString(text) {
+				continue
+			}
+			t.Errorf("line %d: malformed comment: %q", line, text)
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(text)
+		if m == nil {
+			t.Errorf("line %d: malformed sample: %q", line, text)
+			continue
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				t.Errorf("line %d: bad value %q: %v", line, value, err)
+			}
+		}
+		if labels != "" {
+			for _, lv := range splitLabels(labels[1 : len(labels)-1]) {
+				if !labelRe.MatchString(lv) {
+					t.Errorf("line %d: bad label %q", line, lv)
+				}
+			}
+		}
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && declared[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		if _, ok := declared[family]; !ok {
+			t.Errorf("line %d: sample %s has no preceding TYPE", line, name)
+		}
+		seen[name] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return seen
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote, escaped := false, false
+	for _, r := range s {
+		switch {
+		case escaped:
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '"':
+			inQuote = !inQuote
+		case r == ',' && !inQuote:
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteRune(r)
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func TestWritePrometheusSyntax(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fw_batches_total", "batches processed").Add(7)
+	r.Counter("fw_pattern_total", "per-pattern batches", "pattern", "B(sudden)").Add(2)
+	r.Counter("fw_pattern_total", "per-pattern batches", "pattern", "C(reoccurring)").Inc()
+	r.Gauge("fw_disorder", "window disorder").Set(0.25)
+	r.Gauge("fw_weird", "escapes", "q", `a"b\c`+"\nd").Set(-1.5)
+	h := r.Histogram("fw_stage_seconds", "stage latency", []float64{0.001, 0.01}, "stage", "shift_detect")
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	seen := validateExposition(t, body)
+
+	for _, want := range []string{
+		"fw_batches_total", "fw_pattern_total", "fw_disorder", "fw_weird",
+		"fw_stage_seconds_bucket", "fw_stage_seconds_sum", "fw_stage_seconds_count",
+	} {
+		if !seen[want] {
+			t.Errorf("missing sample %s in:\n%s", want, body)
+		}
+	}
+	for _, want := range []string{
+		`fw_batches_total 7`,
+		`fw_pattern_total{pattern="B(sudden)"} 2`,
+		`fw_pattern_total{pattern="C(reoccurring)"} 1`,
+		`fw_stage_seconds_bucket{stage="shift_detect",le="0.001"} 1`,
+		`fw_stage_seconds_bucket{stage="shift_detect",le="+Inf"} 2`,
+		`fw_stage_seconds_count{stage="shift_detect"} 2`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("missing line %q in:\n%s", want, body)
+		}
+	}
+	// Cumulative bucket counts must be monotone.
+	if !strings.Contains(body, `fw_stage_seconds_bucket{stage="shift_detect",le="0.01"} 1`) {
+		t.Errorf("bucket cumulation wrong:\n%s", body)
+	}
+}
+
+func TestWritePrometheusValueFormatting(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_small", "").Set(1e-9)
+	r.Gauge("g_big", "").Set(1234567890.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Errorf("value %q not parseable: %v", fields[1], err)
+		}
+		if math.IsNaN(v) {
+			t.Errorf("unexpected NaN in %q", line)
+		}
+	}
+}
+
+func TestRegistryOrderStable(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		r.Counter(fmt.Sprintf("m%d_total", i), "")
+	}
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("exposition order not stable across scrapes")
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry holds named metric families and their labeled series, and
+// renders them in the Prometheus text exposition format (version 0.0.4).
+// Registration methods are idempotent: asking for an existing series
+// returns the same instance, so call sites need no init ordering. A name
+// registered as one type cannot be re-registered as another (panic —
+// that's a programming error, not runtime input).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string // family registration order
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]any // rendered label string -> metric
+	order           []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// Default is the process-wide registry; commands that run a single
+// pipeline register into it.
+var Default = NewRegistry()
+
+// Counter returns the counter for name+labels, registering it on first
+// use. Labels are alternating key, value strings.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	m := r.metric(name, help, "counter", labels, func() any { return &Counter{} })
+	return m.(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, registering it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	m := r.metric(name, help, "gauge", labels, func() any { return &Gauge{} })
+	return m.(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, registering it on
+// first use with the given bucket bounds (nil = DefLatencyBuckets). An
+// existing series keeps its original buckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	m := r.metric(name, help, "histogram", labels, func() any { return NewHistogram(bounds) })
+	return m.(*Histogram)
+}
+
+func (r *Registry) metric(name, help, typ string, labels []string, mk func() any) any {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: map[string]any{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	m, ok := f.series[key]
+	if !ok {
+		m = mk()
+		f.series[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// NumSeries returns the number of registered series (histograms count
+// once, not per exposition line).
+func (r *Registry) NumSeries() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, f := range r.families {
+		n += len(f.series)
+	}
+	return n
+}
+
+// renderLabels canonicalizes alternating key, value pairs into the
+// exposition form `{k1="v1",k2="v2"}` with keys sorted and values escaped.
+// No labels renders as "".
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(a, b int) bool { return kvs[a].k < kvs[b].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(p.v))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes for label values:
+// backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// escapeHelp applies the exposition-format escapes for HELP text:
+// backslash and newline.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// WritePrometheus renders every registered family in the text exposition
+// format: a HELP line (when help text was provided), a TYPE line, then one
+// line per series — or the _bucket/_sum/_count triple for histograms.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var sb strings.Builder
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, key := range f.order {
+			switch m := f.series[key].(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, key, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, key, formatFloat(m.Value()))
+			case *Histogram:
+				writeHistogram(&sb, f.name, key, m)
+			}
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative _bucket lines
+// per bound plus +Inf, then _sum and _count.
+func writeHistogram(sb *strings.Builder, name, key string, h *Histogram) {
+	counts, total := h.snapshot()
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, mergeLE(key, formatFloat(bound)), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, mergeLE(key, "+Inf"), total)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, key, formatFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, key, total)
+}
+
+// mergeLE splices an le="bound" label into a rendered label set.
+func mergeLE(key, bound string) string {
+	le := `le="` + bound + `"`
+	if key == "" {
+		return "{" + le + "}"
+	}
+	return key[:len(key)-1] + "," + le + "}"
+}
+
+// formatFloat renders a float the way the exposition format expects
+// (shortest representation; integers stay integral-looking is fine).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

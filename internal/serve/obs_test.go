@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"freewayml/internal/core"
+	"freewayml/internal/obs"
+)
+
+// exposition lines: either a comment or `name{labels} value`.
+var (
+	serveCommentRe = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	serveSampleRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 12; i++ {
+		resp, _ := postProcess(t, ts.URL, batchReq(rng, 32, true))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("process status %d", resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != MetricsContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, MetricsContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			if !serveCommentRe.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			continue
+		}
+		if !serveSampleRe.MatchString(line) {
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+		series[line[:strings.IndexByte(line, ' ')]] = true
+	}
+	if len(series) < 12 {
+		t.Errorf("exposition has %d distinct series, want >= 12", len(series))
+	}
+	for _, want := range []string{
+		"freeway_batches_total",
+		"freeway_process_seconds_count",
+		`freeway_stage_seconds_count{stage="shift_detect"}`,
+		`freeway_http_requests_total{path="/v1/process"}`,
+	} {
+		if !series[want] {
+			t.Errorf("exposition missing series %s", want)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8; i++ {
+		postProcess(t, ts.URL, batchReq(rng, 32, true))
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/trace?n=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != TraceContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, TraceContentType)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	var ev obs.TraceEvent
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines+1, err)
+		}
+		if ev.Strategy == "" || len(ev.Stages) == 0 {
+			t.Fatalf("event missing strategy or stages: %s", sc.Text())
+		}
+		lines++
+	}
+	if lines != 5 {
+		t.Fatalf("trace returned %d events, want 5", lines)
+	}
+	if ev.Batch != 7 {
+		t.Errorf("last event batch = %d, want 7", ev.Batch)
+	}
+
+	// Bad n is rejected with the JSON envelope.
+	resp2, err := http.Get(ts.URL + "/v1/trace?n=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n status %d", resp2.StatusCode)
+	}
+	assertErrorEnvelope(t, resp2, http.StatusBadRequest)
+}
+
+// assertErrorEnvelope checks a response carries the shared JSON error body.
+func assertErrorEnvelope(t *testing.T, resp *http.Response, code int) {
+	t.Helper()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("error Content-Type = %q, want application/json", ct)
+	}
+	var env errorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("error body not an envelope: %v", err)
+	}
+	if env.Error.Code != code || env.Error.Message == "" {
+		t.Errorf("envelope = %+v, want code %d with message", env, code)
+	}
+}
+
+func TestErrorEnvelopeOnAllEndpoints(t *testing.T) {
+	_, ts := testServer(t)
+	for _, tc := range []struct {
+		method, path string
+		code         int
+	}{
+		{http.MethodGet, "/v1/process", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/stats", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/metrics", http.StatusMethodNotAllowed},
+		{http.MethodPost, "/v1/trace", http.StatusMethodNotAllowed},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s %s: status %d, want %d", tc.method, tc.path, resp.StatusCode, tc.code)
+		}
+		assertErrorEnvelope(t, resp, tc.code)
+		resp.Body.Close()
+	}
+}
+
+func TestHTTPCountersInStats(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(4))
+	postProcess(t, ts.URL, batchReq(rng, 8, true))
+	// One reject: wrong method.
+	resp, err := http.Get(ts.URL + "/v1/process")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	// process + bad GET + this stats request.
+	if stats.HTTPRequests != 3 {
+		t.Errorf("http_requests = %d, want 3", stats.HTTPRequests)
+	}
+	if stats.HTTPRejects != 1 {
+		t.Errorf("http_rejects = %d, want 1", stats.HTTPRejects)
+	}
+	if stats.BodyCapHits != 0 {
+		t.Errorf("body_cap_hits = %d, want 0", stats.BodyCapHits)
+	}
+}
+
+func TestPprofOptIn(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Shift.WarmupPoints = 64
+
+	off, err := New(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	rec := httptest.NewRecorder()
+	off.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in: status %d, want 404", rec.Code)
+	}
+
+	on, err := New(cfg, 3, 2, WithPprof())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer on.Close()
+	rec = httptest.NewRecorder()
+	on.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/pprof/", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("pprof with opt-in: status %d, want 200", rec.Code)
+	}
+}

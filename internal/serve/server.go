@@ -10,6 +10,13 @@
 // guardrails, and an optional checkpoint schedule atomically snapshots the
 // learner every N processed batches so a crash loses at most one
 // checkpoint interval of training.
+//
+// Observability: every server owns a core.Observer (or the one injected
+// with WithObserver), so /v1/metrics serves the Prometheus text exposition
+// of the learner's series, /v1/trace serves the per-batch decision trace as
+// JSONL, and WithPprof mounts the standard net/http/pprof handlers for
+// live profiling. Errors on every /v1/* endpoint share one JSON envelope:
+// {"error": {"code": <status>, "message": "..."}}.
 package serve
 
 import (
@@ -18,12 +25,24 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"freewayml/internal/core"
 	"freewayml/internal/guard"
+	"freewayml/internal/obs"
 	"freewayml/internal/stream"
 )
+
+// MetricsContentType is the Prometheus text exposition content type served
+// by /v1/metrics.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// TraceContentType is the newline-delimited JSON content type served by
+// /v1/trace.
+const TraceContentType = "application/x-ndjson"
 
 // DefaultMaxBodyBytes caps /v1/process request bodies (8 MiB ≈ a 1024-row
 // batch of 1000 features with labels, with JSON overhead to spare).
@@ -66,6 +85,20 @@ type StatsResponse struct {
 	SpillFailures      int `json:"spill_failures"`
 	CheckpointSaves    int `json:"checkpoint_saves"`
 	CheckpointErrors   int `json:"checkpoint_errors"`
+
+	// HTTP-layer counters: total requests served, error responses sent
+	// (status >= 400), and request bodies refused by the size cap.
+	HTTPRequests int64 `json:"http_requests"`
+	HTTPRejects  int64 `json:"http_rejects"`
+	BodyCapHits  int64 `json:"body_cap_hits"`
+}
+
+// errorEnvelope is the JSON error body every /v1/* endpoint returns.
+type errorEnvelope struct {
+	Error struct {
+		Code    int    `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
 }
 
 // Option customizes a Server.
@@ -92,6 +125,35 @@ func WithCheckpoint(path string, every int) Option {
 	}
 }
 
+// WithObserver injects a pre-built observer (e.g. one registering into a
+// shared registry). Without it the server builds its own over a fresh
+// registry.
+func WithObserver(o *core.Observer) Option {
+	return func(s *Server) {
+		if o != nil {
+			s.obs = o
+		}
+	}
+}
+
+// WithTraceCap sets the decision-trace ring capacity of the server-built
+// observer (ignored when WithObserver supplies one; n <= 0 keeps the
+// default of 1024 events).
+func WithTraceCap(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.traceCap = n
+		}
+	}
+}
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ —
+// opt-in because profiling endpoints expose internals and cost CPU when
+// scraped, so they have no place on an unaudited listener by default.
+func WithPprof() Option {
+	return func(s *Server) { s.pprofOn = true }
+}
+
 // Server wraps one learner behind an http.Handler.
 type Server struct {
 	mu      sync.Mutex
@@ -106,6 +168,13 @@ type Server struct {
 	ckptEvery int
 	ckptSaves int
 	ckptErrs  int
+
+	obs      *core.Observer
+	traceCap int
+	pprofOn  bool
+	reqs     atomic.Int64
+	rejects  atomic.Int64
+	bodyCap  atomic.Int64
 }
 
 // New builds a server around a fresh learner for the given stream shape.
@@ -118,10 +187,36 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("/v1/process", s.handleProcess)
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/v1/healthz", s.handleHealth)
+	if s.obs == nil {
+		s.obs = core.NewObserver(obs.NewRegistry(), s.traceCap)
+	}
+	l.SetObserver(s.obs)
+	s.handle("/v1/process", s.handleProcess)
+	s.handle("/v1/stats", s.handleStats)
+	s.handle("/v1/healthz", s.handleHealth)
+	s.handle("/v1/metrics", s.handleMetrics)
+	s.handle("/v1/trace", s.handleTrace)
+	if s.pprofOn {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
+}
+
+// Observer returns the server's observability layer (never nil after New).
+func (s *Server) Observer() *core.Observer { return s.obs }
+
+// handle registers h with per-path request counting.
+func (s *Server) handle(path string, h http.HandlerFunc) {
+	c := s.obs.Registry().Counter("freeway_http_requests_total", "HTTP requests by path.", "path", path)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		c.Inc()
+		h(w, r)
+	})
 }
 
 // ServeHTTP implements http.Handler.
@@ -171,7 +266,7 @@ func (s *Server) saveCheckpointLocked() error {
 
 func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
@@ -181,20 +276,21 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
-				http.StatusRequestEntityTooLarge)
+			s.bodyCap.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
-		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
 	if err := validate(req, s.dim, s.classes); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	out, status, err := s.process(req)
 	if err != nil {
-		http.Error(w, err.Error(), status)
+		s.writeError(w, status, err.Error())
 		return
 	}
 	writeJSON(w, out)
@@ -236,7 +332,7 @@ func (s *Server) process(req ProcessRequest) (ProcessResponse, int, error) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	s.mu.Lock()
@@ -259,6 +355,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SpillFailures:      health.SpillFailures + health.SpillLoadFailures,
 		CheckpointSaves:    s.ckptSaves,
 		CheckpointErrors:   s.ckptErrs,
+
+		HTTPRequests: s.reqs.Load(),
+		HTTPRejects:  s.rejects.Load(),
+		BodyCapHits:  s.bodyCap.Load(),
 	}
 	s.mu.Unlock()
 	writeJSON(w, resp)
@@ -266,6 +366,54 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleMetrics serves the Prometheus text exposition of every series the
+// observer maintains.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", MetricsContentType)
+	if err := s.obs.Registry().WritePrometheus(w); err != nil {
+		log.Printf("serve: metrics write failed: %v", err)
+	}
+}
+
+// handleTrace serves the decision trace as JSONL, oldest retained event
+// first. ?n=K limits the output to the newest K events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			s.writeError(w, http.StatusBadRequest, "n must be a non-negative integer")
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", TraceContentType)
+	if err := s.obs.Trace().WriteJSONL(w, n); err != nil {
+		log.Printf("serve: trace write failed: %v", err)
+	}
+}
+
+// writeError sends the shared JSON error envelope and counts the reject.
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	s.rejects.Add(1)
+	var body errorEnvelope
+	body.Error.Code = status
+	body.Error.Message = msg
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(body); err != nil {
+		log.Printf("serve: error envelope write failed: %v", err)
+	}
 }
 
 func validate(req ProcessRequest, dim, classes int) error {

@@ -74,6 +74,7 @@ type ASW struct {
 	items      int
 	disorder   float64 // normalized disorder from the last Push
 	decayBoost float64 // rate-aware multiplier on the decay exponent
+	evictions  int     // cumulative batches evicted by weight decay
 }
 
 // New returns an empty window.
@@ -106,6 +107,11 @@ func (w *ASW) Items() int { return w.items }
 // order. Low disorder indicates a directional drift (Pattern A1); high
 // disorder indicates localized fluctuation (Pattern A2).
 func (w *ASW) Disorder() float64 { return w.disorder }
+
+// Evictions returns the cumulative count of batches evicted because their
+// decay weight fell below MinWeight (not reset by Reset — it is a lifetime
+// counter for observability).
+func (w *ASW) Evictions() int { return w.evictions }
 
 // Full reports whether the window has reached MaxBatches or MaxItems and a
 // long-model update should run (Algorithm 1, line 3).
@@ -165,6 +171,7 @@ func (w *ASW) Push(x [][]float64, y []int, centroid linalg.Vector) (bool, error)
 			exponent := (1 + rankFrac) * (1 + w.cfg.DisorderBoost*w.disorder) * w.decayBoost
 			e.Weight *= math.Pow(w.cfg.BaseDecay, exponent)
 			if e.Weight < w.cfg.MinWeight {
+				w.evictions++
 				continue // evicted
 			}
 			kept = append(kept, e)
