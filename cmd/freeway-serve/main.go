@@ -1,15 +1,25 @@
-// Command freeway-serve runs FreewayML as an HTTP JSON service. Batches are
-// POSTed to /v1/process (labeled ones train, unlabeled ones only infer),
-// prequential metrics come from /v1/stats:
+// Command freeway-serve runs FreewayML as an HTTP JSON service hosting many
+// named streams, each with its own learner. Batches are POSTed per stream
+// (labeled ones train, unlabeled ones only infer), prequential metrics come
+// from the matching stats endpoint:
 //
 //	freeway-serve -addr :8080 -dim 6 -classes 2 -model mlp
-//	curl -s localhost:8080/v1/process -d '{"x":[[0.4,0.5,0.4,0.5,0.4,0.5]],"y":[0]}'
-//	curl -s localhost:8080/v1/stats
+//	curl -s localhost:8080/v1/streams/orders/process -d '{"x":[[0.4,0.5,0.4,0.5,0.4,0.5]],"y":[0]}'
+//	curl -s localhost:8080/v1/streams/orders/stats
+//	curl -s localhost:8080/v1/streams
+//
+// The single-stream endpoints (/v1/process, /v1/stats, /v1/trace) remain as
+// aliases for the stream named "default". Sessions are created on first
+// use, bounded by -max-sessions (LRU eviction), and expired by
+// -session-ttl; -checkpoint-dir persists one snapshot per stream, restored
+// when its id reappears; -shared-knowledge backs every stream with one
+// process-wide knowledge store.
 //
 // The server is hardened for long-lived deployments: request bodies are
 // capped, read/write timeouts bound slow clients, SIGINT/SIGTERM drain
 // in-flight requests before exit, and -checkpoint enables crash-safe
-// periodic snapshots that are restored automatically on restart.
+// periodic snapshots of the default stream that are restored automatically
+// on restart.
 //
 // Observability: /v1/metrics serves Prometheus text exposition, /v1/trace
 // serves the per-batch decision trace as JSONL (ring capacity set by
@@ -45,19 +55,42 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		guardPol  = flag.String("guard", "reject", "non-finite input policy: off | reject | clamp | impute")
 		maxBody   = flag.Int64("max-body", serve.DefaultMaxBodyBytes, "request body cap in bytes")
-		ckptPath  = flag.String("checkpoint", "", "checkpoint file path (enables crash-safe snapshots)")
+		ckptPath  = flag.String("checkpoint", "", "default-stream checkpoint file path (enables crash-safe snapshots)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (one <id>.ckpt per stream, restored on reappearance)")
 		ckptEvery = flag.Int("checkpoint-every", 64, "batches between periodic checkpoints")
+		maxSess   = flag.Int("max-sessions", 0, "resident stream bound; exceeding it evicts the least-recently-used (0 keeps the default of 64)")
+		sessTTL   = flag.Duration("session-ttl", 0, "evict streams idle longer than this (0 disables TTL eviction)")
+		sharedKdg = flag.Bool("shared-knowledge", false, "back every stream with one process-wide knowledge store")
 		warmup    = flag.Int("warmup", 0, "override the shift detector's warmup points (0 keeps the default)")
 		traceCap  = flag.Int("trace-cap", 0, "decision-trace ring capacity for /v1/trace (0 keeps the default of 1024)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, *maxBody, *ckptPath, *ckptEvery, *warmup, *traceCap, *pprofOn); err != nil {
+	opts := serveOptions{
+		maxBody: *maxBody, ckptPath: *ckptPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+		maxSessions: *maxSess, sessionTTL: *sessTTL, sharedKnowledge: *sharedKdg,
+		warmup: *warmup, traceCap: *traceCap, pprof: *pprofOn,
+	}
+	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, opts); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, dim, classes int, family string, seed int64, guardPol string, maxBody int64, ckptPath string, ckptEvery, warmup, traceCap int, pprofOn bool) error {
+// serveOptions bundles the serving knobs main parses from flags.
+type serveOptions struct {
+	maxBody         int64
+	ckptPath        string
+	ckptDir         string
+	ckptEvery       int
+	maxSessions     int
+	sessionTTL      time.Duration
+	sharedKnowledge bool
+	warmup          int
+	traceCap        int
+	pprof           bool
+}
+
+func run(addr string, dim, classes int, family string, seed int64, guardPol string, o serveOptions) error {
 	cfg := core.DefaultConfig()
 	cfg.ModelFamily = family
 	cfg.Seed = seed
@@ -67,33 +100,43 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 		return err
 	}
 	cfg.Guard = pol
-	if warmup > 0 {
-		cfg.Shift.WarmupPoints = warmup
+	if o.warmup > 0 {
+		cfg.Shift.WarmupPoints = o.warmup
 	}
 
-	opts := []serve.Option{serve.WithMaxBodyBytes(maxBody), serve.WithTraceCap(traceCap)}
-	if pprofOn {
+	opts := []serve.Option{
+		serve.WithMaxBodyBytes(o.maxBody),
+		serve.WithTraceCap(o.traceCap),
+		serve.WithSessionLimits(o.maxSessions, o.sessionTTL),
+	}
+	if o.pprof {
 		opts = append(opts, serve.WithPprof())
 	}
-	if ckptPath != "" {
-		opts = append(opts, serve.WithCheckpoint(ckptPath, ckptEvery))
+	if o.ckptPath != "" {
+		opts = append(opts, serve.WithCheckpoint(o.ckptPath, o.ckptEvery))
+	}
+	if o.ckptDir != "" {
+		opts = append(opts, serve.WithCheckpointDir(o.ckptDir, o.ckptEvery))
+	}
+	if o.sharedKnowledge {
+		opts = append(opts, serve.WithSharedKnowledge())
 	}
 	srv, err := serve.New(cfg, dim, classes, opts...)
 	if err != nil {
 		return err
 	}
 
-	if ckptPath != "" {
-		switch err := srv.LoadCheckpointFile(ckptPath); {
+	if o.ckptPath != "" {
+		switch err := srv.LoadCheckpointFile(o.ckptPath); {
 		case err == nil:
-			fmt.Printf("freeway-serve: resumed from checkpoint %s\n", ckptPath)
+			fmt.Printf("freeway-serve: resumed from checkpoint %s\n", o.ckptPath)
 		case errors.Is(err, os.ErrNotExist):
 			// First run: nothing to resume.
 		default:
 			// A corrupt or mismatched checkpoint must not silently start a
 			// cold model that will overwrite it at the next snapshot.
 			srv.Close()
-			return fmt.Errorf("resume from %s: %w", ckptPath, err)
+			return fmt.Errorf("resume from %s: %w", o.ckptPath, err)
 		}
 	}
 

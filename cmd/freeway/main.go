@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -110,7 +111,7 @@ func run(src stream.Source, system, family string, batch, maxBatches int, seed i
 			l.SetObserver(observer)
 		}
 		step = func(b stream.Batch) ([]int, error) {
-			res, err := l.Process(b)
+			res, err := l.Process(context.Background(), b)
 			if err != nil {
 				return nil, err
 			}

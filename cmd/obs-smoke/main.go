@@ -121,6 +121,17 @@ func run(serveBin string, timeout time.Duration) error {
 		return fmt.Errorf("return batch: %w", err)
 	}
 
+	// A second named stream: its learner, metrics, and trace must be fully
+	// isolated from the default stream's.
+	for i := 0; i < 6; i++ {
+		if err := postStream(base, "alt", driftBatch(rng, 64, 0, 0, nil)); err != nil {
+			return fmt.Errorf("alt batch %d: %w", i, err)
+		}
+	}
+
+	if err := checkStreams(base); err != nil {
+		return err
+	}
 	if err := checkMetrics(base); err != nil {
 		return err
 	}
@@ -164,11 +175,19 @@ func driftBatch(rng *rand.Rand, n int, cx, cy float64, _ any) serve.ProcessReque
 }
 
 func post(base string, req serve.ProcessRequest) error {
+	return postTo(base+"/v1/process", req)
+}
+
+func postStream(base, id string, req serve.ProcessRequest) error {
+	return postTo(base+"/v1/streams/"+id+"/process", req)
+}
+
+func postTo(url string, req serve.ProcessRequest) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/process", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -177,6 +196,35 @@ func post(base string, req serve.ProcessRequest) error {
 		msg, _ := io.ReadAll(resp.Body)
 		return fmt.Errorf("process status %d: %s", resp.StatusCode, msg)
 	}
+	return nil
+}
+
+// checkStreams asserts the stream listing shows both streams with their own
+// batch counts.
+func checkStreams(base string) error {
+	resp, err := http.Get(base + "/v1/streams")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("streams status %d", resp.StatusCode)
+	}
+	var out serve.StreamsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return fmt.Errorf("streams decode: %w", err)
+	}
+	batches := map[string]int{}
+	for _, st := range out.Streams {
+		batches[st.ID] = st.Batches
+	}
+	if batches["default"] != 44 || batches["alt"] != 6 {
+		return fmt.Errorf("stream batches = %v, want default=44 alt=6", batches)
+	}
+	if out.Sessions.Active != 2 || out.Sessions.Created != 2 {
+		return fmt.Errorf("session aggregates = %+v, want 2 active / 2 created", out.Sessions)
+	}
+	fmt.Printf("obs-smoke: streams ok (default=44 alt=6 batches)\n")
 	return nil
 }
 
@@ -217,23 +265,29 @@ func checkMetrics(base string) error {
 	if len(series) < 12 {
 		return fmt.Errorf("exposition has %d series, want >= 12", len(series))
 	}
-	slight := series[`freeway_pattern_total{pattern="A1"}`] + series[`freeway_pattern_total{pattern="A2"}`]
+	slight := series[`freeway_pattern_total{pattern="A1",stream="default"}`] + series[`freeway_pattern_total{pattern="A2",stream="default"}`]
 	if slight <= 0 {
 		return fmt.Errorf("no slight (A1/A2) pattern counted")
 	}
-	if series[`freeway_pattern_total{pattern="B"}`] <= 0 {
+	if series[`freeway_pattern_total{pattern="B",stream="default"}`] <= 0 {
 		return fmt.Errorf("no sudden (B) pattern counted")
 	}
-	if series[`freeway_pattern_total{pattern="C"}`] <= 0 {
+	if series[`freeway_pattern_total{pattern="C",stream="default"}`] <= 0 {
 		return fmt.Errorf("no reoccurring (C) pattern counted")
 	}
-	if series["freeway_batches_total"] != 44 {
-		return fmt.Errorf("freeway_batches_total = %v, want 44", series["freeway_batches_total"])
+	if got := series[`freeway_batches_total{stream="default"}`]; got != 44 {
+		return fmt.Errorf(`freeway_batches_total{stream="default"} = %v, want 44`, got)
+	}
+	if got := series[`freeway_batches_total{stream="alt"}`]; got != 6 {
+		return fmt.Errorf(`freeway_batches_total{stream="alt"} = %v, want 6`, got)
+	}
+	if got := series["freeway_sessions_active"]; got != 2 {
+		return fmt.Errorf("freeway_sessions_active = %v, want 2", got)
 	}
 	fmt.Printf("obs-smoke: metrics ok (%d series; A1/A2=%v B=%v C=%v)\n",
 		len(series), slight,
-		series[`freeway_pattern_total{pattern="B"}`],
-		series[`freeway_pattern_total{pattern="C"}`])
+		series[`freeway_pattern_total{pattern="B",stream="default"}`],
+		series[`freeway_pattern_total{pattern="C",stream="default"}`])
 	return nil
 }
 

@@ -28,6 +28,7 @@
 package freewayml
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -165,9 +166,15 @@ func New(cfg Config, dim, classes int) (*Learner, error) {
 // then (when y is non-nil) incrementally train. x is row-major samples; y,
 // when given, must have one label per row.
 func (l *Learner) ProcessBatch(x [][]float64, y []int) (Result, error) {
+	return l.ProcessBatchContext(context.Background(), x, y)
+}
+
+// ProcessBatchContext is ProcessBatch with a cancellation context: a batch
+// whose context is already done is refused before any model state changes.
+func (l *Learner) ProcessBatchContext(ctx context.Context, x [][]float64, y []int) (Result, error) {
 	b := stream.Batch{Seq: l.seq, X: x, Y: y}
 	l.seq++
-	res, err := l.inner.Process(b)
+	res, err := l.inner.Process(ctx, b)
 	if err != nil {
 		return Result{}, err
 	}

@@ -16,6 +16,7 @@ import (
 	"freewayml/internal/linalg"
 	"freewayml/internal/metrics"
 	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 )
 
 // checkpoint is the gob-serialized durable state of a Learner: everything
@@ -111,47 +112,35 @@ func readEnvelope(r io.Reader) ([]byte, error) {
 
 // SaveCheckpoint serializes the learner's durable state. Any in-flight
 // asynchronous long-model update is waited out first so the snapshot is
-// consistent.
+// consistent. A learner on a process-shared knowledge store does not
+// serialize it: the store outlives any single stream and is the session
+// layer's to manage.
 func (l *Learner) SaveCheckpoint(w io.Writer) error {
-	l.wg.Wait()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-
+	st, err := l.ens.ExportState()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint ensemble: %w", err)
+	}
 	cp := checkpoint{
-		Version:     checkpointVersion,
-		ModelFamily: l.cfg.ModelFamily,
-		Dim:         l.grans[0].m.InDim(),
-		Classes:     l.grans[0].m.NumClasses(),
-		Batch:       l.batch,
-		Detector:    l.det.State(),
-		Experience:  l.exp.Export(),
-		Metrics:     l.preq.Export(),
+		Version:       checkpointVersion,
+		ModelFamily:   l.cfg.ModelFamily,
+		Dim:           l.dim,
+		Classes:       l.classes,
+		Batch:         l.batch,
+		GranSnapshots: st.GranSnapshots,
+		GranCentroids: st.GranCentroids,
+		LongSnapshot:  st.LongSnapshot,
+		LongCentroid:  st.LongCentroid,
+		Detector:      l.det.State(),
+		Experience:    l.exp.Export(),
+		Metrics:       l.preq.Export(),
 	}
-	for _, g := range l.grans {
-		snap, err := g.m.Snapshot()
+	if !l.sharedKdg {
+		entries, err := l.kdg.Export()
 		if err != nil {
-			return fmt.Errorf("core: checkpoint short model: %w", err)
+			return fmt.Errorf("core: checkpoint knowledge: %w", err)
 		}
-		cp.GranSnapshots = append(cp.GranSnapshots, snap)
-		var c linalg.Vector
-		if g.centroid != nil {
-			c = g.centroid.Clone()
-		}
-		cp.GranCentroids = append(cp.GranCentroids, c)
+		cp.Knowledge = entries
 	}
-	longSnap, err := l.long.Snapshot()
-	if err != nil {
-		return fmt.Errorf("core: checkpoint long model: %w", err)
-	}
-	cp.LongSnapshot = longSnap
-	if l.longCentroid != nil {
-		cp.LongCentroid = l.longCentroid.Clone()
-	}
-	entries, err := l.kdg.Export()
-	if err != nil {
-		return fmt.Errorf("core: checkpoint knowledge: %w", err)
-	}
-	cp.Knowledge = entries
 
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(cp); err != nil {
@@ -236,47 +225,40 @@ func (l *Learner) LoadCheckpoint(r io.Reader) error {
 	if cp.ModelFamily != l.cfg.ModelFamily {
 		return fmt.Errorf("core: checkpoint family %q, learner is %q", cp.ModelFamily, l.cfg.ModelFamily)
 	}
-	if cp.Dim != l.grans[0].m.InDim() || cp.Classes != l.grans[0].m.NumClasses() {
+	if cp.Dim != l.dim || cp.Classes != l.classes {
 		return fmt.Errorf("core: checkpoint shape %dx%d, learner is %dx%d",
-			cp.Dim, cp.Classes, l.grans[0].m.InDim(), l.grans[0].m.NumClasses())
+			cp.Dim, cp.Classes, l.dim, l.classes)
 	}
-	if len(cp.GranSnapshots) != len(l.grans) {
+	if len(cp.GranSnapshots) != len(l.ens.Granularities()) {
 		return errors.New("core: checkpoint granularity count mismatch (different ModelNum?)")
 	}
 
-	l.wg.Wait()
-	l.mu.Lock()
-	defer l.mu.Unlock()
-
-	for i, g := range l.grans {
-		if err := g.m.Restore(cp.GranSnapshots[i]); err != nil {
-			return fmt.Errorf("core: restore granularity %d: %w", i, err)
-		}
-		g.centroid = cp.GranCentroids[i]
-		g.bufX, g.bufY, g.pending = nil, nil, 0
+	if err := l.ens.ImportState(strategy.EnsembleState{
+		GranSnapshots: cp.GranSnapshots,
+		GranCentroids: cp.GranCentroids,
+		LongSnapshot:  cp.LongSnapshot,
+		LongCentroid:  cp.LongCentroid,
+	}); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
-	if err := l.long.Restore(cp.LongSnapshot); err != nil {
-		return fmt.Errorf("core: restore long model: %w", err)
-	}
-	l.longCentroid = cp.LongCentroid
 	if err := l.det.RestoreState(cp.Detector); err != nil {
 		return fmt.Errorf("core: restore detector: %w", err)
 	}
-	skipped, err := l.kdg.Import(cp.Knowledge)
-	if err != nil {
-		return fmt.Errorf("core: restore knowledge: %w", err)
-	}
-	if skipped > 0 {
-		l.health.mu.Lock()
-		l.health.knowledgeSkipped += skipped
-		l.health.mu.Unlock()
+	// A shared knowledge store is never restored from a stream's checkpoint:
+	// it already holds the live process-wide state.
+	if !l.sharedKdg {
+		skipped, err := l.kdg.Import(cp.Knowledge)
+		if err != nil {
+			return fmt.Errorf("core: restore knowledge: %w", err)
+		}
+		if skipped > 0 {
+			l.health.mu.Lock()
+			l.health.knowledgeSkipped += skipped
+			l.health.mu.Unlock()
+		}
 	}
 	if err := l.exp.Import(cp.Experience); err != nil {
 		return fmt.Errorf("core: restore experience: %w", err)
-	}
-	l.asw.Reset()
-	if l.pre != nil {
-		l.pre.Start()
 	}
 	l.preq.Import(cp.Metrics)
 	l.batch = cp.Batch

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -21,13 +22,13 @@ func TestCheckpointRoundtripPreservesBehaviour(t *testing.T) {
 	// history, and experience buffer all carry state.
 	seq := 0
 	for s := 0; s < 30; s++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 		seq++
 	}
 	for s := 0; s < 10; s++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 8, 8, stream.KindSudden)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 8, 8, stream.KindSudden)); err != nil {
 			t.Fatal(err)
 		}
 		seq++
@@ -67,11 +68,11 @@ func TestCheckpointRoundtripPreservesBehaviour(t *testing.T) {
 	if err := original.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}
-	r1, err := original.Process(probe)
+	r1, err := original.Process(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := restored.Process(probe)
+	r2, err := restored.Process(context.Background(), probe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCheckpointRoundtripPreservesBehaviour(t *testing.T) {
 	// perform immediately and keep improving.
 	var last Result
 	for s := 0; s < 15; s++ {
-		res, err := restored.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
+		res, err := restored.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,7 +165,7 @@ func TestCheckpointDuringWarmupRoundtrips(t *testing.T) {
 	defer l.Close()
 	rng := rand.New(rand.NewSource(62))
 	// One batch: detector still warming up (WarmupPoints=128, batch=64).
-	if _, err := l.Process(driftBatch(rng, 0, 64, 0, 0, stream.KindNone)); err != nil {
+	if _, err := l.Process(context.Background(), driftBatch(rng, 0, 64, 0, 0, stream.KindNone)); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -181,7 +182,7 @@ func TestCheckpointDuringWarmupRoundtrips(t *testing.T) {
 	}
 	// The restored learner re-warms and continues.
 	for s := 1; s < 10; s++ {
-		if _, err := restored.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := restored.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}

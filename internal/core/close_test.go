@@ -1,0 +1,32 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/stream"
+)
+
+func TestLearnerCloseIdempotent(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for s := 0; s < 3; s++ {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("first Close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if _, err := l.Process(context.Background(), driftBatch(rng, 3, 64, 0, 0, stream.KindNone)); !errors.Is(err, ErrClosed) {
+		t.Errorf("Process after Close = %v, want ErrClosed", err)
+	}
+}

@@ -11,8 +11,10 @@ import (
 	"errors"
 
 	"freewayml/internal/guard"
+	"freewayml/internal/knowledge"
 	"freewayml/internal/model"
 	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 	"freewayml/internal/window"
 )
 
@@ -99,39 +101,18 @@ type Config struct {
 	// Watchdog configures the divergence watchdog that rolls a model back
 	// to a last-healthy snapshot on NaN/Inf weights or a loss explosion.
 	Watchdog WatchdogConfig
+	// SharedKnowledge, when non-nil, makes the learner use this
+	// process-wide knowledge store instead of building its own, so
+	// reoccurring distributions learned on one stream can be reused by
+	// another (session layer, config-gated). Checkpoints then neither
+	// export nor import the store: it outlives any single stream.
+	SharedKnowledge *knowledge.Store
 }
 
-// WatchdogConfig tunes the divergence watchdog. Zero values select the
-// built-in defaults, so a zero WatchdogConfig means "on, defaults".
-type WatchdogConfig struct {
-	// Disabled turns divergence monitoring and rollback off entirely.
-	Disabled bool
-	// Ring is how many last-healthy snapshots each model retains
-	// (default 3).
-	Ring int
-	// LossFactor flags a loss explosion when a batch's loss exceeds this
-	// multiple of the running healthy-loss mean (default 50).
-	LossFactor float64
-	// MinUpdates is how many healthy updates must accumulate before
-	// loss-explosion checks apply — NaN/Inf checks always apply
-	// (default 8).
-	MinUpdates int
-}
-
-// Validate reports the first invalid watchdog knob.
-func (w WatchdogConfig) Validate() error {
-	switch {
-	case w.Ring < 0:
-		return errors.New("core: Watchdog.Ring must be >= 0")
-	case w.LossFactor < 0:
-		return errors.New("core: Watchdog.LossFactor must be >= 0")
-	case w.LossFactor > 0 && w.LossFactor <= 1:
-		return errors.New("core: Watchdog.LossFactor must be > 1")
-	case w.MinUpdates < 0:
-		return errors.New("core: Watchdog.MinUpdates must be >= 0")
-	}
-	return nil
-}
+// WatchdogConfig tunes the divergence watchdog (see
+// strategy.WatchdogConfig). Zero values select the built-in defaults, so a
+// zero WatchdogConfig means "on, defaults".
+type WatchdogConfig = strategy.WatchdogConfig
 
 // DefaultConfig mirrors the paper's published defaults
 // (ModelNum=2, α=1.96, KdgBuffer=20, ExpBuffer=10-batch experience).

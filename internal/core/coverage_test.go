@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func TestLongEMAPathRuns(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func TestLongRebasePathRuns(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +80,7 @@ func TestDebugAccessors(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	var res Result
 	for s := 0; s < 10; s++ {
-		r, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		r, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,13 +107,13 @@ func TestCECFallsBackWithoutExperience(t *testing.T) {
 	for s := 0; s < 25; s++ {
 		b := driftBatch(rng, s, 64, 0, 0, stream.KindNone)
 		b.Y = nil
-		if _, err := l.Process(b); err != nil {
+		if _, err := l.Process(context.Background(), b); err != nil {
 			t.Fatal(err)
 		}
 	}
 	jump := driftBatch(rng, 25, 64, 60, -40, stream.KindSudden)
 	jump.Y = nil
-	res, err := l.Process(jump)
+	res, err := l.Process(context.Background(), jump)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestPrecomputeWithAsyncRunsInline(t *testing.T) {
 	}
 	rng := rand.New(rand.NewSource(45))
 	for s := 0; s < 30; s++ {
-		if _, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -184,7 +185,7 @@ func TestNaiveBayesFamilyEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(51))
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func TestStandardizedLearnerHandlesOffsetRegimes(t *testing.T) {
 	// A regime far from the origin, unlearnable without scaling.
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 40, 40, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 40, 40, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func TestOneStrategyPerBatchContract(t *testing.T) {
 		if !ok {
 			break
 		}
-		res, err := l.Process(b)
+		res, err := l.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}

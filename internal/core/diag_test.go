@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"freewayml/internal/datasets"
@@ -32,7 +33,7 @@ func TestEnsembleDoesNotDragBelowShortModel(t *testing.T) {
 			}
 			short, _ := l.DebugModels()
 			sp := short.Predict(b.X)
-			res, err := l.Process(b)
+			res, err := l.Process(context.Background(), b)
 			if err != nil {
 				t.Fatal(err)
 			}

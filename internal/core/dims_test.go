@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestDiagProjectionDims(t *testing.T) {
 				if !ok {
 					break
 				}
-				if _, err := l.Process(b); err != nil {
+				if _, err := l.Process(context.Background(), b); err != nil {
 					t.Fatal(err)
 				}
 			}

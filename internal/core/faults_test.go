@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"math"
@@ -24,7 +25,7 @@ func warmLearner(t *testing.T, cfg Config, batches int, seed int64) (*Learner, *
 	rng := rand.New(rand.NewSource(seed))
 	seq := 0
 	for ; seq < batches; seq++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -44,7 +45,7 @@ func TestRejectPolicyRefusesDirtyBatchAndKeepsState(t *testing.T) {
 	dirty := driftBatch(rng, seq, 64, 0, 0, stream.KindNone)
 	faults.InjectNaN(dirty.X, 7)
 	faults.InjectInf(dirty.X, 11, 1)
-	if _, err := l.Process(dirty); !errors.Is(err, guard.ErrRejected) {
+	if _, err := l.Process(context.Background(), dirty); !errors.Is(err, guard.ErrRejected) {
 		t.Fatalf("dirty batch err = %v, want ErrRejected", err)
 	}
 	st := l.Stats()
@@ -59,7 +60,7 @@ func TestRejectPolicyRefusesDirtyBatchAndKeepsState(t *testing.T) {
 		}
 	}
 	// The stream continues normally afterwards.
-	res, err := l.Process(driftBatch(rng, seq+1, 64, 0, 0, stream.KindNone))
+	res, err := l.Process(context.Background(), driftBatch(rng, seq+1, 64, 0, 0, stream.KindNone))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRepairPoliciesSurviveDirtyBatches(t *testing.T) {
 				dirty := driftBatch(rng, seq, 64, 0, 0, stream.KindNone)
 				faults.InjectNaN(dirty.X, 5)
 				faults.InjectInf(dirty.X, 9, -1)
-				if _, err := l.Process(dirty); err != nil {
+				if _, err := l.Process(context.Background(), dirty); err != nil {
 					t.Fatalf("dirty batch %d: %v", i, err)
 				}
 				seq++
@@ -94,7 +95,7 @@ func TestRepairPoliciesSurviveDirtyBatches(t *testing.T) {
 			// any update the repaired-but-extreme values still destabilized).
 			var last Result
 			for i := 0; i < 10; i++ {
-				res, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
+				res, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -121,7 +122,7 @@ func TestWatchdogRollsBackCorruptShortModel(t *testing.T) {
 			p.W[j] = math.NaN()
 		}
 	}
-	if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+	if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
 		t.Fatalf("batch on corrupt model: %v", err)
 	}
 	seq++
@@ -139,7 +140,7 @@ func TestWatchdogRollsBackCorruptShortModel(t *testing.T) {
 	}
 	// Accuracy recovers immediately: the restored snapshot was trained on
 	// this very regime.
-	res, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
+	res, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestWatchdogDisabled(t *testing.T) {
 			p.W[j] = math.NaN()
 		}
 	}
-	if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+	if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
 		t.Fatal(err)
 	}
 	if st := l.Stats(); st.Divergences != 0 {
@@ -173,11 +174,11 @@ func TestRaggedBatchRejectedCleanly(t *testing.T) {
 	defer l.Close()
 	b := driftBatch(rng, seq, 16, 0, 0, stream.KindNone)
 	b.X = faults.Ragged(b.X)
-	if _, err := l.Process(b); err == nil {
+	if _, err := l.Process(context.Background(), b); err == nil {
 		t.Fatal("ragged batch accepted")
 	}
 	// Learner still serves.
-	if _, err := l.Process(driftBatch(rng, seq+1, 16, 0, 0, stream.KindNone)); err != nil {
+	if _, err := l.Process(context.Background(), driftBatch(rng, seq+1, 16, 0, 0, stream.KindNone)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -189,11 +190,11 @@ func TestAsyncErrorsSurfaceOnNextProcess(t *testing.T) {
 
 	injected := errors.New("boom")
 	l.noteAsyncErr(injected)
-	if _, err := l.Process(driftBatch(rng, seq, 16, 0, 0, stream.KindNone)); !errors.Is(err, injected) {
+	if _, err := l.Process(context.Background(), driftBatch(rng, seq, 16, 0, 0, stream.KindNone)); !errors.Is(err, injected) {
 		t.Fatalf("pending async error not surfaced: %v", err)
 	}
 	// Surfaced errors are drained: the next call proceeds.
-	if _, err := l.Process(driftBatch(rng, seq+1, 16, 0, 0, stream.KindNone)); err != nil {
+	if _, err := l.Process(context.Background(), driftBatch(rng, seq+1, 16, 0, 0, stream.KindNone)); err != nil {
 		t.Fatal(err)
 	}
 	// Overflow beyond the bounded queue is counted, not lost silently.
@@ -268,7 +269,7 @@ func TestLoadCheckpointSkipsCorruptKnowledgeEntries(t *testing.T) {
 	l, rng, seq := warmLearner(t, cfg, 30, 37)
 	defer l.Close()
 	for i := 0; i < 10; i++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 8, 8, stream.KindSudden)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 8, 8, stream.KindSudden)); err != nil {
 			t.Fatal(err)
 		}
 		seq++

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// noteAsyncErr records a background-update error for the next Process call
+// to surface. The queue is bounded; overflow is dropped and counted.
+func (l *Learner) noteAsyncErr(err error) {
+	l.asyncMu.Lock()
+	if len(l.asyncErrs) < maxPendingAsyncErrs {
+		l.asyncErrs = append(l.asyncErrs, err)
+		l.asyncMu.Unlock()
+		return
+	}
+	l.asyncMu.Unlock()
+	l.health.mu.Lock()
+	l.health.asyncDropped++
+	l.health.mu.Unlock()
+}
+
+// takeAsyncErrs drains and joins every pending background error (nil when
+// none are pending).
+func (l *Learner) takeAsyncErrs() error {
+	l.asyncMu.Lock()
+	defer l.asyncMu.Unlock()
+	if len(l.asyncErrs) == 0 {
+		return nil
+	}
+	err := errors.Join(l.asyncErrs...)
+	l.asyncErrs = nil
+	return fmt.Errorf("core: async long-model update failed: %w", err)
+}
+
+// recordRecovery folds one watchdog event into the health counters and the
+// bounded event log. Safe from the async update goroutine.
+func (l *Learner) recordRecovery(ev RecoveryEvent) {
+	l.obs.recordDivergence(ev.RolledBack)
+	l.health.mu.Lock()
+	defer l.health.mu.Unlock()
+	l.health.divergences++
+	if ev.RolledBack {
+		l.health.recoveries++
+	}
+	if len(l.health.events) == maxRecoveryEvents {
+		copy(l.health.events, l.health.events[1:])
+		l.health.events = l.health.events[:maxRecoveryEvents-1]
+	}
+	l.health.events = append(l.health.events, ev)
+}
+
+// Stats are the learner's fault-tolerance counters: what the guard
+// sanitized or refused, what the watchdog detected and rolled back, and
+// what the persistence layer degraded around.
+type Stats struct {
+	// SanitizedValues counts non-finite feature values repaired by the
+	// guard (clamp/impute policies); SanitizedBatches the batches affected.
+	SanitizedValues  int
+	SanitizedBatches int
+	// RejectedBatches counts batches refused by the reject policy.
+	RejectedBatches int
+	// Divergences counts watchdog detections (NaN/Inf weights or loss
+	// explosions); Recoveries counts the rollbacks that followed.
+	Divergences int
+	Recoveries  int
+	// AsyncErrorsDropped counts background-update errors lost to the
+	// bounded pending queue.
+	AsyncErrorsDropped int
+	// KnowledgeSkipped counts corrupt knowledge entries skipped during a
+	// degraded checkpoint restore.
+	KnowledgeSkipped int
+	// SpillFailures and SpillLoadFailures surface the knowledge store's
+	// filesystem fault counters (failed spill writes / unreadable spill
+	// reads).
+	SpillFailures     int
+	SpillLoadFailures int
+}
+
+// Stats returns the learner's fault-tolerance counters.
+func (l *Learner) Stats() Stats {
+	l.health.mu.Lock()
+	s := Stats{
+		SanitizedValues:    l.health.sanitizedValues,
+		SanitizedBatches:   l.health.sanitizedBatches,
+		RejectedBatches:    l.health.rejectedBatches,
+		Divergences:        l.health.divergences,
+		Recoveries:         l.health.recoveries,
+		AsyncErrorsDropped: l.health.asyncDropped,
+		KnowledgeSkipped:   l.health.knowledgeSkipped,
+	}
+	l.health.mu.Unlock()
+	s.SpillFailures = l.kdg.SpillFailures()
+	s.SpillLoadFailures = l.kdg.LoadFailures()
+	return s
+}
+
+// RecoveryEvents returns a copy of the retained watchdog event log (the
+// most recent maxRecoveryEvents divergences).
+func (l *Learner) RecoveryEvents() []RecoveryEvent {
+	l.health.mu.Lock()
+	defer l.health.mu.Unlock()
+	return append([]RecoveryEvent(nil), l.health.events...)
+}

@@ -1,15 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
-	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freewayml/internal/cluster"
-	"freewayml/internal/ensemble"
 	"freewayml/internal/guard"
 	"freewayml/internal/knowledge"
 	"freewayml/internal/linalg"
@@ -17,6 +16,7 @@ import (
 	"freewayml/internal/model"
 	"freewayml/internal/nn"
 	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 	"freewayml/internal/stream"
 	"freewayml/internal/window"
 )
@@ -41,52 +41,45 @@ type Result struct {
 	Accuracy float64
 }
 
-// granularity is one fixed-frequency model of the multi-time-granularity
-// ensemble: model i trains every `every` batches on the batches accumulated
-// since its last update.
-type granularity struct {
-	m        model.Model
-	every    int
-	pending  int
-	bufX     [][]float64
-	bufY     []int
-	centroid linalg.Vector // distribution of the last training data
-	wd       *watchdog     // nil when the watchdog is disabled
-}
+// RecoveryEvent records one watchdog divergence (see strategy.RecoveryEvent).
+type RecoveryEvent = strategy.RecoveryEvent
 
-// Learner is the FreewayML framework instance. One goroutine may call
-// Process at a time; with Async enabled, long-model updates overlap with
-// subsequent Process calls.
+// maxRecoveryEvents bounds the retained event log; older events are
+// dropped (the counters in Stats never reset).
+const maxRecoveryEvents = 32
+
+// Learner is the FreewayML framework instance: it detects each batch's
+// shift pattern, dispatches exactly one of the three strategy mechanisms
+// (internal/strategy) for inference, trains them, and keeps the
+// bookkeeping — prequential metrics, health counters, checkpoints. One
+// goroutine may call Process at a time; with Async enabled, long-model
+// updates overlap with subsequent Process calls.
 type Learner struct {
 	cfg          Config
 	det          *shift.Detector
 	dim, classes int
 
-	grans []*granularity // fixed-frequency models, grans[0] updates per batch
-	long  model.Model    // ASW-driven long-granularity model
+	// The three mechanisms behind the strategy.Strategy interface. ens is
+	// also the dispatcher's fallback when cec/knw decline a batch.
+	ens *strategy.Ensemble
+	cec *strategy.CEC
+	knw *strategy.KnowledgeReuse
 
-	asw          *window.ASW
-	pre          *window.Precomputer
-	longOpt      *nn.SGD
-	longCentroid linalg.Vector
-
-	exp   *cluster.ExpBuffer
-	kdg   *knowledge.Store
-	reuse model.Model // scratch model for knowledge restores
+	exp       *cluster.ExpBuffer
+	kdg       *knowledge.Store
+	sharedKdg bool // kdg is process-shared: checkpoints skip it
 
 	adjuster *stream.RateAdjuster
 
-	guard  *guard.Guard
-	longWd *watchdog // nil when the watchdog is disabled
+	guard *guard.Guard
 
 	// obs is the optional observability layer (nil disables all
 	// instrumentation; every hook is nil-safe).
 	obs *Observer
 
-	mu    sync.RWMutex // guards long model + longCentroid during async updates
-	wg    sync.WaitGroup
-	preq  metrics.Prequential
-	batch int
+	preq   metrics.Prequential
+	batch  int
+	closed atomic.Bool
 
 	// Pending errors from asynchronous long-model updates, surfaced on the
 	// next Process call (and at Close). Bounded; overflow is counted.
@@ -112,6 +105,14 @@ type Learner struct {
 // maxPendingAsyncErrs bounds the async error queue; further errors are
 // dropped and counted in Stats.
 const maxPendingAsyncErrs = 16
+
+// learnerStages adapts the learner's (late-bound, nil-safe) observer to the
+// strategy package's stage sink.
+type learnerStages struct{ l *Learner }
+
+func (s learnerStages) ObserveStage(stage string, d time.Duration) {
+	s.l.obs.ObserveStage(stage, d)
+}
 
 // NewLearner builds a FreewayML learner for streams of the given feature
 // dimensionality and class count.
@@ -140,24 +141,20 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 	if err != nil {
 		return nil, err
 	}
-	kdg, err := knowledge.NewStore(cfg.KdgBuffer, cfg.SpillDir)
-	if err != nil {
-		return nil, err
+	kdg := cfg.SharedKnowledge
+	sharedKdg := kdg != nil
+	if kdg == nil {
+		kdg, err = knowledge.NewStore(cfg.KdgBuffer, cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	// Fixed-frequency models: model i updates every 2^i batches. The last
 	// slot is the ASW-driven long model.
-	grans := make([]*granularity, 0, cfg.ModelNum-1)
-	for i := 0; i < cfg.ModelNum-1; i++ {
-		m, err := factory(dim, classes)
-		if err != nil {
-			return nil, err
-		}
-		g := &granularity{m: m, every: 1 << i}
-		if !cfg.Watchdog.Disabled {
-			g.wd = newWatchdog(fmt.Sprintf("gran%d", i), cfg.Watchdog)
-		}
-		grans = append(grans, g)
+	grans, err := strategy.BuildGranularities(factory, dim, classes, cfg.ModelNum-1, cfg.Watchdog)
+	if err != nil {
+		return nil, err
 	}
 	longHyper := cfg.Hyper
 	longHyper.LR *= cfg.LongLRScale
@@ -178,32 +175,56 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 	}
 
 	l := &Learner{
-		cfg:     cfg,
-		det:     det,
-		dim:     dim,
-		classes: classes,
-		grans:   grans,
-		long:    long,
-		asw:     asw,
-		exp:     exp,
-		kdg:     kdg,
-		reuse:   reuse,
-		guard:   guard.New(cfg.Guard, dim),
+		cfg:       cfg,
+		det:       det,
+		dim:       dim,
+		classes:   classes,
+		exp:       exp,
+		kdg:       kdg,
+		sharedKdg: sharedKdg,
+		guard:     guard.New(cfg.Guard, dim),
 	}
+	var longWd *strategy.Watchdog
 	if !cfg.Watchdog.Disabled {
-		l.longWd = newWatchdog("long", cfg.Watchdog)
+		longWd = strategy.NewWatchdog("long", cfg.Watchdog)
 	}
+	var pre *window.Precomputer
+	var longOpt *nn.SGD
 	if cfg.Precompute {
 		if long.Net() == nil {
 			return nil, errors.New("core: Precompute requires a gradient-based model family")
 		}
-		l.pre = window.NewPrecomputer(long.Net())
-		l.pre.Start()
+		pre = window.NewPrecomputer(long.Net())
+		pre.Start()
 		// The precompute path applies one aggregated step per window close,
 		// so it uses the full learning rate; LongLRScale only applies to
 		// the many-step chunked training of the non-precompute path.
-		l.longOpt = nn.NewSGD(cfg.Hyper.LR, cfg.Hyper.Momentum, cfg.Hyper.WeightDecay)
+		longOpt = nn.NewSGD(cfg.Hyper.LR, cfg.Hyper.Momentum, cfg.Hyper.WeightDecay)
 	}
+	l.ens = strategy.NewEnsemble(
+		strategy.EnsembleConfig{
+			Sigma:      cfg.Sigma,
+			LongEMA:    cfg.LongEMA,
+			LongEpochs: cfg.LongEpochs,
+			LongChunk:  cfg.LongChunk,
+			LongRebase: cfg.LongRebase,
+			Async:      cfg.Async,
+		},
+		grans, long, longWd, asw, pre, longOpt,
+		strategy.EnsembleDeps{
+			Stages:     learnerStages{l},
+			OnRecovery: l.recordRecovery,
+			OnAsyncErr: l.noteAsyncErr,
+			BatchNum:   func() int { return l.batch },
+			// Same-regime radius for knowledge replacement: distributions
+			// within the stream's typical batch-to-batch wander are the
+			// same regime, so a fresher snapshot overwrites the stale one.
+			ReplaceRadius: func() float64 { return 1.5 * meanOf(l.det.HistoryDistances()) },
+		},
+	)
+	l.cec = strategy.NewCEC(exp, l.ens, cfg.Seed, func() int { return l.batch })
+	l.knw = strategy.NewKnowledgeReuse(kdg, reuse, l.ens, cfg.Sigma, cfg.Beta, cfg.Shift.ReoccurRatio)
+	l.ens.SetPreserver(l.knw)
 	return l, nil
 }
 
@@ -225,49 +246,45 @@ func (l *Learner) Metrics() *metrics.Prequential { return &l.preq }
 // space measurements).
 func (l *Learner) KnowledgeStore() *knowledge.Store { return l.kdg }
 
+// SharedKnowledge reports whether the knowledge store is process-shared
+// (checkpoints then exclude it).
+func (l *Learner) SharedKnowledge() bool { return l.sharedKdg }
+
 // Detector exposes the shift detector (for shift-graph export).
 func (l *Learner) Detector() *shift.Detector { return l.det }
 
+// Ensemble exposes the multi-granularity mechanism (white-box tests and
+// diagnostics).
+func (l *Learner) Ensemble() *strategy.Ensemble { return l.ens }
+
+// ErrClosed is returned by Process after Close.
+var ErrClosed = errors.New("core: learner closed")
+
 // Close waits for any in-flight asynchronous long-model update and surfaces
-// any pending background errors.
+// any pending background errors. Idempotent: a second Close returns nil.
 func (l *Learner) Close() error {
-	l.wg.Wait()
-	return l.takeAsyncErrs()
-}
-
-// noteAsyncErr records a background-update error for the next Process call
-// to surface. The queue is bounded; overflow is dropped and counted.
-func (l *Learner) noteAsyncErr(err error) {
-	l.asyncMu.Lock()
-	if len(l.asyncErrs) < maxPendingAsyncErrs {
-		l.asyncErrs = append(l.asyncErrs, err)
-		l.asyncMu.Unlock()
-		return
-	}
-	l.asyncMu.Unlock()
-	l.health.mu.Lock()
-	l.health.asyncDropped++
-	l.health.mu.Unlock()
-}
-
-// takeAsyncErrs drains and joins every pending background error (nil when
-// none are pending).
-func (l *Learner) takeAsyncErrs() error {
-	l.asyncMu.Lock()
-	defer l.asyncMu.Unlock()
-	if len(l.asyncErrs) == 0 {
+	if !l.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	err := errors.Join(l.asyncErrs...)
-	l.asyncErrs = nil
-	return fmt.Errorf("core: async long-model update failed: %w", err)
+	l.ens.Wait()
+	return l.takeAsyncErrs()
 }
 
 // Process runs the full pipeline on one batch: detect the shift pattern,
 // select and execute one inference strategy, then (when the batch is
-// labeled) update every granularity model per its schedule — the
-// predict-then-train prequential protocol of the paper.
-func (l *Learner) Process(b stream.Batch) (Result, error) {
+// labeled) train every mechanism — the predict-then-train prequential
+// protocol of the paper. ctx cancels between (not within) model updates;
+// a nil ctx is treated as context.Background().
+func (l *Learner) Process(ctx context.Context, b stream.Batch) (Result, error) {
+	if l.closed.Load() {
+		return Result{}, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	// A background long-model update that failed since the last call is
 	// surfaced here rather than silently at Close: the caller must learn
 	// that the long model stopped advancing while the stream is still
@@ -282,7 +299,7 @@ func (l *Learner) Process(b stream.Batch) (Result, error) {
 	// Input guardrails: scan for NaN/Inf features before the detector or
 	// any model sees the batch. A rejected batch leaves every piece of
 	// learner state untouched.
-	tGuard := bo.now()
+	tGuard := bo.StageStart()
 	cleanX, rep, err := l.guard.Sanitize(b.X)
 	if err != nil {
 		l.health.mu.Lock()
@@ -291,7 +308,7 @@ func (l *Learner) Process(b stream.Batch) (Result, error) {
 		bo.finishRejected(l)
 		return Result{}, fmt.Errorf("core: %w", err)
 	}
-	bo.stageDone(stageGuard, tGuard)
+	bo.StageDone(strategy.StageGuard, tGuard)
 	if rep.Total() > 0 {
 		b.X = cleanX
 		l.health.mu.Lock()
@@ -302,33 +319,33 @@ func (l *Learner) Process(b stream.Batch) (Result, error) {
 	}
 	if l.adjuster != nil {
 		boost := l.adjuster.DecayBoost()
-		l.asw.SetDecayBoost(boost)
+		l.ens.SetDecayBoost(boost)
 		bo.decayBoost(boost)
 	}
-	tDet := bo.now()
+	tDet := bo.StageStart()
 	obs, err := l.det.Observe(toVectors(b.X))
 	if err != nil {
 		return Result{}, err
 	}
-	bo.stageDone(stageShiftDetect, tDet)
+	bo.StageDone(strategy.StageShiftDetect, tDet)
 
 	res := Result{Pattern: obs.Pattern, SubPattern: obs.Pattern, Observation: obs, Accuracy: -1}
 	if obs.Pattern.IsSlight() {
-		res.SubPattern = shift.SubClassifyA(l.asw.Disorder(), l.cfg.Beta)
+		res.SubPattern = shift.SubClassifyA(l.ens.Disorder(), l.cfg.Beta)
 	}
 
-	tPred := bo.now()
-	if err := l.infer(b, obs, &res, bo); err != nil {
+	tPred := bo.StageStart()
+	if err := l.infer(ctx, b, obs, &res, bo); err != nil {
 		return Result{}, err
 	}
-	bo.stageDone(stagePredict, tPred)
+	bo.StageDone(strategy.StagePredict, tPred)
 
 	if b.Labeled() {
 		if acc, err := metrics.Accuracy(res.Pred, b.Y); err == nil {
 			res.Accuracy = acc
 			l.preq.Record(acc, b.Truth, len(b.X))
 		}
-		if err := l.train(b, obs, bo); err != nil {
+		if err := l.train(ctx, b, obs, bo); err != nil {
 			return Result{}, err
 		}
 	}
@@ -337,422 +354,76 @@ func (l *Learner) Process(b stream.Batch) (Result, error) {
 	return res, nil
 }
 
-// infer executes exactly one strategy based on the pattern (paper Fig. 8).
-func (l *Learner) infer(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
+// infer dispatches exactly one strategy based on the pattern (paper Fig. 8):
+//
+//	warmup     → ensemble (short model alone)
+//	A1/A2      → multi-granularity ensemble
+//	B (severe) → CEC, falling back to the ensemble when it declines
+//	C          → knowledge reuse, falling back to the ensemble on a miss
+func (l *Learner) infer(ctx context.Context, b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
 	switch {
 	case obs.Pattern == shift.PatternWarmup || obs.YBar == nil:
 		res.Strategy = StrategyWarmup
-		res.Proba = l.grans[0].m.PredictProba(b.X)
-		res.Pred = argmaxRows(res.Proba)
+		p := l.ens.InferWarmup(b)
+		res.Pred, res.Proba = p.Pred, p.Proba
 		return nil
 
 	case obs.Pattern == shift.PatternC:
-		if ok, err := l.inferKnowledge(b, obs, res, bo); err != nil {
-			return err
-		} else if ok {
+		p, ok, err := l.knw.Infer(ctx, b, obs, bo)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if ok {
+			res.Strategy = StrategyKnowledge
+			res.Pred, res.Proba = p.Pred, p.Proba
 			return nil
 		}
 		// No reusable knowledge close enough: fall through to the ensemble.
-		return l.inferEnsemble(b, obs, res, bo)
+		return l.inferEnsemble(ctx, b, obs, res, bo)
 
 	case obs.Pattern == shift.PatternB:
 		// CEC replaces the models only when the shift dwarfs the stream's
 		// recent movement; a moderately sudden shift is handled by the
 		// ensemble, which re-adapts within a couple of batches.
 		if obs.HistoryMean > 0 && obs.Distance < l.cfg.CECSeverityRatio*obs.HistoryMean {
-			return l.inferEnsemble(b, obs, res, bo)
+			return l.inferEnsemble(ctx, b, obs, res, bo)
 		}
-		if ok, err := l.inferCEC(b, res, bo); err != nil {
-			return err
-		} else if ok {
+		p, ok, err := l.cec.Infer(ctx, b, obs, bo)
+		if err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if ok {
+			res.Strategy = StrategyCEC
+			res.Pred, res.Proba = p.Pred, p.Proba
 			return nil
 		}
 		// No coherent experience yet: fall back to the ensemble.
-		return l.inferEnsemble(b, obs, res, bo)
+		return l.inferEnsemble(ctx, b, obs, res, bo)
 
 	default:
-		return l.inferEnsemble(b, obs, res, bo)
+		return l.inferEnsemble(ctx, b, obs, res, bo)
 	}
 }
 
-// inferEnsemble fuses all granularity models with the Gaussian-kernel
-// distance weighting of Eq. 12-14.
-func (l *Learner) inferEnsemble(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
-	members := make([]ensemble.Member, 0, len(l.grans)+1)
-	// Short and mid-granularity models: distance to their last training
-	// distribution (D_short of Eq. 12 equals obs.Distance for the per-batch
-	// model, since its centroid is the previous batch's ȳ).
-	for _, g := range l.grans {
-		members = append(members, ensemble.Member{
-			Proba:    g.m.PredictProba(b.X),
-			Distance: centroidDistance(obs.YBar, g.centroid),
-		})
-	}
-	l.mu.RLock()
-	members = append(members, ensemble.Member{
-		Proba:    l.long.PredictProba(b.X),
-		Distance: centroidDistance(obs.YBar, l.longCentroid),
-	})
-	l.mu.RUnlock()
-
-	// Normalize distances by their mean so the kernel width Sigma is
-	// scale-free: the projected space's units vary per dataset, and Eq. 14
-	// only cares about the models' relative match to the live data.
-	normalizeDistances(members)
-	recordWeights(bo, members, l.cfg.Sigma)
-
-	// Insight A emerges from the distances themselves: under a directional
-	// shift (A1) the previous batch — the short model's distribution — is
-	// the nearest thing to the live data, while under localized fluctuation
-	// (A2) the window's weighted centroid sits at the center of the noise
-	// and the long model wins the kernel weighting.
-	fused, err := ensemble.Fuse(members, l.cfg.Sigma)
+// inferEnsemble runs the fallback mechanism (always serves).
+func (l *Learner) inferEnsemble(ctx context.Context, b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) error {
+	p, _, err := l.ens.Infer(ctx, b, obs, bo)
 	if err != nil {
-		return fmt.Errorf("core: ensemble: %w", err)
+		return fmt.Errorf("core: %w", err)
 	}
 	res.Strategy = StrategyEnsemble
-	res.Proba = fused
-	res.Pred = argmaxRows(fused)
+	res.Pred, res.Proba = p.Pred, p.Proba
 	return nil
 }
 
-// inferCEC runs coherent experience clustering; ok=false when no labeled
-// experience is available yet.
-func (l *Learner) inferCEC(b stream.Batch, res *Result, bo *batchObs) (bool, error) {
-	expX, expY := l.exp.Experience()
-	if len(expX) == 0 {
-		return false, nil
-	}
-	// Per the paper, CEC uses "a small subset of labeled data that is
-	// closest to the current batch": under the coherence hypothesis the
-	// tail of the previous batch already samples the incoming distribution,
-	// and proximity selection finds exactly those points. Distant (pre-
-	// shift) experience would pull the joint clustering apart by regime
-	// instead of by class.
-	m := len(b.X) / 4
-	if m < 1 {
-		m = 1
-	}
-	expX, expY = nearestExperience(b.X, expX, expY, m)
-	classes := l.grans[0].m.NumClasses()
-	// Over-cluster (k = 2c): imbalanced or non-spherical classes occupy
-	// several clusters each; the majority vote still maps every cluster to
-	// a label.
-	tCEC := bo.now()
-	pred, st, err := cluster.CECKWithStats(b.X, expX, expY, 2*classes, classes, l.cfg.Seed+int64(l.batch))
-	bo.stageDone(stageCluster, tCEC)
-	if err != nil {
-		return false, fmt.Errorf("core: CEC: %w", err)
-	}
-	bo.cec(st)
-	agreement := st.Agreement
-	// Arbitration on the coherent experience: the experience points are
-	// labeled and (by the coherence hypothesis) drawn from the incoming
-	// distribution, so they measure both CEC's cluster/label alignment and
-	// whether the deployed model is actually unsuitable. CEC replaces the
-	// model only when it wins that comparison (the failure mode of paper
-	// Sec. VI-F is exactly CEC losing it).
-	deployedPred := l.grans[0].m.Predict(expX)
-	deployedAgree, err := metrics.Accuracy(deployedPred, expY)
-	if err != nil {
-		return false, err
-	}
-	// Both estimates come from a handful of points, so CEC must win by a
-	// clear margin before displacing the deployed model.
-	if agreement <= deployedAgree+cecMargin {
-		return false, nil
-	}
-	res.Strategy = StrategyCEC
-	res.Pred = pred
-	return true, nil
-}
-
-// cecMargin is how much CEC's experience agreement must exceed the deployed
-// model's before CEC takes over.
-const cecMargin = 0.05
-
-// inferKnowledge restores the nearest historical snapshot when it is closer
-// to the current distribution than the previous batch was (paper Sec. IV-D
-// knowledge match); ok=false when nothing qualifies.
-func (l *Learner) inferKnowledge(b stream.Batch, obs shift.Observation, res *Result, bo *batchObs) (bool, error) {
-	tMatch := bo.now()
-	snap, dist, ok, err := l.kdg.Match(obs.YBar)
-	bo.stageDone(stageKnowledgeLookup, tMatch)
-	if err != nil {
-		return false, fmt.Errorf("core: knowledge match: %w", err)
-	}
-	// Reuse only confident matches: the preserved distribution must be
-	// meaningfully closer than the batch we just shifted away from (same
-	// ratio as the Pattern C detection rule), else a marginal restore can
-	// displace a continuously-trained model that is already adequate.
-	if !ok || dist >= l.cfg.Shift.ReoccurRatio*obs.Distance {
-		if !ok {
-			dist = math.Inf(1) // no eligible entry: trace it as -1
-		}
-		bo.knowledge(false, dist)
-		return false, nil
-	}
-	bo.knowledge(true, dist)
-	if err := l.reuse.Restore(snap); err != nil {
-		return false, fmt.Errorf("core: knowledge restore: %w", err)
-	}
-	res.Strategy = StrategyKnowledge
-
-	// The restored model joins the distance ensemble rather than replacing
-	// it outright: its matched distance is far smaller than the current
-	// models' post-shift distances, so it dominates the kernel weighting —
-	// but if the live models are still competitive the fusion keeps their
-	// signal.
-	members := []ensemble.Member{{Proba: l.reuse.PredictProba(b.X), Distance: dist}}
-	for _, g := range l.grans {
-		members = append(members, ensemble.Member{
-			Proba:    g.m.PredictProba(b.X),
-			Distance: centroidDistance(obs.YBar, g.centroid),
-		})
-	}
-	normalizeDistances(members)
-	recordWeights(bo, members, l.cfg.Sigma)
-	fused, err := ensemble.Fuse(members, l.cfg.Sigma)
-	if err != nil {
-		return false, fmt.Errorf("core: knowledge fuse: %w", err)
-	}
-	res.Proba = fused
-	res.Pred = argmaxRows(fused)
-
-	// Reuse means not relearning (SC3): on a confident match the preserved
-	// parameters also become the working short model, so subsequent batches
-	// of the reoccurred regime start from them instead of re-adapting from
-	// the departed regime's.
-	if dist < 0.5*l.cfg.Shift.ReoccurRatio*obs.Distance {
-		if err := l.grans[0].m.Restore(snap); err != nil {
-			return false, fmt.Errorf("core: knowledge adopt: %w", err)
-		}
-		l.grans[0].centroid = obs.YBar.Clone()
-	}
-	return true, nil
-}
-
-// train updates every granularity model per its schedule and maintains the
-// experience buffer and knowledge store.
-func (l *Learner) train(b stream.Batch, obs shift.Observation, bo *batchObs) error {
-	// Fixed-frequency models. After every update the watchdog checks the
-	// model's health; a diverged model is rolled back to its last healthy
-	// snapshot and keeps its previous centroid (the rolled-back parameters
-	// belong to the pre-divergence distribution).
-	tShort := bo.now()
-	for _, g := range l.grans {
-		g.bufX = append(g.bufX, b.X...)
-		g.bufY = append(g.bufY, b.Y...)
-		g.pending++
-		if g.pending < g.every {
-			continue
-		}
-		loss, err := g.m.Fit(g.bufX, g.bufY)
-		if err != nil {
-			return err
-		}
-		diverged := false
-		if g.wd != nil {
-			if ev := g.wd.check(g.m, loss, l.batch); ev != nil {
-				diverged = true
-				l.recordRecovery(*ev)
-			}
-		}
-		if !diverged && obs.YBar != nil {
-			g.centroid = obs.YBar.Clone()
-		}
-		g.bufX, g.bufY, g.pending = nil, nil, 0
-	}
-	bo.stageDone(stageShortUpdate, tShort)
-
-	// Long-model weight averaging: fold the freshly updated short model
-	// into the long model's EMA and advance its centroid the same way.
-	if l.cfg.LongEMA > 0 && obs.YBar != nil && l.long.Net() != nil {
-		l.mu.Lock()
-		emaParams(l.long, l.grans[0].m, l.cfg.LongEMA)
-		if l.longCentroid == nil {
-			l.longCentroid = obs.YBar.Clone()
-		} else if len(l.longCentroid) == len(obs.YBar) {
-			for j := range l.longCentroid {
-				l.longCentroid[j] = l.cfg.LongEMA*l.longCentroid[j] + (1-l.cfg.LongEMA)*obs.YBar[j]
-			}
-		}
-		l.mu.Unlock()
-	}
-
-	// Coherent experience.
-	if err := l.exp.AddBatch(b.X, b.Y); err != nil {
+// train updates every mechanism: the experience buffer first (CEC), then
+// the granularity models, window, and knowledge preservation (ensemble;
+// knowledge reuse trains nothing per batch).
+func (l *Learner) train(ctx context.Context, b stream.Batch, obs shift.Observation, bo *batchObs) error {
+	if err := l.cec.Train(ctx, b, obs, bo); err != nil {
 		return err
 	}
-
-	// Long model via the adaptive streaming window. During detector warm-up
-	// there is no projected centroid yet, so the window starts afterward.
-	if obs.YBar == nil {
-		return nil
-	}
-	tWin := bo.now()
-	full, err := l.asw.Push(b.X, b.Y, obs.YBar)
-	if err != nil {
-		return err
-	}
-	if l.pre != nil {
-		// Pre-computing window (Sec. V-B): fold this batch's gradient in
-		// now, so the update at window close is a single cheap step. This
-		// trades the decay weighting of TrainingSet for latency — the
-		// gradients were computed at arrival weight.
-		l.mu.Lock()
-		err := l.pre.AddSubset(b.X, b.Y)
-		l.mu.Unlock()
-		if err != nil {
-			return err
-		}
-	}
-	bo.stageDone(stageWindowPush, tWin)
-	if !full {
-		return nil
-	}
-	bo.windowClosed()
-	return l.updateLong(obs, bo)
-}
-
-// updateLong trains the long-granularity model from the closed window,
-// preserves knowledge per the β policy, and resets the window.
-func (l *Learner) updateLong(obs shift.Observation, bo *batchObs) error {
-	disorder := l.asw.Disorder()
-	distribution := l.asw.Distribution()
-	var trainX [][]float64
-	var trainY []int
-	if l.pre == nil {
-		trainX, trainY = l.asw.TrainingSet()
-	}
-	l.asw.Reset()
-
-	// The short model keeps training on the caller's goroutine, so its
-	// snapshot must be captured now, not inside an async update. It serves
-	// two purposes: the β-policy preservation below, and re-basing the long
-	// model — the long-granularity model is the current model smoothed over
-	// the whole window, so each close starts from the freshest parameters
-	// and then trains across the window's weighted data. Without re-basing
-	// the long model accumulates staleness that no distance weighting can
-	// detect (distance measures data match, not parameter quality).
-	shortSnap, err := l.grans[0].m.Snapshot()
-	if err != nil {
-		return err
-	}
-	// Same-regime radius for knowledge replacement: distributions within
-	// the stream's typical batch-to-batch wander are the same regime, so a
-	// fresher snapshot overwrites the stale one. Computed here, on the
-	// caller's goroutine — the detector is not safe to touch from an async
-	// update.
-	replaceRadius := 1.5 * meanOf(l.det.HistoryDistances())
-	batchNum := l.batch
-
-	apply := func() error {
-		l.mu.Lock()
-		defer l.mu.Unlock()
-		// lastLoss feeds the long model's watchdog; negative means the
-		// update path produced no loss signal (precompute), where only the
-		// weight checks apply.
-		lastLoss := -1.0
-		if l.pre != nil {
-			if err := l.pre.Finalize(l.longOpt); err != nil {
-				return err
-			}
-			l.pre.Start()
-		} else if len(trainX) > 0 {
-			if l.cfg.LongRebase && l.cfg.LongEMA == 0 {
-				if err := l.long.Restore(shortSnap); err != nil {
-					return err
-				}
-			}
-			// Chunked mini-batch epochs over the weighted window, matching
-			// how a DataLoader-driven PyTorch update iterates window data.
-			for epoch := 0; epoch < l.cfg.LongEpochs; epoch++ {
-				for start := 0; start < len(trainX); start += l.cfg.LongChunk {
-					end := start + l.cfg.LongChunk
-					if end > len(trainX) {
-						end = len(trainX)
-					}
-					loss, err := l.long.Fit(trainX[start:end], trainY[start:end])
-					if err != nil {
-						return err
-					}
-					lastLoss = loss
-				}
-			}
-		}
-		if l.longWd != nil {
-			if ev := l.longWd.check(l.long, lastLoss, batchNum); ev != nil {
-				l.recordRecovery(*ev)
-			}
-		}
-		// With EMA averaging the centroid is maintained per batch and is
-		// fresher than the window distribution.
-		if distribution != nil && l.cfg.LongEMA == 0 {
-			l.longCentroid = distribution
-		}
-		return l.preserveKnowledge(disorder, distribution, shortSnap, replaceRadius, obs)
-	}
-
-	// With pre-computed gradients the closing step is a single optimizer
-	// application — running it inline is cheaper than a goroutine and avoids
-	// interleaving the next window's AddSubset with this window's Finalize.
-	if l.cfg.Async && l.pre == nil {
-		l.wg.Add(1)
-		go func() {
-			defer l.wg.Done()
-			// The batch's trace event may already be emitted when this
-			// finishes, so the async path feeds the stage histogram only.
-			start := time.Now()
-			err := apply()
-			l.obs.observeStage(stageLongUpdate, time.Since(start))
-			if err != nil {
-				l.noteAsyncErr(err)
-			}
-		}()
-		return nil
-	}
-	tLong := bo.now()
-	err = apply()
-	bo.stageDone(stageLongUpdate, tLong)
-	return err
-}
-
-// preserveKnowledge applies the disorder-threshold policy of Sec. IV-D1.
-// Callers hold l.mu; shortSnap was captured synchronously at window close.
-func (l *Learner) preserveKnowledge(disorder float64, distribution linalg.Vector, shortSnap []byte, replaceRadius float64, obs shift.Observation) error {
-	if distribution == nil {
-		return nil
-	}
-	decision := knowledge.Policy{Beta: l.cfg.Beta}.Decide(disorder)
-	if decision.SaveLong {
-		snap, err := l.long.Snapshot()
-		if err != nil {
-			return err
-		}
-		if err := l.kdg.PreserveOrReplace(distribution, snap, "long", obs.Batch, replaceRadius); err != nil {
-			return err
-		}
-	}
-	if decision.SaveShort && shortSnap != nil && obs.YBar != nil {
-		if err := l.kdg.PreserveOrReplace(obs.YBar, shortSnap, "short", obs.Batch, replaceRadius); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// emaParams folds src's weights into dst: dst = decay·dst + (1−decay)·src.
-// Both models must share an architecture. Callers hold l.mu.
-func emaParams(dst, src model.Model, decay float64) {
-	dp := dst.Net().Params()
-	sp := src.Net().Params()
-	for i := range dp {
-		dw, sw := dp[i].W, sp[i].W
-		for j := range dw {
-			dw[j] = decay*dw[j] + (1-decay)*sw[j]
-		}
-	}
+	return l.ens.Train(ctx, b, obs, bo)
 }
 
 // meanOf returns the arithmetic mean (0 for empty input).
@@ -767,84 +438,6 @@ func meanOf(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-// nearestExperience returns the m labeled experience points closest to the
-// batch's centroid.
-func nearestExperience(batch [][]float64, expX [][]float64, expY []int, m int) ([][]float64, []int) {
-	if m >= len(expX) {
-		return expX, expY
-	}
-	centroid := make([]float64, len(batch[0]))
-	for _, row := range batch {
-		for j, v := range row {
-			centroid[j] += v
-		}
-	}
-	for j := range centroid {
-		centroid[j] /= float64(len(batch))
-	}
-	type scored struct {
-		idx  int
-		dist float64
-	}
-	scores := make([]scored, len(expX))
-	for i, x := range expX {
-		var d float64
-		for j := range x {
-			diff := x[j] - centroid[j]
-			d += diff * diff
-		}
-		scores[i] = scored{idx: i, dist: d}
-	}
-	sort.Slice(scores, func(a, b int) bool { return scores[a].dist < scores[b].dist })
-	outX := make([][]float64, m)
-	outY := make([]int, m)
-	for i := 0; i < m; i++ {
-		outX[i] = expX[scores[i].idx]
-		outY[i] = expY[scores[i].idx]
-	}
-	return outX, outY
-}
-
-// normalizeDistances rescales the members' finite distances by their mean,
-// leaving infinite distances (untrained models) untouched. Degenerate cases
-// (no finite distances, zero mean) are left as-is.
-func normalizeDistances(members []ensemble.Member) {
-	var sum float64
-	n := 0
-	for _, m := range members {
-		if !math.IsInf(m.Distance, 0) {
-			sum += m.Distance
-			n++
-		}
-	}
-	if n == 0 || sum == 0 {
-		return
-	}
-	mean := sum / float64(n)
-	for i := range members {
-		if !math.IsInf(members[i].Distance, 0) {
-			members[i].Distance /= mean
-		}
-	}
-}
-
-// centroidDistance returns the Euclidean distance, or +Inf when the model
-// has no training distribution yet (its kernel weight then vanishes).
-func centroidDistance(y, centroid linalg.Vector) float64 {
-	if y == nil || centroid == nil || len(y) != len(centroid) {
-		return math.Inf(1)
-	}
-	return y.Distance(centroid)
-}
-
-func argmaxRows(proba [][]float64) []int {
-	out := make([]int, len(proba))
-	for i, row := range proba {
-		out[i] = nn.Argmax(row)
-	}
-	return out
-}
-
 func toVectors(x [][]float64) []linalg.Vector {
 	out := make([]linalg.Vector, len(x))
 	for i, row := range x {
@@ -853,107 +446,14 @@ func toVectors(x [][]float64) []linalg.Vector {
 	return out
 }
 
-// ErrClosed is reserved for future lifecycle handling.
-var ErrClosed = errors.New("core: learner closed")
-
-// recordWeights feeds the fusion weights the members will receive to the
-// batch trace. No-op (and no allocation) when instrumentation is off.
-func recordWeights(bo *batchObs, members []ensemble.Member, sigma float64) {
-	if bo == nil {
-		return
-	}
-	ds := make([]float64, len(members))
-	for i := range members {
-		ds[i] = members[i].Distance
-	}
-	if ws, err := ensemble.Weights(ds, sigma); err == nil {
-		bo.weights(ws)
-	}
-}
-
-// recordRecovery folds one watchdog event into the health counters and the
-// bounded event log. Safe from the async update goroutine.
-func (l *Learner) recordRecovery(ev RecoveryEvent) {
-	l.obs.recordDivergence(ev.RolledBack)
-	l.health.mu.Lock()
-	defer l.health.mu.Unlock()
-	l.health.divergences++
-	if ev.RolledBack {
-		l.health.recoveries++
-	}
-	if len(l.health.events) == maxRecoveryEvents {
-		copy(l.health.events, l.health.events[1:])
-		l.health.events = l.health.events[:maxRecoveryEvents-1]
-	}
-	l.health.events = append(l.health.events, ev)
-}
-
-// Stats are the learner's fault-tolerance counters: what the guard
-// sanitized or refused, what the watchdog detected and rolled back, and
-// what the persistence layer degraded around.
-type Stats struct {
-	// SanitizedValues counts non-finite feature values repaired by the
-	// guard (clamp/impute policies); SanitizedBatches the batches affected.
-	SanitizedValues  int
-	SanitizedBatches int
-	// RejectedBatches counts batches refused by the reject policy.
-	RejectedBatches int
-	// Divergences counts watchdog detections (NaN/Inf weights or loss
-	// explosions); Recoveries counts the rollbacks that followed.
-	Divergences int
-	Recoveries  int
-	// AsyncErrorsDropped counts background-update errors lost to the
-	// bounded pending queue.
-	AsyncErrorsDropped int
-	// KnowledgeSkipped counts corrupt knowledge entries skipped during a
-	// degraded checkpoint restore.
-	KnowledgeSkipped int
-	// SpillFailures and SpillLoadFailures surface the knowledge store's
-	// filesystem fault counters (failed spill writes / unreadable spill
-	// reads).
-	SpillFailures     int
-	SpillLoadFailures int
-}
-
-// Stats returns the learner's fault-tolerance counters.
-func (l *Learner) Stats() Stats {
-	l.health.mu.Lock()
-	s := Stats{
-		SanitizedValues:    l.health.sanitizedValues,
-		SanitizedBatches:   l.health.sanitizedBatches,
-		RejectedBatches:    l.health.rejectedBatches,
-		Divergences:        l.health.divergences,
-		Recoveries:         l.health.recoveries,
-		AsyncErrorsDropped: l.health.asyncDropped,
-		KnowledgeSkipped:   l.health.knowledgeSkipped,
-	}
-	l.health.mu.Unlock()
-	s.SpillFailures = l.kdg.SpillFailures()
-	s.SpillLoadFailures = l.kdg.LoadFailures()
-	return s
-}
-
-// RecoveryEvents returns a copy of the retained watchdog event log (the
-// most recent maxRecoveryEvents divergences).
-func (l *Learner) RecoveryEvents() []RecoveryEvent {
-	l.health.mu.Lock()
-	defer l.health.mu.Unlock()
-	return append([]RecoveryEvent(nil), l.health.events...)
-}
-
 // DebugModels exposes the short and long granularity models for diagnostic
 // tooling and white-box tests.
 func (l *Learner) DebugModels() (short, long model.Model) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return l.grans[0].m, l.long
+	return l.ens.DebugModels()
 }
 
 // DebugDistances recomputes the short/long model shift distances for a
 // result's observation (diagnostics only).
 func (l *Learner) DebugDistances(res Result) (dShort, dLong float64) {
-	l.mu.RLock()
-	defer l.mu.RUnlock()
-	return centroidDistance(res.Observation.YBar, l.grans[0].centroid),
-		centroidDistance(res.Observation.YBar, l.longCentroid)
+	return l.ens.DebugDistances(res.Observation.YBar)
 }

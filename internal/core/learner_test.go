@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -90,7 +91,7 @@ func TestWarmupThenEnsemble(t *testing.T) {
 	defer l.Close()
 	rng := rand.New(rand.NewSource(1))
 
-	res, err := l.Process(driftBatch(rng, 0, 64, 0, 0, stream.KindNone))
+	res, err := l.Process(context.Background(), driftBatch(rng, 0, 64, 0, 0, stream.KindNone))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestWarmupThenEnsemble(t *testing.T) {
 		t.Fatalf("first batch strategy = %v", res.Strategy)
 	}
 	for s := 1; s < 10; s++ {
-		res, err = l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err = l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func TestLearnsStationaryStream(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func TestSuddenShiftTriggersCEC(t *testing.T) {
 	defer l.Close()
 	rng := rand.New(rand.NewSource(3))
 	for s := 0; s < 24; s++ {
-		if _, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -158,10 +159,10 @@ func TestSuddenShiftTriggersCEC(t *testing.T) {
 		pre.X[i] = tail.X[i]
 		pre.Y[i] = tail.Y[i]
 	}
-	if _, err := l.Process(pre); err != nil {
+	if _, err := l.Process(context.Background(), pre); err != nil {
 		t.Fatal(err)
 	}
-	res, err := l.Process(driftBatch(rng, 25, 64, 60, -40, stream.KindSudden))
+	res, err := l.Process(context.Background(), driftBatch(rng, 25, 64, 60, -40, stream.KindSudden))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestReoccurringShiftUsesKnowledge(t *testing.T) {
 	seq := 0
 	// Home regime: long enough for several window closes → knowledge saved.
 	for s := 0; s < 30; s++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 		seq++
@@ -198,13 +199,13 @@ func TestReoccurringShiftUsesKnowledge(t *testing.T) {
 	}
 	// Away regime.
 	for s := 0; s < 12; s++ {
-		if _, err := l.Process(driftBatch(rng, seq, 64, 50, 40, stream.KindSudden)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 50, 40, stream.KindSudden)); err != nil {
 			t.Fatal(err)
 		}
 		seq++
 	}
 	// Return home: Pattern C with knowledge reuse.
-	res, err := l.Process(driftBatch(rng, seq, 64, 0, 0, stream.KindReoccurring))
+	res, err := l.Process(context.Background(), driftBatch(rng, seq, 64, 0, 0, stream.KindReoccurring))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestAsyncMatchesSyncEventually(t *testing.T) {
 		rng := rand.New(rand.NewSource(5))
 		var last Result
 		for s := 0; s < 40; s++ {
-			res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+			res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 			if err != nil {
 				t.Fatalf("async=%v: %v", async, err)
 			}
@@ -260,7 +261,7 @@ func TestPrecomputeOnAndOffBothLearn(t *testing.T) {
 		rng := rand.New(rand.NewSource(6))
 		var last Result
 		for s := 0; s < 40; s++ {
-			res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+			res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 			if err != nil {
 				t.Fatalf("precompute=%v: %v", pre, err)
 			}
@@ -283,16 +284,17 @@ func TestModelNumThreeGranularities(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if len(l.grans) != 2 {
-		t.Fatalf("grans = %d, want 2 fixed-frequency models", len(l.grans))
+	grans := l.Ensemble().Granularities()
+	if len(grans) != 2 {
+		t.Fatalf("grans = %d, want 2 fixed-frequency models", len(grans))
 	}
-	if l.grans[0].every != 1 || l.grans[1].every != 2 {
-		t.Errorf("frequencies = %d, %d", l.grans[0].every, l.grans[1].every)
+	if grans[0].Every != 1 || grans[1].Every != 2 {
+		t.Errorf("frequencies = %d, %d", grans[0].Every, grans[1].Every)
 	}
 	rng := rand.New(rand.NewSource(7))
 	var last Result
 	for s := 0; s < 40; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -311,14 +313,14 @@ func TestUnlabeledBatchesInferOnly(t *testing.T) {
 	defer l.Close()
 	rng := rand.New(rand.NewSource(8))
 	for s := 0; s < 10; s++ {
-		if _, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	trainedBatches := l.Metrics().Batches()
 	b := driftBatch(rng, 10, 64, 0, 0, stream.KindNone)
 	b.Y = nil
-	res, err := l.Process(b)
+	res, err := l.Process(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +341,7 @@ func TestProcessRejectsInvalidBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	if _, err := l.Process(stream.Batch{}); err == nil {
+	if _, err := l.Process(context.Background(), stream.Batch{}); err == nil {
 		t.Error("empty batch should error")
 	}
 }
@@ -353,7 +355,7 @@ func TestSubPatternRefinement(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	var last Result
 	for s := 0; s < 30; s++ {
-		res, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone))
+		res, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -385,7 +387,7 @@ func TestFullPipelineOnDataset(t *testing.T) {
 		if !ok {
 			break
 		}
-		res, err := l.Process(b)
+		res, err := l.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -413,7 +415,7 @@ func TestRateAdjusterIntegration(t *testing.T) {
 	adj.Report(5000, 10) // overload → decay boost
 	rng := rand.New(rand.NewSource(10))
 	for s := 0; s < 20; s++ {
-		if _, err := l.Process(driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -31,7 +32,7 @@ func benchLearner(b *testing.B, instrument bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := l.Process(batches[i%len(batches)]); err != nil {
+		if _, err := l.Process(context.Background(), batches[i%len(batches)]); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,38 +8,23 @@ import (
 	"freewayml/internal/knowledge"
 	"freewayml/internal/obs"
 	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 )
-
-// Stage names used in the freeway_stage_seconds{stage=...} histograms and
-// the per-event stage timings. "predict" wraps the whole strategy dispatch,
-// so it contains "cluster" and "knowledge_lookup" when those mechanisms run.
-// "long_update" covers the window-close training; when Async is on it is
-// measured on the background goroutine and lands in the histogram only (the
-// batch's trace event has already been emitted by then).
-const (
-	stageGuard           = "guard"
-	stageShiftDetect     = "shift_detect"
-	stagePredict         = "predict"
-	stageCluster         = "cluster"
-	stageKnowledgeLookup = "knowledge_lookup"
-	stageShortUpdate     = "short_update"
-	stageWindowPush      = "window_push"
-	stageLongUpdate      = "long_update"
-)
-
-var stageNames = []string{
-	stageGuard, stageShiftDetect, stagePredict, stageCluster,
-	stageKnowledgeLookup, stageShortUpdate, stageWindowPush, stageLongUpdate,
-}
 
 // Observer instruments a Learner: it maintains Prometheus-style series in an
 // obs.Registry and records one structured TraceEvent per processed batch in
 // a bounded ring. Every series handle is resolved once at construction so
 // the per-batch cost is atomic increments, not registry lookups. A nil
 // *Observer is valid and disables all instrumentation.
+//
+// An observer may carry base labels (e.g. stream="orders") appended to every
+// series it registers, so many learners can share one registry — the
+// multi-stream session layer labels each session's observer with its stream
+// id.
 type Observer struct {
 	reg  *obs.Registry
 	ring *obs.TraceRing
+	base []string // base label key/value pairs appended to every series
 
 	batches    *obs.Counter
 	samples    *obs.Counter
@@ -103,6 +88,13 @@ func patternLabel(p shift.Pattern) string {
 // NewObserver builds an observer registering into reg (nil selects
 // obs.Default) with a trace ring of traceCap events (<=0 selects 1024).
 func NewObserver(reg *obs.Registry, traceCap int) *Observer {
+	return NewObserverLabeled(reg, traceCap)
+}
+
+// NewObserverLabeled builds an observer whose every series carries the
+// given base label key/value pairs (e.g. "stream", "orders"), so many
+// observers can coexist in one registry.
+func NewObserverLabeled(reg *obs.Registry, traceCap int, baseLabels ...string) *Observer {
 	if reg == nil {
 		reg = obs.Default
 	}
@@ -112,52 +104,64 @@ func NewObserver(reg *obs.Registry, traceCap int) *Observer {
 	o := &Observer{
 		reg:  reg,
 		ring: obs.NewTraceRing(traceCap),
-
-		batches:    reg.Counter("freeway_batches_total", "Batches processed by the learner."),
-		samples:    reg.Counter("freeway_samples_total", "Samples processed by the learner."),
-		processSec: reg.Histogram("freeway_process_seconds", "End-to-end Process latency per batch.", nil),
-		stage:      map[string]*obs.Histogram{},
-		pattern:    map[string]*obs.Counter{},
-		strategy:   map[string]*obs.Counter{},
-
-		guardValues:   reg.Counter("freeway_guard_sanitized_values_total", "Non-finite feature values repaired by the input guard."),
-		guardBatches:  reg.Counter("freeway_guard_sanitized_batches_total", "Batches with at least one repaired value."),
-		guardRejected: reg.Counter("freeway_guard_rejected_batches_total", "Batches refused by the input guard's reject policy."),
-
-		wdDivergences: reg.Counter("freeway_watchdog_divergences_total", "Model divergences detected by the watchdog."),
-		wdRollbacks:   reg.Counter("freeway_watchdog_rollbacks_total", "Watchdog rollbacks to a healthy snapshot."),
-
-		kHits:         reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", "result", "hit"),
-		kMisses:       reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", "result", "miss"),
-		kPreserves:    reg.Counter("freeway_knowledge_preserves_total", "Snapshots preserved into the knowledge store."),
-		kReplacements: reg.Counter("freeway_knowledge_replacements_total", "Same-regime snapshots replaced in place."),
-
-		winCloses:    reg.Counter("freeway_window_closes_total", "Adaptive-window closes (long-model update triggers)."),
-		winEvictions: reg.Counter("freeway_window_evictions_total", "Window batches evicted by decay-weight expiry."),
-
-		gWinBatches: reg.Gauge("freeway_window_batches", "Batches currently held by the adaptive streaming window."),
-		gWinItems:   reg.Gauge("freeway_window_items", "Samples currently held by the adaptive streaming window."),
-		gDisorder:   reg.Gauge("freeway_window_disorder", "Normalized window disorder (A1/A2 and β-policy evidence)."),
-		gDecayBoost: reg.Gauge("freeway_window_decay_boost", "Rate-adjuster decay boost applied to the window."),
-		gKEntries:   reg.Gauge("freeway_knowledge_entries", "Entries in the historical knowledge store."),
-		gKBytes:     reg.Gauge("freeway_knowledge_bytes", "In-memory bytes held by the knowledge store."),
-		gKSpilled:   reg.Gauge("freeway_knowledge_spilled", "Knowledge entries spilled to disk."),
-		gAccuracy:   reg.Gauge("freeway_batch_accuracy", "Real-time accuracy of the most recent labeled batch."),
-		gWeight:     map[string]*obs.Gauge{},
+		base: baseLabels,
 	}
-	for _, s := range stageNames {
-		o.stage[s] = reg.Histogram("freeway_stage_seconds", "Per-stage latency within Process.", nil, "stage", s)
+	o.batches = reg.Counter("freeway_batches_total", "Batches processed by the learner.", o.lbl()...)
+	o.samples = reg.Counter("freeway_samples_total", "Samples processed by the learner.", o.lbl()...)
+	o.processSec = reg.Histogram("freeway_process_seconds", "End-to-end Process latency per batch.", nil, o.lbl()...)
+	o.stage = map[string]*obs.Histogram{}
+	o.pattern = map[string]*obs.Counter{}
+	o.strategy = map[string]*obs.Counter{}
+
+	o.guardValues = reg.Counter("freeway_guard_sanitized_values_total", "Non-finite feature values repaired by the input guard.", o.lbl()...)
+	o.guardBatches = reg.Counter("freeway_guard_sanitized_batches_total", "Batches with at least one repaired value.", o.lbl()...)
+	o.guardRejected = reg.Counter("freeway_guard_rejected_batches_total", "Batches refused by the input guard's reject policy.", o.lbl()...)
+
+	o.wdDivergences = reg.Counter("freeway_watchdog_divergences_total", "Model divergences detected by the watchdog.", o.lbl()...)
+	o.wdRollbacks = reg.Counter("freeway_watchdog_rollbacks_total", "Watchdog rollbacks to a healthy snapshot.", o.lbl()...)
+
+	o.kHits = reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", o.lbl("result", "hit")...)
+	o.kMisses = reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", o.lbl("result", "miss")...)
+	o.kPreserves = reg.Counter("freeway_knowledge_preserves_total", "Snapshots preserved into the knowledge store.", o.lbl()...)
+	o.kReplacements = reg.Counter("freeway_knowledge_replacements_total", "Same-regime snapshots replaced in place.", o.lbl()...)
+
+	o.winCloses = reg.Counter("freeway_window_closes_total", "Adaptive-window closes (long-model update triggers).", o.lbl()...)
+	o.winEvictions = reg.Counter("freeway_window_evictions_total", "Window batches evicted by decay-weight expiry.", o.lbl()...)
+
+	o.gWinBatches = reg.Gauge("freeway_window_batches", "Batches currently held by the adaptive streaming window.", o.lbl()...)
+	o.gWinItems = reg.Gauge("freeway_window_items", "Samples currently held by the adaptive streaming window.", o.lbl()...)
+	o.gDisorder = reg.Gauge("freeway_window_disorder", "Normalized window disorder (A1/A2 and β-policy evidence).", o.lbl()...)
+	o.gDecayBoost = reg.Gauge("freeway_window_decay_boost", "Rate-adjuster decay boost applied to the window.", o.lbl()...)
+	o.gKEntries = reg.Gauge("freeway_knowledge_entries", "Entries in the historical knowledge store.", o.lbl()...)
+	o.gKBytes = reg.Gauge("freeway_knowledge_bytes", "In-memory bytes held by the knowledge store.", o.lbl()...)
+	o.gKSpilled = reg.Gauge("freeway_knowledge_spilled", "Knowledge entries spilled to disk.", o.lbl()...)
+	o.gAccuracy = reg.Gauge("freeway_batch_accuracy", "Real-time accuracy of the most recent labeled batch.", o.lbl()...)
+	o.gWeight = map[string]*obs.Gauge{}
+
+	for _, s := range strategy.StageNames {
+		o.stage[s] = reg.Histogram("freeway_stage_seconds", "Per-stage latency within Process.", nil, o.lbl("stage", s)...)
 	}
 	for _, p := range []shift.Pattern{shift.PatternWarmup, shift.PatternA, shift.PatternA1, shift.PatternA2, shift.PatternB, shift.PatternC} {
-		o.pattern[patternLabel(p)] = reg.Counter("freeway_pattern_total", "Batches per detected shift pattern (A1/A2 slight, B sudden, C reoccurring).", "pattern", patternLabel(p))
+		o.pattern[patternLabel(p)] = reg.Counter("freeway_pattern_total", "Batches per detected shift pattern (A1/A2 slight, B sudden, C reoccurring).", o.lbl("pattern", patternLabel(p))...)
 	}
 	for _, s := range []Strategy{StrategyWarmup, StrategyEnsemble, StrategyCEC, StrategyKnowledge} {
-		o.strategy[s.String()] = reg.Counter("freeway_strategy_total", "Batches per dispatched adaptation strategy.", "strategy", s.String())
+		o.strategy[s.String()] = reg.Counter("freeway_strategy_total", "Batches per dispatched adaptation strategy.", o.lbl("strategy", s.String())...)
 	}
 	for _, m := range []string{"short", "long", "knowledge"} {
-		o.gWeight[m] = reg.Gauge("freeway_ensemble_weight", "Latest normalized fusion weight per ensemble member.", "member", m)
+		o.gWeight[m] = reg.Gauge("freeway_ensemble_weight", "Latest normalized fusion weight per ensemble member.", o.lbl("member", m)...)
 	}
 	return o
+}
+
+// lbl appends the observer's base labels to the given key/value pairs (the
+// registry sorts label keys at render time, so order is irrelevant).
+func (o *Observer) lbl(kv ...string) []string {
+	if len(o.base) == 0 {
+		return kv
+	}
+	out := make([]string, 0, len(kv)+len(o.base))
+	out = append(out, kv...)
+	return append(out, o.base...)
 }
 
 // Registry returns the registry the observer writes to.
@@ -166,9 +170,9 @@ func (o *Observer) Registry() *obs.Registry { return o.reg }
 // Trace returns the bounded decision-trace ring.
 func (o *Observer) Trace() *obs.TraceRing { return o.ring }
 
-// observeStage records a stage duration into its histogram. Safe from any
+// ObserveStage records a stage duration into its histogram. Safe from any
 // goroutine (the async long-update path uses it) and on a nil receiver.
-func (o *Observer) observeStage(name string, d time.Duration) {
+func (o *Observer) ObserveStage(name string, d time.Duration) {
 	if o == nil {
 		return
 	}
@@ -206,14 +210,15 @@ func (o *Observer) begin(l *Learner) *batchObs {
 			NearestHistory:    -1,
 			KnowledgeDistance: -1,
 			Accuracy:          -1,
-			Stages:            make([]obs.StageTiming, 0, len(stageNames)),
+			Stages:            make([]obs.StageTiming, 0, len(strategy.StageNames)),
 		},
 		divergences0: div,
 	}
 }
 
 // batchObs accumulates one batch's decision trace. Every method is nil-safe
-// so the learner's hot path needs no explicit guards.
+// so the learner's hot path needs no explicit guards; a nil *batchObs also
+// satisfies strategy.Trace, so the mechanisms call hooks unconditionally.
 type batchObs struct {
 	o            *Observer
 	start        time.Time
@@ -221,23 +226,27 @@ type batchObs struct {
 	divergences0 int
 }
 
-// now returns the stage start time (zero when instrumentation is off).
-func (bo *batchObs) now() time.Time {
+// compile-time check: the per-batch collector is the strategies' trace.
+var _ strategy.Trace = (*batchObs)(nil)
+
+// StageStart returns the stage start time (zero when instrumentation is
+// off).
+func (bo *batchObs) StageStart() time.Time {
 	if bo == nil {
 		return time.Time{}
 	}
 	return time.Now()
 }
 
-// stageDone closes a stage opened with now: it appends the timing to the
-// event and observes the stage histogram.
-func (bo *batchObs) stageDone(name string, t0 time.Time) {
+// StageDone closes a stage opened with StageStart: it appends the timing to
+// the event and observes the stage histogram.
+func (bo *batchObs) StageDone(name string, t0 time.Time) {
 	if bo == nil {
 		return
 	}
 	d := time.Since(t0)
 	bo.ev.Stages = append(bo.ev.Stages, obs.StageTiming{Stage: name, Micros: float64(d) / float64(time.Microsecond)})
-	bo.o.observeStage(name, d)
+	bo.o.ObserveStage(name, d)
 }
 
 // sanitized records repaired feature values.
@@ -256,18 +265,18 @@ func (bo *batchObs) decayBoost(v float64) {
 	bo.ev.DecayBoost = v
 }
 
-// weights records the fusion weights (first member = knowledge-restored
+// Weights records the fusion weights (first member = knowledge-restored
 // model under knowledge reuse, else the short model; last = long model for
 // the plain ensemble).
-func (bo *batchObs) weights(ws []float64) {
+func (bo *batchObs) Weights(ws []float64) {
 	if bo == nil {
 		return
 	}
 	bo.ev.EnsembleWeights = ws
 }
 
-// cec records the clustering evidence behind a CEC dispatch attempt.
-func (bo *batchObs) cec(st cluster.CECStats) {
+// CEC records the clustering evidence behind a CEC dispatch attempt.
+func (bo *batchObs) CEC(st cluster.CECStats) {
 	if bo == nil {
 		return
 	}
@@ -277,10 +286,10 @@ func (bo *batchObs) cec(st cluster.CECStats) {
 	bo.ev.CECAgreement = st.Agreement
 }
 
-// knowledge records a knowledge-store lookup: hit means the match was
+// Knowledge records a knowledge-store lookup: hit means the match was
 // confident enough to dispatch knowledge reuse; dist is the matched
 // distribution's distance (ignored and kept at -1 unless finite).
-func (bo *batchObs) knowledge(hit bool, dist float64) {
+func (bo *batchObs) Knowledge(hit bool, dist float64) {
 	if bo == nil {
 		return
 	}
@@ -291,8 +300,8 @@ func (bo *batchObs) knowledge(hit bool, dist float64) {
 	}
 }
 
-// windowClosed marks that this batch's push closed the window.
-func (bo *batchObs) windowClosed() {
+// WindowClosed marks that this batch's push closed the window.
+func (bo *batchObs) WindowClosed() {
 	if bo == nil {
 		return
 	}
@@ -308,7 +317,7 @@ func (bo *batchObs) finishRejected(l *Learner) {
 	bo.o.guardRejected.Inc()
 	bo.ev.Pattern = "rejected"
 	bo.ev.GuardRejected = true
-	bo.stageDone(stageGuard, bo.start)
+	bo.StageDone(strategy.StageGuard, bo.start)
 	bo.o.ring.Add(bo.ev)
 }
 
@@ -333,9 +342,9 @@ func (bo *batchObs) finish(l *Learner, res *Result, samples int) {
 	if !math.IsInf(ob.NearestHistory, 0) && !math.IsNaN(ob.NearestHistory) {
 		bo.ev.NearestHistory = ob.NearestHistory
 	}
-	bo.ev.Disorder = l.asw.Disorder()
-	bo.ev.WindowBatches = l.asw.Len()
-	bo.ev.WindowItems = l.asw.Items()
+	bo.ev.Disorder = l.ens.Disorder()
+	bo.ev.WindowBatches = l.ens.WindowLen()
+	bo.ev.WindowItems = l.ens.WindowItems()
 	bo.ev.Accuracy = res.Accuracy
 
 	l.health.mu.Lock()
@@ -349,12 +358,12 @@ func (bo *batchObs) finish(l *Learner, res *Result, samples int) {
 	if c := o.pattern[label]; c != nil {
 		c.Inc()
 	} else {
-		o.reg.Counter("freeway_pattern_total", "", "pattern", label).Inc()
+		o.reg.Counter("freeway_pattern_total", "", o.lbl("pattern", label)...).Inc()
 	}
 	if c := o.strategy[bo.ev.Strategy]; c != nil {
 		c.Inc()
 	} else {
-		o.reg.Counter("freeway_strategy_total", "", "strategy", bo.ev.Strategy).Inc()
+		o.reg.Counter("freeway_strategy_total", "", o.lbl("strategy", bo.ev.Strategy)...).Inc()
 	}
 	if bo.ev.GuardSanitized > 0 {
 		o.guardValues.Add(int64(bo.ev.GuardSanitized))
@@ -382,7 +391,7 @@ func (bo *batchObs) finish(l *Learner, res *Result, samples int) {
 		o.kReplacements.Add(int64(d))
 	}
 	o.lastK = kc
-	if ev := l.asw.Evictions(); ev > o.lastEvictions {
+	if ev := l.ens.WindowEvictions(); ev > o.lastEvictions {
 		o.winEvictions.Add(int64(ev - o.lastEvictions))
 		o.lastEvictions = ev
 	}

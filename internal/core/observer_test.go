@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"freewayml/internal/obs"
 	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 	"freewayml/internal/stream"
 )
 
@@ -31,7 +33,7 @@ func TestObserverTraceAndMetrics(t *testing.T) {
 	seq := 0
 	processed := 0
 	step := func(cx, cy float64, kind stream.DriftKind) Result {
-		res, err := l.Process(driftBatch(rng, seq, 64, cx, cy, kind))
+		res, err := l.Process(context.Background(), driftBatch(rng, seq, 64, cx, cy, kind))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +84,7 @@ func TestObserverTraceAndMetrics(t *testing.T) {
 			}
 			stages[s.Stage] = true
 		}
-		for _, want := range []string{stageGuard, stageShiftDetect, stagePredict, stageShortUpdate} {
+		for _, want := range []string{strategy.StageGuard, strategy.StageShiftDetect, strategy.StagePredict, strategy.StageShortUpdate} {
 			if !stages[want] {
 				t.Fatalf("batch %d event missing stage %q (has %v)", e.Batch, want, e.Stages)
 			}
@@ -152,7 +154,7 @@ func TestObserverRejectedBatch(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	b := driftBatch(rng, 0, 16, 0, 0, stream.KindNone)
 	b.X[3][1] = math.NaN()
-	if _, err := l.Process(b); err == nil {
+	if _, err := l.Process(context.Background(), b); err == nil {
 		t.Fatal("NaN batch accepted under reject policy")
 	}
 	ev, ok := o.Trace().Newest()

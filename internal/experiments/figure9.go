@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -66,7 +67,7 @@ func mechanismSeries(names []string, family string, opt Options) (*Figure9Result
 			if !ok {
 				break
 			}
-			r, err := fw.l.Process(b)
+			r, err := fw.l.Process(context.Background(), b)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -209,14 +210,14 @@ func measureLatency(name, family string, batchSize int, opt Options) (Table3Cell
 			// Inference phase: Process on the unlabeled view.
 			unlabeled := stream.Batch{Seq: b.Seq, X: b.X, Truth: b.Truth}
 			start := time.Now()
-			if _, err := l.Process(unlabeled); err != nil {
+			if _, err := l.Process(context.Background(), unlabeled); err != nil {
 				return Table3Cell{}, err
 			}
 			inferLat.Add(time.Since(start))
 			// Training phase: Process on the labeled batch (its inference
 			// cost is subtracted using the unlabeled measurement).
 			start = time.Now()
-			if _, err := l.Process(b); err != nil {
+			if _, err := l.Process(context.Background(), b); err != nil {
 				return Table3Cell{}, err
 			}
 			full := time.Since(start)

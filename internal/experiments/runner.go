@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -65,7 +66,7 @@ type freewaySystem struct {
 func (s freewaySystem) Name() string { return "FreewayML" }
 
 func (s freewaySystem) Step(b stream.Batch) ([]int, error) {
-	res, err := s.l.Process(b)
+	res, err := s.l.Process(context.Background(), b)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -68,7 +69,7 @@ func (g *Group) Members() int { return len(g.members) }
 // Process runs the prequential step on all members concurrently and fuses
 // their predictions by averaging posteriors (hard votes for strategies that
 // produce no posterior).
-func (g *Group) Process(b stream.Batch) ([]int, error) {
+func (g *Group) Process(ctx context.Context, b stream.Batch) ([]int, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -89,7 +90,7 @@ func (g *Group) Process(b stream.Batch) ([]int, error) {
 				// full-batch predictions in instead of dropping them.
 				mb = stream.Batch{Seq: b.Seq, X: b.X, Truth: b.Truth}
 			}
-			res, err := l.Process(mb)
+			res, err := l.Process(ctx, mb)
 			if err != nil {
 				errs[i] = err
 				return

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -58,7 +59,7 @@ func runGroup(t *testing.T, mode Mode, members int) float64 {
 	var correct, total int
 	for s := 0; s < 40; s++ {
 		b := twoClassBatch(rng, s, 64)
-		pred, err := g.Process(b)
+		pred, err := g.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,11 +105,11 @@ func TestSingleMemberMatchesPlainLearner(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	for s := 0; s < 20; s++ {
 		b := twoClassBatch(rng, s, 64)
-		gp, err := g.Process(b)
+		gp, err := g.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}
-		lr, err := l.Process(b)
+		lr, err := l.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -128,13 +129,13 @@ func TestGroupUnlabeledBatch(t *testing.T) {
 	defer g.Close()
 	rng := rand.New(rand.NewSource(3))
 	for s := 0; s < 5; s++ {
-		if _, err := g.Process(twoClassBatch(rng, s, 64)); err != nil {
+		if _, err := g.Process(context.Background(), twoClassBatch(rng, s, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	b := twoClassBatch(rng, 5, 32)
 	b.Y = nil
-	pred, err := g.Process(b)
+	pred, err := g.Process(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestGroupRejectsInvalidBatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer g.Close()
-	if _, err := g.Process(stream.Batch{}); err == nil {
+	if _, err := g.Process(context.Background(), stream.Batch{}); err == nil {
 		t.Error("empty batch should error")
 	}
 }
@@ -186,7 +187,7 @@ func TestGroupPrequentialOnDriftStream(t *testing.T) {
 				b.X[i][1] += 8
 			}
 		}
-		pred, err := g.Process(b)
+		pred, err := g.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}

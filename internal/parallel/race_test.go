@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -57,7 +58,7 @@ func TestGroupAndParallelGemmRace(t *testing.T) {
 
 	streamRng := rand.New(rand.NewSource(12))
 	for s := 0; s < 10; s++ {
-		if _, err := g.Process(twoClassBatch(streamRng, s, 64)); err != nil {
+		if _, err := g.Process(context.Background(), twoClassBatch(streamRng, s, 64)); err != nil {
 			t.Fatal(err)
 		}
 	}

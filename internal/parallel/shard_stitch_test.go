@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestShardedTinyBatchFusesAllMembers(t *testing.T) {
 			if len(mb.X) == 0 {
 				mb = stream.Batch{Seq: b.Seq, X: b.X, Truth: b.Truth}
 			}
-			res, err := l.Process(mb)
+			res, err := l.Process(context.Background(), mb)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -115,7 +116,7 @@ func TestShardedTinyBatchFusesAllMembers(t *testing.T) {
 			n = 2
 		}
 		b := twoClassBatch(rng, s, n)
-		got, err := g.Process(b)
+		got, err := g.Process(context.Background(), b)
 		if err != nil {
 			t.Fatal(err)
 		}

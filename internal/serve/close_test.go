@@ -1,0 +1,22 @@
+package serve
+
+import (
+	"testing"
+
+	"freewayml/internal/core"
+)
+
+func TestServerCloseIdempotent(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Shift.WarmupPoints = 64
+	s, err := New(cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("first Close = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}

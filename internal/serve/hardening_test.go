@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"math/rand"
@@ -78,7 +79,7 @@ func TestDirtyBatchRejectedWithoutPoisoningState(t *testing.T) {
 	// through the library path — exercise the decoded-request seam directly.
 	dirty := batchReq(rng, 8, true)
 	dirty.X[3][1] = math.NaN()
-	_, status, err := s.process(dirty)
+	_, status, err := s.process(context.Background(), DefaultStream, dirty)
 	if err == nil || status != http.StatusUnprocessableEntity {
 		t.Errorf("NaN batch: status %d (err %v), want 422", status, err)
 	}
@@ -114,9 +115,11 @@ func TestPeriodicCheckpointAndResume(t *testing.T) {
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("no checkpoint written: %v", err)
 	}
-	s.mu.Lock()
-	saves := s.ckptSaves
-	s.mu.Unlock()
+	sess, ok := s.Sessions().Get(DefaultStream)
+	if !ok {
+		t.Fatal("default session missing")
+	}
+	saves := sess.Snapshot().CheckpointSaves
 	if saves != 3 {
 		t.Errorf("checkpoint saves = %d, want 3 (every 2nd of 6 batches)", saves)
 	}

@@ -63,10 +63,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Errorf("exposition has %d distinct series, want >= 12", len(series))
 	}
 	for _, want := range []string{
-		"freeway_batches_total",
-		"freeway_process_seconds_count",
-		`freeway_stage_seconds_count{stage="shift_detect"}`,
+		`freeway_batches_total{stream="default"}`,
+		`freeway_process_seconds_count{stream="default"}`,
+		`freeway_stage_seconds_count{stage="shift_detect",stream="default"}`,
 		`freeway_http_requests_total{path="/v1/process"}`,
+		"freeway_sessions_active",
 	} {
 		if !series[want] {
 			t.Errorf("exposition missing series %s", want)

@@ -1,25 +1,34 @@
-// Package serve exposes a FreewayML learner as an HTTP JSON service — the
-// deployment posture of paper Sec. V, where the framework is connected to a
-// live stream whose batches arrive labeled (training) or unlabeled
-// (inference). One learner instance serves both through a single endpoint;
-// requests are serialized because streaming learning is stateful and
-// order-dependent.
+// Package serve exposes FreewayML streams as an HTTP JSON service — the
+// deployment posture of paper Sec. V, where the framework is connected to
+// live streams whose batches arrive labeled (training) or unlabeled
+// (inference). The server hosts many named streams behind one listener,
+// each backed by its own learner via a session.Manager:
 //
-// The server is hardened for unconstrained input: request bodies are
-// capped (413 on overflow), every batch passes the learner's input
-// guardrails, and an optional checkpoint schedule atomically snapshots the
-// learner every N processed batches so a crash loses at most one
-// checkpoint interval of training.
+//	POST /v1/streams/:id/process   one mini-batch for stream {id}
+//	GET  /v1/streams/:id/stats     that stream's prequential metrics
+//	GET  /v1/streams/:id/trace     that stream's decision trace (JSONL)
+//	GET  /v1/streams                resident streams + aggregate counters
 //
-// Observability: every server owns a core.Observer (or the one injected
-// with WithObserver), so /v1/metrics serves the Prometheus text exposition
-// of the learner's series, /v1/trace serves the per-batch decision trace as
-// JSONL, and WithPprof mounts the standard net/http/pprof handlers for
-// live profiling. Errors on every /v1/* endpoint share one JSON envelope:
+// Requests to one stream are serialized (streaming learning is stateful and
+// order-dependent); different streams process concurrently. The pre-session
+// endpoints (/v1/process, /v1/stats, /v1/trace) remain as aliases for the
+// stream named "default", so existing clients keep working unchanged.
+//
+// The server is hardened for unconstrained input: request bodies are capped
+// (413 on overflow), every batch passes the learner's input guardrails, and
+// checkpointing is a session concern — WithCheckpointDir persists one
+// crash-safe envelope per stream (restored when the id reappears), while
+// the legacy WithCheckpoint keeps the single-file behaviour for "default".
+//
+// Observability: /v1/metrics serves the Prometheus text exposition of every
+// stream's series (each labelled stream=<id>) plus the session-lifecycle
+// aggregates, and WithPprof mounts the standard net/http/pprof handlers.
+// Errors on every /v1/* endpoint share one JSON envelope:
 // {"error": {"code": <status>, "message": "..."}}.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,12 +36,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"freewayml/internal/core"
 	"freewayml/internal/guard"
 	"freewayml/internal/obs"
+	"freewayml/internal/session"
 	"freewayml/internal/stream"
 )
 
@@ -44,9 +56,12 @@ const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
 // /v1/trace.
 const TraceContentType = "application/x-ndjson"
 
-// DefaultMaxBodyBytes caps /v1/process request bodies (8 MiB ≈ a 1024-row
+// DefaultMaxBodyBytes caps process request bodies (8 MiB ≈ a 1024-row
 // batch of 1000 features with labels, with JSON overhead to spare).
 const DefaultMaxBodyBytes = 8 << 20
+
+// DefaultStream is the stream id the legacy single-stream endpoints serve.
+const DefaultStream = session.DefaultStream
 
 // ProcessRequest is one mini-batch submitted to the service. Y may be
 // omitted for pure-inference batches.
@@ -57,6 +72,7 @@ type ProcessRequest struct {
 
 // ProcessResponse reports the learner's decision for the batch.
 type ProcessResponse struct {
+	Stream        string  `json:"stream"`
 	Predictions   []int   `json:"predictions"`
 	Pattern       string  `json:"pattern"`
 	Strategy      string  `json:"strategy"`
@@ -65,32 +81,43 @@ type ProcessResponse struct {
 	Accuracy      float64 `json:"accuracy"` // -1 for unlabeled batches
 }
 
-// StatsResponse summarizes the learner's prequential metrics and its
-// fault-tolerance counters.
+// StatsResponse summarizes one stream's prequential metrics and its
+// fault-tolerance counters, plus the server-wide HTTP counters.
 type StatsResponse struct {
+	Stream           string  `json:"stream"`
 	Batches          int     `json:"batches"`
 	Samples          int     `json:"samples"`
 	GAcc             float64 `json:"g_acc"`
 	SI               float64 `json:"si"`
 	KnowledgeEntries int     `json:"knowledge_entries"`
 	KnowledgeBytes   int     `json:"knowledge_bytes"`
+	SharedKnowledge  bool    `json:"shared_knowledge"`
+	Restored         bool    `json:"restored"`
 
 	// Robustness counters (the fault-tolerance layer).
-	SanitizedValues    int `json:"sanitized_values"`
-	RejectedBatches    int `json:"rejected_batches"`
-	Divergences        int `json:"divergences"`
-	Recoveries         int `json:"recoveries"`
-	AsyncErrorsDropped int `json:"async_errors_dropped"`
-	KnowledgeSkipped   int `json:"knowledge_skipped"`
-	SpillFailures      int `json:"spill_failures"`
-	CheckpointSaves    int `json:"checkpoint_saves"`
-	CheckpointErrors   int `json:"checkpoint_errors"`
+	SanitizedValues    int   `json:"sanitized_values"`
+	RejectedBatches    int   `json:"rejected_batches"`
+	Divergences        int   `json:"divergences"`
+	Recoveries         int   `json:"recoveries"`
+	AsyncErrorsDropped int   `json:"async_errors_dropped"`
+	KnowledgeSkipped   int   `json:"knowledge_skipped"`
+	SpillFailures      int   `json:"spill_failures"`
+	CheckpointSaves    int64 `json:"checkpoint_saves"`
+	CheckpointErrors   int64 `json:"checkpoint_errors"`
 
-	// HTTP-layer counters: total requests served, error responses sent
-	// (status >= 400), and request bodies refused by the size cap.
+	// HTTP-layer counters (server-wide): total requests served, error
+	// responses sent (status >= 400), and request bodies refused by the
+	// size cap.
 	HTTPRequests int64 `json:"http_requests"`
 	HTTPRejects  int64 `json:"http_rejects"`
 	BodyCapHits  int64 `json:"body_cap_hits"`
+}
+
+// StreamsResponse is the /v1/streams listing: every resident stream's
+// summary plus the manager's lifecycle aggregates.
+type StreamsResponse struct {
+	Streams  []session.Stats        `json:"streams"`
+	Sessions session.AggregateStats `json:"sessions"`
 }
 
 // errorEnvelope is the JSON error body every /v1/* endpoint returns.
@@ -114,35 +141,64 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
-// WithCheckpoint enables periodic crash-safe snapshots: after every
-// `every` processed batches the learner is atomically checkpointed to
-// path. A save failure is counted and logged, never fatal to serving.
+// WithCheckpoint enables periodic crash-safe snapshots of the "default"
+// stream to a single file — the pre-session behaviour: after every `every`
+// processed batches the learner is atomically checkpointed to path, plus a
+// final save on Close. Restoring stays an explicit LoadCheckpointFile call.
+// A save failure is counted and logged, never fatal to serving. Prefer
+// WithCheckpointDir for multi-stream deployments.
 func WithCheckpoint(path string, every int) Option {
 	return func(s *Server) {
 		if path != "" && every > 0 {
-			s.ckptPath, s.ckptEvery = path, every
+			s.scfg.DefaultCheckpointPath = path
+			s.scfg.CheckpointEvery = every
 		}
 	}
 }
 
-// WithObserver injects a pre-built observer (e.g. one registering into a
-// shared registry). Without it the server builds its own over a fresh
-// registry.
-func WithObserver(o *core.Observer) Option {
+// WithCheckpointDir persists one checkpoint envelope per stream under dir
+// (<dir>/<id>.ckpt): written every `every` batches (0 = only on eviction
+// and shutdown) and restored automatically when a stream id reappears.
+func WithCheckpointDir(dir string, every int) Option {
 	return func(s *Server) {
-		if o != nil {
-			s.obs = o
+		if dir != "" {
+			s.scfg.CheckpointDir = dir
+			if every > 0 {
+				s.scfg.CheckpointEvery = every
+			}
 		}
 	}
 }
 
-// WithTraceCap sets the decision-trace ring capacity of the server-built
-// observer (ignored when WithObserver supplies one; n <= 0 keeps the
-// default of 1024 events).
+// WithSessionLimits bounds resident streams (max, 0 keeps the default of
+// session.DefaultMaxSessions) and evicts streams idle longer than ttl
+// (0 disables TTL eviction). Evicted streams checkpoint when persistence is
+// configured and are recreated on their next request.
+func WithSessionLimits(max int, ttl time.Duration) Option {
+	return func(s *Server) {
+		if max > 0 {
+			s.scfg.MaxSessions = max
+		}
+		if ttl > 0 {
+			s.scfg.TTL = ttl
+		}
+	}
+}
+
+// WithSharedKnowledge backs every stream with one process-wide knowledge
+// store, so reoccurring distributions learned on one stream can be reused
+// by another. Off by default: sharing trades stream isolation for
+// cross-stream reuse.
+func WithSharedKnowledge() Option {
+	return func(s *Server) { s.scfg.SharedKnowledge = true }
+}
+
+// WithTraceCap sets each stream's decision-trace ring capacity (n <= 0
+// keeps the default of 1024 events).
 func WithTraceCap(n int) Option {
 	return func(s *Server) {
 		if n > 0 {
-			s.traceCap = n
+			s.scfg.TraceCap = n
 		}
 	}
 }
@@ -154,48 +210,74 @@ func WithPprof() Option {
 	return func(s *Server) { s.pprofOn = true }
 }
 
-// Server wraps one learner behind an http.Handler.
+// Server hosts named streams behind an http.Handler.
 type Server struct {
-	mu      sync.Mutex
-	learner *core.Learner
+	mgr     *session.Manager
 	dim     int
 	classes int
-	seq     int
 	mux     *http.ServeMux
 
-	maxBody   int64
-	ckptPath  string
-	ckptEvery int
-	ckptSaves int
-	ckptErrs  int
+	maxBody int64
+	scfg    session.Config
+	pprofOn bool
 
-	obs      *core.Observer
-	traceCap int
-	pprofOn  bool
-	reqs     atomic.Int64
-	rejects  atomic.Int64
-	bodyCap  atomic.Int64
+	reqs    atomic.Int64
+	rejects atomic.Int64
+	bodyCap atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
+
+	// routeCounters maps a route template (not the raw path — ids would
+	// explode label cardinality) to its request counter.
+	routeCounters map[string]*obs.Counter
 }
 
-// New builds a server around a fresh learner for the given stream shape.
+// New builds a server hosting streams of the given shape, each served by a
+// fresh learner built from cfg. The "default" stream is created eagerly so
+// legacy single-stream clients and scrapers see its series immediately.
 func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
-	l, err := core.NewLearner(cfg, dim, classes)
-	if err != nil {
-		return nil, err
+	s := &Server{
+		dim:     dim,
+		classes: classes,
+		mux:     http.NewServeMux(),
+		maxBody: DefaultMaxBodyBytes,
+		scfg: session.Config{
+			Learner: cfg,
+			Dim:     dim,
+			Classes: classes,
+		},
 	}
-	s := &Server{learner: l, dim: dim, classes: classes, mux: http.NewServeMux(), maxBody: DefaultMaxBodyBytes}
 	for _, opt := range opts {
 		opt(s)
 	}
-	if s.obs == nil {
-		s.obs = core.NewObserver(obs.NewRegistry(), s.traceCap)
+	mgr, err := session.NewManager(s.scfg)
+	if err != nil {
+		return nil, err
 	}
-	l.SetObserver(s.obs)
-	s.handle("/v1/process", s.handleProcess)
-	s.handle("/v1/stats", s.handleStats)
+	s.mgr = mgr
+	if _, err := mgr.Ensure(DefaultStream); err != nil {
+		mgr.Close()
+		return nil, err
+	}
+
+	s.routeCounters = map[string]*obs.Counter{}
+	for _, route := range []string{
+		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/metrics",
+		"/v1/streams",
+		"/v1/streams/:id/process", "/v1/streams/:id/stats", "/v1/streams/:id/trace",
+		"/v1/streams/:id/other",
+	} {
+		s.routeCounters[route] = mgr.Registry().Counter("freeway_http_requests_total", "HTTP requests by route.", "path", route)
+	}
+
+	s.handle("/v1/process", func(w http.ResponseWriter, r *http.Request) { s.handleProcess(w, r, DefaultStream) })
+	s.handle("/v1/stats", func(w http.ResponseWriter, r *http.Request) { s.handleStats(w, r, DefaultStream) })
+	s.handle("/v1/trace", func(w http.ResponseWriter, r *http.Request) { s.handleTrace(w, r, DefaultStream) })
 	s.handle("/v1/healthz", s.handleHealth)
 	s.handle("/v1/metrics", s.handleMetrics)
-	s.handle("/v1/trace", s.handleTrace)
+	s.handle("/v1/streams", s.handleStreams)
+	s.mux.HandleFunc("/v1/streams/", s.handleStreamRoute)
 	if s.pprofOn {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -206,65 +288,80 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	return s, nil
 }
 
-// Observer returns the server's observability layer (never nil after New).
-func (s *Server) Observer() *core.Observer { return s.obs }
+// Sessions exposes the session manager (stats, deterministic eviction in
+// tests, the shared knowledge store).
+func (s *Server) Sessions() *session.Manager { return s.mgr }
 
-// handle registers h with per-path request counting.
+// handle registers h at an exact path with request counting.
 func (s *Server) handle(path string, h http.HandlerFunc) {
-	c := s.obs.Registry().Counter("freeway_http_requests_total", "HTTP requests by path.", "path", path)
 	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
-		c.Inc()
+		s.routeCounters[path].Inc()
 		h(w, r)
 	})
+}
+
+// handleStreamRoute dispatches /v1/streams/:id/{process|stats|trace}.
+// Anything else under the prefix gets the JSON 404 envelope (the mux's
+// plain-text NotFound would break clients expecting the envelope contract).
+func (s *Server) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
+	s.reqs.Add(1)
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+	id, action, ok := strings.Cut(rest, "/")
+	if ok {
+		switch action {
+		case "process":
+			s.routeCounters["/v1/streams/:id/process"].Inc()
+			s.handleProcess(w, r, id)
+			return
+		case "stats":
+			s.routeCounters["/v1/streams/:id/stats"].Inc()
+			s.handleStats(w, r, id)
+			return
+		case "trace":
+			s.routeCounters["/v1/streams/:id/trace"].Inc()
+			s.handleTrace(w, r, id)
+			return
+		}
+	}
+	s.routeCounters["/v1/streams/:id/other"].Inc()
+	s.writeError(w, http.StatusNotFound, fmt.Sprintf("unknown stream endpoint %q", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close flushes the learner's asynchronous work and, when a checkpoint
-// schedule is configured, writes a final snapshot so a graceful shutdown
-// loses nothing.
+// Close tears down every stream — flushing asynchronous learner work and
+// writing final checkpoints where persistence is configured — and stops the
+// session sweeper. Idempotent: the second and later calls return nil.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var ckptErr error
-	if s.ckptPath != "" && s.seq > 0 {
-		ckptErr = s.saveCheckpointLocked()
-	}
-	if err := s.learner.Close(); err != nil {
-		return err
-	}
-	return ckptErr
+	s.closeOnce.Do(func() { s.closeErr = s.mgr.Close() })
+	err := s.closeErr
+	s.closeErr = nil
+	return err
 }
 
-// SaveCheckpointFile atomically snapshots the learner to path on demand.
+// SaveCheckpointFile atomically snapshots the "default" stream to path on
+// demand.
 func (s *Server) SaveCheckpointFile(path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.learner.SaveCheckpointFile(path)
-}
-
-// LoadCheckpointFile restores the learner from a checkpoint written by
-// SaveCheckpointFile — the resume path after a restart.
-func (s *Server) LoadCheckpointFile(path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.learner.LoadCheckpointFile(path)
-}
-
-func (s *Server) saveCheckpointLocked() error {
-	err := s.learner.SaveCheckpointFile(s.ckptPath)
+	sess, err := s.mgr.Ensure(DefaultStream)
 	if err != nil {
-		s.ckptErrs++
-		log.Printf("serve: checkpoint to %s failed: %v", s.ckptPath, err)
 		return err
 	}
-	s.ckptSaves++
-	return nil
+	return sess.SaveCheckpointFile(path)
 }
 
-func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
+// LoadCheckpointFile restores the "default" stream from a checkpoint
+// written by SaveCheckpointFile — the explicit resume path after a restart.
+func (s *Server) LoadCheckpointFile(path string) error {
+	sess, err := s.mgr.Ensure(DefaultStream)
+	if err != nil {
+		return err
+	}
+	return sess.LoadCheckpointFile(path)
+}
+
+func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
@@ -288,29 +385,28 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, status, err := s.process(req)
+	out, status, err := s.process(r.Context(), id, req)
 	if err != nil {
 		s.writeError(w, status, err.Error())
 		return
 	}
-	writeJSON(w, out)
+	s.writeJSON(w, out)
 }
 
-// process runs one decoded batch through the learner and maps failures to
-// an HTTP status: guard-rejected input is the client's problem (422), any
-// other Process failure is ours (500).
-func (s *Server) process(req ProcessRequest) (ProcessResponse, int, error) {
-	s.mu.Lock()
-	b := stream.Batch{Seq: s.seq, X: req.X, Y: req.Y}
-	s.seq++
-	res, err := s.learner.Process(b)
-	if err == nil && s.ckptEvery > 0 && s.seq%s.ckptEvery == 0 {
-		_ = s.saveCheckpointLocked() // counted + logged; serving continues
-	}
-	s.mu.Unlock()
+// process runs one decoded batch through the stream's session and maps
+// failures to an HTTP status: a bad stream id (404) and guard-rejected
+// input (422) are the client's problem, a closed server is 503, any other
+// Process failure is ours (500).
+func (s *Server) process(ctx context.Context, id string, req ProcessRequest) (ProcessResponse, int, error) {
+	res, err := s.mgr.Process(ctx, id, req.X, req.Y)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, guard.ErrRejected) {
+		switch {
+		case errors.Is(err, session.ErrBadID):
+			status = http.StatusNotFound
+		case errors.Is(err, session.ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, guard.ErrRejected):
 			status = http.StatusUnprocessableEntity
 		}
 		return ProcessResponse{}, status, err
@@ -321,6 +417,7 @@ func (s *Server) process(req ProcessRequest) (ProcessResponse, int, error) {
 		pattern = res.SubPattern
 	}
 	return ProcessResponse{
+		Stream:        id,
 		Predictions:   res.Pred,
 		Pattern:       pattern.String(),
 		Strategy:      res.Strategy.String(),
@@ -330,60 +427,90 @@ func (s *Server) process(req ProcessRequest) (ProcessResponse, int, error) {
 	}, http.StatusOK, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// session resolves a stream id for the read-only endpoints: resident
+// sessions are returned as-is; an id with no session is only created when
+// it is valid (so typos 404 instead of spawning learners — GETs must not
+// leak sessions, except the eager default).
+func (s *Server) session(id string) (*session.Session, int, error) {
+	if sess, ok := s.mgr.Get(id); ok {
+		return sess, http.StatusOK, nil
+	}
+	return nil, http.StatusNotFound, fmt.Errorf("unknown stream %q", id)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	m := s.learner.Metrics()
-	health := s.learner.Stats()
-	resp := StatsResponse{
-		Batches:          m.Batches(),
-		Samples:          m.Samples(),
-		GAcc:             m.GAcc(),
-		SI:               m.SI(),
-		KnowledgeEntries: s.learner.KnowledgeStore().Len(),
-		KnowledgeBytes:   s.learner.KnowledgeStore().MemoryBytes(),
+	sess, status, err := s.session(id)
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	st := sess.Snapshot()
+	s.writeJSON(w, StatsResponse{
+		Stream:           st.ID,
+		Batches:          st.Batches,
+		Samples:          st.Samples,
+		GAcc:             st.GAcc,
+		SI:               st.SI,
+		KnowledgeEntries: st.KnowledgeEntries,
+		KnowledgeBytes:   st.KnowledgeBytes,
+		SharedKnowledge:  st.SharedKnowledge,
+		Restored:         st.Restored,
 
-		SanitizedValues:    health.SanitizedValues,
-		RejectedBatches:    health.RejectedBatches,
-		Divergences:        health.Divergences,
-		Recoveries:         health.Recoveries,
-		AsyncErrorsDropped: health.AsyncErrorsDropped,
-		KnowledgeSkipped:   health.KnowledgeSkipped,
-		SpillFailures:      health.SpillFailures + health.SpillLoadFailures,
-		CheckpointSaves:    s.ckptSaves,
-		CheckpointErrors:   s.ckptErrs,
+		SanitizedValues:    st.Health.SanitizedValues,
+		RejectedBatches:    st.Health.RejectedBatches,
+		Divergences:        st.Health.Divergences,
+		Recoveries:         st.Health.Recoveries,
+		AsyncErrorsDropped: st.Health.AsyncErrorsDropped,
+		KnowledgeSkipped:   st.Health.KnowledgeSkipped,
+		SpillFailures:      st.Health.SpillFailures + st.Health.SpillLoadFailures,
+		CheckpointSaves:    st.CheckpointSaves,
+		CheckpointErrors:   st.CheckpointErrors,
 
 		HTTPRequests: s.reqs.Load(),
 		HTTPRejects:  s.rejects.Load(),
 		BodyCapHits:  s.bodyCap.Load(),
+	})
+}
+
+// handleStreams lists the resident streams and the lifecycle aggregates.
+func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
 	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
+	resp := StreamsResponse{Streams: []session.Stats{}, Sessions: s.mgr.Aggregate()}
+	for _, id := range s.mgr.List() {
+		if sess, ok := s.mgr.Get(id); ok {
+			resp.Streams = append(resp.Streams, sess.Snapshot())
+		}
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]string{"status": "ok"})
+	s.writeJSON(w, map[string]string{"status": "ok"})
 }
 
-// handleMetrics serves the Prometheus text exposition of every series the
-// observer maintains.
+// handleMetrics serves the Prometheus text exposition of every stream's
+// series plus the session-lifecycle aggregates.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", MetricsContentType)
-	if err := s.obs.Registry().WritePrometheus(w); err != nil {
+	if err := s.mgr.Registry().WritePrometheus(w); err != nil {
 		log.Printf("serve: metrics write failed: %v", err)
 	}
 }
 
-// handleTrace serves the decision trace as JSONL, oldest retained event
-// first. ?n=K limits the output to the newest K events.
-func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+// handleTrace serves a stream's decision trace as JSONL, oldest retained
+// event first. ?n=K limits the output to the newest K events.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
@@ -397,8 +524,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
+	sess, status, err := s.session(id)
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", TraceContentType)
-	if err := s.obs.Trace().WriteJSONL(w, n); err != nil {
+	if err := sess.Observer().Trace().WriteJSONL(w, n); err != nil {
 		log.Printf("serve: trace write failed: %v", err)
 	}
 }
@@ -421,9 +553,12 @@ func validate(req ProcessRequest, dim, classes int) error {
 	return b.ValidateShape(dim, classes)
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON sends v as the 200 response body. The header is committed
+// before encoding, so an encoder failure can only be logged — never turned
+// into a second status line.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		log.Printf("serve: response encode failed: %v", err)
 	}
 }

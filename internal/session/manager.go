@@ -1,0 +1,462 @@
+// Package session hosts many named FreewayML streams inside one process.
+// Each stream ("session") owns its own learner — and with it its own shift
+// detector, adaptive window, guard, watchdogs, and labelled observer — so
+// concurrent streams never contaminate each other's drift statistics, while
+// an optional process-wide knowledge store (config-gated, off by default)
+// lets reoccurring distributions learned on one stream be reused by
+// another.
+//
+// Lifecycle: sessions are created on first use, evicted after an idle TTL,
+// and bounded by a max-session cap with least-recently-used spill. Eviction
+// and shutdown checkpoint the session (when a checkpoint directory is
+// configured) so the stream resumes where it left off the next time its id
+// appears — the same crash-safe envelope a single-learner deployment uses,
+// one file per stream.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"freewayml/internal/core"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/obs"
+)
+
+// DefaultMaxSessions bounds resident sessions when Config.MaxSessions is 0.
+const DefaultMaxSessions = 64
+
+// DefaultStream is the stream id legacy single-stream endpoints map to.
+const DefaultStream = "default"
+
+// maxProcessRetries bounds how often Process retries after losing a race
+// with an eviction. Two would suffice in practice (a fresh session is
+// touched on creation, so it cannot be the next LRU victim while in use);
+// the bound exists so a pathological schedule degrades to an error instead
+// of a livelock.
+const maxProcessRetries = 8
+
+// idPattern constrains stream ids: they appear in URLs, metric labels, and
+// checkpoint file names, so they must be short and path/label-safe.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// ErrBadID rejects a stream id that is empty, too long, or carries
+// characters unsafe for URLs, metric labels, or file names.
+var ErrBadID = errors.New("session: invalid stream id")
+
+// ErrClosed reports an operation on a closed Manager.
+var ErrClosed = errors.New("session: manager closed")
+
+// Config configures a Manager.
+type Config struct {
+	// Learner is the template config every session's learner is built from.
+	// Its SharedKnowledge field is managed by the Manager (see
+	// SharedKnowledge below) and must be left nil.
+	Learner core.Config
+	// Dim and Classes fix the stream shape every session serves.
+	Dim, Classes int
+
+	// MaxSessions bounds resident sessions; creating one past the bound
+	// evicts the least-recently-used (0 selects DefaultMaxSessions, < 0 is
+	// invalid).
+	MaxSessions int
+	// TTL evicts sessions idle for longer than this (0 disables the
+	// sweeper; eviction then happens only via the LRU bound).
+	TTL time.Duration
+
+	// CheckpointDir, when set, persists one checkpoint envelope per session
+	// (<dir>/<id>.ckpt): written on eviction and shutdown, read back when
+	// the id reappears. Empty disables persistence.
+	CheckpointDir string
+	// CheckpointEvery additionally snapshots a live session every N
+	// processed batches (0 = only on eviction/shutdown).
+	CheckpointEvery int
+	// DefaultCheckpointPath (single-stream compatibility) overrides the
+	// checkpoint file for the "default" session. Unlike CheckpointDir it is
+	// save-only: restoring stays an explicit caller step, exactly as the
+	// pre-session server behaved.
+	DefaultCheckpointPath string
+
+	// SharedKnowledge, when true, backs every session with one process-wide
+	// knowledge store instead of per-stream stores. Off by default: sharing
+	// trades isolation (streams see each other's preserved regimes) for
+	// cross-stream reuse of reoccurring distributions.
+	SharedKnowledge bool
+
+	// Registry receives every session's metrics, each series labelled with
+	// stream=<id> (nil builds a private registry).
+	Registry *obs.Registry
+	// TraceCap sets each session's decision-trace ring capacity (<= 0
+	// selects the observer default of 1024).
+	TraceCap int
+}
+
+// Manager hosts named sessions: create-on-first-use, TTL eviction, LRU
+// spill, and aggregate accounting. All methods are safe for concurrent use.
+type Manager struct {
+	cfg    Config
+	reg    *obs.Registry
+	shared *knowledge.Store // non-nil only under SharedKnowledge
+
+	// mu guards the session map and the closed flag. Lock order is
+	// Manager.mu → Session.mu (teardown under mu waits out in-flight
+	// Process calls; Session.mu holders never take Manager.mu).
+	mu       sync.Mutex
+	sessions map[string]*Session
+	closed   bool
+
+	stop    chan struct{} // closes the TTL sweeper
+	sweeper sync.WaitGroup
+
+	gActive    *obs.Gauge
+	cCreated   *obs.Counter
+	cRestored  *obs.Counter
+	cEvictTTL  *obs.Counter
+	cEvictLRU  *obs.Counter
+	cCkptSaves *obs.Counter
+	cCkptErrs  *obs.Counter
+
+	ckptEvery int
+}
+
+// NewManager validates the config and starts the TTL sweeper (when a TTL is
+// set). Callers own the returned manager and must Close it.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Learner.SharedKnowledge != nil {
+		return nil, errors.New("session: Config.Learner.SharedKnowledge must be nil (set Config.SharedKnowledge instead)")
+	}
+	if cfg.MaxSessions < 0 {
+		return nil, errors.New("session: MaxSessions must be >= 0")
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = DefaultMaxSessions
+	}
+	if cfg.TTL < 0 {
+		return nil, errors.New("session: TTL must be >= 0")
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, errors.New("session: CheckpointEvery must be >= 0")
+	}
+	if err := cfg.Learner.Validate(); err != nil {
+		return nil, err
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Manager{
+		cfg:      cfg,
+		reg:      reg,
+		sessions: make(map[string]*Session),
+		stop:     make(chan struct{}),
+
+		gActive:    reg.Gauge("freeway_sessions_active", "Sessions currently resident."),
+		cCreated:   reg.Counter("freeway_sessions_created_total", "Sessions created (first use of a stream id)."),
+		cRestored:  reg.Counter("freeway_sessions_restored_total", "Sessions rehydrated from a checkpoint at creation."),
+		cEvictTTL:  reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "ttl"),
+		cEvictLRU:  reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "lru"),
+		cCkptSaves: reg.Counter("freeway_session_checkpoint_saves_total", "Session checkpoints written."),
+		cCkptErrs:  reg.Counter("freeway_session_checkpoint_errors_total", "Session checkpoint writes that failed."),
+
+		ckptEvery: cfg.CheckpointEvery,
+	}
+	if cfg.SharedKnowledge {
+		store, err := knowledge.NewStore(cfg.Learner.KdgBuffer, cfg.Learner.SpillDir)
+		if err != nil {
+			return nil, fmt.Errorf("session: shared knowledge store: %w", err)
+		}
+		m.shared = store
+	}
+	if cfg.TTL > 0 {
+		interval := cfg.TTL / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		m.sweeper.Add(1)
+		go m.sweep(interval)
+	}
+	return m, nil
+}
+
+// Registry returns the registry carrying every session's labelled series
+// and the manager's aggregates.
+func (m *Manager) Registry() *obs.Registry { return m.reg }
+
+// SharedStore returns the process-wide knowledge store, or nil when
+// sessions keep per-stream stores.
+func (m *Manager) SharedStore() *knowledge.Store { return m.shared }
+
+// ckptPath maps a stream id to the checkpoint file its saves go to (""
+// when persistence is off). Ids are pre-validated against idPattern, so the
+// join cannot escape the directory.
+func (m *Manager) ckptPath(id string) string {
+	if id == DefaultStream && m.cfg.DefaultCheckpointPath != "" {
+		return m.cfg.DefaultCheckpointPath
+	}
+	if m.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(m.cfg.CheckpointDir, id+".ckpt")
+}
+
+// restorePath maps a stream id to the checkpoint file a fresh session is
+// rehydrated from: only CheckpointDir-managed files auto-restore; the
+// legacy DefaultCheckpointPath is save-only.
+func (m *Manager) restorePath(id string) string {
+	if m.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(m.cfg.CheckpointDir, id+".ckpt")
+}
+
+// Ensure returns the session for id, creating (and possibly restoring) it
+// on first use. Creating past the MaxSessions bound evicts the
+// least-recently-used idle session first.
+func (m *Manager) Ensure(id string) (*Session, error) {
+	if !idPattern.MatchString(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if s, ok := m.sessions[id]; ok {
+		return s, nil
+	}
+	for len(m.sessions) >= m.cfg.MaxSessions {
+		if err := m.evictLRULocked(); err != nil {
+			return nil, err
+		}
+	}
+	s, err := m.newSessionLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[id] = s
+	m.gActive.Set(float64(len(m.sessions)))
+	return s, nil
+}
+
+// newSessionLocked builds one session: learner from the template config,
+// observer labelled with the stream id, checkpoint restore when the id has
+// history on disk. Callers hold m.mu.
+func (m *Manager) newSessionLocked(id string) (*Session, error) {
+	cfg := m.cfg.Learner
+	cfg.SharedKnowledge = m.shared
+	l, err := core.NewLearner(cfg, m.cfg.Dim, m.cfg.Classes)
+	if err != nil {
+		return nil, fmt.Errorf("session %q: %w", id, err)
+	}
+	o := core.NewObserverLabeled(m.reg, m.cfg.TraceCap, "stream", id)
+	l.SetObserver(o)
+	s := &Session{id: id, mgr: m, learner: l, observer: o}
+	s.touch()
+	if path := m.restorePath(id); path != "" {
+		switch err := l.LoadCheckpointFile(path); {
+		case err == nil:
+			s.restored = true
+			s.seq = l.Metrics().Batches()
+			m.cRestored.Inc()
+		case errors.Is(err, fs.ErrNotExist):
+			// First use of this id: nothing to restore.
+		default:
+			// A corrupt or mismatched checkpoint degrades to a fresh
+			// session (the failed load left the learner untouched) rather
+			// than making the stream id unusable.
+			log.Printf("session %q: checkpoint restore from %s failed, starting fresh: %v", id, path, err)
+		}
+	}
+	m.cCreated.Inc()
+	return s, nil
+}
+
+// evictLRULocked evicts the least-recently-used session. Callers hold m.mu;
+// the teardown (which may wait out an in-flight Process and write a
+// checkpoint) runs under it, trading a brief stall of session creation for
+// a simple linearizable lifecycle.
+func (m *Manager) evictLRULocked() error {
+	var victim *Session
+	for _, s := range m.sessions {
+		if victim == nil || s.lastUsed.Load() < victim.lastUsed.Load() {
+			victim = s
+		}
+	}
+	if victim == nil {
+		return errors.New("session: MaxSessions is 0 after eviction") // unreachable: bound >= 1
+	}
+	delete(m.sessions, victim.id)
+	m.cEvictLRU.Inc()
+	m.gActive.Set(float64(len(m.sessions)))
+	return victim.teardown(true)
+}
+
+// Process routes one batch to the session for id, creating it on first
+// use. Losing a race with an eviction retries against a fresh session —
+// callers never observe a closed-session error.
+func (m *Manager) Process(ctx context.Context, id string, x [][]float64, y []int) (core.Result, error) {
+	for attempt := 0; attempt < maxProcessRetries; attempt++ {
+		s, err := m.Ensure(id)
+		if err != nil {
+			return core.Result{}, err
+		}
+		res, err := s.process(ctx, x, y)
+		if errors.Is(err, errSessionClosed) {
+			continue
+		}
+		return res, err
+	}
+	return core.Result{}, fmt.Errorf("session %q: evicted %d times in a row during processing", id, maxProcessRetries)
+}
+
+// Get returns the resident session for id (ok=false when absent — Get never
+// creates).
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns the resident stream ids, sorted.
+func (m *Manager) List() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Len returns the resident session count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Evict removes the session for id right now (checkpointing it), as if its
+// TTL had expired. Reports whether the id was resident.
+func (m *Manager) Evict(id string) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	if !ok {
+		return false, nil
+	}
+	delete(m.sessions, id)
+	m.cEvictTTL.Inc()
+	m.gActive.Set(float64(len(m.sessions)))
+	return true, s.teardown(true)
+}
+
+// SweepOnce evicts every session idle for longer than the TTL, returning
+// how many were evicted. The background sweeper calls it periodically; it
+// is exported so tests can drive eviction deterministically. A zero TTL
+// makes it a no-op.
+func (m *Manager) SweepOnce() int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	cutoff := time.Now().Add(-m.cfg.TTL).UnixNano()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0
+	}
+	n := 0
+	for id, s := range m.sessions {
+		if s.lastUsed.Load() > cutoff {
+			continue
+		}
+		delete(m.sessions, id)
+		m.cEvictTTL.Inc()
+		n++
+		if err := s.teardown(true); err != nil {
+			log.Printf("session %q: close on TTL eviction: %v", id, err)
+		}
+	}
+	if n > 0 {
+		m.gActive.Set(float64(len(m.sessions)))
+	}
+	return n
+}
+
+// sweep is the TTL sweeper goroutine.
+func (m *Manager) sweep(interval time.Duration) {
+	defer m.sweeper.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.SweepOnce()
+		}
+	}
+}
+
+// AggregateStats sums the manager-level accounting across all sessions,
+// resident and evicted.
+type AggregateStats struct {
+	Active           int   `json:"active"`
+	Created          int64 `json:"created"`
+	Restored         int64 `json:"restored"`
+	EvictedTTL       int64 `json:"evicted_ttl"`
+	EvictedLRU       int64 `json:"evicted_lru"`
+	CheckpointSaves  int64 `json:"checkpoint_saves"`
+	CheckpointErrors int64 `json:"checkpoint_errors"`
+}
+
+// Aggregate returns the manager-level accounting.
+func (m *Manager) Aggregate() AggregateStats {
+	m.mu.Lock()
+	active := len(m.sessions)
+	m.mu.Unlock()
+	return AggregateStats{
+		Active:           active,
+		Created:          m.cCreated.Value(),
+		Restored:         m.cRestored.Value(),
+		EvictedTTL:       m.cEvictTTL.Value(),
+		EvictedLRU:       m.cEvictLRU.Value(),
+		CheckpointSaves:  m.cCkptSaves.Value(),
+		CheckpointErrors: m.cCkptErrs.Value(),
+	}
+}
+
+// Close tears down every session (checkpointing each) and stops the
+// sweeper. Idempotent: the second call returns nil. Returns the first
+// session-close error.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	sessions := m.sessions
+	m.sessions = make(map[string]*Session)
+	m.gActive.Set(0)
+	close(m.stop)
+	m.mu.Unlock()
+
+	m.sweeper.Wait()
+	var first error
+	for _, s := range sessions {
+		if err := s.teardown(true); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,524 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"freewayml/internal/ensemble"
+	"freewayml/internal/linalg"
+	"freewayml/internal/model"
+	"freewayml/internal/nn"
+	"freewayml/internal/shift"
+	"freewayml/internal/stream"
+	"freewayml/internal/window"
+)
+
+// Granularity is one fixed-frequency model of the multi-time-granularity
+// ensemble: model i trains every Every batches on the batches accumulated
+// since its last update.
+type Granularity struct {
+	// Model is the member model; Every is its update period in batches.
+	Model model.Model
+	Every int
+
+	pending  int
+	bufX     [][]float64
+	bufY     []int
+	centroid linalg.Vector // distribution of the last training data
+	wd       *Watchdog     // nil when the watchdog is disabled
+}
+
+// NewGranularity wraps a model as a fixed-frequency ensemble member. wd may
+// be nil to disable divergence monitoring.
+func NewGranularity(m model.Model, every int, wd *Watchdog) *Granularity {
+	return &Granularity{Model: m, Every: every, wd: wd}
+}
+
+// BuildGranularities builds the fixed-frequency members: model i updates
+// every 2^i batches.
+func BuildGranularities(factory model.Factory, dim, classes, n int, wcfg WatchdogConfig) ([]*Granularity, error) {
+	grans := make([]*Granularity, 0, n)
+	for i := 0; i < n; i++ {
+		m, err := factory(dim, classes)
+		if err != nil {
+			return nil, err
+		}
+		var wd *Watchdog
+		if !wcfg.Disabled {
+			wd = NewWatchdog(fmt.Sprintf("gran%d", i), wcfg)
+		}
+		grans = append(grans, NewGranularity(m, 1<<i, wd))
+	}
+	return grans, nil
+}
+
+// Preserver receives the window-close knowledge-preservation hook. The
+// knowledge-reuse strategy implements it; callers hold the ensemble's long-
+// model lock, so longSnap may be invoked directly.
+type Preserver interface {
+	PreserveAtWindowClose(disorder float64, distribution linalg.Vector, longSnap func() ([]byte, error), shortSnap []byte, replaceRadius float64, obs shift.Observation) error
+}
+
+// EnsembleConfig carries the knobs of the multi-granularity mechanism (a
+// subset of core.Config; see there for semantics).
+type EnsembleConfig struct {
+	Sigma      float64
+	LongEMA    float64
+	LongEpochs int
+	LongChunk  int
+	LongRebase bool
+	Async      bool
+}
+
+// EnsembleDeps are the ensemble's callbacks into its host: health
+// bookkeeping, the current batch index, the same-regime replacement radius
+// (computed from the detector on the caller's goroutine), and the optional
+// knowledge preserver.
+type EnsembleDeps struct {
+	// Stages receives long-update durations measured off the request path
+	// (the asynchronous window close). Required; wrap a nil observer.
+	Stages StageObserver
+	// OnRecovery folds one watchdog event into the host's health counters.
+	// Must be safe from the async update goroutine.
+	OnRecovery func(RecoveryEvent)
+	// OnAsyncErr records a background-update error for the host to surface.
+	OnAsyncErr func(error)
+	// BatchNum returns the host's current batch index (caller goroutine
+	// only; async paths capture it synchronously).
+	BatchNum func() int
+	// ReplaceRadius returns the same-regime knowledge-replacement radius.
+	// Called synchronously at window close (the detector is not safe to
+	// touch from an async update).
+	ReplaceRadius func() float64
+}
+
+// Ensemble is the Pattern-A mechanism (and the dispatcher's fallback): the
+// short/mid fixed-frequency models plus the ASW-driven long-granularity
+// model, fused with the Gaussian-kernel distance weighting of Eq. 12-14.
+// It owns the adaptive streaming window and the long model's asynchronous
+// update lifecycle.
+type Ensemble struct {
+	cfg  EnsembleConfig
+	deps EnsembleDeps
+
+	grans []*Granularity // grans[0] updates per batch
+	long  model.Model    // ASW-driven long-granularity model
+
+	asw          *window.ASW
+	pre          *window.Precomputer
+	longOpt      *nn.SGD
+	longCentroid linalg.Vector
+	longWd       *Watchdog // nil when the watchdog is disabled
+
+	preserver Preserver // set after construction (nil disables preservation)
+
+	mu sync.RWMutex // guards long model + longCentroid during async updates
+	wg sync.WaitGroup
+}
+
+// NewEnsemble assembles the mechanism from its pre-built parts. pre and
+// longOpt are non-nil only under the pre-computing window; longWd may be
+// nil to disable long-model divergence monitoring.
+func NewEnsemble(cfg EnsembleConfig, grans []*Granularity, long model.Model, longWd *Watchdog, asw *window.ASW, pre *window.Precomputer, longOpt *nn.SGD, deps EnsembleDeps) *Ensemble {
+	return &Ensemble{
+		cfg:   cfg,
+		deps:  deps,
+		grans: grans,
+		long:  long,
+		asw:   asw,
+		pre:   pre,
+		longOpt: longOpt,
+		longWd:  longWd,
+	}
+}
+
+// SetPreserver attaches the knowledge-preservation hook (call before the
+// first Train; nil disables preservation).
+func (e *Ensemble) SetPreserver(p Preserver) { e.preserver = p }
+
+// Name identifies the mechanism.
+func (e *Ensemble) Name() string { return "multi-granularity" }
+
+// Granularities exposes the fixed-frequency members (checkpointing and
+// white-box tests).
+func (e *Ensemble) Granularities() []*Granularity { return e.grans }
+
+// ShortModel returns the per-batch member (grans[0]), the "deployed" model
+// the other mechanisms arbitrate against.
+func (e *Ensemble) ShortModel() model.Model { return e.grans[0].Model }
+
+// AdoptShort replaces the short model's parameters and training centroid —
+// the knowledge-reuse adoption path (SC3).
+func (e *Ensemble) AdoptShort(snap []byte, centroid linalg.Vector) error {
+	if err := e.grans[0].Model.Restore(snap); err != nil {
+		return err
+	}
+	e.grans[0].centroid = centroid.Clone()
+	return nil
+}
+
+// SetDecayBoost forwards the rate-adjuster boost to the window.
+func (e *Ensemble) SetDecayBoost(v float64) { e.asw.SetDecayBoost(v) }
+
+// Disorder returns the window's normalized disorder (A1/A2 and β-policy
+// evidence).
+func (e *Ensemble) Disorder() float64 { return e.asw.Disorder() }
+
+// WindowLen returns the batches currently held by the window.
+func (e *Ensemble) WindowLen() int { return e.asw.Len() }
+
+// WindowItems returns the samples currently held by the window.
+func (e *Ensemble) WindowItems() int { return e.asw.Items() }
+
+// WindowEvictions returns the window's lifetime decay-eviction count.
+func (e *Ensemble) WindowEvictions() int { return e.asw.Evictions() }
+
+// Wait blocks until any in-flight asynchronous long-model update finishes.
+func (e *Ensemble) Wait() { e.wg.Wait() }
+
+// InferWarmup predicts with the short model alone — the strategy while the
+// detector has no projected centroid yet.
+func (e *Ensemble) InferWarmup(b stream.Batch) Prediction {
+	proba := e.grans[0].Model.PredictProba(b.X)
+	return Prediction{Pred: argmaxRows(proba), Proba: proba}
+}
+
+// GranMembers returns the fixed-frequency members with their distances to
+// the live distribution — the knowledge-reuse fusion deliberately excludes
+// the long model.
+func (e *Ensemble) GranMembers(yBar linalg.Vector, x [][]float64) []ensemble.Member {
+	members := make([]ensemble.Member, 0, len(e.grans))
+	for _, g := range e.grans {
+		members = append(members, ensemble.Member{
+			Proba:    g.Model.PredictProba(x),
+			Distance: centroidDistance(yBar, g.centroid),
+		})
+	}
+	return members
+}
+
+// Infer fuses all granularity models with the Gaussian-kernel distance
+// weighting of Eq. 12-14. Always serves (ok=true).
+func (e *Ensemble) Infer(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) (Prediction, bool, error) {
+	tr = ensureTrace(tr)
+	// Short and mid-granularity models: distance to their last training
+	// distribution (D_short of Eq. 12 equals obs.Distance for the per-batch
+	// model, since its centroid is the previous batch's ȳ).
+	members := e.GranMembers(obs.YBar, b.X)
+	e.mu.RLock()
+	members = append(members, ensemble.Member{
+		Proba:    e.long.PredictProba(b.X),
+		Distance: centroidDistance(obs.YBar, e.longCentroid),
+	})
+	e.mu.RUnlock()
+
+	// Normalize distances by their mean so the kernel width Sigma is
+	// scale-free: the projected space's units vary per dataset, and Eq. 14
+	// only cares about the models' relative match to the live data.
+	normalizeDistances(members)
+	recordWeights(tr, members, e.cfg.Sigma)
+
+	// Insight A emerges from the distances themselves: under a directional
+	// shift (A1) the previous batch — the short model's distribution — is
+	// the nearest thing to the live data, while under localized fluctuation
+	// (A2) the window's weighted centroid sits at the center of the noise
+	// and the long model wins the kernel weighting.
+	fused, err := ensemble.Fuse(members, e.cfg.Sigma)
+	if err != nil {
+		return Prediction{}, false, fmt.Errorf("strategy: ensemble: %w", err)
+	}
+	return Prediction{Pred: argmaxRows(fused), Proba: fused}, true, nil
+}
+
+// Train updates every granularity model per its schedule, maintains the
+// window, and triggers the long-model update at window close.
+func (e *Ensemble) Train(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) error {
+	tr = ensureTrace(tr)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Fixed-frequency models. After every update the watchdog checks the
+	// model's health; a diverged model is rolled back to its last healthy
+	// snapshot and keeps its previous centroid (the rolled-back parameters
+	// belong to the pre-divergence distribution).
+	tShort := tr.StageStart()
+	for _, g := range e.grans {
+		g.bufX = append(g.bufX, b.X...)
+		g.bufY = append(g.bufY, b.Y...)
+		g.pending++
+		if g.pending < g.Every {
+			continue
+		}
+		loss, err := g.Model.Fit(g.bufX, g.bufY)
+		if err != nil {
+			return err
+		}
+		diverged := false
+		if g.wd != nil {
+			if ev := g.wd.Check(g.Model, loss, e.deps.BatchNum()); ev != nil {
+				diverged = true
+				e.deps.OnRecovery(*ev)
+			}
+		}
+		if !diverged && obs.YBar != nil {
+			g.centroid = obs.YBar.Clone()
+		}
+		g.bufX, g.bufY, g.pending = nil, nil, 0
+	}
+	tr.StageDone(StageShortUpdate, tShort)
+
+	// Long-model weight averaging: fold the freshly updated short model
+	// into the long model's EMA and advance its centroid the same way.
+	if e.cfg.LongEMA > 0 && obs.YBar != nil && e.long.Net() != nil {
+		e.mu.Lock()
+		emaParams(e.long, e.grans[0].Model, e.cfg.LongEMA)
+		if e.longCentroid == nil {
+			e.longCentroid = obs.YBar.Clone()
+		} else if len(e.longCentroid) == len(obs.YBar) {
+			for j := range e.longCentroid {
+				e.longCentroid[j] = e.cfg.LongEMA*e.longCentroid[j] + (1-e.cfg.LongEMA)*obs.YBar[j]
+			}
+		}
+		e.mu.Unlock()
+	}
+
+	// Long model via the adaptive streaming window. During detector warm-up
+	// there is no projected centroid yet, so the window starts afterward.
+	if obs.YBar == nil {
+		return nil
+	}
+	tWin := tr.StageStart()
+	full, err := e.asw.Push(b.X, b.Y, obs.YBar)
+	if err != nil {
+		return err
+	}
+	if e.pre != nil {
+		// Pre-computing window (Sec. V-B): fold this batch's gradient in
+		// now, so the update at window close is a single cheap step. This
+		// trades the decay weighting of TrainingSet for latency — the
+		// gradients were computed at arrival weight.
+		e.mu.Lock()
+		err := e.pre.AddSubset(b.X, b.Y)
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	tr.StageDone(StageWindowPush, tWin)
+	if !full {
+		return nil
+	}
+	tr.WindowClosed()
+	return e.updateLong(obs, tr)
+}
+
+// updateLong trains the long-granularity model from the closed window,
+// preserves knowledge per the β policy, and resets the window.
+func (e *Ensemble) updateLong(obs shift.Observation, tr Trace) error {
+	disorder := e.asw.Disorder()
+	distribution := e.asw.Distribution()
+	var trainX [][]float64
+	var trainY []int
+	if e.pre == nil {
+		trainX, trainY = e.asw.TrainingSet()
+	}
+	e.asw.Reset()
+
+	// The short model keeps training on the caller's goroutine, so its
+	// snapshot must be captured now, not inside an async update. It serves
+	// two purposes: the β-policy preservation below, and re-basing the long
+	// model — the long-granularity model is the current model smoothed over
+	// the whole window, so each close starts from the freshest parameters
+	// and then trains across the window's weighted data. Without re-basing
+	// the long model accumulates staleness that no distance weighting can
+	// detect (distance measures data match, not parameter quality).
+	shortSnap, err := e.grans[0].Model.Snapshot()
+	if err != nil {
+		return err
+	}
+	// Same-regime radius for knowledge replacement: computed here, on the
+	// caller's goroutine — the detector is not safe to touch from an async
+	// update.
+	replaceRadius := e.deps.ReplaceRadius()
+	batchNum := e.deps.BatchNum()
+
+	apply := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		// lastLoss feeds the long model's watchdog; negative means the
+		// update path produced no loss signal (precompute), where only the
+		// weight checks apply.
+		lastLoss := -1.0
+		if e.pre != nil {
+			if err := e.pre.Finalize(e.longOpt); err != nil {
+				return err
+			}
+			e.pre.Start()
+		} else if len(trainX) > 0 {
+			if e.cfg.LongRebase && e.cfg.LongEMA == 0 {
+				if err := e.long.Restore(shortSnap); err != nil {
+					return err
+				}
+			}
+			// Chunked mini-batch epochs over the weighted window, matching
+			// how a DataLoader-driven PyTorch update iterates window data.
+			for epoch := 0; epoch < e.cfg.LongEpochs; epoch++ {
+				for start := 0; start < len(trainX); start += e.cfg.LongChunk {
+					end := start + e.cfg.LongChunk
+					if end > len(trainX) {
+						end = len(trainX)
+					}
+					loss, err := e.long.Fit(trainX[start:end], trainY[start:end])
+					if err != nil {
+						return err
+					}
+					lastLoss = loss
+				}
+			}
+		}
+		if e.longWd != nil {
+			if ev := e.longWd.Check(e.long, lastLoss, batchNum); ev != nil {
+				e.deps.OnRecovery(*ev)
+			}
+		}
+		// With EMA averaging the centroid is maintained per batch and is
+		// fresher than the window distribution.
+		if distribution != nil && e.cfg.LongEMA == 0 {
+			e.longCentroid = distribution
+		}
+		if e.preserver == nil {
+			return nil
+		}
+		return e.preserver.PreserveAtWindowClose(disorder, distribution, e.long.Snapshot, shortSnap, replaceRadius, obs)
+	}
+
+	// With pre-computed gradients the closing step is a single optimizer
+	// application — running it inline is cheaper than a goroutine and avoids
+	// interleaving the next window's AddSubset with this window's Finalize.
+	if e.cfg.Async && e.pre == nil {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			// The batch's trace event may already be emitted when this
+			// finishes, so the async path feeds the stage histogram only.
+			start := time.Now()
+			err := apply()
+			e.deps.Stages.ObserveStage(StageLongUpdate, time.Since(start))
+			if err != nil {
+				e.deps.OnAsyncErr(err)
+			}
+		}()
+		return nil
+	}
+	tLong := tr.StageStart()
+	err = apply()
+	tr.StageDone(StageLongUpdate, tLong)
+	return err
+}
+
+// DebugModels exposes the short and long granularity models for diagnostic
+// tooling and white-box tests.
+func (e *Ensemble) DebugModels() (short, long model.Model) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.grans[0].Model, e.long
+}
+
+// DebugDistances recomputes the short/long model shift distances for an
+// observation's centroid (diagnostics only).
+func (e *Ensemble) DebugDistances(yBar linalg.Vector) (dShort, dLong float64) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return centroidDistance(yBar, e.grans[0].centroid),
+		centroidDistance(yBar, e.longCentroid)
+}
+
+// EnsembleState is the ensemble's durable state for checkpointing.
+type EnsembleState struct {
+	GranSnapshots [][]byte
+	GranCentroids []linalg.Vector
+	LongSnapshot  []byte
+	LongCentroid  linalg.Vector
+}
+
+// ExportState snapshots every member. Any in-flight asynchronous long-model
+// update is waited out first so the state is consistent.
+func (e *Ensemble) ExportState() (EnsembleState, error) {
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st EnsembleState
+	for _, g := range e.grans {
+		snap, err := g.Model.Snapshot()
+		if err != nil {
+			return EnsembleState{}, fmt.Errorf("strategy: snapshot short model: %w", err)
+		}
+		st.GranSnapshots = append(st.GranSnapshots, snap)
+		var c linalg.Vector
+		if g.centroid != nil {
+			c = g.centroid.Clone()
+		}
+		st.GranCentroids = append(st.GranCentroids, c)
+	}
+	longSnap, err := e.long.Snapshot()
+	if err != nil {
+		return EnsembleState{}, fmt.Errorf("strategy: snapshot long model: %w", err)
+	}
+	st.LongSnapshot = longSnap
+	if e.longCentroid != nil {
+		st.LongCentroid = e.longCentroid.Clone()
+	}
+	return st, nil
+}
+
+// ImportState restores every member from a checkpoint, clears the pending
+// fixed-frequency buffers, and restarts the window (its contents are
+// intentionally not serialized).
+func (e *Ensemble) ImportState(st EnsembleState) error {
+	if len(st.GranSnapshots) != len(e.grans) {
+		return fmt.Errorf("strategy: granularity count mismatch: state has %d, ensemble has %d", len(st.GranSnapshots), len(e.grans))
+	}
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, g := range e.grans {
+		if err := g.Model.Restore(st.GranSnapshots[i]); err != nil {
+			return fmt.Errorf("strategy: restore granularity %d: %w", i, err)
+		}
+		g.centroid = st.GranCentroids[i]
+		g.bufX, g.bufY, g.pending = nil, nil, 0
+	}
+	if err := e.long.Restore(st.LongSnapshot); err != nil {
+		return fmt.Errorf("strategy: restore long model: %w", err)
+	}
+	e.longCentroid = st.LongCentroid
+	e.asw.Reset()
+	if e.pre != nil {
+		e.pre.Start()
+	}
+	return nil
+}
+
+// emaParams folds src's weights into dst: dst = decay·dst + (1−decay)·src.
+// Both models must share an architecture. Callers hold e.mu.
+func emaParams(dst, src model.Model, decay float64) {
+	dp := dst.Net().Params()
+	sp := src.Net().Params()
+	for i := range dp {
+		dw, sw := dp[i].W, sp[i].W
+		for j := range dw {
+			dw[j] = decay*dw[j] + (1-decay)*sw[j]
+		}
+	}
+}
+
+// argmaxRows maps per-sample class distributions to hard labels.
+func argmaxRows(proba [][]float64) []int {
+	out := make([]int, len(proba))
+	for i, row := range proba {
+		out[i] = nn.Argmax(row)
+	}
+	return out
+}

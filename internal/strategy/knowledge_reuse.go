@@ -1,0 +1,127 @@
+package strategy
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"freewayml/internal/ensemble"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+	"freewayml/internal/model"
+	"freewayml/internal/shift"
+	"freewayml/internal/stream"
+)
+
+// KnowledgeReuse is the Pattern-C mechanism: when a distribution reoccurs,
+// the nearest preserved snapshot is restored and fused with the live
+// fixed-frequency models (paper Sec. IV-D). It also implements Preserver:
+// the ensemble's window close feeds it the β-policy preservation decision.
+type KnowledgeReuse struct {
+	store *knowledge.Store
+	reuse model.Model // scratch model for restores
+	ens   *Ensemble   // live members for the fusion + adoption target
+
+	sigma        float64 // Gaussian-kernel width of the fusion
+	beta         float64 // disorder threshold of the preservation policy
+	reoccurRatio float64 // confidence gate, shared with Pattern-C detection
+}
+
+// NewKnowledgeReuse builds the mechanism over the (possibly process-shared)
+// knowledge store. reuse is a scratch model of the stream's shape.
+func NewKnowledgeReuse(store *knowledge.Store, reuse model.Model, ens *Ensemble, sigma, beta, reoccurRatio float64) *KnowledgeReuse {
+	return &KnowledgeReuse{store: store, reuse: reuse, ens: ens, sigma: sigma, beta: beta, reoccurRatio: reoccurRatio}
+}
+
+// Name identifies the mechanism.
+func (k *KnowledgeReuse) Name() string { return "knowledge-reuse" }
+
+// Store exposes the underlying knowledge store.
+func (k *KnowledgeReuse) Store() *knowledge.Store { return k.store }
+
+// Infer restores the nearest historical snapshot when it is closer to the
+// current distribution than the previous batch was (paper Sec. IV-D
+// knowledge match); ok=false when nothing qualifies.
+func (k *KnowledgeReuse) Infer(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) (Prediction, bool, error) {
+	tr = ensureTrace(tr)
+	tMatch := tr.StageStart()
+	snap, dist, ok, err := k.store.Match(obs.YBar)
+	tr.StageDone(StageKnowledgeLookup, tMatch)
+	if err != nil {
+		return Prediction{}, false, fmt.Errorf("strategy: knowledge match: %w", err)
+	}
+	// Reuse only confident matches: the preserved distribution must be
+	// meaningfully closer than the batch we just shifted away from (same
+	// ratio as the Pattern C detection rule), else a marginal restore can
+	// displace a continuously-trained model that is already adequate.
+	if !ok || dist >= k.reoccurRatio*obs.Distance {
+		if !ok {
+			dist = math.Inf(1) // no eligible entry: trace it as -1
+		}
+		tr.Knowledge(false, dist)
+		return Prediction{}, false, nil
+	}
+	tr.Knowledge(true, dist)
+	if err := k.reuse.Restore(snap); err != nil {
+		return Prediction{}, false, fmt.Errorf("strategy: knowledge restore: %w", err)
+	}
+
+	// The restored model joins the distance ensemble rather than replacing
+	// it outright: its matched distance is far smaller than the current
+	// models' post-shift distances, so it dominates the kernel weighting —
+	// but if the live models are still competitive the fusion keeps their
+	// signal. The long model deliberately stays out: it smooths over the
+	// departed regime.
+	members := append([]ensemble.Member{{Proba: k.reuse.PredictProba(b.X), Distance: dist}},
+		k.ens.GranMembers(obs.YBar, b.X)...)
+	normalizeDistances(members)
+	recordWeights(tr, members, k.sigma)
+	fused, err := ensemble.Fuse(members, k.sigma)
+	if err != nil {
+		return Prediction{}, false, fmt.Errorf("strategy: knowledge fuse: %w", err)
+	}
+	pred := Prediction{Pred: argmaxRows(fused), Proba: fused}
+
+	// Reuse means not relearning (SC3): on a confident match the preserved
+	// parameters also become the working short model, so subsequent batches
+	// of the reoccurred regime start from them instead of re-adapting from
+	// the departed regime's.
+	if dist < 0.5*k.reoccurRatio*obs.Distance {
+		if err := k.ens.AdoptShort(snap, obs.YBar); err != nil {
+			return Prediction{}, false, fmt.Errorf("strategy: knowledge adopt: %w", err)
+		}
+	}
+	return pred, true, nil
+}
+
+// Train is a no-op: the store is fed by PreserveAtWindowClose, not by
+// per-batch training.
+func (k *KnowledgeReuse) Train(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) error {
+	return nil
+}
+
+// PreserveAtWindowClose applies the disorder-threshold policy of Sec. IV-D1.
+// Callers hold the ensemble's long-model lock; longSnap snapshots the long
+// model under that lock. shortSnap was captured synchronously at window
+// close.
+func (k *KnowledgeReuse) PreserveAtWindowClose(disorder float64, distribution linalg.Vector, longSnap func() ([]byte, error), shortSnap []byte, replaceRadius float64, obs shift.Observation) error {
+	if distribution == nil {
+		return nil
+	}
+	decision := knowledge.Policy{Beta: k.beta}.Decide(disorder)
+	if decision.SaveLong {
+		snap, err := longSnap()
+		if err != nil {
+			return err
+		}
+		if err := k.store.PreserveOrReplace(distribution, snap, "long", obs.Batch, replaceRadius); err != nil {
+			return err
+		}
+	}
+	if decision.SaveShort && shortSnap != nil && obs.YBar != nil {
+		if err := k.store.PreserveOrReplace(obs.YBar, shortSnap, "short", obs.Batch, replaceRadius); err != nil {
+			return err
+		}
+	}
+	return nil
+}

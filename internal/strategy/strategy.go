@@ -1,0 +1,152 @@
+// Package strategy implements the three adaptive mechanisms of FreewayML as
+// interchangeable strategies behind one interface (paper Sec. IV): the
+// multi-time-granularity ensemble for slight shifts (Pattern A), coherent
+// experience clustering for sudden shifts (Pattern B), and historical
+// knowledge reuse for reoccurring shifts (Pattern C). The core learner
+// shrinks to detection → dispatch → bookkeeping; everything mechanism-
+// specific — the models, the adaptive window, the experience buffer, the
+// store match — lives here.
+package strategy
+
+import (
+	"context"
+	"math"
+	"time"
+
+	"freewayml/internal/cluster"
+	"freewayml/internal/ensemble"
+	"freewayml/internal/linalg"
+	"freewayml/internal/shift"
+	"freewayml/internal/stream"
+)
+
+// Stage names used in the freeway_stage_seconds{stage=...} histograms and
+// the per-event stage timings. "predict" wraps the whole strategy dispatch,
+// so it contains "cluster" and "knowledge_lookup" when those mechanisms run.
+// "long_update" covers the window-close training; when Async is on it is
+// measured on the background goroutine and lands in the histogram only (the
+// batch's trace event has already been emitted by then).
+const (
+	StageGuard           = "guard"
+	StageShiftDetect     = "shift_detect"
+	StagePredict         = "predict"
+	StageCluster         = "cluster"
+	StageKnowledgeLookup = "knowledge_lookup"
+	StageShortUpdate     = "short_update"
+	StageWindowPush      = "window_push"
+	StageLongUpdate      = "long_update"
+)
+
+// StageNames lists every stage in pipeline order.
+var StageNames = []string{
+	StageGuard, StageShiftDetect, StagePredict, StageCluster,
+	StageKnowledgeLookup, StageShortUpdate, StageWindowPush, StageLongUpdate,
+}
+
+// Prediction is what one strategy produced for a batch: hard labels always,
+// a per-sample class distribution when the mechanism yields one (nil for
+// CEC, which outputs hard labels).
+type Prediction struct {
+	Pred  []int
+	Proba [][]float64
+}
+
+// Trace receives the per-batch decision evidence a strategy generates. The
+// core observer implements it; every implementation must tolerate being
+// driven from the learner's hot path, and the learner passes a nil-safe
+// wrapper so strategies never guard their trace calls.
+type Trace interface {
+	// StageStart returns the stage start time (zero when tracing is off).
+	StageStart() time.Time
+	// StageDone closes a stage opened with StageStart.
+	StageDone(stage string, t0 time.Time)
+	// Weights records the fusion weights the ensemble members received.
+	Weights(ws []float64)
+	// CEC records the clustering evidence behind a CEC dispatch attempt.
+	CEC(st cluster.CECStats)
+	// Knowledge records a knowledge-store lookup outcome.
+	Knowledge(hit bool, dist float64)
+	// WindowClosed marks that this batch's push closed the window.
+	WindowClosed()
+}
+
+// StageObserver feeds stage durations measured off the request path (the
+// asynchronous long-model update) into the stage histograms. The core
+// observer implements it; a nil-Observer-backed implementation is a no-op.
+type StageObserver interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// nopTrace backs a nil Trace so strategies can call hooks unconditionally.
+type nopTrace struct{}
+
+func (nopTrace) StageStart() time.Time          { return time.Time{} }
+func (nopTrace) StageDone(string, time.Time)    {}
+func (nopTrace) Weights([]float64)              {}
+func (nopTrace) CEC(cluster.CECStats)           {}
+func (nopTrace) Knowledge(bool, float64)        {}
+func (nopTrace) WindowClosed()                  {}
+
+// ensureTrace substitutes the no-op trace for nil.
+func ensureTrace(tr Trace) Trace {
+	if tr == nil {
+		return nopTrace{}
+	}
+	return tr
+}
+
+// Strategy is one adaptive mechanism. Infer produces predictions for a
+// batch under the detector's observation; ok=false means the mechanism
+// cannot serve this batch (no experience yet, no confident knowledge match)
+// and the dispatcher falls back per the paper's Fig. 8 chain. Train folds
+// the labeled batch into the mechanism's state. Both honour ctx
+// cancellation between (not within) model updates.
+type Strategy interface {
+	Name() string
+	Infer(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) (Prediction, bool, error)
+	Train(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) error
+}
+
+// normalizeDistances rescales the members' finite distances by their mean,
+// leaving infinite distances (untrained models) untouched. Degenerate cases
+// (no finite distances, zero mean) are left as-is.
+func normalizeDistances(members []ensemble.Member) {
+	var sum float64
+	n := 0
+	for _, m := range members {
+		if !math.IsInf(m.Distance, 0) {
+			sum += m.Distance
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return
+	}
+	mean := sum / float64(n)
+	for i := range members {
+		if !math.IsInf(members[i].Distance, 0) {
+			members[i].Distance /= mean
+		}
+	}
+}
+
+// centroidDistance returns the Euclidean distance, or +Inf when the model
+// has no training distribution yet (its kernel weight then vanishes).
+func centroidDistance(y, centroid linalg.Vector) float64 {
+	if y == nil || centroid == nil || len(y) != len(centroid) {
+		return math.Inf(1)
+	}
+	return y.Distance(centroid)
+}
+
+// recordWeights feeds the fusion weights the members will receive to the
+// batch trace.
+func recordWeights(tr Trace, members []ensemble.Member, sigma float64) {
+	ds := make([]float64, len(members))
+	for i := range members {
+		ds[i] = members[i].Distance
+	}
+	if ws, err := ensemble.Weights(ds, sigma); err == nil {
+		tr.Weights(ws)
+	}
+}

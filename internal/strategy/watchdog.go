@@ -1,6 +1,7 @@
-package core
+package strategy
 
 import (
+	"errors"
 	"math"
 
 	"freewayml/internal/model"
@@ -22,18 +23,46 @@ type RecoveryEvent struct {
 	RolledBack bool
 }
 
-// maxRecoveryEvents bounds the retained event log; older events are
-// dropped (the counters in Stats never reset).
-const maxRecoveryEvents = 32
+// WatchdogConfig tunes the divergence watchdog. Zero values select the
+// built-in defaults, so a zero WatchdogConfig means "on, defaults".
+type WatchdogConfig struct {
+	// Disabled turns divergence monitoring and rollback off entirely.
+	Disabled bool
+	// Ring is how many last-healthy snapshots each model retains
+	// (default 3).
+	Ring int
+	// LossFactor flags a loss explosion when a batch's loss exceeds this
+	// multiple of the running healthy-loss mean (default 50).
+	LossFactor float64
+	// MinUpdates is how many healthy updates must accumulate before
+	// loss-explosion checks apply — NaN/Inf checks always apply
+	// (default 8).
+	MinUpdates int
+}
 
-// watchdog guards one model against divergence. After every update it
+// Validate reports the first invalid watchdog knob.
+func (w WatchdogConfig) Validate() error {
+	switch {
+	case w.Ring < 0:
+		return errors.New("core: Watchdog.Ring must be >= 0")
+	case w.LossFactor < 0:
+		return errors.New("core: Watchdog.LossFactor must be >= 0")
+	case w.LossFactor > 0 && w.LossFactor <= 1:
+		return errors.New("core: Watchdog.LossFactor must be > 1")
+	case w.MinUpdates < 0:
+		return errors.New("core: Watchdog.MinUpdates must be >= 0")
+	}
+	return nil
+}
+
+// Watchdog guards one model against divergence. After every update it
 // checks the update's loss and the model's weights; while they stay
 // healthy it retains a small ring of parameter snapshots, and on NaN/Inf
 // weights or a loss explosion it rolls the model back to the newest
 // retained snapshot. The paper's stability claim (SI, Eq. 16) assumes the
 // learner's weights stay in a sane region; the watchdog enforces that
 // assumption against faults SGD cannot recover from on its own.
-type watchdog struct {
+type Watchdog struct {
 	name string
 	ring [][]byte // last-healthy snapshots, newest at (next-1+len)%len
 	next int
@@ -54,7 +83,8 @@ const (
 	watchdogLossEMA = 0.9
 )
 
-func newWatchdog(name string, cfg WatchdogConfig) *watchdog {
+// NewWatchdog builds a watchdog for the named model.
+func NewWatchdog(name string, cfg WatchdogConfig) *Watchdog {
 	ring := cfg.Ring
 	if ring <= 0 {
 		ring = defaultWatchdogRing
@@ -67,7 +97,7 @@ func newWatchdog(name string, cfg WatchdogConfig) *watchdog {
 	if minUpdates <= 0 {
 		minUpdates = defaultWatchdogMinUpdates
 	}
-	return &watchdog{
+	return &Watchdog{
 		name:       name,
 		ring:       make([][]byte, ring),
 		lossFactor: factor,
@@ -75,12 +105,12 @@ func newWatchdog(name string, cfg WatchdogConfig) *watchdog {
 	}
 }
 
-// check inspects the model right after an update. loss is the update's
+// Check inspects the model right after an update. loss is the update's
 // batch loss, or negative when the update path produces none (the
 // pre-computing window); weight checks still apply then. A nil return
 // means healthy; otherwise the returned event describes the divergence and
 // whether the model was rolled back.
-func (w *watchdog) check(m model.Model, loss float64, batch int) *RecoveryEvent {
+func (w *Watchdog) Check(m model.Model, loss float64, batch int) *RecoveryEvent {
 	reason := ""
 	switch {
 	case math.IsNaN(loss) || math.IsInf(loss, 0):
@@ -116,7 +146,7 @@ func (w *watchdog) check(m model.Model, loss float64, batch int) *RecoveryEvent 
 
 // push retains a healthy snapshot, evicting the oldest when the ring is
 // full.
-func (w *watchdog) push(snap []byte) {
+func (w *Watchdog) push(snap []byte) {
 	w.ring[w.next] = snap
 	w.next = (w.next + 1) % len(w.ring)
 	if w.held < len(w.ring) {
@@ -125,7 +155,7 @@ func (w *watchdog) push(snap []byte) {
 }
 
 // newest returns the most recently retained snapshot, or nil when none.
-func (w *watchdog) newest() []byte {
+func (w *Watchdog) newest() []byte {
 	if w.held == 0 {
 		return nil
 	}
