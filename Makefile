@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench obs-smoke clean
+.PHONY: all build test vet race check bench bench-serve loadgen-smoke obs-smoke clean
 
 all: check
 
@@ -19,9 +19,24 @@ race:
 # The full gate: everything CI runs.
 check: build vet test race
 
-# Runs the kernel + throughput benchmarks and refreshes BENCH_PR2.json.
+# Runs the kernel + throughput benchmarks and refreshes BENCH_PR2.json,
+# then the concurrent-serving gate (BENCH_PR5.json).
 bench:
 	bash scripts/bench.sh
+
+# Concurrent-serving gate: session-manager shards=1 vs shards=8 at
+# GOMAXPROCS=8 plus a closed-loop loadgen run; refreshes BENCH_PR5.json and
+# fails if the striped map regresses against the single-lock baseline (or,
+# on a >= 4-CPU host, wins by less than 3x on the churn workload).
+bench-serve:
+	bash scripts/bench_serve.sh
+
+# Short closed-loop load smoke: boots freeway-serve, drives 2 streams for
+# ~2s, and fails on any request error.
+loadgen-smoke:
+	$(GO) build -o bin/freeway-serve ./cmd/freeway-serve
+	$(GO) run ./cmd/freeway-loadgen -serve bin/freeway-serve \
+		-streams 2 -concurrency 2 -batch 16 -duration 2s
 
 # End-to-end observability check: boots freeway-serve, streams a synthetic
 # drifting stream, and asserts /v1/metrics and /v1/trace saw all three shift

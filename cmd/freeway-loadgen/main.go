@@ -1,0 +1,352 @@
+// Command freeway-loadgen drives a freeway-serve instance with concurrent
+// multi-stream training traffic and reports throughput and latency
+// quantiles. It is the closed-loop load harness behind `make bench-serve`
+// and the CI loadgen smoke:
+//
+//	freeway-loadgen -serve bin/freeway-serve -streams 8 -concurrency 8 -duration 10s
+//	freeway-loadgen -addr 127.0.0.1:8080 -mode open -rate 500 -duration 30s
+//
+// With -serve a server is booted on an ephemeral port (and torn down at
+// exit); with -addr an already-running server is targeted and -serve is
+// ignored. Two arrival models:
+//
+//   - closed (default): -concurrency workers each keep exactly one request
+//     in flight — measured latency is service time under self-throttling
+//     load, the right model for capacity benchmarks.
+//   - open: requests are dispatched at a fixed -rate regardless of how the
+//     server keeps up; latency is measured from the *intended* dispatch
+//     time, so queueing delay is included — the right model for SLO checks
+//     (avoids coordinated omission).
+//
+// Each request POSTs one labeled batch to /v1/streams/{id}/process, cycling
+// round-robin over -streams synthetic streams (two separable Gaussian
+// classes per stream, shifted per stream so streams are not identical).
+// Latency lands in an internal/obs histogram; the summary prints
+// throughput, error count, and p50/p95/p99, and -out writes the same as
+// JSON for scripts/bench_serve.sh to fold into BENCH_PR5.json. Exit status
+// is nonzero when any request errored.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"freewayml/internal/obs"
+	"freewayml/internal/stream"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "target an already-running server at host:port (skips booting one)")
+		serveBin = flag.String("serve", "bin/freeway-serve", "freeway-serve binary to boot when -addr is empty")
+		streams  = flag.Int("streams", 8, "number of synthetic streams")
+		conc     = flag.Int("concurrency", 8, "concurrent workers (in-flight requests in closed mode)")
+		batch    = flag.Int("batch", 32, "samples per request")
+		dim      = flag.Int("dim", 6, "feature dimensionality")
+		classes  = flag.Int("classes", 2, "number of labels")
+		model    = flag.String("model", "lr", "model family for the booted server")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		mode     = flag.String("mode", "closed", "arrival model: closed | open")
+		rate     = flag.Float64("rate", 200, "open mode: total request arrivals per second")
+		seed     = flag.Int64("seed", 1, "random seed for synthetic batches")
+		out      = flag.String("out", "", "write the JSON summary to this file ('-' for stdout)")
+	)
+	flag.Parse()
+	cfg := config{
+		addr: *addr, serveBin: *serveBin, streams: *streams, conc: *conc,
+		batch: *batch, dim: *dim, classes: *classes, model: *model,
+		duration: *duration, mode: *mode, rate: *rate, seed: *seed, out: *out,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "freeway-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr, serveBin, model, mode, out string
+	streams, conc, batch, dim        int
+	classes                          int
+	duration                         time.Duration
+	rate                             float64
+	seed                             int64
+}
+
+// summary is the JSON report; field names are the contract bench_serve.sh
+// and the README performance table read.
+type summary struct {
+	Mode          string  `json:"mode"`
+	Streams       int     `json:"streams"`
+	Concurrency   int     `json:"concurrency"`
+	Batch         int     `json:"batch"`
+	DurationS     float64 `json:"duration_s"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	SamplesPerS   float64 `json:"samples_per_s"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+func run(cfg config) error {
+	switch cfg.mode {
+	case "closed", "open":
+	default:
+		return fmt.Errorf("unknown -mode %q (want closed or open)", cfg.mode)
+	}
+	if cfg.streams < 1 || cfg.conc < 1 || cfg.batch < 1 || cfg.dim < 1 {
+		return fmt.Errorf("-streams, -concurrency, -batch, and -dim must all be >= 1")
+	}
+
+	base := cfg.addr
+	if base == "" {
+		addr, stopServer, err := bootServer(cfg)
+		if err != nil {
+			return err
+		}
+		defer stopServer()
+		base = addr
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	if err := waitHealthy(base, time.Now().Add(10*time.Second)); err != nil {
+		return err
+	}
+
+	lat := obs.NewHistogram(nil)
+	var requests, errCount atomic.Int64
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// In open mode arrivals carry their intended dispatch time so queueing
+	// delay counts against latency; the channel gives a bounded queue.
+	var arrivals chan time.Time
+	stopArrivals := make(chan struct{})
+	if cfg.mode == "open" {
+		if cfg.rate <= 0 {
+			return fmt.Errorf("-rate must be > 0 in open mode")
+		}
+		arrivals = make(chan time.Time, 4*cfg.conc)
+		go func() {
+			interval := time.Duration(float64(time.Second) / cfg.rate)
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			next := time.Now()
+			for {
+				select {
+				case <-stopArrivals:
+					close(arrivals)
+					return
+				case <-tick.C:
+					next = next.Add(interval)
+					select {
+					case arrivals <- next:
+					default: // queue full: the server is far behind; drop the arrival
+					}
+				}
+			}
+		}()
+	}
+
+	var pool stream.BatchPool
+	start := time.Now()
+	deadline := start.Add(cfg.duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
+			buf := &bytes.Buffer{}
+			for i := 0; ; i++ {
+				var intended time.Time
+				if cfg.mode == "open" {
+					t, ok := <-arrivals
+					if !ok {
+						return
+					}
+					intended = t
+				} else {
+					if time.Now().After(deadline) {
+						return
+					}
+					intended = time.Now()
+				}
+				sid := (w + i*cfg.conc) % cfg.streams
+				err := postBatch(client, base, sid, cfg, rng, &pool, buf)
+				lat.Observe(time.Since(intended).Seconds())
+				requests.Add(1)
+				if err != nil {
+					errCount.Add(1)
+				}
+			}
+		}(w)
+	}
+	if cfg.mode == "open" {
+		time.Sleep(cfg.duration)
+		close(stopArrivals)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	s := summary{
+		Mode:          cfg.mode,
+		Streams:       cfg.streams,
+		Concurrency:   cfg.conc,
+		Batch:         cfg.batch,
+		DurationS:     elapsed.Seconds(),
+		Requests:      requests.Load(),
+		Errors:        errCount.Load(),
+		ThroughputRPS: float64(requests.Load()) / elapsed.Seconds(),
+		SamplesPerS:   float64(requests.Load()*int64(cfg.batch)) / elapsed.Seconds(),
+		P50Ms:         lat.Quantile(0.50) * 1e3,
+		P95Ms:         lat.Quantile(0.95) * 1e3,
+		P99Ms:         lat.Quantile(0.99) * 1e3,
+	}
+	fmt.Printf("freeway-loadgen: %s mode, %d streams × %d workers × batch %d for %.1fs\n",
+		s.Mode, s.Streams, s.Concurrency, s.Batch, s.DurationS)
+	fmt.Printf("freeway-loadgen: %d requests (%d errors), %.0f req/s, %.0f samples/s\n",
+		s.Requests, s.Errors, s.ThroughputRPS, s.SamplesPerS)
+	fmt.Printf("freeway-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms\n", s.P50Ms, s.P95Ms, s.P99Ms)
+
+	if cfg.out != "" {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if cfg.out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(cfg.out, data, 0o644); err != nil {
+			return err
+		}
+	}
+	if s.Requests == 0 {
+		return fmt.Errorf("no requests completed")
+	}
+	if s.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", s.Errors, s.Requests)
+	}
+	return nil
+}
+
+// postBatch builds one synthetic labeled batch through the pool, encodes it
+// into the reused buffer, and POSTs it to the stream's process endpoint.
+// The pooled batch is released before return — the JSON encoding is the
+// copy that leaves the function, so recycling is safe (see stream.BatchPool
+// on why the *server* side must not pool these).
+func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer) error {
+	b := pool.Get(cfg.batch, cfg.dim)
+	defer b.Release()
+	// Per-stream class centers: streams differ so cross-stream isolation
+	// bugs (e.g. shared session state) would surface as accuracy collapse.
+	shift := float64(sid) * 0.5
+	for i := range b.Rows {
+		c := rng.Intn(cfg.classes)
+		row := b.Rows[i]
+		row[0] = shift + float64(c)*2 + rng.NormFloat64()*0.3
+		for j := 1; j < cfg.dim; j++ {
+			row[j] = rng.NormFloat64() * 0.3
+		}
+		b.Y[i] = c
+	}
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(struct {
+		X [][]float64 `json:"x"`
+		Y []int       `json:"y"`
+	}{b.Rows, b.Y}); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/v1/streams/ld%03d/process", base, sid)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stream ld%03d: status %d", sid, resp.StatusCode)
+	}
+	return nil
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// bootServer starts freeway-serve on an ephemeral port and returns the
+// announced address plus a stop function that SIGTERMs and reaps it.
+func bootServer(cfg config) (string, func(), error) {
+	cmd := exec.Command(cfg.serveBin,
+		"-addr", "127.0.0.1:0",
+		"-dim", fmt.Sprint(cfg.dim),
+		"-classes", fmt.Sprint(cfg.classes),
+		"-model", cfg.model,
+		"-seed", fmt.Sprint(cfg.seed),
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return "", nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("start %s: %w", cfg.serveBin, err)
+	}
+	stop := func() {
+		cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() { cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return addr, stop, nil
+	case <-time.After(10 * time.Second):
+		stop()
+		return "", nil, fmt.Errorf("%s never announced its address", cfg.serveBin)
+	}
+}
+
+func waitHealthy(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("server at %s never became healthy", base)
+}

@@ -59,6 +59,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for per-stream checkpoints (one <id>.ckpt per stream, restored on reappearance)")
 		ckptEvery = flag.Int("checkpoint-every", 64, "batches between periodic checkpoints")
 		maxSess   = flag.Int("max-sessions", 0, "resident stream bound; exceeding it evicts the least-recently-used (0 keeps the default of 64)")
+		shards    = flag.Int("shards", 0, "session-map lock-stripe count (0 sizes to GOMAXPROCS; 1 is the single-lock baseline)")
 		sessTTL   = flag.Duration("session-ttl", 0, "evict streams idle longer than this (0 disables TTL eviction)")
 		sharedKdg = flag.Bool("shared-knowledge", false, "back every stream with one process-wide knowledge store")
 		warmup    = flag.Int("warmup", 0, "override the shift detector's warmup points (0 keeps the default)")
@@ -69,7 +70,7 @@ func main() {
 	opts := serveOptions{
 		maxBody: *maxBody, ckptPath: *ckptPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 		maxSessions: *maxSess, sessionTTL: *sessTTL, sharedKnowledge: *sharedKdg,
-		warmup: *warmup, traceCap: *traceCap, pprof: *pprofOn,
+		shards: *shards, warmup: *warmup, traceCap: *traceCap, pprof: *pprofOn,
 	}
 	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, opts); err != nil {
 		log.Fatal(err)
@@ -85,6 +86,7 @@ type serveOptions struct {
 	maxSessions     int
 	sessionTTL      time.Duration
 	sharedKnowledge bool
+	shards          int
 	warmup          int
 	traceCap        int
 	pprof           bool
@@ -108,6 +110,7 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 		serve.WithMaxBodyBytes(o.maxBody),
 		serve.WithTraceCap(o.traceCap),
 		serve.WithSessionLimits(o.maxSessions, o.sessionTTL),
+		serve.WithShards(o.shards),
 	}
 	if o.pprof {
 		opts = append(opts, serve.WithPprof())

@@ -81,6 +81,12 @@ type Learner struct {
 	batch  int
 	closed atomic.Bool
 
+	// vecScratch is the reusable vector-header view of the current batch,
+	// handed to the shift detector. Safe to reuse because Process is
+	// single-goroutine per learner and the detector copies the headers it
+	// retains (warm-up accumulation) rather than the slice itself.
+	vecScratch []linalg.Vector
+
 	// Pending errors from asynchronous long-model updates, surfaced on the
 	// next Process call (and at Close). Bounded; overflow is counted.
 	asyncMu   sync.Mutex
@@ -323,7 +329,7 @@ func (l *Learner) Process(ctx context.Context, b stream.Batch) (Result, error) {
 		bo.decayBoost(boost)
 	}
 	tDet := bo.StageStart()
-	obs, err := l.det.Observe(toVectors(b.X))
+	obs, err := l.det.Observe(l.toVectorsReuse(b.X))
 	if err != nil {
 		return Result{}, err
 	}
@@ -438,8 +444,14 @@ func meanOf(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-func toVectors(x [][]float64) []linalg.Vector {
-	out := make([]linalg.Vector, len(x))
+// toVectorsReuse views the batch rows as vectors through the learner-owned
+// scratch slice, valid until the next Process call. The headers alias the
+// batch rows (no copy).
+func (l *Learner) toVectorsReuse(x [][]float64) []linalg.Vector {
+	if cap(l.vecScratch) < len(x) {
+		l.vecScratch = make([]linalg.Vector, len(x))
+	}
+	out := l.vecScratch[:len(x)]
 	for i, row := range x {
 		out[i] = linalg.Vector(row)
 	}

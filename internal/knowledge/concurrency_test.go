@@ -1,0 +1,214 @@
+// Concurrency and spill-frame integrity tests for the lock-free match
+// path. External package, like faults_test.go, so the store is exercised
+// through its public API only.
+package knowledge_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+)
+
+// TestConcurrentMatchUnderMutation hammers the published-index design:
+// many goroutines Match and NearestDistance lock-free while writers
+// Preserve (forcing spills past capacity), PreserveOrReplace (overwriting
+// one regime in place), and periodically Export+Import (wholesale index
+// replacement). Run under -race this pins the invariant that mutation
+// publishes a fresh immutable index instead of editing what readers scan;
+// the functional assertions check that no reader ever observes a torn or
+// half-written snapshot, and that at quiescence Match is exact again.
+func TestConcurrentMatchUnderMutation(t *testing.T) {
+	s, err := knowledge.NewStore(8, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed so readers always have something to match against.
+	fillStore(t, s, 4)
+
+	const writerOps = 150
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+
+	// Appender: distinct distributions, crossing capacity repeatedly so the
+	// spill path (and spill-file reads on the match side) run during the race.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < writerOps; i++ {
+			d := linalg.Vector{float64(1000 + i), 0}
+			snap := []byte(fmt.Sprintf("snap:%d", 1000+i))
+			if err := s.Preserve(d, snap, "long", i); err != nil {
+				t.Errorf("preserve %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Replacer: every write lands within radius of the same regime, so one
+	// entry is overwritten in place over and over. Readers on an old index
+	// alias the replaced entry's former Distribution/Snapshot — the race
+	// detector verifies replacement swaps in clones rather than mutating.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < writerOps; i++ {
+			d := linalg.Vector{5 + rng.Float64()*0.2, 5 + rng.Float64()*0.2}
+			snap := []byte(fmt.Sprintf("snap:regime-%d", i))
+			if err := s.PreserveOrReplace(d, snap, "short", i, 1.0); err != nil {
+				t.Errorf("replace %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	// Churner: wholesale index replacement racing the scans above.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; i < 10; i++ {
+			exp, err := s.Export()
+			if err != nil {
+				t.Errorf("export: %v", err)
+				return
+			}
+			if _, err := s.Import(exp); err != nil {
+				t.Errorf("import: %v", err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				y := linalg.Vector{rng.Float64() * 1200, rng.Float64() * 6}
+				snap, _, ok, err := s.Match(y)
+				if err != nil {
+					t.Errorf("match: %v", err)
+					return
+				}
+				if ok && !strings.HasPrefix(string(snap), "snap") {
+					t.Errorf("torn or foreign snapshot: %q", snap)
+					return
+				}
+				_ = s.NearestDistance(y)
+				_ = s.Len()
+				_ = s.SpilledCount()
+				_ = s.Counters()
+				_ = s.MemoryBytes()
+			}
+		}(r)
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	// Quiescence: a sentinel far from everything must be an exact match.
+	sentinel := linalg.Vector{-50, -50}
+	if err := s.Preserve(sentinel, []byte("snap:sentinel"), "long", 0); err != nil {
+		t.Fatal(err)
+	}
+	snap, dist, ok, err := s.Match(sentinel)
+	if err != nil || !ok {
+		t.Fatalf("sentinel match: ok=%v err=%v", ok, err)
+	}
+	if string(snap) != "snap:sentinel" {
+		t.Errorf("sentinel snapshot = %q", snap)
+	}
+	if dist > 1e-9 {
+		t.Errorf("sentinel distance = %g, want 0", dist)
+	}
+	if d := s.NearestDistance(sentinel); d > 1e-9 {
+		t.Errorf("NearestDistance(sentinel) = %g, want 0", d)
+	}
+}
+
+// TestCorruptSpillFrameDetectedByCRC pins the spill-frame format: a spill
+// file that is still readable but whose payload bits flipped must fail the
+// CRC check — gob would happily mis-decode flipped bits into silently
+// wrong model weights — demoting that entry so Match serves the
+// next-nearest readable snapshot, never the corrupt one. A mangled magic
+// header is likewise rejected before the CRC is even consulted.
+func TestCorruptSpillFrameDetectedByCRC(t *testing.T) {
+	dir := t.TempDir()
+	s, err := knowledge.NewStore(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, s, 6) // entries 0..3 spill, 4..5 stay in memory
+	files, err := filepath.Glob(filepath.Join(dir, "kdg-*.bin"))
+	if err != nil || len(files) < 2 {
+		t.Fatalf("spill files: %v %v", files, err)
+	}
+
+	// Flip one payload byte in the oldest spill file (entry 0). The file
+	// stays present, well-sized, and magic-intact — only the CRC can tell.
+	corruptByte(t, files[0], 8) // first payload byte, just past the header
+
+	snap, _, ok, err := s.Match(linalg.Vector{0, 0})
+	if err != nil || !ok {
+		t.Fatalf("match after corruption: ok=%v err=%v", ok, err)
+	}
+	if string(snap) == "snapshot-0" {
+		t.Fatal("corrupt snapshot served despite CRC mismatch")
+	}
+	if string(snap) != "snapshot-1" {
+		t.Errorf("degraded match = %q, want next-nearest snapshot-1", snap)
+	}
+	if got := s.LoadFailures(); got != 1 {
+		t.Errorf("load failures = %d, want 1", got)
+	}
+
+	// Mangle the magic of the next file: rejected as a bad header, and the
+	// scan degrades one entry further.
+	corruptByte(t, files[1], 0)
+	snap, _, ok, err = s.Match(linalg.Vector{0, 0})
+	if err != nil || !ok {
+		t.Fatalf("match after header corruption: ok=%v err=%v", ok, err)
+	}
+	if string(snap) != "snapshot-2" {
+		t.Errorf("degraded match = %q, want snapshot-2", snap)
+	}
+	if got := s.LoadFailures(); got < 3 {
+		t.Errorf("load failures = %d, want >= 3", got)
+	}
+
+	// Intact spilled entries still round-trip through their CRC frames.
+	snap, _, ok, err = s.Match(linalg.Vector{3, 3})
+	if err != nil || !ok || string(snap) != "snapshot-3" {
+		t.Fatalf("intact spill read: snap=%q ok=%v err=%v", snap, ok, err)
+	}
+}
+
+// corruptByte flips a single byte of the file at the given offset.
+func corruptByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) <= off {
+		t.Fatalf("file %s too short (%d bytes) to corrupt at %d", path, len(raw), off)
+	}
+	raw[off] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

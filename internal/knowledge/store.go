@@ -5,14 +5,28 @@
 // Sec. V-A3 — when the buffer fills, the older half is spilled to local
 // storage and dropped from memory, with matching still covering spilled
 // entries through an in-memory index of their distributions.
+//
+// Concurrency: the store is a read-mostly index — many streams Match
+// against it while the training path occasionally Preserves. Mutations run
+// under a write lock and publish an immutable match index (an
+// atomic.Pointer swap); Match and NearestDistance read the published index
+// without taking any lock, so concurrent matchers never serialize, not
+// against each other and not against a preserve. Cached squared norms turn
+// each distance evaluation into one dot product instead of a full
+// subtract-square-sum pass, and spill-file reads (with their CRC
+// verification) happen outside every lock.
 package knowledge
 
 import (
+	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"freewayml/internal/linalg"
 )
@@ -20,9 +34,12 @@ import (
 // Entry is one preserved knowledge pair (d_i, k_i).
 type Entry struct {
 	// Distribution is d_i: the centroid of the data distribution the model
-	// was trained on, in the detector's projected space.
+	// was trained on, in the detector's projected space. Treated as
+	// immutable once stored: replacement swaps in a fresh clone, so a
+	// published match index may safely alias it.
 	Distribution linalg.Vector
-	// Snapshot is k_i: the serialized model parameters.
+	// Snapshot is k_i: the serialized model parameters. Immutable once
+	// stored, like Distribution.
 	Snapshot []byte
 	// Source records which model was preserved ("long" or "short").
 	Source string
@@ -33,10 +50,31 @@ type Entry struct {
 	path    string // spill file, when spilled
 }
 
+// matchEntry is one row of the published match index: the distribution, its
+// cached squared norm, and either the in-memory snapshot or the spill path.
+type matchEntry struct {
+	dist   linalg.Vector
+	sqnorm float64 // cached |dist|², so matching is a dot-product scan
+	snap   []byte  // nil when the snapshot is spilled
+	path   string  // spill file when snap is nil
+	source string
+	batch  int
+}
+
+// matchIndex is an immutable snapshot of the store's matchable state,
+// published wholesale on every mutation and read lock-free.
+type matchIndex struct {
+	entries []matchEntry
+}
+
 // Store is the KdgBuffer. It is safe for concurrent use: the training path
-// preserves knowledge while the inference path matches it.
+// preserves knowledge while the inference path — possibly many streams at
+// once under a shared store — matches it lock-free against the published
+// index.
 type Store struct {
-	mu       sync.Mutex
+	// mu serializes mutations (Preserve, Import, spilling) and guards
+	// entries, memBytes, and nextID. The read path never takes it.
+	mu       sync.RWMutex
 	capacity int
 	spillDir string // "" disables spilling (oldest entries are dropped instead)
 	fs       FS
@@ -44,16 +82,20 @@ type Store struct {
 	nextID   int
 	memBytes int
 
+	// idx is the immutable published match index (never nil after New).
+	idx atomic.Pointer[matchIndex]
+
 	// Fault counters: spill writes that failed (entry retained in memory)
 	// and spilled snapshots that could not be read back (entry skipped).
-	spillFailures int
-	loadFailures  int
+	// Atomic so the lock-free match path can record load failures.
+	spillFailures atomic.Int64
+	loadFailures  atomic.Int64
 
 	// Usage counters for observability (see Counters).
-	preserves    int
-	replacements int
-	matches      int
-	matchHits    int
+	preserves    atomic.Int64
+	replacements atomic.Int64
+	matches      atomic.Int64
+	matchHits    atomic.Int64
 }
 
 // NewStore returns a store holding at most capacity entries in memory.
@@ -78,7 +120,33 @@ func NewStoreFS(capacity int, spillDir string, fs FS) (*Store, error) {
 			return nil, fmt.Errorf("knowledge: create spill dir: %w", err)
 		}
 	}
-	return &Store{capacity: capacity, spillDir: spillDir, fs: fs}, nil
+	s := &Store{capacity: capacity, spillDir: spillDir, fs: fs}
+	s.idx.Store(&matchIndex{})
+	return s, nil
+}
+
+// publishLocked rebuilds the immutable match index from the current
+// entries and atomically swaps it in. Callers hold mu for writing. The
+// index aliases each entry's Distribution and Snapshot, which is safe
+// because both are replaced wholesale (never mutated in place) — a reader
+// on the old index keeps a consistent view until its scan completes.
+func (s *Store) publishLocked() {
+	ents := make([]matchEntry, len(s.entries))
+	for i := range s.entries {
+		e := &s.entries[i]
+		ents[i] = matchEntry{
+			dist:   e.Distribution,
+			sqnorm: e.Distribution.Dot(e.Distribution),
+			source: e.Source,
+			batch:  e.Batch,
+		}
+		if e.spilled {
+			ents[i].path = e.path
+		} else {
+			ents[i].snap = e.Snapshot
+		}
+	}
+	s.idx.Store(&matchIndex{entries: ents})
 }
 
 // Preserve stores a knowledge pair. When the in-memory count reaches
@@ -102,6 +170,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishLocked()
 
 	if radius > 0 {
 		best := -1
@@ -112,7 +181,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 			}
 		}
 		if best >= 0 {
-			s.replacements++
+			s.replacements.Add(1)
 			e := &s.entries[best]
 			if e.spilled {
 				_ = s.fs.Remove(e.path)
@@ -130,7 +199,7 @@ func (s *Store) PreserveOrReplace(dist linalg.Vector, snapshot []byte, source st
 		}
 	}
 
-	s.preserves++
+	s.preserves.Add(1)
 	s.entries = append(s.entries, Entry{
 		Distribution: dist.Clone(),
 		Snapshot:     append([]byte(nil), snapshot...),
@@ -156,9 +225,10 @@ func (s *Store) inMemoryCountLocked() int {
 
 // spillHalfLocked moves the older half of the in-memory entries to disk
 // (keeping their distributions in memory for matching), or drops them when
-// no spill directory is configured. Spill files are committed atomically
-// (temp + fsync + rename); an entry whose spill write fails stays in memory
-// and is counted — a sick disk degrades memory bounds, never knowledge.
+// no spill directory is configured. Spill files carry a small CRC-framed
+// header and are committed atomically (temp + fsync + rename); an entry
+// whose spill write fails stays in memory and is counted — a sick disk
+// degrades memory bounds, never knowledge.
 func (s *Store) spillHalfLocked() error {
 	half := s.inMemoryCountLocked() / 2
 	if half == 0 {
@@ -179,8 +249,8 @@ func (s *Store) spillHalfLocked() error {
 		}
 		path := filepath.Join(s.spillDir, fmt.Sprintf("kdg-%06d.bin", s.nextID))
 		s.nextID++
-		if err := writeFileAtomic(s.fs, path, e.Snapshot, 0o644); err != nil {
-			s.spillFailures++
+		if err := writeFileAtomic(s.fs, path, frameSpill(e.Snapshot), 0o644); err != nil {
+			s.spillFailures.Add(1)
 			kept = append(kept, e) // retained in memory instead
 			continue
 		}
@@ -194,84 +264,141 @@ func (s *Store) spillHalfLocked() error {
 	return nil
 }
 
+// spillMagic heads every spill file, followed by a CRC32-IEEE of the
+// payload: gob happily mis-decodes flipped bits into silently wrong model
+// weights, so bit rot must be detected before a snapshot is ever restored.
+var spillMagic = [4]byte{'K', 'D', 'G', 'S'}
+
+// spillHeaderLen is the framed prefix: magic (4 bytes) + CRC32 (4 bytes).
+const spillHeaderLen = 8
+
+// frameSpill prepends the magic + CRC header to a snapshot payload.
+func frameSpill(data []byte) []byte {
+	buf := make([]byte, spillHeaderLen+len(data))
+	copy(buf[:4], spillMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(data))
+	copy(buf[spillHeaderLen:], data)
+	return buf
+}
+
+// readSpill loads a spill file and verifies its frame. It takes no store
+// lock: checksum verification is pure CPU over a private buffer, and
+// holding a lock across disk reads would stall every writer (and, before
+// the published-index design, every other matcher) behind one slow file.
+func readSpill(fsys FS, path string) ([]byte, error) {
+	raw, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < spillHeaderLen || !bytes.Equal(raw[:4], spillMagic[:]) {
+		return nil, fmt.Errorf("knowledge: spill file %s: bad header", filepath.Base(path))
+	}
+	if crc32.ChecksumIEEE(raw[spillHeaderLen:]) != binary.LittleEndian.Uint32(raw[4:8]) {
+		return nil, fmt.Errorf("knowledge: spill file %s: CRC mismatch", filepath.Base(path))
+	}
+	return raw[spillHeaderLen:], nil
+}
+
 // Match finds the stored entry whose distribution is nearest to y and
-// returns its snapshot and distance. Spilled snapshots are transparently
-// loaded from disk; an unreadable spill file demotes that entry (skipped
-// and counted) and the next-nearest entry is tried instead, so one corrupt
-// file degrades match quality rather than failing knowledge reuse. ok is
-// false when the store is empty or nothing is readable.
+// returns its snapshot and distance. The scan runs lock-free against the
+// published index using cached norms: argmin |y - d_i| = argmin
+// (|d_i|² - 2·y·d_i), one dot product per entry. Spilled snapshots are
+// transparently loaded from disk and CRC-verified — outside any lock; an
+// unreadable or corrupt spill file demotes that entry (skipped and counted)
+// and the next-nearest entry is tried instead, so one bad file degrades
+// match quality rather than failing knowledge reuse. ok is false when the
+// store is empty or nothing is readable.
 func (s *Store) Match(y linalg.Vector) (snapshot []byte, dist float64, ok bool, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.matches++
-	skipped := make([]bool, len(s.entries))
+	s.matches.Add(1)
+	idx := s.idx.Load()
+	n := len(idx.entries)
+	if n == 0 {
+		return nil, 0, false, nil
+	}
+	ysq := y.Dot(y)
+	var skipped []bool // allocated only after the first demotion
 	for {
 		best := -1
-		bestD := math.Inf(1)
-		for i := range s.entries {
-			if skipped[i] {
+		bestScore := math.Inf(1)
+		for i := range idx.entries {
+			if skipped != nil && skipped[i] {
 				continue
 			}
-			if d := y.Distance(s.entries[i].Distribution); d < bestD {
-				best, bestD = i, d
+			e := &idx.entries[i]
+			// score = |d_i|² - 2·y·d_i; |y - d_i|² = |y|² + score.
+			if score := e.sqnorm - 2*y.Dot(e.dist); score < bestScore {
+				best, bestScore = i, score
 			}
 		}
 		if best < 0 {
 			return nil, 0, false, nil
 		}
-		e := &s.entries[best]
-		if !e.spilled {
-			s.matchHits++
-			return e.Snapshot, bestD, true, nil
+		d2 := ysq + bestScore
+		if d2 < 0 {
+			d2 = 0 // float cancellation for a near-exact match
 		}
-		data, err := s.fs.ReadFile(e.path)
+		e := &idx.entries[best]
+		if e.snap != nil {
+			s.matchHits.Add(1)
+			return e.snap, math.Sqrt(d2), true, nil
+		}
+		data, err := readSpill(s.fs, e.path)
 		if err != nil {
-			s.loadFailures++
+			s.loadFailures.Add(1)
+			if skipped == nil {
+				skipped = make([]bool, n)
+			}
 			skipped[best] = true
 			continue
 		}
-		s.matchHits++
-		return data, bestD, true, nil
+		s.matchHits.Add(1)
+		return data, math.Sqrt(d2), true, nil
 	}
 }
 
 // NearestDistance returns the distance from y to the closest stored
 // distribution (+Inf when empty), without loading any snapshot — the cheap
-// check the strategy selector runs during pattern detection.
+// check the strategy selector runs during pattern detection. Lock-free,
+// like Match.
 func (s *Store) NearestDistance(y linalg.Vector) float64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	best := math.Inf(1)
-	for i := range s.entries {
-		if d := y.Distance(s.entries[i].Distribution); d < best {
-			best = d
+	idx := s.idx.Load()
+	if len(idx.entries) == 0 {
+		return math.Inf(1)
+	}
+	ysq := y.Dot(y)
+	bestScore := math.Inf(1)
+	for i := range idx.entries {
+		e := &idx.entries[i]
+		if score := e.sqnorm - 2*y.Dot(e.dist); score < bestScore {
+			bestScore = score
 		}
 	}
-	return best
+	d2 := ysq + bestScore
+	if d2 < 0 {
+		d2 = 0
+	}
+	return math.Sqrt(d2)
 }
 
 // Len returns the total number of entries (in memory + spilled).
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.entries)
+	return len(s.idx.Load().entries)
 }
 
 // MemoryBytes returns the bytes of snapshot data held in memory — the
 // Table IV space-overhead measurement.
 func (s *Store) MemoryBytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.memBytes
 }
 
 // SpilledCount returns how many entries live on disk.
 func (s *Store) SpilledCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	idx := s.idx.Load()
 	n := 0
-	for _, e := range s.entries {
-		if e.spilled {
+	for i := range idx.entries {
+		if idx.entries[i].snap == nil {
 			n++
 		}
 	}
@@ -287,29 +414,31 @@ type EntrySnapshot struct {
 }
 
 // Export returns every entry with its snapshot materialized (spilled
-// entries are read back from disk), for checkpointing. An unreadable spill
-// file loses only that entry: it is skipped and counted, so one corrupt
-// file cannot block a checkpoint of everything else.
+// entries are read back from disk), for checkpointing. File reads and CRC
+// verification run against the published index without holding the store
+// lock, so a checkpoint of a large spilled store never stalls preserves or
+// matches. An unreadable spill file loses only that entry: it is skipped
+// and counted, so one corrupt file cannot block a checkpoint of everything
+// else.
 func (s *Store) Export() ([]EntrySnapshot, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]EntrySnapshot, 0, len(s.entries))
-	for i := range s.entries {
-		e := &s.entries[i]
-		snap := e.Snapshot
-		if e.spilled {
-			data, err := s.fs.ReadFile(e.path)
+	idx := s.idx.Load()
+	out := make([]EntrySnapshot, 0, len(idx.entries))
+	for i := range idx.entries {
+		e := &idx.entries[i]
+		snap := e.snap
+		if snap == nil {
+			data, err := readSpill(s.fs, e.path)
 			if err != nil {
-				s.loadFailures++
+				s.loadFailures.Add(1)
 				continue
 			}
 			snap = data
 		}
 		out = append(out, EntrySnapshot{
-			Distribution: e.Distribution.Clone(),
+			Distribution: e.dist.Clone(),
 			Snapshot:     append([]byte(nil), snap...),
-			Source:       e.Source,
-			Batch:        e.Batch,
+			Source:       e.source,
+			Batch:        e.batch,
 		})
 	}
 	return out, nil
@@ -324,6 +453,7 @@ func (s *Store) Export() ([]EntrySnapshot, error) {
 func (s *Store) Import(entries []EntrySnapshot) (skipped int, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer s.publishLocked()
 	s.entries = s.entries[:0]
 	s.memBytes = 0
 	for _, e := range entries {
@@ -355,30 +485,24 @@ type Counters struct {
 
 // Counters returns the store's cumulative usage counts.
 func (s *Store) Counters() Counters {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return Counters{
-		Preserves:    s.preserves,
-		Replacements: s.replacements,
-		Matches:      s.matches,
-		MatchHits:    s.matchHits,
+		Preserves:    int(s.preserves.Load()),
+		Replacements: int(s.replacements.Load()),
+		Matches:      int(s.matches.Load()),
+		MatchHits:    int(s.matchHits.Load()),
 	}
 }
 
 // SpillFailures counts spill writes that failed; the affected entries were
 // retained in memory instead of spilled.
 func (s *Store) SpillFailures() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.spillFailures
+	return int(s.spillFailures.Load())
 }
 
 // LoadFailures counts spilled snapshots that could not be read back; the
 // affected entries were skipped by Match or Export.
 func (s *Store) LoadFailures() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.loadFailures
+	return int(s.loadFailures.Load())
 }
 
 // Policy decides which model's knowledge to preserve when an ASW closes

@@ -28,6 +28,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -128,6 +129,27 @@ type errorEnvelope struct {
 	} `json:"error"`
 }
 
+// bufPool recycles the serialization scratch of the serve hot path: request
+// bodies are slurped into a pooled buffer before decoding, and responses
+// are encoded into one before the single Write. The pool owns only these
+// byte buffers — decoded batch data (req.X, req.Y) is handed to the learner,
+// which retains labeled rows in its windows, so it is never recycled.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufBytes keeps pathological one-off giants (a max-size batch
+// body) from pinning memory in the pool forever.
+const maxPooledBufBytes = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBufBytes {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
 // Option customizes a Server.
 type Option func(*Server)
 
@@ -181,6 +203,17 @@ func WithSessionLimits(max int, ttl time.Duration) Option {
 		}
 		if ttl > 0 {
 			s.scfg.TTL = ttl
+		}
+	}
+}
+
+// WithShards sets the session map's lock-stripe count (n <= 0 keeps the
+// automatic GOMAXPROCS-sized default; 1 degrades to a single-lock manager —
+// useful only as a benchmark baseline).
+func WithShards(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.scfg.Shards = n
 		}
 	}
 }
@@ -367,10 +400,9 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-	var req ProcessRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	body := getBuf()
+	defer putBuf(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			s.bodyCap.Add(1)
@@ -378,6 +410,13 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
 			return
 		}
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	var req ProcessRequest
+	dec := json.NewDecoder(bytes.NewReader(body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
@@ -541,9 +580,17 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	var body errorEnvelope
 	body.Error.Code = status
 	body.Error.Message = msg
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		log.Printf("serve: error envelope encode failed: %v", err)
+		http.Error(w, msg, status)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(body); err != nil {
+	if _, err := w.Write(buf.Bytes()); err != nil {
 		log.Printf("serve: error envelope write failed: %v", err)
 	}
 }
@@ -553,12 +600,21 @@ func validate(req ProcessRequest, dim, classes int) error {
 	return b.ValidateShape(dim, classes)
 }
 
-// writeJSON sends v as the 200 response body. The header is committed
-// before encoding, so an encoder failure can only be logged — never turned
-// into a second status line.
+// writeJSON sends v as the 200 response body. Encoding goes through a
+// pooled buffer so the handler pays one Write (and the client gets a
+// Content-Length), and an encoder failure surfaces as a 500 instead of a
+// half-written 200.
 func (s *Server) writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		log.Printf("serve: response encode failed: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "response encoding failed")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		log.Printf("serve: response write failed: %v", err)
 	}
 }

@@ -12,18 +12,29 @@
 // configured) so the stream resumes where it left off the next time its id
 // appears — the same crash-safe envelope a single-learner deployment uses,
 // one file per stream.
+//
+// Concurrency: the session map is lock-striped across N shards (hash of the
+// stream id picks the shard), so lookups, creations, and evictions on
+// different shards never serialize, and an eviction's checkpoint write
+// stalls only its own shard instead of the whole process. Aggregate views
+// (List, Len, Aggregate, SweepOnce) visit shards one at a time — there is
+// no stop-the-world lock anywhere in the manager.
 package session
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"io/fs"
 	"log"
+	"math"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"freewayml/internal/core"
@@ -36,6 +47,10 @@ const DefaultMaxSessions = 64
 
 // DefaultStream is the stream id legacy single-stream endpoints map to.
 const DefaultStream = "default"
+
+// maxShards caps the shard count: past this, shard iteration cost (List,
+// sweep, LRU scan) outweighs any contention win.
+const maxShards = 256
 
 // maxProcessRetries bounds how often Process retries after losing a race
 // with an eviction. Two would suffice in practice (a fresh session is
@@ -72,6 +87,12 @@ type Config struct {
 	// sweeper; eviction then happens only via the LRU bound).
 	TTL time.Duration
 
+	// Shards sets the lock-stripe count for the session map (rounded up to
+	// a power of two, capped at 256). 0 selects an automatic count sized to
+	// GOMAXPROCS; 1 degrades to a single-lock manager — the baseline the
+	// bench-serve gate compares against. Negative is invalid.
+	Shards int
+
 	// CheckpointDir, when set, persists one checkpoint envelope per session
 	// (<dir>/<id>.ckpt): written on eviction and shutdown, read back when
 	// the id reappears. Empty disables persistence.
@@ -99,6 +120,15 @@ type Config struct {
 	TraceCap int
 }
 
+// shard is one lock stripe of the session map. Lock order is
+// shard.mu → Session.mu (teardown under the shard lock waits out in-flight
+// Process calls; Session.mu holders never take a shard lock), and a
+// goroutine never holds two shard locks at once.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
 // Manager hosts named sessions: create-on-first-use, TTL eviction, LRU
 // spill, and aggregate accounting. All methods are safe for concurrent use.
 type Manager struct {
@@ -106,12 +136,11 @@ type Manager struct {
 	reg    *obs.Registry
 	shared *knowledge.Store // non-nil only under SharedKnowledge
 
-	// mu guards the session map and the closed flag. Lock order is
-	// Manager.mu → Session.mu (teardown under mu waits out in-flight
-	// Process calls; Session.mu holders never take Manager.mu).
-	mu       sync.Mutex
-	sessions map[string]*Session
-	closed   bool
+	shards []shard
+	mask   uint64       // len(shards)-1 (shard count is a power of two)
+	seed   maphash.Seed // per-manager hash seed for shard selection
+	count  atomic.Int64 // resident sessions across all shards
+	closed atomic.Bool
 
 	stop    chan struct{} // closes the TTL sweeper
 	sweeper sync.WaitGroup
@@ -125,6 +154,28 @@ type Manager struct {
 	cCkptErrs  *obs.Counter
 
 	ckptEvery int
+}
+
+// shardCount resolves the configured stripe count: an explicit value is
+// rounded up to a power of two; auto (0) sizes to GOMAXPROCS so the stripe
+// count tracks the parallelism actually available.
+func shardCount(configured int) int {
+	n := configured
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // NewManager validates the config and starts the TTL sweeper (when a TTL is
@@ -142,6 +193,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if cfg.TTL < 0 {
 		return nil, errors.New("session: TTL must be >= 0")
 	}
+	if cfg.Shards < 0 {
+		return nil, errors.New("session: Shards must be >= 0")
+	}
 	if cfg.CheckpointEvery < 0 {
 		return nil, errors.New("session: CheckpointEvery must be >= 0")
 	}
@@ -152,11 +206,14 @@ func NewManager(cfg Config) (*Manager, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	n := shardCount(cfg.Shards)
 	m := &Manager{
-		cfg:      cfg,
-		reg:      reg,
-		sessions: make(map[string]*Session),
-		stop:     make(chan struct{}),
+		cfg:    cfg,
+		reg:    reg,
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+		stop:   make(chan struct{}),
 
 		gActive:    reg.Gauge("freeway_sessions_active", "Sessions currently resident."),
 		cCreated:   reg.Counter("freeway_sessions_created_total", "Sessions created (first use of a stream id)."),
@@ -167,6 +224,9 @@ func NewManager(cfg Config) (*Manager, error) {
 		cCkptErrs:  reg.Counter("freeway_session_checkpoint_errors_total", "Session checkpoint writes that failed."),
 
 		ckptEvery: cfg.CheckpointEvery,
+	}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*Session)
 	}
 	if cfg.SharedKnowledge {
 		store, err := knowledge.NewStore(cfg.Learner.KdgBuffer, cfg.Learner.SpillDir)
@@ -194,6 +254,15 @@ func (m *Manager) Registry() *obs.Registry { return m.reg }
 // sessions keep per-stream stores.
 func (m *Manager) SharedStore() *knowledge.Store { return m.shared }
 
+// NumShards returns the resolved lock-stripe count.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// shard maps a stream id to its lock stripe.
+func (m *Manager) shard(id string) *shard {
+	h := maphash.String(m.seed, id)
+	return &m.shards[h&m.mask]
+}
+
 // ckptPath maps a stream id to the checkpoint file its saves go to (""
 // when persistence is off). Ids are pre-validated against idPattern, so the
 // join cannot escape the directory.
@@ -217,39 +286,69 @@ func (m *Manager) restorePath(id string) string {
 	return filepath.Join(m.cfg.CheckpointDir, id+".ckpt")
 }
 
+// lookup is the contention-free residency check: a shard read-lock map hit.
+// It is the fast path Ensure and the Process retry loop go through before
+// paying for the shard write lock.
+func (m *Manager) lookup(id string) (*Session, bool) {
+	sh := m.shard(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
 // Ensure returns the session for id, creating (and possibly restoring) it
 // on first use. Creating past the MaxSessions bound evicts the
-// least-recently-used idle session first.
+// least-recently-used idle session (possibly on another shard).
 func (m *Manager) Ensure(id string) (*Session, error) {
 	if !idPattern.MatchString(id) {
 		return nil, fmt.Errorf("%w: %q", ErrBadID, id)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return nil, ErrClosed
 	}
-	if s, ok := m.sessions[id]; ok {
+	if s, ok := m.lookup(id); ok {
 		return s, nil
 	}
-	for len(m.sessions) >= m.cfg.MaxSessions {
-		if err := m.evictLRULocked(); err != nil {
-			return nil, err
-		}
+	sh := m.shard(id)
+	sh.mu.Lock()
+	// Re-check under the write lock: the closed flag (Close drains each
+	// shard under its lock, so a session inserted after this check is
+	// guaranteed to be seen by Close) and residency (another goroutine may
+	// have created the id while we waited for the lock).
+	if m.closed.Load() {
+		sh.mu.Unlock()
+		return nil, ErrClosed
 	}
-	s, err := m.newSessionLocked(id)
+	if s, ok := sh.sessions[id]; ok {
+		sh.mu.Unlock()
+		return s, nil
+	}
+	s, err := m.newSession(id)
 	if err != nil {
+		sh.mu.Unlock()
 		return nil, err
 	}
-	m.sessions[id] = s
-	m.gActive.Set(float64(len(m.sessions)))
+	sh.sessions[id] = s
+	n := m.count.Add(1)
+	m.gActive.Set(float64(n))
+	sh.mu.Unlock()
+
+	// Enforce the global bound without holding any shard lock: the LRU
+	// victim may live on another shard, and taking two shard locks at once
+	// would need a lock order. The new session was just touched, so it is
+	// never its own victim unless the bound is smaller than the number of
+	// concurrent creators.
+	m.enforceBound()
 	return s, nil
 }
 
-// newSessionLocked builds one session: learner from the template config,
-// observer labelled with the stream id, checkpoint restore when the id has
-// history on disk. Callers hold m.mu.
-func (m *Manager) newSessionLocked(id string) (*Session, error) {
+// newSession builds one session: learner from the template config, observer
+// labelled with the stream id, checkpoint restore when the id has history
+// on disk. Callers hold the id's shard write lock, which is what makes the
+// restore read atomic with respect to an eviction's checkpoint write on the
+// same shard.
+func (m *Manager) newSession(id string) (*Session, error) {
 	cfg := m.cfg.Learner
 	cfg.SharedKnowledge = m.shared
 	l, err := core.NewLearner(cfg, m.cfg.Dim, m.cfg.Classes)
@@ -279,37 +378,119 @@ func (m *Manager) newSessionLocked(id string) (*Session, error) {
 	return s, nil
 }
 
-// evictLRULocked evicts the least-recently-used session. Callers hold m.mu;
-// the teardown (which may wait out an in-flight Process and write a
-// checkpoint) runs under it, trading a brief stall of session creation for
-// a simple linearizable lifecycle.
-func (m *Manager) evictLRULocked() error {
-	var victim *Session
-	for _, s := range m.sessions {
-		if victim == nil || s.lastUsed.Load() < victim.lastUsed.Load() {
-			victim = s
+// enforceBound evicts least-recently-used sessions until the resident count
+// is back under MaxSessions. Transient overshoot is possible (a session is
+// inserted before the bound is checked) but every Ensure that pushed past
+// the bound pulls it back before returning.
+func (m *Manager) enforceBound() {
+	for m.count.Load() > int64(m.cfg.MaxSessions) {
+		if !m.evictLRU() {
+			return
 		}
 	}
-	if victim == nil {
-		return errors.New("session: MaxSessions is 0 after eviction") // unreachable: bound >= 1
+}
+
+// evictLRU finds and evicts the least-recently-used session. The scan takes
+// each shard's read lock in turn (never two at once); the eviction re-checks
+// the victim under its shard's write lock, so losing a race with a
+// concurrent Process touch or a faster evictor just means another pass.
+//
+// The scan is best-effort: a shard whose lock is held (typically by another
+// eviction's checkpoint write, or a creation's restore) is skipped on the
+// first pass rather than waited for — otherwise every evictor's scan would
+// queue behind every in-flight teardown and concurrent evictions on
+// different shards could never overlap their checkpoint I/O. A busy shard's
+// sessions are active by definition, so they are poor LRU victims anyway;
+// if every shard is busy the scan falls back to blocking so the bound is
+// still enforced.
+// Reports whether a session was evicted.
+func (m *Manager) evictLRU() bool {
+	for attempt := 0; attempt < 4; attempt++ {
+		var victim *Session
+		oldest := int64(math.MaxInt64)
+		scanned := 0
+		for i := range m.shards {
+			sh := &m.shards[i]
+			if !sh.mu.TryRLock() {
+				continue
+			}
+			scanned++
+			for _, s := range sh.sessions {
+				if t := s.lastUsed.Load(); t < oldest {
+					oldest = t
+					victim = s
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if victim == nil && scanned < len(m.shards) {
+			// Every candidate shard was busy: block on a full scan rather
+			// than give up, so MaxSessions cannot be overrun by a burst of
+			// concurrent creators.
+			for i := range m.shards {
+				sh := &m.shards[i]
+				sh.mu.RLock()
+				for _, s := range sh.sessions {
+					if t := s.lastUsed.Load(); t < oldest {
+						oldest = t
+						victim = s
+					}
+				}
+				sh.mu.RUnlock()
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		sh := m.shard(victim.id)
+		sh.mu.Lock()
+		if sh.sessions[victim.id] != victim {
+			sh.mu.Unlock()
+			continue // raced another evictor; rescan
+		}
+		delete(sh.sessions, victim.id)
+		n := m.count.Add(-1)
+		m.cEvictLRU.Inc()
+		m.gActive.Set(float64(n))
+		// Teardown (final checkpoint) runs under the shard lock so a
+		// recreation of the same id — which takes this lock — cannot read
+		// the checkpoint before it is written. Only this shard stalls.
+		err := victim.teardown(true)
+		sh.mu.Unlock()
+		if err != nil {
+			log.Printf("session %q: close on LRU eviction: %v", victim.id, err)
+		}
+		return true
 	}
-	delete(m.sessions, victim.id)
-	m.cEvictLRU.Inc()
-	m.gActive.Set(float64(len(m.sessions)))
-	return victim.teardown(true)
+	return false
 }
 
 // Process routes one batch to the session for id, creating it on first
 // use. Losing a race with an eviction retries against a fresh session —
-// callers never observe a closed-session error.
+// callers never observe a closed-session error. Each retry re-checks
+// residency through the read-locked fast path first, so a stream that was
+// already recreated (or was never evicted — e.g. the victim was a different
+// session) does not pay the shard write lock again.
 func (m *Manager) Process(ctx context.Context, id string, x [][]float64, y []int) (core.Result, error) {
 	for attempt := 0; attempt < maxProcessRetries; attempt++ {
-		s, err := m.Ensure(id)
-		if err != nil {
-			return core.Result{}, err
+		s, ok := m.lookup(id)
+		if !ok {
+			var err error
+			if s, err = m.Ensure(id); err != nil {
+				return core.Result{}, err
+			}
 		}
+		// Advance the idle clock before taking the session lock: under heavy
+		// eviction pressure a goroutine can be descheduled long enough after
+		// Ensure that its fresh session ages into the LRU victim, and a
+		// starved caller could lose every retry. Touching here shrinks that
+		// window from scheduler latency to one victim-scan.
+		s.touch()
 		res, err := s.process(ctx, x, y)
 		if errors.Is(err, errSessionClosed) {
+			if m.closed.Load() {
+				return core.Result{}, ErrClosed
+			}
 			continue
 		}
 		return res, err
@@ -318,76 +499,88 @@ func (m *Manager) Process(ctx context.Context, id string, x [][]float64, y []int
 }
 
 // Get returns the resident session for id (ok=false when absent — Get never
-// creates).
+// creates). Invalid ids are simply not resident.
 func (m *Manager) Get(id string) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[id]
-	return s, ok
+	if !idPattern.MatchString(id) {
+		return nil, false
+	}
+	return m.lookup(id)
 }
 
-// List returns the resident stream ids, sorted.
+// List returns the resident stream ids, sorted. Shards are visited one at a
+// time, so the listing is a consistent snapshot per shard, not across the
+// whole map — ids created or evicted mid-walk may or may not appear, which
+// is the same guarantee a stop-the-world listing gives a caller that acts
+// on it after the lock is released.
 func (m *Manager) List() []string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	ids := make([]string, 0, len(m.sessions))
-	for id := range m.sessions {
-		ids = append(ids, id)
+	ids := make([]string, 0, m.count.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for id := range sh.sessions {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(ids)
 	return ids
 }
 
 // Len returns the resident session count.
-func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
-}
+func (m *Manager) Len() int { return int(m.count.Load()) }
 
 // Evict removes the session for id right now (checkpointing it), as if its
 // TTL had expired. Reports whether the id was resident.
 func (m *Manager) Evict(id string) (bool, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[id]
-	if !ok {
+	if !idPattern.MatchString(id) {
 		return false, nil
 	}
-	delete(m.sessions, id)
+	sh := m.shard(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
+	if !ok {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	delete(sh.sessions, id)
+	n := m.count.Add(-1)
 	m.cEvictTTL.Inc()
-	m.gActive.Set(float64(len(m.sessions)))
-	return true, s.teardown(true)
+	m.gActive.Set(float64(n))
+	err := s.teardown(true)
+	sh.mu.Unlock()
+	return true, err
 }
 
 // SweepOnce evicts every session idle for longer than the TTL, returning
 // how many were evicted. The background sweeper calls it periodically; it
 // is exported so tests can drive eviction deterministically. A zero TTL
-// makes it a no-op.
+// makes it a no-op. Each shard is swept under its own lock, so a sweep
+// stalls at most one stripe of the session map at a time.
 func (m *Manager) SweepOnce() int {
-	if m.cfg.TTL <= 0 {
+	if m.cfg.TTL <= 0 || m.closed.Load() {
 		return 0
 	}
 	cutoff := time.Now().Add(-m.cfg.TTL).UnixNano()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return 0
-	}
 	n := 0
-	for id, s := range m.sessions {
-		if s.lastUsed.Load() > cutoff {
-			continue
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.lastUsed.Load() > cutoff {
+				continue
+			}
+			delete(sh.sessions, id)
+			m.count.Add(-1)
+			m.cEvictTTL.Inc()
+			n++
+			if err := s.teardown(true); err != nil {
+				log.Printf("session %q: close on TTL eviction: %v", id, err)
+			}
 		}
-		delete(m.sessions, id)
-		m.cEvictTTL.Inc()
-		n++
-		if err := s.teardown(true); err != nil {
-			log.Printf("session %q: close on TTL eviction: %v", id, err)
-		}
+		sh.mu.Unlock()
 	}
 	if n > 0 {
-		m.gActive.Set(float64(len(m.sessions)))
+		m.gActive.Set(float64(m.count.Load()))
 	}
 	return n
 }
@@ -419,13 +612,11 @@ type AggregateStats struct {
 	CheckpointErrors int64 `json:"checkpoint_errors"`
 }
 
-// Aggregate returns the manager-level accounting.
+// Aggregate returns the manager-level accounting. It reads only atomics —
+// no shard lock is taken, so a stats scrape never stalls serving.
 func (m *Manager) Aggregate() AggregateStats {
-	m.mu.Lock()
-	active := len(m.sessions)
-	m.mu.Unlock()
 	return AggregateStats{
-		Active:           active,
+		Active:           int(m.count.Load()),
 		Created:          m.cCreated.Value(),
 		Restored:         m.cRestored.Value(),
 		EvictedTTL:       m.cEvictTTL.Value(),
@@ -439,24 +630,28 @@ func (m *Manager) Aggregate() AggregateStats {
 // sweeper. Idempotent: the second call returns nil. Returns the first
 // session-close error.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	if !m.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	m.closed = true
-	sessions := m.sessions
-	m.sessions = make(map[string]*Session)
-	m.gActive.Set(0)
 	close(m.stop)
-	m.mu.Unlock()
-
 	m.sweeper.Wait()
 	var first error
-	for _, s := range sessions {
-		if err := s.teardown(true); err != nil && first == nil {
-			first = err
+	for i := range m.shards {
+		sh := &m.shards[i]
+		// Drain the shard under its lock: any Ensure that won an insert
+		// race before the closed flag was visible has already released the
+		// lock, so its session is in the map and torn down here.
+		sh.mu.Lock()
+		sessions := sh.sessions
+		sh.sessions = make(map[string]*Session)
+		sh.mu.Unlock()
+		for _, s := range sessions {
+			m.count.Add(-1)
+			if err := s.teardown(true); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
+	m.gActive.Set(0)
 	return first
 }

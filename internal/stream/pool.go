@@ -1,0 +1,64 @@
+package stream
+
+import "sync"
+
+// BatchPool recycles batch buffers — the row-header slice plus one flat
+// backing slab — for callers that own a batch end to end: load generators,
+// replay drivers, benchmark harnesses, and any client that builds a batch,
+// serializes it, and is done with it.
+//
+// Ownership caveat: a batch handed to a Learner for *training* (labeled
+// batches) is retained — the adaptive window and the fixed-frequency
+// buffers keep the rows, and the shift detector keeps warm-up rows — so
+// server-side request buffers must NOT be recycled through this pool. The
+// pool exists for the producing side of the pipeline, where ownership never
+// leaves the caller.
+type BatchPool struct {
+	pool sync.Pool
+}
+
+// PooledBatch is one recyclable batch: Rows is the n×dim view handed to
+// request encoders, Y the matching label slice. Both alias pool-owned
+// storage — valid until Release.
+type PooledBatch struct {
+	Rows [][]float64
+	Y    []int
+
+	flat []float64
+	pool *BatchPool
+}
+
+// Get returns an n×dim batch whose rows alias one contiguous slab, plus a
+// label slice of length n. The contents are NOT zeroed: every cell is
+// expected to be overwritten by the caller before use.
+func (p *BatchPool) Get(n, dim int) *PooledBatch {
+	if n <= 0 || dim <= 0 {
+		return &PooledBatch{pool: p}
+	}
+	b, _ := p.pool.Get().(*PooledBatch)
+	if b == nil || cap(b.flat) < n*dim || cap(b.Rows) < n || cap(b.Y) < n {
+		b = &PooledBatch{
+			Rows: make([][]float64, n),
+			Y:    make([]int, n),
+			flat: make([]float64, n*dim),
+		}
+	}
+	b.pool = p
+	b.Rows = b.Rows[:n]
+	b.Y = b.Y[:n]
+	b.flat = b.flat[:n*dim]
+	for i := 0; i < n; i++ {
+		b.Rows[i] = b.flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return b
+}
+
+// Release returns the batch to its pool. The caller must not touch Rows or
+// Y afterwards. Safe on a zero-size batch; double-Release is the caller's
+// bug (the same storage would be handed to two goroutines).
+func (b *PooledBatch) Release() {
+	if b.pool == nil || b.flat == nil {
+		return
+	}
+	b.pool.pool.Put(b)
+}

@@ -20,6 +20,10 @@ go test ./internal/nn -run '^$' \
 echo "== end-to-end throughput (Figure 10)" >&2
 go test . -run '^$' -bench '^BenchmarkFigure10Throughput$' -benchtime 1x | tee -a "$TMP" >&2
 
+# The PR 5 concurrent-serving gate writes its own BENCH_PR5.json (session
+# manager shards=1 vs shards=8 plus a closed-loop loadgen run).
+scripts/bench_serve.sh
+
 awk -v go_version="$(go version | awk '{print $3}')" '
   /^Benchmark/ {
     name = $1

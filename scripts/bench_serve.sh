@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Runs the PR 5 concurrent-serving gate and records BENCH_PR5.json:
+#
+#   1. BenchmarkManagerParallelProcess at GOMAXPROCS=8 — the single-lock
+#      session map (shards=1, the pre-stripe baseline) against the striped
+#      map (shards=8), on a resident workload and an eviction-churn
+#      workload. The churn ratio is the gate.
+#   2. A short closed-loop freeway-loadgen run against a freshly built
+#      freeway-serve, folding end-to-end throughput and p50/p95/p99 into
+#      the same JSON.
+#
+# Gate policy: the stripes' win is overlap — evictions' checkpoint I/O and
+# each other's shard work. That needs real parallelism, so the required
+# churn ratio adapts to the host: >= 3.0 on a >= 4-CPU host, else (single-
+# core CI boxes physically serialize all CPU work) >= 0.85, i.e. striping
+# must at least not regress. The ratio and the policy applied are both
+# recorded in the JSON.
+#
+# Usage: scripts/bench_serve.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR5.json}
+TMP=$(mktemp)
+LOADGEN_JSON=$(mktemp)
+trap 'rm -f "$TMP" "$LOADGEN_JSON"' EXIT
+
+NCPU=$(nproc 2>/dev/null || echo 1)
+
+echo "== session manager parallel benchmarks (GOMAXPROCS=8)" >&2
+go test ./internal/session -run '^$' \
+  -bench '^BenchmarkManagerParallelProcess$' \
+  -benchtime 2s -cpu 8 | tee "$TMP" >&2
+
+echo "== closed-loop serve benchmark (freeway-loadgen)" >&2
+mkdir -p bin
+go build -o bin/freeway-serve ./cmd/freeway-serve
+go build -o bin/freeway-loadgen ./cmd/freeway-loadgen
+./bin/freeway-loadgen -serve bin/freeway-serve \
+  -streams 8 -concurrency 8 -batch 32 -duration 5s -out "$LOADGEN_JSON" >&2
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v ncpu="$NCPU" -v loadgen_json="$LOADGEN_JSON" '
+  /^BenchmarkManagerParallelProcess/ {
+    name = $1
+    sub(/^BenchmarkManagerParallelProcess\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) ~ /^batches\/s/) rate[name] = $i
+    }
+  }
+  END {
+    r1 = rate["churn/shards=1"]; r8 = rate["churn/shards=8"]
+    ratio = (r1 > 0) ? r8 / r1 : 0
+    need = (ncpu >= 4) ? 3.0 : 0.85
+    policy = (ncpu >= 4) ? "multi-core: striped must be >= 3x single-lock" : "single-core host: striped must not regress (>= 0.85x)"
+    pass = (ratio >= need) ? "true" : "false"
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"ncpu\": %d,\n", ncpu
+    printf "  \"manager_parallel_process\": {\n"
+    printf "    \"comment\": \"hot-stream batches/s at GOMAXPROCS=8; shards=1 is the single-mutex baseline\",\n"
+    printf "    \"resident_shards1_batches_per_s\": %.0f,\n", rate["resident/shards=1"]
+    printf "    \"resident_shards8_batches_per_s\": %.0f,\n", rate["resident/shards=8"]
+    printf "    \"churn_shards1_batches_per_s\": %.0f,\n", rate["churn/shards=1"]
+    printf "    \"churn_shards8_batches_per_s\": %.0f,\n", rate["churn/shards=8"]
+    printf "    \"churn_speedup\": %.2f,\n", ratio
+    printf "    \"gate\": \"%s\",\n", policy
+    printf "    \"gate_pass\": %s\n", pass
+    printf "  },\n"
+    printf "  \"loadgen_closed_loop\": "
+    while ((getline line < loadgen_json) > 0) {
+      if (line == "{") printf "{\n"
+      else if (line == "}") printf "  }\n"
+      else printf "  %s\n", line
+    }
+    printf "}\n"
+    exit (pass == "true") ? 0 : 1
+  }' "$TMP" > "$OUT" || { echo "bench-serve gate FAILED (see $OUT)" >&2; exit 1; }
+echo "wrote $OUT" >&2
