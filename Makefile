@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-serve loadgen-smoke obs-smoke clean
+.PHONY: all build test vet race check bench bench-serve loadgen-smoke obs-smoke cluster-smoke clean
 
 all: check
 
@@ -37,6 +37,17 @@ loadgen-smoke:
 	$(GO) build -o bin/freeway-serve ./cmd/freeway-serve
 	$(GO) run ./cmd/freeway-loadgen -serve bin/freeway-serve \
 		-streams 2 -concurrency 2 -batch 16 -duration 2s
+
+# Distributed failover smoke: boots a router + 2 workers sharing a
+# checkpoint directory, drives load through the router, SIGKILLs one worker
+# 3s in and restarts it at 6s. The loadgen exits nonzero on ANY
+# client-visible error — the router's retry/backoff budget must absorb the
+# entire eject → failover → rejoin cycle.
+cluster-smoke:
+	$(GO) build -o bin/freeway-serve ./cmd/freeway-serve
+	$(GO) build -o bin/freeway-router ./cmd/freeway-router
+	$(GO) run ./cmd/freeway-loadgen -cluster 2 -streams 6 -concurrency 4 \
+		-batch 16 -duration 9s -kill-after 3s -restart-after 6s -out -
 
 # End-to-end observability check: boots freeway-serve, streams a synthetic
 # drifting stream, and asserts /v1/metrics and /v1/trace saw all three shift

@@ -25,6 +25,19 @@
 // throughput, error count, and p50/p95/p99, and -out writes the same as
 // JSON for scripts/bench_serve.sh to fold into BENCH_PR5.json. Exit status
 // is nonzero when any request errored.
+//
+// Cluster mode drives the distributed tier through a kill/restart schedule:
+//
+//	freeway-loadgen -cluster 2 -kill-after 3s -duration 8s
+//
+// boots N freeway-serve workers sharing a checkpoint directory plus a
+// freeway-router in front, points the load at the router, SIGKILLs one
+// worker -kill-after into the run (and optionally restarts it at
+// -restart-after, exercising rejoin + migrate-back). The summary then also
+// reports the failure-injection view: when the kill happened, the error
+// budget actually consumed (error_rate), and recovery_s — how long after
+// the kill the last client-visible error occurred. Zero errors means the
+// router's retry/backoff budget absorbed the failover completely.
 package main
 
 import (
@@ -64,12 +77,20 @@ func main() {
 		rate     = flag.Float64("rate", 200, "open mode: total request arrivals per second")
 		seed     = flag.Int64("seed", 1, "random seed for synthetic batches")
 		out      = flag.String("out", "", "write the JSON summary to this file ('-' for stdout)")
+
+		cluster      = flag.Int("cluster", 0, "boot a freeway-router plus this many workers and load the router (0 keeps single-server mode)")
+		routerBin    = flag.String("router", "bin/freeway-router", "freeway-router binary for -cluster mode")
+		killAfter    = flag.Duration("kill-after", 0, "cluster mode: SIGKILL one worker this long into the run (0 disables)")
+		restartAfter = flag.Duration("restart-after", 0, "cluster mode: restart the killed worker this long into the run (0 disables)")
+		ckptEvery    = flag.Int("checkpoint-every", 1, "cluster mode: worker checkpoint period in batches (1 = lossless failover)")
 	)
 	flag.Parse()
 	cfg := config{
 		addr: *addr, serveBin: *serveBin, streams: *streams, conc: *conc,
 		batch: *batch, dim: *dim, classes: *classes, model: *model,
 		duration: *duration, mode: *mode, rate: *rate, seed: *seed, out: *out,
+		cluster: *cluster, routerBin: *routerBin,
+		killAfter: *killAfter, restartAfter: *restartAfter, ckptEvery: *ckptEvery,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "freeway-loadgen:", err)
@@ -84,6 +105,11 @@ type config struct {
 	duration                         time.Duration
 	rate                             float64
 	seed                             int64
+
+	cluster                 int
+	routerBin               string
+	killAfter, restartAfter time.Duration
+	ckptEvery               int
 }
 
 // summary is the JSON report; field names are the contract bench_serve.sh
@@ -101,6 +127,16 @@ type summary struct {
 	P50Ms         float64 `json:"p50_ms"`
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
+
+	// Cluster-mode failure-injection report. error_rate is the error
+	// budget actually consumed; recovery_s is how long after the kill the
+	// last client-visible error landed (0 = the router's retry budget
+	// absorbed the failover with no errors at all).
+	Cluster         int     `json:"cluster,omitempty"`
+	KillAfterS      float64 `json:"kill_after_s,omitempty"`
+	ErrorRate       float64 `json:"error_rate"`
+	ErrorsAfterKill int64   `json:"errors_after_kill"`
+	RecoveryS       float64 `json:"recovery_s"`
 }
 
 func run(cfg config) error {
@@ -114,13 +150,24 @@ func run(cfg config) error {
 	}
 
 	base := cfg.addr
+	var cl *clusterProcs
 	if base == "" {
-		addr, stopServer, err := bootServer(cfg)
-		if err != nil {
-			return err
+		if cfg.cluster > 0 {
+			var err error
+			cl, err = bootCluster(cfg)
+			if err != nil {
+				return err
+			}
+			defer cl.stop()
+			base = cl.router.addr
+		} else {
+			addr, stopServer, err := bootServer(cfg)
+			if err != nil {
+				return err
+			}
+			defer stopServer()
+			base = addr
 		}
-		defer stopServer()
-		base = addr
 	}
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
@@ -166,6 +213,33 @@ func run(cfg config) error {
 	var pool stream.BatchPool
 	start := time.Now()
 	deadline := start.Add(cfg.duration)
+
+	// Failure-injection clock: killTime is set when the SIGKILL lands;
+	// every request error after that updates lastErrNano, so recovery time
+	// is "last client-visible error after the kill".
+	var killTime, lastErrNano, errsAfterKill atomic.Int64
+	if cl != nil && cfg.killAfter > 0 {
+		go func() {
+			time.Sleep(cfg.killAfter)
+			if err := cl.killWorker(0); err != nil {
+				fmt.Fprintf(os.Stderr, "freeway-loadgen: kill worker: %v\n", err)
+				return
+			}
+			killTime.Store(time.Now().UnixNano())
+			fmt.Printf("freeway-loadgen: SIGKILLed worker %s %.1fs into the run\n",
+				cl.workers[0].addr, time.Since(start).Seconds())
+			if cfg.restartAfter > cfg.killAfter {
+				time.Sleep(cfg.restartAfter - cfg.killAfter)
+				if err := cl.restartWorker(0); err != nil {
+					fmt.Fprintf(os.Stderr, "freeway-loadgen: restart worker: %v\n", err)
+					return
+				}
+				fmt.Printf("freeway-loadgen: restarted worker %s %.1fs into the run\n",
+					cl.workers[0].addr, time.Since(start).Seconds())
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.conc; w++ {
 		wg.Add(1)
@@ -193,6 +267,16 @@ func run(cfg config) error {
 				requests.Add(1)
 				if err != nil {
 					errCount.Add(1)
+					if killTime.Load() != 0 {
+						errsAfterKill.Add(1)
+						now := time.Now().UnixNano()
+						for {
+							old := lastErrNano.Load()
+							if now <= old || lastErrNano.CompareAndSwap(old, now) {
+								break
+							}
+						}
+					}
 				}
 			}
 		}(w)
@@ -218,11 +302,26 @@ func run(cfg config) error {
 		P95Ms:         lat.Quantile(0.95) * 1e3,
 		P99Ms:         lat.Quantile(0.99) * 1e3,
 	}
+	if s.Requests > 0 {
+		s.ErrorRate = float64(s.Errors) / float64(s.Requests)
+	}
+	if cfg.cluster > 0 {
+		s.Cluster = cfg.cluster
+		s.KillAfterS = cfg.killAfter.Seconds()
+		s.ErrorsAfterKill = errsAfterKill.Load()
+		if kt := killTime.Load(); kt != 0 && s.ErrorsAfterKill > 0 {
+			s.RecoveryS = float64(lastErrNano.Load()-kt) / 1e9
+		}
+	}
 	fmt.Printf("freeway-loadgen: %s mode, %d streams × %d workers × batch %d for %.1fs\n",
 		s.Mode, s.Streams, s.Concurrency, s.Batch, s.DurationS)
 	fmt.Printf("freeway-loadgen: %d requests (%d errors), %.0f req/s, %.0f samples/s\n",
 		s.Requests, s.Errors, s.ThroughputRPS, s.SamplesPerS)
 	fmt.Printf("freeway-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms\n", s.P50Ms, s.P95Ms, s.P99Ms)
+	if cfg.cluster > 0 && killTime.Load() != 0 {
+		fmt.Printf("freeway-loadgen: failover: %d errors after kill, recovery %.2fs, error rate %.4f\n",
+			s.ErrorsAfterKill, s.RecoveryS, s.ErrorRate)
+	}
 
 	if cfg.out != "" {
 		data, err := json.MarshalIndent(s, "", "  ")
@@ -287,34 +386,36 @@ func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.
 
 var listenRe = regexp.MustCompile(`listening on (\S+)`)
 
-// bootServer starts freeway-serve on an ephemeral port and returns the
-// announced address plus a stop function that SIGTERMs and reaps it.
-func bootServer(cfg config) (string, func(), error) {
-	cmd := exec.Command(cfg.serveBin,
-		"-addr", "127.0.0.1:0",
-		"-dim", fmt.Sprint(cfg.dim),
-		"-classes", fmt.Sprint(cfg.classes),
-		"-model", cfg.model,
-		"-seed", fmt.Sprint(cfg.seed),
-	)
+// proc is one child process of the harness (a worker or the router): the
+// exec handle, the announced address, and the argv needed to restart it in
+// place after a SIGKILL.
+type proc struct {
+	bin  string
+	args []string
+	addr string
+	cmd  *exec.Cmd
+}
+
+// startProc launches bin, scans its stdout for the "listening on <addr>"
+// announcement (both freeway-serve and freeway-router print it), and
+// returns once the address is known.
+func startProc(bin string, args ...string) (*proc, error) {
+	p := &proc{bin: bin, args: args}
+	if err := p.start(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *proc) start() error {
+	cmd := exec.Command(p.bin, p.args...)
 	stdout, err := cmd.StdoutPipe()
 	if err != nil {
-		return "", nil, err
+		return err
 	}
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
-		return "", nil, fmt.Errorf("start %s: %w", cfg.serveBin, err)
-	}
-	stop := func() {
-		cmd.Process.Signal(syscall.SIGTERM)
-		done := make(chan struct{})
-		go func() { cmd.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			cmd.Process.Kill()
-			<-done
-		}
+		return fmt.Errorf("start %s: %w", p.bin, err)
 	}
 	addrCh := make(chan string, 1)
 	go func() {
@@ -330,11 +431,156 @@ func bootServer(cfg config) (string, func(), error) {
 	}()
 	select {
 	case addr := <-addrCh:
-		return addr, stop, nil
+		p.addr, p.cmd = addr, cmd
+		return nil
 	case <-time.After(10 * time.Second):
-		stop()
-		return "", nil, fmt.Errorf("%s never announced its address", cfg.serveBin)
+		cmd.Process.Kill()
+		cmd.Wait()
+		return fmt.Errorf("%s never announced its address", p.bin)
 	}
+}
+
+// pinAddr rewrites the argv so a restart rebinds the address the process
+// actually got — the router's ring keys workers by address, so a restarted
+// worker must come back at the same one.
+func (p *proc) pinAddr() {
+	for i := range p.args {
+		if p.args[i] == "-addr" && i+1 < len(p.args) {
+			p.args[i+1] = p.addr
+		}
+	}
+}
+
+// kill delivers SIGKILL — the unclean death: no final checkpoints, no
+// connection draining.
+func (p *proc) kill() error {
+	if p.cmd == nil || p.cmd.Process == nil {
+		return fmt.Errorf("%s: not running", p.bin)
+	}
+	if err := p.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	p.cmd.Wait()
+	p.cmd = nil
+	return nil
+}
+
+// stop SIGTERMs and reaps the process, escalating to SIGKILL after 10s.
+func (p *proc) stop() {
+	if p.cmd == nil {
+		return
+	}
+	cmd := p.cmd
+	p.cmd = nil
+	cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// bootServer starts freeway-serve on an ephemeral port and returns the
+// announced address plus a stop function that SIGTERMs and reaps it.
+func bootServer(cfg config) (string, func(), error) {
+	p, err := startProc(cfg.serveBin,
+		"-addr", "127.0.0.1:0",
+		"-dim", fmt.Sprint(cfg.dim),
+		"-classes", fmt.Sprint(cfg.classes),
+		"-model", cfg.model,
+		"-seed", fmt.Sprint(cfg.seed),
+	)
+	if err != nil {
+		return "", nil, err
+	}
+	return p.addr, p.stop, nil
+}
+
+// clusterProcs is a booted router-plus-workers topology. The mutex guards
+// kill/restart (fired from the schedule goroutine) against the deferred
+// teardown.
+type clusterProcs struct {
+	mu      sync.Mutex
+	dir     string // shared checkpoint directory (failover state)
+	workers []*proc
+	router  *proc
+}
+
+// bootCluster starts cfg.cluster freeway-serve workers sharing one
+// checkpoint directory, then a freeway-router fronting them. The router
+// gets aggressive probe/breaker settings so even a short smoke run sees
+// the full eject → failover → rejoin cycle.
+func bootCluster(cfg config) (*clusterProcs, error) {
+	dir, err := os.MkdirTemp("", "freeway-cluster-")
+	if err != nil {
+		return nil, err
+	}
+	cl := &clusterProcs{dir: dir}
+	for i := 0; i < cfg.cluster; i++ {
+		p, err := startProc(cfg.serveBin,
+			"-addr", "127.0.0.1:0",
+			"-dim", fmt.Sprint(cfg.dim),
+			"-classes", fmt.Sprint(cfg.classes),
+			"-model", cfg.model,
+			"-seed", fmt.Sprint(cfg.seed+int64(i)),
+			"-checkpoint-dir", dir,
+			"-checkpoint-every", fmt.Sprint(cfg.ckptEvery),
+		)
+		if err != nil {
+			cl.stop()
+			return nil, err
+		}
+		p.pinAddr()
+		cl.workers = append(cl.workers, p)
+	}
+	addrs := make([]string, len(cl.workers))
+	for i, p := range cl.workers {
+		addrs[i] = p.addr
+	}
+	r, err := startProc(cfg.routerBin,
+		"-addr", "127.0.0.1:0",
+		"-workers", strings.Join(addrs, ","),
+		"-probe-interval", "200ms",
+		"-probe-timeout", "1s",
+		"-fail-threshold", "2",
+		"-cooldown", "1s",
+		"-retries", "8",
+		"-retry-base", "50ms",
+		"-retry-max", "1s",
+	)
+	if err != nil {
+		cl.stop()
+		return nil, err
+	}
+	cl.router = r
+	return cl, nil
+}
+
+func (cl *clusterProcs) killWorker(i int) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.workers[i].kill()
+}
+
+func (cl *clusterProcs) restartWorker(i int) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.workers[i].start()
+}
+
+func (cl *clusterProcs) stop() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.router != nil {
+		cl.router.stop()
+	}
+	for _, p := range cl.workers {
+		p.stop()
+	}
+	os.RemoveAll(cl.dir)
 }
 
 func waitHealthy(base string, deadline time.Time) error {

@@ -1,0 +1,135 @@
+// Package dist is FreewayML's distributed serving tier: a thin stateless
+// router that consistent-hashes stream ids onto N freeway-serve worker
+// processes, with an explicit failure model — periodic health probes,
+// per-request deadlines, bounded retry with exponential backoff and jitter,
+// and a per-worker circuit breaker that ejects an unhealthy worker from the
+// ring and triggers checkpoint-based session migration.
+//
+// Streams are stateful (a learner per stream id), so placement matters: the
+// ring pins each id to one worker, and a ring change — ejection, rejoin —
+// moves only the streams whose arc moved. Migration reuses the session
+// layer's checkpoint machinery: the router checkpoints-and-evicts the moved
+// streams on their old owner when it is reachable (a rejoin rebalance), and
+// when it is not (a crash), the new owner restores each stream from the
+// shared checkpoint directory on its first request — the CRC32 envelope
+// rejects torn files, so an unclean death costs at most the batches since
+// the last checkpoint, never a silently corrupt model.
+package dist
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per worker. 64 keeps the maximum
+// arc imbalance under ~20% for small clusters while the ring stays tiny
+// (N×64 uint32s) and rebuilds are negligible next to a single batch.
+const DefaultVNodes = 64
+
+// ring is a consistent-hash ring over worker addresses. It is not
+// goroutine-safe; the Router guards it with its own mutex. Hashing is
+// FNV-1a, deliberately seedless: two routers (or one restarted) must map
+// the same stream id to the same worker, or a router restart would itself
+// be a cluster-wide rebalance.
+type ring struct {
+	vnodes  int
+	workers map[string]bool
+	hashes  []uint32          // sorted vnode positions
+	owner   map[uint32]string // vnode position → worker address
+}
+
+func newRing(vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &ring{
+		vnodes:  vnodes,
+		workers: map[string]bool{},
+		owner:   map[uint32]string{},
+	}
+}
+
+// hash32 is FNV-1a with a 32-bit avalanche finalizer. Raw FNV over the
+// short, similar strings used here ("addr#3", "stream-17") leaves its output
+// clustered, which shows up directly as arc imbalance; the multiply-xorshift
+// rounds spread those points uniformly around the circle.
+func hash32(s string) uint32 {
+	f := fnv.New32a()
+	f.Write([]byte(s))
+	h := f.Sum32()
+	h ^= h >> 16
+	h *= 0x7feb352d
+	h ^= h >> 15
+	h *= 0x846ca68b
+	h ^= h >> 16
+	return h
+}
+
+// rebuild reconstructs the vnode table from the current worker set. Workers
+// are visited in sorted order so a position contested by two workers (a
+// 32-bit collision) resolves identically regardless of join order.
+func (r *ring) rebuild() {
+	r.hashes = r.hashes[:0]
+	for k := range r.owner {
+		delete(r.owner, k)
+	}
+	names := make([]string, 0, len(r.workers))
+	for w := range r.workers {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	for _, w := range names {
+		for i := 0; i < r.vnodes; i++ {
+			h := hash32(fmt.Sprintf("%s#%d", w, i))
+			if _, taken := r.owner[h]; taken {
+				continue // earlier (lexicographically smaller) worker keeps it
+			}
+			r.owner[h] = w
+			r.hashes = append(r.hashes, h)
+		}
+	}
+	sort.Slice(r.hashes, func(i, j int) bool { return r.hashes[i] < r.hashes[j] })
+}
+
+// add inserts a worker (idempotent).
+func (r *ring) add(worker string) {
+	if r.workers[worker] {
+		return
+	}
+	r.workers[worker] = true
+	r.rebuild()
+}
+
+// remove ejects a worker (idempotent).
+func (r *ring) remove(worker string) {
+	if !r.workers[worker] {
+		return
+	}
+	delete(r.workers, worker)
+	r.rebuild()
+}
+
+// ownerOf maps a stream id to its worker: the first vnode clockwise from
+// the id's hash. ok is false when the ring is empty.
+func (r *ring) ownerOf(id string) (string, bool) {
+	if len(r.hashes) == 0 {
+		return "", false
+	}
+	h := hash32(id)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0 // wrap
+	}
+	return r.owner[r.hashes[i]], true
+}
+
+// members returns the resident workers, sorted.
+func (r *ring) members() []string {
+	names := make([]string, 0, len(r.workers))
+	for w := range r.workers {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	return names
+}

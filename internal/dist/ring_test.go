@@ -1,0 +1,115 @@
+package dist
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossJoinOrder(t *testing.T) {
+	// Two rings built with the same workers in different join orders must
+	// agree on every placement: a router restart (which re-adds workers in
+	// config order) must not itself be a rebalance.
+	a := newRing(64)
+	b := newRing(64)
+	workers := []string{"10.0.0.1:9001", "10.0.0.2:9001", "10.0.0.3:9001"}
+	for _, w := range workers {
+		a.add(w)
+	}
+	for i := len(workers) - 1; i >= 0; i-- {
+		b.add(workers[i])
+	}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("stream-%d", i)
+		oa, _ := a.ownerOf(id)
+		ob, _ := b.ownerOf(id)
+		if oa != ob {
+			t.Fatalf("stream %q: join-order dependent placement %q vs %q", id, oa, ob)
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := newRing(8)
+	if _, ok := r.ownerOf("x"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	r.add("w1")
+	for i := 0; i < 50; i++ {
+		owner, ok := r.ownerOf(fmt.Sprintf("s%d", i))
+		if !ok || owner != "w1" {
+			t.Fatalf("single-worker ring routed s%d to %q (ok=%v)", i, owner, ok)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	// With 64 vnodes per worker no worker should own a wildly
+	// disproportionate share: assert every worker gets between half and
+	// double its fair share over 4000 ids.
+	r := newRing(DefaultVNodes)
+	n := 4
+	for i := 0; i < n; i++ {
+		r.add(fmt.Sprintf("w%d", i))
+	}
+	counts := map[string]int{}
+	total := 4000
+	for i := 0; i < total; i++ {
+		owner, _ := r.ownerOf(fmt.Sprintf("stream-%d", i))
+		counts[owner]++
+	}
+	fair := total / n
+	for w, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("worker %s owns %d of %d ids (fair share %d): imbalance too large", w, c, total, fair)
+		}
+	}
+	if len(counts) != n {
+		t.Errorf("only %d of %d workers own any ids", len(counts), n)
+	}
+}
+
+func TestRingRemoveMovesOnlyVictimStreams(t *testing.T) {
+	// Consistent hashing's defining property: removing one worker must not
+	// move any stream that was NOT on the removed worker.
+	r := newRing(DefaultVNodes)
+	for i := 0; i < 4; i++ {
+		r.add(fmt.Sprintf("w%d", i))
+	}
+	before := map[string]string{}
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("stream-%d", i)
+		before[id], _ = r.ownerOf(id)
+	}
+	r.remove("w2")
+	moved, stayed := 0, 0
+	for id, prev := range before {
+		now, ok := r.ownerOf(id)
+		if !ok {
+			t.Fatalf("ring empty after removing one of four workers")
+		}
+		if prev == "w2" {
+			if now == "w2" {
+				t.Fatalf("stream %q still routed to removed worker", id)
+			}
+			moved++
+			continue
+		}
+		if now != prev {
+			t.Errorf("stream %q moved %q → %q although its owner survived", id, prev, now)
+		}
+		stayed++
+	}
+	if moved == 0 {
+		t.Fatal("no streams lived on the removed worker; test is vacuous")
+	}
+	t.Logf("removal moved %d streams, left %d in place", moved, stayed)
+
+	// Re-adding restores the exact previous placement (rebuild is
+	// deterministic, not incremental).
+	r.add("w2")
+	for id, prev := range before {
+		if now, _ := r.ownerOf(id); now != prev {
+			t.Fatalf("stream %q: %q → %q after remove+re-add", id, prev, now)
+		}
+	}
+}

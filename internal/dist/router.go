@@ -1,0 +1,807 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"freewayml/internal/obs"
+)
+
+// Defaults for the failure model. They are deliberately conservative: a
+// worker is ejected only after FailThreshold consecutive failures (one lost
+// packet must not trigger a cluster rebalance), and rejoins only after it
+// has been continuously probed healthy past the cooldown.
+const (
+	DefaultFailThreshold  = 3
+	DefaultCooldown       = 5 * time.Second
+	DefaultProbeInterval  = 1 * time.Second
+	DefaultProbeTimeout   = 2 * time.Second
+	DefaultRequestTimeout = 15 * time.Second
+	DefaultRetries        = 4
+	DefaultRetryBase      = 25 * time.Millisecond
+	DefaultRetryMax       = 2 * time.Second
+	DefaultMaxBodyBytes   = 8 << 20
+)
+
+// Config configures a Router.
+type Config struct {
+	// Workers is the initial worker set (host:port each). At least one is
+	// required; all start healthy and are probed from the first tick.
+	Workers []string
+	// VNodes is the virtual-node count per worker (0 = DefaultVNodes).
+	VNodes int
+
+	// FailThreshold is how many consecutive failures (forwarded requests or
+	// probes) open a worker's circuit breaker and eject it from the ring.
+	FailThreshold int
+	// Cooldown is how long an ejected worker must stay out before a
+	// successful probe readmits it.
+	Cooldown time.Duration
+	// ProbeInterval is the health-probe period; ProbeTimeout bounds each
+	// probe (and each migration evict call).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+
+	// RequestTimeout bounds each forward attempt; Retries is how many times
+	// a failed attempt is retried (against the then-current owner, so a
+	// retry after an ejection lands on the new owner). Backoff between
+	// attempts is exponential from RetryBase, capped at RetryMax, with
+	// half-interval jitter.
+	RequestTimeout time.Duration
+	Retries        int
+	RetryBase      time.Duration
+	RetryMax       time.Duration
+
+	// MaxBody caps forwarded request bodies (<= 0 selects the default).
+	MaxBody int64
+
+	// AntiEntropy, when true, synchronizes the shared knowledge store of a
+	// rejoining worker from a healthy peer (GET /v1/knowledge on the peer,
+	// POST /v1/knowledge/merge on the rejoined worker) so knowledge
+	// preserved while the worker was out is not lost to it.
+	AntiEntropy bool
+
+	// Seed makes the retry jitter deterministic (0 = 1).
+	Seed int64
+
+	// Registry receives the router's metrics (nil builds a private one).
+	Registry *obs.Registry
+	// Transport performs the actual round trips — the seam the chaos
+	// harness wraps (nil = http.DefaultTransport).
+	Transport http.RoundTripper
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.VNodes <= 0 {
+		out.VNodes = DefaultVNodes
+	}
+	if out.FailThreshold <= 0 {
+		out.FailThreshold = DefaultFailThreshold
+	}
+	if out.Cooldown < 0 {
+		out.Cooldown = DefaultCooldown
+	}
+	if out.ProbeInterval <= 0 {
+		out.ProbeInterval = DefaultProbeInterval
+	}
+	if out.ProbeTimeout <= 0 {
+		out.ProbeTimeout = DefaultProbeTimeout
+	}
+	if out.RequestTimeout <= 0 {
+		out.RequestTimeout = DefaultRequestTimeout
+	}
+	if out.Retries < 0 {
+		out.Retries = DefaultRetries
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = DefaultRetryBase
+	}
+	if out.RetryMax <= 0 {
+		out.RetryMax = DefaultRetryMax
+	}
+	if out.MaxBody <= 0 {
+		out.MaxBody = DefaultMaxBodyBytes
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// workerState is one worker's view in the router: its breaker (healthy ↔
+// ejected) and the consecutive-failure count that drives it.
+type workerState struct {
+	addr        string
+	healthy     bool
+	consecFails int
+	ejectedAt   time.Time
+
+	gHealthy   *obs.Gauge
+	cFailures  *obs.Counter
+	cProbeFail *obs.Counter
+}
+
+// Router is the stateless routing tier: it owns no stream state, only the
+// ring, the per-worker breakers, and a map of which worker each stream id
+// was last routed to (so a ring change knows which streams moved). Safe for
+// concurrent use.
+type Router struct {
+	cfg    Config
+	client *http.Client
+	reg    *obs.Registry
+	mux    *http.ServeMux
+
+	mu      sync.Mutex
+	ring    *ring
+	workers map[string]*workerState
+	streams map[string]string // stream id → worker it was last routed to
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	stop    chan struct{}
+	bg      sync.WaitGroup
+	started atomic.Bool
+	closed  atomic.Bool
+
+	cRequests   *obs.Counter
+	cRetries    *obs.Counter
+	cExhausted  *obs.Counter
+	cEjections  *obs.Counter
+	cRejoins    *obs.Counter
+	cMigrations *obs.Counter
+	cEvictOK    *obs.Counter
+	cEvictFail  *obs.Counter
+	cFlushOK    *obs.Counter
+	cFlushFail  *obs.Counter
+	cSyncOK     *obs.Counter
+	cSyncFail   *obs.Counter
+	hLatency    *obs.Histogram
+}
+
+// NewRouter builds a router over the given workers. The prober is not
+// running until Start; tests drive ProbeOnce directly instead.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: at least one worker is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = http.DefaultTransport
+	}
+	rt := &Router{
+		cfg:     cfg,
+		client:  &http.Client{Transport: transport},
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		ring:    newRing(cfg.VNodes),
+		workers: map[string]*workerState{},
+		streams: map[string]string{},
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		stop:    make(chan struct{}),
+
+		cRequests:   reg.Counter("freeway_router_requests_total", "Requests accepted by the router."),
+		cRetries:    reg.Counter("freeway_router_retries_total", "Forward attempts retried after a failure."),
+		cExhausted:  reg.Counter("freeway_router_exhausted_total", "Requests that failed every retry (502 to the client)."),
+		cEjections:  reg.Counter("freeway_router_ejections_total", "Workers ejected by the circuit breaker."),
+		cRejoins:    reg.Counter("freeway_router_rejoins_total", "Ejected workers readmitted after cooldown."),
+		cMigrations: reg.Counter("freeway_router_migrations_total", "Streams whose owner changed on a ring change."),
+		cEvictOK:    reg.Counter("freeway_router_migrate_evicts_total", "Checkpoint-on-migrate evict calls, by result.", "result", "ok"),
+		cEvictFail:  reg.Counter("freeway_router_migrate_evicts_total", "Checkpoint-on-migrate evict calls, by result.", "result", "error"),
+		cFlushOK:    reg.Counter("freeway_router_stale_flush_total", "No-checkpoint discards of stale sessions on a stream's new owner, by result.", "result", "ok"),
+		cFlushFail:  reg.Counter("freeway_router_stale_flush_total", "No-checkpoint discards of stale sessions on a stream's new owner, by result.", "result", "error"),
+		cSyncOK:     reg.Counter("freeway_router_antientropy_total", "Shared-knowledge anti-entropy syncs on rejoin, by result.", "result", "ok"),
+		cSyncFail:   reg.Counter("freeway_router_antientropy_total", "Shared-knowledge anti-entropy syncs on rejoin, by result.", "result", "error"),
+		hLatency:    reg.Histogram("freeway_router_request_seconds", "End-to-end routed request latency.", nil),
+	}
+	for _, addr := range cfg.Workers {
+		if addr == "" {
+			return nil, errors.New("dist: empty worker address")
+		}
+		if _, dup := rt.workers[addr]; dup {
+			return nil, fmt.Errorf("dist: duplicate worker %q", addr)
+		}
+		rt.workers[addr] = &workerState{
+			addr:       addr,
+			healthy:    true,
+			gHealthy:   reg.Gauge("freeway_router_worker_healthy", "1 when the worker is in the ring, 0 when ejected.", "worker", addr),
+			cFailures:  reg.Counter("freeway_router_worker_failures_total", "Failed forward attempts and probes, per worker.", "worker", addr),
+			cProbeFail: reg.Counter("freeway_router_probe_failures_total", "Failed health probes, per worker.", "worker", addr),
+		}
+		rt.workers[addr].gHealthy.Set(1)
+		rt.ring.add(addr)
+	}
+
+	rt.mux.HandleFunc("/v1/healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("/v1/readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("/v1/metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("/v1/streams", rt.handleStreams)
+	rt.mux.HandleFunc("/v1/streams/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
+		id, _, _ := strings.Cut(rest, "/")
+		rt.forward(w, r, id)
+	})
+	// Legacy single-stream aliases route to the worker owning "default".
+	for _, p := range []string{"/v1/process", "/v1/stats", "/v1/trace"} {
+		rt.mux.HandleFunc(p, func(w http.ResponseWriter, r *http.Request) {
+			rt.forward(w, r, "default")
+		})
+	}
+	return rt, nil
+}
+
+// Registry returns the router's metrics registry.
+func (r *Router) Registry() *obs.Registry { return r.reg }
+
+// Start launches the background prober. Close stops it.
+func (r *Router) Start() {
+	if !r.started.CompareAndSwap(false, true) {
+		return
+	}
+	r.bg.Add(1)
+	go func() {
+		defer r.bg.Done()
+		t := time.NewTicker(r.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-r.stop:
+				return
+			case <-t.C:
+				r.ProbeOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the prober. Idempotent.
+func (r *Router) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(r.stop)
+	r.bg.Wait()
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	r.mux.ServeHTTP(w, req)
+}
+
+// ownerFor resolves the current owner of a stream id and records the
+// routing decision so a later ring change knows the stream lived there.
+func (r *Router) ownerFor(id string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner, ok := r.ring.ownerOf(id)
+	if ok {
+		r.streams[id] = owner
+	}
+	return owner, ok
+}
+
+// forward routes one request for stream id: resolve the owner, forward with
+// a per-attempt deadline, and on failure back off and retry against the
+// then-current owner — which, after the breaker ejects the original worker,
+// is the stream's new home. A 503 from a worker (draining or not ready)
+// counts as a failure and is retried elsewhere; every other status is the
+// worker's answer and is relayed as-is.
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
+	r.cRequests.Inc()
+	start := time.Now()
+	defer func() { r.hLatency.Observe(time.Since(start).Seconds()) }()
+
+	req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBody)
+	body, err := io.ReadAll(req.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			r.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			r.cRetries.Inc()
+			if err := sleepCtx(req.Context(), r.backoff(attempt-1)); err != nil {
+				lastErr = err
+				break
+			}
+		}
+		owner, ok := r.ownerFor(id)
+		if !ok {
+			lastErr = errors.New("no healthy workers in the ring")
+			continue
+		}
+		resp, err := r.do(req.Context(), r.cfg.RequestTimeout, owner, req.Method,
+			req.URL.RequestURI(), req.Header.Get("Content-Type"), body)
+		if err != nil {
+			lastErr = fmt.Errorf("worker %s: %w", owner, err)
+			r.noteFailure(owner)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("worker %s: status 503", owner)
+			r.noteFailure(owner)
+			continue
+		}
+		r.noteSuccess(owner)
+		relay(w, resp)
+		return
+	}
+	r.cExhausted.Inc()
+	r.writeError(w, http.StatusBadGateway,
+		fmt.Sprintf("stream %q: all %d attempts failed: %v", id, r.cfg.Retries+1, lastErr))
+}
+
+// do performs one HTTP round trip to a worker with its own deadline.
+// The response body is the caller's to close.
+func (r *Router) do(parent context.Context, timeout time.Duration, worker, method, uri, contentType string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(parent, timeout)
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+worker+uri, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody releases the attempt's context when the response body is
+// closed (the context must outlive the body read).
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// relay copies a worker response to the client.
+func relay(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		log.Printf("dist: relay body: %v", err)
+	}
+}
+
+// backoff returns the delay before retry n (0-based): exponential from
+// RetryBase, capped at RetryMax, with jitter uniform over the upper half so
+// synchronized retries from concurrent clients spread out.
+func (r *Router) backoff(n int) time.Duration {
+	d := r.cfg.RetryBase
+	for i := 0; i < n && d < r.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > r.cfg.RetryMax {
+		d = r.cfg.RetryMax
+	}
+	r.rngMu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(d)/2 + 1))
+	r.rngMu.Unlock()
+	return d/2 + j
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// noteSuccess resets a worker's consecutive-failure count.
+func (r *Router) noteSuccess(addr string) {
+	r.mu.Lock()
+	if ws, ok := r.workers[addr]; ok && ws.healthy {
+		ws.consecFails = 0
+	}
+	r.mu.Unlock()
+}
+
+// noteFailure records one failed attempt against a worker and, at the
+// breaker threshold, ejects it: the worker leaves the ring, and every
+// stream last routed to it is migrated (best-effort checkpoint-on-evict on
+// the old owner — it may be dead, in which case the new owner restores from
+// the shared checkpoint directory instead).
+func (r *Router) noteFailure(addr string) {
+	r.mu.Lock()
+	ws, ok := r.workers[addr]
+	if !ok || !ws.healthy {
+		r.mu.Unlock()
+		return
+	}
+	ws.cFailures.Inc()
+	ws.consecFails++
+	if ws.consecFails < r.cfg.FailThreshold {
+		r.mu.Unlock()
+		return
+	}
+	ws.healthy = false
+	ws.ejectedAt = time.Now()
+	ws.gHealthy.Set(0)
+	r.ring.remove(addr)
+	r.cEjections.Inc()
+	moved := r.movedStreamsLocked()
+	r.mu.Unlock()
+
+	log.Printf("dist: worker %s ejected after %d consecutive failures (%d streams to migrate)", addr, ws.consecFails, len(moved))
+	r.migrate(moved)
+}
+
+// movedStream records one stream's migration: the worker it was last
+// routed to and the worker the ring maps it to now ("" when the ring is
+// empty).
+type movedStream struct {
+	prev, next string
+}
+
+// movedStreamsLocked returns the migration plan for every tracked stream
+// whose ring owner changed, and forgets them (the next request re-records
+// the new owner). Callers hold r.mu.
+func (r *Router) movedStreamsLocked() map[string]movedStream {
+	moved := map[string]movedStream{}
+	for id, prev := range r.streams {
+		now, ok := r.ring.ownerOf(id)
+		if !ok || now != prev {
+			mv := movedStream{prev: prev}
+			if ok {
+				mv.next = now
+			}
+			moved[id] = mv
+			delete(r.streams, id)
+		}
+	}
+	return moved
+}
+
+// migrate runs the two-step handover for each moved stream. First the
+// previous owner is checkpoint-and-evicted — best-effort: an unreachable
+// owner (the crash case) fails fast and the stream's state comes from its
+// last periodic checkpoint in the shared directory instead. Then any
+// session still resident on the NEW owner is discarded without a
+// checkpoint: a rejoined worker may hold the stream's pre-ejection state in
+// memory, and since restore-from-checkpoint happens only at session
+// creation, that stale session would otherwise resume silently — and a
+// checkpointing evict there would clobber the fresh envelope just written
+// by step one.
+func (r *Router) migrate(moved map[string]movedStream) {
+	for id, mv := range moved {
+		r.cMigrations.Inc()
+		if r.evictStream(mv.prev, id, true) {
+			r.cEvictOK.Inc()
+		} else {
+			r.cEvictFail.Inc()
+		}
+		if mv.next != "" && mv.next != mv.prev {
+			if r.evictStream(mv.next, id, false) {
+				r.cFlushOK.Inc()
+			} else {
+				r.cFlushFail.Inc()
+			}
+		}
+	}
+}
+
+// evictStream POSTs one evict call; checkpoint=false asks the worker to
+// discard the session without a final snapshot.
+func (r *Router) evictStream(addr, id string, checkpoint bool) bool {
+	uri := "/v1/streams/" + id + "/evict"
+	if !checkpoint {
+		uri += "?checkpoint=false"
+	}
+	resp, err := r.do(context.Background(), r.cfg.ProbeTimeout, addr, http.MethodPost, uri, "", nil)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	code := resp.StatusCode
+	resp.Body.Close()
+	return code == http.StatusOK
+}
+
+// ProbeOnce probes every worker's /v1/healthz once: failures advance the
+// breaker exactly like failed forwards; a success past the cooldown
+// readmits an ejected worker (rebalancing the streams that move back, this
+// time with the old owner reachable for a clean checkpoint-on-migrate).
+// Exported so tests drive the failure model deterministically; Start calls
+// it on a ticker.
+func (r *Router) ProbeOnce() {
+	r.mu.Lock()
+	addrs := make([]string, 0, len(r.workers))
+	for addr := range r.workers {
+		addrs = append(addrs, addr)
+	}
+	r.mu.Unlock()
+
+	for _, addr := range addrs {
+		resp, err := r.do(context.Background(), r.cfg.ProbeTimeout, addr,
+			http.MethodGet, "/v1/healthz", "", nil)
+		healthy := false
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			healthy = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		if !healthy {
+			r.mu.Lock()
+			if ws, ok := r.workers[addr]; ok {
+				ws.cProbeFail.Inc()
+			}
+			r.mu.Unlock()
+			r.noteFailure(addr)
+			continue
+		}
+		r.noteProbeOK(addr)
+	}
+}
+
+// noteProbeOK clears failures on a healthy worker and readmits an ejected
+// one whose cooldown has passed.
+func (r *Router) noteProbeOK(addr string) {
+	r.mu.Lock()
+	ws, ok := r.workers[addr]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	if ws.healthy {
+		ws.consecFails = 0
+		r.mu.Unlock()
+		return
+	}
+	if time.Since(ws.ejectedAt) < r.cfg.Cooldown {
+		r.mu.Unlock()
+		return
+	}
+	ws.healthy = true
+	ws.consecFails = 0
+	ws.gHealthy.Set(1)
+	r.ring.add(addr)
+	r.cRejoins.Inc()
+	moved := r.movedStreamsLocked()
+	peer := ""
+	for _, other := range r.ring.members() {
+		if other != addr {
+			peer = other
+			break
+		}
+	}
+	r.mu.Unlock()
+
+	log.Printf("dist: worker %s rejoined the ring (%d streams to migrate back)", addr, len(moved))
+	r.migrate(moved)
+	if r.cfg.AntiEntropy && peer != "" {
+		r.antiEntropy(peer, addr)
+	}
+}
+
+// antiEntropy copies the shared knowledge store of a healthy peer onto a
+// rejoined worker (export → merge), so regimes preserved while the worker
+// was out of the ring are matchable there too. Best-effort: a worker
+// without a shared store answers 409 and the sync is skipped.
+func (r *Router) antiEntropy(from, to string) {
+	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, from,
+		http.MethodGet, "/v1/knowledge", "", nil)
+	if err != nil {
+		r.cSyncFail.Inc()
+		log.Printf("dist: anti-entropy export from %s: %v", from, err)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	code := resp.StatusCode
+	resp.Body.Close()
+	if err != nil || code != http.StatusOK {
+		r.cSyncFail.Inc()
+		log.Printf("dist: anti-entropy export from %s: status %d err %v", from, code, err)
+		return
+	}
+	resp, err = r.do(context.Background(), r.cfg.RequestTimeout, to,
+		http.MethodPost, "/v1/knowledge/merge", "application/json", body)
+	if err != nil {
+		r.cSyncFail.Inc()
+		log.Printf("dist: anti-entropy merge into %s: %v", to, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	code = resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusOK {
+		r.cSyncFail.Inc()
+		log.Printf("dist: anti-entropy merge into %s: status %d", to, code)
+		return
+	}
+	r.cSyncOK.Inc()
+}
+
+// ClusterWorker is one worker's row in the /v1/cluster topology report.
+type ClusterWorker struct {
+	Addr             string  `json:"addr"`
+	Healthy          bool    `json:"healthy"`
+	ConsecutiveFails int     `json:"consecutive_fails"`
+	EjectedForS      float64 `json:"ejected_for_s,omitempty"`
+}
+
+// ClusterResponse is the /v1/cluster body.
+type ClusterResponse struct {
+	Workers       []ClusterWorker `json:"workers"`
+	HealthyCount  int             `json:"healthy_count"`
+	TrackedStream int             `json:"tracked_streams"`
+}
+
+func (r *Router) handleCluster(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	r.mu.Lock()
+	out := ClusterResponse{TrackedStream: len(r.streams)}
+	for _, addr := range sortedKeys(r.workers) {
+		ws := r.workers[addr]
+		cw := ClusterWorker{Addr: addr, Healthy: ws.healthy, ConsecutiveFails: ws.consecFails}
+		if !ws.healthy {
+			cw.EjectedForS = time.Since(ws.ejectedAt).Seconds()
+		} else {
+			out.HealthyCount++
+		}
+		out.Workers = append(out.Workers, cw)
+	}
+	r.mu.Unlock()
+	writeJSON(w, out)
+}
+
+func sortedKeys(m map[string]*workerState) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz: the router is ready when at least one worker is in the
+// ring — with zero, every forward would 502.
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	r.mu.Lock()
+	n := len(r.ring.members())
+	r.mu.Unlock()
+	if n == 0 {
+		r.writeError(w, http.StatusServiceUnavailable, "no healthy workers")
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "healthy_workers": n})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := r.reg.WritePrometheus(w); err != nil {
+		log.Printf("dist: metrics write failed: %v", err)
+	}
+}
+
+// handleStreams merges every healthy worker's /v1/streams listing into one
+// cluster-wide view: concatenated stream summaries, summed lifecycle
+// aggregates. A worker that fails mid-scrape is skipped (its streams are
+// simply absent from this snapshot).
+func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		r.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	r.mu.Lock()
+	members := r.ring.members()
+	r.mu.Unlock()
+	merged := struct {
+		Streams  []json.RawMessage `json:"streams"`
+		Sessions map[string]int64  `json:"sessions"`
+		Workers  int               `json:"workers"`
+	}{Streams: []json.RawMessage{}, Sessions: map[string]int64{}}
+	for _, addr := range members {
+		resp, err := r.do(req.Context(), r.cfg.ProbeTimeout, addr,
+			http.MethodGet, "/v1/streams", "", nil)
+		if err != nil {
+			continue
+		}
+		var one struct {
+			Streams  []json.RawMessage `json:"streams"`
+			Sessions map[string]int64  `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&one)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		merged.Workers++
+		merged.Streams = append(merged.Streams, one.Streams...)
+		for k, v := range one.Sessions {
+			merged.Sessions[k] += v
+		}
+	}
+	writeJSON(w, merged)
+}
+
+// writeError sends the same JSON error envelope the serve tier uses, so a
+// client sees one contract whether it talks to a worker or the router.
+func (r *Router) writeError(w http.ResponseWriter, status int, msg string) {
+	var body struct {
+		Error struct {
+			Code    int    `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	body.Error.Code = status
+	body.Error.Message = msg
+	data, err := json.Marshal(body)
+	if err != nil {
+		http.Error(w, msg, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)+1))
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "response encoding failed", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)+1))
+	w.Write(append(data, '\n'))
+}

@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrPartitioned is the error a ChaosTransport returns for a request into a
+// partition, and ErrDropped for a scheduled connection drop — distinct from
+// ErrInjected so tests can assert which fault fired.
+var (
+	ErrPartitioned = fmt.Errorf("faults: network partition")
+	ErrDropped     = fmt.Errorf("faults: connection dropped")
+)
+
+// ChaosTransport wraps an http.RoundTripper and injects network faults per
+// target host, deterministically: faults are scheduled against each host's
+// own request counter (the n-th call fails, not "some call eventually"), so
+// a test replays the exact same fault sequence every run. It models the
+// failures a router actually meets — connections dropped for a scheduled
+// window, added latency, and full partitions (every call fails until the
+// partition heals) — without needing to kill real processes.
+//
+// Safe for concurrent use; the per-host counter is advanced under the lock,
+// the wrapped round trip runs outside it.
+type ChaosTransport struct {
+	// Inner performs real round trips; nil means http.DefaultTransport.
+	Inner http.RoundTripper
+
+	mu    sync.Mutex
+	hosts map[string]*hostChaos
+}
+
+// hostChaos is the fault schedule for one target host.
+type hostChaos struct {
+	calls       int
+	partitioned bool
+	dropFrom    int // calls in [dropFrom, dropTo) fail; dropFrom < 0 disarms
+	dropTo      int
+	latency     time.Duration
+}
+
+// NewChaosTransport wraps inner (nil = http.DefaultTransport) with no
+// faults armed.
+func NewChaosTransport(inner http.RoundTripper) *ChaosTransport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &ChaosTransport{Inner: inner, hosts: map[string]*hostChaos{}}
+}
+
+func (c *ChaosTransport) host(host string) *hostChaos {
+	h, ok := c.hosts[host]
+	if !ok {
+		h = &hostChaos{dropFrom: -1}
+		c.hosts[host] = h
+	}
+	return h
+}
+
+// Partition makes every request to host fail with ErrPartitioned until
+// Heal. This is the in-process stand-in for a killed worker: connections
+// fail immediately, state on the "dead" side is preserved for a restart.
+func (c *ChaosTransport) Partition(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.host(host).partitioned = true
+}
+
+// Heal lifts a partition.
+func (c *ChaosTransport) Heal(host string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.host(host).partitioned = false
+}
+
+// DropCalls fails host's request numbers in [from, to) (0-based, counted
+// per host) with ErrDropped — a deterministic transient-failure window.
+func (c *ChaosTransport) DropCalls(host string, from, to int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.host(host)
+	h.dropFrom, h.dropTo = from, to
+}
+
+// AddLatency delays every request to host by d before it is sent.
+func (c *ChaosTransport) AddLatency(host string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.host(host).latency = d
+}
+
+// Calls returns how many requests were attempted against host (including
+// ones that failed by schedule).
+func (c *ChaosTransport) Calls(host string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.host(host).calls
+}
+
+// RoundTrip applies the host's schedule, then delegates to Inner.
+func (c *ChaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	c.mu.Lock()
+	h := c.host(req.URL.Host)
+	n := h.calls
+	h.calls++
+	partitioned := h.partitioned
+	dropped := h.dropFrom >= 0 && n >= h.dropFrom && n < h.dropTo
+	latency := h.latency
+	c.mu.Unlock()
+
+	if partitioned {
+		return nil, fmt.Errorf("%w: %s", ErrPartitioned, req.URL.Host)
+	}
+	if dropped {
+		return nil, fmt.Errorf("%w: %s call %d", ErrDropped, req.URL.Host, n)
+	}
+	if latency > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(latency):
+		}
+	}
+	return c.Inner.RoundTrip(req)
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func chaosTarget(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, strings.TrimPrefix(ts.URL, "http://")
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	ts, host := chaosTarget(t)
+	ct := NewChaosTransport(nil)
+	client := &http.Client{Transport: ct}
+
+	if _, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("pre-partition request failed: %v", err)
+	}
+	ct.Partition(host)
+	_, err := client.Get(ts.URL)
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned request returned %v, want ErrPartitioned", err)
+	}
+	ct.Heal(host)
+	if _, err := client.Get(ts.URL); err != nil {
+		t.Fatalf("post-heal request failed: %v", err)
+	}
+}
+
+func TestChaosDropWindowIsDeterministic(t *testing.T) {
+	ts, host := chaosTarget(t)
+	ct := NewChaosTransport(nil)
+	client := &http.Client{Transport: ct}
+
+	// Calls 1 and 2 (0-based) fail; 0 and 3+ succeed — exactly, every run.
+	ct.DropCalls(host, 1, 3)
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get(ts.URL)
+		wantDrop := i == 1 || i == 2
+		if wantDrop {
+			if !errors.Is(err, ErrDropped) {
+				t.Fatalf("call %d: got %v, want ErrDropped", i, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("call %d: unexpected error %v", i, err)
+		}
+		resp.Body.Close()
+	}
+	if got := ct.Calls(host); got != 5 {
+		t.Fatalf("Calls(%s) = %d, want 5 (dropped calls count too)", host, got)
+	}
+}
+
+func TestChaosFaultsArePerHost(t *testing.T) {
+	tsA, hostA := chaosTarget(t)
+	tsB, _ := chaosTarget(t)
+	ct := NewChaosTransport(nil)
+	client := &http.Client{Transport: ct}
+
+	ct.Partition(hostA)
+	if _, err := client.Get(tsA.URL); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("host A: got %v, want ErrPartitioned", err)
+	}
+	resp, err := client.Get(tsB.URL)
+	if err != nil {
+		t.Fatalf("host B caught host A's partition: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestChaosLatencyRespectsContext(t *testing.T) {
+	ts, host := chaosTarget(t)
+	ct := NewChaosTransport(nil)
+	ct.AddLatency(host, 10*time.Second)
+	client := &http.Client{Transport: ct, Timeout: 50 * time.Millisecond}
+
+	start := time.Now()
+	_, err := client.Get(ts.URL)
+	if err == nil {
+		t.Fatal("expected timeout through injected latency")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("latency injection ignored the request context (took %v)", elapsed)
+	}
+}

@@ -1,0 +1,105 @@
+package knowledge
+
+import (
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+func exportOf(t *testing.T, s *Store) []EntrySnapshot {
+	t.Helper()
+	out, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestMergeAddReplaceSkip(t *testing.T) {
+	local, _ := NewStore(16, "")
+	if err := local.Preserve(linalg.Vector{0, 0}, []byte("local-origin"), "local", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := local.Preserve(linalg.Vector{10, 0}, []byte("local-east"), "local", 9); err != nil {
+		t.Fatal(err)
+	}
+
+	incoming := []EntrySnapshot{
+		// Same regime as local-origin, fresher → replaces in place.
+		{Distribution: linalg.Vector{0.1, 0}, Snapshot: []byte("peer-origin-v2"), Source: "peer", Batch: 8},
+		// Same regime as local-east, staler → skipped.
+		{Distribution: linalg.Vector{10, 0.1}, Snapshot: []byte("peer-east-old"), Source: "peer", Batch: 2},
+		// New regime → appended.
+		{Distribution: linalg.Vector{0, 50}, Snapshot: []byte("peer-north"), Source: "peer", Batch: 3},
+		// Invalid → skipped and counted.
+		{Distribution: nil, Snapshot: []byte("bad"), Source: "peer", Batch: 1},
+	}
+	added, replaced, skipped, err := local.Merge(incoming, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || replaced != 1 || skipped != 2 {
+		t.Fatalf("merge = added %d replaced %d skipped %d, want 1/1/2", added, replaced, skipped)
+	}
+	if n := local.Len(); n != 3 {
+		t.Fatalf("len = %d, want 3", n)
+	}
+
+	// The replacement actually took effect; the stale one did not.
+	snap, _, ok, err := local.Match(linalg.Vector{0, 0})
+	if err != nil || !ok || string(snap) != "peer-origin-v2" {
+		t.Errorf("origin regime = %q (ok=%v err=%v), want peer-origin-v2", snap, ok, err)
+	}
+	snap, _, ok, err = local.Match(linalg.Vector{10, 0})
+	if err != nil || !ok || string(snap) != "local-east" {
+		t.Errorf("east regime = %q (ok=%v err=%v), want local-east kept", snap, ok, err)
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	src, _ := NewStore(16, "")
+	for i, v := range []linalg.Vector{{1, 0}, {0, 1}, {5, 5}} {
+		if err := src.Preserve(v, []byte{byte('a' + i)}, "src", i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst, _ := NewStore(16, "")
+	export := exportOf(t, src)
+
+	added, replaced, skipped, err := dst.Merge(export, 0)
+	if err != nil || added != 3 || replaced != 0 || skipped != 0 {
+		t.Fatalf("first merge = %d/%d/%d err=%v, want 3/0/0", added, replaced, skipped, err)
+	}
+	// Even at radius 0 an entry matches its own earlier copy (distance 0),
+	// so re-merging the same export is a no-op.
+	added, replaced, skipped, err = dst.Merge(export, 0)
+	if err != nil || added != 0 || replaced != 0 || skipped != 3 {
+		t.Fatalf("second merge = %d/%d/%d err=%v, want 0/0/3", added, replaced, skipped, err)
+	}
+	if n := dst.Len(); n != 3 {
+		t.Fatalf("len = %d after double merge, want 3", n)
+	}
+}
+
+func TestMergeNeverDiscardsLocalState(t *testing.T) {
+	// Unlike Import, Merge folds in: entries the peer does not know keep
+	// existing locally.
+	local, _ := NewStore(16, "")
+	if err := local.Preserve(linalg.Vector{100, 100}, []byte("local-only"), "local", 1); err != nil {
+		t.Fatal(err)
+	}
+	peer, _ := NewStore(16, "")
+	if err := peer.Preserve(linalg.Vector{1, 1}, []byte("peer-only"), "peer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := local.Merge(exportOf(t, peer), 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if n := local.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2 (local entry survives)", n)
+	}
+	snap, _, ok, err := local.Match(linalg.Vector{100, 100})
+	if err != nil || !ok || string(snap) != "local-only" {
+		t.Errorf("local entry after merge = %q (ok=%v err=%v)", snap, ok, err)
+	}
+}

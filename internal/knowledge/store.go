@@ -472,6 +472,74 @@ func (s *Store) Import(entries []EntrySnapshot) (skipped int, err error) {
 	return skipped, nil
 }
 
+// Merge folds exported entries from a peer store into this one — the
+// anti-entropy half of cross-worker knowledge replication: unlike Import it
+// never discards local state. An incoming entry whose distribution lies
+// within radius of an existing one is the same regime; the fresher snapshot
+// (higher Batch) wins, in place. Anything farther than radius from every
+// local entry is appended (spilling past capacity as usual). Invalid
+// entries are skipped and counted. Merge is idempotent: merging the same
+// export twice changes nothing on the second pass (radius >= 0 always
+// matches an entry against its own earlier copy at distance 0).
+func (s *Store) Merge(entries []EntrySnapshot, radius float64) (added, replaced, skipped int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.publishLocked()
+	for _, in := range entries {
+		if len(in.Distribution) == 0 || len(in.Snapshot) == 0 {
+			skipped++
+			continue
+		}
+		best := -1
+		bestD := radius
+		for i := range s.entries {
+			if len(s.entries[i].Distribution) != len(in.Distribution) {
+				continue
+			}
+			if d := in.Distribution.Distance(s.entries[i].Distribution); d <= bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			e := &s.entries[best]
+			if in.Batch <= e.Batch {
+				skipped++ // ours is at least as fresh
+				continue
+			}
+			replaced++
+			s.replacements.Add(1)
+			if e.spilled {
+				_ = s.fs.Remove(e.path)
+				e.spilled = false
+				e.path = ""
+			} else {
+				s.memBytes -= len(e.Snapshot)
+			}
+			e.Distribution = in.Distribution.Clone()
+			e.Snapshot = append([]byte(nil), in.Snapshot...)
+			e.Source = in.Source
+			e.Batch = in.Batch
+			s.memBytes += len(in.Snapshot)
+			continue
+		}
+		added++
+		s.preserves.Add(1)
+		s.entries = append(s.entries, Entry{
+			Distribution: in.Distribution.Clone(),
+			Snapshot:     append([]byte(nil), in.Snapshot...),
+			Source:       in.Source,
+			Batch:        in.Batch,
+		})
+		s.memBytes += len(in.Snapshot)
+		if s.inMemoryCountLocked() >= s.capacity {
+			if serr := s.spillHalfLocked(); serr != nil && err == nil {
+				err = serr
+			}
+		}
+	}
+	return added, replaced, skipped, err
+}
+
 // Counters are the store's cumulative usage counts for observability.
 type Counters struct {
 	// Preserves counts appended entries; Replacements counts same-regime

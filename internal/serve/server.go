@@ -36,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,10 +45,17 @@ import (
 
 	"freewayml/internal/core"
 	"freewayml/internal/guard"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
 	"freewayml/internal/obs"
 	"freewayml/internal/session"
 	"freewayml/internal/stream"
 )
+
+// StatusClientClosedRequest reports a request whose client went away (or
+// whose router retry fired) before the batch finished — nginx's 499, since
+// no standard status covers "the caller cancelled".
+const StatusClientClosedRequest = 499
 
 // MetricsContentType is the Prometheus text exposition content type served
 // by /v1/metrics.
@@ -106,12 +114,18 @@ type StatsResponse struct {
 	CheckpointSaves    int64 `json:"checkpoint_saves"`
 	CheckpointErrors   int64 `json:"checkpoint_errors"`
 
+	// CheckpointErrorsTotal is the process-wide failed-checkpoint count
+	// (every stream, resident or evicted) — the spill path is best-effort,
+	// so silent failure here is how state quietly stops being durable.
+	CheckpointErrorsTotal int64 `json:"checkpoint_errors_total"`
+
 	// HTTP-layer counters (server-wide): total requests served, error
-	// responses sent (status >= 400), and request bodies refused by the
-	// size cap.
-	HTTPRequests int64 `json:"http_requests"`
-	HTTPRejects  int64 `json:"http_rejects"`
-	BodyCapHits  int64 `json:"body_cap_hits"`
+	// responses sent (status >= 400), request bodies refused by the size
+	// cap, and requests cancelled by the client mid-batch.
+	HTTPRequests      int64 `json:"http_requests"`
+	HTTPRejects       int64 `json:"http_rejects"`
+	BodyCapHits       int64 `json:"body_cap_hits"`
+	CancelledRequests int64 `json:"cancelled_requests"`
 }
 
 // StreamsResponse is the /v1/streams listing: every resident stream's
@@ -254,10 +268,13 @@ type Server struct {
 	scfg    session.Config
 	pprofOn bool
 
-	reqs    atomic.Int64
-	rejects atomic.Int64
-	bodyCap atomic.Int64
+	reqs      atomic.Int64
+	rejects   atomic.Int64
+	bodyCap   atomic.Int64
+	cancelled atomic.Int64
+	cCancel   *obs.Counter
 
+	closing   atomic.Bool
 	closeOnce sync.Once
 	closeErr  error
 
@@ -296,20 +313,25 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 
 	s.routeCounters = map[string]*obs.Counter{}
 	for _, route := range []string{
-		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/metrics",
-		"/v1/streams",
+		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/health",
+		"/v1/readyz", "/v1/metrics", "/v1/streams", "/v1/knowledge", "/v1/knowledge/merge",
 		"/v1/streams/:id/process", "/v1/streams/:id/stats", "/v1/streams/:id/trace",
-		"/v1/streams/:id/other",
+		"/v1/streams/:id/evict", "/v1/streams/:id/other",
 	} {
 		s.routeCounters[route] = mgr.Registry().Counter("freeway_http_requests_total", "HTTP requests by route.", "path", route)
 	}
+	s.cCancel = mgr.Registry().Counter("freeway_http_cancelled_total", "Requests abandoned by the client (or a router retry) before the batch finished.")
 
 	s.handle("/v1/process", func(w http.ResponseWriter, r *http.Request) { s.handleProcess(w, r, DefaultStream) })
 	s.handle("/v1/stats", func(w http.ResponseWriter, r *http.Request) { s.handleStats(w, r, DefaultStream) })
 	s.handle("/v1/trace", func(w http.ResponseWriter, r *http.Request) { s.handleTrace(w, r, DefaultStream) })
 	s.handle("/v1/healthz", s.handleHealth)
+	s.handle("/v1/health", s.handleHealth) // pre-split alias for the liveness probe
+	s.handle("/v1/readyz", s.handleReady)
 	s.handle("/v1/metrics", s.handleMetrics)
 	s.handle("/v1/streams", s.handleStreams)
+	s.handle("/v1/knowledge", s.handleKnowledgeExport)
+	s.handle("/v1/knowledge/merge", s.handleKnowledgeMerge)
 	s.mux.HandleFunc("/v1/streams/", s.handleStreamRoute)
 	if s.pprofOn {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -355,6 +377,10 @@ func (s *Server) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
 			s.routeCounters["/v1/streams/:id/trace"].Inc()
 			s.handleTrace(w, r, id)
 			return
+		case "evict":
+			s.routeCounters["/v1/streams/:id/evict"].Inc()
+			s.handleEvict(w, r, id)
+			return
 		}
 	}
 	s.routeCounters["/v1/streams/:id/other"].Inc()
@@ -368,6 +394,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // writing final checkpoints where persistence is configured — and stops the
 // session sweeper. Idempotent: the second and later calls return nil.
 func (s *Server) Close() error {
+	s.closing.Store(true) // readiness goes false before teardown starts
 	s.closeOnce.Do(func() { s.closeErr = s.mgr.Close() })
 	err := s.closeErr
 	s.closeErr = nil
@@ -434,8 +461,10 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 
 // process runs one decoded batch through the stream's session and maps
 // failures to an HTTP status: a bad stream id (404) and guard-rejected
-// input (422) are the client's problem, a closed server is 503, any other
-// Process failure is ours (500).
+// input (422) are the client's problem, a closed server is 503, a request
+// the client abandoned mid-batch is 499 (counted, not an error of ours —
+// the learner observes ctx and stops training between model updates), and
+// any other Process failure is ours (500).
 func (s *Server) process(ctx context.Context, id string, req ProcessRequest) (ProcessResponse, int, error) {
 	res, err := s.mgr.Process(ctx, id, req.X, req.Y)
 	if err != nil {
@@ -447,6 +476,10 @@ func (s *Server) process(ctx context.Context, id string, req ProcessRequest) (Pr
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, guard.ErrRejected):
 			status = http.StatusUnprocessableEntity
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			status = StatusClientClosedRequest
+			s.cancelled.Add(1)
+			s.cCancel.Inc()
 		}
 		return ProcessResponse{}, status, err
 	}
@@ -509,9 +542,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, id string) 
 		CheckpointSaves:    st.CheckpointSaves,
 		CheckpointErrors:   st.CheckpointErrors,
 
-		HTTPRequests: s.reqs.Load(),
-		HTTPRejects:  s.rejects.Load(),
-		BodyCapHits:  s.bodyCap.Load(),
+		CheckpointErrorsTotal: s.mgr.Aggregate().CheckpointErrors,
+
+		HTTPRequests:      s.reqs.Load(),
+		HTTPRejects:       s.rejects.Load(),
+		BodyCapHits:       s.bodyCap.Load(),
+		CancelledRequests: s.cancelled.Load(),
 	})
 }
 
@@ -532,6 +568,199 @@ func (s *Server) handleStreams(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// ReadyResponse is the /v1/readyz body: overall status plus each readiness
+// check, so a probe failure names what is actually wrong.
+type ReadyResponse struct {
+	Status string            `json:"status"`
+	Checks map[string]string `json:"checks"`
+}
+
+// handleReady is the readiness probe — distinct from /v1/healthz liveness.
+// A live process is not ready when it is shutting down, when its resident
+// sessions have hit the cap (new streams would thrash the LRU), or when the
+// checkpoint directory is not writable (evictions and failover would
+// silently lose state). Routers use this to stop placing streams here
+// before the condition becomes client-visible errors.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	resp := ReadyResponse{Status: "ok", Checks: map[string]string{
+		"accepting": "ok", "sessions": "ok", "checkpoint_dir": "ok",
+	}}
+	if s.closing.Load() {
+		resp.Checks["accepting"] = "shutting down"
+	}
+	if max := s.mgr.MaxSessions(); s.mgr.Len() >= max {
+		resp.Checks["sessions"] = fmt.Sprintf("resident sessions at cap (%d)", max)
+	}
+	if dir := s.scfg.CheckpointDir; dir != "" {
+		if f, err := os.CreateTemp(dir, ".readyz-*"); err != nil {
+			resp.Checks["checkpoint_dir"] = fmt.Sprintf("not writable: %v", err)
+		} else {
+			name := f.Name()
+			f.Close()
+			os.Remove(name)
+		}
+	}
+	for _, v := range resp.Checks {
+		if v != "ok" {
+			resp.Status = "unavailable"
+			break
+		}
+	}
+	if resp.Status != "ok" {
+		s.rejects.Add(1)
+		buf := getBuf()
+		defer putBuf(buf)
+		if err := json.NewEncoder(buf).Encode(resp); err != nil {
+			s.writeError(w, http.StatusInternalServerError, "response encoding failed")
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write(buf.Bytes())
+		return
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleEvict checkpoints and evicts one stream on demand — the
+// checkpoint-on-migrate half of distributed failover: a router moving a
+// stream to another worker calls this on the old owner so the new owner
+// restores the freshest possible state from the shared checkpoint
+// directory. Evicting a non-resident stream is not an error (the desired
+// state already holds); the response reports which case occurred.
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	// ?checkpoint=false discards the session without a final snapshot — for
+	// callers (the router's stale-flush) that know the on-disk checkpoint is
+	// fresher than this worker's in-memory state.
+	checkpoint := r.URL.Query().Get("checkpoint") != "false"
+	var evicted bool
+	var err error
+	if checkpoint {
+		evicted, err = s.mgr.Evict(id)
+	} else {
+		evicted, err = s.mgr.Discard(id)
+	}
+	if err != nil {
+		// The session is gone either way; a teardown error means the final
+		// checkpoint may be stale, which the caller must know.
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("evict %q: %v", id, err))
+		return
+	}
+	s.writeJSON(w, map[string]any{"stream": id, "evicted": evicted, "checkpoint": checkpoint})
+}
+
+// KnowledgeEntry is the wire form of one preserved knowledge pair
+// (Snapshot is base64 in JSON, per encoding/json []byte rules).
+type KnowledgeEntry struct {
+	Distribution []float64 `json:"distribution"`
+	Snapshot     []byte    `json:"snapshot"`
+	Source       string    `json:"source"`
+	Batch        int       `json:"batch"`
+}
+
+// KnowledgeResponse is the /v1/knowledge export body.
+type KnowledgeResponse struct {
+	Shared  bool             `json:"shared"`
+	Entries []KnowledgeEntry `json:"entries"`
+}
+
+// KnowledgeMergeResponse reports what a /v1/knowledge/merge applied.
+type KnowledgeMergeResponse struct {
+	Added    int `json:"added"`
+	Replaced int `json:"replaced"`
+	Skipped  int `json:"skipped"`
+}
+
+// sharedStore resolves the process-wide knowledge store, or an HTTP error
+// when this server keeps per-stream stores (409: the request is valid, the
+// configuration conflicts with it).
+func (s *Server) sharedStore() (*knowledge.Store, int, error) {
+	store := s.mgr.SharedStore()
+	if store == nil {
+		return nil, http.StatusConflict, errors.New("knowledge sharing is disabled (start with shared knowledge to use /v1/knowledge)")
+	}
+	return store, http.StatusOK, nil
+}
+
+// handleKnowledgeExport serves the shared store's full contents — the
+// export half of cross-worker anti-entropy, and a debugging view of what
+// regimes the cluster has preserved.
+func (s *Server) handleKnowledgeExport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	store, status, err := s.sharedStore()
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	entries, err := store.Export()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("export knowledge: %v", err))
+		return
+	}
+	resp := KnowledgeResponse{Shared: true, Entries: make([]KnowledgeEntry, 0, len(entries))}
+	for _, e := range entries {
+		resp.Entries = append(resp.Entries, KnowledgeEntry{
+			Distribution: e.Distribution, Snapshot: e.Snapshot, Source: e.Source, Batch: e.Batch,
+		})
+	}
+	s.writeJSON(w, resp)
+}
+
+// handleKnowledgeMerge folds a peer's exported entries into the shared
+// store (the merge half of anti-entropy): same-regime entries keep the
+// fresher snapshot, new regimes are appended. ?radius=R overrides the
+// same-regime distance (default 0: only identical distributions merge).
+func (s *Server) handleKnowledgeMerge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	store, status, err := s.sharedStore()
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	radius := 0.0
+	if q := r.URL.Query().Get("radius"); q != "" {
+		v, err := strconv.ParseFloat(q, 64)
+		if err != nil || v < 0 {
+			s.writeError(w, http.StatusBadRequest, "radius must be a non-negative number")
+			return
+		}
+		radius = v
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	var req KnowledgeResponse
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	entries := make([]knowledge.EntrySnapshot, 0, len(req.Entries))
+	for _, e := range req.Entries {
+		entries = append(entries, knowledge.EntrySnapshot{
+			Distribution: linalg.Vector(e.Distribution), Snapshot: e.Snapshot, Source: e.Source, Batch: e.Batch,
+		})
+	}
+	added, replaced, skipped, err := store.Merge(entries, radius)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Sprintf("merge knowledge: %v", err))
+		return
+	}
+	s.writeJSON(w, KnowledgeMergeResponse{Added: added, Replaced: replaced, Skipped: skipped})
 }
 
 // handleMetrics serves the Prometheus text exposition of every stream's

@@ -145,13 +145,15 @@ type Manager struct {
 	stop    chan struct{} // closes the TTL sweeper
 	sweeper sync.WaitGroup
 
-	gActive    *obs.Gauge
-	cCreated   *obs.Counter
-	cRestored  *obs.Counter
-	cEvictTTL  *obs.Counter
-	cEvictLRU  *obs.Counter
-	cCkptSaves *obs.Counter
-	cCkptErrs  *obs.Counter
+	gActive       *obs.Gauge
+	cCreated      *obs.Counter
+	cRestored     *obs.Counter
+	cRestoreErrs  *obs.Counter
+	cEvictTTL     *obs.Counter
+	cEvictLRU     *obs.Counter
+	cCkptSaves    *obs.Counter
+	cCkptErrs     *obs.Counter
+	cCkptErrsProc *obs.Counter
 
 	ckptEvery int
 }
@@ -215,13 +217,18 @@ func NewManager(cfg Config) (*Manager, error) {
 		seed:   maphash.MakeSeed(),
 		stop:   make(chan struct{}),
 
-		gActive:    reg.Gauge("freeway_sessions_active", "Sessions currently resident."),
-		cCreated:   reg.Counter("freeway_sessions_created_total", "Sessions created (first use of a stream id)."),
-		cRestored:  reg.Counter("freeway_sessions_restored_total", "Sessions rehydrated from a checkpoint at creation."),
-		cEvictTTL:  reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "ttl"),
-		cEvictLRU:  reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "lru"),
-		cCkptSaves: reg.Counter("freeway_session_checkpoint_saves_total", "Session checkpoints written."),
-		cCkptErrs:  reg.Counter("freeway_session_checkpoint_errors_total", "Session checkpoint writes that failed."),
+		gActive:      reg.Gauge("freeway_sessions_active", "Sessions currently resident."),
+		cCreated:     reg.Counter("freeway_sessions_created_total", "Sessions created (first use of a stream id)."),
+		cRestored:    reg.Counter("freeway_sessions_restored_total", "Sessions rehydrated from a checkpoint at creation."),
+		cRestoreErrs: reg.Counter("freeway_sessions_restore_errors_total", "Checkpoint restores that failed (corrupt or mismatched envelope; the session started fresh instead)."),
+		cEvictTTL:    reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "ttl"),
+		cEvictLRU:    reg.Counter("freeway_sessions_evicted_total", "Sessions evicted, by reason.", "reason", "lru"),
+		cCkptSaves:   reg.Counter("freeway_session_checkpoint_saves_total", "Session checkpoints written."),
+		cCkptErrs:    reg.Counter("freeway_session_checkpoint_errors_total", "Session checkpoint writes that failed."),
+		// The canonical process-wide failure series: checkpoint-on-evict and
+		// checkpoint-on-migrate are best-effort, so this counter (plus the
+		// stream id in the log line) is how a quietly failing disk surfaces.
+		cCkptErrsProc: reg.Counter("freeway_checkpoint_errors_total", "Checkpoint writes that failed, process-wide."),
 
 		ckptEvery: cfg.CheckpointEvery,
 	}
@@ -256,6 +263,9 @@ func (m *Manager) SharedStore() *knowledge.Store { return m.shared }
 
 // NumShards returns the resolved lock-stripe count.
 func (m *Manager) NumShards() int { return len(m.shards) }
+
+// MaxSessions returns the resolved resident-session bound.
+func (m *Manager) MaxSessions() int { return m.cfg.MaxSessions }
 
 // shard maps a stream id to its lock stripe.
 func (m *Manager) shard(id string) *shard {
@@ -370,7 +380,10 @@ func (m *Manager) newSession(id string) (*Session, error) {
 		default:
 			// A corrupt or mismatched checkpoint degrades to a fresh
 			// session (the failed load left the learner untouched) rather
-			// than making the stream id unusable.
+			// than making the stream id unusable. The CRC envelope is what
+			// catches a torn file here — the failover path depends on a bad
+			// checkpoint being skipped, never half-loaded.
+			m.cRestoreErrs.Inc()
 			log.Printf("session %q: checkpoint restore from %s failed, starting fresh: %v", id, path, err)
 		}
 	}
@@ -531,7 +544,17 @@ func (m *Manager) Len() int { return int(m.count.Load()) }
 
 // Evict removes the session for id right now (checkpointing it), as if its
 // TTL had expired. Reports whether the id was resident.
-func (m *Manager) Evict(id string) (bool, error) {
+func (m *Manager) Evict(id string) (bool, error) { return m.remove(id, true) }
+
+// Discard removes the session for id without writing a final checkpoint.
+// This is the distributed tier's stale-flush: a rejoined worker may still
+// hold a session whose stream was served elsewhere while the worker was out
+// of the ring, so its in-memory state is behind the checkpoint on disk —
+// persisting it would clobber the fresh one. Reports whether the id was
+// resident.
+func (m *Manager) Discard(id string) (bool, error) { return m.remove(id, false) }
+
+func (m *Manager) remove(id string, checkpoint bool) (bool, error) {
 	if !idPattern.MatchString(id) {
 		return false, nil
 	}
@@ -546,7 +569,7 @@ func (m *Manager) Evict(id string) (bool, error) {
 	n := m.count.Add(-1)
 	m.cEvictTTL.Inc()
 	m.gActive.Set(float64(n))
-	err := s.teardown(true)
+	err := s.teardown(checkpoint)
 	sh.mu.Unlock()
 	return true, err
 }
@@ -606,6 +629,7 @@ type AggregateStats struct {
 	Active           int   `json:"active"`
 	Created          int64 `json:"created"`
 	Restored         int64 `json:"restored"`
+	RestoreErrors    int64 `json:"restore_errors"`
 	EvictedTTL       int64 `json:"evicted_ttl"`
 	EvictedLRU       int64 `json:"evicted_lru"`
 	CheckpointSaves  int64 `json:"checkpoint_saves"`
@@ -619,6 +643,7 @@ func (m *Manager) Aggregate() AggregateStats {
 		Active:           int(m.count.Load()),
 		Created:          m.cCreated.Value(),
 		Restored:         m.cRestored.Value(),
+		RestoreErrors:    m.cRestoreErrs.Value(),
 		EvictedTTL:       m.cEvictTTL.Value(),
 		EvictedLRU:       m.cEvictLRU.Value(),
 		CheckpointSaves:  m.cCkptSaves.Value(),

@@ -1,0 +1,100 @@
+package session
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"freewayml/internal/faults"
+)
+
+// TestRestoreSkipsCorruptCheckpointAlongsideHealthyOne: a checkpoint
+// directory holding one healthy and one corrupt <id>.ckpt must restore the
+// healthy stream and start the corrupt one fresh — the CRC envelope
+// rejects the torn file, the failure is counted, and serving continues.
+func TestRestoreSkipsCorruptCheckpointAlongsideHealthyOne(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+
+	// First lifetime: two streams, checkpointed on eviction.
+	m1 := testManager(t, func(c *Config) { c.CheckpointDir = dir })
+	feed(t, m1, "healthy", rng, 6)
+	feed(t, m1, "corrupt", rng, 6)
+	for _, id := range []string{"healthy", "corrupt"} {
+		if ok, err := m1.Evict(id); !ok || err != nil {
+			t.Fatalf("evict %s: ok=%v err=%v", id, ok, err)
+		}
+	}
+
+	// Flip one bit in the middle of corrupt's envelope — a torn or
+	// bit-rotted file, exactly what the CRC exists to catch.
+	path := filepath.Join(dir, "corrupt.ckpt")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, faults.FlipBit(data, len(data)*8/2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second lifetime over the same directory.
+	m2 := testManager(t, func(c *Config) { c.CheckpointDir = dir })
+	h, err := m2.Ensure("healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Restored() || h.Snapshot().Batches != 6 {
+		t.Errorf("healthy stream: restored=%v batches=%d, want true/6",
+			h.Restored(), h.Snapshot().Batches)
+	}
+	c, err := m2.Ensure("corrupt")
+	if err != nil {
+		t.Fatalf("corrupt checkpoint must degrade to a fresh session, got %v", err)
+	}
+	if c.Restored() || c.Snapshot().Batches != 0 {
+		t.Errorf("corrupt stream: restored=%v batches=%d, want false/0 (fresh)",
+			c.Restored(), c.Snapshot().Batches)
+	}
+	agg := m2.Aggregate()
+	if agg.RestoreErrors != 1 {
+		t.Errorf("restore_errors = %d, want 1", agg.RestoreErrors)
+	}
+	if agg.Restored != 1 {
+		t.Errorf("restored = %d, want 1", agg.Restored)
+	}
+
+	// The fresh session keeps serving and checkpointing normally.
+	feed(t, m2, "corrupt", rng, 2)
+	if got := c.Snapshot().Batches; got != 2 {
+		t.Errorf("fresh session batches = %d, want 2", got)
+	}
+}
+
+// TestDiscardSkipsFinalCheckpoint: Discard must remove the session without
+// writing a checkpoint, while Evict writes one.
+func TestDiscardSkipsFinalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// CheckpointEvery stays 0: checkpoints happen only on eviction or
+	// shutdown, so file existence tells which teardown path ran.
+	m := testManager(t, func(c *Config) { c.CheckpointDir = dir })
+	rng := rand.New(rand.NewSource(6))
+	feed(t, m, "kept", rng, 3)
+	feed(t, m, "dropped", rng, 3)
+
+	if ok, err := m.Evict("kept"); !ok || err != nil {
+		t.Fatalf("evict: ok=%v err=%v", ok, err)
+	}
+	if ok, err := m.Discard("dropped"); !ok || err != nil {
+		t.Fatalf("discard: ok=%v err=%v", ok, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "kept.ckpt")); err != nil {
+		t.Errorf("evicted stream has no checkpoint: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "dropped.ckpt")); !os.IsNotExist(err) {
+		t.Errorf("discarded stream wrote a checkpoint (err=%v), want none", err)
+	}
+	if ok, _ := m.Discard("dropped"); ok {
+		t.Error("second discard reported a resident session")
+	}
+}

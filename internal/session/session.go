@@ -91,6 +91,7 @@ func (s *Session) checkpointLocked() {
 	if err := s.learner.SaveCheckpointFile(path); err != nil {
 		s.ckptErrs.Add(1)
 		s.mgr.cCkptErrs.Inc()
+		s.mgr.cCkptErrsProc.Inc()
 		log.Printf("session %q: checkpoint to %s failed: %v", s.id, path, err)
 		return
 	}
