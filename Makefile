@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-serve loadgen-smoke obs-smoke cluster-smoke clean
+.PHONY: all build test vet race check bench bench-serve bench-ingest loadgen-smoke obs-smoke cluster-smoke clean
 
 all: check
 
@@ -30,6 +30,14 @@ bench:
 # on a >= 4-CPU host, wins by less than 3x on the churn workload).
 bench-serve:
 	bash scripts/bench_serve.sh
+
+# Ingest gate: wire decode microbenchmarks (binary vs JSON, with the
+# zero-alloc warm-decode gate) plus three closed-loop loadgen runs (JSON,
+# per-request binary, coalesced binary); refreshes BENCH_PR7.json and fails
+# if a warm binary decode allocates or coalesced ingest misses its
+# host-adaptive throughput gate (>= 3x JSON on >= 4 CPUs, else >= 0.85x).
+bench-ingest:
+	bash scripts/bench_ingest.sh
 
 # Short closed-loop load smoke: boots freeway-serve, drives 2 streams for
 # ~2s, and fails on any request error.

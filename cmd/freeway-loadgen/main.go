@@ -21,6 +21,11 @@
 // Each request POSTs one labeled batch to /v1/streams/{id}/process, cycling
 // round-robin over -streams synthetic streams (two separable Gaussian
 // classes per stream, shifted per stream so streams are not identical).
+// -proto binary switches the payload to the length-prefixed wire frame
+// (-dtype picks f64 or f32 features); -coalesce boots the server with batch
+// coalescing — to actually exercise fusion, run with -concurrency greater
+// than -streams so several workers hit the same stream at once (e.g.
+// -streams 4 -concurrency 16).
 // Latency lands in an internal/obs histogram; the summary prints
 // throughput, error count, and p50/p95/p99, and -out writes the same as
 // JSON for scripts/bench_serve.sh to fold into BENCH_PR5.json. Exit status
@@ -59,7 +64,9 @@ import (
 	"time"
 
 	"freewayml/internal/obs"
+	"freewayml/internal/serve"
 	"freewayml/internal/stream"
+	"freewayml/internal/wire"
 )
 
 func main() {
@@ -77,6 +84,11 @@ func main() {
 		rate     = flag.Float64("rate", 200, "open mode: total request arrivals per second")
 		seed     = flag.Int64("seed", 1, "random seed for synthetic batches")
 		out      = flag.String("out", "", "write the JSON summary to this file ('-' for stdout)")
+		proto    = flag.String("proto", "json", "request encoding: json | binary (the length-prefixed wire frame)")
+		dtype    = flag.String("dtype", "f64", "binary proto feature payload: f64 | f32")
+		coalesce = flag.Bool("coalesce", false, "boot the server with batch coalescing (ignored with -addr)")
+		coalWin  = flag.Duration("coalesce-window", 0, "booted server's coalescing gather window")
+		coalRows = flag.Int("coalesce-max-rows", 0, "booted server's fused-pass row bound")
 
 		cluster      = flag.Int("cluster", 0, "boot a freeway-router plus this many workers and load the router (0 keeps single-server mode)")
 		routerBin    = flag.String("router", "bin/freeway-router", "freeway-router binary for -cluster mode")
@@ -89,6 +101,8 @@ func main() {
 		addr: *addr, serveBin: *serveBin, streams: *streams, conc: *conc,
 		batch: *batch, dim: *dim, classes: *classes, model: *model,
 		duration: *duration, mode: *mode, rate: *rate, seed: *seed, out: *out,
+		proto: *proto, dtype: *dtype,
+		coalesce: *coalesce, coalWindow: *coalWin, coalRows: *coalRows,
 		cluster: *cluster, routerBin: *routerBin,
 		killAfter: *killAfter, restartAfter: *restartAfter, ckptEvery: *ckptEvery,
 	}
@@ -105,6 +119,12 @@ type config struct {
 	duration                         time.Duration
 	rate                             float64
 	seed                             int64
+
+	proto, dtype string
+	wireDtype    byte
+	coalesce     bool
+	coalWindow   time.Duration
+	coalRows     int
 
 	cluster                 int
 	routerBin               string
@@ -128,6 +148,12 @@ type summary struct {
 	P95Ms         float64 `json:"p95_ms"`
 	P99Ms         float64 `json:"p99_ms"`
 
+	// Ingest-path descriptors (omitted in the default JSON configuration, so
+	// the summary stays byte-compatible with earlier consumers).
+	Proto    string `json:"proto,omitempty"`
+	Dtype    string `json:"dtype,omitempty"`
+	Coalesce bool   `json:"coalesce,omitempty"`
+
 	// Cluster-mode failure-injection report. error_rate is the error
 	// budget actually consumed; recovery_s is how long after the kill the
 	// last client-visible error landed (0 = the router's retry budget
@@ -144,6 +170,19 @@ func run(cfg config) error {
 	case "closed", "open":
 	default:
 		return fmt.Errorf("unknown -mode %q (want closed or open)", cfg.mode)
+	}
+	switch cfg.proto {
+	case "json", "binary":
+	default:
+		return fmt.Errorf("unknown -proto %q (want json or binary)", cfg.proto)
+	}
+	switch cfg.dtype {
+	case "f64":
+		cfg.wireDtype = wire.Float64
+	case "f32":
+		cfg.wireDtype = wire.Float32
+	default:
+		return fmt.Errorf("unknown -dtype %q (want f64 or f32)", cfg.dtype)
 	}
 	if cfg.streams < 1 || cfg.conc < 1 || cfg.batch < 1 || cfg.dim < 1 {
 		return fmt.Errorf("-streams, -concurrency, -batch, and -dim must all be >= 1")
@@ -247,6 +286,7 @@ func run(cfg config) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.seed + int64(w)))
 			buf := &bytes.Buffer{}
+			var bin []byte
 			for i := 0; ; i++ {
 				var intended time.Time
 				if cfg.mode == "open" {
@@ -262,7 +302,7 @@ func run(cfg config) error {
 					intended = time.Now()
 				}
 				sid := (w + i*cfg.conc) % cfg.streams
-				err := postBatch(client, base, sid, cfg, rng, &pool, buf)
+				err := postBatch(client, base, sid, cfg, rng, &pool, buf, &bin)
 				lat.Observe(time.Since(intended).Seconds())
 				requests.Add(1)
 				if err != nil {
@@ -301,6 +341,10 @@ func run(cfg config) error {
 		P50Ms:         lat.Quantile(0.50) * 1e3,
 		P95Ms:         lat.Quantile(0.95) * 1e3,
 		P99Ms:         lat.Quantile(0.99) * 1e3,
+		Coalesce:      cfg.coalesce,
+	}
+	if cfg.proto != "json" {
+		s.Proto, s.Dtype = cfg.proto, cfg.dtype
 	}
 	if s.Requests > 0 {
 		s.ErrorRate = float64(s.Errors) / float64(s.Requests)
@@ -345,11 +389,12 @@ func run(cfg config) error {
 }
 
 // postBatch builds one synthetic labeled batch through the pool, encodes it
-// into the reused buffer, and POSTs it to the stream's process endpoint.
-// The pooled batch is released before return — the JSON encoding is the
-// copy that leaves the function, so recycling is safe (see stream.BatchPool
-// on why the *server* side must not pool these).
-func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer) error {
+// into the reused buffer (JSON) or scratch slice (binary wire frame), and
+// POSTs it to the stream's process endpoint. The pooled batch is released
+// before return — the encoding is the copy that leaves the function, so
+// recycling is safe (see stream.BatchPool on why the *server* side must not
+// pool these).
+func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer, bin *[]byte) error {
 	b := pool.Get(cfg.batch, cfg.dim)
 	defer b.Release()
 	// Per-stream class centers: streams differ so cross-stream isolation
@@ -364,15 +409,28 @@ func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.
 		}
 		b.Y[i] = c
 	}
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(struct {
-		X [][]float64 `json:"x"`
-		Y []int       `json:"y"`
-	}{b.Rows, b.Y}); err != nil {
-		return err
+	var payload []byte
+	contentType := "application/json"
+	if cfg.proto == "binary" {
+		frame, err := wire.AppendFrame((*bin)[:0], "", cfg.wireDtype, b.Rows, b.Y)
+		if err != nil {
+			return err
+		}
+		*bin = frame
+		payload = frame
+		contentType = serve.BinaryContentType
+	} else {
+		buf.Reset()
+		if err := json.NewEncoder(buf).Encode(struct {
+			X [][]float64 `json:"x"`
+			Y []int       `json:"y"`
+		}{b.Rows, b.Y}); err != nil {
+			return err
+		}
+		payload = buf.Bytes()
 	}
 	url := fmt.Sprintf("%s/v1/streams/ld%03d/process", base, sid)
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf.Bytes()))
+	resp, err := client.Post(url, contentType, bytes.NewReader(payload))
 	if err != nil {
 		return err
 	}
@@ -486,13 +544,23 @@ func (p *proc) stop() {
 // bootServer starts freeway-serve on an ephemeral port and returns the
 // announced address plus a stop function that SIGTERMs and reaps it.
 func bootServer(cfg config) (string, func(), error) {
-	p, err := startProc(cfg.serveBin,
+	args := []string{
 		"-addr", "127.0.0.1:0",
 		"-dim", fmt.Sprint(cfg.dim),
 		"-classes", fmt.Sprint(cfg.classes),
 		"-model", cfg.model,
 		"-seed", fmt.Sprint(cfg.seed),
-	)
+	}
+	if cfg.coalesce {
+		args = append(args, "-coalesce")
+		if cfg.coalWindow > 0 {
+			args = append(args, "-coalesce-window", cfg.coalWindow.String())
+		}
+		if cfg.coalRows > 0 {
+			args = append(args, "-coalesce-max-rows", fmt.Sprint(cfg.coalRows))
+		}
+	}
+	p, err := startProc(cfg.serveBin, args...)
 	if err != nil {
 		return "", nil, err
 	}

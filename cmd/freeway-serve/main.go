@@ -21,6 +21,13 @@
 // periodic snapshots of the default stream that are restored automatically
 // on restart.
 //
+// High-throughput ingest: POSTing with Content-Type
+// application/x-freeway-batch sends the length-prefixed binary frame format
+// (internal/wire) instead of JSON, and -binary opens a second listener for
+// persistent binary connections. -coalesce fuses concurrently arriving
+// batches per stream into single compute passes (-coalesce-window,
+// -coalesce-max-rows tune the gathering policy).
+//
 // Observability: /v1/metrics serves Prometheus text exposition, /v1/trace
 // serves the per-batch decision trace as JSONL (ring capacity set by
 // -trace-cap), and -pprof mounts net/http/pprof under /debug/pprof/. The
@@ -65,12 +72,17 @@ func main() {
 		warmup    = flag.Int("warmup", 0, "override the shift detector's warmup points (0 keeps the default)")
 		traceCap  = flag.Int("trace-cap", 0, "decision-trace ring capacity for /v1/trace (0 keeps the default of 1024)")
 		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		binAddr   = flag.String("binary", "", "also listen for persistent binary-frame connections on this address (empty disables; port 0 picks an ephemeral port)")
+		coalesce  = flag.Bool("coalesce", false, "fuse concurrently arriving batches per stream into single compute passes")
+		coalWin   = flag.Duration("coalesce-window", 0, "extra gathering delay per fused pass (0 = pure group commit, no added idle latency)")
+		coalRows  = flag.Int("coalesce-max-rows", 0, "row bound per fused pass (0 = unbounded)")
 	)
 	flag.Parse()
 	opts := serveOptions{
 		maxBody: *maxBody, ckptPath: *ckptPath, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 		maxSessions: *maxSess, sessionTTL: *sessTTL, sharedKnowledge: *sharedKdg,
 		shards: *shards, warmup: *warmup, traceCap: *traceCap, pprof: *pprofOn,
+		binAddr: *binAddr, coalesce: *coalesce, coalWindow: *coalWin, coalMaxRows: *coalRows,
 	}
 	if err := run(*addr, *dim, *classes, *family, *seed, *guardPol, opts); err != nil {
 		log.Fatal(err)
@@ -90,6 +102,10 @@ type serveOptions struct {
 	warmup          int
 	traceCap        int
 	pprof           bool
+	binAddr         string
+	coalesce        bool
+	coalWindow      time.Duration
+	coalMaxRows     int
 }
 
 func run(addr string, dim, classes int, family string, seed int64, guardPol string, o serveOptions) error {
@@ -123,6 +139,9 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 	}
 	if o.sharedKnowledge {
 		opts = append(opts, serve.WithSharedKnowledge())
+	}
+	if o.coalesce {
+		opts = append(opts, serve.WithCoalescing(o.coalWindow, o.coalMaxRows))
 	}
 	srv, err := serve.New(cfg, dim, classes, opts...)
 	if err != nil {
@@ -163,6 +182,20 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 	defer stop()
 
 	errCh := make(chan error, 1)
+	if o.binAddr != "" {
+		binLn, err := net.Listen("tcp", o.binAddr)
+		if err != nil {
+			srv.Close()
+			ln.Close()
+			return err
+		}
+		go func() {
+			fmt.Printf("freeway-serve: binary listening on %s\n", binLn.Addr())
+			if err := srv.ServeBinary(binLn); err != nil {
+				errCh <- fmt.Errorf("binary listener: %w", err)
+			}
+		}()
+	}
 	go func() {
 		fmt.Printf("freeway-serve: %s model, %d features, %d classes, listening on %s\n",
 			family, dim, classes, ln.Addr())

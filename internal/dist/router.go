@@ -340,7 +340,7 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
 			continue
 		}
 		resp, err := r.do(req.Context(), r.cfg.RequestTimeout, owner, req.Method,
-			req.URL.RequestURI(), req.Header.Get("Content-Type"), body)
+			req.URL.RequestURI(), req.Header, body)
 		if err != nil {
 			lastErr = fmt.Errorf("worker %s: %w", owner, err)
 			r.noteFailure(owner)
@@ -361,17 +361,43 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
 		fmt.Sprintf("stream %q: all %d attempts failed: %v", id, r.cfg.Retries+1, lastErr))
 }
 
-// do performs one HTTP round trip to a worker with its own deadline.
-// The response body is the caller's to close.
-func (r *Router) do(parent context.Context, timeout time.Duration, worker, method, uri, contentType string, body []byte) (*http.Response, error) {
+// hopByHop lists the RFC 9110 connection-scoped headers a proxy must not
+// forward; everything else passes through in both directions, so opaque
+// payloads (the binary batch format, future content types) route untouched.
+var hopByHop = map[string]struct{}{
+	"Connection": {}, "Keep-Alive": {}, "Proxy-Authenticate": {},
+	"Proxy-Authorization": {}, "Te": {}, "Trailer": {},
+	"Transfer-Encoding": {}, "Upgrade": {},
+}
+
+// jsonHeader is the header set of the router's own JSON control calls.
+var jsonHeader = http.Header{"Content-Type": []string{"application/json"}}
+
+// copyHeaders copies every non-hop-by-hop header from src into dst,
+// preserving multi-valued headers.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if _, skip := hopByHop[http.CanonicalHeaderKey(k)]; skip {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// do performs one HTTP round trip to a worker with its own deadline,
+// forwarding hdr (nil for the router's own control calls) minus the
+// hop-by-hop set. The response body is the caller's to close.
+func (r *Router) do(parent context.Context, timeout time.Duration, worker, method, uri string, hdr http.Header, body []byte) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(parent, timeout)
 	req, err := http.NewRequestWithContext(ctx, method, "http://"+worker+uri, bytes.NewReader(body))
 	if err != nil {
 		cancel()
 		return nil, err
 	}
-	if contentType != "" {
-		req.Header.Set("Content-Type", contentType)
+	if hdr != nil {
+		copyHeaders(req.Header, hdr)
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
@@ -395,12 +421,11 @@ func (b *cancelBody) Close() error {
 	return err
 }
 
-// relay copies a worker response to the client.
+// relay copies a worker response to the client: status, every
+// non-hop-by-hop header, and the body byte-for-byte.
 func relay(w http.ResponseWriter, resp *http.Response) {
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); ct != "" {
-		w.Header().Set("Content-Type", ct)
-	}
+	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		log.Printf("dist: relay body: %v", err)
@@ -535,7 +560,7 @@ func (r *Router) evictStream(addr, id string, checkpoint bool) bool {
 	if !checkpoint {
 		uri += "?checkpoint=false"
 	}
-	resp, err := r.do(context.Background(), r.cfg.ProbeTimeout, addr, http.MethodPost, uri, "", nil)
+	resp, err := r.do(context.Background(), r.cfg.ProbeTimeout, addr, http.MethodPost, uri, nil, nil)
 	if err != nil {
 		return false
 	}
@@ -561,7 +586,7 @@ func (r *Router) ProbeOnce() {
 
 	for _, addr := range addrs {
 		resp, err := r.do(context.Background(), r.cfg.ProbeTimeout, addr,
-			http.MethodGet, "/v1/healthz", "", nil)
+			http.MethodGet, "/v1/healthz", nil, nil)
 		healthy := false
 		if err == nil {
 			io.Copy(io.Discard, resp.Body)
@@ -627,7 +652,7 @@ func (r *Router) noteProbeOK(addr string) {
 // without a shared store answers 409 and the sync is skipped.
 func (r *Router) antiEntropy(from, to string) {
 	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, from,
-		http.MethodGet, "/v1/knowledge", "", nil)
+		http.MethodGet, "/v1/knowledge", nil, nil)
 	if err != nil {
 		r.cSyncFail.Inc()
 		log.Printf("dist: anti-entropy export from %s: %v", from, err)
@@ -642,7 +667,7 @@ func (r *Router) antiEntropy(from, to string) {
 		return
 	}
 	resp, err = r.do(context.Background(), r.cfg.RequestTimeout, to,
-		http.MethodPost, "/v1/knowledge/merge", "application/json", body)
+		http.MethodPost, "/v1/knowledge/merge", jsonHeader, body)
 	if err != nil {
 		r.cSyncFail.Inc()
 		log.Printf("dist: anti-entropy merge into %s: %v", to, err)
@@ -751,7 +776,7 @@ func (r *Router) handleStreams(w http.ResponseWriter, req *http.Request) {
 	}{Streams: []json.RawMessage{}, Sessions: map[string]int64{}}
 	for _, addr := range members {
 		resp, err := r.do(req.Context(), r.cfg.ProbeTimeout, addr,
-			http.MethodGet, "/v1/streams", "", nil)
+			http.MethodGet, "/v1/streams", nil, nil)
 		if err != nil {
 			continue
 		}

@@ -1,8 +1,11 @@
 package dist
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -357,5 +360,69 @@ func TestRouterConcurrentForwardsDuringChurn(t *testing.T) {
 	wg.Wait()
 	if n := failures.Load(); n != 0 {
 		t.Errorf("%d client-visible failures during churn, want 0", n)
+	}
+}
+
+// TestRouterOpaqueBinaryPassThrough: the router is payload-agnostic — an
+// arbitrary Content-Type and body forward to the worker byte-for-byte, the
+// worker's response body and headers relay back byte-for-byte, and
+// hop-by-hop headers are stripped in both directions.
+func TestRouterOpaqueBinaryPassThrough(t *testing.T) {
+	reqBody := make([]byte, 4096)
+	respBody := make([]byte, 2048)
+	rng := rand.New(rand.NewSource(7))
+	rng.Read(reqBody)
+	rng.Read(respBody)
+
+	const binCT = "application/x-freeway-batch"
+	var workerErr atomic.Value
+	fw := newFakeWorker(t)
+	fw.handler = func(w http.ResponseWriter, r *http.Request) bool {
+		if !strings.HasSuffix(r.URL.Path, "/process") {
+			return false
+		}
+		got, _ := io.ReadAll(r.Body)
+		switch {
+		case !bytes.Equal(got, reqBody):
+			workerErr.Store(fmt.Sprintf("body mangled: %d bytes, want %d", len(got), len(reqBody)))
+		case r.Header.Get("Content-Type") != binCT:
+			workerErr.Store(fmt.Sprintf("content-type %q", r.Header.Get("Content-Type")))
+		case r.Header.Get("X-Freeway-Test") != "carried":
+			workerErr.Store(fmt.Sprintf("custom header %q", r.Header.Get("X-Freeway-Test")))
+		case r.Header.Get("Proxy-Authorization") != "":
+			workerErr.Store("hop-by-hop request header forwarded")
+		}
+		w.Header().Set("Content-Type", "application/x-freeway-reply")
+		w.Header().Set("X-Freeway-Worker", "w1")
+		w.Header().Set("Keep-Alive", "timeout=5")
+		w.Write(respBody)
+		return true
+	}
+	rt := testRouter(t, nil, fw)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/streams/bin/process", bytes.NewReader(reqBody))
+	req.Header.Set("Content-Type", binCT)
+	req.Header.Set("X-Freeway-Test", "carried")
+	req.Header.Set("Proxy-Authorization", "secret")
+	rt.ServeHTTP(rec, req)
+
+	if msg, _ := workerErr.Load().(string); msg != "" {
+		t.Fatalf("worker saw mangled request: %s", msg)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !bytes.Equal(rec.Body.Bytes(), respBody) {
+		t.Errorf("response body mangled: %d bytes, want %d", rec.Body.Len(), len(respBody))
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-freeway-reply" {
+		t.Errorf("response content-type %q not propagated", ct)
+	}
+	if v := rec.Header().Get("X-Freeway-Worker"); v != "w1" {
+		t.Errorf("response header not relayed (got %q)", v)
+	}
+	if rec.Header().Get("Keep-Alive") != "" {
+		t.Error("hop-by-hop response header relayed to the client")
 	}
 }

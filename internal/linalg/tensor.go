@@ -87,6 +87,34 @@ func (t *Tensor) FromRows(rows [][]float64, cols int) {
 	}
 }
 
+// maxPooledTensorElems keeps one-off giant batches from pinning memory in a
+// TensorPool forever (8 MiB of float64s).
+const maxPooledTensorElems = 1 << 20
+
+// TensorPool recycles tensor slabs across batches. It is the acquisition
+// point for fused-batch staging: Get returns a tensor reshaped to the
+// requested shape (contents unspecified), reusing a recycled slab when one
+// fits. Callers must not Put a tensor whose rows a consumer still retains —
+// the learner keeps labeled rows in its windows, so serve-side batch storage
+// is only poolable on paths that pack-copy rows out first (the coalescer).
+type TensorPool struct {
+	pool sync.Pool
+}
+
+// Get returns a rows×cols tensor with unspecified contents.
+func (p *TensorPool) Get(rows, cols int) *Tensor {
+	t, _ := p.pool.Get().(*Tensor)
+	return EnsureTensor(t, rows, cols)
+}
+
+// Put recycles t for a later Get. Nil and oversized tensors are dropped.
+func (p *TensorPool) Put(t *Tensor) {
+	if t == nil || cap(t.Data) > maxPooledTensorElems {
+		return
+	}
+	p.pool.Put(t)
+}
+
 // ToRows returns the tensor as fresh [][]float64 rows. The row headers share
 // one backing allocation, so the conversion costs two allocations regardless
 // of batch size.

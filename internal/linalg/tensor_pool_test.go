@@ -1,0 +1,38 @@
+package linalg
+
+import "testing"
+
+// TestFromRowsWarmAllocs pins that restaging a batch of the same shape into a
+// reused tensor is allocation-free — the property the binary ingest path's
+// zero-alloc guarantee rests on.
+func TestFromRowsWarmAllocs(t *testing.T) {
+	const rows, cols = 16, 8
+	flat := make([]float64, rows*cols)
+	views := make([][]float64, rows)
+	for i := range views {
+		views[i] = flat[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+	var dst Tensor
+	dst.FromRows(views, cols)
+	allocs := testing.AllocsPerRun(100, func() { dst.FromRows(views, cols) })
+	if allocs != 0 {
+		t.Fatalf("warm FromRows allocates %.1f, want 0", allocs)
+	}
+}
+
+func TestTensorPool(t *testing.T) {
+	var p TensorPool
+	a := p.Get(4, 3)
+	if a.Rows != 4 || a.Cols != 3 || len(a.Data) != 12 {
+		t.Fatalf("Get shape %dx%d len %d", a.Rows, a.Cols, len(a.Data))
+	}
+	a.Data[0] = 42
+	p.Put(a)
+	b := p.Get(2, 3)
+	if b.Rows != 2 || b.Cols != 3 {
+		t.Fatalf("reused tensor shape %dx%d, want 2x3", b.Rows, b.Cols)
+	}
+	p.Put(nil) // must not panic
+	big := NewTensor(1, maxPooledTensorElems+1)
+	p.Put(big) // silently dropped
+}

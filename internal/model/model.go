@@ -9,6 +9,7 @@ import (
 	"errors"
 	"math/rand"
 
+	"freewayml/internal/linalg"
 	"freewayml/internal/nn"
 )
 
@@ -39,6 +40,17 @@ type Model interface {
 	// models (StreamingNB) return nil; callers needing gradients must
 	// check.
 	Net() *nn.Network
+}
+
+// TensorPredictor is the optional fused-batch fast path: models backed by a
+// network can consume a pre-packed row-major tensor (the batch coalescer's
+// fused slab, or a binary frame's slab) directly, skipping per-row staging.
+// Callers type-assert and fall back to Predict when the model (e.g. the
+// gradient-free baselines) does not implement it.
+type TensorPredictor interface {
+	// PredictTensorInto writes the argmax class of each row of x into dst,
+	// which must have exactly x.Rows elements.
+	PredictTensorInto(x *linalg.Tensor, dst []int) error
 }
 
 // Hyper collects the SGD hyperparameters shared by all model families.
@@ -84,6 +96,10 @@ func (m *netModel) PredictProba(x [][]float64) [][]float64 { return m.net.Predic
 func (m *netModel) InDim() int                             { return m.net.InDim() }
 func (m *netModel) NumClasses() int                        { return m.net.NumClasses() }
 func (m *netModel) Net() *nn.Network                       { return m.net }
+
+func (m *netModel) PredictTensorInto(x *linalg.Tensor, dst []int) error {
+	return m.net.PredictTensorInto(x, dst)
+}
 
 func (m *netModel) Fit(x [][]float64, y []int) (float64, error) {
 	return m.net.TrainBatch(x, y, m.opt)

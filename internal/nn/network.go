@@ -79,6 +79,41 @@ func (n *Network) Forward(x [][]float64) [][]float64 {
 	return n.forwardT(n.stage(x)).ToRows()
 }
 
+// ForwardTensor runs a pre-staged row-major batch through the network and
+// returns the logits. This is the fused-batch entry: the cross-stream
+// coalescer hands the whole packed slab here, so staging is one flat copy
+// into the network's scratch instead of a copy per row, and the batch goes
+// through the blocked GEMM kernels as a single pass. The returned tensor is
+// layer-owned scratch, valid until the next forward pass.
+func (n *Network) ForwardTensor(x *linalg.Tensor) (*linalg.Tensor, error) {
+	if x == nil || x.Rows == 0 {
+		return nil, fmt.Errorf("nn: empty batch")
+	}
+	if x.Cols != n.inDim {
+		return nil, fmt.Errorf("nn: batch width %d, network expects %d", x.Cols, n.inDim)
+	}
+	n.xBuf = linalg.EnsureTensor(n.xBuf, x.Rows, x.Cols)
+	n.xBuf.CopyFrom(x)
+	return n.forwardT(n.xBuf), nil
+}
+
+// PredictTensorInto writes the argmax class of each row of x into dst, which
+// must have exactly x.Rows elements. It is Predict for pre-fused batches:
+// no per-row staging, no result allocation.
+func (n *Network) PredictTensorInto(x *linalg.Tensor, dst []int) error {
+	logits, err := n.ForwardTensor(x)
+	if err != nil {
+		return err
+	}
+	if len(dst) != logits.Rows {
+		return fmt.Errorf("nn: dst has %d slots for %d rows", len(dst), logits.Rows)
+	}
+	for i := range dst {
+		dst[i] = Argmax(logits.Row(i))
+	}
+	return nil
+}
+
 // Predict returns the argmax class for each sample.
 func (n *Network) Predict(x [][]float64) []int {
 	logits := n.forwardT(n.stage(x))

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+// TestTensorEntryMatchesRows pins that the fused-batch entry (ForwardTensor /
+// PredictTensorInto) is bitwise identical to the row-slice API on the same
+// values — the property the JSON-vs-binary differential test inherits.
+func TestTensorEntryMatchesRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net, err := NewNetwork(4, 3, NewDense(4, 8, rng), NewReLU(), NewDense(8, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 9
+	x := make([][]float64, rows)
+	fused := linalg.NewTensor(rows, 4)
+	for i := range x {
+		x[i] = make([]float64, 4)
+		for j := range x[i] {
+			v := rng.NormFloat64()
+			x[i][j] = v
+			fused.Set(i, j, v)
+		}
+	}
+
+	wantLogits := net.Forward(x)
+	gotLogits, err := net.ForwardTensor(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotLogits.Rows != rows || gotLogits.Cols != 3 {
+		t.Fatalf("fused logits shape %dx%d", gotLogits.Rows, gotLogits.Cols)
+	}
+	for i := range wantLogits {
+		for j, w := range wantLogits[i] {
+			if gotLogits.At(i, j) != w {
+				t.Fatalf("logits[%d][%d] = %v, want %v", i, j, gotLogits.At(i, j), w)
+			}
+		}
+	}
+
+	wantPred := net.Predict(x)
+	gotPred := make([]int, rows)
+	if err := net.PredictTensorInto(fused, gotPred); err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantPred {
+		if gotPred[i] != wantPred[i] {
+			t.Fatalf("pred[%d] = %d, want %d", i, gotPred[i], wantPred[i])
+		}
+	}
+}
+
+func TestTensorEntryRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net, err := NewNetwork(3, 2, NewDense(3, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.ForwardTensor(nil); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+	if _, err := net.ForwardTensor(linalg.NewTensor(0, 3)); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := net.ForwardTensor(linalg.NewTensor(2, 5)); err == nil {
+		t.Fatal("wrong width accepted")
+	}
+	if err := net.PredictTensorInto(linalg.NewTensor(2, 3), make([]int, 1)); err == nil {
+		t.Fatal("short dst accepted")
+	}
+}
+
+// TestPredictTensorIntoWarmAllocs: the fused entry adds no staging or result
+// allocations of its own — warm, it allocates strictly less than the
+// row-slice Predict (which pays per-row staging plus the result slice). The
+// residual allocations both share come from layer-internal view headers.
+func TestPredictTensorIntoWarmAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, err := NewNetwork(6, 2, NewDense(6, 8, rng), NewReLU(), NewDense(8, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := linalg.NewTensor(16, 6)
+	rows := make([][]float64, 16)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	for i := range rows {
+		rows[i] = x.Row(i)
+	}
+	dst := make([]int, 16)
+	if err := net.PredictTensorInto(x, dst); err != nil {
+		t.Fatal(err)
+	}
+	net.Predict(rows)
+	fused := testing.AllocsPerRun(50, func() {
+		if err := net.PredictTensorInto(x, dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	rowAPI := testing.AllocsPerRun(50, func() { net.Predict(rows) })
+	if fused >= rowAPI {
+		t.Fatalf("fused predict allocates %.1f, row API %.1f — fused must be cheaper", fused, rowAPI)
+	}
+}

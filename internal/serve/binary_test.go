@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"freewayml/internal/wire"
+)
+
+// binFrame encodes one batch as a wire frame body for HTTP POSTing.
+func binFrame(t *testing.T, id string, dtype byte, req ProcessRequest) []byte {
+	t.Helper()
+	b, err := wire.AppendFrame(nil, id, dtype, req.X, req.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// postBinary POSTs a binary frame to /v1/process and decodes the response.
+func postBinary(t *testing.T, url string, frame []byte) (*http.Response, ProcessResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/process", BinaryContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ProcessResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp.Body.Close()
+	return resp, out
+}
+
+func TestBinaryProcessEndToEnd(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(11))
+	var last ProcessResponse
+	for i := 0; i < 20; i++ {
+		resp, out := postBinary(t, ts.URL, binFrame(t, "", wire.Float64, batchReq(rng, 32, true)))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if len(out.Predictions) != 32 {
+			t.Fatalf("predictions = %d", len(out.Predictions))
+		}
+		if out.Fused != 0 {
+			t.Fatalf("fused field present without coalescing: %d", out.Fused)
+		}
+		last = out
+	}
+	if last.Accuracy < 0.8 {
+		t.Errorf("service accuracy = %v", last.Accuracy)
+	}
+	stats := getStats(t, ts.URL)
+	if stats.Batches != 20 || stats.Samples != 640 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+// TestBinaryFrameAddressing: a frame may embed its stream id redundantly; a
+// mismatch with the URL is a 400, a match (or an empty embedded id) is fine.
+func TestBinaryFrameAddressing(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(12))
+	req := batchReq(rng, 4, true)
+	resp, _ := postBinary(t, ts.URL, binFrame(t, DefaultStream, wire.Float64, req))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("matching embedded id: status %d", resp.StatusCode)
+	}
+	resp, _ = postBinary(t, ts.URL, binFrame(t, "somewhere-else", wire.Float64, req))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched embedded id: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBinaryMalformedFrames feeds corrupted frames through the HTTP binary
+// path: every one must come back as the standard 400 JSON envelope — never a
+// panic, never a hung connection. (The exhaustive corruption matrix lives in
+// internal/wire; this verifies the serve-tier mapping.)
+func TestBinaryMalformedFrames(t *testing.T) {
+	_, ts := testServer(t)
+	rng := rand.New(rand.NewSource(13))
+	good := binFrame(t, "", wire.Float64, batchReq(rng, 4, true))
+
+	corrupt := func(mut func(b []byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mut(b)
+	}
+	cases := map[string][]byte{
+		"empty body":       {},
+		"truncated header": good[:10],
+		"bad magic":        corrupt(func(b []byte) []byte { b[0] = 'X'; return b }),
+		"bad version":      corrupt(func(b []byte) []byte { b[4] = 99; return b }),
+		"bad dtype":        corrupt(func(b []byte) []byte { b[5] = 7; return b }),
+		"row overflow": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 0xFFFFFFFF)
+			binary.LittleEndian.PutUint32(b[16:], 0xFFFFFFFF)
+			return b
+		}),
+		"truncated payload": good[:len(good)-3],
+		"trailing garbage":  append(append([]byte(nil), good...), 1, 2, 3),
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/v1/process", BinaryContentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var env errorEnvelope
+		decErr := json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+		if decErr != nil || env.Error.Code != http.StatusBadRequest || env.Error.Message == "" {
+			t.Errorf("%s: malformed error envelope (err=%v, env=%+v)", name, decErr, env)
+		}
+	}
+	// The server is still healthy after the abuse.
+	resp, _ := postBinary(t, ts.URL, good)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("post-abuse frame: status %d", resp.StatusCode)
+	}
+}
+
+// TestBinaryBodyCap: the binary path enforces the same body cap as JSON.
+func TestBinaryBodyCap(t *testing.T) {
+	_, ts := testServerOpts(t, WithMaxBodyBytes(1024))
+	rng := rand.New(rand.NewSource(14))
+	resp, _ := postBinary(t, ts.URL, binFrame(t, "", wire.Float64, batchReq(rng, 100, true)))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize frame: status %d, want 413", resp.StatusCode)
+	}
+	resp, _ = postBinary(t, ts.URL, binFrame(t, "", wire.Float64, batchReq(rng, 4, true)))
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("small frame after cap hit: status %d", resp.StatusCode)
+	}
+}
+
+// quantizeF32 rounds every feature to float32 precision, so the f32 wire
+// round-trip is lossless and the JSON path sees bit-identical values.
+func quantizeF32(req ProcessRequest) ProcessRequest {
+	for _, row := range req.X {
+		for j, v := range row {
+			row[j] = float64(float32(v))
+		}
+	}
+	return req
+}
+
+// traceLines fetches a stream's decision trace and strips the wall-time
+// fields (stage timings), which legitimately differ across runs.
+func traceLines(t *testing.T, url string) []map[string]any {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		delete(ev, "stages")
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func rawStats(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestJSONBinaryDifferential is the cross-format oracle: identical batch
+// sequences driven through the JSON path and the binary path (against two
+// fresh, identically seeded servers) must produce bitwise-identical
+// predictions, responses, stats, and decision traces (timings stripped).
+func TestJSONBinaryDifferential(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		dtype byte
+	}{
+		{"f64", wire.Float64},
+		{"f32", wire.Float32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, jsonTS := testServer(t)
+			_, binTS := testServer(t)
+			rng := rand.New(rand.NewSource(21))
+			for i := 0; i < 12; i++ {
+				req := batchReq(rng, 16, i%3 != 2) // mix labeled and inference batches
+				if tc.dtype == wire.Float32 {
+					req = quantizeF32(req)
+				}
+				jResp, jOut := postProcess(t, jsonTS.URL, req)
+				bResp, bOut := postBinary(t, binTS.URL, binFrame(t, "", tc.dtype, req))
+				if jResp.StatusCode != http.StatusOK || bResp.StatusCode != http.StatusOK {
+					t.Fatalf("batch %d: statuses json=%d binary=%d", i, jResp.StatusCode, bResp.StatusCode)
+				}
+				if !reflect.DeepEqual(jOut, bOut) {
+					t.Fatalf("batch %d: responses diverge:\njson:   %+v\nbinary: %+v", i, jOut, bOut)
+				}
+			}
+			jStats, bStats := rawStats(t, jsonTS.URL), rawStats(t, binTS.URL)
+			if !bytes.Equal(jStats, bStats) {
+				t.Errorf("stats diverge:\njson:   %s\nbinary: %s", jStats, bStats)
+			}
+			jTrace, bTrace := traceLines(t, jsonTS.URL), traceLines(t, binTS.URL)
+			if !reflect.DeepEqual(jTrace, bTrace) {
+				t.Errorf("decision traces diverge (%d vs %d events)", len(jTrace), len(bTrace))
+			}
+		})
+	}
+}
+
+// readPrefixed reads one uint32-length-prefixed JSON body off a binary
+// connection.
+func readPrefixed(t *testing.T, br *bufio.Reader) []byte {
+	t.Helper()
+	var pfx [4]byte
+	if _, err := io.ReadFull(br, pfx[:]); err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, binary.LittleEndian.Uint32(pfx[:]))
+	if _, err := io.ReadFull(br, body); err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestServeBinaryListener drives the persistent-connection tier: a sequence
+// of length-prefixed frames down one TCP connection, a length-prefixed JSON
+// response per frame, application errors answered without dropping the
+// connection, framing errors answered and then the connection closed.
+func TestServeBinaryListener(t *testing.T) {
+	s, _ := testServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.ServeBinary(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	rng := rand.New(rand.NewSource(31))
+
+	// Several frames over one connection, all answered in order.
+	for i := 0; i < 5; i++ {
+		req := batchReq(rng, 8, true)
+		frame, err := wire.AppendStreamFrame(nil, "tcp-stream", wire.Float64, req.X, req.Y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+		var out ProcessResponse
+		if err := json.Unmarshal(readPrefixed(t, br), &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Stream != "tcp-stream" || len(out.Predictions) != 8 {
+			t.Fatalf("frame %d: response %+v", i, out)
+		}
+	}
+
+	// A frame without an embedded id is an application error: answered with
+	// the envelope, connection stays usable.
+	req := batchReq(rng, 4, true)
+	frame, err := wire.AppendStreamFrame(nil, "", wire.Float64, req.X, req.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var env errorEnvelope
+	if err := json.Unmarshal(readPrefixed(t, br), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != http.StatusBadRequest {
+		t.Fatalf("missing id: envelope %+v", env)
+	}
+	frame, err = wire.AppendStreamFrame(nil, "tcp-stream", wire.Float64, req.X, req.Y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	var out ProcessResponse
+	if err := json.Unmarshal(readPrefixed(t, br), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Predictions) != 4 {
+		t.Fatalf("post-error frame: %+v", out)
+	}
+
+	// A framing error (corrupted magic inside the prefixed payload) is
+	// answered and then the connection closes: the byte stream cannot be
+	// resynchronized.
+	bad := append([]byte(nil), frame...)
+	bad[4] = 'X' // first magic byte, after the 4-byte length prefix
+	if _, err := conn.Write(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(readPrefixed(t, br), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Code != http.StatusBadRequest {
+		t.Fatalf("bad magic: envelope %+v", env)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection still open after framing error: %v", err)
+	}
+
+	// Closing the listener shuts ServeBinary down cleanly.
+	ln.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeBinary: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeBinary did not return after listener close")
+	}
+}
+
+// TestCoalescedServing: with coalescing enabled and a gathering window,
+// concurrent requests to one stream fuse into shared compute passes; every
+// caller still gets its own rows' predictions and its own accuracy, and the
+// response reports the fusion width.
+func TestCoalescedServing(t *testing.T) {
+	_, ts := testServerOpts(t, WithCoalescing(250*time.Millisecond, 0))
+	rng := rand.New(rand.NewSource(41))
+
+	const clients = 6
+	reqs := make([]ProcessRequest, clients)
+	for i := range reqs {
+		reqs[i] = batchReq(rng, 8, true)
+	}
+	outs := make([]ProcessResponse, clients)
+	codes := make([]int, clients)
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			start.Wait()
+			resp, out := postProcess(t, ts.URL, reqs[i])
+			codes[i], outs[i] = resp.StatusCode, out
+		}(i)
+	}
+	start.Done()
+	wg.Wait()
+
+	maxFused := 0
+	for i := 0; i < clients; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, codes[i])
+		}
+		if len(outs[i].Predictions) != 8 {
+			t.Fatalf("client %d: %d predictions", i, len(outs[i].Predictions))
+		}
+		if outs[i].Fused < 1 {
+			t.Errorf("client %d: fused = %d, want >= 1", i, outs[i].Fused)
+		}
+		if outs[i].Accuracy < 0 || outs[i].Accuracy > 1 {
+			t.Errorf("client %d: accuracy = %v", i, outs[i].Accuracy)
+		}
+		if outs[i].Fused > maxFused {
+			maxFused = outs[i].Fused
+		}
+	}
+	if maxFused < 2 {
+		t.Errorf("no fusion observed across %d concurrent clients (max fused = %d)", clients, maxFused)
+	}
+
+	// The fused passes fed every row to the learner exactly once.
+	stats := getStats(t, ts.URL)
+	if stats.Samples != clients*8 {
+		t.Errorf("samples = %d, want %d", stats.Samples, clients*8)
+	}
+
+	// Binary ingest rides the same coalescer.
+	resp, out := postBinary(t, ts.URL, binFrame(t, "", wire.Float64, batchReq(rng, 8, true)))
+	if resp.StatusCode != http.StatusOK || out.Fused != 1 {
+		t.Errorf("binary under coalescing: status %d, fused %d", resp.StatusCode, out.Fused)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -43,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"freewayml/internal/coalesce"
 	"freewayml/internal/core"
 	"freewayml/internal/guard"
 	"freewayml/internal/knowledge"
@@ -88,6 +90,10 @@ type ProcessResponse struct {
 	ShiftDistance float64 `json:"shift_distance"`
 	Severity      float64 `json:"severity"`
 	Accuracy      float64 `json:"accuracy"` // -1 for unlabeled batches
+	// Fused is the number of requests whose rows shared this batch's fused
+	// compute pass. Present only when coalescing is enabled (omitted
+	// otherwise, keeping the response byte-identical to earlier releases).
+	Fused int `json:"fused,omitempty"`
 }
 
 // StatsResponse summarizes one stream's prequential metrics and its
@@ -250,6 +256,37 @@ func WithTraceCap(n int) Option {
 	}
 }
 
+// WithCoalescing fuses concurrently arriving batches for the same stream
+// into group-committed compute passes (see internal/coalesce): when a
+// stream is idle its batch runs immediately; under concurrent load, batches
+// that arrive while a pass is in flight pack into one fused tensor and run
+// as a single blocked-GEMM pass. window adds an optional extra gathering
+// delay (0 = pure group commit, no idle latency); maxRows bounds the fused
+// batch (0 = unbounded). Applies to both the JSON and binary ingest paths;
+// responses gain the "fused" field.
+func WithCoalescing(window time.Duration, maxRows int) Option {
+	return func(s *Server) {
+		s.coalesceOn = true
+		if window > 0 {
+			s.coalWindow = window
+		}
+		if maxRows > 0 {
+			s.coalMaxRows = maxRows
+		}
+	}
+}
+
+// WithBinaryReadTimeout sets the per-frame read deadline of persistent
+// binary connections (d <= 0 keeps the 30s default) — the binary
+// equivalent of the HTTP server's ReadTimeout.
+func WithBinaryReadTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.binTimeout = d
+		}
+	}
+}
+
 // WithPprof mounts the net/http/pprof handlers under /debug/pprof/ —
 // opt-in because profiling endpoints expose internals and cost CPU when
 // scraped, so they have no place on an unaudited listener by default.
@@ -268,11 +305,23 @@ type Server struct {
 	scfg    session.Config
 	pprofOn bool
 
+	coalesceOn  bool
+	coalWindow  time.Duration
+	coalMaxRows int
+	coal        *coalesce.Coalescer
+
+	binTimeout time.Duration
+	binMu      sync.Mutex
+	binLns     map[net.Listener]struct{}
+	binConns   map[net.Conn]struct{}
+
 	reqs      atomic.Int64
 	rejects   atomic.Int64
 	bodyCap   atomic.Int64
 	cancelled atomic.Int64
 	cCancel   *obs.Counter
+	cBinFrames *obs.Counter
+	cBinGrew   *obs.Counter
 
 	closing   atomic.Bool
 	closeOnce sync.Once
@@ -288,10 +337,11 @@ type Server struct {
 // legacy single-stream clients and scrapers see its series immediately.
 func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	s := &Server{
-		dim:     dim,
-		classes: classes,
-		mux:     http.NewServeMux(),
-		maxBody: DefaultMaxBodyBytes,
+		dim:        dim,
+		classes:    classes,
+		mux:        http.NewServeMux(),
+		maxBody:    DefaultMaxBodyBytes,
+		binTimeout: DefaultBinaryReadTimeout,
 		scfg: session.Config{
 			Learner: cfg,
 			Dim:     dim,
@@ -310,17 +360,37 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 		mgr.Close()
 		return nil, err
 	}
+	if s.coalesceOn {
+		coal, err := coalesce.New(coalesce.Config{
+			Window:  s.coalWindow,
+			MaxRows: s.coalMaxRows,
+			Metrics: coalesce.NewMetrics(mgr.Registry()),
+			// The fused pass runs detached from any one member's request
+			// context: members that give up are answered 499, but their rows
+			// are already packed and the pass must complete for the rest.
+			Run: func(b coalesce.Batch) (any, error) {
+				return s.mgr.ProcessBatch(context.Background(), b.ID, stream.Batch{X: b.X, Y: b.Y})
+			},
+		})
+		if err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		s.coal = coal
+	}
 
 	s.routeCounters = map[string]*obs.Counter{}
 	for _, route := range []string{
 		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/health",
 		"/v1/readyz", "/v1/metrics", "/v1/streams", "/v1/knowledge", "/v1/knowledge/merge",
 		"/v1/streams/:id/process", "/v1/streams/:id/stats", "/v1/streams/:id/trace",
-		"/v1/streams/:id/evict", "/v1/streams/:id/other",
+		"/v1/streams/:id/evict", "/v1/streams/:id/other", "binary",
 	} {
 		s.routeCounters[route] = mgr.Registry().Counter("freeway_http_requests_total", "HTTP requests by route.", "path", route)
 	}
 	s.cCancel = mgr.Registry().Counter("freeway_http_cancelled_total", "Requests abandoned by the client (or a router retry) before the batch finished.")
+	s.cBinFrames = mgr.Registry().Counter("freeway_binary_frames_total", "Binary batch frames decoded.")
+	s.cBinGrew = mgr.Registry().Counter("freeway_binary_decode_allocs_total", "Binary frame decodes that had to grow storage (cold frame, or a batch larger than any before it on that slot).")
 
 	s.handle("/v1/process", func(w http.ResponseWriter, r *http.Request) { s.handleProcess(w, r, DefaultStream) })
 	s.handle("/v1/stats", func(w http.ResponseWriter, r *http.Request) { s.handleStats(w, r, DefaultStream) })
@@ -395,6 +465,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // session sweeper. Idempotent: the second and later calls return nil.
 func (s *Server) Close() error {
 	s.closing.Store(true) // readiness goes false before teardown starts
+	// Stop the binary tier first: closing the listeners unblocks ServeBinary,
+	// and closing live connections unblocks their per-frame reads, so no
+	// frame is half-processed against a closing manager.
+	s.binMu.Lock()
+	for ln := range s.binLns {
+		ln.Close()
+	}
+	for c := range s.binConns {
+		c.Close()
+	}
+	s.binMu.Unlock()
 	s.closeOnce.Do(func() { s.closeErr = s.mgr.Close() })
 	err := s.closeErr
 	s.closeErr = nil
@@ -440,6 +521,10 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, BinaryContentType) {
+		s.handleProcessBinary(w, r, id, body.Bytes())
+		return
+	}
 	var req ProcessRequest
 	dec := json.NewDecoder(bytes.NewReader(body.Bytes()))
 	dec.DisallowUnknownFields()
@@ -447,11 +532,11 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
-	if err := validate(req, s.dim, s.classes); err != nil {
+	if err := validateRows(req.X, req.Y, s.dim, s.classes); err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, status, err := s.process(r.Context(), id, req)
+	out, status, err := s.process(r.Context(), id, req.X, req.Y)
 	if err != nil {
 		s.writeError(w, status, err.Error())
 		return
@@ -459,44 +544,86 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 	s.writeJSON(w, out)
 }
 
-// process runs one decoded batch through the stream's session and maps
-// failures to an HTTP status: a bad stream id (404) and guard-rejected
-// input (422) are the client's problem, a closed server is 503, a request
-// the client abandoned mid-batch is 499 (counted, not an error of ours —
-// the learner observes ctx and stops training between model updates), and
-// any other Process failure is ours (500).
-func (s *Server) process(ctx context.Context, id string, req ProcessRequest) (ProcessResponse, int, error) {
-	res, err := s.mgr.Process(ctx, id, req.X, req.Y)
-	if err != nil {
-		status := http.StatusInternalServerError
-		switch {
-		case errors.Is(err, session.ErrBadID):
-			status = http.StatusNotFound
-		case errors.Is(err, session.ErrClosed):
-			status = http.StatusServiceUnavailable
-		case errors.Is(err, guard.ErrRejected):
-			status = http.StatusUnprocessableEntity
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			status = StatusClientClosedRequest
-			s.cancelled.Add(1)
-			s.cCancel.Inc()
-		}
-		return ProcessResponse{}, status, err
+// errStatus maps a processing failure to an HTTP status: a bad stream id
+// (404) and guard-rejected input (422) are the client's problem, a closed
+// server is 503, a request the client abandoned mid-batch is 499 (counted,
+// not an error of ours — the learner observes ctx and stops training
+// between model updates), and any other failure is ours (500).
+func (s *Server) errStatus(err error) int {
+	switch {
+	case errors.Is(err, session.ErrBadID):
+		return http.StatusNotFound
+	case errors.Is(err, session.ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, guard.ErrRejected):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+		s.cCancel.Inc()
+		return StatusClientClosedRequest
 	}
+	return http.StatusInternalServerError
+}
 
+// process runs one decoded batch through the stream's session — directly,
+// or through the coalescer when enabled — and maps failures via errStatus.
+// The rows are handed off without copying on the direct path (callers that
+// reuse decode storage must detach it first); the coalescer packs them into
+// group-owned storage before returning.
+func (s *Server) process(ctx context.Context, id string, x [][]float64, y []int) (ProcessResponse, int, error) {
+	if s.coal != nil {
+		return s.processCoalesced(ctx, id, x, y)
+	}
+	res, err := s.mgr.Process(ctx, id, x, y)
+	if err != nil {
+		return ProcessResponse{}, s.errStatus(err), err
+	}
+	return s.buildResponse(id, res, res.Pred, res.Accuracy, 0), http.StatusOK, nil
+}
+
+// processCoalesced submits the batch to the coalescer and scatters this
+// member's slice of the fused pass back out. The pattern, strategy, and
+// shift observation are group-level (one detector pass covered the fused
+// batch); predictions are this member's rows, and accuracy is recomputed
+// over them so each caller still sees its own batch scored.
+func (s *Server) processCoalesced(ctx context.Context, id string, x [][]float64, y []int) (ProcessResponse, int, error) {
+	sub, err := s.coal.Submit(ctx, id, x, y)
+	if err != nil {
+		return ProcessResponse{}, s.errStatus(err), err
+	}
+	res := sub.Out.(core.Result)
+	preds := res.Pred[sub.Lo:sub.Hi]
+	acc := -1.0
+	if y != nil {
+		correct := 0
+		for i, p := range preds {
+			if p == y[i] {
+				correct++
+			}
+		}
+		acc = float64(correct) / float64(len(preds))
+	}
+	return s.buildResponse(id, res, preds, acc, sub.Members), http.StatusOK, nil
+}
+
+// buildResponse shapes a learner result into the wire response. fused is 0
+// when coalescing is off (the field is then omitted from the JSON, keeping
+// the non-coalesced response byte-identical to earlier releases).
+func (s *Server) buildResponse(id string, res core.Result, preds []int, acc float64, fused int) ProcessResponse {
 	pattern := res.Pattern
 	if res.Pattern.IsSlight() {
 		pattern = res.SubPattern
 	}
 	return ProcessResponse{
 		Stream:        id,
-		Predictions:   res.Pred,
+		Predictions:   preds,
 		Pattern:       pattern.String(),
 		Strategy:      res.Strategy.String(),
 		ShiftDistance: res.Observation.Distance,
 		Severity:      res.Observation.Severity,
-		Accuracy:      res.Accuracy,
-	}, http.StatusOK, nil
+		Accuracy:      acc,
+		Fused:         fused,
+	}
 }
 
 // session resolves a stream id for the read-only endpoints: resident
@@ -824,8 +951,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	}
 }
 
-func validate(req ProcessRequest, dim, classes int) error {
-	b := stream.Batch{X: req.X, Y: req.Y}
+// validateRows applies the shared shape contract to a decoded batch — the
+// same check for both the JSON and binary ingest paths.
+func validateRows(x [][]float64, y []int, dim, classes int) error {
+	b := stream.Batch{X: x, Y: y}
 	return b.ValidateShape(dim, classes)
 }
 

@@ -40,6 +40,7 @@ import (
 	"freewayml/internal/core"
 	"freewayml/internal/knowledge"
 	"freewayml/internal/obs"
+	"freewayml/internal/stream"
 )
 
 // DefaultMaxSessions bounds resident sessions when Config.MaxSessions is 0.
@@ -479,12 +480,21 @@ func (m *Manager) evictLRU() bool {
 }
 
 // Process routes one batch to the session for id, creating it on first
-// use. Losing a race with an eviction retries against a fresh session —
-// callers never observe a closed-session error. Each retry re-checks
-// residency through the read-locked fast path first, so a stream that was
-// already recreated (or was never evicted — e.g. the victim was a different
-// session) does not pay the shard write lock again.
+// use. It is ProcessBatch for callers holding loose rows.
 func (m *Manager) Process(ctx context.Context, id string, x [][]float64, y []int) (core.Result, error) {
+	return m.ProcessBatch(ctx, id, stream.Batch{X: x, Y: y})
+}
+
+// ProcessBatch routes one batch to the session for id, creating it on first
+// use. The batch is handed to the learner without copying its rows (Seq is
+// assigned by the session), which is what lets the binary ingest path pass
+// decoded tensor storage — and the coalescer its fused slab — straight
+// through to the compute core. Losing a race with an eviction retries
+// against a fresh session — callers never observe a closed-session error.
+// Each retry re-checks residency through the read-locked fast path first,
+// so a stream that was already recreated (or was never evicted — e.g. the
+// victim was a different session) does not pay the shard write lock again.
+func (m *Manager) ProcessBatch(ctx context.Context, id string, b stream.Batch) (core.Result, error) {
 	for attempt := 0; attempt < maxProcessRetries; attempt++ {
 		s, ok := m.lookup(id)
 		if !ok {
@@ -499,7 +509,7 @@ func (m *Manager) Process(ctx context.Context, id string, x [][]float64, y []int
 		// starved caller could lose every retry. Touching here shrinks that
 		// window from scheduler latency to one victim-scan.
 		s.touch()
-		res, err := s.process(ctx, x, y)
+		res, err := s.process(ctx, b)
 		if errors.Is(err, errSessionClosed) {
 			if m.closed.Load() {
 				return core.Result{}, ErrClosed

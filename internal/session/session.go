@@ -61,17 +61,20 @@ func (s *Session) LastUsed() time.Time { return time.Unix(0, s.lastUsed.Load()) 
 // touch advances the idle clock.
 func (s *Session) touch() { s.lastUsed.Store(time.Now().UnixNano()) }
 
-// process runs one batch through the session's learner, assigning the
-// per-stream sequence number. Returns errSessionClosed when the session was
-// evicted before the lock was acquired.
-func (s *Session) process(ctx context.Context, x [][]float64, y []int) (core.Result, error) {
+// process runs one batch through the session's learner, overwriting the
+// batch's Seq with the per-stream sequence number. The caller's batch is
+// handed to the learner as-is — no row copies — so the binary ingest and
+// coalescing paths can pass decoded or fused storage straight through.
+// Returns errSessionClosed when the session was evicted before the lock was
+// acquired.
+func (s *Session) process(ctx context.Context, b stream.Batch) (core.Result, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return core.Result{}, errSessionClosed
 	}
 	s.touch()
-	b := stream.Batch{Seq: s.seq, X: x, Y: y}
+	b.Seq = s.seq
 	s.seq++
 	res, err := s.learner.Process(ctx, b)
 	if err == nil && s.mgr.ckptEvery > 0 && s.mgr.ckptPath(s.id) != "" && s.seq%s.mgr.ckptEvery == 0 {

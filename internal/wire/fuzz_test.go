@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeInto asserts the decoder's total-safety contract on arbitrary
+// bytes: either a clean ErrMalformed or a successful decode whose shape is
+// internally consistent — never a panic, never an out-of-range slice.
+func FuzzDecodeInto(f *testing.F) {
+	good, err := AppendFrame(nil, "seed", Float64, [][]float64{{1, 2}, {3, 4}}, []int{0, 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	small, err := AppendFrame(nil, "", Float32, [][]float64{{0.5}}, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(small)
+	f.Add([]byte("FWB1"))
+	f.Add([]byte{})
+
+	var frame Frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		err := frame.DecodeInto(data)
+		if err != nil {
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("non-malformed decode error: %v", err)
+			}
+			return
+		}
+		if len(frame.X) == 0 {
+			t.Fatal("successful decode with no rows")
+		}
+		cols := len(frame.X[0])
+		for i, row := range frame.X {
+			if len(row) != cols {
+				t.Fatalf("ragged decode: row %d width %d, want %d", i, len(row), cols)
+			}
+		}
+		if frame.Y != nil && len(frame.Y) != len(frame.X) {
+			t.Fatalf("label count %d for %d rows", len(frame.Y), len(frame.X))
+		}
+	})
+}

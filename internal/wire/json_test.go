@@ -1,0 +1,24 @@
+package wire
+
+import "encoding/json"
+
+// jsonEncode/jsonDecode mirror the serve tier's JSON batch contract for the
+// baseline benchmark; they live in a test file so the package itself stays
+// encoding/json-free.
+func jsonEncode(x [][]float64, y []int) ([]byte, error) {
+	return json.Marshal(struct {
+		X [][]float64 `json:"x"`
+		Y []int       `json:"y,omitempty"`
+	}{x, y})
+}
+
+func jsonDecode(body []byte) ([][]float64, []int, error) {
+	var req struct {
+		X [][]float64 `json:"x"`
+		Y []int       `json:"y"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, nil, err
+	}
+	return req.X, req.Y, nil
+}

@@ -1,0 +1,348 @@
+// Package wire implements FreewayML's length-prefixed binary batch frame —
+// the zero-copy ingest format the serve tier accepts alongside JSON. A frame
+// carries one mini-batch for one stream: a fixed header (magic, version,
+// dtype, flags, stream id, row/col counts), the feature matrix as row-major
+// little-endian float32 or float64, and optionally one int32 label per row.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "FWB1"
+//	4       1     version (1)
+//	5       1     dtype: 0 = float64, 1 = float32
+//	6       2     flags: bit0 = labels present (others must be zero)
+//	8       2     id length in bytes (may be 0 when the id travels out of band)
+//	10      2     reserved (must be zero)
+//	12      4     rows
+//	16      4     cols
+//	20      ...   id bytes, then rows×cols feature values, then rows int32 labels
+//
+// On the stream transport each frame is preceded by a uint32 byte length
+// (ReadFrame); over HTTP the body is exactly one frame and Content-Length
+// plays that role (DecodeInto).
+//
+// Decoding is allocation-free at steady state: DecodeInto reuses the Frame's
+// tensor slab, row headers, and label slice, so a warm stream (same shape,
+// same id) decodes with zero allocations — the property the AllocsPerRun
+// guard in wire_test.go pins. Consumers that retain the decoded rows (the
+// learner keeps labeled rows in its windows) must call Detach first so the
+// next decode cannot overwrite retained memory.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"freewayml/internal/linalg"
+)
+
+// HeaderSize is the fixed frame header length in bytes.
+const HeaderSize = 20
+
+// Dtype codes for the feature payload.
+const (
+	Float64 byte = 0
+	Float32 byte = 1
+)
+
+// Version is the only frame version this package reads and writes.
+const Version = 1
+
+// FlagLabels marks a frame carrying one int32 label per row.
+const FlagLabels uint16 = 1 << 0
+
+// MaxIDLen bounds the embedded stream id (the session layer caps ids at 64
+// anyway; the wire cap just keeps the u16 honest).
+const MaxIDLen = 256
+
+var magic = [4]byte{'F', 'W', 'B', '1'}
+
+// ErrMalformed is wrapped by every decode error caused by the frame bytes
+// themselves (bad magic, truncation, length mismatch, overflow). The serve
+// tier maps it to a 400.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// ErrTooLarge is wrapped when a length-prefixed frame announces a size over
+// the reader's cap — the binary equivalent of the HTTP body cap (413).
+var ErrTooLarge = errors.New("wire: frame exceeds size cap")
+
+// Frame is one decoded batch plus the reusable storage behind it. The zero
+// value is ready to use; keep reusing one Frame per connection (or per pooled
+// handler slot) so warm decodes allocate nothing.
+type Frame struct {
+	// ID is the embedded stream id ("" when the frame is path-addressed).
+	ID string
+	// Dtype is the feature payload's on-wire precision (features are always
+	// widened to float64 in X — the compute core is float64).
+	Dtype byte
+	// X holds the feature rows; each row is a view into the tensor slab, and
+	// consecutive rows are adjacent, so the whole batch stays cache-friendly
+	// and Tensor() exposes it as one row-major block for fused inference.
+	X [][]float64
+	// Y holds one label per row, or nil for inference-only frames.
+	Y []int
+	// Grew reports whether the last DecodeInto had to allocate (cold frame or
+	// a batch larger than anything seen before) — the decode-alloc signal the
+	// serve metrics count.
+	Grew bool
+
+	t *linalg.Tensor // slab behind X
+	y []int          // label storage (Y aliases it when labeled)
+}
+
+// Tensor returns the row-major slab behind X (nil before the first decode or
+// after Detach). The tensor is frame-owned; it is valid until the next
+// DecodeInto.
+func (f *Frame) Tensor() *linalg.Tensor { return f.t }
+
+// Detach hands off the decoded storage — the row views, labels, and slab —
+// and clears the frame's references to them, so a consumer that retains the
+// rows (the learner's windows do) keeps exclusive ownership while the frame
+// stays reusable. The next DecodeInto allocates a fresh slab.
+func (f *Frame) Detach() (x [][]float64, y []int) {
+	x, y = f.X, f.Y
+	f.X, f.Y, f.t, f.y = nil, nil, nil, nil
+	return x, y
+}
+
+// Arm gives a detached frame its next slab from a pool (nil t keeps the
+// allocate-on-decode behaviour). The slab is resized by the next DecodeInto.
+func (f *Frame) Arm(t *linalg.Tensor) {
+	if f.t == nil {
+		f.t = t
+	}
+}
+
+// DecodeInto parses one complete frame (without the stream length prefix)
+// from buf into f, reusing f's storage. All errors wrap ErrMalformed.
+func (f *Frame) DecodeInto(buf []byte) error {
+	f.Grew = false
+	if len(buf) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes, header needs %d", ErrMalformed, len(buf), HeaderSize)
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return fmt.Errorf("%w: bad magic %q", ErrMalformed, buf[0:4])
+	}
+	if v := buf[4]; v != Version {
+		return fmt.Errorf("%w: version %d, want %d", ErrMalformed, v, Version)
+	}
+	dtype := buf[5]
+	if dtype != Float64 && dtype != Float32 {
+		return fmt.Errorf("%w: unknown dtype %d", ErrMalformed, dtype)
+	}
+	flags := binary.LittleEndian.Uint16(buf[6:8])
+	if flags&^FlagLabels != 0 {
+		return fmt.Errorf("%w: unknown flags %#x", ErrMalformed, flags)
+	}
+	idLen := int(binary.LittleEndian.Uint16(buf[8:10]))
+	if reserved := binary.LittleEndian.Uint16(buf[10:12]); reserved != 0 {
+		return fmt.Errorf("%w: reserved field %#x", ErrMalformed, reserved)
+	}
+	rows64 := uint64(binary.LittleEndian.Uint32(buf[12:16]))
+	cols64 := uint64(binary.LittleEndian.Uint32(buf[16:20]))
+	if rows64 == 0 || cols64 == 0 {
+		return fmt.Errorf("%w: empty shape %d×%d", ErrMalformed, rows64, cols64)
+	}
+	if idLen > MaxIDLen {
+		return fmt.Errorf("%w: id length %d exceeds %d", ErrMalformed, idLen, MaxIDLen)
+	}
+	esz := uint64(8)
+	if dtype == Float32 {
+		esz = 4
+	}
+	labeled := flags&FlagLabels != 0
+	// Row/col counts are attacker-controlled u32s: size arithmetic runs in
+	// uint64 against the actual buffer length, so a frame announcing 2^32
+	// rows fails the length check instead of overflowing an int.
+	elems := rows64 * cols64 // ≤ (2^32-1)^2, no overflow in uint64
+	if elems > uint64(len(buf))/esz {
+		return fmt.Errorf("%w: %d×%d values cannot fit %d bytes", ErrMalformed, rows64, cols64, len(buf))
+	}
+	want := uint64(HeaderSize) + uint64(idLen) + elems*esz
+	if labeled {
+		want += rows64 * 4
+	}
+	if uint64(len(buf)) != want {
+		return fmt.Errorf("%w: %d bytes, layout needs %d", ErrMalformed, len(buf), want)
+	}
+	rows, cols := int(rows64), int(cols64)
+
+	idBytes := buf[HeaderSize : HeaderSize+idLen]
+	// string(bytes) == string compares without allocating; the conversion
+	// below runs only when the id actually changes, so a persistent
+	// connection carrying one stream re-decodes its id for free.
+	if f.ID != string(idBytes) {
+		f.ID = string(idBytes)
+	}
+	f.Dtype = dtype
+
+	if f.t == nil {
+		f.Grew = true
+	} else if cap(f.t.Data) < rows*cols {
+		f.Grew = true
+	}
+	f.t = linalg.EnsureTensor(f.t, rows, cols)
+	payload := buf[HeaderSize+idLen:]
+	dst := f.t.Data
+	if dtype == Float64 {
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	} else {
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:])))
+		}
+	}
+
+	if cap(f.X) < rows {
+		f.X = make([][]float64, rows)
+		f.Grew = true
+	}
+	f.X = f.X[:rows]
+	for i := range f.X {
+		f.X[i] = dst[i*cols : (i+1)*cols : (i+1)*cols]
+	}
+
+	if labeled {
+		if cap(f.y) < rows {
+			f.y = make([]int, rows)
+			f.Grew = true
+		}
+		f.y = f.y[:rows]
+		lab := payload[int(elems*esz):]
+		for i := range f.y {
+			f.y[i] = int(int32(binary.LittleEndian.Uint32(lab[i*4:])))
+		}
+		f.Y = f.y
+	} else {
+		f.Y = nil
+	}
+	return nil
+}
+
+// EncodedSize returns the frame byte length (without the stream length
+// prefix) for the given shape.
+func EncodedSize(idLen, rows, cols int, dtype byte, labeled bool) int {
+	esz := 8
+	if dtype == Float32 {
+		esz = 4
+	}
+	n := HeaderSize + idLen + rows*cols*esz
+	if labeled {
+		n += rows * 4
+	}
+	return n
+}
+
+// AppendFrame appends one encoded frame (without the stream length prefix)
+// to dst and returns the extended slice. Rows must be rectangular; float32
+// frames narrow each value (the lossy half of the differential test: the
+// client narrows, both paths widen identically). y may be nil.
+func AppendFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]byte, error) {
+	if dtype != Float64 && dtype != Float32 {
+		return nil, fmt.Errorf("wire: unknown dtype %d", dtype)
+	}
+	if len(id) > MaxIDLen {
+		return nil, fmt.Errorf("wire: id %q longer than %d bytes", id, MaxIDLen)
+	}
+	rows := len(x)
+	if rows == 0 {
+		return nil, errors.New("wire: empty batch")
+	}
+	cols := len(x[0])
+	if cols == 0 {
+		return nil, errors.New("wire: zero-width rows")
+	}
+	if rows > math.MaxUint32 || cols > math.MaxUint32 {
+		return nil, fmt.Errorf("wire: shape %d×%d exceeds u32", rows, cols)
+	}
+	if y != nil && len(y) != rows {
+		return nil, fmt.Errorf("wire: %d labels for %d rows", len(y), rows)
+	}
+	labeled := y != nil
+
+	start := len(dst)
+	dst = append(dst, make([]byte, EncodedSize(len(id), rows, cols, dtype, labeled))...)
+	b := dst[start:]
+	copy(b[0:4], magic[:])
+	b[4] = Version
+	b[5] = dtype
+	var flags uint16
+	if labeled {
+		flags |= FlagLabels
+	}
+	binary.LittleEndian.PutUint16(b[6:8], flags)
+	binary.LittleEndian.PutUint16(b[8:10], uint16(len(id)))
+	binary.LittleEndian.PutUint16(b[10:12], 0)
+	binary.LittleEndian.PutUint32(b[12:16], uint32(rows))
+	binary.LittleEndian.PutUint32(b[16:20], uint32(cols))
+	copy(b[HeaderSize:], id)
+	p := b[HeaderSize+len(id):]
+	for _, row := range x {
+		if len(row) != cols {
+			return nil, fmt.Errorf("wire: ragged batch (row width %d, want %d)", len(row), cols)
+		}
+		if dtype == Float64 {
+			for _, v := range row {
+				binary.LittleEndian.PutUint64(p, math.Float64bits(v))
+				p = p[8:]
+			}
+		} else {
+			for _, v := range row {
+				binary.LittleEndian.PutUint32(p, math.Float32bits(float32(v)))
+				p = p[4:]
+			}
+		}
+	}
+	for _, v := range y {
+		binary.LittleEndian.PutUint32(p, uint32(int32(v)))
+		p = p[4:]
+	}
+	return dst, nil
+}
+
+// AppendStreamFrame appends the uint32 length prefix plus the frame — the
+// unit the persistent-connection transport reads with ReadFrame.
+func AppendStreamFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := AppendFrame(dst, id, dtype, x, y)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(out[start:], uint32(len(out)-start-4))
+	return out, nil
+}
+
+// ReadFrame reads one length-prefixed frame from r into f, using scratch as
+// the reusable frame buffer (returned possibly grown — pass it back in).
+// A clean EOF before the first prefix byte returns io.EOF; a frame longer
+// than maxFrame returns an error wrapping ErrTooLarge without consuming the
+// payload, so the caller can answer and close.
+func ReadFrame(r io.Reader, f *Frame, scratch []byte, maxFrame int) ([]byte, error) {
+	var pfx [4]byte
+	if _, err := io.ReadFull(r, pfx[:]); err != nil {
+		if err == io.EOF {
+			return scratch, io.EOF
+		}
+		return scratch, fmt.Errorf("%w: short length prefix: %v", ErrMalformed, err)
+	}
+	n := binary.LittleEndian.Uint32(pfx[:])
+	if maxFrame > 0 && n > uint32(maxFrame) {
+		return scratch, fmt.Errorf("%w: %d bytes over cap %d", ErrTooLarge, n, maxFrame)
+	}
+	if n < HeaderSize {
+		return scratch, fmt.Errorf("%w: %d-byte frame, header needs %d", ErrMalformed, n, HeaderSize)
+	}
+	if cap(scratch) < int(n) {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := io.ReadFull(r, scratch); err != nil {
+		return scratch, fmt.Errorf("%w: truncated frame: %v", ErrMalformed, err)
+	}
+	return scratch, f.DecodeInto(scratch)
+}

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# Runs the PR 7 ingest gate and records BENCH_PR7.json:
+#
+#   1. internal/wire decode microbenchmarks — binary frame decode (f64 and
+#      f32) against the encoding/json baseline on the same batch. Reports
+#      ns/row and allocs/op; the hard gate is allocs/op == 0 for a warm
+#      binary decode (the zero-copy contract).
+#   2. Three short closed-loop freeway-loadgen runs against freshly built
+#      servers: the JSON baseline, per-request binary ingest, and binary
+#      ingest with batch coalescing (-concurrency > -streams so concurrent
+#      batches actually fuse).
+#
+# Gate policy (PR5-style, host-adaptive): coalescing's win is one fused
+# blocked-GEMM pass plus one detector pass instead of k, which needs real
+# concurrency to show. On a >= 4-CPU host the coalesced run must reach
+# >= 3x the JSON baseline's samples/s; on smaller hosts (single-core CI
+# boxes physically serialize everything) it must not regress — >= 0.85x —
+# and the JSON clearly flags which policy applied. The decode-alloc gate
+# applies everywhere.
+#
+# Usage: scripts/bench_ingest.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR7.json}
+TMP=$(mktemp)
+JSON_RUN=$(mktemp)
+BIN_RUN=$(mktemp)
+COAL_RUN=$(mktemp)
+trap 'rm -f "$TMP" "$JSON_RUN" "$BIN_RUN" "$COAL_RUN"' EXIT
+
+NCPU=$(nproc 2>/dev/null || echo 1)
+DUR=${BENCH_INGEST_DURATION:-5s}
+
+echo "== wire decode microbenchmarks" >&2
+go test ./internal/wire -run '^$' \
+  -bench '^(BenchmarkDecode|BenchmarkDecodeJSONBaseline)$' \
+  -benchmem -benchtime 1s | tee "$TMP" >&2
+
+echo "== closed-loop ingest benchmarks (freeway-loadgen)" >&2
+mkdir -p bin
+go build -o bin/freeway-serve ./cmd/freeway-serve
+go build -o bin/freeway-loadgen ./cmd/freeway-loadgen
+# Same shape for all three runs: 4 streams, 16 workers (concurrency >
+# streams, so under coalescing several workers pile onto each stream).
+COMMON=(-serve bin/freeway-serve -streams 4 -concurrency 16 -batch 32 -duration "$DUR")
+./bin/freeway-loadgen "${COMMON[@]}" -out "$JSON_RUN" >&2
+./bin/freeway-loadgen "${COMMON[@]}" -proto binary -out "$BIN_RUN" >&2
+./bin/freeway-loadgen "${COMMON[@]}" -proto binary -coalesce -out "$COAL_RUN" >&2
+
+# Pull one numeric field out of a loadgen JSON summary.
+field() { awk -F'[:,]' -v k="\"$2\"" '$1 ~ k {gsub(/[[:space:]]/, "", $2); print $2}' "$1"; }
+
+JSON_SPS=$(field "$JSON_RUN" samples_per_s)
+BIN_SPS=$(field "$BIN_RUN" samples_per_s)
+COAL_SPS=$(field "$COAL_RUN" samples_per_s)
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v ncpu="$NCPU" -v json_sps="$JSON_SPS" -v bin_sps="$BIN_SPS" -v coal_sps="$COAL_SPS" \
+    -v json_run="$JSON_RUN" -v bin_run="$BIN_RUN" -v coal_run="$COAL_RUN" '
+  function embed(file,  line) {
+    while ((getline line < file) > 0) {
+      if (line == "{") printf "{\n"
+      else if (line == "}") printf "  }"
+      else printf "  %s\n", line
+    }
+  }
+  /^BenchmarkDecode\// || /^BenchmarkDecodeJSONBaseline/ {
+    name = $1
+    sub(/^BenchmarkDecode\//, "", name)
+    sub(/^BenchmarkDecodeJSONBaseline.*/, "json", name)
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+      if ($(i+1) == "ns/row") nsrow[name] = $i
+      if ($(i+1) == "allocs/op") allocs[name] = $i
+    }
+  }
+  END {
+    alloc_pass = (allocs["f64"] == 0 && allocs["f32"] == 0) ? "true" : "false"
+    ratio = (json_sps > 0) ? coal_sps / json_sps : 0
+    need = (ncpu >= 4) ? 3.0 : 0.85
+    policy = (ncpu >= 4) ? "multi-core: coalesced binary ingest must reach >= 3x the JSON baseline" : "single-core host: coalesced binary ingest must not regress (>= 0.85x JSON baseline)"
+    tput_pass = (ratio >= need) ? "true" : "false"
+    pass = (alloc_pass == "true" && tput_pass == "true") ? "true" : "false"
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"ncpu\": %d,\n", ncpu
+    printf "  \"wire_decode\": {\n"
+    printf "    \"comment\": \"warm decode of one 32x6 labeled frame; json is the encoding/json baseline on the same batch\",\n"
+    printf "    \"binary_f64_ns_per_row\": %.1f,\n", nsrow["f64"]
+    printf "    \"binary_f32_ns_per_row\": %.1f,\n", nsrow["f32"]
+    printf "    \"json_ns_per_row\": %.1f,\n", nsrow["json"]
+    printf "    \"binary_f64_allocs_per_op\": %d,\n", allocs["f64"]
+    printf "    \"binary_f32_allocs_per_op\": %d,\n", allocs["f32"]
+    printf "    \"json_allocs_per_op\": %d,\n", allocs["json"]
+    printf "    \"gate\": \"warm binary decode must not allocate\",\n"
+    printf "    \"gate_pass\": %s\n", alloc_pass
+    printf "  },\n"
+    printf "  \"ingest_closed_loop\": {\n"
+    printf "    \"comment\": \"4 streams x 16 workers x batch 32; coalesced run fuses concurrent batches per stream\",\n"
+    printf "    \"json_samples_per_s\": %.0f,\n", json_sps
+    printf "    \"binary_samples_per_s\": %.0f,\n", bin_sps
+    printf "    \"coalesced_binary_samples_per_s\": %.0f,\n", coal_sps
+    printf "    \"coalesced_vs_json\": %.2f,\n", ratio
+    printf "    \"gate\": \"%s\",\n", policy
+    printf "    \"gate_pass\": %s,\n", tput_pass
+    printf "    \"json_run\": "; embed(json_run); printf ",\n"
+    printf "    \"binary_run\": "; embed(bin_run); printf ",\n"
+    printf "    \"coalesced_run\": "; embed(coal_run); printf "\n"
+    printf "  },\n"
+    printf "  \"gate_pass\": %s\n", pass
+    printf "}\n"
+    exit (pass == "true") ? 0 : 1
+  }' "$TMP" > "$OUT" || { echo "bench-ingest gate FAILED (see $OUT)" >&2; exit 1; }
+echo "wrote $OUT" >&2
