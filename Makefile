@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-serve bench-ingest loadgen-smoke obs-smoke cluster-smoke clean
+.PHONY: all build test vet race check bench bench-serve bench-ingest loadgen-smoke obs-smoke cluster-smoke cluster-obs-smoke clean
 
 all: check
 
@@ -56,6 +56,16 @@ cluster-smoke:
 	$(GO) build -o bin/freeway-router ./cmd/freeway-router
 	$(GO) run ./cmd/freeway-loadgen -cluster 2 -streams 6 -concurrency 4 \
 		-batch 16 -duration 9s -kill-after 3s -restart-after 6s -out -
+
+# Cluster observability smoke: boots a router + 2 workers, drives JSON and
+# binary batches with client-minted trace contexts, and asserts trace-id
+# continuity across the router and worker spans (/v1/cluster/trace), a
+# non-empty federated scrape labeling both workers (/v1/cluster/metrics),
+# and well-shaped timeline/exemplar endpoints.
+cluster-obs-smoke:
+	$(GO) build -o bin/freeway-serve ./cmd/freeway-serve
+	$(GO) build -o bin/freeway-router ./cmd/freeway-router
+	$(GO) run ./cmd/cluster-obs-smoke -serve bin/freeway-serve -router bin/freeway-router
 
 # End-to-end observability check: boots freeway-serve, streams a synthetic
 # drifting stream, and asserts /v1/metrics and /v1/trace saw all three shift

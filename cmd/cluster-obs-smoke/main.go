@@ -1,0 +1,419 @@
+// Command cluster-obs-smoke is the end-to-end cluster observability check
+// behind `make cluster-obs-smoke`: it boots a freeway-router in front of two
+// freeway-serve workers sharing a checkpoint directory, drives JSON and
+// binary batches through the router with client-minted trace contexts, and
+// asserts the cluster surfaces tell one coherent story:
+//
+//   - trace-id continuity: the id a client sends (traceparent header on the
+//     JSON path, the version-2 frame extension on the raw binary path) is
+//     echoed on the response and /v1/cluster/trace?id= returns both the
+//     router.forward and worker.process spans, parent-linked;
+//   - metrics federation: /v1/cluster/metrics merges router-local series
+//     (unlabeled) with every worker's scrape under worker="<addr>" labels,
+//     histogram _sum samples included;
+//   - the timeline and exemplar endpoints answer with the right shapes.
+//
+//	cluster-obs-smoke -serve bin/freeway-serve -router bin/freeway-router
+//
+// Exit status 0 means every assertion held; any failure prints the reason
+// and exits 1.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"time"
+
+	"freewayml/internal/obs"
+	"freewayml/internal/serve"
+	"freewayml/internal/wire"
+)
+
+func main() {
+	var (
+		serveBin  = flag.String("serve", "bin/freeway-serve", "path to the freeway-serve binary")
+		routerBin = flag.String("router", "bin/freeway-router", "path to the freeway-router binary")
+		timeout   = flag.Duration("timeout", 60*time.Second, "overall deadline")
+	)
+	flag.Parse()
+	if err := run(*serveBin, *routerBin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster-obs-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cluster-obs-smoke: PASS")
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// proc is one booted process plus the listen address it announced.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// boot starts a binary and waits for it to announce "listening on <addr>".
+func boot(bin string, args ...string) (*proc, error) {
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("start %s: %w", bin, err)
+	}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if m := listenRe.FindStringSubmatch(sc.Text()); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &proc{cmd: cmd, addr: addr}, nil
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("%s never announced its address", bin)
+	}
+}
+
+// stop terminates the process, escalating SIGTERM to SIGKILL.
+func (p *proc) stop() {
+	if p == nil || p.cmd == nil {
+		return
+	}
+	p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() { p.cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		p.cmd.Process.Kill()
+		<-done
+	}
+}
+
+func run(serveBin, routerBin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	dir, err := os.MkdirTemp("", "cluster-obs-smoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	var workers [2]*proc
+	for i := range workers {
+		w, err := boot(serveBin,
+			"-addr", "127.0.0.1:0", "-dim", "3", "-classes", "2",
+			"-warmup", "64", "-seed", fmt.Sprint(i+1),
+			"-checkpoint-dir", dir, "-checkpoint-every", "1")
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+		defer w.stop()
+		workers[i] = w
+	}
+	router, err := boot(routerBin,
+		"-addr", "127.0.0.1:0",
+		"-workers", workers[0].addr+","+workers[1].addr)
+	if err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+	defer router.stop()
+	base := "http://" + router.addr
+	if err := waitReady(base, deadline); err != nil {
+		return err
+	}
+
+	// Background traffic over enough streams that the hash ring spreads them
+	// across both workers, so federation has per-worker series to merge.
+	rng := rand.New(rand.NewSource(2))
+	for s := 0; s < 8; s++ {
+		x, y := makeBatch(rng, 32)
+		if err := postJSON(base, fmt.Sprintf("warm-%d", s), "", x, y); err != nil {
+			return fmt.Errorf("warm stream %d: %w", s, err)
+		}
+	}
+
+	if err := checkContinuity(base, rng, "json"); err != nil {
+		return err
+	}
+	if err := checkContinuity(base, rng, "binary"); err != nil {
+		return err
+	}
+	if err := checkFrameTrace(workers[0], rng); err != nil {
+		return err
+	}
+	if err := checkFederation(base, workers[:]); err != nil {
+		return err
+	}
+	if err := checkTimeline(base); err != nil {
+		return err
+	}
+	return nil
+}
+
+func waitReady(base string, deadline time.Time) error {
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("router at %s never became ready", base)
+}
+
+// makeBatch builds one separable two-class batch in a 3-feature space.
+func makeBatch(rng *rand.Rand, n int) ([][]float64, []int) {
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		c := rng.Intn(2)
+		x[i] = []float64{float64(c)*2 + rng.NormFloat64()*0.3, rng.NormFloat64() * 0.3, 0}
+		y[i] = c
+	}
+	return x, y
+}
+
+// postJSON sends one JSON batch through the router; traceparent is attached
+// when non-empty. Returns the response headers via doPost.
+func postJSON(base, stream, traceparent string, x [][]float64, y []int) error {
+	_, err := doPost(base, stream, traceparent, "application/json", mustJSON(x, y))
+	return err
+}
+
+func mustJSON(x [][]float64, y []int) []byte {
+	body, err := json.Marshal(struct {
+		X [][]float64 `json:"x"`
+		Y []int       `json:"y"`
+	}{x, y})
+	if err != nil {
+		panic(err)
+	}
+	return body
+}
+
+// doPost POSTs one process request and returns the response headers.
+func doPost(base, stream, traceparent, contentType string, payload []byte) (http.Header, error) {
+	req, err := http.NewRequest(http.MethodPost,
+		base+"/v1/streams/"+stream+"/process", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if traceparent != "" {
+		req.Header.Set(obs.TraceparentHeader, traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("stream %s: status %d: %s", stream, resp.StatusCode, msg)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return resp.Header, nil
+}
+
+// checkContinuity sends one batch with a client-minted trace context (JSON
+// body or binary wire frame) and asserts the one trace id links the client,
+// the router's per-hop response headers, and the router + worker spans at
+// /v1/cluster/trace.
+func checkContinuity(base string, rng *rand.Rand, proto string) error {
+	tc := obs.NewTraceContext()
+	x, y := makeBatch(rng, 32)
+	stream := "smoke-" + proto
+	var hdr http.Header
+	var err error
+	if proto == "binary" {
+		frame, ferr := wire.AppendFrame(nil, "", wire.Float64, x, y)
+		if ferr != nil {
+			return ferr
+		}
+		hdr, err = doPost(base, stream, tc.Traceparent(), serve.BinaryContentType, frame)
+	} else {
+		hdr, err = doPost(base, stream, tc.Traceparent(), "application/json", mustJSON(x, y))
+	}
+	if err != nil {
+		return fmt.Errorf("%s batch: %w", proto, err)
+	}
+	if got := hdr.Get(obs.TraceIDHeader); got != tc.TraceID {
+		return fmt.Errorf("%s: response trace id = %q, want the client-minted %q", proto, got, tc.TraceID)
+	}
+	if hdr.Get(obs.RouterMicrosHeader) == "" || hdr.Get(obs.WorkerMicrosHeader) == "" {
+		return fmt.Errorf("%s: per-hop latency headers missing (router=%q worker=%q)",
+			proto, hdr.Get(obs.RouterMicrosHeader), hdr.Get(obs.WorkerMicrosHeader))
+	}
+
+	spans, err := fetchTrace(base, tc.TraceID)
+	if err != nil {
+		return err
+	}
+	routerSpans := map[string]bool{} // span id -> present
+	var workerSpan *obs.Span
+	for i, s := range spans {
+		if s.TraceID != tc.TraceID {
+			return fmt.Errorf("%s: span %d carries trace %q, want %q", proto, i, s.TraceID, tc.TraceID)
+		}
+		switch s.Name {
+		case "router.forward":
+			routerSpans[s.SpanID] = true
+		case "worker.process":
+			workerSpan = &spans[i]
+		}
+	}
+	if len(routerSpans) == 0 || workerSpan == nil {
+		return fmt.Errorf("%s: trace %s has %d router and %v worker spans, want both hops",
+			proto, tc.TraceID, len(routerSpans), workerSpan != nil)
+	}
+	if !routerSpans[workerSpan.Parent] {
+		return fmt.Errorf("%s: worker span parent %q is not a router attempt span", proto, workerSpan.Parent)
+	}
+	if workerSpan.Proto != proto {
+		return fmt.Errorf("%s: worker span proto = %q", proto, workerSpan.Proto)
+	}
+	fmt.Printf("cluster-obs-smoke: %s continuity ok (trace %s: %d spans, worker %s)\n",
+		proto, tc.TraceID, len(spans), workerSpan.Service)
+	return nil
+}
+
+// checkFrameTrace exercises the version-2 frame extension: a binary frame
+// carrying its own trace context POSTed straight to a worker (no traceparent
+// header) must join the worker span to the embedded id.
+func checkFrameTrace(worker *proc, rng *rand.Rand) error {
+	tc := obs.NewTraceContext()
+	x, y := makeBatch(rng, 16)
+	frame, err := wire.AppendFrameTrace(nil, "", tc.Traceparent(), wire.Float64, x, y)
+	if err != nil {
+		return err
+	}
+	hdr, err := doPost("http://"+worker.addr, "smoke-frame", "", serve.BinaryContentType, frame)
+	if err != nil {
+		return fmt.Errorf("frame-traced batch: %w", err)
+	}
+	if got := hdr.Get(obs.TraceIDHeader); got != tc.TraceID {
+		return fmt.Errorf("frame trace: worker echoed %q, want the frame-embedded %q", got, tc.TraceID)
+	}
+	fmt.Printf("cluster-obs-smoke: v2 frame trace ok (worker joined %s)\n", tc.TraceID)
+	return nil
+}
+
+// fetchTrace pulls the assembled cluster-wide trace from the router.
+func fetchTrace(base, id string) ([]obs.Span, error) {
+	resp, err := http.Get(base + "/v1/cluster/trace?id=" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster trace status %d", resp.StatusCode)
+	}
+	var spans []obs.Span
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		return nil, fmt.Errorf("cluster trace decode: %w", err)
+	}
+	return spans, nil
+}
+
+// checkFederation asserts /v1/cluster/metrics merges router-local series
+// (unlabeled) with both workers' scrapes (worker-labeled), histogram _sum
+// samples included.
+func checkFederation(base string, workers []*proc) error {
+	resp, err := http.Get(base + "/v1/cluster/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	text := string(body)
+	if !strings.Contains(text, "\nfreeway_router_requests_total ") &&
+		!strings.HasPrefix(text, "freeway_router_requests_total ") {
+		return fmt.Errorf("federated scrape lacks the unlabeled router-local freeway_router_requests_total")
+	}
+	for _, w := range workers {
+		if !strings.Contains(text, `worker="`+w.addr+`"`) {
+			return fmt.Errorf("federated scrape lacks worker=%q labels", w.addr)
+		}
+	}
+	sawSum := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "_sum{") && strings.Contains(line, `worker="`) {
+			sawSum = true
+			break
+		}
+	}
+	if !sawSum {
+		return fmt.Errorf("federated scrape lacks worker-labeled histogram _sum samples")
+	}
+	fmt.Printf("cluster-obs-smoke: federation ok (%d bytes, both workers labeled)\n", len(body))
+	return nil
+}
+
+// checkTimeline asserts the events and exemplars endpoints answer with the
+// right shapes; a healthy run has no breaker events, but the slow-request
+// ring must have captured the traffic just driven.
+func checkTimeline(base string) error {
+	resp, err := http.Get(base + "/v1/cluster/events")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		return fmt.Errorf("cluster events Content-Type = %q", ct)
+	}
+
+	resp, err = http.Get(base + "/v1/cluster/exemplars")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster exemplars status %d", resp.StatusCode)
+	}
+	var ex []obs.Exemplar
+	if err := json.NewDecoder(resp.Body).Decode(&ex); err != nil {
+		return fmt.Errorf("cluster exemplars decode: %w", err)
+	}
+	if len(ex) == 0 {
+		return fmt.Errorf("exemplar ring empty after driving traffic")
+	}
+	if ex[0].TraceID == "" {
+		return fmt.Errorf("slowest exemplar carries no trace id: %+v", ex[0])
+	}
+	fmt.Printf("cluster-obs-smoke: timeline ok (%d exemplars, slowest %.0fµs trace %s)\n",
+		len(ex), ex[0].DurationMicros, ex[0].TraceID)
+	return nil
+}

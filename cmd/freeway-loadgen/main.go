@@ -57,6 +57,7 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -163,6 +164,37 @@ type summary struct {
 	ErrorRate       float64 `json:"error_rate"`
 	ErrorsAfterKill int64   `json:"errors_after_kill"`
 	RecoveryS       float64 `json:"recovery_s"`
+
+	// Per-hop latency breakdown, read from the X-Freeway-Worker-Micros and
+	// X-Freeway-Router-Micros response headers: how much of the end-to-end
+	// latency each tier spent. Omitted when the target never reported a hop
+	// time (older server, or tracing disabled on the router).
+	WorkerP50Ms float64 `json:"worker_p50_ms,omitempty"`
+	WorkerP95Ms float64 `json:"worker_p95_ms,omitempty"`
+	WorkerP99Ms float64 `json:"worker_p99_ms,omitempty"`
+	RouterP50Ms float64 `json:"router_p50_ms,omitempty"`
+	RouterP95Ms float64 `json:"router_p95_ms,omitempty"`
+	RouterP99Ms float64 `json:"router_p99_ms,omitempty"`
+}
+
+// hopStats accumulates the per-hop wall times the serving tiers stamp on
+// their responses. The histograms are concurrency-safe, so every load
+// worker observes into the same pair.
+type hopStats struct {
+	worker *obs.Histogram
+	router *obs.Histogram
+}
+
+// observe parses one hop-micros header value into its histogram.
+func (h *hopStats) observe(hist *obs.Histogram, val string) {
+	if val == "" {
+		return
+	}
+	micros, err := strconv.ParseFloat(val, 64)
+	if err != nil || micros < 0 {
+		return
+	}
+	hist.Observe(micros / 1e6)
 }
 
 func run(cfg config) error {
@@ -216,6 +248,7 @@ func run(cfg config) error {
 	}
 
 	lat := obs.NewHistogram(nil)
+	hops := &hopStats{worker: obs.NewHistogram(nil), router: obs.NewHistogram(nil)}
 	var requests, errCount atomic.Int64
 	client := &http.Client{Timeout: 30 * time.Second}
 
@@ -302,7 +335,7 @@ func run(cfg config) error {
 					intended = time.Now()
 				}
 				sid := (w + i*cfg.conc) % cfg.streams
-				err := postBatch(client, base, sid, cfg, rng, &pool, buf, &bin)
+				err := postBatch(client, base, sid, cfg, rng, &pool, buf, &bin, hops)
 				lat.Observe(time.Since(intended).Seconds())
 				requests.Add(1)
 				if err != nil {
@@ -357,11 +390,29 @@ func run(cfg config) error {
 			s.RecoveryS = float64(lastErrNano.Load()-kt) / 1e9
 		}
 	}
+	if hops.worker.Count() > 0 {
+		s.WorkerP50Ms = hops.worker.Quantile(0.50) * 1e3
+		s.WorkerP95Ms = hops.worker.Quantile(0.95) * 1e3
+		s.WorkerP99Ms = hops.worker.Quantile(0.99) * 1e3
+	}
+	if hops.router.Count() > 0 {
+		s.RouterP50Ms = hops.router.Quantile(0.50) * 1e3
+		s.RouterP95Ms = hops.router.Quantile(0.95) * 1e3
+		s.RouterP99Ms = hops.router.Quantile(0.99) * 1e3
+	}
 	fmt.Printf("freeway-loadgen: %s mode, %d streams × %d workers × batch %d for %.1fs\n",
 		s.Mode, s.Streams, s.Concurrency, s.Batch, s.DurationS)
 	fmt.Printf("freeway-loadgen: %d requests (%d errors), %.0f req/s, %.0f samples/s\n",
 		s.Requests, s.Errors, s.ThroughputRPS, s.SamplesPerS)
 	fmt.Printf("freeway-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms\n", s.P50Ms, s.P95Ms, s.P99Ms)
+	if hops.worker.Count() > 0 {
+		fmt.Printf("freeway-loadgen: worker hop p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			s.WorkerP50Ms, s.WorkerP95Ms, s.WorkerP99Ms)
+	}
+	if hops.router.Count() > 0 {
+		fmt.Printf("freeway-loadgen: router hop p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			s.RouterP50Ms, s.RouterP95Ms, s.RouterP99Ms)
+	}
 	if cfg.cluster > 0 && killTime.Load() != 0 {
 		fmt.Printf("freeway-loadgen: failover: %d errors after kill, recovery %.2fs, error rate %.4f\n",
 			s.ErrorsAfterKill, s.RecoveryS, s.ErrorRate)
@@ -393,8 +444,9 @@ func run(cfg config) error {
 // POSTs it to the stream's process endpoint. The pooled batch is released
 // before return — the encoding is the copy that leaves the function, so
 // recycling is safe (see stream.BatchPool on why the *server* side must not
-// pool these).
-func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer, bin *[]byte) error {
+// pool these). Per-hop wall times stamped on the response are folded into
+// hops for the summary breakdown.
+func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer, bin *[]byte, hops *hopStats) error {
 	b := pool.Get(cfg.batch, cfg.dim)
 	defer b.Release()
 	// Per-stream class centers: streams differ so cross-stream isolation
@@ -439,6 +491,8 @@ func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("stream ld%03d: status %d", sid, resp.StatusCode)
 	}
+	hops.observe(hops.worker, resp.Header.Get(obs.WorkerMicrosHeader))
+	hops.observe(hops.router, resp.Header.Get(obs.RouterMicrosHeader))
 	return nil
 }
 

@@ -18,6 +18,13 @@
 // migrations, per-worker breaker state), /v1/cluster with the topology, and
 // a merged /v1/streams listing. Every stream route (/v1/streams/{id}/* and
 // the legacy single-stream aliases) is forwarded to the owning worker.
+//
+// Cluster observability: every request carries a W3C traceparent (accepted
+// from the client or minted here) and each forward attempt records a span;
+// /v1/cluster/trace?id= assembles the full cross-node trace,
+// /v1/cluster/metrics federates every worker's /v1/metrics under
+// worker="<addr>" labels, /v1/cluster/events is the breaker/migration
+// timeline (JSONL), and /v1/cluster/exemplars lists the slowest requests.
 package main
 
 import (
@@ -52,6 +59,10 @@ func main() {
 		maxBody       = flag.Int64("max-body", dist.DefaultMaxBodyBytes, "request body cap in bytes")
 		antiEntropy   = flag.Bool("anti-entropy", false, "sync a rejoining worker's shared knowledge store from a healthy peer")
 		seed          = flag.Int64("seed", 1, "retry-jitter seed")
+		spanCap       = flag.Int("span-cap", dist.DefaultSpanCap, "router span ring capacity (one span per forward attempt)")
+		eventCap      = flag.Int("event-cap", dist.DefaultEventCap, "cluster timeline ring capacity")
+		exemplarK     = flag.Int("exemplar-k", dist.DefaultExemplarK, "slow-request exemplars kept (top-K by latency)")
+		noTracing     = flag.Bool("disable-tracing", false, "turn off trace spans, exemplars, and per-hop response headers")
 	)
 	flag.Parse()
 	if err := run(*addr, *workers, dist.Config{
@@ -67,6 +78,10 @@ func main() {
 		MaxBody:        *maxBody,
 		AntiEntropy:    *antiEntropy,
 		Seed:           *seed,
+		SpanCap:        *spanCap,
+		EventCap:       *eventCap,
+		ExemplarK:      *exemplarK,
+		DisableTracing: *noTracing,
 	}); err != nil {
 		log.Fatal(err)
 	}

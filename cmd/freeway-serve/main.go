@@ -177,6 +177,9 @@ func run(addr string, dim, classes int, family string, seed int64, guardPol stri
 		srv.Close()
 		return err
 	}
+	// The bound address names this worker in its trace spans, so the
+	// router's /v1/cluster/trace can tell workers apart.
+	srv.SetWorkerID(ln.Addr().String())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

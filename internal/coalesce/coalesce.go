@@ -48,6 +48,10 @@ type Batch struct {
 	Fused *linalg.Tensor
 	// Members is the number of submitted batches packed into this group.
 	Members int
+	// TraceIDs lists the request trace ids of the members that carried one,
+	// submission order. May be shorter than Members (untraced members are
+	// not represented); nil when no member was traced.
+	TraceIDs []string
 }
 
 // Runner executes one fused group and returns an opaque result shared by
@@ -124,6 +128,7 @@ type group struct {
 	y       []int
 	rows    int
 	members int
+	traces  []string
 	sealed  bool
 	created time.Time
 	ready   chan struct{} // closed when the group may start its pass
@@ -167,6 +172,13 @@ func New(cfg Config) (*Coalescer, error) {
 // cancelled while waiting, Submit returns ctx.Err(); the rows stay in the
 // group and the pass still runs for the remaining members.
 func (c *Coalescer) Submit(ctx context.Context, id string, x [][]float64, y []int) (Result, error) {
+	return c.SubmitTraced(ctx, id, "", x, y)
+}
+
+// SubmitTraced is Submit with a request trace id recorded as part of the
+// group's membership, so the fused pass's TraceEvent can name every
+// request it served. An empty traceID leaves the membership untouched.
+func (c *Coalescer) SubmitTraced(ctx context.Context, id, traceID string, x [][]float64, y []int) (Result, error) {
 	if len(x) == 0 {
 		return Result{}, errors.New("coalesce: empty batch")
 	}
@@ -230,6 +242,9 @@ func (c *Coalescer) Submit(ctx context.Context, id string, x [][]float64, y []in
 	}
 	g.rows += len(x)
 	g.members++
+	if traceID != "" {
+		g.traces = append(g.traces, traceID)
+	}
 	hi := g.rows
 	c.mu.Unlock()
 
@@ -284,7 +299,7 @@ func (c *Coalescer) runWhenReady(g *group) {
 	}
 	c.mu.Unlock()
 
-	out, err := c.cfg.Run(Batch{ID: g.key.id, X: xv, Y: g.y, Fused: fused, Members: g.members})
+	out, err := c.cfg.Run(Batch{ID: g.key.id, X: xv, Y: g.y, Fused: fused, Members: g.members, TraceIDs: g.traces})
 	if m := c.cfg.Metrics; m != nil {
 		m.Passes.Inc()
 	}

@@ -302,6 +302,7 @@ func (l *Learner) Process(ctx context.Context, b stream.Batch) (Result, error) {
 		return Result{}, err
 	}
 	bo := l.obs.begin(l)
+	bo.trace(b.TraceID, b.FusedTraces)
 	// Input guardrails: scan for NaN/Inf features before the detector or
 	// any model sees the batch. A rejected batch leaves every piece of
 	// learner state untouched.

@@ -47,6 +47,7 @@ type Observer struct {
 
 	winCloses    *obs.Counter
 	winEvictions *obs.Counter
+	traceDropped *obs.Counter
 
 	gWinBatches *obs.Gauge
 	gWinItems   *obs.Gauge
@@ -62,6 +63,7 @@ type Observer struct {
 	// the Process goroutine touches them (finish runs there).
 	lastK         knowledge.Counters
 	lastEvictions int
+	lastDropped   int64
 }
 
 // patternLabel maps a shift pattern to its metric label (the short paper
@@ -127,6 +129,7 @@ func NewObserverLabeled(reg *obs.Registry, traceCap int, baseLabels ...string) *
 
 	o.winCloses = reg.Counter("freeway_window_closes_total", "Adaptive-window closes (long-model update triggers).", o.lbl()...)
 	o.winEvictions = reg.Counter("freeway_window_evictions_total", "Window batches evicted by decay-weight expiry.", o.lbl()...)
+	o.traceDropped = reg.Counter("freeway_trace_dropped_total", "Decision-trace events evicted from the bounded /v1/trace ring.", o.lbl()...)
 
 	o.gWinBatches = reg.Gauge("freeway_window_batches", "Batches currently held by the adaptive streaming window.", o.lbl()...)
 	o.gWinItems = reg.Gauge("freeway_window_items", "Samples currently held by the adaptive streaming window.", o.lbl()...)
@@ -249,6 +252,16 @@ func (bo *batchObs) StageDone(name string, t0 time.Time) {
 	bo.o.ObserveStage(name, d)
 }
 
+// trace joins the batch's request-scoped trace context to the event, so
+// one trace id links router span → worker span → this decision record.
+func (bo *batchObs) trace(id string, fused []string) {
+	if bo == nil {
+		return
+	}
+	bo.ev.TraceID = id
+	bo.ev.FusedTraces = fused
+}
+
 // sanitized records repaired feature values.
 func (bo *batchObs) sanitized(n int) {
 	if bo == nil {
@@ -319,6 +332,7 @@ func (bo *batchObs) finishRejected(l *Learner) {
 	bo.ev.GuardRejected = true
 	bo.StageDone(strategy.StageGuard, bo.start)
 	bo.o.ring.Add(bo.ev)
+	bo.o.mirrorDropped()
 }
 
 // finish completes the batch: fills the event from the result, updates
@@ -423,4 +437,15 @@ func (bo *batchObs) finish(l *Learner, res *Result, samples int) {
 
 	o.processSec.Observe(time.Since(bo.start).Seconds())
 	o.ring.Add(bo.ev)
+	o.mirrorDropped()
+}
+
+// mirrorDropped exports the trace ring's eviction count as a monotone
+// counter (delta-mirrored like the mechanism-package counters above, and
+// likewise only touched from the Process goroutine).
+func (o *Observer) mirrorDropped() {
+	if d := o.ring.Dropped(); d > o.lastDropped {
+		o.traceDropped.Add(d - o.lastDropped)
+		o.lastDropped = d
+	}
 }

@@ -36,6 +36,16 @@ const (
 	DefaultMaxBodyBytes   = 8 << 20
 )
 
+// Defaults for the observability rings. The span ring is sized for a few
+// seconds of peak traffic (one span per forward attempt); the event ring for
+// days of breaker/migration churn; the exemplar ring for a dashboard-sized
+// top-K.
+const (
+	DefaultSpanCap   = 4096
+	DefaultEventCap  = 1024
+	DefaultExemplarK = 32
+)
+
 // Config configures a Router.
 type Config struct {
 	// Workers is the initial worker set (host:port each). At least one is
@@ -73,6 +83,19 @@ type Config struct {
 	// POST /v1/knowledge/merge on the rejoined worker) so knowledge
 	// preserved while the worker was out is not lost to it.
 	AntiEntropy bool
+
+	// SpanCap bounds the router's per-attempt span ring; EventCap the
+	// cluster timeline ring; ExemplarK the slow-request top-K ring
+	// (<= 0 selects the defaults).
+	SpanCap   int
+	EventCap  int
+	ExemplarK int
+
+	// DisableTracing turns off trace minting, span recording, exemplars,
+	// and the per-hop response headers on the forward path. The rings and
+	// /v1/cluster endpoints still exist (they just stay empty), so the flag
+	// is a pure data valve — used to measure tracing overhead.
+	DisableTracing bool
 
 	// Seed makes the retry jitter deterministic (0 = 1).
 	Seed int64
@@ -116,6 +139,15 @@ func (c *Config) withDefaults() Config {
 	if out.MaxBody <= 0 {
 		out.MaxBody = DefaultMaxBodyBytes
 	}
+	if out.SpanCap <= 0 {
+		out.SpanCap = DefaultSpanCap
+	}
+	if out.EventCap <= 0 {
+		out.EventCap = DefaultEventCap
+	}
+	if out.ExemplarK <= 0 {
+		out.ExemplarK = DefaultExemplarK
+	}
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
@@ -130,9 +162,16 @@ type workerState struct {
 	consecFails int
 	ejectedAt   time.Time
 
+	// inflight counts forward attempts currently outstanding against this
+	// worker; atomic because it is touched outside r.mu on the hot path.
+	inflight atomic.Int64
+
 	gHealthy   *obs.Gauge
+	gInflight  *obs.Gauge
 	cFailures  *obs.Counter
 	cProbeFail *obs.Counter
+	cForwards  *obs.Counter
+	hForward   *obs.Histogram
 }
 
 // Router is the stateless routing tier: it owns no stream state, only the
@@ -171,6 +210,15 @@ type Router struct {
 	cSyncOK     *obs.Counter
 	cSyncFail   *obs.Counter
 	hLatency    *obs.Histogram
+
+	// bytesIn/bytesOut count proxied request/response body bytes, keyed by
+	// wire proto ("json" or "binary").
+	bytesIn  map[string]*obs.Counter
+	bytesOut map[string]*obs.Counter
+
+	spans     *obs.SpanRing
+	events    *obs.EventRing
+	exemplars *obs.ExemplarRing
 }
 
 // NewRouter builds a router over the given workers. The prober is not
@@ -212,6 +260,17 @@ func NewRouter(cfg Config) (*Router, error) {
 		cSyncOK:     reg.Counter("freeway_router_antientropy_total", "Shared-knowledge anti-entropy syncs on rejoin, by result.", "result", "ok"),
 		cSyncFail:   reg.Counter("freeway_router_antientropy_total", "Shared-knowledge anti-entropy syncs on rejoin, by result.", "result", "error"),
 		hLatency:    reg.Histogram("freeway_router_request_seconds", "End-to-end routed request latency.", nil),
+
+		bytesIn:   map[string]*obs.Counter{},
+		bytesOut:  map[string]*obs.Counter{},
+		spans:     obs.NewSpanRing(cfg.SpanCap),
+		events:    obs.NewEventRing(cfg.EventCap),
+		exemplars: obs.NewExemplarRing(cfg.ExemplarK),
+	}
+	const proxyBytesHelp = "Request/response body bytes proxied through the router, by direction and wire proto."
+	for _, proto := range []string{protoJSON, protoBinary} {
+		rt.bytesIn[proto] = reg.Counter("freeway_router_proxy_bytes_total", proxyBytesHelp, "direction", "in", "proto", proto)
+		rt.bytesOut[proto] = reg.Counter("freeway_router_proxy_bytes_total", proxyBytesHelp, "direction", "out", "proto", proto)
 	}
 	for _, addr := range cfg.Workers {
 		if addr == "" {
@@ -224,8 +283,11 @@ func NewRouter(cfg Config) (*Router, error) {
 			addr:       addr,
 			healthy:    true,
 			gHealthy:   reg.Gauge("freeway_router_worker_healthy", "1 when the worker is in the ring, 0 when ejected.", "worker", addr),
+			gInflight:  reg.Gauge("freeway_router_worker_inflight", "Forward attempts currently outstanding, per worker.", "worker", addr),
 			cFailures:  reg.Counter("freeway_router_worker_failures_total", "Failed forward attempts and probes, per worker.", "worker", addr),
 			cProbeFail: reg.Counter("freeway_router_probe_failures_total", "Failed health probes, per worker.", "worker", addr),
+			cForwards:  reg.Counter("freeway_router_worker_forwards_total", "Forward attempts sent, per worker.", "worker", addr),
+			hForward:   reg.Histogram("freeway_router_worker_request_seconds", "Per-attempt forward latency, per worker.", nil, "worker", addr),
 		}
 		rt.workers[addr].gHealthy.Set(1)
 		rt.ring.add(addr)
@@ -235,6 +297,10 @@ func NewRouter(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("/v1/readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("/v1/metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("/v1/cluster", rt.handleCluster)
+	rt.mux.HandleFunc("/v1/cluster/metrics", rt.handleClusterMetrics)
+	rt.mux.HandleFunc("/v1/cluster/trace", rt.handleClusterTrace)
+	rt.mux.HandleFunc("/v1/cluster/events", rt.handleClusterEvents)
+	rt.mux.HandleFunc("/v1/cluster/exemplars", rt.handleClusterExemplars)
 	rt.mux.HandleFunc("/v1/streams", rt.handleStreams)
 	rt.mux.HandleFunc("/v1/streams/", func(w http.ResponseWriter, r *http.Request) {
 		rest := strings.TrimPrefix(r.URL.Path, "/v1/streams/")
@@ -307,10 +373,18 @@ func (r *Router) ownerFor(id string) (string, bool) {
 // is the stream's new home. A 503 from a worker (draining or not ready)
 // counts as a failure and is retried elsewhere; every other status is the
 // worker's answer and is relayed as-is.
+//
+// Tracing: the request's trace context comes from its traceparent header
+// (client-minted) or is minted here, and every attempt records one
+// "router.forward" span whose span id becomes the traceparent sent
+// downstream — so the worker's span parents to the exact attempt that
+// reached it, and a retried request shows one span per attempt under a
+// single trace id.
 func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
 	r.cRequests.Inc()
 	start := time.Now()
 	defer func() { r.hLatency.Observe(time.Since(start).Seconds()) }()
+	proto := protoOf(req.Header.Get("Content-Type"))
 
 	req.Body = http.MaxBytesReader(w, req.Body, r.cfg.MaxBody)
 	body, err := io.ReadAll(req.Body)
@@ -324,12 +398,18 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
 		r.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
+	r.bytesIn[proto].Add(int64(len(body)))
 
+	tr := r.beginTrace(req, id, proto)
 	var lastErr error
+	attempts := 0
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		attempts = attempt + 1
+		var backoff time.Duration
 		if attempt > 0 {
 			r.cRetries.Inc()
-			if err := sleepCtx(req.Context(), r.backoff(attempt-1)); err != nil {
+			backoff = r.backoff(attempt - 1)
+			if err := sleepCtx(req.Context(), backoff); err != nil {
 				lastErr = err
 				break
 			}
@@ -339,26 +419,63 @@ func (r *Router) forward(w http.ResponseWriter, req *http.Request, id string) {
 			lastErr = errors.New("no healthy workers in the ring")
 			continue
 		}
+		hop := tr.beginAttempt(req, owner, attempt, backoff)
+		ws := r.workerFor(owner)
+		if ws != nil {
+			ws.gInflight.Set(float64(ws.inflight.Add(1)))
+			ws.cForwards.Inc()
+		}
+		attemptStart := time.Now()
 		resp, err := r.do(req.Context(), r.cfg.RequestTimeout, owner, req.Method,
 			req.URL.RequestURI(), req.Header, body)
+		if ws != nil {
+			ws.gInflight.Set(float64(ws.inflight.Add(-1)))
+			ws.hForward.Observe(time.Since(attemptStart).Seconds())
+		}
 		if err != nil {
 			lastErr = fmt.Errorf("worker %s: %w", owner, err)
-			r.noteFailure(owner)
+			r.noteFailure(owner, tr.id())
+			hop.finish(r.breakerState(owner), lastErr)
 			continue
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			resp.Body.Close()
 			lastErr = fmt.Errorf("worker %s: status 503", owner)
-			r.noteFailure(owner)
+			r.noteFailure(owner, tr.id())
+			hop.finish(r.breakerState(owner), lastErr)
 			continue
 		}
 		r.noteSuccess(owner)
-		relay(w, resp)
+		hop.finish("closed", nil)
+		tr.setHeaders(w.Header(), resp.Header, start, attempts)
+		n := relay(w, resp)
+		r.bytesOut[proto].Add(n)
+		tr.offerExemplar(r, owner, start, attempts)
 		return
 	}
 	r.cExhausted.Inc()
+	tr.setHeaders(w.Header(), nil, start, attempts)
+	tr.offerExemplar(r, "", start, attempts)
 	r.writeError(w, http.StatusBadGateway,
 		fmt.Sprintf("stream %q: all %d attempts failed: %v", id, r.cfg.Retries+1, lastErr))
+}
+
+// workerFor returns the breaker state record for a worker address.
+func (r *Router) workerFor(addr string) *workerState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.workers[addr]
+}
+
+// breakerState reports a worker's breaker as "closed" (in the ring) or
+// "open" (ejected) — the per-attempt span annotation.
+func (r *Router) breakerState(addr string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ws, ok := r.workers[addr]; ok && ws.healthy {
+		return "closed"
+	}
+	return "open"
 }
 
 // hopByHop lists the RFC 9110 connection-scoped headers a proxy must not
@@ -422,14 +539,17 @@ func (b *cancelBody) Close() error {
 }
 
 // relay copies a worker response to the client: status, every
-// non-hop-by-hop header, and the body byte-for-byte.
-func relay(w http.ResponseWriter, resp *http.Response) {
+// non-hop-by-hop header, and the body byte-for-byte. Returns the body
+// bytes written toward the client (for the proxy-bytes counters).
+func relay(w http.ResponseWriter, resp *http.Response) int64 {
 	defer resp.Body.Close()
 	copyHeaders(w.Header(), resp.Header)
 	w.WriteHeader(resp.StatusCode)
-	if _, err := io.Copy(w, resp.Body); err != nil {
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
 		log.Printf("dist: relay body: %v", err)
 	}
+	return n
 }
 
 // backoff returns the delay before retry n (0-based): exponential from
@@ -473,8 +593,11 @@ func (r *Router) noteSuccess(addr string) {
 // breaker threshold, ejects it: the worker leaves the ring, and every
 // stream last routed to it is migrated (best-effort checkpoint-on-evict on
 // the old owner — it may be dead, in which case the new owner restores from
-// the shared checkpoint directory instead).
-func (r *Router) noteFailure(addr string) {
+// the shared checkpoint directory instead). traceID, when non-empty, is the
+// trace of the request whose failure advanced the breaker; it annotates the
+// breaker_open timeline event so an operator can jump from the ejection to
+// the request that triggered it.
+func (r *Router) noteFailure(addr, traceID string) {
 	r.mu.Lock()
 	ws, ok := r.workers[addr]
 	if !ok || !ws.healthy {
@@ -495,8 +618,12 @@ func (r *Router) noteFailure(addr string) {
 	moved := r.movedStreamsLocked()
 	r.mu.Unlock()
 
+	r.recordEvent(obs.ClusterEvent{
+		Type: obs.EventBreakerOpen, Worker: addr, TraceID: traceID,
+		Detail: fmt.Sprintf("ejected after %d consecutive failures; %d streams to migrate", ws.consecFails, len(moved)),
+	})
 	log.Printf("dist: worker %s ejected after %d consecutive failures (%d streams to migrate)", addr, ws.consecFails, len(moved))
-	r.migrate(moved)
+	r.migrate(moved, traceID)
 }
 
 // movedStream records one stream's migration: the worker it was last
@@ -535,22 +662,52 @@ func (r *Router) movedStreamsLocked() map[string]movedStream {
 // creation, that stale session would otherwise resume silently — and a
 // checkpointing evict there would clobber the fresh envelope just written
 // by step one.
-func (r *Router) migrate(moved map[string]movedStream) {
+func (r *Router) migrate(moved map[string]movedStream, traceID string) {
 	for id, mv := range moved {
 		r.cMigrations.Inc()
-		if r.evictStream(mv.prev, id, true) {
+		evicted := r.evictStream(mv.prev, id, true)
+		if evicted {
 			r.cEvictOK.Inc()
 		} else {
 			r.cEvictFail.Inc()
 		}
+		r.recordEvent(obs.ClusterEvent{
+			Type: obs.EventMigration, Worker: mv.next, Stream: id, TraceID: traceID,
+			Detail: fmt.Sprintf("from %s (checkpoint evict %s)", mv.prev, okErr(evicted)),
+		})
 		if mv.next != "" && mv.next != mv.prev {
-			if r.evictStream(mv.next, id, false) {
+			flushed := r.evictStream(mv.next, id, false)
+			if flushed {
 				r.cFlushOK.Inc()
 			} else {
 				r.cFlushFail.Inc()
 			}
+			if flushed {
+				r.recordEvent(obs.ClusterEvent{
+					Type: obs.EventStaleFlush, Worker: mv.next, Stream: id, TraceID: traceID,
+					Detail: "stale resident session discarded on new owner",
+				})
+			}
+			// The new owner restores the stream at next session creation:
+			// from the fresh evict checkpoint when step one reached the old
+			// owner, else from the last periodic checkpoint.
+			source := "fresh evict checkpoint"
+			if !evicted {
+				source = "last periodic checkpoint (previous owner unreachable)"
+			}
+			r.recordEvent(obs.ClusterEvent{
+				Type: obs.EventRestore, Worker: mv.next, Stream: id, TraceID: traceID,
+				Detail: "next session restores from " + source,
+			})
 		}
 	}
+}
+
+func okErr(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "failed"
 }
 
 // evictStream POSTs one evict call; checkpoint=false asks the worker to
@@ -599,7 +756,7 @@ func (r *Router) ProbeOnce() {
 				ws.cProbeFail.Inc()
 			}
 			r.mu.Unlock()
-			r.noteFailure(addr)
+			r.noteFailure(addr, "")
 			continue
 		}
 		r.noteProbeOK(addr)
@@ -639,8 +796,12 @@ func (r *Router) noteProbeOK(addr string) {
 	}
 	r.mu.Unlock()
 
+	r.recordEvent(obs.ClusterEvent{
+		Type: obs.EventBreakerClose, Worker: addr,
+		Detail: fmt.Sprintf("rejoined after cooldown; %d streams to migrate back", len(moved)),
+	})
 	log.Printf("dist: worker %s rejoined the ring (%d streams to migrate back)", addr, len(moved))
-	r.migrate(moved)
+	r.migrate(moved, "")
 	if r.cfg.AntiEntropy && peer != "" {
 		r.antiEntropy(peer, addr)
 	}
@@ -651,10 +812,14 @@ func (r *Router) noteProbeOK(addr string) {
 // was out of the ring are matchable there too. Best-effort: a worker
 // without a shared store answers 409 and the sync is skipped.
 func (r *Router) antiEntropy(from, to string) {
+	fail := func(detail string) {
+		r.cSyncFail.Inc()
+		r.recordEvent(obs.ClusterEvent{Type: obs.EventAntiEntropy, Worker: to, Detail: detail})
+	}
 	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, from,
 		http.MethodGet, "/v1/knowledge", nil, nil)
 	if err != nil {
-		r.cSyncFail.Inc()
+		fail(fmt.Sprintf("export from %s failed: %v", from, err))
 		log.Printf("dist: anti-entropy export from %s: %v", from, err)
 		return
 	}
@@ -662,14 +827,14 @@ func (r *Router) antiEntropy(from, to string) {
 	code := resp.StatusCode
 	resp.Body.Close()
 	if err != nil || code != http.StatusOK {
-		r.cSyncFail.Inc()
+		fail(fmt.Sprintf("export from %s failed: status %d err %v", from, code, err))
 		log.Printf("dist: anti-entropy export from %s: status %d err %v", from, code, err)
 		return
 	}
 	resp, err = r.do(context.Background(), r.cfg.RequestTimeout, to,
 		http.MethodPost, "/v1/knowledge/merge", jsonHeader, body)
 	if err != nil {
-		r.cSyncFail.Inc()
+		fail(fmt.Sprintf("merge failed: %v", err))
 		log.Printf("dist: anti-entropy merge into %s: %v", to, err)
 		return
 	}
@@ -677,11 +842,15 @@ func (r *Router) antiEntropy(from, to string) {
 	code = resp.StatusCode
 	resp.Body.Close()
 	if code != http.StatusOK {
-		r.cSyncFail.Inc()
+		fail(fmt.Sprintf("merge failed: status %d", code))
 		log.Printf("dist: anti-entropy merge into %s: status %d", to, code)
 		return
 	}
 	r.cSyncOK.Inc()
+	r.recordEvent(obs.ClusterEvent{
+		Type: obs.EventAntiEntropy, Worker: to,
+		Detail: "shared knowledge synced from " + from,
+	})
 }
 
 // ClusterWorker is one worker's row in the /v1/cluster topology report.

@@ -1,0 +1,73 @@
+package dist
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"freewayml/internal/core"
+	"freewayml/internal/serve"
+)
+
+// benchRouterHop measures one routed hop end to end — router attempt loop,
+// HTTP round trip, and a real freeway-serve worker running the learner —
+// with tracing either live (trace mint, per-attempt span, downstream
+// traceparent, response headers, exemplar offer) or disabled. This is the
+// router extension of the BenchmarkLearnerInstrumented contract: the gate
+// is Traced within ≤3% of Untraced, with the denominator a real routed
+// batch rather than a stub, exactly as the learner gate's denominator is a
+// real Process call.
+func benchRouterHop(b *testing.B, disableTracing bool) {
+	cfg := core.DefaultConfig()
+	cfg.Shift.WarmupPoints = 64
+	srv, err := serve.New(cfg, 3, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rt, err := NewRouter(Config{
+		Workers:        []string{strings.TrimPrefix(ts.URL, "http://")},
+		DisableTracing: disableTracing,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	var batch struct {
+		X [][]float64 `json:"x"`
+		Y []int       `json:"y"`
+	}
+	for i := 0; i < 16; i++ {
+		c := rng.Intn(2)
+		batch.X = append(batch.X, []float64{float64(c)*2 + rng.NormFloat64()*0.3, rng.NormFloat64() * 0.3, 0})
+		batch.Y = append(batch.Y, c)
+	}
+	body, err := json.Marshal(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := string(body)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/streams/bench/process", strings.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		rt.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkRouterHopTraced(b *testing.B)   { benchRouterHop(b, false) }
+func BenchmarkRouterHopUntraced(b *testing.B) { benchRouterHop(b, true) }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Cluster timeline event types recorded by the router. Kept as plain
+// strings (not an enum) so workers or future components can add their own
+// types without touching this package.
+const (
+	EventBreakerOpen  = "breaker_open"  // worker ejected after consecutive failures
+	EventBreakerClose = "breaker_close" // worker rejoined after a successful probe
+	EventMigration    = "migration"     // a stream's sessions moved between workers
+	EventRestore      = "checkpoint_restore"
+	EventAntiEntropy  = "anti_entropy" // knowledge merge on rejoin
+	EventStaleFlush   = "stale_flush"  // rejoining worker dropped stale sessions
+)
+
+// ClusterEvent is one structured timeline entry: what happened, where, and
+// (when the event was caused by a traced request) which trace to follow.
+type ClusterEvent struct {
+	// UnixNano timestamps the event.
+	UnixNano int64 `json:"unix_nano"`
+	// Type is one of the Event* constants.
+	Type string `json:"type"`
+	// Worker is the worker address the event concerns.
+	Worker string `json:"worker,omitempty"`
+	// Stream is the affected stream id (migrations).
+	Stream string `json:"stream,omitempty"`
+	// TraceID links the event to the request that caused it, when any.
+	TraceID string `json:"trace_id,omitempty"`
+	// Detail is a human-readable elaboration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// EventRing is a bounded ring of cluster timeline events, mirroring
+// TraceRing. Safe for concurrent writers and readers.
+type EventRing struct {
+	mu      sync.Mutex
+	buf     []ClusterEvent
+	next    int
+	n       int
+	dropped int64
+}
+
+// NewEventRing returns a ring holding at most capacity events
+// (capacity < 1 is raised to 1).
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]ClusterEvent, capacity)}
+}
+
+// Add appends an event, evicting the oldest when full.
+func (r *EventRing) Add(ev ClusterEvent) {
+	r.mu.Lock()
+	if r.n == len(r.buf) {
+		r.dropped++
+	} else {
+		r.n++
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % len(r.buf)
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained events.
+func (r *EventRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Dropped returns how many events have been evicted.
+func (r *EventRing) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Last returns up to n retained events in chronological order (oldest
+// first). n <= 0 returns every retained event.
+func (r *EventRing) Last(n int) []ClusterEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > r.n {
+		n = r.n
+	}
+	out := make([]ClusterEvent, n)
+	start := r.next - n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// WriteJSONL encodes up to n events (oldest first) as one JSON object per
+// line — the /v1/cluster/events format.
+func (r *EventRing) WriteJSONL(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	var firstErr error
+	for _, ev := range r.Last(n) {
+		if err := enc.Encode(ev); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"io"
+	"strings"
+)
+
+// Metrics federation: merging several Prometheus text expositions (the
+// router's own registry plus one scrape per healthy worker) into a single
+// exposition in which every worker-originated series carries a
+// worker="<id>" label.
+//
+// Merge rules:
+//   - Each input is split into metric families by its # TYPE comments;
+//     sample lines are attributed to the most recent TYPE family above
+//     them (the layout WritePrometheus and every Prometheus client
+//     library produce). Samples with no preceding TYPE go to an implicit
+//     untyped family named after the sample.
+//   - Families are emitted in first-seen order across inputs. HELP/TYPE
+//     comments come from the first input that declared the family;
+//     duplicate declarations from later inputs are dropped.
+//   - Every sample line from an input with a non-empty label value gets
+//     `worker="<id>"` spliced into its label set. Histogram _bucket/_sum/
+//     _count suffix lines are plain samples here, so they are labeled the
+//     same way and the triple stays consistent.
+//   - If a sample already carries a `worker` label (the router's own
+//     per-worker series, scraped transitively), the existing label is
+//     renamed to exported_worker, matching Prometheus federation
+//     convention, so the injected label never collides.
+//   - Inputs that declare the same family with a different TYPE keep
+//     their samples (they are still labeled and emitted) but their
+//     conflicting declaration is dropped; first declaration wins.
+
+// ExpositionPart is one input to MergeExpositions.
+type ExpositionPart struct {
+	// Worker is the label value injected into every sample of this part.
+	// Empty means "emit unlabeled" (the federating node's own series).
+	Worker string
+	// Text is the part's Prometheus text exposition.
+	Text string
+}
+
+type mergedFamily struct {
+	comments []string // HELP/TYPE lines from the first declaring part
+	samples  []string // label-injected sample lines, input order
+}
+
+// MergeExpositions merges the parts into one exposition written to w.
+func MergeExpositions(w io.Writer, parts []ExpositionPart) error {
+	families := map[string]*mergedFamily{}
+	var order []string
+	get := func(name string) *mergedFamily {
+		f := families[name]
+		if f == nil {
+			f = &mergedFamily{}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	for _, part := range parts {
+		current := "" // family the next samples belong to
+		for _, line := range strings.Split(part.Text, "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				name, isDecl := commentFamily(line)
+				if !isDecl {
+					continue // free-form comment: drop
+				}
+				current = name
+				f := get(name)
+				if !containsLine(f.comments, line) && len(f.comments) < 2 {
+					// Keep at most one HELP and one TYPE (first part wins).
+					if strings.HasPrefix(line, "# TYPE ") && hasType(f.comments) {
+						continue
+					}
+					if strings.HasPrefix(line, "# HELP ") && hasHelp(f.comments) {
+						continue
+					}
+					f.comments = append(f.comments, line)
+				}
+				continue
+			}
+			name := sampleName(line)
+			if name == "" {
+				continue // malformed sample: drop
+			}
+			fam := current
+			if fam == "" || !belongsTo(name, fam) {
+				fam = baseName(name)
+			}
+			f := get(fam)
+			f.samples = append(f.samples, injectWorkerLabel(line, part.Worker))
+		}
+	}
+	var sb strings.Builder
+	for _, name := range order {
+		f := families[name]
+		for _, c := range f.comments {
+			sb.WriteString(c)
+			sb.WriteByte('\n')
+		}
+		for _, s := range f.samples {
+			sb.WriteString(s)
+			sb.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// commentFamily extracts the family name from a "# HELP name ..." or
+// "# TYPE name ..." comment; isDecl is false for any other comment.
+func commentFamily(line string) (name string, isDecl bool) {
+	rest, ok := strings.CutPrefix(line, "# HELP ")
+	if !ok {
+		rest, ok = strings.CutPrefix(line, "# TYPE ")
+	}
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, ' '); i > 0 {
+		return rest[:i], true
+	}
+	return rest, rest != ""
+}
+
+func hasType(comments []string) bool {
+	for _, c := range comments {
+		if strings.HasPrefix(c, "# TYPE ") {
+			return true
+		}
+	}
+	return false
+}
+
+func hasHelp(comments []string) bool {
+	for _, c := range comments {
+		if strings.HasPrefix(c, "# HELP ") {
+			return true
+		}
+	}
+	return false
+}
+
+func containsLine(lines []string, s string) bool {
+	for _, l := range lines {
+		if l == s {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleName returns the metric name of a sample line (up to the first
+// '{' or space), or "" when malformed.
+func sampleName(line string) string {
+	end := len(line)
+	if i := strings.IndexAny(line, "{ "); i >= 0 {
+		end = i
+	}
+	if end == 0 {
+		return ""
+	}
+	return line[:end]
+}
+
+// baseName strips the histogram/summary suffixes so _bucket/_sum/_count
+// samples group under their family.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if s, ok := strings.CutSuffix(name, suf); ok && s != "" {
+			return s
+		}
+	}
+	return name
+}
+
+// belongsTo reports whether a sample name is part of the family: equal, or
+// family plus a histogram suffix.
+func belongsTo(name, fam string) bool {
+	if name == fam {
+		return true
+	}
+	rest, ok := strings.CutPrefix(name, fam)
+	if !ok {
+		return false
+	}
+	switch rest {
+	case "_bucket", "_sum", "_count":
+		return true
+	}
+	return false
+}
+
+// injectWorkerLabel splices worker="<id>" into a sample line's label set,
+// renaming any pre-existing worker label to exported_worker. worker == ""
+// returns the line unchanged.
+func injectWorkerLabel(line, worker string) string {
+	if worker == "" {
+		return line
+	}
+	lbl := `worker="` + escapeLabelValue(worker) + `"`
+	open := strings.IndexByte(line, '{')
+	if open < 0 {
+		// `name value` → `name{worker="id"} value`
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return line // malformed; leave as-is
+		}
+		return line[:sp] + "{" + lbl + "}" + line[sp:]
+	}
+	end := strings.IndexByte(line[open:], '}')
+	if end < 0 {
+		return line
+	}
+	end += open
+	labels := renameLabel(line[open+1:end], "worker", "exported_worker")
+	if labels == "" {
+		return line[:open+1] + lbl + line[end:]
+	}
+	return line[:open+1] + lbl + "," + labels + line[end:]
+}
+
+// renameLabel renames whole-key occurrences of from= to to= in a rendered
+// label list. Matching is on key boundaries (start of list or after a
+// comma), so keys that merely end in `from` (exported_worker, coworker)
+// are untouched.
+func renameLabel(labels, from, to string) string {
+	var sb strings.Builder
+	i := 0
+	for i < len(labels) {
+		eq := strings.IndexByte(labels[i:], '=')
+		if eq < 0 {
+			sb.WriteString(labels[i:])
+			break
+		}
+		if key := labels[i : i+eq]; key == from {
+			sb.WriteString(to)
+		} else {
+			sb.WriteString(key)
+		}
+		j := i + eq + 1
+		if j >= len(labels) || labels[j] != '"' {
+			// Malformed pair: copy the remainder verbatim.
+			sb.WriteString(labels[i+eq:])
+			break
+		}
+		sb.WriteString(`="`)
+		j++
+		for j < len(labels) {
+			if labels[j] == '\\' && j+1 < len(labels) {
+				sb.WriteString(labels[j : j+2])
+				j += 2
+				continue
+			}
+			c := labels[j]
+			sb.WriteByte(c)
+			j++
+			if c == '"' {
+				break
+			}
+		}
+		if j < len(labels) && labels[j] == ',' {
+			sb.WriteByte(',')
+			j++
+		}
+		i = j
+	}
+	return sb.String()
+}

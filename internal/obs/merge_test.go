@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeExpositionsLabelsWorkerSeries(t *testing.T) {
+	router := "# HELP freeway_router_requests_total forwarded\n" +
+		"# TYPE freeway_router_requests_total counter\n" +
+		"freeway_router_requests_total 7\n"
+	w1 := "# HELP freeway_http_requests_total served\n" +
+		"# TYPE freeway_http_requests_total counter\n" +
+		"freeway_http_requests_total 3\n" +
+		"# TYPE fw_stage_seconds histogram\n" +
+		"fw_stage_seconds_bucket{stage=\"guard\",le=\"+Inf\"} 2\n" +
+		"fw_stage_seconds_sum{stage=\"guard\"} 0.5\n" +
+		"fw_stage_seconds_count{stage=\"guard\"} 2\n"
+	w2 := "# HELP freeway_http_requests_total served\n" +
+		"# TYPE freeway_http_requests_total counter\n" +
+		"freeway_http_requests_total 4\n"
+
+	var sb strings.Builder
+	err := MergeExpositions(&sb, []ExpositionPart{
+		{Worker: "", Text: router},
+		{Worker: "w1:1", Text: w1},
+		{Worker: "w2:2", Text: w2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"freeway_router_requests_total 7",
+		`freeway_http_requests_total{worker="w1:1"} 3`,
+		`freeway_http_requests_total{worker="w2:2"} 4`,
+		`fw_stage_seconds_bucket{worker="w1:1",stage="guard",le="+Inf"} 2`,
+		`fw_stage_seconds_sum{worker="w1:1",stage="guard"} 0.5`,
+		`fw_stage_seconds_count{worker="w1:1",stage="guard"} 2`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE freeway_http_requests_total counter"); n != 1 {
+		t.Errorf("TYPE declared %d times, want 1:\n%s", n, out)
+	}
+	// Valid exposition-order invariant: every sample follows its family's
+	// TYPE line before any other family's TYPE line intervenes.
+	if validateExpositionText(t, out); t.Failed() {
+		t.Logf("full merged output:\n%s", out)
+	}
+}
+
+func TestMergeExpositionsRenamesWorkerLabel(t *testing.T) {
+	part := "# TYPE freeway_router_worker_healthy gauge\n" +
+		"freeway_router_worker_healthy{worker=\"10.0.0.1:9\"} 1\n"
+	var sb strings.Builder
+	if err := MergeExpositions(&sb, []ExpositionPart{{Worker: "agg", Text: part}}); err != nil {
+		t.Fatal(err)
+	}
+	want := `freeway_router_worker_healthy{worker="agg",exported_worker="10.0.0.1:9"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("got:\n%s\nwant line %q", sb.String(), want)
+	}
+}
+
+func TestMergeExpositionsUntypedSamples(t *testing.T) {
+	part := "orphan_metric 1\n"
+	var sb strings.Builder
+	if err := MergeExpositions(&sb, []ExpositionPart{{Worker: "w", Text: part}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `orphan_metric{worker="w"} 1`) {
+		t.Fatalf("orphan sample not labeled: %q", sb.String())
+	}
+}
+
+func TestRenameLabelBoundaries(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`worker="a"`, `exported_worker="a"`},
+		{`coworker="a"`, `coworker="a"`},
+		{`exported_worker="a"`, `exported_worker="a"`},
+		{`stream="s",worker="a"`, `stream="s",exported_worker="a"`},
+		{`worker="a\"b",le="1"`, `exported_worker="a\"b",le="1"`},
+		{``, ``},
+	}
+	for _, c := range cases {
+		if got := renameLabel(c.in, "worker", "exported_worker"); got != c.want {
+			t.Errorf("renameLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// validateExpositionText checks the sample-after-TYPE grouping invariant on
+// merged output: once a family's samples start, no sample from an earlier
+// family may reappear.
+func validateExpositionText(t *testing.T, text string) {
+	t.Helper()
+	seenDone := map[string]bool{}
+	current := ""
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := baseName(sampleName(line))
+		if name != current {
+			if seenDone[name] {
+				t.Errorf("family %q samples split into multiple blocks", name)
+			}
+			if current != "" {
+				seenDone[current] = true
+			}
+			current = name
+		}
+	}
+}

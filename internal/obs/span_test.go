@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatalf("minted context invalid: %+v", tc)
+	}
+	tp := tc.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", tp, len(tp))
+	}
+	got, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected", tp)
+	}
+	if got != tc {
+		t.Fatalf("round trip: got %+v, want %+v", got, tc)
+	}
+}
+
+func TestParseTraceparentRejects(t *testing.T) {
+	bad := []string{
+		"",
+		"00-abc-def-01",
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // all-zero trace id
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // all-zero span id
+		"00-" + strings.Repeat("A", 32) + "-" + strings.Repeat("a", 16) + "-01", // uppercase hex
+		"zz-" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // bad version
+		"00x" + strings.Repeat("a", 32) + "-" + strings.Repeat("a", 16) + "-01", // bad separator
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+	// Future versions and trailing members must parse (W3C forward compat).
+	good := "01-" + strings.Repeat("a", 32) + "-" + strings.Repeat("b", 16) + "-01-extra"
+	if _, ok := ParseTraceparent(good); !ok {
+		t.Errorf("ParseTraceparent(%q) rejected, want accept", good)
+	}
+}
+
+func TestNewIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || seen[id] {
+			t.Fatalf("trace id %q duplicate or malformed at i=%d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanRingByTraceAndEviction(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 6; i++ {
+		id := "t1"
+		if i%2 == 1 {
+			id = "t2"
+		}
+		r.Add(Span{TraceID: id, Attempt: i})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", r.Dropped())
+	}
+	got := r.ByTrace("t1")
+	if len(got) != 2 || got[0].Attempt != 2 || got[1].Attempt != 4 {
+		t.Fatalf("ByTrace(t1) = %+v", got)
+	}
+	if n := len(r.Last(0)); n != 4 {
+		t.Fatalf("Last(0) returned %d spans, want 4", n)
+	}
+}
+
+func TestSpanRingConcurrent(t *testing.T) {
+	r := NewSpanRing(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(Span{TraceID: NewTraceID()})
+				r.ByTrace("none")
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", r.Len())
+	}
+}
+
+func TestExemplarRingTopK(t *testing.T) {
+	r := NewExemplarRing(3)
+	for _, d := range []float64{5, 1, 9, 3, 7, 2} {
+		r.Offer(Exemplar{TraceID: "t", DurationMicros: d})
+	}
+	top := r.TopK()
+	if len(top) != 3 {
+		t.Fatalf("TopK len = %d, want 3", len(top))
+	}
+	want := []float64{9, 7, 5}
+	for i, e := range top {
+		if e.DurationMicros != want[i] {
+			t.Fatalf("TopK[%d] = %v, want %v", i, e.DurationMicros, want[i])
+		}
+	}
+}
+
+func TestEventRingJSONL(t *testing.T) {
+	r := NewEventRing(2)
+	r.Add(ClusterEvent{Type: EventBreakerOpen, Worker: "w1"})
+	r.Add(ClusterEvent{Type: EventMigration, Worker: "w2", Stream: "s"})
+	r.Add(ClusterEvent{Type: EventBreakerClose, Worker: "w1"})
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	var sb strings.Builder
+	if err := r.WriteJSONL(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2: %q", len(lines), sb.String())
+	}
+	if !strings.Contains(lines[0], EventMigration) || !strings.Contains(lines[1], EventBreakerClose) {
+		t.Fatalf("unexpected JSONL order: %q", sb.String())
+	}
+}

@@ -62,6 +62,12 @@ type TraceEvent struct {
 	Divergences    int  `json:"divergences,omitempty"`
 	// Accuracy is the batch's real-time accuracy (-1 when unlabeled).
 	Accuracy float64 `json:"accuracy"`
+	// TraceID joins this event to the request-scoped trace that carried
+	// the batch (empty for untraced ingestion paths).
+	TraceID string `json:"trace_id,omitempty"`
+	// FusedTraces lists the trace ids of every request the coalescer fused
+	// into this compute pass (nil when the batch ran alone).
+	FusedTraces []string `json:"fused_traces,omitempty"`
 	// Stages are the per-stage wall times, pipeline order.
 	Stages []StageTiming `json:"stages"`
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"freewayml/internal/linalg"
+	"freewayml/internal/obs"
 	"freewayml/internal/wire"
 )
 
@@ -67,7 +68,10 @@ func (s *Server) handleProcessBinary(w http.ResponseWriter, r *http.Request, id 
 			fmt.Sprintf("frame is addressed to stream %q, not %q", f.ID, id))
 		return
 	}
-	out, status, err := s.processDecodedFrame(r.Context(), id, f)
+	rec := s.beginSpan(id, "binary", r.Header.Get(obs.TraceparentHeader), f.Traceparent, len(f.X))
+	out, status, err := s.processDecodedFrame(r.Context(), id, rec.traceID(), f)
+	rec.finish(out.Fused, err)
+	rec.setHeaders(w.Header())
 	if err != nil {
 		s.writeError(w, status, err.Error())
 		return
@@ -80,7 +84,7 @@ func (s *Server) handleProcessBinary(w http.ResponseWriter, r *http.Request, id 
 // frame's storage is detached — the frame re-arms from the tensor pool on
 // its next use. Under coalescing the submit packs the rows into group-owned
 // storage, so the frame keeps its slab and stays allocation-free.
-func (s *Server) processDecodedFrame(ctx context.Context, id string, f *wire.Frame) (ProcessResponse, int, error) {
+func (s *Server) processDecodedFrame(ctx context.Context, id, traceID string, f *wire.Frame) (ProcessResponse, int, error) {
 	if err := validateRows(f.X, f.Y, s.dim, s.classes); err != nil {
 		return ProcessResponse{}, http.StatusBadRequest, err
 	}
@@ -88,7 +92,7 @@ func (s *Server) processDecodedFrame(ctx context.Context, id string, f *wire.Fra
 	if s.coal == nil {
 		x, y = f.Detach()
 	}
-	return s.process(ctx, id, x, y)
+	return s.process(ctx, id, traceID, x, y)
 }
 
 // ServeBinary accepts persistent binary connections on ln and serves
@@ -187,7 +191,10 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 		} else {
 			// No per-request context exists on a raw connection; the pass
 			// runs to completion (the deadline governs reads, not compute).
-			out, status, perr = s.processDecodedFrame(context.Background(), f.ID, f)
+			// Trace context, if any, rides inside the frame (version 2).
+			rec := s.beginSpan(f.ID, "binary", "", f.Traceparent, len(f.X))
+			out, status, perr = s.processDecodedFrame(context.Background(), f.ID, rec.traceID(), f)
+			rec.finish(out.Fused, perr)
 		}
 		if perr != nil {
 			if !s.writeBinaryError(bw, status, perr.Error()) {

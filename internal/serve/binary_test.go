@@ -160,8 +160,9 @@ func quantizeF32(req ProcessRequest) ProcessRequest {
 	return req
 }
 
-// traceLines fetches a stream's decision trace and strips the wall-time
-// fields (stage timings), which legitimately differ across runs.
+// traceLines fetches a stream's decision trace and strips the fields that
+// legitimately differ across runs: wall-time stage timings and the
+// randomly minted per-request trace ids.
 func traceLines(t *testing.T, url string) []map[string]any {
 	t.Helper()
 	resp, err := http.Get(url + "/v1/trace")
@@ -178,6 +179,8 @@ func traceLines(t *testing.T, url string) []map[string]any {
 			t.Fatal(err)
 		}
 		delete(ev, "stages")
+		delete(ev, "trace_id")
+		delete(ev, "fused_traces")
 		out = append(out, ev)
 	}
 	if err := sc.Err(); err != nil {

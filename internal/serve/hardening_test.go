@@ -79,7 +79,7 @@ func TestDirtyBatchRejectedWithoutPoisoningState(t *testing.T) {
 	// through the library path — exercise the decoded-request seam directly.
 	dirty := batchReq(rng, 8, true)
 	dirty.X[3][1] = math.NaN()
-	_, status, err := s.process(context.Background(), DefaultStream, dirty.X, dirty.Y)
+	_, status, err := s.process(context.Background(), DefaultStream, "", dirty.X, dirty.Y)
 	if err == nil || status != http.StatusUnprocessableEntity {
 		t.Errorf("NaN batch: status %d (err %v), want 422", status, err)
 	}

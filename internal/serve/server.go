@@ -315,6 +315,10 @@ type Server struct {
 	binLns     map[net.Listener]struct{}
 	binConns   map[net.Conn]struct{}
 
+	workerID atomic.Value // string; span Service name
+	spanCap  int
+	spans    *obs.SpanRing
+
 	reqs      atomic.Int64
 	rejects   atomic.Int64
 	bodyCap   atomic.Int64
@@ -342,6 +346,7 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 		mux:        http.NewServeMux(),
 		maxBody:    DefaultMaxBodyBytes,
 		binTimeout: DefaultBinaryReadTimeout,
+		spanCap:    DefaultSpanCap,
 		scfg: session.Config{
 			Learner: cfg,
 			Dim:     dim,
@@ -351,6 +356,7 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	s.spans = obs.NewSpanRing(s.spanCap)
 	mgr, err := session.NewManager(s.scfg)
 	if err != nil {
 		return nil, err
@@ -369,7 +375,17 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 			// context: members that give up are answered 499, but their rows
 			// are already packed and the pass must complete for the rest.
 			Run: func(b coalesce.Batch) (any, error) {
-				return s.mgr.ProcessBatch(context.Background(), b.ID, stream.Batch{X: b.X, Y: b.Y})
+				sb := stream.Batch{X: b.X, Y: b.Y}
+				// The fused pass produces one TraceEvent; it carries the first
+				// member's trace id plus the full fused membership so every
+				// participating trace can find the shared decision record.
+				if len(b.TraceIDs) > 0 {
+					sb.TraceID = b.TraceIDs[0]
+					if b.Members > 1 {
+						sb.FusedTraces = b.TraceIDs
+					}
+				}
+				return s.mgr.ProcessBatch(context.Background(), b.ID, sb)
 			},
 		})
 		if err != nil {
@@ -384,7 +400,7 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/health",
 		"/v1/readyz", "/v1/metrics", "/v1/streams", "/v1/knowledge", "/v1/knowledge/merge",
 		"/v1/streams/:id/process", "/v1/streams/:id/stats", "/v1/streams/:id/trace",
-		"/v1/streams/:id/evict", "/v1/streams/:id/other", "binary",
+		"/v1/streams/:id/evict", "/v1/streams/:id/other", "/v1/spans", "binary",
 	} {
 		s.routeCounters[route] = mgr.Registry().Counter("freeway_http_requests_total", "HTTP requests by route.", "path", route)
 	}
@@ -402,6 +418,7 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 	s.handle("/v1/streams", s.handleStreams)
 	s.handle("/v1/knowledge", s.handleKnowledgeExport)
 	s.handle("/v1/knowledge/merge", s.handleKnowledgeMerge)
+	s.handle("/v1/spans", s.handleSpans)
 	s.mux.HandleFunc("/v1/streams/", s.handleStreamRoute)
 	if s.pprofOn {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -536,7 +553,10 @@ func (s *Server) handleProcess(w http.ResponseWriter, r *http.Request, id string
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	out, status, err := s.process(r.Context(), id, req.X, req.Y)
+	rec := s.beginSpan(id, "json", r.Header.Get(obs.TraceparentHeader), "", len(req.X))
+	out, status, err := s.process(r.Context(), id, rec.traceID(), req.X, req.Y)
+	rec.finish(out.Fused, err)
+	rec.setHeaders(w.Header())
 	if err != nil {
 		s.writeError(w, status, err.Error())
 		return
@@ -570,11 +590,11 @@ func (s *Server) errStatus(err error) int {
 // The rows are handed off without copying on the direct path (callers that
 // reuse decode storage must detach it first); the coalescer packs them into
 // group-owned storage before returning.
-func (s *Server) process(ctx context.Context, id string, x [][]float64, y []int) (ProcessResponse, int, error) {
+func (s *Server) process(ctx context.Context, id, traceID string, x [][]float64, y []int) (ProcessResponse, int, error) {
 	if s.coal != nil {
-		return s.processCoalesced(ctx, id, x, y)
+		return s.processCoalesced(ctx, id, traceID, x, y)
 	}
-	res, err := s.mgr.Process(ctx, id, x, y)
+	res, err := s.mgr.ProcessBatch(ctx, id, stream.Batch{X: x, Y: y, TraceID: traceID})
 	if err != nil {
 		return ProcessResponse{}, s.errStatus(err), err
 	}
@@ -586,8 +606,8 @@ func (s *Server) process(ctx context.Context, id string, x [][]float64, y []int)
 // shift observation are group-level (one detector pass covered the fused
 // batch); predictions are this member's rows, and accuracy is recomputed
 // over them so each caller still sees its own batch scored.
-func (s *Server) processCoalesced(ctx context.Context, id string, x [][]float64, y []int) (ProcessResponse, int, error) {
-	sub, err := s.coal.Submit(ctx, id, x, y)
+func (s *Server) processCoalesced(ctx context.Context, id, traceID string, x [][]float64, y []int) (ProcessResponse, int, error) {
+	sub, err := s.coal.SubmitTraced(ctx, id, traceID, x, y)
 	if err != nil {
 		return ProcessResponse{}, s.errStatus(err), err
 	}
@@ -904,11 +924,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleTrace serves a stream's decision trace as JSONL, oldest retained
-// event first. ?n=K limits the output to the newest K events.
+// event first. ?n=K limits the output to the newest K events; ?stream=<id>
+// selects another stream's ring — so /v1/trace?stream=orders works without
+// the /v1/streams/orders/trace path form (handy for dashboards that only
+// template query parameters).
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request, id string) {
 	if r.Method != http.MethodGet {
 		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
 		return
+	}
+	if q := r.URL.Query().Get("stream"); q != "" {
+		id = q
 	}
 	n := 0
 	if q := r.URL.Query().Get("n"); q != "" {

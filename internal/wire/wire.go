@@ -8,14 +8,24 @@
 //
 //	offset  size  field
 //	0       4     magic "FWB1"
-//	4       1     version (1)
+//	4       1     version (1 or 2)
 //	5       1     dtype: 0 = float64, 1 = float32
-//	6       2     flags: bit0 = labels present (others must be zero)
+//	6       2     flags: bit0 = labels present; bit1 = trace context present
+//	              (version 2 only; all other bits must be zero)
 //	8       2     id length in bytes (may be 0 when the id travels out of band)
-//	10      2     reserved (must be zero)
+//	10      2     version 1: reserved (must be zero)
+//	              version 2: trace-context length in bytes (non-zero iff bit1
+//	              of flags is set)
 //	12      4     rows
 //	16      4     cols
-//	20      ...   id bytes, then rows×cols feature values, then rows int32 labels
+//	20      ...   id bytes, then trace-context bytes (a W3C traceparent
+//	              string, version 2 only), then rows×cols feature values,
+//	              then rows int32 labels
+//
+// Version 2 exists only to carry the optional trace context: a version-2
+// frame without FlagTrace is byte-identical to version 1 except for the
+// version byte, and encoders emit version 1 whenever no trace context is
+// attached, so untraced traffic stays bitwise-identical to PR7 frames.
 //
 // On the stream transport each frame is preceded by a uint32 byte length
 // (ReadFrame); over HTTP the body is exactly one frame and Content-Length
@@ -48,15 +58,29 @@ const (
 	Float32 byte = 1
 )
 
-// Version is the only frame version this package reads and writes.
+// Version is the baseline frame version: no trace context, reserved field
+// zero. Encoders emit it whenever possible so untraced frames stay
+// bitwise-identical across releases.
 const Version = 1
+
+// VersionTrace is the frame version that may carry a trace-context
+// extension (FlagTrace + a non-zero length at offset 10).
+const VersionTrace = 2
 
 // FlagLabels marks a frame carrying one int32 label per row.
 const FlagLabels uint16 = 1 << 0
 
+// FlagTrace marks a version-2 frame carrying a trace-context extension
+// (a W3C traceparent string between the id and the features).
+const FlagTrace uint16 = 1 << 1
+
 // MaxIDLen bounds the embedded stream id (the session layer caps ids at 64
 // anyway; the wire cap just keeps the u16 honest).
 const MaxIDLen = 256
+
+// MaxTraceLen bounds the embedded trace context (a traceparent is 55
+// bytes; the slack allows future vendor suffixes without a format bump).
+const MaxTraceLen = 128
 
 var magic = [4]byte{'F', 'W', 'B', '1'}
 
@@ -75,6 +99,9 @@ var ErrTooLarge = errors.New("wire: frame exceeds size cap")
 type Frame struct {
 	// ID is the embedded stream id ("" when the frame is path-addressed).
 	ID string
+	// Traceparent is the embedded trace context ("" when the frame carries
+	// none) — the binary-path equivalent of the traceparent HTTP header.
+	Traceparent string
 	// Dtype is the feature payload's on-wire precision (features are always
 	// widened to float64 in X — the compute core is float64).
 	Dtype byte
@@ -126,20 +153,34 @@ func (f *Frame) DecodeInto(buf []byte) error {
 	if [4]byte(buf[0:4]) != magic {
 		return fmt.Errorf("%w: bad magic %q", ErrMalformed, buf[0:4])
 	}
-	if v := buf[4]; v != Version {
-		return fmt.Errorf("%w: version %d, want %d", ErrMalformed, v, Version)
+	version := buf[4]
+	if version != Version && version != VersionTrace {
+		return fmt.Errorf("%w: version %d, want %d or %d", ErrMalformed, version, Version, VersionTrace)
 	}
 	dtype := buf[5]
 	if dtype != Float64 && dtype != Float32 {
 		return fmt.Errorf("%w: unknown dtype %d", ErrMalformed, dtype)
 	}
 	flags := binary.LittleEndian.Uint16(buf[6:8])
-	if flags&^FlagLabels != 0 {
-		return fmt.Errorf("%w: unknown flags %#x", ErrMalformed, flags)
+	known := FlagLabels
+	if version == VersionTrace {
+		known |= FlagTrace
+	}
+	if flags&^known != 0 {
+		return fmt.Errorf("%w: unknown flags %#x for version %d", ErrMalformed, flags, version)
 	}
 	idLen := int(binary.LittleEndian.Uint16(buf[8:10]))
-	if reserved := binary.LittleEndian.Uint16(buf[10:12]); reserved != 0 {
-		return fmt.Errorf("%w: reserved field %#x", ErrMalformed, reserved)
+	// Offset 10 is reserved (must be zero) in version 1 and the
+	// trace-context length in version 2.
+	traceLen := int(binary.LittleEndian.Uint16(buf[10:12]))
+	traced := flags&FlagTrace != 0
+	switch {
+	case version == Version && traceLen != 0:
+		return fmt.Errorf("%w: reserved field %#x", ErrMalformed, traceLen)
+	case traced && (traceLen == 0 || traceLen > MaxTraceLen):
+		return fmt.Errorf("%w: trace length %d outside (0,%d]", ErrMalformed, traceLen, MaxTraceLen)
+	case !traced && traceLen != 0:
+		return fmt.Errorf("%w: trace length %d without trace flag", ErrMalformed, traceLen)
 	}
 	rows64 := uint64(binary.LittleEndian.Uint32(buf[12:16]))
 	cols64 := uint64(binary.LittleEndian.Uint32(buf[16:20]))
@@ -161,7 +202,7 @@ func (f *Frame) DecodeInto(buf []byte) error {
 	if elems > uint64(len(buf))/esz {
 		return fmt.Errorf("%w: %d×%d values cannot fit %d bytes", ErrMalformed, rows64, cols64, len(buf))
 	}
-	want := uint64(HeaderSize) + uint64(idLen) + elems*esz
+	want := uint64(HeaderSize) + uint64(idLen) + uint64(traceLen) + elems*esz
 	if labeled {
 		want += rows64 * 4
 	}
@@ -177,6 +218,10 @@ func (f *Frame) DecodeInto(buf []byte) error {
 	if f.ID != string(idBytes) {
 		f.ID = string(idBytes)
 	}
+	traceBytes := buf[HeaderSize+idLen : HeaderSize+idLen+traceLen]
+	if f.Traceparent != string(traceBytes) {
+		f.Traceparent = string(traceBytes)
+	}
 	f.Dtype = dtype
 
 	if f.t == nil {
@@ -185,7 +230,7 @@ func (f *Frame) DecodeInto(buf []byte) error {
 		f.Grew = true
 	}
 	f.t = linalg.EnsureTensor(f.t, rows, cols)
-	payload := buf[HeaderSize+idLen:]
+	payload := buf[HeaderSize+idLen+traceLen:]
 	dst := f.t.Data
 	if dtype == Float64 {
 		for i := range dst {
@@ -237,16 +282,28 @@ func EncodedSize(idLen, rows, cols int, dtype byte, labeled bool) int {
 	return n
 }
 
-// AppendFrame appends one encoded frame (without the stream length prefix)
-// to dst and returns the extended slice. Rows must be rectangular; float32
-// frames narrow each value (the lossy half of the differential test: the
-// client narrows, both paths widen identically). y may be nil.
+// AppendFrame appends one encoded version-1 frame (without the stream
+// length prefix) to dst and returns the extended slice. Rows must be
+// rectangular; float32 frames narrow each value (the lossy half of the
+// differential test: the client narrows, both paths widen identically).
+// y may be nil.
 func AppendFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]byte, error) {
+	return AppendFrameTrace(dst, id, "", dtype, x, y)
+}
+
+// AppendFrameTrace appends one encoded frame carrying the given trace
+// context (a traceparent string). An empty traceparent produces a
+// version-1 frame bit-for-bit identical to AppendFrame; a non-empty one
+// produces a version-2 frame with the FlagTrace extension.
+func AppendFrameTrace(dst []byte, id, traceparent string, dtype byte, x [][]float64, y []int) ([]byte, error) {
 	if dtype != Float64 && dtype != Float32 {
 		return nil, fmt.Errorf("wire: unknown dtype %d", dtype)
 	}
 	if len(id) > MaxIDLen {
 		return nil, fmt.Errorf("wire: id %q longer than %d bytes", id, MaxIDLen)
+	}
+	if len(traceparent) > MaxTraceLen {
+		return nil, fmt.Errorf("wire: trace context %d bytes, cap %d", len(traceparent), MaxTraceLen)
 	}
 	rows := len(x)
 	if rows == 0 {
@@ -265,22 +322,28 @@ func AppendFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]b
 	labeled := y != nil
 
 	start := len(dst)
-	dst = append(dst, make([]byte, EncodedSize(len(id), rows, cols, dtype, labeled))...)
+	dst = append(dst, make([]byte, EncodedSize(len(id), rows, cols, dtype, labeled)+len(traceparent))...)
 	b := dst[start:]
 	copy(b[0:4], magic[:])
-	b[4] = Version
 	b[5] = dtype
 	var flags uint16
 	if labeled {
 		flags |= FlagLabels
 	}
+	if traceparent == "" {
+		b[4] = Version
+	} else {
+		b[4] = VersionTrace
+		flags |= FlagTrace
+	}
 	binary.LittleEndian.PutUint16(b[6:8], flags)
 	binary.LittleEndian.PutUint16(b[8:10], uint16(len(id)))
-	binary.LittleEndian.PutUint16(b[10:12], 0)
+	binary.LittleEndian.PutUint16(b[10:12], uint16(len(traceparent)))
 	binary.LittleEndian.PutUint32(b[12:16], uint32(rows))
 	binary.LittleEndian.PutUint32(b[16:20], uint32(cols))
 	copy(b[HeaderSize:], id)
-	p := b[HeaderSize+len(id):]
+	copy(b[HeaderSize+len(id):], traceparent)
+	p := b[HeaderSize+len(id)+len(traceparent):]
 	for _, row := range x {
 		if len(row) != cols {
 			return nil, fmt.Errorf("wire: ragged batch (row width %d, want %d)", len(row), cols)
@@ -307,9 +370,15 @@ func AppendFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]b
 // AppendStreamFrame appends the uint32 length prefix plus the frame — the
 // unit the persistent-connection transport reads with ReadFrame.
 func AppendStreamFrame(dst []byte, id string, dtype byte, x [][]float64, y []int) ([]byte, error) {
+	return AppendStreamFrameTrace(dst, id, "", dtype, x, y)
+}
+
+// AppendStreamFrameTrace is AppendStreamFrame with a trace context (empty
+// keeps the version-1 encoding).
+func AppendStreamFrameTrace(dst []byte, id, traceparent string, dtype byte, x [][]float64, y []int) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, 0, 0, 0, 0)
-	out, err := AppendFrame(dst, id, dtype, x, y)
+	out, err := AppendFrameTrace(dst, id, traceparent, dtype, x, y)
 	if err != nil {
 		return nil, err
 	}
