@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-serve bench-ingest loadgen-smoke obs-smoke cluster-smoke cluster-obs-smoke clean
+.PHONY: all build test vet race check bench bench-serve bench-ingest bench-infer loadgen-smoke obs-smoke cluster-smoke cluster-obs-smoke clean
 
 all: check
 
@@ -38,6 +38,13 @@ bench-serve:
 # host-adaptive throughput gate (>= 3x JSON on >= 4 CPUs, else >= 0.85x).
 bench-ingest:
 	bash scripts/bench_ingest.sh
+
+# Inference-plane gate: two closed-loop loadgen runs with a 90%-read mix
+# (label-less binary /infer frames), unfused vs cross-stream fused;
+# refreshes BENCH_PR9.json and fails if fused inference misses its
+# host-adaptive gate (>= 3x unfused on >= 4 CPUs, else >= 0.85x).
+bench-infer:
+	bash scripts/bench_infer.sh
 
 # Short closed-loop load smoke: boots freeway-serve, drives 2 streams for
 # ~2s, and fails on any request error.

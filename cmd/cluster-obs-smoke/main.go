@@ -8,12 +8,14 @@
 //     JSON path, the version-2 frame extension on the raw binary path) is
 //     echoed on the response and /v1/cluster/trace?id= returns both the
 //     router.forward and worker.process spans, parent-linked;
+//
 //   - metrics federation: /v1/cluster/metrics merges router-local series
 //     (unlabeled) with every worker's scrape under worker="<addr>" labels,
 //     histogram _sum samples included;
+//
 //   - the timeline and exemplar endpoints answer with the right shapes.
 //
-//	cluster-obs-smoke -serve bin/freeway-serve -router bin/freeway-router
+//     cluster-obs-smoke -serve bin/freeway-serve -router bin/freeway-router
 //
 // Exit status 0 means every assertion held; any failure prints the reason
 // and exits 1.

@@ -72,24 +72,25 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "target an already-running server at host:port (skips booting one)")
-		serveBin = flag.String("serve", "bin/freeway-serve", "freeway-serve binary to boot when -addr is empty")
-		streams  = flag.Int("streams", 8, "number of synthetic streams")
-		conc     = flag.Int("concurrency", 8, "concurrent workers (in-flight requests in closed mode)")
-		batch    = flag.Int("batch", 32, "samples per request")
-		dim      = flag.Int("dim", 6, "feature dimensionality")
-		classes  = flag.Int("classes", 2, "number of labels")
-		model    = flag.String("model", "lr", "model family for the booted server")
-		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		mode     = flag.String("mode", "closed", "arrival model: closed | open")
-		rate     = flag.Float64("rate", 200, "open mode: total request arrivals per second")
-		seed     = flag.Int64("seed", 1, "random seed for synthetic batches")
-		out      = flag.String("out", "", "write the JSON summary to this file ('-' for stdout)")
-		proto    = flag.String("proto", "json", "request encoding: json | binary (the length-prefixed wire frame)")
-		dtype    = flag.String("dtype", "f64", "binary proto feature payload: f64 | f32")
-		coalesce = flag.Bool("coalesce", false, "boot the server with batch coalescing (ignored with -addr)")
-		coalWin  = flag.Duration("coalesce-window", 0, "booted server's coalescing gather window")
-		coalRows = flag.Int("coalesce-max-rows", 0, "booted server's fused-pass row bound")
+		addr      = flag.String("addr", "", "target an already-running server at host:port (skips booting one)")
+		serveBin  = flag.String("serve", "bin/freeway-serve", "freeway-serve binary to boot when -addr is empty")
+		streams   = flag.Int("streams", 8, "number of synthetic streams")
+		conc      = flag.Int("concurrency", 8, "concurrent workers (in-flight requests in closed mode)")
+		batch     = flag.Int("batch", 32, "samples per request")
+		dim       = flag.Int("dim", 6, "feature dimensionality")
+		classes   = flag.Int("classes", 2, "number of labels")
+		model     = flag.String("model", "lr", "model family for the booted server")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		mode      = flag.String("mode", "closed", "arrival model: closed | open")
+		rate      = flag.Float64("rate", 200, "open mode: total request arrivals per second")
+		seed      = flag.Int64("seed", 1, "random seed for synthetic batches")
+		out       = flag.String("out", "", "write the JSON summary to this file ('-' for stdout)")
+		proto     = flag.String("proto", "json", "request encoding: json | binary (the length-prefixed wire frame)")
+		dtype     = flag.String("dtype", "f64", "binary proto feature payload: f64 | f32")
+		coalesce  = flag.Bool("coalesce", false, "boot the server with batch coalescing (ignored with -addr)")
+		inferFrac = flag.Float64("infer-frac", 0, "fraction of requests sent label-less to /infer (read/write mix; 0 = pure training load)")
+		coalWin   = flag.Duration("coalesce-window", 0, "booted server's coalescing gather window")
+		coalRows  = flag.Int("coalesce-max-rows", 0, "booted server's fused-pass row bound")
 
 		cluster      = flag.Int("cluster", 0, "boot a freeway-router plus this many workers and load the router (0 keeps single-server mode)")
 		routerBin    = flag.String("router", "bin/freeway-router", "freeway-router binary for -cluster mode")
@@ -102,7 +103,7 @@ func main() {
 		addr: *addr, serveBin: *serveBin, streams: *streams, conc: *conc,
 		batch: *batch, dim: *dim, classes: *classes, model: *model,
 		duration: *duration, mode: *mode, rate: *rate, seed: *seed, out: *out,
-		proto: *proto, dtype: *dtype,
+		proto: *proto, dtype: *dtype, inferFrac: *inferFrac,
 		coalesce: *coalesce, coalWindow: *coalWin, coalRows: *coalRows,
 		cluster: *cluster, routerBin: *routerBin,
 		killAfter: *killAfter, restartAfter: *restartAfter, ckptEvery: *ckptEvery,
@@ -123,6 +124,7 @@ type config struct {
 
 	proto, dtype string
 	wireDtype    byte
+	inferFrac    float64
 	coalesce     bool
 	coalWindow   time.Duration
 	coalRows     int
@@ -154,6 +156,11 @@ type summary struct {
 	Proto    string `json:"proto,omitempty"`
 	Dtype    string `json:"dtype,omitempty"`
 	Coalesce bool   `json:"coalesce,omitempty"`
+
+	// Read/write-mix report: the configured label-less fraction and how
+	// many requests actually took the inference plane.
+	InferFrac     float64 `json:"infer_frac,omitempty"`
+	InferRequests int64   `json:"infer_requests,omitempty"`
 
 	// Cluster-mode failure-injection report. error_rate is the error
 	// budget actually consumed; recovery_s is how long after the kill the
@@ -219,6 +226,9 @@ func run(cfg config) error {
 	if cfg.streams < 1 || cfg.conc < 1 || cfg.batch < 1 || cfg.dim < 1 {
 		return fmt.Errorf("-streams, -concurrency, -batch, and -dim must all be >= 1")
 	}
+	if cfg.inferFrac < 0 || cfg.inferFrac > 1 {
+		return fmt.Errorf("-infer-frac must be in [0, 1]")
+	}
 
 	base := cfg.addr
 	var cl *clusterProcs
@@ -249,7 +259,7 @@ func run(cfg config) error {
 
 	lat := obs.NewHistogram(nil)
 	hops := &hopStats{worker: obs.NewHistogram(nil), router: obs.NewHistogram(nil)}
-	var requests, errCount atomic.Int64
+	var requests, errCount, inferReqs atomic.Int64
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	// In open mode arrivals carry their intended dispatch time so queueing
@@ -335,7 +345,7 @@ func run(cfg config) error {
 					intended = time.Now()
 				}
 				sid := (w + i*cfg.conc) % cfg.streams
-				err := postBatch(client, base, sid, cfg, rng, &pool, buf, &bin, hops)
+				err := postBatch(client, base, sid, cfg, rng, &pool, buf, &bin, hops, &inferReqs)
 				lat.Observe(time.Since(intended).Seconds())
 				requests.Add(1)
 				if err != nil {
@@ -375,6 +385,8 @@ func run(cfg config) error {
 		P95Ms:         lat.Quantile(0.95) * 1e3,
 		P99Ms:         lat.Quantile(0.99) * 1e3,
 		Coalesce:      cfg.coalesce,
+		InferFrac:     cfg.inferFrac,
+		InferRequests: inferReqs.Load(),
 	}
 	if cfg.proto != "json" {
 		s.Proto, s.Dtype = cfg.proto, cfg.dtype
@@ -405,6 +417,10 @@ func run(cfg config) error {
 	fmt.Printf("freeway-loadgen: %d requests (%d errors), %.0f req/s, %.0f samples/s\n",
 		s.Requests, s.Errors, s.ThroughputRPS, s.SamplesPerS)
 	fmt.Printf("freeway-loadgen: latency p50=%.2fms p95=%.2fms p99=%.2fms\n", s.P50Ms, s.P95Ms, s.P99Ms)
+	if cfg.inferFrac > 0 {
+		fmt.Printf("freeway-loadgen: read/write mix: %d of %d requests were label-less infers (target %.0f%%)\n",
+			s.InferRequests, s.Requests, cfg.inferFrac*100)
+	}
 	if hops.worker.Count() > 0 {
 		fmt.Printf("freeway-loadgen: worker hop p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			s.WorkerP50Ms, s.WorkerP95Ms, s.WorkerP99Ms)
@@ -445,8 +461,11 @@ func run(cfg config) error {
 // before return — the encoding is the copy that leaves the function, so
 // recycling is safe (see stream.BatchPool on why the *server* side must not
 // pool these). Per-hop wall times stamped on the response are folded into
-// hops for the summary breakdown.
-func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer, bin *[]byte, hops *hopStats) error {
+// hops for the summary breakdown. A cfg.inferFrac coin flip sends the batch
+// label-less to the stream's /infer endpoint instead — the read/write mix
+// that exercises the inference plane under concurrent training.
+func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.Rand, pool *stream.BatchPool, buf *bytes.Buffer, bin *[]byte, hops *hopStats, inferReqs *atomic.Int64) error {
+	infer := cfg.inferFrac > 0 && rng.Float64() < cfg.inferFrac
 	b := pool.Get(cfg.batch, cfg.dim)
 	defer b.Release()
 	// Per-stream class centers: streams differ so cross-stream isolation
@@ -461,10 +480,17 @@ func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.
 		}
 		b.Y[i] = c
 	}
+	y := b.Y
+	endpoint := "process"
+	if infer {
+		y = nil // inference requests are label-less by contract
+		endpoint = "infer"
+		inferReqs.Add(1)
+	}
 	var payload []byte
 	contentType := "application/json"
 	if cfg.proto == "binary" {
-		frame, err := wire.AppendFrame((*bin)[:0], "", cfg.wireDtype, b.Rows, b.Y)
+		frame, err := wire.AppendFrame((*bin)[:0], "", cfg.wireDtype, b.Rows, y)
 		if err != nil {
 			return err
 		}
@@ -475,13 +501,13 @@ func postBatch(client *http.Client, base string, sid int, cfg config, rng *rand.
 		buf.Reset()
 		if err := json.NewEncoder(buf).Encode(struct {
 			X [][]float64 `json:"x"`
-			Y []int       `json:"y"`
-		}{b.Rows, b.Y}); err != nil {
+			Y []int       `json:"y,omitempty"`
+		}{b.Rows, y}); err != nil {
 			return err
 		}
 		payload = buf.Bytes()
 	}
-	url := fmt.Sprintf("%s/v1/streams/ld%03d/process", base, sid)
+	url := fmt.Sprintf("%s/v1/streams/ld%03d/%s", base, sid, endpoint)
 	resp, err := client.Post(url, contentType, bytes.NewReader(payload))
 	if err != nil {
 		return err

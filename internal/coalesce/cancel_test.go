@@ -1,0 +1,144 @@
+package coalesce
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestInferCancelMidGroupAccountingAndNoLeak: waiters of the cross-stream
+// inference group whose context dies mid-gather must return promptly with
+// ctx.Err(), while the group still runs with their rows (group-commit: rows
+// are packed at submit time), the fused slab and segment accounting stay
+// consistent, surviving members keep their ordinals, and — checked against
+// a goroutine baseline — nothing leaks: every group executor exits once its
+// pass completes, whether or not anyone is left waiting.
+func TestInferCancelMidGroupAccountingAndNoLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	type passInfo struct {
+		rows, members, segs int
+		fusedRows           int
+	}
+	var second atomic.Pointer[passInfo]
+	run := func(b Batch) (any, error) {
+		if calls.Add(1) == 1 {
+			<-gate // hold the first pass so a multi-member group gathers behind it
+		} else {
+			second.Store(&passInfo{
+				rows: len(b.X), members: b.Members, segs: len(b.Segs),
+				fusedRows: b.Fused.Rows,
+			})
+		}
+		return echoRun(b)
+	}
+	c, err := New(Config{Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Open the infer key with a gated pass.
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitInfer(context.Background(), "a", "", [][]float64{row(0)})
+		firstDone <- err
+	}()
+	waitFor(t, func() bool { return calls.Load() == 1 })
+
+	// Three streams gather into the next cross-stream group; the middle one
+	// will abandon its wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	quitterDone := make(chan error, 1)
+	go func() {
+		_, err := c.SubmitInfer(ctx, "b", "", [][]float64{row(1), row(2)})
+		quitterDone <- err
+	}()
+	// Joins are sequenced (wait for each member to land) so the ordinal and
+	// row-range assertions below are deterministic: quitter=0, then 1, 2.
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ks := c.keys[key{infer: true}]
+		return ks != nil && ks.cur != nil && ks.cur.members == 1
+	})
+	type stay struct {
+		res Result
+		err error
+	}
+	stayerA := make(chan stay, 1)
+	stayerC := make(chan stay, 1)
+	go func() {
+		res, err := c.SubmitInfer(context.Background(), "a", "", [][]float64{row(3)})
+		stayerA <- stay{res, err}
+	}()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ks := c.keys[key{infer: true}]
+		return ks != nil && ks.cur != nil && ks.cur.members == 2
+	})
+	go func() {
+		res, err := c.SubmitInfer(context.Background(), "c", "", [][]float64{row(4)})
+		stayerC <- stay{res, err}
+	}()
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		ks := c.keys[key{infer: true}]
+		return ks != nil && ks.cur != nil && ks.cur.members == 3
+	})
+
+	// Cancel mid-gather: the quitter returns immediately (the pass has not
+	// started — its executor is still queued behind the gated one).
+	cancel()
+	select {
+	case err := <-quitterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("quitter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter did not return while the group was still gathering")
+	}
+
+	// Release the first pass; the gathered group runs with ALL packed rows —
+	// including the quitter's (group-commit), with segment accounting intact.
+	close(gate)
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	sa := <-stayerA
+	sc := <-stayerC
+	if sa.err != nil || sc.err != nil {
+		t.Fatalf("stayers: %v, %v", sa.err, sc.err)
+	}
+	info := second.Load()
+	if info == nil {
+		t.Fatal("second pass never ran")
+	}
+	if info.rows != 4 || info.fusedRows != 4 {
+		t.Errorf("second pass rows = %d (slab %d), want 4 (quitter's 2 rows included)", info.rows, info.fusedRows)
+	}
+	if info.members != 3 || info.segs != 3 {
+		t.Errorf("second pass members = %d, segs = %d, want 3 each", info.members, info.segs)
+	}
+	// The quitter held ordinal 0 of the gathered group; survivors keep 1 and 2.
+	if sa.res.Member != 1 || sc.res.Member != 2 {
+		t.Errorf("survivor ordinals = %d, %d, want 1, 2", sa.res.Member, sc.res.Member)
+	}
+	if sa.res.Lo != 2 || sa.res.Hi != 3 || sc.res.Lo != 3 || sc.res.Hi != 4 {
+		t.Errorf("survivor ranges = [%d,%d) [%d,%d), want [2,3) [3,4)", sa.res.Lo, sa.res.Hi, sc.res.Lo, sc.res.Hi)
+	}
+
+	// The key must drain and every executor goroutine exit.
+	waitFor(t, func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.keys) == 0 && c.depth == 0
+	})
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= baseline })
+}

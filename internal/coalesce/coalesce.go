@@ -52,6 +52,17 @@ type Batch struct {
 	// submission order. May be shorter than Members (untraced members are
 	// not represented); nil when no member was traced.
 	TraceIDs []string
+	// Segs maps each member to its stream and row range, in submission
+	// order — set only for cross-stream inference groups (ID is then empty).
+	Segs []Segment
+}
+
+// Segment is one member's slice of a cross-stream inference group.
+type Segment struct {
+	// ID is the member's stream.
+	ID string
+	// Lo and Hi delimit the member's rows in the fused slab (half-open).
+	Lo, Hi int
 }
 
 // Runner executes one fused group and returns an opaque result shared by
@@ -67,6 +78,9 @@ type Result struct {
 	// Lo and Hi delimit this member's rows within the fused batch
 	// (half-open, so per-member predictions are Pred[Lo:Hi]).
 	Lo, Hi int
+	// Member is this member's ordinal within the group (submission order),
+	// matching its index in Batch.Segs for cross-stream inference groups.
+	Member int
 	// Members and Rows describe the whole group.
 	Members int
 	Rows    int
@@ -115,6 +129,11 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 type key struct {
 	id      string
 	labeled bool
+	// infer marks the cross-stream inference key: label-less rows from
+	// every stream share one group (id is empty), since pure inference
+	// carries no per-stream training state and per-stream snapshots can be
+	// applied to row ranges of one fused slab.
+	infer bool
 }
 
 // group is one fused batch being gathered, queued, or run. All fields
@@ -129,6 +148,7 @@ type group struct {
 	rows    int
 	members int
 	traces  []string
+	segs    []Segment
 	sealed  bool
 	created time.Time
 	ready   chan struct{} // closed when the group may start its pass
@@ -179,6 +199,24 @@ func (c *Coalescer) Submit(ctx context.Context, id string, x [][]float64, y []in
 // group's membership, so the fused pass's TraceEvent can name every
 // request it served. An empty traceID leaves the membership untouched.
 func (c *Coalescer) SubmitTraced(ctx context.Context, id, traceID string, x [][]float64, y []int) (Result, error) {
+	return c.submit(ctx, key{id: id, labeled: y != nil}, id, traceID, x, y)
+}
+
+// SubmitInfer packs label-less rows into the cross-stream inference group:
+// rows from every stream share one fused slab and one blocked-GEMM pass,
+// and the Runner scatters per-stream results back via Batch.Segs and each
+// member's Result.Member ordinal. Row widths must match across streams (all
+// sessions of one server share a feature dimensionality); a width change
+// seals the group like any other.
+func (c *Coalescer) SubmitInfer(ctx context.Context, id, traceID string, x [][]float64) (Result, error) {
+	return c.submit(ctx, key{infer: true}, id, traceID, x, nil)
+}
+
+// submit packs the rows into the open group for k — opening one if needed —
+// and blocks until the group's pass completes. segID names the member's
+// stream in Batch.Segs for cross-stream inference keys; per-stream keys
+// carry the stream in k.id and record no segments.
+func (c *Coalescer) submit(ctx context.Context, k key, segID, traceID string, x [][]float64, y []int) (Result, error) {
 	if len(x) == 0 {
 		return Result{}, errors.New("coalesce: empty batch")
 	}
@@ -194,7 +232,6 @@ func (c *Coalescer) SubmitTraced(ctx context.Context, id, traceID string, x [][]
 	if y != nil && len(y) != len(x) {
 		return Result{}, fmt.Errorf("coalesce: %d labels for %d rows", len(y), len(x))
 	}
-	k := key{id: id, labeled: y != nil}
 
 	c.mu.Lock()
 	ks := c.keys[k]
@@ -241,11 +278,15 @@ func (c *Coalescer) SubmitTraced(ctx context.Context, id, traceID string, x [][]
 		g.y = append(g.y, y...)
 	}
 	g.rows += len(x)
+	member := g.members
 	g.members++
 	if traceID != "" {
 		g.traces = append(g.traces, traceID)
 	}
 	hi := g.rows
+	if k.infer {
+		g.segs = append(g.segs, Segment{ID: segID, Lo: lo, Hi: hi})
+	}
 	c.mu.Unlock()
 
 	if m := c.cfg.Metrics; m != nil {
@@ -260,7 +301,7 @@ func (c *Coalescer) SubmitTraced(ctx context.Context, id, traceID string, x [][]
 		if g.err != nil {
 			return Result{}, g.err
 		}
-		return Result{Out: g.out, Lo: lo, Hi: hi, Members: g.members, Rows: g.rows}, nil
+		return Result{Out: g.out, Lo: lo, Hi: hi, Member: member, Members: g.members, Rows: g.rows}, nil
 	case <-ctx.Done():
 		return Result{}, ctx.Err()
 	}
@@ -299,7 +340,7 @@ func (c *Coalescer) runWhenReady(g *group) {
 	}
 	c.mu.Unlock()
 
-	out, err := c.cfg.Run(Batch{ID: g.key.id, X: xv, Y: g.y, Fused: fused, Members: g.members, TraceIDs: g.traces})
+	out, err := c.cfg.Run(Batch{ID: g.key.id, X: xv, Y: g.y, Fused: fused, Members: g.members, TraceIDs: g.traces, Segs: g.segs})
 	if m := c.cfg.Metrics; m != nil {
 		m.Passes.Inc()
 	}

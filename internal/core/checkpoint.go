@@ -262,5 +262,8 @@ func (l *Learner) LoadCheckpoint(r io.Reader) error {
 	}
 	l.preq.Import(cp.Metrics)
 	l.batch = cp.Batch
+	// The restored parameters must reach the inference plane too: republish
+	// so readers stop serving the pre-restore snapshot.
+	l.publishSnapshot(shift.PatternWarmup)
 	return nil
 }

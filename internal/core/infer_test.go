@@ -1,0 +1,177 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"freewayml/internal/guard"
+	"freewayml/internal/stream"
+)
+
+// inferGroups draws label-less row groups of varying sizes.
+func inferGroups(rng *rand.Rand, sizes []int) [][][]float64 {
+	groups := make([][][]float64, len(sizes))
+	for g, n := range sizes {
+		rows := make([][]float64, n)
+		for i := range rows {
+			c := rng.Intn(2)
+			rows[i] = []float64{float64(c)*2 + rng.NormFloat64()*0.3, rng.NormFloat64() * 0.3, 0}
+		}
+		groups[g] = rows
+	}
+	return groups
+}
+
+// TestInferFusedBitwiseMatchesSequential is the fusion oracle at the core
+// layer: one fused pass over many groups must produce bitwise-identical
+// probabilities and predictions to inferring each group alone against the
+// same snapshot. Checked both during warmup (short model only) and after
+// the ensemble is live.
+func TestInferFusedBitwiseMatchesSequential(t *testing.T) {
+	for _, phase := range []struct {
+		name    string
+		batches int
+	}{
+		{"warmup", 1},
+		{"ensemble", 12},
+	} {
+		t.Run(phase.name, func(t *testing.T) {
+			l, err := NewLearner(testConfig(), 3, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l.Close()
+			rng := rand.New(rand.NewSource(7))
+			for s := 0; s < phase.batches; s++ {
+				if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			groups := inferGroups(rng, []int{1, 7, 16, 3, 32})
+			fused, err := l.InferFused(context.Background(), groups)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fused) != len(groups) {
+				t.Fatalf("fused results = %d, want %d", len(fused), len(groups))
+			}
+			for g, rows := range groups {
+				solo, err := l.Infer(context.Background(), rows)
+				if err != nil {
+					t.Fatalf("group %d solo: %v", g, err)
+				}
+				if !reflect.DeepEqual(solo.Pred, fused[g].Pred) {
+					t.Errorf("group %d: predictions diverge:\nsolo:  %v\nfused: %v", g, solo.Pred, fused[g].Pred)
+				}
+				if !reflect.DeepEqual(solo.Proba, fused[g].Proba) {
+					t.Errorf("group %d: probabilities diverge (not bitwise-identical)", g)
+				}
+				if solo.Strategy != fused[g].Strategy || solo.SnapshotBatch != fused[g].SnapshotBatch {
+					t.Errorf("group %d: metadata diverges: solo=%+v fused=%+v", g, solo, fused[g])
+				}
+			}
+		})
+	}
+}
+
+// TestInferRejectsBadInput: the pure read path refuses what it cannot
+// repair — non-finite features (guard-rejected), ragged rows, empty input.
+func TestInferRejectsBadInput(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if _, err := l.Infer(context.Background(), [][]float64{{1, math.NaN(), 0}}); !errors.Is(err, guard.ErrRejected) {
+		t.Errorf("NaN feature: err = %v, want guard.ErrRejected", err)
+	}
+	if _, err := l.Infer(context.Background(), [][]float64{{1, math.Inf(1), 0}}); !errors.Is(err, guard.ErrRejected) {
+		t.Errorf("Inf feature: err = %v, want guard.ErrRejected", err)
+	}
+	if _, err := l.Infer(context.Background(), [][]float64{{1, 2}}); err == nil {
+		t.Error("ragged row accepted")
+	}
+	if _, err := l.Infer(context.Background(), nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+// TestInferDoesNotAdvanceTraining: inference is a pure read — no batch
+// counter movement, no new snapshot publication, no metric samples on the
+// training side.
+func TestInferDoesNotAdvanceTraining(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	rng := rand.New(rand.NewSource(8))
+	for s := 0; s < 5; s++ {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.ModelSnapshot()
+	batches := l.Metrics().Batches()
+	for i := 0; i < 10; i++ {
+		if _, err := l.Infer(context.Background(), inferGroups(rng, []int{8})[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Metrics().Batches() != batches {
+		t.Errorf("Infer advanced the batch counter: %d -> %d", batches, l.Metrics().Batches())
+	}
+	after := l.ModelSnapshot()
+	if after != before {
+		t.Error("Infer republished the snapshot")
+	}
+}
+
+// TestSnapshotAdvancesWithTraining: every Process publishes a fresh
+// snapshot whose sequence and batch counters move forward, and a fresh
+// learner already has a (warmup) snapshot so inference never waits for the
+// first training batch.
+func TestSnapshotAdvancesWithTraining(t *testing.T) {
+	l, err := NewLearner(testConfig(), 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	snap := l.ModelSnapshot()
+	if snap == nil {
+		t.Fatal("fresh learner has no snapshot")
+	}
+	if snap.Batch != 0 {
+		t.Errorf("fresh snapshot batch = %d", snap.Batch)
+	}
+	res, err := l.Infer(context.Background(), [][]float64{{0.5, 0, 0}})
+	if err != nil {
+		t.Fatalf("infer before first batch: %v", err)
+	}
+	if res.Strategy != StrategyWarmup {
+		t.Errorf("pre-training strategy = %v, want warmup", res.Strategy)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	lastSeq := snap.Seq
+	for s := 0; s < 6; s++ {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+		snap = l.ModelSnapshot()
+		if snap.Seq <= lastSeq {
+			t.Fatalf("batch %d: snapshot seq did not advance (%d -> %d)", s, lastSeq, snap.Seq)
+		}
+		lastSeq = snap.Seq
+		if snap.Batch != s+1 {
+			t.Errorf("batch %d: snapshot batch = %d", s, snap.Batch)
+		}
+	}
+}

@@ -81,6 +81,17 @@ type Learner struct {
 	batch  int
 	closed atomic.Bool
 
+	// snap is the atomically published inference-plane view; snapSeq counts
+	// publications (training goroutine only). Readers load snap lock-free
+	// and never touch any other learner field — see infer.go.
+	snap    atomic.Pointer[strategy.Snapshot]
+	snapSeq uint64
+	// inferMu is the read plane's compute lock, shared by every published
+	// snapshot via Snapshot.ComputeMu (member models stage rows into
+	// model-owned scratch, and unchanged member clones are reused across
+	// publications). Never taken by the training path.
+	inferMu sync.Mutex
+
 	// vecScratch is the reusable vector-header view of the current batch,
 	// handed to the shift detector. Safe to reuse because Process is
 	// single-goroutine per learner and the detector copies the headers it
@@ -231,6 +242,7 @@ func NewLearner(cfg Config, dim, classes int) (*Learner, error) {
 	l.cec = strategy.NewCEC(exp, l.ens, cfg.Seed, func() int { return l.batch })
 	l.knw = strategy.NewKnowledgeReuse(kdg, reuse, l.ens, cfg.Sigma, cfg.Beta, cfg.Shift.ReoccurRatio)
 	l.ens.SetPreserver(l.knw)
+	l.publishSnapshot(shift.PatternWarmup)
 	return l, nil
 }
 
@@ -358,6 +370,7 @@ func (l *Learner) Process(ctx context.Context, b stream.Batch) (Result, error) {
 	}
 	bo.finish(l, &res, len(b.X))
 	l.batch++
+	l.publishSnapshot(res.SubPattern)
 	return res, nil
 }
 

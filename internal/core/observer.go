@@ -49,6 +49,16 @@ type Observer struct {
 	winEvictions *obs.Counter
 	traceDropped *obs.Counter
 
+	// Inference-plane series. Unlike the training-plane fields above, these
+	// are bumped from many concurrent reader goroutines; all series ops are
+	// atomic, so no extra synchronization is needed.
+	inferReqs   *obs.Counter
+	inferRows   *obs.Counter
+	inferWarmup *obs.Counter
+	inferSec    *obs.Histogram
+	gSnapAge    *obs.Gauge
+	gSnapBatch  *obs.Gauge
+
 	gWinBatches *obs.Gauge
 	gWinItems   *obs.Gauge
 	gDisorder   *obs.Gauge
@@ -68,24 +78,7 @@ type Observer struct {
 
 // patternLabel maps a shift pattern to its metric label (the short paper
 // name, without the parenthesized gloss String() adds).
-func patternLabel(p shift.Pattern) string {
-	switch p {
-	case shift.PatternWarmup:
-		return "warmup"
-	case shift.PatternA:
-		return "A"
-	case shift.PatternA1:
-		return "A1"
-	case shift.PatternA2:
-		return "A2"
-	case shift.PatternB:
-		return "B"
-	case shift.PatternC:
-		return "C"
-	default:
-		return p.String()
-	}
-}
+func patternLabel(p shift.Pattern) string { return p.Label() }
 
 // NewObserver builds an observer registering into reg (nil selects
 // obs.Default) with a trace ring of traceCap events (<=0 selects 1024).
@@ -126,6 +119,13 @@ func NewObserverLabeled(reg *obs.Registry, traceCap int, baseLabels ...string) *
 	o.kMisses = reg.Counter("freeway_knowledge_lookups_total", "Knowledge-store lookups by outcome (hit = confident reuse).", o.lbl("result", "miss")...)
 	o.kPreserves = reg.Counter("freeway_knowledge_preserves_total", "Snapshots preserved into the knowledge store.", o.lbl()...)
 	o.kReplacements = reg.Counter("freeway_knowledge_replacements_total", "Same-regime snapshots replaced in place.", o.lbl()...)
+
+	o.inferReqs = reg.Counter("freeway_infer_requests_total", "Inference-plane requests served from the published snapshot.", o.lbl()...)
+	o.inferRows = reg.Counter("freeway_infer_rows_total", "Rows predicted by the inference plane.", o.lbl()...)
+	o.inferWarmup = reg.Counter("freeway_infer_warmup_total", "Inference-plane requests served by the short model alone (pre-PCA warm-up).", o.lbl()...)
+	o.inferSec = reg.Histogram("freeway_infer_seconds", "Inference-plane request latency (snapshot load to fused prediction).", nil, o.lbl()...)
+	o.gSnapAge = reg.Gauge("freeway_snapshot_age_seconds", "Age of the published model snapshot at the last inference.", o.lbl()...)
+	o.gSnapBatch = reg.Gauge("freeway_snapshot_batch", "Training batch counter of the published model snapshot.", o.lbl()...)
 
 	o.winCloses = reg.Counter("freeway_window_closes_total", "Adaptive-window closes (long-model update triggers).", o.lbl()...)
 	o.winEvictions = reg.Counter("freeway_window_evictions_total", "Window batches evicted by decay-weight expiry.", o.lbl()...)
@@ -186,6 +186,24 @@ func (o *Observer) ObserveStage(name string, d time.Duration) {
 
 // recordDivergence counts one watchdog event. Safe from the async update
 // goroutine and on a nil receiver.
+// InferObserved records one inference-plane request: the rows served, the
+// request latency, and the age/batch of the snapshot that answered. Called
+// concurrently from many reader goroutines; every series op is atomic. A
+// nil observer disables it.
+func (o *Observer) InferObserved(rows int, d, snapAge time.Duration, snapBatch int, warmup bool) {
+	if o == nil {
+		return
+	}
+	o.inferReqs.Inc()
+	o.inferRows.Add(int64(rows))
+	if warmup {
+		o.inferWarmup.Inc()
+	}
+	o.inferSec.Observe(d.Seconds())
+	o.gSnapAge.Set(snapAge.Seconds())
+	o.gSnapBatch.Set(float64(snapBatch))
+}
+
 func (o *Observer) recordDivergence(rolledBack bool) {
 	if o == nil {
 		return

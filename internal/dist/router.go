@@ -83,6 +83,12 @@ type Config struct {
 	// POST /v1/knowledge/merge on the rejoined worker) so knowledge
 	// preserved while the worker was out is not lost to it.
 	AntiEntropy bool
+	// AntiEntropyInterval, when > 0, additionally runs a periodic
+	// cluster-wide knowledge sweep (see AntiEntropySweep) on that period —
+	// reconciling divergence that accumulates *without* any worker leaving
+	// the ring, e.g. regimes preserved on one worker after a stream
+	// migrated. Zero disables the sweeps (rejoin sync alone, as before).
+	AntiEntropyInterval time.Duration
 
 	// SpanCap bounds the router's per-attempt span ring; EventCap the
 	// cluster timeline ring; ExemplarK the slow-request top-K ring
@@ -319,7 +325,8 @@ func NewRouter(cfg Config) (*Router, error) {
 // Registry returns the router's metrics registry.
 func (r *Router) Registry() *obs.Registry { return r.reg }
 
-// Start launches the background prober. Close stops it.
+// Start launches the background prober and, when configured, the periodic
+// anti-entropy sweeper. Close stops both.
 func (r *Router) Start() {
 	if !r.started.CompareAndSwap(false, true) {
 		return
@@ -338,6 +345,22 @@ func (r *Router) Start() {
 			}
 		}
 	}()
+	if r.cfg.AntiEntropyInterval > 0 {
+		r.bg.Add(1)
+		go func() {
+			defer r.bg.Done()
+			t := time.NewTicker(r.cfg.AntiEntropyInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-r.stop:
+					return
+				case <-t.C:
+					r.AntiEntropySweep()
+				}
+			}
+		}()
+	}
 }
 
 // Close stops the prober. Idempotent.
@@ -816,34 +839,15 @@ func (r *Router) antiEntropy(from, to string) {
 		r.cSyncFail.Inc()
 		r.recordEvent(obs.ClusterEvent{Type: obs.EventAntiEntropy, Worker: to, Detail: detail})
 	}
-	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, from,
-		http.MethodGet, "/v1/knowledge", nil, nil)
+	body, err := r.exportKnowledge(from)
 	if err != nil {
 		fail(fmt.Sprintf("export from %s failed: %v", from, err))
 		log.Printf("dist: anti-entropy export from %s: %v", from, err)
 		return
 	}
-	body, err := io.ReadAll(resp.Body)
-	code := resp.StatusCode
-	resp.Body.Close()
-	if err != nil || code != http.StatusOK {
-		fail(fmt.Sprintf("export from %s failed: status %d err %v", from, code, err))
-		log.Printf("dist: anti-entropy export from %s: status %d err %v", from, code, err)
-		return
-	}
-	resp, err = r.do(context.Background(), r.cfg.RequestTimeout, to,
-		http.MethodPost, "/v1/knowledge/merge", jsonHeader, body)
-	if err != nil {
+	if err := r.mergeKnowledge(to, body); err != nil {
 		fail(fmt.Sprintf("merge failed: %v", err))
 		log.Printf("dist: anti-entropy merge into %s: %v", to, err)
-		return
-	}
-	io.Copy(io.Discard, resp.Body)
-	code = resp.StatusCode
-	resp.Body.Close()
-	if code != http.StatusOK {
-		fail(fmt.Sprintf("merge failed: status %d", code))
-		log.Printf("dist: anti-entropy merge into %s: status %d", to, code)
 		return
 	}
 	r.cSyncOK.Inc()
@@ -851,6 +855,88 @@ func (r *Router) antiEntropy(from, to string) {
 		Type: obs.EventAntiEntropy, Worker: to,
 		Detail: "shared knowledge synced from " + from,
 	})
+}
+
+// exportKnowledge fetches a worker's shared knowledge store export.
+func (r *Router) exportKnowledge(from string) ([]byte, error) {
+	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, from,
+		http.MethodGet, "/v1/knowledge", nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	code := resp.StatusCode
+	resp.Body.Close()
+	if err != nil || code != http.StatusOK {
+		return nil, fmt.Errorf("status %d err %v", code, err)
+	}
+	return body, nil
+}
+
+// mergeKnowledge posts an exported knowledge store into a worker's shared
+// store.
+func (r *Router) mergeKnowledge(to string, body []byte) error {
+	resp, err := r.do(context.Background(), r.cfg.RequestTimeout, to,
+		http.MethodPost, "/v1/knowledge/merge", jsonHeader, body)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	code := resp.StatusCode
+	resp.Body.Close()
+	if code != http.StatusOK {
+		return fmt.Errorf("status %d", code)
+	}
+	return nil
+}
+
+// AntiEntropySweep runs one cluster-wide knowledge reconciliation pass:
+// every healthy ring member's shared store is exported once, then each
+// export is merged into every *other* member. Merge is monotone (regimes
+// are keyed and deduplicated worker-side), so one sweep converges the
+// cluster regardless of which member learned what — closing the divergence
+// window that rejoin-only sync leaves open when no worker ever left the
+// ring. Best-effort per edge: an unreachable member is skipped this round
+// and caught by the next tick. Exported so tests drive sweeps
+// deterministically; Start runs it on AntiEntropyInterval.
+func (r *Router) AntiEntropySweep() {
+	r.mu.Lock()
+	members := r.ring.members()
+	r.mu.Unlock()
+	if len(members) < 2 {
+		return
+	}
+	exports := make(map[string][]byte, len(members))
+	for _, addr := range members {
+		body, err := r.exportKnowledge(addr)
+		if err != nil {
+			log.Printf("dist: anti-entropy sweep export from %s: %v", addr, err)
+			continue
+		}
+		exports[addr] = body
+	}
+	merged, failed := 0, 0
+	for _, to := range members {
+		for _, from := range members {
+			if from == to || exports[from] == nil {
+				continue
+			}
+			if err := r.mergeKnowledge(to, exports[from]); err != nil {
+				failed++
+				r.cSyncFail.Inc()
+				log.Printf("dist: anti-entropy sweep merge %s -> %s: %v", from, to, err)
+				continue
+			}
+			merged++
+			r.cSyncOK.Inc()
+		}
+	}
+	if merged > 0 || failed > 0 {
+		r.recordEvent(obs.ClusterEvent{
+			Type:   obs.EventAntiEntropy,
+			Detail: fmt.Sprintf("periodic sweep: %d merges ok, %d failed across %d members", merged, failed, len(members)),
+		})
+	}
 }
 
 // ClusterWorker is one worker's row in the /v1/cluster topology report.

@@ -183,18 +183,31 @@ func (s *Server) serveBinaryConn(conn net.Conn) {
 			s.cBinGrew.Inc()
 		}
 
-		var out ProcessResponse
+		var out any
 		status := http.StatusBadRequest
 		perr := error(nil)
 		if f.ID == "" {
 			perr = errors.New("stream frames must embed a stream id")
+		} else if f.Y == nil {
+			// A label-less frame on the persistent listener is an inference
+			// request: it routes to the read plane and never touches training
+			// state. (The HTTP /v1/process endpoint keeps its historical
+			// label-less-means-train-unsupervised contract; the split applies
+			// only here and on /infer, where the intent is unambiguous.)
+			rec := s.beginInferSpan(f.ID, "binary", "", f.Traceparent, len(f.X))
+			var ir InferResponse
+			ir, status, perr = s.inferDecodedFrame(context.Background(), f.ID, rec.traceID(), f)
+			rec.finish(ir.Fused, perr)
+			out = ir
 		} else {
 			// No per-request context exists on a raw connection; the pass
 			// runs to completion (the deadline governs reads, not compute).
 			// Trace context, if any, rides inside the frame (version 2).
 			rec := s.beginSpan(f.ID, "binary", "", f.Traceparent, len(f.X))
-			out, status, perr = s.processDecodedFrame(context.Background(), f.ID, rec.traceID(), f)
-			rec.finish(out.Fused, perr)
+			var pr ProcessResponse
+			pr, status, perr = s.processDecodedFrame(context.Background(), f.ID, rec.traceID(), f)
+			rec.finish(pr.Fused, perr)
+			out = pr
 		}
 		if perr != nil {
 			if !s.writeBinaryError(bw, status, perr.Error()) {

@@ -1,0 +1,289 @@
+// The inference plane of the server: /v1/streams/{id}/infer serves pure
+// predictions from each stream's atomically published model snapshot. The
+// read path never takes the session lock, so inference proceeds while the
+// same stream trains, checkpoints, or is evicted. When coalescing is on,
+// label-less rows from *many* streams pack into one cross-stream group and
+// run as a single fused forward pass per ensemble member — per-stream
+// results scatter back to their waiters through the group's segments.
+
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"freewayml/internal/coalesce"
+	"freewayml/internal/core"
+	"freewayml/internal/guard"
+	"freewayml/internal/obs"
+	"freewayml/internal/shift"
+	"freewayml/internal/wire"
+)
+
+// InferResponse reports the inference plane's answer for one request.
+type InferResponse struct {
+	Stream      string `json:"stream"`
+	Predictions []int  `json:"predictions"`
+	// Strategy is "warmup" while the stream's snapshot predates the
+	// detector's PCA fit, "ensemble" afterwards.
+	Strategy string `json:"strategy"`
+	// SnapshotBatch is the training batch counter of the snapshot that
+	// answered; SnapshotAgeMS how stale it was at read time.
+	SnapshotBatch int     `json:"snapshot_batch"`
+	SnapshotAgeMS float64 `json:"snapshot_age_ms"`
+	// KnowledgeDistance is the distance to the nearest preserved concept
+	// (-1 when no knowledge index applies).
+	KnowledgeDistance float64 `json:"knowledge_distance"`
+	// Fused is the number of requests (across all streams) whose rows
+	// shared this request's fused pass. Omitted when coalescing is off.
+	Fused int `json:"fused,omitempty"`
+}
+
+// GraphResponse is the /v1/streams/{id}/graph body: the stream's observed
+// pattern-transition graph.
+type GraphResponse struct {
+	Stream string `json:"stream"`
+	shift.TransitionSnapshot
+}
+
+// handleInfer serves POST /v1/streams/{id}/infer: a label-less batch (JSON
+// ProcessRequest without y, or a label-less binary frame) predicted from
+// the stream's published snapshot.
+func (s *Server) handleInfer(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	body := getBuf()
+	defer putBuf(body)
+	if _, err := body.ReadFrom(r.Body); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.bodyCap.Add(1)
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); strings.HasPrefix(ct, BinaryContentType) {
+		s.handleInferBinary(w, r, id, body.Bytes())
+		return
+	}
+	var req ProcessRequest
+	dec := json.NewDecoder(bytes.NewReader(body.Bytes()))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	if req.Y != nil {
+		s.writeError(w, http.StatusBadRequest, "infer is label-less: submit labeled batches to /process")
+		return
+	}
+	if err := validateInferRows(req.X, s.dim, s.classes); err != nil {
+		s.writeError(w, inferValidationStatus(err), err.Error())
+		return
+	}
+	rec := s.beginInferSpan(id, "json", r.Header.Get(obs.TraceparentHeader), "", len(req.X))
+	out, status, err := s.infer(r.Context(), id, rec.traceID(), req.X)
+	rec.finish(out.Fused, err)
+	rec.setHeaders(w.Header())
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, out)
+}
+
+// handleInferBinary serves a binary frame POSTed to /infer. The frame must
+// be label-less — a labeled frame is a training submission and belongs to
+// /process.
+func (s *Server) handleInferBinary(w http.ResponseWriter, r *http.Request, id string, body []byte) {
+	f := getFrame()
+	defer putFrame(f)
+	if err := f.DecodeInto(body); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
+		return
+	}
+	s.cBinFrames.Inc()
+	if f.Grew {
+		s.cBinGrew.Inc()
+	}
+	if f.ID != "" && f.ID != id {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("frame is addressed to stream %q, not %q", f.ID, id))
+		return
+	}
+	if f.Y != nil {
+		s.writeError(w, http.StatusBadRequest, "infer frames must be label-less: submit labeled frames to /process")
+		return
+	}
+	rec := s.beginInferSpan(id, "binary", r.Header.Get(obs.TraceparentHeader), f.Traceparent, len(f.X))
+	out, status, err := s.inferDecodedFrame(r.Context(), id, rec.traceID(), f)
+	rec.finish(out.Fused, err)
+	rec.setHeaders(w.Header())
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, out)
+}
+
+// inferDecodedFrame validates and infers a decoded label-less frame. The
+// inference plane never retains row references (member models copy rows
+// into their own staging during the forward pass, and the coalescer packs
+// them into group-owned storage), so the frame keeps its slab on both paths
+// and warm frames stay allocation-free — no Detach, unlike the process
+// plane's direct path.
+func (s *Server) inferDecodedFrame(ctx context.Context, id, traceID string, f *wire.Frame) (InferResponse, int, error) {
+	if err := validateInferRows(f.X, s.dim, s.classes); err != nil {
+		return InferResponse{}, inferValidationStatus(err), err
+	}
+	return s.infer(ctx, id, traceID, f.X)
+}
+
+// infer routes one label-less batch to the stream's snapshot — directly, or
+// through the cross-stream inference coalescer when coalescing is enabled.
+func (s *Server) infer(ctx context.Context, id, traceID string, x [][]float64) (InferResponse, int, error) {
+	if s.inferCoal != nil {
+		sub, err := s.inferCoal.SubmitInfer(ctx, id, traceID, x)
+		if err != nil {
+			return InferResponse{}, s.errStatus(err), err
+		}
+		g := sub.Out.(*inferGroupOut)
+		if err := g.errs[sub.Member]; err != nil {
+			return InferResponse{}, s.errStatus(err), err
+		}
+		return s.buildInferResponse(id, g.results[sub.Member], sub.Members), http.StatusOK, nil
+	}
+	res, err := s.mgr.Infer(ctx, id, x)
+	if err != nil {
+		return InferResponse{}, s.errStatus(err), err
+	}
+	return s.buildInferResponse(id, res, 0), http.StatusOK, nil
+}
+
+// buildInferResponse shapes an inference result into the wire response.
+// fused is 0 when coalescing is off (the field is then omitted).
+func (s *Server) buildInferResponse(id string, res core.InferResult, fused int) InferResponse {
+	return InferResponse{
+		Stream:            id,
+		Predictions:       res.Pred,
+		Strategy:          res.Strategy.String(),
+		SnapshotBatch:     res.SnapshotBatch,
+		SnapshotAgeMS:     float64(res.SnapshotAge.Microseconds()) / 1000,
+		KnowledgeDistance: res.KnowledgeDist,
+		Fused:             fused,
+	}
+}
+
+// inferGroupOut is the shared result of one cross-stream fused pass. Errors
+// are per member: one stream's failure (bad id, closed manager) must not
+// fail the co-fused requests of other streams.
+type inferGroupOut struct {
+	results []core.InferResult
+	errs    []error
+}
+
+// runInferGroup executes one cross-stream inference group: members are
+// bucketed per stream (preserving submission order), and each stream runs
+// one fused pass over all its members' row ranges against its own
+// snapshot. Bitwise-identical to inferring every member alone — the GEMM
+// kernels accumulate each output row independently of the batch height.
+func (s *Server) runInferGroup(b coalesce.Batch) (any, error) {
+	out := &inferGroupOut{
+		results: make([]core.InferResult, len(b.Segs)),
+		errs:    make([]error, len(b.Segs)),
+	}
+	var order []string
+	byStream := make(map[string][]int, len(b.Segs))
+	for i, seg := range b.Segs {
+		if _, ok := byStream[seg.ID]; !ok {
+			order = append(order, seg.ID)
+		}
+		byStream[seg.ID] = append(byStream[seg.ID], i)
+	}
+	for _, id := range order {
+		idxs := byStream[id]
+		groups := make([][][]float64, len(idxs))
+		for j, i := range idxs {
+			seg := b.Segs[i]
+			groups[j] = b.X[seg.Lo:seg.Hi]
+		}
+		// The pass runs detached from any member's request context, like the
+		// process plane's fused passes.
+		results, err := s.mgr.InferFused(context.Background(), id, groups)
+		if err != nil {
+			for _, i := range idxs {
+				out.errs[i] = err
+			}
+			continue
+		}
+		for j, i := range idxs {
+			out.results[i] = results[j]
+		}
+	}
+	return out, nil
+}
+
+// beginInferSpan opens a worker span for one inference call — the infer
+// plane's trace events, joinable by trace id with the router's forward
+// spans and the training plane's worker.process spans.
+func (s *Server) beginInferSpan(streamID, proto, headerTP, frameTP string, rows int) *spanRec {
+	rec := s.beginSpan(streamID, proto, headerTP, frameTP, rows)
+	rec.span.Name = "worker.infer"
+	return rec
+}
+
+// handleGraph serves GET /v1/streams/{id}/graph: the stream's observed
+// pattern-transition graph (nodes, directed edge counts, last pattern).
+// Like the other read-only endpoints it never creates sessions.
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request, id string) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	sess, status, err := s.session(id)
+	if err != nil {
+		s.writeError(w, status, err.Error())
+		return
+	}
+	s.writeJSON(w, GraphResponse{Stream: id, TransitionSnapshot: sess.TransitionGraph()})
+}
+
+// validateInferRows applies the shared shape contract plus the inference
+// plane's purity requirement: non-finite features are rejected outright
+// (the training plane's guard can repair them statefully; the lock-free
+// read path cannot).
+func validateInferRows(x [][]float64, dim, classes int) error {
+	if err := validateRows(x, nil, dim, classes); err != nil {
+		return err
+	}
+	for _, row := range x {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("non-finite feature value: %w", guard.ErrRejected)
+			}
+		}
+	}
+	return nil
+}
+
+// inferValidationStatus maps a validation failure to its HTTP status:
+// guard-rejected input is 422 (well-formed but unprocessable), anything
+// else is a plain 400.
+func inferValidationStatus(err error) int {
+	if errors.Is(err, guard.ErrRejected) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}

@@ -309,6 +309,11 @@ type Server struct {
 	coalWindow  time.Duration
 	coalMaxRows int
 	coal        *coalesce.Coalescer
+	// inferCoal is the inference plane's cross-stream coalescer: label-less
+	// rows from many streams pack into one fused group. Separate from coal
+	// because training groups are per-stream and inference groups are not,
+	// and so the two planes never delay each other's windows.
+	inferCoal *coalesce.Coalescer
 
 	binTimeout time.Duration
 	binMu      sync.Mutex
@@ -319,11 +324,11 @@ type Server struct {
 	spanCap  int
 	spans    *obs.SpanRing
 
-	reqs      atomic.Int64
-	rejects   atomic.Int64
-	bodyCap   atomic.Int64
-	cancelled atomic.Int64
-	cCancel   *obs.Counter
+	reqs       atomic.Int64
+	rejects    atomic.Int64
+	bodyCap    atomic.Int64
+	cancelled  atomic.Int64
+	cCancel    *obs.Counter
 	cBinFrames *obs.Counter
 	cBinGrew   *obs.Counter
 
@@ -393,6 +398,30 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 		s.coal = coal
+
+		// The inference plane gets its own coalescer (cross-stream groups,
+		// separate windows) and its own metric family so read-path fusion is
+		// observable apart from training-path fusion.
+		reg := mgr.Registry()
+		inferCoal, err := coalesce.New(coalesce.Config{
+			Window:  s.coalWindow,
+			MaxRows: s.coalMaxRows,
+			Metrics: &coalesce.Metrics{
+				Submits: reg.Counter("freeway_infer_coalesce_submits_total", "Inference batches submitted to the cross-stream coalescer."),
+				Passes:  reg.Counter("freeway_infer_coalesce_passes_total", "Cross-stream fused inference passes executed."),
+				Members: reg.Histogram("freeway_infer_coalesce_members", "Inference batches fused per pass.", obs.ExponentialBuckets(1, 2, 8)),
+				Rows:    reg.Histogram("freeway_infer_coalesce_rows", "Rows per fused inference pass.", obs.ExponentialBuckets(1, 2, 12)),
+				Wait:    reg.Histogram("freeway_infer_coalesce_wait_seconds", "Time from inference group open to fused pass start.", nil),
+				Fill:    reg.Histogram("freeway_infer_coalesce_fill_ratio", "Rows over MaxRows at inference pass start.", obs.LinearBuckets(0.1, 0.1, 10)),
+				Depth:   reg.Gauge("freeway_infer_coalesce_depth", "Inference groups gathering or queued."),
+			},
+			Run: s.runInferGroup,
+		})
+		if err != nil {
+			mgr.Close()
+			return nil, err
+		}
+		s.inferCoal = inferCoal
 	}
 
 	s.routeCounters = map[string]*obs.Counter{}
@@ -400,7 +429,8 @@ func New(cfg core.Config, dim, classes int, opts ...Option) (*Server, error) {
 		"/v1/process", "/v1/stats", "/v1/trace", "/v1/healthz", "/v1/health",
 		"/v1/readyz", "/v1/metrics", "/v1/streams", "/v1/knowledge", "/v1/knowledge/merge",
 		"/v1/streams/:id/process", "/v1/streams/:id/stats", "/v1/streams/:id/trace",
-		"/v1/streams/:id/evict", "/v1/streams/:id/other", "/v1/spans", "binary",
+		"/v1/streams/:id/evict", "/v1/streams/:id/infer", "/v1/streams/:id/graph",
+		"/v1/streams/:id/other", "/v1/spans", "binary",
 	} {
 		s.routeCounters[route] = mgr.Registry().Counter("freeway_http_requests_total", "HTTP requests by route.", "path", route)
 	}
@@ -443,7 +473,7 @@ func (s *Server) handle(path string, h http.HandlerFunc) {
 	})
 }
 
-// handleStreamRoute dispatches /v1/streams/:id/{process|stats|trace}.
+// handleStreamRoute dispatches /v1/streams/:id/{process|stats|trace|evict|infer|graph}.
 // Anything else under the prefix gets the JSON 404 envelope (the mux's
 // plain-text NotFound would break clients expecting the envelope contract).
 func (s *Server) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
@@ -467,6 +497,14 @@ func (s *Server) handleStreamRoute(w http.ResponseWriter, r *http.Request) {
 		case "evict":
 			s.routeCounters["/v1/streams/:id/evict"].Inc()
 			s.handleEvict(w, r, id)
+			return
+		case "infer":
+			s.routeCounters["/v1/streams/:id/infer"].Inc()
+			s.handleInfer(w, r, id)
+			return
+		case "graph":
+			s.routeCounters["/v1/streams/:id/graph"].Inc()
+			s.handleGraph(w, r, id)
 			return
 		}
 	}

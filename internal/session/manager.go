@@ -521,6 +521,36 @@ func (m *Manager) ProcessBatch(ctx context.Context, id string, b stream.Batch) (
 	return core.Result{}, fmt.Errorf("session %q: evicted %d times in a row during processing", id, maxProcessRetries)
 }
 
+// Infer routes one label-less batch to the inference plane of the session
+// for id, creating the session on first use. Unlike ProcessBatch there is
+// no closed-session retry loop: the read path never takes Session.mu, so an
+// eviction cannot race it into an error — a session evicted mid-request
+// simply answers from its last published snapshot.
+func (m *Manager) Infer(ctx context.Context, id string, x [][]float64) (core.InferResult, error) {
+	s, ok := m.lookup(id)
+	if !ok {
+		var err error
+		if s, err = m.Ensure(id); err != nil {
+			return core.InferResult{}, err
+		}
+	}
+	return s.Infer(ctx, x)
+}
+
+// InferFused routes many groups of rows to one fused inference pass on the
+// session for id (the cross-stream coalescer groups per stream and calls
+// this once per stream). Lock-free like Infer.
+func (m *Manager) InferFused(ctx context.Context, id string, groups [][][]float64) ([]core.InferResult, error) {
+	s, ok := m.lookup(id)
+	if !ok {
+		var err error
+		if s, err = m.Ensure(id); err != nil {
+			return nil, err
+		}
+	}
+	return s.InferFused(ctx, groups)
+}
+
 // Get returns the resident session for id (ok=false when absent — Get never
 // creates). Invalid ids are simply not resident.
 func (m *Manager) Get(id string) (*Session, bool) {

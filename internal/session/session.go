@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"freewayml/internal/core"
+	"freewayml/internal/shift"
+	"freewayml/internal/strategy"
 	"freewayml/internal/stream"
 )
 
@@ -29,12 +31,17 @@ type Session struct {
 	// Manager.mu → Session.mu; a Session.mu holder must never take
 	// Manager.mu (eviction holds both while waiting out an in-flight
 	// Process).
+	// learner is set at construction and never reassigned, so the lock-free
+	// inference plane (Infer/ModelSnapshot) reads it without mu.
 	mu       sync.Mutex
 	learner  *core.Learner
 	observer *core.Observer
 	seq      int
 	closed   bool
 	restored bool
+
+	// graph records the stream's pattern-to-pattern transitions (under mu).
+	graph shift.TransitionGraph
 
 	// lastUsed is the idle clock (unix nanoseconds), read by the TTL
 	// sweeper and the LRU spill without taking mu.
@@ -77,10 +84,48 @@ func (s *Session) process(ctx context.Context, b stream.Batch) (core.Result, err
 	b.Seq = s.seq
 	s.seq++
 	res, err := s.learner.Process(ctx, b)
+	if err == nil {
+		// SubPattern refines slight shifts into A1/A2 and equals Pattern
+		// otherwise, so it is the finest label available for the graph.
+		s.graph.Record(res.SubPattern)
+	}
 	if err == nil && s.mgr.ckptEvery > 0 && s.mgr.ckptPath(s.id) != "" && s.seq%s.mgr.ckptEvery == 0 {
 		s.checkpointLocked()
 	}
 	return res, err
+}
+
+// Infer predicts one label-less batch from the learner's published model
+// snapshot. This is the lock-free read path: it never takes s.mu — only the
+// idle clock is touched — so inference proceeds concurrently with training,
+// checkpointing, and teardown on the same stream. A session that was
+// evicted mid-request still answers from its last published snapshot.
+func (s *Session) Infer(ctx context.Context, x [][]float64) (core.InferResult, error) {
+	s.touch()
+	return s.learner.Infer(ctx, x)
+}
+
+// InferFused predicts many groups of rows in one fused pass against the
+// session's published snapshot (see core.Learner.InferFused). Lock-free
+// like Infer.
+func (s *Session) InferFused(ctx context.Context, groups [][][]float64) ([]core.InferResult, error) {
+	s.touch()
+	return s.learner.InferFused(ctx, groups)
+}
+
+// ModelSnapshot returns the session's currently published inference
+// snapshot without taking s.mu. (Snapshot() — the stats summary — predates
+// the inference plane and keeps its name.)
+func (s *Session) ModelSnapshot() *strategy.Snapshot {
+	s.touch()
+	return s.learner.ModelSnapshot()
+}
+
+// TransitionGraph returns a copy of the stream's pattern-transition graph.
+func (s *Session) TransitionGraph() shift.TransitionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.Snapshot()
 }
 
 // checkpointLocked snapshots the learner to the session's checkpoint path.

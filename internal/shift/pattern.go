@@ -49,6 +49,28 @@ func (p Pattern) String() string {
 	}
 }
 
+// Label returns the short paper name ("A1", "B", …) without the
+// parenthesized gloss String() adds — the form used in metric labels and
+// the transition-graph JSON.
+func (p Pattern) Label() string {
+	switch p {
+	case PatternWarmup:
+		return "warmup"
+	case PatternA:
+		return "A"
+	case PatternA1:
+		return "A1"
+	case PatternA2:
+		return "A2"
+	case PatternB:
+		return "B"
+	case PatternC:
+		return "C"
+	default:
+		return p.String()
+	}
+}
+
 // IsSlight reports whether p is any of the slight-shift patterns A, A1, A2.
 func (p Pattern) IsSlight() bool { return p == PatternA || p == PatternA1 || p == PatternA2 }
 

@@ -28,6 +28,7 @@ type Granularity struct {
 	bufY     []int
 	centroid linalg.Vector // distribution of the last training data
 	wd       *Watchdog     // nil when the watchdog is disabled
+	ver      uint64        // bumped on every parameter/centroid mutation
 }
 
 // NewGranularity wraps a model as a fixed-frequency ensemble member. wd may
@@ -114,8 +115,17 @@ type Ensemble struct {
 
 	preserver Preserver // set after construction (nil disables preservation)
 
-	mu sync.RWMutex // guards long model + longCentroid during async updates
-	wg sync.WaitGroup
+	mu      sync.RWMutex // guards long model + longCentroid + longVer during async updates
+	wg      sync.WaitGroup
+	longVer uint64 // bumped on every long-model mutation (under mu)
+
+	// Snapshot-publication cache: clones are re-made only for members whose
+	// version moved since the last publication. Guarded by pubMu (one
+	// publisher at a time); the cached clones themselves are immutable.
+	pubMu      sync.Mutex
+	pubMembers []SnapshotMember
+	pubVers    []uint64
+	pubLongVer uint64
 }
 
 // NewEnsemble assembles the mechanism from its pre-built parts. pre and
@@ -123,12 +133,12 @@ type Ensemble struct {
 // nil to disable long-model divergence monitoring.
 func NewEnsemble(cfg EnsembleConfig, grans []*Granularity, long model.Model, longWd *Watchdog, asw *window.ASW, pre *window.Precomputer, longOpt *nn.SGD, deps EnsembleDeps) *Ensemble {
 	return &Ensemble{
-		cfg:   cfg,
-		deps:  deps,
-		grans: grans,
-		long:  long,
-		asw:   asw,
-		pre:   pre,
+		cfg:     cfg,
+		deps:    deps,
+		grans:   grans,
+		long:    long,
+		asw:     asw,
+		pre:     pre,
 		longOpt: longOpt,
 		longWd:  longWd,
 	}
@@ -156,6 +166,7 @@ func (e *Ensemble) AdoptShort(snap []byte, centroid linalg.Vector) error {
 		return err
 	}
 	e.grans[0].centroid = centroid.Clone()
+	e.grans[0].ver++
 	return nil
 }
 
@@ -265,6 +276,7 @@ func (e *Ensemble) Train(ctx context.Context, b stream.Batch, obs shift.Observat
 		if !diverged && obs.YBar != nil {
 			g.centroid = obs.YBar.Clone()
 		}
+		g.ver++ // Fit ran (or the watchdog rolled back): parameters moved
 		g.bufX, g.bufY, g.pending = nil, nil, 0
 	}
 	tr.StageDone(StageShortUpdate, tShort)
@@ -281,6 +293,7 @@ func (e *Ensemble) Train(ctx context.Context, b stream.Batch, obs shift.Observat
 				e.longCentroid[j] = e.cfg.LongEMA*e.longCentroid[j] + (1-e.cfg.LongEMA)*obs.YBar[j]
 			}
 		}
+		e.longVer++
 		e.mu.Unlock()
 	}
 
@@ -347,6 +360,7 @@ func (e *Ensemble) updateLong(obs shift.Observation, tr Trace) error {
 	apply := func() error {
 		e.mu.Lock()
 		defer e.mu.Unlock()
+		e.longVer++
 		// lastLoss feeds the long model's watchdog; negative means the
 		// update path produced no loss signal (precompute), where only the
 		// weight checks apply.
@@ -416,6 +430,48 @@ func (e *Ensemble) updateLong(obs shift.Observation, tr Trace) error {
 	err = apply()
 	tr.StageDone(StageLongUpdate, tLong)
 	return err
+}
+
+// PublishSnapshot builds the immutable member view for the inference plane:
+// every granularity model in order, the long model last. Members whose
+// version counter has not moved since the previous publication reuse the
+// cached clone, so steady-state publication cost is one deep copy of the
+// models that actually trained this batch (usually just the short model).
+// Must be called from the training goroutine — it reads the granularity
+// models without e.mu; the long model is cloned under e.mu so an in-flight
+// asynchronous update cannot tear it.
+func (e *Ensemble) PublishSnapshot() []SnapshotMember {
+	e.pubMu.Lock()
+	defer e.pubMu.Unlock()
+	n := len(e.grans)
+	if e.pubMembers == nil {
+		e.pubMembers = make([]SnapshotMember, n+1)
+		e.pubVers = make([]uint64, n)
+	}
+	members := make([]SnapshotMember, n+1)
+	for i, g := range e.grans {
+		if e.pubMembers[i].Model == nil || e.pubVers[i] != g.ver {
+			var c linalg.Vector
+			if g.centroid != nil {
+				c = g.centroid.Clone()
+			}
+			e.pubMembers[i] = SnapshotMember{Model: g.Model.Clone(), Centroid: c}
+			e.pubVers[i] = g.ver
+		}
+		members[i] = e.pubMembers[i]
+	}
+	e.mu.RLock()
+	if e.pubMembers[n].Model == nil || e.pubLongVer != e.longVer {
+		var c linalg.Vector
+		if e.longCentroid != nil {
+			c = e.longCentroid.Clone()
+		}
+		e.pubMembers[n] = SnapshotMember{Model: e.long.Clone(), Centroid: c}
+		e.pubLongVer = e.longVer
+	}
+	members[n] = e.pubMembers[n]
+	e.mu.RUnlock()
+	return members
 }
 
 // DebugModels exposes the short and long granularity models for diagnostic
@@ -488,12 +544,14 @@ func (e *Ensemble) ImportState(st EnsembleState) error {
 			return fmt.Errorf("strategy: restore granularity %d: %w", i, err)
 		}
 		g.centroid = st.GranCentroids[i]
+		g.ver++
 		g.bufX, g.bufY, g.pending = nil, nil, 0
 	}
 	if err := e.long.Restore(st.LongSnapshot); err != nil {
 		return fmt.Errorf("strategy: restore long model: %w", err)
 	}
 	e.longCentroid = st.LongCentroid
+	e.longVer++
 	e.asw.Reset()
 	if e.pre != nil {
 		e.pre.Start()

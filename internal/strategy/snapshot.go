@@ -1,0 +1,218 @@
+package strategy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"freewayml/internal/ensemble"
+	"freewayml/internal/knowledge"
+	"freewayml/internal/linalg"
+	"freewayml/internal/model"
+	"freewayml/internal/pca"
+	"freewayml/internal/shift"
+)
+
+// SnapshotMember is one ensemble member frozen at publication time: a deep
+// model clone plus the centroid of its training distribution in shift space.
+// Neither is mutated after the snapshot is built — the training plane clones
+// before publishing, so readers share the structs freely.
+type SnapshotMember struct {
+	Model    model.Model
+	Centroid linalg.Vector
+}
+
+// Snapshot is the immutable inference view the training plane publishes
+// after every batch. It carries everything the paper's Eq. 12-14 fusion
+// needs — the granularity models with their centroids (short first, long
+// last), the kernel bandwidth, and the PCA projection that maps a batch mean
+// into shift space — plus read-only observability context: the lock-free
+// knowledge-match index, the CEC experience size, and the pattern of the
+// batch that produced the snapshot.
+//
+// A Snapshot must never be mutated after publication. The infer plane loads
+// the current pointer atomically and may keep using a superseded snapshot
+// for the duration of one request; the staleness bound is one training
+// batch (plus one asynchronous long-model update, see DESIGN.md).
+type Snapshot struct {
+	Members []SnapshotMember // granularities in order, long-term model last
+	Sigma   float64
+	Proj    *pca.Model // nil until the detector finishes warm-up
+
+	// Knowledge is the shared match index; Match/NearestDistance are
+	// lock-free reads. Nil when the learner has no store.
+	Knowledge *knowledge.Store
+	// Experience is the CEC experience-buffer size at publication.
+	Experience int
+	// Pattern is the shift pattern of the batch that produced this
+	// snapshot (PatternWarmup before the detector is ready).
+	Pattern shift.Pattern
+
+	// Batch is the training batch counter at publication; Seq increments
+	// once per publication (checkpoint restores also publish).
+	Batch       int
+	Seq         uint64
+	PublishedAt time.Time
+	Dim         int
+	Classes     int
+
+	// ComputeMu serializes forward passes across every snapshot of one
+	// learner. The member *parameters* are immutable, but a model's forward
+	// pass stages rows into model-owned scratch, and publication reuses an
+	// unchanged member's clone across consecutive snapshots — so two
+	// concurrent readers (even of different snapshot generations) would race
+	// on that scratch without it. The mutex belongs to the read plane alone:
+	// the training path never takes it, so a reader waits only behind other
+	// readers, never behind training, checkpointing, or eviction.
+	ComputeMu *sync.Mutex
+}
+
+// InferOutput is the pure inference result for one group of rows.
+type InferOutput struct {
+	Pred  []int
+	Proba [][]float64
+	// Warmup reports that only the short model answered (no projection yet).
+	Warmup bool
+	// Weights are the normalized fusion weights the members received
+	// (nil during warm-up).
+	Weights []float64
+	// KnowledgeDist is the distance to the nearest stored concept centroid
+	// (observability only; -1 when no index or no projection).
+	KnowledgeDist float64
+}
+
+// Age returns how long ago the snapshot was published.
+func (s *Snapshot) Age() time.Duration { return time.Since(s.PublishedAt) }
+
+// InferBatch runs pure inference over one group of rows. It is exactly
+// InferFused with a single group — the fused path is bitwise-identical by
+// construction.
+func (s *Snapshot) InferBatch(x [][]float64) (InferOutput, error) {
+	outs, err := s.InferFused([][][]float64{x})
+	if err != nil {
+		return InferOutput{}, err
+	}
+	return outs[0], nil
+}
+
+// InferFused runs one fused inference pass over many groups of rows (one
+// group per waiting request, possibly from different streams sharing this
+// snapshot — or, at the serve layer, per-stream groups each against their
+// own snapshot). All groups' rows are concatenated and each member model
+// runs a single batched forward pass; per-group fusion then slices the
+// shared probability output. Because the GEMM kernels accumulate each
+// output row independently of the total row count (see internal/linalg),
+// the fused pass is bitwise-identical to inferring every group separately.
+func (s *Snapshot) InferFused(groups [][][]float64) ([]InferOutput, error) {
+	if s == nil {
+		return nil, errors.New("strategy: nil snapshot")
+	}
+	if len(s.Members) == 0 {
+		return nil, errors.New("strategy: snapshot has no members")
+	}
+	total := 0
+	for _, g := range groups {
+		for _, row := range g {
+			if len(row) != s.Dim {
+				return nil, fmt.Errorf("strategy: row has %d features, want %d", len(row), s.Dim)
+			}
+		}
+		total += len(g)
+	}
+	all := make([][]float64, 0, total)
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	outs := make([]InferOutput, len(groups))
+
+	if s.ComputeMu != nil {
+		s.ComputeMu.Lock()
+		defer s.ComputeMu.Unlock()
+	}
+
+	if s.Proj == nil {
+		// Warm-up: the paper trains and serves the short model alone until
+		// the detector's PCA is fitted.
+		proba := s.Members[0].Model.PredictProba(all)
+		lo := 0
+		for gi, g := range groups {
+			p := proba[lo : lo+len(g)]
+			outs[gi] = InferOutput{Pred: argmaxRows(p), Proba: p, Warmup: true, KnowledgeDist: -1}
+			lo += len(g)
+		}
+		return outs, nil
+	}
+
+	// One batched forward pass per member over every group's rows.
+	probas := make([][][]float64, len(s.Members))
+	for i, m := range s.Members {
+		probas[i] = m.Model.PredictProba(all)
+	}
+
+	lo := 0
+	for gi, g := range groups {
+		hi := lo + len(g)
+		out, err := s.fuseGroup(probas, lo, hi, g)
+		if err != nil {
+			return nil, err
+		}
+		outs[gi] = out
+		lo = hi
+	}
+	return outs, nil
+}
+
+// fuseGroup computes one group's shift-space mean, weights each member by
+// the Gaussian kernel of its centroid distance (Eq. 12-14), and fuses the
+// members' probability slices for the group's row range.
+func (s *Snapshot) fuseGroup(probas [][][]float64, lo, hi int, rows [][]float64) (InferOutput, error) {
+	var ybar linalg.Vector
+	if len(rows) > 0 {
+		points := make([]linalg.Vector, len(rows))
+		for i, r := range rows {
+			points[i] = r
+		}
+		mean, err := linalg.Mean(points)
+		if err != nil {
+			return InferOutput{}, fmt.Errorf("strategy: infer mean: %w", err)
+		}
+		ybar, err = s.Proj.ProjectMean(mean)
+		if err != nil {
+			return InferOutput{}, fmt.Errorf("strategy: infer projection: %w", err)
+		}
+	}
+	members := make([]ensemble.Member, len(s.Members))
+	for i, m := range s.Members {
+		members[i] = ensemble.Member{
+			Proba:    probas[i][lo:hi],
+			Distance: centroidDistance(ybar, m.Centroid),
+		}
+	}
+	normalizeDistances(members)
+	ds := make([]float64, len(members))
+	for i := range members {
+		ds[i] = members[i].Distance
+	}
+	weights, err := ensemble.Weights(ds, s.Sigma)
+	if err != nil {
+		weights = nil
+	}
+	fused, err := ensemble.Fuse(members, s.Sigma)
+	if err != nil {
+		return InferOutput{}, fmt.Errorf("strategy: infer fusion: %w", err)
+	}
+	kdist := -1.0
+	if s.Knowledge != nil && ybar != nil {
+		if d := s.Knowledge.NearestDistance(ybar); !math.IsInf(d, 0) && !math.IsNaN(d) {
+			kdist = d
+		}
+	}
+	return InferOutput{
+		Pred:          argmaxRows(fused),
+		Proba:         fused,
+		Weights:       weights,
+		KnowledgeDist: kdist,
+	}, nil
+}

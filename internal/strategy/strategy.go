@@ -80,12 +80,12 @@ type StageObserver interface {
 // nopTrace backs a nil Trace so strategies can call hooks unconditionally.
 type nopTrace struct{}
 
-func (nopTrace) StageStart() time.Time          { return time.Time{} }
-func (nopTrace) StageDone(string, time.Time)    {}
-func (nopTrace) Weights([]float64)              {}
-func (nopTrace) CEC(cluster.CECStats)           {}
-func (nopTrace) Knowledge(bool, float64)        {}
-func (nopTrace) WindowClosed()                  {}
+func (nopTrace) StageStart() time.Time       { return time.Time{} }
+func (nopTrace) StageDone(string, time.Time) {}
+func (nopTrace) Weights([]float64)           {}
+func (nopTrace) CEC(cluster.CECStats)        {}
+func (nopTrace) Knowledge(bool, float64)     {}
+func (nopTrace) WindowClosed()               {}
 
 // ensureTrace substitutes the no-op trace for nil.
 func ensureTrace(tr Trace) Trace {
@@ -95,16 +95,33 @@ func ensureTrace(tr Trace) Trace {
 	return tr
 }
 
-// Strategy is one adaptive mechanism. Infer produces predictions for a
-// batch under the detector's observation; ok=false means the mechanism
+// Inferrer is the read side of a strategy: it produces predictions for a
+// batch under the detector's observation without mutating strategy state
+// that concurrent readers could see torn. ok=false means the mechanism
 // cannot serve this batch (no experience yet, no confident knowledge match)
-// and the dispatcher falls back per the paper's Fig. 8 chain. Train folds
-// the labeled batch into the mechanism's state. Both honour ctx
-// cancellation between (not within) model updates.
-type Strategy interface {
+// and the dispatcher falls back per the paper's Fig. 8 chain.
+//
+// Note the distinction from Snapshot.InferFused: a Strategy's Infer runs on
+// the training plane (under the session lock, interleaved with Train and
+// free to consult mutable detector state), while Snapshot carries the
+// immutable published view the lock-free inference plane reads.
+type Inferrer interface {
 	Name() string
 	Infer(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) (Prediction, bool, error)
+}
+
+// Trainer is the write side: it folds the labeled batch into the
+// mechanism's state. Implementations honour ctx cancellation between (not
+// within) model updates.
+type Trainer interface {
 	Train(ctx context.Context, b stream.Batch, obs shift.Observation, tr Trace) error
+}
+
+// Strategy is one adaptive mechanism: the composition of its pure-read
+// Inferrer contract and its stateful Trainer contract.
+type Strategy interface {
+	Inferrer
+	Trainer
 }
 
 // normalizeDistances rescales the members' finite distances by their mean,

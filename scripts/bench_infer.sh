@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Runs the PR 9 inference-plane gate and records BENCH_PR9.json:
+#
+# Two short closed-loop freeway-loadgen runs against freshly built servers,
+# both driving a read-heavy mix (90% of requests are label-less /infer
+# reads, 10% labeled training batches, binary framing):
+#
+#   1. unfused — every infer request runs its own forward pass
+#   2. fused   — -coalesce turns on the cross-stream inference coalescer:
+#                concurrent label-less batches from MANY streams pack into
+#                one slab and share one blocked-GEMM pass per member
+#
+# Gate policy (host-adaptive, same shape as the PR5/PR7 gates): the fused
+# win is k concurrent forward passes collapsing into one, which needs real
+# parallel submitters to show. On a >= 4-CPU host the fused run must reach
+# >= 3x the unfused run's samples/s; on smaller hosts (single-core CI boxes
+# physically serialize the submitters, so groups rarely form) it must not
+# regress — >= 0.85x — and the JSON clearly flags which policy applied.
+#
+# Usage: scripts/bench_infer.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR9.json}
+SOLO_RUN=$(mktemp)
+FUSED_RUN=$(mktemp)
+trap 'rm -f "$SOLO_RUN" "$FUSED_RUN"' EXIT
+
+NCPU=$(nproc 2>/dev/null || echo 1)
+DUR=${BENCH_INFER_DURATION:-5s}
+
+echo "== closed-loop inference benchmarks (freeway-loadgen, 90% reads)" >&2
+mkdir -p bin
+go build -o bin/freeway-serve ./cmd/freeway-serve
+go build -o bin/freeway-loadgen ./cmd/freeway-loadgen
+# 4 streams, 16 workers: concurrency > streams so concurrent label-less
+# batches actually pile up inside the coalescing window — and because the
+# infer group is CROSS-stream, all 16 workers can land in one slab.
+COMMON=(-serve bin/freeway-serve -streams 4 -concurrency 16 -batch 32 \
+  -duration "$DUR" -proto binary -infer-frac 0.9)
+./bin/freeway-loadgen "${COMMON[@]}" -out "$SOLO_RUN" >&2
+./bin/freeway-loadgen "${COMMON[@]}" -coalesce -out "$FUSED_RUN" >&2
+
+# Pull one numeric field out of a loadgen JSON summary.
+field() { awk -F'[:,]' -v k="\"$2\"" '$1 ~ k {gsub(/[[:space:]]/, "", $2); print $2}' "$1"; }
+
+SOLO_SPS=$(field "$SOLO_RUN" samples_per_s)
+FUSED_SPS=$(field "$FUSED_RUN" samples_per_s)
+SOLO_INFERS=$(field "$SOLO_RUN" infer_requests)
+FUSED_INFERS=$(field "$FUSED_RUN" infer_requests)
+
+awk -v go_version="$(go version | awk '{print $3}')" \
+    -v ncpu="$NCPU" -v solo_sps="$SOLO_SPS" -v fused_sps="$FUSED_SPS" \
+    -v solo_infers="${SOLO_INFERS:-0}" -v fused_infers="${FUSED_INFERS:-0}" \
+    -v solo_run="$SOLO_RUN" -v fused_run="$FUSED_RUN" '
+  function embed(file,  line) {
+    while ((getline line < file) > 0) {
+      if (line == "{") printf "{\n"
+      else if (line == "}") printf "  }"
+      else printf "  %s\n", line
+    }
+  }
+  BEGIN {
+    ratio = (solo_sps > 0) ? fused_sps / solo_sps : 0
+    need = (ncpu >= 4) ? 3.0 : 0.85
+    policy = (ncpu >= 4) ? "multi-core: fused cross-stream inference must reach >= 3x the unfused read path" : "single-core host: fused inference must not regress (>= 0.85x unfused)"
+    pass = (ratio >= need) ? "true" : "false"
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"ncpu\": %d,\n", ncpu
+    printf "  \"infer_closed_loop\": {\n"
+    printf "    \"comment\": \"4 streams x 16 workers x batch 32, binary framing, 90%% label-less /infer reads; fused run coalesces concurrent reads from ALL streams into one GEMM pass\",\n"
+    printf "    \"unfused_samples_per_s\": %.0f,\n", solo_sps
+    printf "    \"fused_samples_per_s\": %.0f,\n", fused_sps
+    printf "    \"unfused_infer_requests\": %d,\n", solo_infers
+    printf "    \"fused_infer_requests\": %d,\n", fused_infers
+    printf "    \"fused_vs_unfused\": %.2f,\n", ratio
+    printf "    \"gate\": \"%s\",\n", policy
+    printf "    \"gate_pass\": %s,\n", pass
+    printf "    \"unfused_run\": "; embed(solo_run); printf ",\n"
+    printf "    \"fused_run\": "; embed(fused_run); printf "\n"
+    printf "  },\n"
+    printf "  \"gate_pass\": %s\n", pass
+    printf "}\n"
+    exit (pass == "true") ? 0 : 1
+  }' > "$OUT" || { echo "bench-infer gate FAILED (see $OUT)" >&2; exit 1; }
+echo "wrote $OUT" >&2
