@@ -91,6 +91,7 @@ func main() {
 		inferFrac = flag.Float64("infer-frac", 0, "fraction of requests sent label-less to /infer (read/write mix; 0 = pure training load)")
 		coalWin   = flag.Duration("coalesce-window", 0, "booted server's coalescing gather window")
 		coalRows  = flag.Int("coalesce-max-rows", 0, "booted server's fused-pass row bound")
+		tier      = flag.String("kernel-tier", "", "booted server's inference kernel tier: f64 | f32 | int8-infer (empty keeps the server default; ignored with -addr)")
 
 		cluster      = flag.Int("cluster", 0, "boot a freeway-router plus this many workers and load the router (0 keeps single-server mode)")
 		routerBin    = flag.String("router", "bin/freeway-router", "freeway-router binary for -cluster mode")
@@ -105,7 +106,8 @@ func main() {
 		duration: *duration, mode: *mode, rate: *rate, seed: *seed, out: *out,
 		proto: *proto, dtype: *dtype, inferFrac: *inferFrac,
 		coalesce: *coalesce, coalWindow: *coalWin, coalRows: *coalRows,
-		cluster: *cluster, routerBin: *routerBin,
+		kernelTier: *tier,
+		cluster:    *cluster, routerBin: *routerBin,
 		killAfter: *killAfter, restartAfter: *restartAfter, ckptEvery: *ckptEvery,
 	}
 	if err := run(cfg); err != nil {
@@ -128,6 +130,7 @@ type config struct {
 	coalesce     bool
 	coalWindow   time.Duration
 	coalRows     int
+	kernelTier   string
 
 	cluster                 int
 	routerBin               string
@@ -156,6 +159,9 @@ type summary struct {
 	Proto    string `json:"proto,omitempty"`
 	Dtype    string `json:"dtype,omitempty"`
 	Coalesce bool   `json:"coalesce,omitempty"`
+	// KernelTier is the booted server's inference kernel tier (omitted when
+	// the server default — the f64 oracle — was kept or -addr was used).
+	KernelTier string `json:"kernel_tier,omitempty"`
 
 	// Read/write-mix report: the configured label-less fraction and how
 	// many requests actually took the inference plane.
@@ -391,6 +397,7 @@ func run(cfg config) error {
 	if cfg.proto != "json" {
 		s.Proto, s.Dtype = cfg.proto, cfg.dtype
 	}
+	s.KernelTier = cfg.kernelTier
 	if s.Requests > 0 {
 		s.ErrorRate = float64(s.Errors) / float64(s.Requests)
 	}
@@ -630,6 +637,9 @@ func bootServer(cfg config) (string, func(), error) {
 		"-classes", fmt.Sprint(cfg.classes),
 		"-model", cfg.model,
 		"-seed", fmt.Sprint(cfg.seed),
+	}
+	if cfg.kernelTier != "" {
+		args = append(args, "-kernel-tier", cfg.kernelTier)
 	}
 	if cfg.coalesce {
 		args = append(args, "-coalesce")

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"freewayml/internal/linalg"
+	"freewayml/internal/stream"
+)
+
+// tierLearner builds a learner whose only deviation from testConfig is the
+// inference kernel tier. Config.Seed drives every stochastic component, so
+// two learners with the same config share bitwise-identical training.
+func tierLearner(t *testing.T, tier string) *Learner {
+	t.Helper()
+	cfg := testConfig()
+	cfg.KernelTier = tier
+	l, err := NewLearner(cfg, 3, 2)
+	if err != nil {
+		t.Fatalf("tier %q: %v", tier, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestKernelTierTrainingBitwiseInvariant is the oracle-isolation contract:
+// speed tiers govern the inference plane only, so the training plane —
+// predictions, accuracy, detected patterns, dispatched strategies — must be
+// bitwise identical whether the learner runs f64, f32, or int8-infer.
+func TestKernelTierTrainingBitwiseInvariant(t *testing.T) {
+	learners := map[string]*Learner{
+		"f64":        tierLearner(t, ""),
+		"f32":        tierLearner(t, "f32"),
+		"int8-infer": tierLearner(t, "int8-infer"),
+	}
+
+	// Identical stream per learner: regenerate from the same seed so slice
+	// reuse inside Process cannot couple the runs.
+	batches := func() []stream.Batch {
+		rng := rand.New(rand.NewSource(21))
+		out := make([]stream.Batch, 14)
+		for s := range out {
+			cx := 0.0
+			if s >= 8 {
+				cx = 3.5 // sudden shift mid-stream exercises re-dispatch
+			}
+			out[s] = driftBatch(rng, s, 64, cx, 0, stream.KindNone)
+		}
+		return out
+	}
+
+	results := map[string][]Result{}
+	for name, l := range learners {
+		for _, b := range batches() {
+			res, err := l.Process(context.Background(), b)
+			if err != nil {
+				t.Fatalf("tier %s batch %d: %v", name, b.Seq, err)
+			}
+			results[name] = append(results[name], res)
+		}
+	}
+
+	ref := results["f64"]
+	// The Table I metrics are derived from the training plane, so G_acc
+	// (Eq. 15) and SI (Eq. 16) must be bitwise-equal across tiers — zero
+	// drift, strictly inside any documented ε.
+	refG, refSI := learners["f64"].Metrics().GAcc(), learners["f64"].Metrics().SI()
+	for _, name := range []string{"f32", "int8-infer"} {
+		m := learners[name].Metrics()
+		if g, si := m.GAcc(), m.SI(); g != refG || si != refSI {
+			t.Fatalf("tier %s: G_acc/SI %v/%v != f64 oracle %v/%v", name, g, si, refG, refSI)
+		}
+	}
+	for _, name := range []string{"f32", "int8-infer"} {
+		got := results[name]
+		for i := range ref {
+			if !reflect.DeepEqual(ref[i].Pred, got[i].Pred) {
+				t.Fatalf("tier %s batch %d: training predictions diverge from f64", name, i)
+			}
+			if ref[i].Accuracy != got[i].Accuracy {
+				t.Fatalf("tier %s batch %d: accuracy %v != f64 %v", name, i, got[i].Accuracy, ref[i].Accuracy)
+			}
+			if ref[i].Pattern != got[i].Pattern || ref[i].Strategy != got[i].Strategy {
+				t.Fatalf("tier %s batch %d: pattern/strategy diverge: %v/%v vs %v/%v",
+					name, i, got[i].Pattern, got[i].Strategy, ref[i].Pattern, ref[i].Strategy)
+			}
+			if !reflect.DeepEqual(ref[i].Proba, got[i].Proba) {
+				t.Fatalf("tier %s batch %d: training probabilities not bitwise-identical", name, i)
+			}
+		}
+	}
+
+	// Inference plane: the tiers approximate the oracle within documented ε.
+	rng := rand.New(rand.NewSource(22))
+	groups := inferGroups(rng, []int{5, 17, 2})
+	fused := map[string][]InferResult{}
+	for name, l := range learners {
+		out, err := l.InferFused(context.Background(), groups)
+		if err != nil {
+			t.Fatalf("tier %s InferFused: %v", name, err)
+		}
+		fused[name] = out
+	}
+	for name, eps := range map[string]float64{"f32": 1e-4, "int8-infer": 0.05} {
+		for g := range groups {
+			want, got := fused["f64"][g].Proba, fused[name][g].Proba
+			if len(got) != len(want) {
+				t.Fatalf("tier %s group %d: %d rows, want %d", name, g, len(got), len(want))
+			}
+			for i := range want {
+				for j := range want[i] {
+					if d := math.Abs(got[i][j] - want[i][j]); d > eps {
+						t.Fatalf("tier %s group %d row %d class %d: |%g - %g| = %g > %g",
+							name, g, i, j, got[i][j], want[i][j], d, eps)
+					}
+				}
+			}
+		}
+	}
+
+	// Snapshot metadata carries the tier and, under int8, the quant stats.
+	if snap := learners["f64"].ModelSnapshot(); snap.Tier != linalg.TierF64 || snap.QuantMats != 0 {
+		t.Fatalf("f64 snapshot tier %v quantMats %d", snap.Tier, snap.QuantMats)
+	}
+	if snap := learners["f32"].ModelSnapshot(); snap.Tier != linalg.TierF32 {
+		t.Fatalf("f32 snapshot tier %v", snap.Tier)
+	}
+	snap := learners["int8-infer"].ModelSnapshot()
+	if snap.Tier != linalg.TierInt8 || snap.QuantMats == 0 {
+		t.Fatalf("int8 snapshot tier %v quantMats %d", snap.Tier, snap.QuantMats)
+	}
+	if snap.QuantScaleMin <= 0 || snap.QuantScaleMax < snap.QuantScaleMin {
+		t.Fatalf("int8 snapshot scale stats min %g max %g", snap.QuantScaleMin, snap.QuantScaleMax)
+	}
+}
+
+// TestInferFused32MatchesWidened pins the native-f32 entry at the core
+// layer: feeding exactly-representable values through InferFused32 must
+// produce the same predictions and ε-close probabilities as widening the
+// same values to f64 first.
+func TestInferFused32MatchesWidened(t *testing.T) {
+	l := tierLearner(t, "f32")
+	rng := rand.New(rand.NewSource(5))
+	for s := 0; s < 6; s++ {
+		if _, err := l.Process(context.Background(), driftBatch(rng, s, 64, 0, 0, stream.KindNone)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sizes := []int{3, 11, 1}
+	g32 := make([][][]float32, len(sizes))
+	g64 := make([][][]float64, len(sizes))
+	for g, n := range sizes {
+		g32[g] = make([][]float32, n)
+		g64[g] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			r32 := make([]float32, 3)
+			r64 := make([]float64, 3)
+			for j := range r32 {
+				v := float32(rng.NormFloat64())
+				r32[j] = v
+				r64[j] = float64(v)
+			}
+			g32[g][i] = r32
+			g64[g][i] = r64
+		}
+	}
+
+	a, err := l.InferFused32(context.Background(), g32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.InferFused(context.Background(), g64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range sizes {
+		if !reflect.DeepEqual(a[g].Pred, b[g].Pred) {
+			t.Fatalf("group %d: native-f32 predictions diverge from widened", g)
+		}
+		for i := range a[g].Proba {
+			for j := range a[g].Proba[i] {
+				if d := math.Abs(a[g].Proba[i][j] - b[g].Proba[i][j]); d > 1e-6 {
+					t.Fatalf("group %d row %d class %d: |diff| %g", g, i, j, d)
+				}
+			}
+		}
+	}
+
+	// Non-finite f32 features take the guardrail, not the kernels.
+	bad := [][][]float32{{{1, float32(math.NaN()), 0}}}
+	if _, err := l.InferFused32(context.Background(), bad); err == nil {
+		t.Fatal("NaN f32 feature accepted")
+	}
+}

@@ -1,0 +1,159 @@
+package knowledge
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+// quantStore builds a store with n random centroids of the given dim.
+func quantStore(t *testing.T, rng *rand.Rand, n, dim int) (*Store, []linalg.Vector) {
+	t.Helper()
+	s, err := NewStore(n+1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cents := make([]linalg.Vector, n)
+	for i := range cents {
+		c := make(linalg.Vector, dim)
+		for j := range c {
+			c[j] = rng.NormFloat64()
+		}
+		cents[i] = c
+		if err := s.Preserve(c, []byte{byte(i), 1}, "long", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, cents
+}
+
+// TestQuantizedMatchSeparated pins that on well-separated centroids the int8
+// scan picks exactly the entry the exact scan picks, and returns the exact
+// distance (the winner's distance is always recomputed in float64).
+func TestQuantizedMatchSeparated(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dim := 8
+	s, err := NewStore(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Centroids on scaled axis directions: pairwise distances are huge
+	// relative to int8 quantization error.
+	for i := 0; i < 6; i++ {
+		c := make(linalg.Vector, dim)
+		c[i] = 10 * float64(i+1)
+		if err := s.Preserve(c, []byte{byte(i), 1}, "long", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetQuantizedMatch(true)
+	for trial := 0; trial < 40; trial++ {
+		y := make(linalg.Vector, dim)
+		for j := range y {
+			y[j] = rng.NormFloat64()
+		}
+		axis := rng.Intn(6)
+		y[axis] += 10 * float64(axis+1)
+
+		snapQ, distQ, okQ, err := s.Match(y)
+		if err != nil || !okQ {
+			t.Fatalf("quantized match: ok=%v err=%v", okQ, err)
+		}
+		s.SetQuantizedMatch(false)
+		snapE, distE, okE, err := s.Match(y)
+		if err != nil || !okE {
+			t.Fatalf("exact match: ok=%v err=%v", okE, err)
+		}
+		s.SetQuantizedMatch(true)
+		if snapQ[0] != snapE[0] {
+			t.Fatalf("trial %d: quantized picked entry %d, exact picked %d", trial, snapQ[0], snapE[0])
+		}
+		if math.Abs(distQ-distE) > 1e-12 {
+			t.Fatalf("trial %d: quantized distance %g, exact %g", trial, distQ, distE)
+		}
+	}
+}
+
+// TestQuantizedMatchEpsilonBound bounds the int8 argmin against the exact
+// scan on adversarially close random centroids: the quantized winner's exact
+// distance may exceed the true minimum only by the quantization error of the
+// score, derived from the published scales.
+func TestQuantizedMatchEpsilonBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	dim := 16
+	s, cents := quantStore(t, rng, 12, dim)
+	s.SetQuantizedMatch(true)
+
+	for trial := 0; trial < 60; trial++ {
+		y := make(linalg.Vector, dim)
+		for j := range y {
+			y[j] = rng.NormFloat64()
+		}
+		dQ := s.NearestDistance(y)
+		s.SetQuantizedMatch(false)
+		dE := s.NearestDistance(y)
+		s.SetQuantizedMatch(true)
+
+		if dQ < dE-1e-9 {
+			t.Fatalf("trial %d: quantized nearest %g below exact minimum %g", trial, dQ, dE)
+		}
+		// Score error bound per entry: quantizing v to step σ perturbs each
+		// element by ≤ σ/2, so |y·d − ŷ·d̂| ≤ dim·(σy/2·|d|∞ + σd/2·|y|∞ +
+		// σy·σd/4); the scan score carries twice that.
+		var yMax float64
+		for _, v := range y {
+			if a := math.Abs(v); a > yMax {
+				yMax = a
+			}
+		}
+		sy := yMax / 127
+		var worst float64
+		for _, c := range cents {
+			var cMax float64
+			for _, v := range c {
+				if a := math.Abs(v); a > cMax {
+					cMax = a
+				}
+			}
+			sd := cMax / 127
+			if e := float64(dim) * (sy/2*cMax + sd/2*yMax + sy*sd/4); e > worst {
+				worst = e
+			}
+		}
+		bound := math.Sqrt(dE*dE + 4*worst)
+		if dQ > bound+1e-9 {
+			t.Fatalf("trial %d: quantized nearest %g exceeds ε bound %g (exact %g)", trial, dQ, bound, dE)
+		}
+	}
+}
+
+// TestQuantizedMatchFallbacks pins the unquantized fallbacks: mixed centroid
+// dimensionalities and dimension-mismatched queries must take the exact scan.
+func TestQuantizedMatchFallbacks(t *testing.T) {
+	s, err := NewStore(8, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preserve(linalg.Vector{1, 2, 3}, []byte{1}, "long", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Preserve(linalg.Vector{4, 5}, []byte{2}, "long", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetQuantizedMatch(true)
+	if idx := s.idx.Load(); idx.q8 != nil {
+		t.Fatal("mixed-dim index built a quantized view")
+	}
+
+	s2, _ := quantStore(t, rand.New(rand.NewSource(3)), 4, 6)
+	s2.SetQuantizedMatch(true)
+	if idx := s2.idx.Load(); idx.q8 == nil {
+		t.Fatal("uniform-dim index skipped the quantized view")
+	}
+	s2.SetQuantizedMatch(false)
+	if idx := s2.idx.Load(); idx.q8 != nil {
+		t.Fatal("disabling quantized match left the int8 view published")
+	}
+}

@@ -1,0 +1,266 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNonFinite reports that a value outside the finite float range reached a
+// quantizer. Quantization is an inference-plane operation that sits behind
+// the input guardrail: by the time rows reach a kernel they must be finite,
+// so the quantizers refuse non-finite input instead of silently saturating —
+// a NaN absmax would otherwise poison every scale in the row.
+var ErrNonFinite = errors.New("linalg: non-finite value in quantizer input")
+
+// QuantizedMat is an int8 matrix quantized per row with the absmax scheme:
+// row i stores round(v/Scales[i]) with Scales[i] = absmax(row i)/127. The
+// dequantized value of element (i, j) is float32(Data[i*Cols+j])*Scales[i].
+// An all-zero row has scale 0 (its quantized values are all zero too, so
+// dequantization stays exact).
+//
+// The inference engine stores dense weights this way with one row per
+// OUTPUT channel (the transposed W layout), so every output activation is
+// an int32 dot product of two contiguous int8 rows dequantized by a single
+// sx·sw product — the per-row scheme never mixes scales inside a dot.
+type QuantizedMat struct {
+	Rows, Cols int
+	Data       []int8
+	Scales     []float32
+}
+
+// quantizeRowInto quantizes one finite f32 row into q (len(row) int8s) and
+// returns the row scale. Non-finite input returns ErrNonFinite.
+func quantizeRowInto(q []int8, row []float32) (float32, error) {
+	var absmax float32
+	for _, v := range row {
+		if v != v || v > math.MaxFloat32 || v < -math.MaxFloat32 {
+			return 0, ErrNonFinite
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > absmax {
+			absmax = v
+		}
+	}
+	if absmax == 0 {
+		for i := range q {
+			q[i] = 0
+		}
+		return 0, nil
+	}
+	scale := absmax / 127
+	inv := 127 / absmax
+	for i, v := range row {
+		s := v * inv
+		// Round half away from zero; the product is bounded by ±127 by
+		// construction so no clamp is needed beyond the rounding epsilon.
+		if s >= 0 {
+			s += 0.5
+		} else {
+			s -= 0.5
+		}
+		n := int32(s)
+		if n > 127 {
+			n = 127
+		} else if n < -127 {
+			n = -127
+		}
+		q[i] = int8(n)
+	}
+	return scale, nil
+}
+
+// QuantizeMat32 quantizes src row-by-row into a fresh QuantizedMat. It
+// errors (without allocating the result) if src contains non-finite values.
+func QuantizeMat32(src *Tensor32) (*QuantizedMat, error) {
+	q := &QuantizedMat{
+		Rows:   src.Rows,
+		Cols:   src.Cols,
+		Data:   make([]int8, src.Rows*src.Cols),
+		Scales: make([]float32, src.Rows),
+	}
+	for i := 0; i < src.Rows; i++ {
+		s, err := quantizeRowInto(q.Data[i*q.Cols:(i+1)*q.Cols], src.Row(i))
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		q.Scales[i] = s
+	}
+	return q, nil
+}
+
+// Row returns quantized row i aliasing the matrix storage.
+func (q *QuantizedMat) Row(i int) []int8 { return q.Data[i*q.Cols : (i+1)*q.Cols] }
+
+// ScaleStats returns the smallest and largest nonzero row scales (0, 0 when
+// every row is zero). Published into the decision trace so int8 serving
+// stays auditable: a scale blowing up flags an outlier weight row.
+func (q *QuantizedMat) ScaleStats() (min, max float32) {
+	for _, s := range q.Scales {
+		if s == 0 {
+			continue
+		}
+		if min == 0 || s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Q8Scratch holds the per-call activation quantization buffers of the int8
+// matmul. It is owned by one inference engine and reused across batches, so
+// the warm path allocates nothing (pinned by an AllocsPerRun guard).
+type Q8Scratch struct {
+	qx []int8
+	sx []float32
+}
+
+// GemmQ8 computes dst = x × Wᵀ through the int8 path: each x row is
+// quantized per-row absmax into the scratch, every output element
+// accumulates an int32 dot product of two int8 rows, and the result is
+// dequantized with the product of the two row scales. Shapes: x m×k,
+// w n×k (quantized), dst m×n. Non-finite activations return ErrNonFinite
+// before any arithmetic — the guardrail path, never the kernel, owns
+// non-finite data.
+func (s *Q8Scratch) GemmQ8(dst, x *Tensor32, w *QuantizedMat) error {
+	if x.Cols != w.Cols || dst.Rows != x.Rows || dst.Cols != w.Rows {
+		panic(fmt.Sprintf("linalg: GemmQ8 shape mismatch C(%dx%d) A(%dx%d) Q(%dx%d)",
+			dst.Rows, dst.Cols, x.Rows, x.Cols, w.Rows, w.Cols))
+	}
+	n := x.Rows * x.Cols
+	if cap(s.qx) < n {
+		s.qx = make([]int8, n)
+	}
+	s.qx = s.qx[:n]
+	if cap(s.sx) < x.Rows {
+		s.sx = make([]float32, x.Rows)
+	}
+	s.sx = s.sx[:x.Rows]
+	for i := 0; i < x.Rows; i++ {
+		sc, err := quantizeRowInto(s.qx[i*x.Cols:(i+1)*x.Cols], x.Row(i))
+		if err != nil {
+			return fmt.Errorf("activation row %d: %w", i, err)
+		}
+		s.sx[i] = sc
+	}
+	k := x.Cols
+	flops := x.Rows * k * w.Rows
+	if flops < parallelFlopCutoff || dst.Rows <= 1 {
+		// Serial fast path keeps the warm quantized matvec zero-alloc (no
+		// fan-out closure escapes to the heap).
+		s.gemmQ8Range(dst, w, k, 0, dst.Rows)
+		return nil
+	}
+	parallelRows(dst.Rows, flops, func(i0, i1 int) {
+		s.gemmQ8Range(dst, w, k, i0, i1)
+	})
+	return nil
+}
+
+// gemmQ8Range computes dst rows [i0, i1) from the pre-quantized activation
+// scratch. The dot accumulates in int32 (exact: |q| ≤ 127, so k ≤ 2^16 rows
+// fit with headroom) and dequantizes through float64 so huge row scales
+// cannot overflow the intermediate product when the true value fits in f32.
+func (s *Q8Scratch) gemmQ8Range(dst *Tensor32, w *QuantizedMat, k, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		qrow := s.qx[i*k : (i+1)*k]
+		crow := dst.Row(i)
+		sxi := float64(s.sx[i])
+		for j := 0; j < w.Rows; j++ {
+			wrow := w.Data[j*k : (j+1)*k]
+			var acc int32
+			for p, qv := range qrow {
+				acc += int32(qv) * int32(wrow[p])
+			}
+			crow[j] = float32(float64(acc) * sxi * float64(w.Scales[j]))
+		}
+	}
+}
+
+// RefGemmQ8 is the single-goroutine reference for the int8 matmul: it
+// quantizes each activation row with the same scheme, then dequantizes every
+// element explicitly and accumulates in float64. The differential tests use
+// it to pin that the int32-accumulate fast path matches the arithmetic
+// definition of the scheme, independent of the f32 dequant order.
+func RefGemmQ8(dst, x *Tensor32, w *QuantizedMat) error {
+	if x.Cols != w.Cols || dst.Rows != x.Rows || dst.Cols != w.Rows {
+		panic("linalg: RefGemmQ8 shape mismatch")
+	}
+	qrow := make([]int8, x.Cols)
+	for i := 0; i < x.Rows; i++ {
+		sc, err := quantizeRowInto(qrow, x.Row(i))
+		if err != nil {
+			return fmt.Errorf("activation row %d: %w", i, err)
+		}
+		for j := 0; j < w.Rows; j++ {
+			wrow := w.Row(j)
+			var acc float64
+			for p := range qrow {
+				acc += float64(qrow[p]) * float64(sc) * float64(wrow[p]) * float64(w.Scales[j])
+			}
+			dst.Set(i, j, float32(acc))
+		}
+	}
+	return nil
+}
+
+// QuantizeVec64 quantizes a float64 vector into q (same length) with the
+// per-row absmax scheme and returns the scale; dequantization of element i
+// is float64(q[i])*scale. Used by the knowledge store's int8 centroid match
+// index, whose centroids live in float64 projected space. Non-finite input
+// returns ErrNonFinite.
+func QuantizeVec64(q []int8, row []float64) (float64, error) {
+	if len(q) != len(row) {
+		panic("linalg: QuantizeVec64 length mismatch")
+	}
+	var absmax float64
+	for _, v := range row {
+		if v != v || math.IsInf(v, 0) {
+			return 0, ErrNonFinite
+		}
+		if v < 0 {
+			v = -v
+		}
+		if v > absmax {
+			absmax = v
+		}
+	}
+	if absmax == 0 {
+		for i := range q {
+			q[i] = 0
+		}
+		return 0, nil
+	}
+	scale := absmax / 127
+	inv := 127 / absmax
+	for i, v := range row {
+		s := v * inv
+		if s >= 0 {
+			s += 0.5
+		} else {
+			s -= 0.5
+		}
+		n := int32(s)
+		if n > 127 {
+			n = 127
+		} else if n < -127 {
+			n = -127
+		}
+		q[i] = int8(n)
+	}
+	return scale, nil
+}
+
+// Dot8 returns the int32 dot product of two equal-length int8 vectors.
+func Dot8(a, b []int8) int32 {
+	var acc int32
+	for i, v := range a {
+		acc += int32(v) * int32(b[i])
+	}
+	return acc
+}

@@ -1,0 +1,72 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzQuantRoundTrip drives arbitrary values through the f64 → f32 → int8
+// round trip. Finite rows must reconstruct within half a quantization step
+// and the int8 matmul must stay finite; any NaN/Inf in a row must surface
+// ErrNonFinite from the quantizer (the guardrail path) — the kernels must
+// never be reached with, nor ever emit, non-finite values.
+func FuzzQuantRoundTrip(f *testing.F) {
+	f.Add(1.0, -2.5, 0.0, 3e30)
+	f.Add(math.NaN(), 1.0, 2.0, 3.0)
+	f.Add(math.Inf(1), math.Inf(-1), 1e-40, -0.0)
+	f.Add(1e308, -1e308, 127.0, -127.0)
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		row64 := []float64{a, b, c, d}
+		src := NewTensor32(1, 4)
+		finite := true
+		for j, v := range row64 {
+			src.Data[j] = float32(v)
+			// f64 → f32 narrowing can itself create Inf from huge finite
+			// f64s; the quantizer sees only the f32 values.
+			if f32 := src.Data[j]; f32 != f32 || math.IsInf(float64(f32), 0) {
+				finite = false
+			}
+		}
+		q, err := QuantizeMat32(src)
+		if !finite {
+			if !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("non-finite row quantized without ErrNonFinite (err=%v)", err)
+			}
+			// GemmQ8 must take the same guardrail exit for activations.
+			w, werr := QuantizeMat32(NewTensor32(2, 4))
+			if werr != nil {
+				t.Fatal(werr)
+			}
+			var scr Q8Scratch
+			if err := scr.GemmQ8(NewTensor32(1, 2), src, w); !errors.Is(err, ErrNonFinite) {
+				t.Fatalf("non-finite activations passed GemmQ8 (err=%v)", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("finite row rejected: %v", err)
+		}
+		step := float64(q.Scales[0])
+		for j, v := range src.Data {
+			dq := float64(q.Data[j]) * step
+			if diff := math.Abs(dq - float64(v)); diff > step/2+1e-9 {
+				t.Fatalf("element %d: %g reconstructed as %g (err %g > %g)", j, v, dq, diff, step/2)
+			}
+		}
+		// Full round trip through the int8 matmul stays finite whenever the
+		// true product fits in float32 (a row dotted with itself is bounded
+		// by k·absmax²; beyond f32 range, overflow to ±Inf is the correct
+		// saturation, not a kernel bug).
+		var scr Q8Scratch
+		dst := NewTensor32(1, 1)
+		if err := scr.GemmQ8(dst, src, q); err != nil {
+			t.Fatalf("GemmQ8 on finite input: %v", err)
+		}
+		bound := 4 * float64(step*127) * float64(step*127)
+		out := dst.At(0, 0)
+		if bound < math.MaxFloat32/2 && (out != out || math.IsInf(float64(out), 0)) {
+			t.Fatalf("int8 matmul emitted non-finite %g from finite input (bound %g)", out, bound)
+		}
+	})
+}

@@ -1,0 +1,398 @@
+package linalg
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Tensor32 is the float32 sibling of Tensor: a dense, row-major 2-D tensor
+// over one flat float32 buffer. It is the storage type of the speed-tier
+// kernels — half the memory traffic of the f64 oracle tier and twice the
+// effective SIMD width for the compiler's auto-vectorizer. The f32 family
+// mirrors the f64 kernels loop-for-loop (same blocking, same ascending-k
+// summation order) so the two tiers differ only in precision, never in
+// evaluation order: the f64 kernels remain the bitwise differential oracle.
+type Tensor32 struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewTensor32 returns a zero tensor with the given shape.
+func NewTensor32(rows, cols int) *Tensor32 {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative tensor dimension")
+	}
+	return &Tensor32{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Tensor32View wraps existing flat storage in a tensor header without
+// copying. It panics if len(data) != rows*cols.
+func Tensor32View(data []float32, rows, cols int) *Tensor32 {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: Tensor32View len %d != %d×%d", len(data), rows, cols))
+	}
+	return &Tensor32{Rows: rows, Cols: cols, Data: data}
+}
+
+// EnsureTensor32 returns t reshaped to rows×cols, reusing its buffer when
+// capacity allows, or a fresh tensor when t is nil or too small. Element
+// contents after the call are unspecified — callers overwrite.
+func EnsureTensor32(t *Tensor32, rows, cols int) *Tensor32 {
+	n := rows * cols
+	if t == nil {
+		return NewTensor32(rows, cols)
+	}
+	if cap(t.Data) < n {
+		t.Data = make([]float32, n)
+	} else {
+		t.Data = t.Data[:n]
+	}
+	t.Rows, t.Cols = rows, cols
+	return t
+}
+
+// Row returns row i as a slice aliasing the tensor storage.
+func (t *Tensor32) Row(i int) []float32 { return t.Data[i*t.Cols : (i+1)*t.Cols] }
+
+// At returns element (i, j).
+func (t *Tensor32) At(i, j int) float32 { return t.Data[i*t.Cols+j] }
+
+// Set assigns element (i, j).
+func (t *Tensor32) Set(i, j int, v float32) { t.Data[i*t.Cols+j] = v }
+
+// Zero clears every element.
+func (t *Tensor32) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// FromRows32 reshapes t to len(rows)×cols and copies the rows in. All rows
+// must have length cols. cols disambiguates the width of an empty batch.
+func (t *Tensor32) FromRows32(rows [][]float32, cols int) {
+	*t = *EnsureTensor32(t, len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("linalg: FromRows32 row %d has %d elements, want %d", i, len(r), cols))
+		}
+		copy(t.Row(i), r)
+	}
+}
+
+// FromRows64 reshapes t and narrows f64 rows into the f32 buffer. It is the
+// tier-boundary staging copy: callers on the f64 plane pay it once per batch
+// when opting into the speed tier.
+func (t *Tensor32) FromRows64(rows [][]float64, cols int) {
+	*t = *EnsureTensor32(t, len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			panic(fmt.Sprintf("linalg: FromRows64 row %d has %d elements, want %d", i, len(r), cols))
+		}
+		dst := t.Row(i)
+		for j, v := range r {
+			dst[j] = float32(v)
+		}
+	}
+}
+
+// Rows32 returns the tensor as row headers aliasing the flat storage — no
+// copy, so mutating a returned row mutates the tensor.
+func (t *Tensor32) Rows32() [][]float32 {
+	out := make([][]float32, t.Rows)
+	for i := range out {
+		out[i] = t.Row(i)
+	}
+	return out
+}
+
+// Widen64Into writes the tensor's values into dst as float64, reshaping dst
+// as needed, and returns dst. The inverse staging copy of FromRows64.
+func (t *Tensor32) Widen64Into(dst *Tensor) *Tensor {
+	dst = EnsureTensor(dst, t.Rows, t.Cols)
+	for i, v := range t.Data {
+		dst.Data[i] = float64(v)
+	}
+	return dst
+}
+
+// Axpy32 computes y[i] += a*x[i]. It panics if the lengths differ.
+func Axpy32(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy32 length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, xv := range x {
+		y[i] += a * xv
+	}
+}
+
+// Dot32 returns the dot product of two equal-length f32 slices, accumulated
+// in float32 in ascending index order (matching the kernel summation order).
+func Dot32(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Dot32 length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float32
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// gemmBlockK32 is the k-panel depth of the blocked f32 kernels: 256 float32s
+// of a B row panel (1 KiB, the same cache footprint as the f64 panel) stay
+// resident in L1 while a C row accumulates. As in the f64 family, blocking
+// only partitions the k loop — the per-element summation order stays
+// ascending, so blocked and naive f32 kernels agree bitwise with each other
+// (though not, of course, with the f64 tier).
+const gemmBlockK32 = 256
+
+func checkGemmShapes32(op string, cRows, cCols, aRows, aCols, bRows, bCols int, c, a, b *Tensor32) {
+	if a.Rows != aRows || a.Cols != aCols || b.Rows != bRows || b.Cols != bCols || c.Rows != cRows || c.Cols != cCols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch C(%dx%d) A(%dx%d) B(%dx%d)",
+			op, c.Rows, c.Cols, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if len(a.Data) != a.Rows*a.Cols || len(b.Data) != b.Rows*b.Cols || len(c.Data) != c.Rows*c.Cols {
+		panic(fmt.Sprintf("linalg: %s tensor data length inconsistent with shape", op))
+	}
+}
+
+// Gemm32 computes C = A × B with the blocked f32 kernel, parallel above the
+// flop cutoff. Shapes: A m×k, B k×n, C m×n; C must not alias A or B.
+func Gemm32(c, a, b *Tensor32) {
+	checkGemmShapes32("Gemm32", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Cols
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmRange32(c, a, b, 0, c.Rows, false)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmRange32(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmAdd32 computes C += A × B (same shapes and kernel as Gemm32). Seeding
+// C with a bias row before the call fuses the bias add into the product.
+func GemmAdd32(c, a, b *Tensor32) {
+	checkGemmShapes32("GemmAdd32", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Cols
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmRange32(c, a, b, 0, c.Rows, true)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmRange32(c, a, b, i0, i1, true)
+	})
+}
+
+// gemmRange32 accumulates C[i0:i1] (+)= A[i0:i1] × B — the i–k–j order of
+// gemmRange with f32 operands. The inner j loop is a flat contiguous
+// multiply-add sweep over two f32 slices, the shape the gc compiler
+// vectorizes best.
+func gemmRange32(c, a, b *Tensor32, i0, i1 int, accumulate bool) {
+	if !accumulate {
+		for i := i0; i < i1; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+	}
+	k := a.Cols
+	for k0 := 0; k0 < k; k0 += gemmBlockK32 {
+		k1 := k0 + gemmBlockK32
+		if k1 > k {
+			k1 = k
+		}
+		for i := i0; i < i1; i++ {
+			arow := a.Row(i)
+			crow := c.Row(i)
+			for p := k0; p < k1; p++ {
+				av := arow[p]
+				brow := b.Row(p)
+				for j, bv := range brow {
+					crow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// GemmTA32 computes C = Aᵀ × B without materializing the transpose.
+// Shapes: A k×m, B k×n, C m×n; C must not alias A or B.
+func GemmTA32(c, a, b *Tensor32) {
+	checkGemmShapes32("GemmTA32", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Cols
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmTARange32(c, a, b, 0, c.Rows, false)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmTARange32(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmTAAdd32 computes C += Aᵀ × B (same shapes as GemmTA32).
+func GemmTAAdd32(c, a, b *Tensor32) {
+	checkGemmShapes32("GemmTAAdd32", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Cols
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmTARange32(c, a, b, 0, c.Rows, true)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmTARange32(c, a, b, i0, i1, true)
+	})
+}
+
+func gemmTARange32(c, a, b *Tensor32, i0, i1 int, accumulate bool) {
+	if !accumulate {
+		for i := i0; i < i1; i++ {
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] = 0
+			}
+		}
+	}
+	for p := 0; p < a.Rows; p++ {
+		arow := a.Row(p)
+		brow := b.Row(p)
+		for i := i0; i < i1; i++ {
+			av := arow[i]
+			crow := c.Row(i)
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+}
+
+// GemmTB32 computes C = A × Bᵀ without materializing the transpose.
+// Shapes: A m×k, B n×k, C m×n; C must not alias A or B. Each output element
+// is a dot product of two contiguous f32 rows — the cache-friendly form when
+// the shared dimension k is long, and the form the inference engine's dense
+// layers use (weights pre-transposed once at compile time).
+func GemmTB32(c, a, b *Tensor32) {
+	checkGemmShapes32("GemmTB32", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Rows
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmTBRange32(c, a, b, 0, c.Rows, false)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmTBRange32(c, a, b, i0, i1, false)
+	})
+}
+
+// GemmTBAdd32 computes C += A × Bᵀ (same shapes as GemmTB32).
+func GemmTBAdd32(c, a, b *Tensor32) {
+	checkGemmShapes32("GemmTBAdd32", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	flops := a.Rows * a.Cols * b.Rows
+	if flops < parallelFlopCutoff || runtime.GOMAXPROCS(0) <= 1 || c.Rows <= 1 {
+		// Serial fast path: skipping the fan-out helper keeps the warm
+		// small-batch call zero-alloc (no closure escapes to the heap).
+		gemmTBRange32(c, a, b, 0, c.Rows, true)
+		return
+	}
+	parallelRows(c.Rows, flops, func(i0, i1 int) {
+		gemmTBRange32(c, a, b, i0, i1, true)
+	})
+}
+
+func gemmTBRange32(c, a, b *Tensor32, i0, i1 int, accumulate bool) {
+	for i := i0; i < i1; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			if accumulate {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}
+
+// TransposeInto32 writes srcᵀ into dst, which must be pre-shaped to
+// src.Cols × src.Rows.
+func TransposeInto32(dst, src *Tensor32) {
+	if dst.Rows != src.Cols || dst.Cols != src.Rows {
+		panic(fmt.Sprintf("linalg: TransposeInto32 shape %dx%d, want %dx%d",
+			dst.Rows, dst.Cols, src.Cols, src.Rows))
+	}
+	for i := 0; i < src.Rows; i++ {
+		srow := src.Row(i)
+		for j, v := range srow {
+			dst.Data[j*dst.Cols+i] = v
+		}
+	}
+}
+
+// RefGemm32 is the unblocked, single-goroutine f32 reference for C = A × B,
+// the differential-test oracle for the blocked f32 kernel (bitwise: both sum
+// over k in ascending order).
+func RefGemm32(c, a, b *Tensor32) {
+	checkGemmShapes32("RefGemm32", a.Rows, b.Cols, a.Rows, a.Cols, a.Cols, b.Cols, c, a, b)
+	for i := 0; i < c.Rows; i++ {
+		crow := c.Row(i)
+		for j := range crow {
+			crow[j] = 0
+		}
+		arow := a.Row(i)
+		for p := 0; p < a.Cols; p++ {
+			av := arow[p]
+			brow := b.Row(p)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// RefGemmTA32 is the f32 reference oracle for C = Aᵀ × B.
+func RefGemmTA32(c, a, b *Tensor32) {
+	checkGemmShapes32("RefGemmTA32", a.Cols, b.Cols, a.Rows, a.Cols, a.Rows, b.Cols, c, a, b)
+	c.Zero()
+	for p := 0; p < a.Rows; p++ {
+		arow := a.Row(p)
+		brow := b.Row(p)
+		for i := 0; i < c.Rows; i++ {
+			av := arow[i]
+			crow := c.Row(i)
+			for j := range crow {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// RefGemmTB32 is the f32 reference oracle for C = A × Bᵀ.
+func RefGemmTB32(c, a, b *Tensor32) {
+	checkGemmShapes32("RefGemmTB32", a.Rows, b.Rows, a.Rows, a.Cols, b.Rows, a.Cols, c, a, b)
+	for i := 0; i < c.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for p := range arow {
+				s += arow[p] * brow[p]
+			}
+			crow[j] = s
+		}
+	}
+}

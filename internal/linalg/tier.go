@@ -1,0 +1,54 @@
+package linalg
+
+import "fmt"
+
+// KernelTier selects the arithmetic the inference plane runs on. The tiers
+// form a strict precision ladder: TierF64 is the bitwise-reproducible oracle
+// every other tier is differentially tested against, TierF32 halves memory
+// traffic with the f32 kernel family, and TierInt8 additionally serves dense
+// matmuls through per-row absmax int8 weights with int32 accumulation.
+//
+// The training plane always runs the f64 oracle tier regardless of the
+// configured tier — speed tiers govern reads (the published snapshot and the
+// knowledge-store match path), never parameter updates, so checkpoints and
+// the prequential Table I/III protocol stay bitwise-reproducible.
+type KernelTier uint8
+
+const (
+	// TierF64 is the default: the blocked float64 kernels, bitwise-stable
+	// under blocking and row-parallel fan-out.
+	TierF64 KernelTier = iota
+	// TierF32 runs inference forwards on the float32 kernel family.
+	TierF32
+	// TierInt8 runs inference dense layers on int8-quantized weights
+	// (per-row absmax, int32 accumulate, f32 dequant); convolution and
+	// activation layers stay f32 within this tier.
+	TierInt8
+)
+
+// String returns the flag spelling of the tier.
+func (t KernelTier) String() string {
+	switch t {
+	case TierF64:
+		return "f64"
+	case TierF32:
+		return "f32"
+	case TierInt8:
+		return "int8-infer"
+	}
+	return fmt.Sprintf("KernelTier(%d)", uint8(t))
+}
+
+// ParseKernelTier parses the flag spelling of a tier. The empty string is
+// the f64 default so zero-valued configs stay on the oracle tier.
+func ParseKernelTier(s string) (KernelTier, error) {
+	switch s {
+	case "", "f64":
+		return TierF64, nil
+	case "f32":
+		return TierF32, nil
+	case "int8-infer", "int8":
+		return TierInt8, nil
+	}
+	return TierF64, fmt.Errorf("linalg: unknown kernel tier %q (want f64, f32, or int8-infer)", s)
+}

@@ -1,0 +1,392 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"freewayml/internal/linalg"
+)
+
+// InferEngine is an inference-only compilation of a Network onto a speed
+// tier. It is built once per published snapshot member (weights are copied
+// and, for TierInt8, quantized at compile time — matched and served models
+// are read far more often than trained, so the one-time cost amortizes
+// across snapshot generations) and then runs forward passes with zero
+// steady-state allocations beyond the returned probabilities.
+//
+// Tier semantics:
+//   - TierF32: every layer runs on the f32 kernel family. Conv1D is computed
+//     fused — direct kernel×input-segment sweeps — so the f32 path never
+//     materializes the im2col patch matrix the f64 training path uses.
+//   - TierInt8: Dense layers run per-row absmax int8 weights with int32
+//     accumulation and f32 dequant; convolution, pooling, and activation
+//     layers stay f32 within this tier (conv kernels are small and
+//     activation-bound, so quantizing them buys little and costs accuracy).
+//
+// Like a model's forward scratch, an engine is single-reader: callers must
+// serialize forward passes (the snapshot plane reuses its ComputeMu).
+type InferEngine struct {
+	tier    linalg.KernelTier
+	inDim   int
+	classes int
+	ops     []inferOp
+
+	xBuf      *linalg.Tensor32 // staging copy of the caller's batch
+	q8        linalg.Q8Scratch
+	logitsBuf []float64 // per-row f64 logit scratch for the softmax head
+
+	quantMats          int
+	scaleMin, scaleMax float32
+}
+
+// inferOp is one compiled layer. Forward returns op-owned scratch valid
+// until the op's next Forward call (activations may run in place on their
+// input, which is always engine- or op-owned).
+type inferOp interface {
+	forward(e *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error)
+}
+
+// CompileInfer compiles n onto the given speed tier. It returns (nil, nil)
+// for TierF64 — the oracle tier runs the model itself — and an error when
+// the network contains a layer the engine cannot lower (callers fall back
+// to the f64 path). The network's weights are copied; the engine stays
+// valid after the source network trains on, but represents the weights at
+// compile time.
+func CompileInfer(n *Network, tier linalg.KernelTier) (*InferEngine, error) {
+	if n == nil {
+		return nil, fmt.Errorf("nn: compile: nil network")
+	}
+	if tier == linalg.TierF64 {
+		return nil, nil
+	}
+	e := &InferEngine{tier: tier, inDim: n.inDim, classes: n.numClasses}
+	for i, l := range n.layers {
+		switch layer := l.(type) {
+		case *Dense:
+			if tier == linalg.TierInt8 {
+				op, err := compileDenseQ8(layer)
+				if err != nil {
+					return nil, fmt.Errorf("nn: compile layer %d: %w", i, err)
+				}
+				e.quantMats++
+				min, max := op.qw.ScaleStats()
+				if e.scaleMin == 0 || (min > 0 && min < e.scaleMin) {
+					e.scaleMin = min
+				}
+				if max > e.scaleMax {
+					e.scaleMax = max
+				}
+				e.ops = append(e.ops, op)
+			} else {
+				e.ops = append(e.ops, compileDense32(layer))
+			}
+		case *Conv1D:
+			e.ops = append(e.ops, compileConv32(layer))
+		case *MaxPool1D:
+			e.ops = append(e.ops, &poolOp32{
+				channels: layer.Channels, length: layer.Length, window: layer.Window,
+			})
+		case *ReLU:
+			e.ops = append(e.ops, reluOp32{})
+		case *Sigmoid:
+			e.ops = append(e.ops, sigmoidOp32{})
+		case *Dropout:
+			// Identity at inference (inverted dropout needs no correction).
+		default:
+			return nil, fmt.Errorf("nn: compile layer %d: unsupported layer type %T", i, l)
+		}
+	}
+	return e, nil
+}
+
+// Tier returns the tier the engine was compiled for.
+func (e *InferEngine) Tier() linalg.KernelTier { return e.tier }
+
+// QuantMats returns the number of int8-quantized weight matrices (0 on the
+// f32 tier).
+func (e *InferEngine) QuantMats() int { return e.quantMats }
+
+// ScaleStats returns the smallest and largest nonzero int8 row scales across
+// all quantized matrices (0, 0 on the f32 tier).
+func (e *InferEngine) ScaleStats() (min, max float32) { return e.scaleMin, e.scaleMax }
+
+// forwardT runs the staged batch through every compiled op.
+func (e *InferEngine) forwardT(x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	h := x
+	var err error
+	for _, op := range e.ops {
+		if h, err = op.forward(e, h); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// probaFromLogits applies the softmax head. Logits are widened to f64 per
+// row (classes are few) so the returned distribution has the same shape and
+// numerical behavior as Network.PredictProba.
+func (e *InferEngine) probaFromLogits(logits *linalg.Tensor32) [][]float64 {
+	if cap(e.logitsBuf) < logits.Cols {
+		e.logitsBuf = make([]float64, logits.Cols)
+	}
+	lrow := e.logitsBuf[:logits.Cols]
+	flat := make([]float64, logits.Rows*logits.Cols)
+	out := make([][]float64, logits.Rows)
+	for i := range out {
+		src := logits.Row(i)
+		for j, v := range src {
+			lrow[j] = float64(v)
+		}
+		row := flat[i*logits.Cols : (i+1)*logits.Cols : (i+1)*logits.Cols]
+		softmaxInto(row, lrow)
+		out[i] = row
+	}
+	return out
+}
+
+// PredictProba64 stages f64 rows (narrowing once at the tier boundary) and
+// returns the per-row class distribution as [][]float64, matching the
+// Model.PredictProba shape so ensemble fusion is representation-agnostic.
+func (e *InferEngine) PredictProba64(x [][]float64) ([][]float64, error) {
+	if e.xBuf == nil {
+		e.xBuf = linalg.NewTensor32(0, e.inDim)
+	}
+	e.xBuf.FromRows64(x, e.inDim)
+	logits, err := e.forwardT(e.xBuf)
+	if err != nil {
+		return nil, err
+	}
+	return e.probaFromLogits(logits), nil
+}
+
+// PredictProba32 runs natively narrow rows (e.g. decoded f32 wire frames)
+// with no widening anywhere on the path.
+func (e *InferEngine) PredictProba32(x [][]float32) ([][]float64, error) {
+	if e.xBuf == nil {
+		e.xBuf = linalg.NewTensor32(0, e.inDim)
+	}
+	e.xBuf.FromRows32(x, e.inDim)
+	logits, err := e.forwardT(e.xBuf)
+	if err != nil {
+		return nil, err
+	}
+	return e.probaFromLogits(logits), nil
+}
+
+// denseOp32 is a Dense layer on the f32 tier. Like the training layer it
+// dispatches by shape: wide-in heads use the dot-form kernel on the
+// pre-transposed weights, fan-out layers the axpy form with a bias seed.
+// The transpose is materialized once at compile time, not per batch.
+type denseOp32 struct {
+	in, out int
+	useDot  bool
+	w       *linalg.Tensor32 // In×Out (axpy form) — nil when useDot
+	wT      *linalg.Tensor32 // Out×In (dot form) — nil when !useDot
+	b       []float32
+	outBuf  *linalg.Tensor32
+}
+
+func compileDense32(d *Dense) *denseOp32 {
+	op := &denseOp32{in: d.In, out: d.Out, useDot: d.useDot(), b: make([]float32, d.Out)}
+	for j, v := range d.b.W {
+		op.b[j] = float32(v)
+	}
+	w32 := linalg.NewTensor32(d.In, d.Out)
+	for i, v := range d.w.W {
+		w32.Data[i] = float32(v)
+	}
+	if op.useDot {
+		op.wT = linalg.NewTensor32(d.Out, d.In)
+		linalg.TransposeInto32(op.wT, w32)
+	} else {
+		op.w = w32
+	}
+	return op
+}
+
+func (op *denseOp32) forward(_ *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	if x.Cols != op.in {
+		return nil, fmt.Errorf("nn: dense input width %d, want %d", x.Cols, op.in)
+	}
+	op.outBuf = linalg.EnsureTensor32(op.outBuf, x.Rows, op.out)
+	if op.useDot {
+		linalg.GemmTB32(op.outBuf, x, op.wT)
+		for i := 0; i < x.Rows; i++ {
+			orow := op.outBuf.Row(i)
+			for j, bv := range op.b {
+				orow[j] += bv
+			}
+		}
+	} else {
+		for i := 0; i < x.Rows; i++ {
+			copy(op.outBuf.Row(i), op.b)
+		}
+		linalg.GemmAdd32(op.outBuf, x, op.w)
+	}
+	return op.outBuf, nil
+}
+
+// denseOpQ8 is a Dense layer on the int8 tier: weights quantized per OUTPUT
+// row (the transposed layout, so each output is one int8×int8 dot under a
+// single sx·sw dequant), activations quantized per row at run time into the
+// engine's shared scratch.
+type denseOpQ8 struct {
+	in, out int
+	qw      *linalg.QuantizedMat // Out×In
+	b       []float32
+	outBuf  *linalg.Tensor32
+}
+
+func compileDenseQ8(d *Dense) (*denseOpQ8, error) {
+	w32 := linalg.NewTensor32(d.In, d.Out)
+	for i, v := range d.w.W {
+		w32.Data[i] = float32(v)
+	}
+	wT := linalg.NewTensor32(d.Out, d.In)
+	linalg.TransposeInto32(wT, w32)
+	qw, err := linalg.QuantizeMat32(wT)
+	if err != nil {
+		return nil, err
+	}
+	op := &denseOpQ8{in: d.In, out: d.Out, qw: qw, b: make([]float32, d.Out)}
+	for j, v := range d.b.W {
+		op.b[j] = float32(v)
+	}
+	return op, nil
+}
+
+func (op *denseOpQ8) forward(e *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	if x.Cols != op.in {
+		return nil, fmt.Errorf("nn: dense input width %d, want %d", x.Cols, op.in)
+	}
+	op.outBuf = linalg.EnsureTensor32(op.outBuf, x.Rows, op.out)
+	if err := e.q8.GemmQ8(op.outBuf, x, op.qw); err != nil {
+		return nil, err
+	}
+	for i := 0; i < x.Rows; i++ {
+		orow := op.outBuf.Row(i)
+		for j, bv := range op.b {
+			orow[j] += bv
+		}
+	}
+	return op.outBuf, nil
+}
+
+// convOp32 is Conv1D computed fused on the f32 tier: instead of lowering to
+// im2col + GEMM (which materializes an InChannels·K × batch·outLen patch
+// matrix), each (output-channel, input-channel, kernel-offset) triple sweeps
+// one contiguous input segment into one contiguous output segment — the same
+// multiply-add loop shape as the GEMM inner loop, with zero scratch beyond
+// the output itself.
+type convOp32 struct {
+	ic, oc, k, length int
+	w                 *linalg.Tensor32 // OutChannels × InChannels·K
+	b                 []float32
+	outBuf            *linalg.Tensor32
+}
+
+func compileConv32(c *Conv1D) *convOp32 {
+	op := &convOp32{
+		ic: c.InChannels, oc: c.OutChannels, k: c.Kernel, length: c.Length,
+		w: linalg.NewTensor32(c.OutChannels, c.InChannels*c.Kernel),
+		b: make([]float32, c.OutChannels),
+	}
+	for i, v := range c.w.W {
+		op.w.Data[i] = float32(v)
+	}
+	for j, v := range c.b.W {
+		op.b[j] = float32(v)
+	}
+	return op
+}
+
+func (op *convOp32) forward(_ *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	if x.Cols != op.ic*op.length {
+		return nil, fmt.Errorf("nn: conv input width %d, want %d", x.Cols, op.ic*op.length)
+	}
+	ol := op.length - op.k + 1
+	op.outBuf = linalg.EnsureTensor32(op.outBuf, x.Rows, op.oc*ol)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := op.outBuf.Row(i)
+		for oc := 0; oc < op.oc; oc++ {
+			wrow := op.w.Row(oc)
+			dst := orow[oc*ol : (oc+1)*ol]
+			bias := op.b[oc]
+			for t := range dst {
+				dst[t] = bias
+			}
+			for ic := 0; ic < op.ic; ic++ {
+				base := ic * op.length
+				for kk := 0; kk < op.k; kk++ {
+					a := wrow[ic*op.k+kk]
+					src := row[base+kk : base+kk+ol]
+					for t, sv := range src {
+						dst[t] += a * sv
+					}
+				}
+			}
+		}
+	}
+	return op.outBuf, nil
+}
+
+// poolOp32 is MaxPool1D on the f32 tier, with no argmax cache (inference
+// never backpropagates).
+type poolOp32 struct {
+	channels, length, window int
+	outBuf                   *linalg.Tensor32
+}
+
+func (op *poolOp32) forward(_ *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	if x.Cols != op.channels*op.length {
+		return nil, fmt.Errorf("nn: pool input width %d, want %d", x.Cols, op.channels*op.length)
+	}
+	ol := (op.length + op.window - 1) / op.window
+	op.outBuf = linalg.EnsureTensor32(op.outBuf, x.Rows, op.channels*ol)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		orow := op.outBuf.Row(i)
+		for c := 0; c < op.channels; c++ {
+			base := c * op.length
+			for t := 0; t < ol; t++ {
+				start := t * op.window
+				end := start + op.window
+				if end > op.length {
+					end = op.length
+				}
+				best := row[base+start]
+				for j := start + 1; j < end; j++ {
+					if row[base+j] > best {
+						best = row[base+j]
+					}
+				}
+				orow[c*ol+t] = best
+			}
+		}
+	}
+	return op.outBuf, nil
+}
+
+// reluOp32 applies max(0, x) in place — the input is always engine- or
+// op-owned scratch, never a caller buffer.
+type reluOp32 struct{}
+
+func (reluOp32) forward(_ *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+	return x, nil
+}
+
+// sigmoidOp32 applies the logistic function in place.
+type sigmoidOp32 struct{}
+
+func (sigmoidOp32) forward(_ *InferEngine, x *linalg.Tensor32) (*linalg.Tensor32, error) {
+	for i, v := range x.Data {
+		x.Data[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+	return x, nil
+}

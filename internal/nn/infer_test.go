@@ -1,0 +1,252 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"freewayml/internal/linalg"
+)
+
+// testNets builds one network per architecture corner the engine compiles:
+// dot-form and axpy-form dense layers, both activations, fused conv + pool,
+// and an inference-identity dropout.
+func testNets(t *testing.T) map[string]*Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	nets := map[string]*Network{}
+
+	mlp, err := NewNetwork(12, 3,
+		NewDense(12, 32, rng), NewReLU(), NewDense(32, 3, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["mlp"] = mlp
+
+	sig, err := NewNetwork(6, 2,
+		NewDense(6, 16, rng), NewSigmoid(), NewDense(16, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["sigmoid"] = sig
+
+	conv, err := NewNetwork(20, 2,
+		NewConv1D(1, 4, 3, 20, rng), NewReLU(),
+		NewMaxPool1D(4, 18, 2), NewDense(4*9, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["cnn"] = conv
+
+	drop := NewDropout(0.5, 1)
+	drop.SetTraining(false)
+	dnet, err := NewNetwork(8, 2,
+		NewDense(8, 16, rng), NewReLU(), drop, NewDense(16, 2, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets["dropout"] = dnet
+	return nets
+}
+
+// TestInferEngineF32MatchesOracle bounds the f32 engine against the f64
+// network forward with the documented epsilon: probabilities within 1e-4
+// absolute (f32 logit drift is O(width·eps32), and softmax is 1-Lipschitz
+// in the logits up to a constant).
+func TestInferEngineF32MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, net := range testNets(t) {
+		t.Run(name, func(t *testing.T) {
+			eng, err := CompileInfer(net, linalg.TierF32)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			x := randRowsB(rng, 9, net.InDim())
+			want := net.PredictProba(x)
+			got, err := eng.PredictProba64(x)
+			if err != nil {
+				t.Fatalf("engine forward: %v", err)
+			}
+			compareProbas(t, got, want, 1e-4)
+			if eng.QuantMats() != 0 {
+				t.Fatalf("f32 engine reports %d quantized mats", eng.QuantMats())
+			}
+		})
+	}
+}
+
+// TestInferEngineInt8MatchesOracle bounds the int8 tier with the documented
+// looser epsilon (0.05 absolute on probabilities): per-row absmax int8
+// carries ~1/254 relative weight error, which the softmax maps to a few
+// percent of probability mass on these widths.
+func TestInferEngineInt8MatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for name, net := range testNets(t) {
+		t.Run(name, func(t *testing.T) {
+			eng, err := CompileInfer(net, linalg.TierInt8)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			if eng.QuantMats() == 0 {
+				t.Fatal("int8 engine quantized no matrices")
+			}
+			if min, max := eng.ScaleStats(); min <= 0 || max < min {
+				t.Fatalf("scale stats min %g max %g", min, max)
+			}
+			x := randRowsB(rng, 9, net.InDim())
+			want := net.PredictProba(x)
+			got, err := eng.PredictProba64(x)
+			if err != nil {
+				t.Fatalf("engine forward: %v", err)
+			}
+			compareProbas(t, got, want, 0.05)
+		})
+	}
+}
+
+// TestInferEngineNative32 pins that the native-f32 entry produces bitwise
+// the same result as staging the same values through the f64 entry — the
+// narrowing copy is the only difference, and here the inputs are exactly
+// representable either way.
+func TestInferEngineNative32(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := testNets(t)["mlp"]
+	eng, err := CompileInfer(net, linalg.TierF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, dim := 5, net.InDim()
+	x32 := make([][]float32, n)
+	x64 := make([][]float64, n)
+	for i := range x32 {
+		x32[i] = make([]float32, dim)
+		x64[i] = make([]float64, dim)
+		for j := range x32[i] {
+			v := float32(rng.NormFloat64())
+			x32[i][j] = v
+			x64[i][j] = float64(v)
+		}
+	}
+	a, err := eng.PredictProba32(x32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.PredictProba64(x64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("row %d class %d: native %g vs staged %g", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+// TestCompileInferF64ReturnsNil pins the oracle-tier contract: no engine is
+// built, callers keep using the model itself.
+func TestCompileInferF64ReturnsNil(t *testing.T) {
+	net := testNets(t)["mlp"]
+	eng, err := CompileInfer(net, linalg.TierF64)
+	if err != nil || eng != nil {
+		t.Fatalf("TierF64 compile: engine %v err %v, want nil/nil", eng, err)
+	}
+}
+
+// TestInferEngineRejectsNonFinite pins that non-finite activations surface
+// an error from the int8 quantizer instead of reaching the kernels.
+func TestInferEngineRejectsNonFinite(t *testing.T) {
+	net := testNets(t)["mlp"]
+	eng, err := CompileInfer(net, linalg.TierInt8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randRowsB(rand.New(rand.NewSource(4)), 2, net.InDim())
+	x[1][3] = math.NaN()
+	if _, err := eng.PredictProba64(x); err == nil {
+		t.Fatal("int8 engine accepted NaN input")
+	}
+}
+
+func compareProbas(t *testing.T, got, want [][]float64, eps float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("row %d: %d classes, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range got[i] {
+			if d := math.Abs(got[i][j] - want[i][j]); d > eps {
+				t.Fatalf("row %d class %d: %g vs %g (|diff| %g > %g)", i, j, got[i][j], want[i][j], d, eps)
+			}
+		}
+	}
+}
+
+func BenchmarkInferEngineF32MLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewNetwork(64, 4,
+		NewDense(64, 128, rng), NewReLU(), NewDense(128, 4, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := CompileInfer(net, linalg.TierF32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randRowsB(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PredictProba64(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInferNetworkF64MLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewNetwork(64, 4,
+		NewDense(64, 128, rng), NewReLU(), NewDense(128, 4, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randRowsB(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.PredictProba(x)
+	}
+}
+
+func BenchmarkInferEngineInt8MLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net, err := NewNetwork(64, 4,
+		NewDense(64, 128, rng), NewReLU(), NewDense(128, 4, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := CompileInfer(net, linalg.TierInt8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randRowsB(rng, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.PredictProba64(x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func randRowsB(rng *rand.Rand, n, dim int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dim)
+		for j := range out[i] {
+			out[i][j] = rng.NormFloat64()
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Runs the PR 10 kernel-tier gate and records BENCH_PR10.json:
+#
+# Single-core (-cpu 1) microbenchmarks of the three kernel tiers at the
+# coalesced forward-pass shape (256x256x256):
+#
+#   1. Gemm64Forward  — the f64 oracle kernel (training plane, unchanged)
+#   2. Gemm32Forward  — the f32 speed-tier kernel (half the memory traffic)
+#   3. GemmQ8Forward  — the int8-infer kernel (quantized weights, int32
+#                       accumulate, f32 dequant)
+#
+# plus the compiled nn inference engines (f64 network forward vs f32 engine
+# vs int8 engine on a 64x64->128->4 MLP), so the gate measures the path the
+# snapshot plane actually serves, not just the raw GEMM.
+#
+# Gate policy (host-adaptive, same shape as the PR5/PR7/PR9 gates): runs are
+# pinned to one core so the ratio isolates kernel arithmetic + memory
+# traffic from parallel speedup. On a >= 4-CPU host the f32 GEMM must reach
+# >= 2x the f64 GEMM; on smaller hosts (shared single-core CI boxes are too
+# noisy to hold a 2x bar) it must not regress — >= 0.85x — and the JSON
+# clearly flags which policy applied. The int8 tier is reported but not
+# hard-gated: its win is weight-memory footprint, not single-pass latency.
+#
+# Usage: scripts/bench_kernels.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR10.json}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+NCPU=$(nproc 2>/dev/null || echo 1)
+BT=${BENCH_KERNELS_BENCHTIME:-2s}
+
+echo "== f32/int8 kernel-tier benchmarks (single core)" >&2
+go test ./internal/linalg -run '^$' \
+  -bench '^(BenchmarkGemm64Forward|BenchmarkGemm32Forward|BenchmarkGemmQ8Forward)$' \
+  -benchmem -benchtime "$BT" -cpu 1 | tee -a "$TMP" >&2
+
+echo "== compiled inference-engine benchmarks (single core)" >&2
+go test ./internal/nn -run '^$' \
+  -bench '^(BenchmarkInferNetworkF64MLP|BenchmarkInferEngineF32MLP|BenchmarkInferEngineInt8MLP)$' \
+  -benchmem -benchtime "$BT" -cpu 1 | tee -a "$TMP" >&2
+
+awk -v go_version="$(go version | awk '{print $3}')" -v ncpu="$NCPU" '
+  /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)     # strip the -GOMAXPROCS suffix when present
+    if (!(name in ns)) names[++count] = name
+    fields = ""
+    for (i = 2; i < NF; i++) {
+      key = ""
+      if ($(i+1) == "ns/op") { key = "ns_per_op"; ns[name] = $i }
+      else if ($(i+1) == "MB/s") key = "mb_per_s"
+      else if ($(i+1) == "B/op") key = "bytes_per_op"
+      else if ($(i+1) == "allocs/op") key = "allocs_per_op"
+      if (key != "") {
+        if (fields != "") fields = fields ", "
+        fields = fields "\"" key "\": " $i
+      }
+    }
+    entry[name] = fields
+  }
+  END {
+    f64 = ns["BenchmarkGemm64Forward"] + 0
+    f32 = ns["BenchmarkGemm32Forward"] + 0
+    q8  = ns["BenchmarkGemmQ8Forward"] + 0
+    e64 = ns["BenchmarkInferNetworkF64MLP"] + 0
+    e32 = ns["BenchmarkInferEngineF32MLP"] + 0
+    e8  = ns["BenchmarkInferEngineInt8MLP"] + 0
+    gemm_ratio = (f32 > 0) ? f64 / f32 : 0
+    q8_ratio   = (q8 > 0) ? f64 / q8 : 0
+    eng_ratio  = (e32 > 0) ? e64 / e32 : 0
+    eng8_ratio = (e8 > 0) ? e64 / e8 : 0
+    need = (ncpu >= 4) ? 2.0 : 0.85
+    policy = (ncpu >= 4) \
+      ? "multi-core host: single-core f32 GEMM must reach >= 2x the f64 oracle" \
+      : "single-core host: noisy shared box, f32 GEMM must not regress (>= 0.85x the f64 oracle)"
+    pass = (gemm_ratio >= need) ? "true" : "false"
+    printf "{\n"
+    printf "  \"go\": \"%s\",\n", go_version
+    printf "  \"ncpu\": %d,\n", ncpu
+    printf "  \"kernel_tiers\": {\n"
+    printf "    \"comment\": \"256x256x256 coalesced-forward GEMM shape and a 64-row 64->128->4 MLP inference pass, all pinned to one core (-cpu 1); f64 is the training-plane oracle, f32/int8 are the opt-in inference tiers\",\n"
+    printf "    \"gemm_f32_vs_f64\": %.2f,\n", gemm_ratio
+    printf "    \"gemm_int8_vs_f64\": %.2f,\n", q8_ratio
+    printf "    \"engine_f32_vs_f64\": %.2f,\n", eng_ratio
+    printf "    \"engine_int8_vs_f64\": %.2f,\n", eng8_ratio
+    printf "    \"gate\": \"%s\",\n", policy
+    printf "    \"gate_pass\": %s\n", pass
+    printf "  },\n"
+    printf "  \"benchmarks\": {\n"
+    for (i = 1; i <= count; i++) {
+      name = names[i]
+      printf "    \"%s\": {%s}%s\n", name, entry[name], (i < count ? "," : "")
+    }
+    printf "  },\n"
+    printf "  \"gate_pass\": %s\n", pass
+    printf "}\n"
+    exit (pass == "true") ? 0 : 1
+  }' "$TMP" > "$OUT" || { echo "bench-kernels gate FAILED (see $OUT)" >&2; exit 1; }
+echo "wrote $OUT" >&2
